@@ -1,0 +1,144 @@
+// E11 (Appendix): the preprocessing machinery.
+//
+//  (a) unary→binary conversion tables: direct layout (2^w cells, what the
+//      appendix says cannot be replicated p times in O(G(n)) time) vs the
+//      De Bruijn layout (O(w) cells); construction cost and lookup parity.
+//  (b) bit-reversal permutation tables.
+//  (c) evaluation of log n, log^(i) n, G(n), log G(n) by the appendix's
+//      procedures, vs the native ones.
+//  (d) matching-partition lookup tables: direct construction cost over
+//      (component_bits, width), and the guess-and-verify audit depth
+//      (O(log w), independent of n).
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "core/appendix_eval.h"
+#include "core/lookup_table.h"
+#include "support/bits.h"
+
+namespace {
+
+using namespace llmp;
+
+void run_tables() {
+  std::cout << "E11 — appendix preprocessing machinery\n";
+
+  std::cout << "\n(a) unary->binary conversion tables\n";
+  {
+    fmt::Table t({"width w", "direct cells", "direct build ms",
+                  "DeBruijn cells", "DeBruijn build ms", "lookups agree"});
+    for (int w : {8, 16, 20, 24}) {
+      double direct_ms = 0, db_ms = 0;
+      std::size_t direct_cells = 0, db_cells = 0;
+      bool agree = true;
+      direct_ms = bench::wall_ms([&] {
+        bits::UnaryToBinaryTable direct(
+            w, bits::UnaryToBinaryTable::Layout::kDirect);
+        direct_cells = direct.cells();
+      });
+      db_ms = bench::wall_ms([&] {
+        bits::UnaryToBinaryTable db(
+            w, bits::UnaryToBinaryTable::Layout::kDeBruijn);
+        db_cells = db.cells();
+      });
+      bits::UnaryToBinaryTable direct(
+          w, bits::UnaryToBinaryTable::Layout::kDirect);
+      bits::UnaryToBinaryTable db(
+          w, bits::UnaryToBinaryTable::Layout::kDeBruijn);
+      for (int k = 0; k < w; ++k)
+        agree &= direct.convert(1ULL << k) == db.convert(1ULL << k);
+      t.add_row({fmt::num(w), fmt::num(direct_cells),
+                 fmt::num(direct_ms, 3), fmt::num(db_cells),
+                 fmt::num(db_ms, 3), agree ? "yes" : "NO"});
+    }
+    t.print();
+  }
+
+  std::cout << "\n(b) bit-reversal tables\n";
+  {
+    fmt::Table t({"width", "cells", "build ms"});
+    for (int w : {8, 12, 16, 20}) {
+      std::size_t cells = 0;
+      const double ms = bench::wall_ms([&] {
+        bits::BitReversalTable rev(w);
+        cells = rev.cells();
+      });
+      t.add_row({fmt::num(w), fmt::num(cells), fmt::num(ms, 3)});
+    }
+    t.print();
+  }
+
+  std::cout << "\n(c) appendix evaluation procedures vs native\n";
+  {
+    fmt::Table t({"n", "log n (appendix)", "log n (native)",
+                  "G(n) (appendix)", "G(n)", "log G(n)"});
+    for (std::uint64_t n : {100ULL, 4095ULL, 1ULL << 14, (1ULL << 14) + 1}) {
+      t.add_row({fmt::num(n),
+                 fmt::num(itlog::floor_log2_appendix(n, 15)),
+                 fmt::num(itlog::floor_log2(n)),
+                 fmt::num(itlog::G_appendix(n)), fmt::num(itlog::G(n)),
+                 fmt::num(itlog::log_G(n))});
+    }
+    t.print();
+  }
+
+  std::cout << "\n(c') parallel G(n)/log G(n) evaluation: the appendix's "
+               "powers-of-two linked list\n     + pointer jumping, "
+               "O(log G(n)) steps with n processors\n";
+  {
+    fmt::Table t({"n", "G (parallel)", "G (exact)", "logG (parallel)",
+                  "logG (exact)", "jump steps (depth)"});
+    for (std::uint64_t n : {16ULL, 1000ULL, 1ULL << 16, 1ULL << 22}) {
+      pram::SeqExec exec(static_cast<std::size_t>(n));
+      const auto r = core::eval_G_parallel(exec, n);
+      t.add_row({fmt::num(n), fmt::num(r.G), fmt::num(itlog::G(n)),
+                 fmt::num(r.log_G), fmt::num(itlog::log_G(n)),
+                 fmt::num(r.cost.depth)});
+    }
+    t.print();
+  }
+
+  std::cout << "\n(d) matching-partition lookup tables (Match3/4 step 4)\n";
+  {
+    fmt::Table t({"component bits b", "tuple width", "cells 2^(b*w)",
+                  "build ms", "final bound", "verify depth (steps)"});
+    struct Cfg {
+      int b, w;
+    };
+    for (Cfg cfg : {Cfg{3, 2}, Cfg{3, 4}, Cfg{4, 4}, Cfg{3, 8}, Cfg{4, 6}}) {
+      double ms = 0;
+      std::unique_ptr<core::MatchingLookupTable> table;
+      ms = bench::wall_ms([&] {
+        table = std::make_unique<core::MatchingLookupTable>(
+            cfg.b, cfg.w, core::BitRule::kMostSignificant);
+      });
+      pram::SeqExec exec(1024);
+      core::verify_pyramid(exec, *table, 0);
+      t.add_row({fmt::num(cfg.b), fmt::num(cfg.w), fmt::num(table->cells()),
+                 fmt::num(ms, 2),
+                 fmt::num(static_cast<std::uint64_t>(table->final_bound())),
+                 fmt::num(exec.stats().depth)});
+    }
+    t.print();
+    std::cout << "\nThe verify column is the appendix's guess-and-verify "
+                 "audit: one parallel check\nstep plus a ceil(log2 "
+                 "w(w+1)/2)-deep AND tree — constant in n.\n";
+  }
+}
+
+void BM_TableBuild_3x4(benchmark::State& state) {
+  for (auto _ : state) {
+    core::MatchingLookupTable table(3, 4, core::BitRule::kMostSignificant);
+    benchmark::DoNotOptimize(table.cells());
+  }
+}
+BENCHMARK(BM_TableBuild_3x4)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  run_tables();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

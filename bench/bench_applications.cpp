@@ -1,0 +1,150 @@
+// E12 (§1 claim): the matching machinery drives a maximal independent
+// set, a 3-coloring, and deterministic list ranking. Reports each
+// application's PRAM cost against its driver's, plus the deterministic
+// contraction ranking vs the Wyllie pointer-jumping baseline (O(n) vs
+// O(n log n) work) and vs the randomized matching baseline.
+#include <benchmark/benchmark.h>
+
+#include "apps/euler_tour.h"
+#include "apps/independent_set.h"
+#include "apps/list_prefix.h"
+#include "apps/list_ranking.h"
+#include "apps/three_coloring.h"
+#include "bench_common.h"
+#include "core/random_match.h"
+#include "core/verify.h"
+
+namespace {
+
+using namespace llmp;
+
+void run_tables() {
+  std::cout << "E12 — applications: 3-coloring, MIS, list ranking\n";
+
+  std::cout << "\n(a) coloring & MIS cost over n (p = 256)\n";
+  {
+    fmt::Table t({"n", "3-coloring time_p", "coloring rounds",
+                  "MIS time_p", "MIS size / n"});
+    for (int e = 12; e <= 20; e += 2) {
+      const std::size_t n = std::size_t{1} << e;
+      const auto lst = list::generators::random_list(n, e * 3);
+      pram::SeqExec ec(256), em(256);
+      const auto col = apps::three_coloring(ec, lst);
+      apps::check_coloring(lst, col.colors, 3);
+      const auto mis = apps::independent_set(em, lst);
+      apps::check_independent_set(lst, mis.in_set);
+      t.add_row({bench::pow2(n), fmt::num(col.cost.time_p),
+                 fmt::num(col.reduce_rounds), fmt::num(mis.cost.time_p),
+                 fmt::num(static_cast<double>(mis.size) / n, 3)});
+    }
+    t.print();
+  }
+
+  std::cout << "\n(b) list ranking: contraction (deterministic, via Match4)"
+               " vs Wyllie (p = 1024)\n";
+  {
+    fmt::Table t({"n", "contraction work/n", "Wyllie work/n",
+                  "contraction rounds", "contraction time_p",
+                  "Wyllie time_p"});
+    for (int e = 12; e <= 20; e += 2) {
+      const std::size_t n = std::size_t{1} << e;
+      const auto lst = list::generators::random_list(n, e * 5);
+      const auto oracle = apps::sequential_ranking(lst);
+      pram::SeqExec ec(1024), ew(1024);
+      const auto c = apps::contraction_ranking(ec, lst);
+      const auto w = apps::wyllie_ranking(ew, lst);
+      LLMP_CHECK(c.rank == oracle && w.rank == oracle);
+      t.add_row({bench::pow2(n),
+                 fmt::num(static_cast<double>(c.cost.work) / n, 1),
+                 fmt::num(static_cast<double>(w.cost.work) / n, 1),
+                 fmt::num(c.rounds), fmt::num(c.cost.time_p),
+                 fmt::num(w.cost.time_p)});
+    }
+    t.print();
+    std::cout << "\nThe shape claim is in the work/n columns: Wyllie's "
+                 "grows as ~2*log2 n (it doubles\nevery size step) while "
+                 "contraction's is flat — O(n) total work. The flat "
+                 "constant is\nlarge (~3x the per-round matching cost, "
+                 "summed over the 2/3-geometric series), so\nthe absolute "
+                 "crossover sits beyond feasible n; the asymptotic gap "
+                 "shows as the\ntrend, not the intercept.\n";
+  }
+
+  std::cout << "\n(b') generic list prefix (the paper's target problem "
+               "family) and Euler-tour\n     tree statistics, p = 1024\n";
+  {
+    fmt::Table t({"n", "prefix-sum time_p", "prefix rounds",
+                  "tree-stats time_p (random tree)", "tree rounds"});
+    for (int e = 12; e <= 18; e += 3) {
+      const std::size_t n = std::size_t{1} << e;
+      const auto lst = list::generators::random_list(n, e);
+      std::vector<std::uint64_t> vals(n, 3);
+      pram::SeqExec ep(1024), et(1024);
+      const auto pr = apps::list_prefix<apps::SumMonoid>(ep, lst, vals);
+      LLMP_CHECK(pr.prefix ==
+                 apps::sequential_prefix<apps::SumMonoid>(lst, vals));
+      const auto tree = apps::random_tree(n, e * 7);
+      const auto ts = apps::tree_statistics(et, tree);
+      t.add_row({bench::pow2(n), fmt::num(pr.cost.time_p),
+                 fmt::num(pr.rounds), fmt::num(ts.cost.time_p),
+                 fmt::num(ts.prefix_rounds)});
+    }
+    t.print();
+  }
+
+  std::cout << "\n(c) deterministic vs randomized symmetry breaking "
+               "(n = 2^18, p = 4096)\n";
+  {
+    const std::size_t n = std::size_t{1} << 18;
+    fmt::Table t({"seed", "randomized rounds", "randomized time_p",
+                  "Match4 time_p (deterministic)"});
+    const auto lst = list::generators::random_list(n, 555);
+    pram::SeqExec e4(4096);
+    core::Match4Options m4;
+    const auto det = core::match4(e4, lst, m4);
+    for (std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+      pram::SeqExec er(4096);
+      const auto r = core::random_matching(er, lst, {seed});
+      core::verify::check_maximal(lst, r.in_matching);
+      t.add_row({fmt::num(seed), fmt::num(r.relabel_rounds),
+                 fmt::num(r.cost.time_p), fmt::num(det.cost.time_p)});
+    }
+    t.print();
+    std::cout << "\nThe randomized baseline needs Θ(log n) rounds in "
+                 "expectation; the deterministic\nschedule is a fixed "
+                 "constant-round pipeline — the paper's raison d'être.\n";
+  }
+}
+
+void BM_ContractionRanking(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto lst = list::generators::random_list(n, 10);
+  for (auto _ : state) {
+    pram::SeqExec exec(64);
+    auto r = apps::contraction_ranking(exec, lst);
+    benchmark::DoNotOptimize(r.rank.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_ContractionRanking)->Arg(1 << 16)->Unit(benchmark::kMillisecond);
+
+void BM_WyllieRanking(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto lst = list::generators::random_list(n, 10);
+  for (auto _ : state) {
+    pram::SeqExec exec(64);
+    auto r = apps::wyllie_ranking(exec, lst);
+    benchmark::DoNotOptimize(r.rank.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_WyllieRanking)->Arg(1 << 16)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  run_tables();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

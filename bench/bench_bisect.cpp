@@ -1,0 +1,89 @@
+// E1 (Fig. 1 / Fig. 2): the bisecting-line observation.
+//
+// For each level k, the forward pointers whose distinguishing bit is k
+// cross one of the 2^(w-1-k) bisecting lines at that level; the paper's
+// observation is that the pointers crossing a given line in one direction
+// have pairwise disjoint heads and tails. This bench counts pointers per
+// f-value (line level × direction) on several list shapes and verifies the
+// disjointness, reproducing the intuition behind Lemma 1: at most
+// 2·ceil(log2 n) distinct f values.
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <set>
+
+#include "bench_common.h"
+#include "core/partition_fn.h"
+#include "support/check.h"
+
+namespace {
+
+using namespace llmp;
+
+void crossing_histogram(const list::LinkedList& lst, const char* shape) {
+  const std::size_t n = lst.size();
+  std::map<label_t, std::size_t> histo;
+  std::map<label_t, std::set<index_t>> endpoints;
+  bool disjoint = true;
+  for (index_t v = 0; v < n; ++v) {
+    const index_t s = lst.next(v);
+    if (s == knil) continue;
+    const label_t f =
+        core::partition_value(v, s, core::BitRule::kMostSignificant);
+    ++histo[f];
+    disjoint &= endpoints[f].insert(v).second;
+    disjoint &= endpoints[f].insert(s).second;
+  }
+  LLMP_CHECK_MSG(disjoint, "Fig. 2 disjointness violated");
+
+  // f = 2k + a_k: forward pointers (b > a) have b_k = 1, i.e. a_k = 0, so
+  // even f values are forward and odd ones backward.
+  fmt::Table t({"k (bit)", "fwd pointers (f=2k)", "bwd pointers (f=2k+1)"});
+  for (int k = 0; k < 64; ++k) {
+    const label_t fwd_key = 2 * static_cast<label_t>(k);
+    const label_t bwd_key = fwd_key + 1;
+    if (!histo.count(fwd_key) && !histo.count(bwd_key)) continue;
+    t.add_row(
+        {fmt::num(k), fmt::num(histo[fwd_key]), fmt::num(histo[bwd_key])});
+  }
+  std::cout << "\n[E1] shape=" << shape << " n=" << n
+            << "  distinct f values=" << histo.size()
+            << "  bound 2*ceil(log2 n)=" << 2 * itlog::ceil_log2(n)
+            << "  (disjoint heads/tails per value: yes)\n";
+  t.print();
+}
+
+void run_tables() {
+  std::cout << "E1 — bisecting-line crossing histograms (Fig. 1/Fig. 2)\n";
+  for (std::size_t n : {std::size_t{1} << 12, std::size_t{1} << 18}) {
+    crossing_histogram(list::generators::random_list(n, 1), "random");
+    crossing_histogram(list::generators::identity_list(n), "identity");
+    crossing_histogram(list::generators::reverse_list(n), "reverse");
+  }
+}
+
+void BM_PartitionValue(benchmark::State& state) {
+  const std::size_t n = 1 << 20;
+  auto lst = list::generators::random_list(n, 3);
+  const auto& next = lst.next_array();
+  for (auto _ : state) {
+    std::uint64_t acc = 0;
+    for (index_t v = 0; v < n; ++v) {
+      const index_t s = next[v];
+      if (s == knil) continue;
+      acc += core::partition_value(v, s, core::BitRule::kMostSignificant);
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_PartitionValue)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  run_tables();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Shared helpers for the experiment harness. Every bench binary prints
+// aligned tables of *measured* quantities (PRAM steps/time_p/work from the
+// cost model; set counts; schedule lengths) next to the paper's *formula*
+// with a fitted constant, so the shape claim — who wins, by what factor,
+// where the knees fall — is directly checkable. See EXPERIMENTS.md.
+//
+// Wall-clock columns, where present, come from google-benchmark sections;
+// on this 1-core host they track the cost model's `work`, not `time_p`
+// (PRAM speedup is a model quantity here — stated in every header).
+#pragma once
+
+#include <chrono>
+#include <cmath>
+#include <string>
+
+#include "list/generators.h"
+#include "pram/executor.h"
+#include "support/format.h"
+#include "support/itlog.h"
+
+namespace llmp::bench {
+
+/// Measured/formula ratio rendered with the measurement, e.g. "4128 (1.01·f)".
+inline std::string vs_formula(std::uint64_t measured, double formula) {
+  if (formula <= 0) return fmt::num(measured);
+  return fmt::num(measured) + " (" + fmt::num(measured / formula, 2) + "x)";
+}
+
+/// Wall-clock of one callable, in milliseconds.
+template <class F>
+double wall_ms(F&& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+inline std::string pow2(std::size_t n) {
+  return "2^" + std::to_string(itlog::floor_log2(n));
+}
+
+}  // namespace llmp::bench

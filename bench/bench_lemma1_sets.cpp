@@ -1,0 +1,74 @@
+// E2 (Lemma 1): one application of f partitions the n pointers of a linked
+// list into at most 2·ceil(log2 n) matching sets. Sweep n and list shapes,
+// report measured distinct-set counts next to the bound, for both bit
+// rules.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "core/partition_fn.h"
+
+namespace {
+
+using namespace llmp;
+
+std::size_t sets_after_one_round(const list::LinkedList& lst,
+                                 core::BitRule rule) {
+  pram::SeqExec exec(64);
+  std::vector<label_t> labels, out(lst.size());
+  core::init_address_labels(exec, lst.size(), labels);
+  core::relabel(exec, lst, labels, out, rule);
+  return core::distinct_labels(out);
+}
+
+void run_tables() {
+  std::cout << "E2 — Lemma 1: distinct matching sets after one f\n\n";
+  fmt::Table t({"n", "bound 2*log n", "random MSB", "random LSB",
+                "identity MSB", "reverse MSB", "strided MSB"});
+  for (int e = 8; e <= 22; e += 2) {
+    const std::size_t n = std::size_t{1} << e;
+    const auto rnd = list::generators::random_list(n, 7 * e);
+    const auto idn = list::generators::identity_list(n);
+    const auto rev = list::generators::reverse_list(n);
+    const auto str = list::generators::strided_list(n, 1048573);  // odd: ok
+    t.add_row({bench::pow2(n), fmt::num(2 * itlog::ceil_log2(n)),
+               fmt::num(sets_after_one_round(rnd,
+                                             core::BitRule::kMostSignificant)),
+               fmt::num(sets_after_one_round(
+                   rnd, core::BitRule::kLeastSignificant)),
+               fmt::num(sets_after_one_round(idn,
+                                             core::BitRule::kMostSignificant)),
+               fmt::num(sets_after_one_round(rev,
+                                             core::BitRule::kMostSignificant)),
+               fmt::num(sets_after_one_round(
+                   str, core::BitRule::kMostSignificant))});
+  }
+  t.print();
+  std::cout << "\nEvery column must stay <= the bound; identity lists use "
+               "the fewest sets\n(only forward pointers of span 1), random "
+               "lists nearly saturate it.\n";
+}
+
+void BM_OneRelabelRound(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto lst = list::generators::random_list(n, 5);
+  pram::SeqExec exec(64);
+  std::vector<label_t> labels, out(n);
+  core::init_address_labels(exec, n, labels);
+  for (auto _ : state) {
+    core::relabel(exec, lst, labels, out,
+                  core::BitRule::kMostSignificant);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_OneRelabelRound)->Arg(1 << 16)->Arg(1 << 20)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  run_tables();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

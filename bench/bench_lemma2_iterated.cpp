@@ -1,0 +1,71 @@
+// E3 (Lemma 2): f^(k) partitions the pointers into 2·log^(k−1) n·(1+o(1))
+// matching sets. Sweep the iteration count k at several n; report the
+// measured distinct-set count, the running bound, and the paper's closed
+// form, until the fixed-point alphabet (6 labels) is reached — after
+// ~G(n) rounds (also reported).
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "core/gather.h"
+#include "core/partition_fn.h"
+
+namespace {
+
+using namespace llmp;
+
+void sweep_for_n(std::size_t n) {
+  const auto lst = list::generators::random_list(n, n ^ 0x5a5a);
+  pram::SeqExec exec(64);
+  std::vector<label_t> labels, tmp(n);
+  core::init_address_labels(exec, n, labels);
+
+  std::cout << "\n[E3] n=" << bench::pow2(n) << "  G(n)=" << itlog::G(n)
+            << "  rounds to fixed point="
+            << core::rounds_to_constant(n) << "\n";
+  fmt::Table t({"k (rounds)", "measured sets", "bound B_k",
+                "2*log^(k) n (paper)"});
+  label_t bound = n;
+  for (int k = 1; bound > core::kFixedPointBound; ++k) {
+    core::relabel(exec, lst, labels, tmp, core::BitRule::kMostSignificant);
+    labels.swap(tmp);
+    bound = core::partition_bound_after(bound);
+    const double formula = 2 * itlog::ilog_real(k, static_cast<double>(n));
+    t.add_row({fmt::num(k), fmt::num(core::distinct_labels(labels)),
+               fmt::num(static_cast<std::uint64_t>(bound)),
+               formula > 0 ? fmt::num(formula, 2) : std::string("<1")});
+  }
+  t.print();
+}
+
+void run_tables() {
+  std::cout << "E3 — Lemma 2: iterated matching partition set counts\n";
+  for (int e : {12, 16, 20, 22}) sweep_for_n(std::size_t{1} << e);
+  std::cout << "\nMeasured sets track 2*log^(k) n (the paper indexes the "
+               "same quantity as\n2*log^(k-1) n for f^(k) = k-1 rounds) and "
+               "collapse to <= 6 after ~G(n) rounds.\n";
+}
+
+void BM_ReduceToConstant(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto lst = list::generators::random_list(n, 11);
+  for (auto _ : state) {
+    pram::SeqExec exec(64);
+    std::vector<label_t> labels;
+    core::init_address_labels(exec, n, labels);
+    core::reduce_to_constant(exec, lst, labels,
+                             core::BitRule::kMostSignificant);
+    benchmark::DoNotOptimize(labels.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_ReduceToConstant)->Arg(1 << 16)->Arg(1 << 20)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  run_tables();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,90 @@
+// E4 (Lemma 3 / Match1): time O(n·G(n)/p + G(n)).
+//
+// Sweep n at fixed p and p at fixed n; report the cost model's time_p next
+// to the formula c·(n·G(n)/p + G(n)) with c fitted on the first row. The
+// shape claims: time scales ~linearly in n, scales ~1/p until p ≈ n, and
+// the relabel phase dominates with a G(n) multiplier — i.e. Match1 is a
+// factor Θ(G(n)) off optimal, which is exactly why Match2/Match4 exist.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "core/match1.h"
+#include "core/sequential.h"
+#include "core/verify.h"
+
+namespace {
+
+using namespace llmp;
+
+std::uint64_t run_match1(std::size_t n, std::size_t p) {
+  const auto lst = list::generators::random_list(n, n + p);
+  pram::SeqExec exec(p);
+  const auto r = core::match1(exec, lst);
+  core::verify::check_maximal(lst, r.in_matching);
+  return r.cost.time_p;
+}
+
+double formula(std::size_t n, std::size_t p) {
+  const double g = itlog::G(n);
+  return static_cast<double>(n) * g / static_cast<double>(p) + g;
+}
+
+void run_tables() {
+  std::cout << "E4 — Match1: time_p vs O(n*G(n)/p + G(n))\n";
+
+  std::cout << "\n(a) n sweep at p = 256\n";
+  {
+    fmt::Table t({"n", "G(n)", "time_p", "formula fit"});
+    double c = 0;
+    for (int e = 12; e <= 22; e += 2) {
+      const std::size_t n = std::size_t{1} << e;
+      const std::uint64_t tp = run_match1(n, 256);
+      if (c == 0) c = static_cast<double>(tp) / formula(n, 256);
+      t.add_row({bench::pow2(n), fmt::num(itlog::G(n)), fmt::num(tp),
+                 bench::vs_formula(tp, c * formula(n, 256))});
+    }
+    t.print();
+  }
+
+  std::cout << "\n(b) p sweep at n = 2^20 (speedup should be ~p until "
+               "p ~ n)\n";
+  {
+    fmt::Table t({"p", "time_p", "speedup vs p=1", "efficiency p*T/T1"});
+    const std::size_t n = std::size_t{1} << 20;
+    const std::uint64_t t1 = run_match1(n, 1);
+    const double seq = static_cast<double>(
+        core::sequential_matching(list::generators::random_list(n, 1))
+            .cost.time_p);
+    for (std::size_t p = 1; p <= (std::size_t{1} << 22); p <<= 4) {
+      const std::uint64_t tp = run_match1(n, p);
+      t.add_row({fmt::num(p), fmt::num(tp),
+                 fmt::num(static_cast<double>(t1) / tp, 1),
+                 fmt::num(static_cast<double>(p) * tp / seq, 1)});
+    }
+    t.print();
+    std::cout << "\nEfficiency (p*T/T1) sits near G(n)+const for all p — "
+                 "Match1 is never optimal,\nmatching Lemma 3's discussion.\n";
+  }
+}
+
+void BM_Match1(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto lst = list::generators::random_list(n, 3);
+  for (auto _ : state) {
+    pram::SeqExec exec(64);
+    auto r = core::match1(exec, lst);
+    benchmark::DoNotOptimize(r.edges);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_Match1)->Arg(1 << 16)->Arg(1 << 20)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  run_tables();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

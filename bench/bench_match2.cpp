@@ -1,0 +1,84 @@
+// E5 (Lemma 4 / Match2): time O(n/p + log n), and the phase breakdown
+// showing the global sort dominating as p grows — the inefficiency §3
+// opens with ("we show that this global sorting scheme is inefficient")
+// and that Match4 removes (see bench_ablation_sched for the head-to-head).
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "core/match2.h"
+#include "core/verify.h"
+
+namespace {
+
+using namespace llmp;
+
+core::MatchResult run_match2(std::size_t n, std::size_t p) {
+  const auto lst = list::generators::random_list(n, n * 3 + p);
+  pram::SeqExec exec(p);
+  auto r = core::match2(exec, lst);
+  core::verify::check_maximal(lst, r.in_matching);
+  return r;
+}
+
+void run_tables() {
+  std::cout << "E5 — Match2: time_p vs O(n/p + log n), phase breakdown\n";
+
+  std::cout << "\n(a) n sweep at p = 256\n";
+  {
+    fmt::Table t({"n", "sets R", "time_p", "formula fit c*(n/p + log n)"});
+    double c = 0;
+    for (int e = 12; e <= 22; e += 2) {
+      const std::size_t n = std::size_t{1} << e;
+      const auto r = run_match2(n, 256);
+      const double f = static_cast<double>(n) / 256 + itlog::ceil_log2(n);
+      if (c == 0) c = static_cast<double>(r.cost.time_p) / f;
+      t.add_row({bench::pow2(n), fmt::num(r.partition_sets),
+                 fmt::num(r.cost.time_p),
+                 bench::vs_formula(r.cost.time_p, c * f)});
+    }
+    t.print();
+  }
+
+  std::cout << "\n(b) phase breakdown, n = 2^20: the sort term stops "
+               "scaling once p is large\n";
+  {
+    fmt::Table t({"p", "partition", "sort", "sweep", "total time_p",
+                  "sort share"});
+    const std::size_t n = std::size_t{1} << 20;
+    for (std::size_t p = 64; p <= (std::size_t{1} << 20); p <<= 4) {
+      const auto r = run_match2(n, p);
+      const auto part = pram::phase_cost(r.phases, "partition").time_p;
+      const auto sort = pram::phase_cost(r.phases, "sort").time_p;
+      const auto sweep = pram::phase_cost(r.phases, "sweep").time_p;
+      t.add_row({fmt::num(p), fmt::num(part), fmt::num(sort),
+                 fmt::num(sweep), fmt::num(r.cost.time_p),
+                 fmt::num(100.0 * sort / r.cost.time_p, 1) + "%"});
+    }
+    t.print();
+    std::cout << "\nOptimality ceiling: with T1 = n, p*T stays O(n) only "
+                 "while p <= n/log n —\nbeyond that the sort's additive "
+                 "log-terms dominate (the paper's motivation for §3).\n";
+  }
+}
+
+void BM_Match2(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto lst = list::generators::random_list(n, 4);
+  for (auto _ : state) {
+    pram::SeqExec exec(64);
+    auto r = core::match2(exec, lst);
+    benchmark::DoNotOptimize(r.edges);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_Match2)->Arg(1 << 16)->Arg(1 << 20)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  run_tables();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

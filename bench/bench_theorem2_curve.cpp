@@ -1,0 +1,120 @@
+// E10 (Theorem 2): the full curve O(n·log i/p + log^(i) n + log i) for
+// constructible i, and the crossovers between all four algorithms.
+//
+//  (a) Match4's time as a function of i at several p: for small p the
+//      n·log i/p term favors small i; at huge p the additive log^(i) n
+//      favors larger i — the adjustable-parameter trade-off the title's
+//      "optimization" refers to.
+//  (b) head-to-head time_p of Match1/2/3/4 over p: who wins where.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "core/maximal_matching.h"
+#include "core/verify.h"
+
+namespace {
+
+using namespace llmp;
+
+std::uint64_t time_of(core::Algorithm alg, const list::LinkedList& lst,
+                      std::size_t p, int i, bool table_partition) {
+  pram::SeqExec exec(p);
+  core::MatchOptions opt;
+  opt.algorithm = alg;
+  opt.i_parameter = i;
+  opt.partition_with_table = table_partition;
+  const auto r = core::maximal_matching(exec, lst, opt);
+  core::verify::check_maximal(lst, r.in_matching);
+  return r.cost.time_p;
+}
+
+void run_tables() {
+  const std::size_t n = std::size_t{1} << 20;
+  const auto lst = list::generators::random_list(n, 23);
+
+  std::cout << "E10 — Theorem 2: time_p curve over (p, i), n = "
+            << bench::pow2(n) << "\n";
+
+  std::cout << "\n(a) Match4 time_p over i (iterative partition vs Lemma-5 "
+               "table partition)\n";
+  for (std::size_t p : {std::size_t{256}, std::size_t{1} << 14,
+                        std::size_t{1} << 18}) {
+    std::cout << "  p = " << p << "\n";
+    fmt::Table t({"i", "x = rows", "time_p (iterative)", "time_p (table)",
+                  "curve c*(n*log i/p + x + log i)"});
+    double c = 0;
+    for (int i = 1; i <= 6; ++i) {
+      const label_t x = core::bound_after_rounds(n, i);
+      const std::uint64_t ti =
+          time_of(core::Algorithm::kMatch4, lst, p, i, false);
+      const std::uint64_t tt =
+          time_of(core::Algorithm::kMatch4, lst, p, i, true);
+      const double logi = std::max(1.0, std::log2(static_cast<double>(i)));
+      const double curve = static_cast<double>(n) * logi / p +
+                           static_cast<double>(x) + logi;
+      if (c == 0) c = static_cast<double>(tt) / curve;
+      t.add_row({fmt::num(i), fmt::num(static_cast<std::uint64_t>(x)),
+                 fmt::num(ti), fmt::num(tt),
+                 bench::vs_formula(tt, c * curve)});
+    }
+    t.print();
+  }
+
+  std::cout << "\n(b) crossover table: time_p of every algorithm over p\n";
+  {
+    fmt::Table t({"p", "Match1", "Match2", "Match3", "Match4(i=3)",
+                  "winner"});
+    for (std::size_t p = 16; p <= (std::size_t{1} << 20); p <<= 3) {
+      const std::uint64_t m1 =
+          time_of(core::Algorithm::kMatch1, lst, p, 3, false);
+      const std::uint64_t m2 =
+          time_of(core::Algorithm::kMatch2, lst, p, 3, false);
+      const std::uint64_t m3 =
+          time_of(core::Algorithm::kMatch3, lst, p, 3, false);
+      const std::uint64_t m4 =
+          time_of(core::Algorithm::kMatch4, lst, p, 3, true);
+      const std::uint64_t best = std::min({m1, m2, m3, m4});
+      std::string winner = best == m4   ? "Match4"
+                           : best == m3 ? "Match3"
+                           : best == m2 ? "Match2"
+                                        : "Match1";
+      t.add_row({fmt::num(p), fmt::num(m1), fmt::num(m2), fmt::num(m3),
+                 fmt::num(m4), winner});
+    }
+    t.print();
+    std::cout
+        << "\nShape: while n/p dominates (small p), the ranking is pure "
+           "constant factors in the\nmultiplicative term (Match2's lean "
+           "3-phase pipeline wins). As p grows, additive\nterms take over: "
+           "Match2 pays its global sort's R + log(R*p) and falls behind "
+           "Match4\n— the paper's headline separation. Match1/Match3 also "
+           "look strong at extreme p\nbecause their asymptotic penalty is "
+           "G(n), and G(2^20) = 5: the G(n)-vs-log^(i) n\nseparation is "
+           "unbounded only far beyond feasible n (see EXPERIMENTS.md); the "
+           "claims\nthat CAN materialize at this scale — Match4 > Match2 "
+           "at high p, and Theorem 1's\noptimality window (E9) — do.\n";
+  }
+}
+
+void BM_Match4Table(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto lst = list::generators::random_list(n, 9);
+  for (auto _ : state) {
+    pram::SeqExec exec(64);
+    core::Match4Options opt;
+    opt.partition_with_table = true;
+    auto r = core::match4(exec, lst, opt);
+    benchmark::DoNotOptimize(r.edges);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_Match4Table)->Arg(1 << 18)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  run_tables();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Scenario: deterministic list ranking — the workload that motivated the
+// maximal-matching machinery (the paper's references [1,7]). A linked
+// list scattered through an array must learn each node's position without
+// any global order information; matching-contraction does it with O(n)
+// work, against Wyllie's O(n log n) pointer jumping.
+//
+//   ./example_list_ranking_demo [n]
+#include <cstdlib>
+#include <iostream>
+
+#include "apps/list_ranking.h"
+#include "list/generators.h"
+#include "pram/executor.h"
+#include "support/format.h"
+
+int main(int argc, char** argv) {
+  using namespace llmp;
+  const std::size_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10)
+                                 : (std::size_t{1} << 18);
+  const std::size_t p = 4096;
+  const auto lst = list::generators::random_list(n, 7);
+  const auto oracle = apps::sequential_ranking(lst);
+
+  std::cout << "ranking a random " << n << "-node list, p = " << p << "\n\n";
+  fmt::Table t({"algorithm", "rounds", "depth", "time_p", "work",
+                "correct"});
+
+  pram::SeqExec ew(p);
+  const auto wy = apps::wyllie_ranking(ew, lst);
+  t.add_row({"Wyllie pointer jumping", fmt::num(wy.rounds),
+             fmt::num(wy.cost.depth), fmt::num(wy.cost.time_p),
+             fmt::num(wy.cost.work), wy.rank == oracle ? "yes" : "NO"});
+
+  for (auto alg : {core::Algorithm::kMatch1, core::Algorithm::kMatch4}) {
+    pram::SeqExec ec(p);
+    apps::ContractionOptions opt;
+    opt.matcher = alg;
+    const auto ct = apps::contraction_ranking(ec, lst, opt);
+    t.add_row({"contraction via " + core::to_string(alg),
+               fmt::num(ct.rounds), fmt::num(ct.cost.depth),
+               fmt::num(ct.cost.time_p), fmt::num(ct.cost.work),
+               ct.rank == oracle ? "yes" : "NO"});
+  }
+  t.print();
+
+  std::cout << "\nWyllie's per-node work grows as ~2*log2(n) = "
+            << fmt::num(2 * itlog::ceil_log2(n))
+            << "; contraction's is a flat (if chunky)\nconstant — O(n) "
+               "total work. Each contraction round shrinks the list by "
+               ">= 1/3\n(one-of-three maximality), so rounds ~ "
+               "log_{1.5} n.\n";
+  return 0;
+}

@@ -1,0 +1,222 @@
+// Command-line driver: run any algorithm on any workload from a shell,
+// with human-readable or JSON output for scripting sweeps.
+//
+//   llmp_cli match --alg match4 --n 1048576 --p 4096 --shape random --i 3
+//   llmp_cli match --alg match2 --n 65536 --erew --json
+//   llmp_cli rank  --n 100000 --p 1024
+//   llmp_cli color --n 4096 --shape strided
+//   llmp_cli tree  --n 65536 --seed 7
+//
+// (Built as example_llmp_cli.)
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "apps/euler_tour.h"
+#include "apps/independent_set.h"
+#include "apps/list_ranking.h"
+#include "apps/three_coloring.h"
+#include "core/maximal_matching.h"
+#include "core/verify.h"
+#include "list/generators.h"
+#include "pram/executor.h"
+#include "support/format.h"
+
+namespace {
+
+using namespace llmp;
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> kv;
+  bool flag(const std::string& name) const { return kv.count("--" + name); }
+  std::string str(const std::string& name, const std::string& dflt) const {
+    auto it = kv.find("--" + name);
+    return it == kv.end() ? dflt : it->second;
+  }
+  std::uint64_t num(const std::string& name, std::uint64_t dflt) const {
+    auto it = kv.find("--" + name);
+    return it == kv.end() ? dflt : std::strtoull(it->second.c_str(),
+                                                 nullptr, 10);
+  }
+};
+
+Args parse(int argc, char** argv) {
+  Args a;
+  if (argc >= 2) a.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string token = argv[i];
+    if (token.rfind("--", 0) != 0) continue;
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      a.kv[token] = argv[i + 1];
+      ++i;
+    } else {
+      a.kv[token] = "1";
+    }
+  }
+  return a;
+}
+
+list::LinkedList make_list(const Args& a) {
+  const std::size_t n = a.num("n", 1 << 16);
+  const std::uint64_t seed = a.num("seed", 42);
+  const std::string shape = a.str("shape", "random");
+  if (shape == "identity") return list::generators::identity_list(n);
+  if (shape == "reverse") return list::generators::reverse_list(n);
+  if (shape == "strided")
+    return list::generators::strided_list(n, a.num("stride", 1048573));
+  if (shape == "blocked")
+    return list::generators::blocked_list(n, a.num("block", 64), seed);
+  return list::generators::random_list(n, seed);
+}
+
+core::Algorithm parse_alg(const std::string& s) {
+  if (s == "seq" || s == "sequential") return core::Algorithm::kSequential;
+  if (s == "match1") return core::Algorithm::kMatch1;
+  if (s == "match2") return core::Algorithm::kMatch2;
+  if (s == "match3") return core::Algorithm::kMatch3;
+  if (s == "random" || s == "randomized")
+    return core::Algorithm::kRandomized;
+  return core::Algorithm::kMatch4;
+}
+
+void emit(const Args& a, const std::string& what,
+          const std::vector<std::pair<std::string, std::string>>& fields) {
+  if (a.flag("json")) {
+    std::cout << "{\"kind\":\"" << what << "\"";
+    for (const auto& [k, v] : fields) {
+      const bool numeric =
+          !v.empty() && v.find_first_not_of("0123456789.") == std::string::npos;
+      std::cout << ",\"" << k << "\":" << (numeric ? v : "\"" + v + "\"");
+    }
+    std::cout << "}\n";
+    return;
+  }
+  fmt::Table t({"field", "value"});
+  for (const auto& [k, v] : fields) t.add_row({k, v});
+  t.print();
+}
+
+int cmd_match(const Args& a) {
+  const auto lst = make_list(a);
+  pram::SeqExec exec(static_cast<std::size_t>(a.num("p", 1024)));
+  core::MatchOptions opt;
+  opt.algorithm = parse_alg(a.str("alg", "match4"));
+  opt.i_parameter = static_cast<int>(a.num("i", 3));
+  opt.partition_with_table = a.flag("table");
+  opt.seed = a.num("seed", 42);
+  core::MatchResult r;
+  if (a.flag("erew")) {
+    switch (opt.algorithm) {
+      case core::Algorithm::kMatch1: {
+        core::Match1Options o;
+        o.erew = true;
+        r = core::match1(exec, lst, o);
+        break;
+      }
+      case core::Algorithm::kMatch2: {
+        core::Match2Options o;
+        o.erew = true;
+        r = core::match2(exec, lst, o);
+        break;
+      }
+      case core::Algorithm::kMatch4: {
+        core::Match4Options o;
+        o.erew = true;
+        o.i_parameter = opt.i_parameter;
+        r = core::match4(exec, lst, o);
+        break;
+      }
+      default:
+        std::cerr << "--erew supports match1/match2/match4\n";
+        return 2;
+    }
+  } else {
+    r = core::maximal_matching(exec, lst, opt);
+  }
+  core::verify::check_matching(lst, r.in_matching);
+  core::verify::check_maximal(lst, r.in_matching);
+  emit(a, "match",
+       {{"algorithm", core::to_string(opt.algorithm)},
+        {"n", std::to_string(lst.size())},
+        {"p", std::to_string(exec.processors())},
+        {"edges", std::to_string(r.edges)},
+        {"depth", std::to_string(r.cost.depth)},
+        {"time_p", std::to_string(r.cost.time_p)},
+        {"work", std::to_string(r.cost.work)},
+        {"partition_sets", std::to_string(r.partition_sets)},
+        {"verified", "maximal"}});
+  return 0;
+}
+
+int cmd_rank(const Args& a) {
+  const auto lst = make_list(a);
+  pram::SeqExec exec(static_cast<std::size_t>(a.num("p", 1024)));
+  const auto r = a.str("alg", "contraction") == "wyllie"
+                     ? apps::wyllie_ranking(exec, lst)
+                     : apps::contraction_ranking(exec, lst);
+  const bool ok = r.rank == apps::sequential_ranking(lst);
+  emit(a, "rank",
+       {{"n", std::to_string(lst.size())},
+        {"rounds", std::to_string(r.rounds)},
+        {"time_p", std::to_string(r.cost.time_p)},
+        {"work", std::to_string(r.cost.work)},
+        {"verified", ok ? "ok" : "MISMATCH"}});
+  return ok ? 0 : 1;
+}
+
+int cmd_color(const Args& a) {
+  const auto lst = make_list(a);
+  pram::SeqExec exec(static_cast<std::size_t>(a.num("p", 1024)));
+  const auto col = apps::three_coloring(exec, lst);
+  apps::check_coloring(lst, col.colors, 3);
+  pram::SeqExec exec2(static_cast<std::size_t>(a.num("p", 1024)));
+  const auto mis = apps::independent_set(exec2, lst);
+  apps::check_independent_set(lst, mis.in_set);
+  emit(a, "color",
+       {{"n", std::to_string(lst.size())},
+        {"coloring_rounds", std::to_string(col.reduce_rounds)},
+        {"coloring_time_p", std::to_string(col.cost.time_p)},
+        {"mis_size", std::to_string(mis.size)},
+        {"verified", "proper+maximal"}});
+  return 0;
+}
+
+int cmd_tree(const Args& a) {
+  const std::size_t n = a.num("n", 1 << 14);
+  const auto tree = apps::random_tree(n, a.num("seed", 42));
+  pram::SeqExec exec(static_cast<std::size_t>(a.num("p", 1024)));
+  const auto stats = apps::tree_statistics(exec, tree);
+  std::uint64_t max_depth = 0;
+  for (auto d : stats.depth) max_depth = std::max(max_depth, d);
+  emit(a, "tree",
+       {{"n", std::to_string(n)},
+        {"max_depth", std::to_string(max_depth)},
+        {"root_size", std::to_string(stats.subtree_size[tree.root])},
+        {"prefix_rounds", std::to_string(stats.prefix_rounds)},
+        {"time_p", std::to_string(stats.cost.time_p)}});
+  return 0;
+}
+
+void usage() {
+  std::cout <<
+      "usage: llmp_cli <match|rank|color|tree> [options]\n"
+      "  common: --n N --p P --seed S --shape "
+      "random|identity|reverse|strided|blocked --json\n"
+      "  match:  --alg seq|match1|match2|match3|match4|random --i I "
+      "--table --erew\n"
+      "  rank:   --alg contraction|wyllie\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args a = parse(argc, argv);
+  if (a.command == "match") return cmd_match(a);
+  if (a.command == "rank") return cmd_rank(a);
+  if (a.command == "color") return cmd_color(a);
+  if (a.command == "tree") return cmd_tree(a);
+  usage();
+  return a.command.empty() ? 0 : 2;
+}

@@ -1,0 +1,58 @@
+// Quickstart: compute a maximal matching of a linked list's pointers with
+// each algorithm, verify it, and read the PRAM cost model.
+//
+//   ./example_quickstart [n] [processors]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/maximal_matching.h"
+#include "core/verify.h"
+#include "list/generators.h"
+#include "pram/executor.h"
+#include "support/format.h"
+
+int main(int argc, char** argv) {
+  using namespace llmp;
+  const std::size_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10)
+                                 : (std::size_t{1} << 16);
+  const std::size_t p = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 1024;
+
+  // A linked list of n nodes stored in an array (paper Fig. 1), with the
+  // list order a random permutation of the array order.
+  const list::LinkedList lst = list::generators::random_list(n, /*seed=*/42);
+  std::cout << "list: n = " << n << " nodes, " << lst.pointers()
+            << " pointers, head = " << lst.head() << ", tail = " << lst.tail()
+            << "\np (cost-model processors) = " << p << "\n\n";
+
+  fmt::Table t({"algorithm", "edges", "PRAM steps (depth)", "time_p",
+                "work", "partition sets"});
+  for (auto alg : {core::Algorithm::kSequential, core::Algorithm::kMatch1,
+                   core::Algorithm::kMatch2, core::Algorithm::kMatch3,
+                   core::Algorithm::kMatch4, core::Algorithm::kRandomized}) {
+    pram::SeqExec exec(p);  // p is a model parameter, not host threads
+    core::MatchOptions opt;
+    opt.algorithm = alg;
+    opt.i_parameter = 3;  // Match4's adjustable i: rows = Θ(log^(3) n)
+    const core::MatchResult r = core::maximal_matching(exec, lst, opt);
+
+    // Every algorithm must produce a *valid*, *maximal* matching; these
+    // throw with a diagnostic if not.
+    core::verify::check_matching(lst, r.in_matching);
+    core::verify::check_maximal(lst, r.in_matching);
+
+    t.add_row({core::to_string(alg), fmt::num(r.edges),
+               fmt::num(r.cost.depth), fmt::num(r.cost.time_p),
+               fmt::num(r.cost.work), fmt::num(r.partition_sets)});
+  }
+  t.print();
+
+  std::cout << "\nPer-phase breakdown of Match4 (the paper's algorithm):\n";
+  pram::SeqExec exec(p);
+  const auto r4 = core::match4(exec, lst);
+  fmt::Table ph({"phase", "depth", "time_p", "work"});
+  for (const auto& phse : r4.phases)
+    ph.add_row({phse.name, fmt::num(phse.cost.depth),
+                fmt::num(phse.cost.time_p), fmt::num(phse.cost.work)});
+  ph.print();
+  return 0;
+}

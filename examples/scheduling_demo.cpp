@@ -1,0 +1,84 @@
+// Scenario: watch the §3 processor schedule run. Builds a small list,
+// partitions its pointers into matching sets, lays them out as x rows ×
+// y columns, and prints the actual WalkDown2 timetable — which cell each
+// column's processor handles at each step — so Lemma 7 (cell in row r
+// handled at step r + A[r]) is visible by eye.
+//
+//   ./example_scheduling_demo [n]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/gather.h"
+#include "core/verify.h"
+#include "core/walkdown.h"
+#include "list/generators.h"
+#include "pram/executor.h"
+#include "support/format.h"
+
+int main(int argc, char** argv) {
+  using namespace llmp;
+  const std::size_t n =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 48;
+  const auto lst = list::generators::random_list(n, 3);
+  pram::SeqExec exec(64);
+
+  // Step 1: matching partition (two rounds of deterministic coin tossing).
+  std::vector<label_t> labels;
+  core::init_address_labels(exec, n, labels);
+  core::relabel_rounds(exec, lst, labels, 2, core::BitRule::kMostSignificant);
+  const label_t x = core::bound_after_rounds(n, 2);
+  std::vector<index_t> keys(n);
+  for (index_t v = 0; v < n; ++v) keys[v] = static_cast<index_t>(labels[v]);
+
+  // Step 2: the 2D layout with per-column sequential sorts.
+  core::Layout2D lay = core::build_layout(exec, n, keys, x);
+  std::cout << "n = " << n << " nodes as x = " << lay.rows << " rows x y = "
+            << lay.cols << " columns (one processor per column)\n\n";
+
+  std::cout << "sorted layout (node:set per cell):\n";
+  for (std::size_t r = 0; r < lay.rows; ++r) {
+    std::cout << "  row " << r << ": ";
+    for (std::size_t j = 0; j < lay.cols; ++j) {
+      const index_t v = lay.cell_node[j * lay.rows + r];
+      if (v == knil)
+        std::cout << "[  --  ] ";
+      else
+        std::cout << "[" << (v < 10 ? " " : "") << v << ":" << keys[v]
+                  << (keys[v] < 10 ? " " : "") << "] ";
+    }
+    std::cout << "\n";
+  }
+
+  // Steps 3–4: the two WalkDown phases.
+  auto pred = lst.predecessors();
+  std::vector<std::uint8_t> color(n, core::kNoColor);
+  core::walkdown1(exec, lst, lay, pred, color);
+  const auto trace = core::walkdown2(exec, lst, lay, pred, color);
+
+  std::cout << "\nWalkDown2 timetable (" << trace.steps
+            << " steps = 2x-1; entries are node ids handled per step):\n";
+  for (std::size_t k = 0; k < trace.steps; ++k) {
+    std::cout << "  step " << (k < 10 ? " " : "") << k << ": ";
+    for (index_t v = 0; v < n; ++v)
+      if (trace.handled_at[v] == k)
+        std::cout << v << "(r" << lay.node_row[v] << "+s" << keys[v]
+                  << ") ";
+    std::cout << "\n";
+  }
+  std::cout << "\nEvery entry satisfies step = row + set (Lemma 7), and "
+               "entries sharing a (step,\nrow) pair share a set number "
+               "(Corollary 2) — so simultaneous work never touches\na "
+               "common node.\n";
+
+  // Step 5: the 3-color pointer partition → maximal matching via cut+walk.
+  std::vector<label_t> plabel(n, 0);
+  for (index_t v = 0; v < n; ++v)
+    if (lst.has_pointer(v)) plabel[v] = color[v];
+  core::verify::check_pointer_partition(lst, plabel);
+  std::cout << "\ncombined WalkDown palette uses 3 colors; pointer colors "
+               "along the list:\n  ";
+  for (index_t v = lst.head(); lst.next(v) != knil; v = lst.next(v))
+    std::cout << int(color[v]);
+  std::cout << "\n(adjacent colors always differ)\n";
+  return 0;
+}

@@ -1,0 +1,96 @@
+#include "apps/euler_tour.h"
+
+#include <algorithm>
+
+namespace llmp::apps {
+
+Tree random_tree(std::size_t n, std::uint64_t seed) {
+  LLMP_CHECK(n >= 1);
+  Tree t;
+  t.parent.assign(n, knil);
+  // Random attachment order so node ids carry no structure.
+  std::vector<index_t> order(n);
+  for (index_t v = 0; v < n; ++v) order[v] = v;
+  rng::Xoshiro256 gen(seed);
+  for (std::size_t i = n - 1; i > 0; --i)
+    std::swap(order[i], order[gen.below(i + 1)]);
+  t.root = order[0];
+  for (std::size_t i = 1; i < n; ++i)
+    t.parent[order[i]] = order[gen.below(i)];
+  return t;
+}
+
+Tree path_tree(std::size_t n) {
+  LLMP_CHECK(n >= 1);
+  Tree t;
+  t.parent.assign(n, knil);
+  t.root = 0;
+  for (index_t v = 1; v < n; ++v) t.parent[v] = v - 1;
+  return t;
+}
+
+Tree star_tree(std::size_t n) {
+  LLMP_CHECK(n >= 1);
+  Tree t;
+  t.parent.assign(n, knil);
+  t.root = 0;
+  for (index_t v = 1; v < n; ++v) t.parent[v] = 0;
+  return t;
+}
+
+EulerTour build_euler_tour(const Tree& tree) {
+  const std::size_t n = tree.size();
+  LLMP_CHECK(n >= 2);
+  // Child lists in ascending node-id order (deterministic tours).
+  std::vector<std::vector<index_t>> children(n);
+  index_t root = tree.root;
+  for (index_t v = 0; v < n; ++v) {
+    const index_t p = tree.parent[v];
+    if (p == knil) {
+      LLMP_CHECK_MSG(v == root, "parent array disagrees with root");
+      continue;
+    }
+    LLMP_CHECK(p < n);
+    children[p].push_back(v);
+  }
+  LLMP_CHECK_MSG(!children[root].empty(), "root must have a child (n >= 2)");
+
+  // Edge ids by child, compacted to skip the root.
+  std::vector<index_t> edge_of(n, knil);
+  index_t edges = 0;
+  for (index_t v = 0; v < n; ++v)
+    if (v != root) edge_of[v] = edges++;
+  LLMP_CHECK(edges + 1 == n);
+
+  const std::size_t m = 2 * static_cast<std::size_t>(edges);
+  std::vector<index_t> next(m, knil);
+  std::vector<index_t> arc_child(m, knil);
+  std::vector<std::uint8_t> is_down(m, 0);
+  auto down = [&](index_t v) { return 2 * edge_of[v]; };
+  auto up = [&](index_t v) { return 2 * edge_of[v] + 1; };
+  for (index_t v = 0; v < n; ++v) {
+    if (v != root) {
+      arc_child[down(v)] = v;
+      arc_child[up(v)] = v;
+      is_down[down(v)] = 1;
+    }
+  }
+  for (index_t v = 0; v < n; ++v) {
+    const auto& kids = children[v];
+    if (v != root) {
+      // Entering v: descend to the first child, or bounce straight back.
+      next[down(v)] = kids.empty() ? up(v) : down(kids.front());
+    }
+    for (std::size_t i = 0; i + 1 < kids.size(); ++i)
+      next[up(kids[i])] = down(kids[i + 1]);
+    if (!kids.empty() && v != root) next[up(kids.back())] = up(v);
+    // Root's last child's up-arc stays knil: the tour's tail.
+  }
+  EulerTour tour{list::LinkedList(std::move(next))};
+  tour.arc_child = std::move(arc_child);
+  tour.is_down = std::move(is_down);
+  LLMP_CHECK(tour.arcs.head() == down(children[root].front()));
+  return tour;
+}
+
+}  // namespace llmp::apps

@@ -1,0 +1,27 @@
+#include "apps/independent_set.h"
+
+#include "support/check.h"
+
+namespace llmp::apps {
+
+void check_independent_set(const list::LinkedList& list,
+                           const std::vector<std::uint8_t>& in_set) {
+  LLMP_CHECK(in_set.size() == list.size());
+  for (index_t v = 0; v < list.size(); ++v) {
+    const index_t s = list.next(v);
+    if (s == knil) continue;
+    LLMP_CHECK_MSG(!(in_set[v] && in_set[s]),
+                   "adjacent nodes " << v << "," << s << " both selected");
+  }
+  const auto pred = list.predecessors();
+  for (index_t v = 0; v < list.size(); ++v) {
+    if (in_set[v]) continue;
+    const index_t s = list.next(v);
+    const index_t p = pred[v];
+    const bool blocked =
+        (s != knil && in_set[s]) || (p != knil && in_set[p]);
+    LLMP_CHECK_MSG(blocked, "node " << v << " could be added: not maximal");
+  }
+}
+
+}  // namespace llmp::apps

@@ -1,0 +1,61 @@
+// Maximal independent set of the nodes of a linked list (paper §1's other
+// advertised application).
+//
+// From a 3-coloring: color class 0 is independent; two more passes add
+// every color-1 node with no selected neighbour, then every color-2 node
+// likewise. Each pass treats an independent set of candidates, so the
+// simultaneous checks are race-free; the result is independent (selected
+// neighbours block) and maximal (a never-selected node was blocked in its
+// own pass by an already-selected neighbour).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/three_coloring.h"
+#include "list/linked_list.h"
+
+namespace llmp::apps {
+
+struct IndependentSetResult {
+  std::vector<std::uint8_t> in_set;  ///< in_set[v] == 1 ⇔ v selected
+  std::size_t size = 0;
+  pram::Stats cost;
+};
+
+template <class Exec>
+IndependentSetResult independent_set(Exec& exec,
+                                     const list::LinkedList& list,
+                                     core::BitRule rule =
+                                         core::BitRule::kMostSignificant) {
+  IndependentSetResult r;
+  const std::size_t n = list.size();
+  const pram::Stats start = exec.stats();
+
+  ColoringResult coloring = three_coloring(exec, list, rule);
+  const auto& next = list.next_array();
+  auto pred = core::parallel_predecessors(exec, list);
+
+  std::vector<std::uint8_t>& in_set = r.in_set;
+  in_set.assign(n, 0);
+  for (std::uint8_t c = 0; c < 3; ++c) {
+    exec.step(n, [&](std::size_t v, auto&& m) {
+      if (m.rd(coloring.colors, v) != c) return;
+      const index_t pv = m.rd(pred, v);
+      const index_t s = m.rd(next, v);
+      if (pv != knil && m.rd(in_set, static_cast<std::size_t>(pv))) return;
+      if (s != knil && m.rd(in_set, static_cast<std::size_t>(s))) return;
+      m.wr(in_set, v, std::uint8_t{1});
+    });
+  }
+
+  for (auto b : in_set) r.size += (b != 0);
+  r.cost = exec.stats() - start;
+  return r;
+}
+
+/// Oracle: throws unless in_set is an independent set and maximal.
+void check_independent_set(const list::LinkedList& list,
+                           const std::vector<std::uint8_t>& in_set);
+
+}  // namespace llmp::apps

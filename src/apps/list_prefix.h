@@ -1,0 +1,190 @@
+// Parallel prefix over a linked list — the problem family this paper's
+// machinery was built for (its references [9,11,13,16] are list-prefix
+// papers and Han's own [7] is "an optimal linked list prefix algorithm
+// on a local memory computer").
+//
+// Given value[v] per node and an associative operation ⊕ (a monoid — NOT
+// required to be commutative), compute the inclusive prefix
+//     prefix[v] = value[head] ⊕ value[suc(head)] ⊕ … ⊕ value[v]
+// in list order. Same matching-contraction skeleton as list ranking:
+// every round a maximal matching selects node-disjoint pointers; each
+// matched tail absorbs its head's *segment value* (segments stay
+// contiguous in list order, so the fold is order-correct even for
+// non-commutative ⊕); O(log n) rounds; expansion replays the splices in
+// reverse, handing every removed node the fold of everything before its
+// segment. Ranking is the special case ⊕ = + over unit weights.
+//
+// The Monoid concept:
+//   struct M { using value_type = …;
+//              static value_type identity();
+//              static value_type op(value_type, value_type); };
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/maximal_matching.h"
+#include "list/linked_list.h"
+
+namespace llmp::apps {
+
+/// ⊕ = + over uint64 (prefix sums).
+struct SumMonoid {
+  using value_type = std::uint64_t;
+  static value_type identity() { return 0; }
+  static value_type op(value_type a, value_type b) { return a + b; }
+};
+
+/// ⊕ = max over uint64 (prefix maxima).
+struct MaxMonoid {
+  using value_type = std::uint64_t;
+  static value_type identity() { return 0; }
+  static value_type op(value_type a, value_type b) {
+    return a < b ? b : a;
+  }
+};
+
+/// Composition of affine maps x ↦ a·x + b over uint64 (mod 2^64) —
+/// deliberately non-commutative, used by the tests to prove the fold
+/// respects list order.
+struct AffineMonoid {
+  struct Affine {
+    std::uint64_t a = 1, b = 0;
+    bool operator==(const Affine&) const = default;
+  };
+  using value_type = Affine;
+  static value_type identity() { return {1, 0}; }
+  /// (g ∘ f)(x) = g(f(x)) where `first` applies first: list order.
+  static value_type op(value_type first, value_type then) {
+    return {then.a * first.a, then.a * first.b + then.b};
+  }
+};
+
+struct PrefixOptions {
+  core::Algorithm matcher = core::Algorithm::kMatch4;
+  int i_parameter = 3;
+};
+
+template <class Monoid, class Exec>
+struct PrefixResult {
+  std::vector<typename Monoid::value_type> prefix;  ///< inclusive, by node
+  int rounds = 0;
+  pram::Stats cost;
+};
+
+/// Inclusive prefix of `values` along the list order of `list`.
+template <class Monoid, class Exec>
+PrefixResult<Monoid, Exec> list_prefix(
+    Exec& exec, const list::LinkedList& list,
+    const std::vector<typename Monoid::value_type>& values,
+    const PrefixOptions& opt = {}) {
+  using T = typename Monoid::value_type;
+  const std::size_t n = list.size();
+  LLMP_CHECK(values.size() == n);
+  PrefixResult<Monoid, Exec> result;
+  const pram::Stats start = exec.stats();
+
+  // seg[v]: fold of the contiguous original segment node v represents.
+  std::vector<index_t> nxt(list.next_array());
+  std::vector<T> seg(values);
+
+  struct Splice {
+    index_t node;    // removed node s
+    index_t anchor;  // matched tail v that absorbed s
+    T before;        // seg[v] at splice time: before[s's segment]
+  };
+  std::vector<std::vector<Splice>> rounds_log;
+
+  std::vector<index_t> alive;
+  alive.reserve(n);
+  for (index_t v = 0; v < n; ++v) alive.push_back(v);
+
+  while (alive.size() > 1) {
+    const std::size_t m_cur = alive.size();
+    std::vector<index_t> pos(n, knil);
+    exec.step(m_cur, [&](std::size_t d, auto&& mm) {
+      mm.wr(pos, static_cast<std::size_t>(alive[d]),
+            static_cast<index_t>(d));
+    });
+    std::vector<index_t> dense_next(m_cur);
+    exec.step(m_cur, [&](std::size_t d, auto&& mm) {
+      const index_t s = mm.rd(nxt, static_cast<std::size_t>(alive[d]));
+      mm.wr(dense_next, d,
+            s == knil ? knil : mm.rd(pos, static_cast<std::size_t>(s)));
+    });
+    list::LinkedList cur(std::move(dense_next));
+
+    core::MatchOptions mopt;
+    mopt.algorithm = opt.matcher;
+    mopt.i_parameter = opt.i_parameter;
+    const core::MatchResult match = core::maximal_matching(exec, cur, mopt);
+
+    std::vector<std::uint8_t> removed(n, 0), has_entry(m_cur, 0);
+    std::vector<Splice> entries(m_cur);
+    exec.step(m_cur, [&](std::size_t d, auto&& mm) {
+      if (!match.in_matching[d]) return;
+      const index_t v = alive[d];
+      const index_t s = mm.rd(nxt, static_cast<std::size_t>(v));
+      LLMP_DCHECK(s != knil);
+      const T seg_v = mm.rd(seg, static_cast<std::size_t>(v));
+      const T seg_s = mm.rd(seg, static_cast<std::size_t>(s));
+      mm.wr(entries, d, Splice{s, v, seg_v});
+      mm.wr(has_entry, d, std::uint8_t{1});
+      mm.wr(removed, static_cast<std::size_t>(s), std::uint8_t{1});
+      mm.wr(nxt, static_cast<std::size_t>(v),
+            mm.rd(nxt, static_cast<std::size_t>(s)));
+      mm.wr(seg, static_cast<std::size_t>(v), Monoid::op(seg_v, seg_s));
+    });
+
+    std::vector<Splice> log;
+    log.reserve(match.edges);
+    for (std::size_t d = 0; d < m_cur; ++d)
+      if (has_entry[d]) log.push_back(entries[d]);
+    rounds_log.push_back(std::move(log));
+
+    std::vector<index_t> next_alive;
+    next_alive.reserve(m_cur - match.edges);
+    for (index_t v : alive)
+      if (!removed[v]) next_alive.push_back(v);
+    alive.swap(next_alive);
+    ++result.rounds;
+    LLMP_CHECK_MSG(alive.size() < m_cur, "contraction made no progress");
+  }
+
+  // P[v] = fold of everything strictly before v's original position.
+  LLMP_CHECK(alive.front() == list.head());
+  std::vector<T> before(n, Monoid::identity());
+  for (auto it = rounds_log.rbegin(); it != rounds_log.rend(); ++it) {
+    const std::vector<Splice>& entries = *it;
+    exec.step(entries.size(), [&](std::size_t e, auto&& mm) {
+      const Splice& sp = entries[e];
+      mm.wr(before, static_cast<std::size_t>(sp.node),
+            Monoid::op(mm.rd(before, static_cast<std::size_t>(sp.anchor)),
+                       sp.before));
+    });
+  }
+
+  result.prefix.assign(n, Monoid::identity());
+  exec.step(n, [&](std::size_t v, auto&& mm) {
+    mm.wr(result.prefix, v, Monoid::op(mm.rd(before, v), values[v]));
+  });
+  result.cost = exec.stats() - start;
+  return result;
+}
+
+/// Sequential oracle.
+template <class Monoid>
+std::vector<typename Monoid::value_type> sequential_prefix(
+    const list::LinkedList& list,
+    const std::vector<typename Monoid::value_type>& values) {
+  using T = typename Monoid::value_type;
+  std::vector<T> out(list.size(), Monoid::identity());
+  T acc = Monoid::identity();
+  for (index_t v = list.head(); v != knil; v = list.next(v)) {
+    acc = Monoid::op(acc, values[v]);
+    out[v] = acc;
+  }
+  return out;
+}
+
+}  // namespace llmp::apps

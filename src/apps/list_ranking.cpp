@@ -1,0 +1,15 @@
+#include "apps/list_ranking.h"
+
+namespace llmp::apps {
+
+std::vector<std::uint64_t> sequential_ranking(const list::LinkedList& list) {
+  const std::size_t n = list.size();
+  std::vector<std::uint64_t> rank(n, 0);
+  // One forward walk records positions; rank = n-1-position.
+  std::uint64_t pos = 0;
+  for (index_t v = list.head(); v != knil; v = list.next(v), ++pos)
+    rank[v] = static_cast<std::uint64_t>(n) - 1 - pos;
+  return rank;
+}
+
+}  // namespace llmp::apps

@@ -1,0 +1,203 @@
+// Deterministic list ranking — the flagship consumer of maximal matching
+// in the literature the paper sits in (its references [1,7] are list
+// ranking papers, and the abstract's symmetry-breaking is exactly what a
+// deterministic ranking algorithm needs).
+//
+// rank[v] = number of nodes after v in list order (weighted variant: sum
+// of link weights from v to the tail).
+//
+// Two algorithms:
+//
+//   wyllie_ranking       — pointer jumping [16]: O(log n) steps, O(n log n)
+//                          work; the classic non-optimal baseline.
+//   contraction_ranking  — repeat: compute a maximal matching (any of
+//                          Match1–4), splice out every matched pointer's
+//                          head (the splices are node-disjoint because
+//                          matched pointers are), fold the spliced link's
+//                          weight into its tail, compact, recurse; expand
+//                          ranks in reverse. A maximal matching covers
+//                          ≥ (m)/3 of m pointers (one-of-three), so each
+//                          round removes ≥ 1/3 of the nodes-with-pointers
+//                          and O(log n) rounds suffice. With Match4 the
+//                          per-round work is O(n_cur), giving O(n) work
+//                          total up to the O(log n) additive terms —
+//                          the deterministic-coin-tossing route to
+//                          near-optimal ranking (full optimality needs
+//                          Anderson–Miller [1] load balancing, out of
+//                          scope; E12 quantifies the gap).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/maximal_matching.h"
+#include "list/linked_list.h"
+#include "pram/prefix.h"
+
+namespace llmp::apps {
+
+struct RankingResult {
+  std::vector<std::uint64_t> rank;  ///< rank[v] = weighted distance to tail
+  int rounds = 0;                   ///< contraction rounds / jump rounds
+  pram::Stats cost;
+};
+
+/// Wyllie's pointer jumping. O(log n) steps of n processors.
+template <class Exec>
+RankingResult wyllie_ranking(Exec& exec, const list::LinkedList& list) {
+  RankingResult r;
+  const std::size_t n = list.size();
+  const pram::Stats start = exec.stats();
+  const auto& next_arr = list.next_array();
+
+  std::vector<index_t> nxt(n), nxt2(n);
+  std::vector<std::uint64_t> rank(n), rank2(n);
+  exec.step(n, [&](std::size_t v, auto&& m) {
+    const index_t s = m.rd(next_arr, v);
+    m.wr(nxt, v, s);
+    m.wr(rank, v, std::uint64_t{s == knil ? 0u : 1u});
+  });
+  for (std::size_t span = 1; span < n; span <<= 1) {
+    exec.step(n, [&](std::size_t v, auto&& m) {
+      const index_t s = m.rd(nxt, v);
+      if (s == knil) {
+        m.wr(rank2, v, m.rd(rank, v));
+        m.wr(nxt2, v, knil);
+        return;
+      }
+      m.wr(rank2, v, m.rd(rank, v) + m.rd(rank, static_cast<std::size_t>(s)));
+      m.wr(nxt2, v, m.rd(nxt, static_cast<std::size_t>(s)));
+    });
+    rank.swap(rank2);
+    nxt.swap(nxt2);
+    ++r.rounds;
+  }
+  r.rank = std::move(rank);
+  r.cost = exec.stats() - start;
+  return r;
+}
+
+struct ContractionOptions {
+  core::Algorithm matcher = core::Algorithm::kMatch4;
+  int i_parameter = 3;
+};
+
+/// Matching-contraction ranking (see header comment).
+template <class Exec>
+RankingResult contraction_ranking(Exec& exec, const list::LinkedList& list,
+                                  const ContractionOptions& opt = {}) {
+  RankingResult result;
+  const std::size_t n = list.size();
+  const pram::Stats start = exec.stats();
+
+  // Working copy in *original* node ids; each round also keeps a dense
+  // LinkedList of the alive nodes for the matcher.
+  std::vector<index_t> nxt(list.next_array());
+  std::vector<std::uint64_t> dist(n);
+  exec.step(n, [&](std::size_t v, auto&& m) {
+    m.wr(dist, v, std::uint64_t{1});
+  });
+
+  // One expansion record per spliced-out node. Internally we rank by
+  // *distance from the head* (h), because the head is never a matched
+  // pointer's head node and thus survives every round; the public
+  // distance-to-tail rank is (n−1) − h at the end.
+  struct Splice {
+    index_t node;    // the removed node s (original id)
+    index_t anchor;  // the matched tail v that absorbed s
+    std::uint64_t d; // dist[v] at splice time: h(s) = h(v) + d
+  };
+  std::vector<std::vector<Splice>> rounds_log;
+
+  std::vector<index_t> alive;  // original ids, in current dense order
+  alive.reserve(n);
+  for (index_t v = 0; v < n; ++v) alive.push_back(v);
+
+  while (alive.size() > 1) {
+    const std::size_t m_cur = alive.size();
+    // Dense view: position of each alive node, dense next array.
+    std::vector<index_t> pos(n, knil);
+    exec.step(m_cur, [&](std::size_t d_id, auto&& mm) {
+      mm.wr(pos, static_cast<std::size_t>(alive[d_id]),
+            static_cast<index_t>(d_id));
+    });
+    std::vector<index_t> dense_next(m_cur);
+    exec.step(m_cur, [&](std::size_t d_id, auto&& mm) {
+      const index_t s = mm.rd(nxt, static_cast<std::size_t>(alive[d_id]));
+      mm.wr(dense_next, d_id,
+            s == knil ? knil : mm.rd(pos, static_cast<std::size_t>(s)));
+    });
+    list::LinkedList cur(std::move(dense_next));
+
+    core::MatchOptions mopt;
+    mopt.algorithm = opt.matcher;
+    mopt.i_parameter = opt.i_parameter;
+    const core::MatchResult match = core::maximal_matching(exec, cur, mopt);
+
+    // Splice matched heads out (in original-id space).
+    std::vector<std::uint8_t> removed(n, 0);
+    std::vector<Splice> log_entries(m_cur);
+    std::vector<std::uint8_t> has_entry(m_cur, 0);
+    exec.step(m_cur, [&](std::size_t d_id, auto&& mm) {
+      if (!match.in_matching[d_id]) return;
+      const index_t v = alive[d_id];
+      const index_t s = mm.rd(nxt, static_cast<std::size_t>(v));
+      LLMP_DCHECK(s != knil);
+      const index_t s_next = mm.rd(nxt, static_cast<std::size_t>(s));
+      const std::uint64_t vd = mm.rd(dist, static_cast<std::size_t>(v));
+      const std::uint64_t sd = mm.rd(dist, static_cast<std::size_t>(s));
+      mm.wr(log_entries, d_id, Splice{s, v, vd});
+      mm.wr(has_entry, d_id, std::uint8_t{1});
+      mm.wr(removed, static_cast<std::size_t>(s), std::uint8_t{1});
+      mm.wr(nxt, static_cast<std::size_t>(v), s_next);
+      mm.wr(dist, static_cast<std::size_t>(v), vd + sd);
+    });
+
+    std::vector<Splice> round_log;
+    round_log.reserve(match.edges);
+    for (std::size_t d_id = 0; d_id < m_cur; ++d_id)
+      if (has_entry[d_id]) round_log.push_back(log_entries[d_id]);
+    rounds_log.push_back(std::move(round_log));
+
+    std::vector<index_t> next_alive;
+    next_alive.reserve(m_cur - match.edges);
+    for (index_t v : alive)
+      if (!removed[v]) next_alive.push_back(v);
+    alive.swap(next_alive);
+    ++result.rounds;
+    LLMP_CHECK_MSG(alive.size() < m_cur, "contraction made no progress");
+  }
+
+  // Base: the single survivor is the original head (only pointer *heads*
+  // are ever removed, and the list head is nobody's pointer head), so its
+  // head-distance is 0.
+  LLMP_CHECK(alive.front() == list.head());
+  std::vector<std::uint64_t> h(n, 0);
+
+  // Expand in reverse: h[s] = h[anchor] + dist[anchor]-at-splice. The
+  // anchor is alive when s is expanded (it survived this round; if a
+  // later round removed it, that round's expansion already ran).
+  for (auto it = rounds_log.rbegin(); it != rounds_log.rend(); ++it) {
+    const std::vector<Splice>& entries = *it;
+    exec.step(entries.size(), [&](std::size_t e, auto&& mm) {
+      const Splice sp = entries[e];
+      const std::uint64_t base =
+          mm.rd(h, static_cast<std::size_t>(sp.anchor));
+      mm.wr(h, static_cast<std::size_t>(sp.node), base + sp.d);
+    });
+  }
+
+  // Convert head-distance to the public distance-to-tail rank.
+  result.rank.assign(n, 0);
+  const std::uint64_t total = static_cast<std::uint64_t>(n) - 1;
+  exec.step(n, [&](std::size_t v, auto&& mm) {
+    mm.wr(result.rank, v, total - mm.rd(h, v));
+  });
+  result.cost = exec.stats() - start;
+  return result;
+}
+
+/// Sequential oracle: ranks by one backward accumulation.
+std::vector<std::uint64_t> sequential_ranking(const list::LinkedList& list);
+
+}  // namespace llmp::apps

@@ -1,0 +1,23 @@
+#include "apps/three_coloring.h"
+
+#include "support/check.h"
+
+namespace llmp::apps {
+
+void check_coloring(const list::LinkedList& list,
+                    const std::vector<std::uint8_t>& colors,
+                    std::uint8_t palette) {
+  LLMP_CHECK(colors.size() == list.size());
+  for (index_t v = 0; v < list.size(); ++v) {
+    LLMP_CHECK_MSG(colors[v] < palette,
+                   "node " << v << " has color " << int(colors[v])
+                           << " >= palette " << int(palette));
+    const index_t s = list.next(v);
+    if (s != knil)
+      LLMP_CHECK_MSG(colors[v] != colors[s],
+                     "adjacent nodes " << v << "," << s << " share color "
+                                       << int(colors[v]));
+  }
+}
+
+}  // namespace llmp::apps

@@ -1,0 +1,85 @@
+// 3-coloring of a linked list (the paper's §1: "This algorithm can be used
+// to compute a maximal independent set or a 3 coloring for a linked list").
+//
+// Deterministic coin tossing (Match1 step 2) leaves every node a label in
+// {0..5} with adjacent labels distinct — a 6-coloring. Three reduction
+// passes remove colors 5, 4, 3: nodes of the color being removed form an
+// independent set (adjacent nodes never share a color), so each can
+// simultaneously re-pick the smallest of {0,1,2} unused by its two
+// neighbours, whose colors are stable during the pass. O(n·G(n)/p + G(n))
+// total; the recolor passes add O(1) steps.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/match_result.h"
+#include "core/partition_fn.h"
+#include "list/linked_list.h"
+
+namespace llmp::apps {
+
+struct ColoringResult {
+  /// colors[v] ∈ {0,1,2}; adjacent nodes (v, suc(v)) always differ.
+  std::vector<std::uint8_t> colors;
+  int reduce_rounds = 0;  ///< deterministic coin-tossing rounds used
+  pram::Stats cost;
+};
+
+template <class Exec>
+ColoringResult three_coloring(Exec& exec, const list::LinkedList& list,
+                              core::BitRule rule =
+                                  core::BitRule::kMostSignificant) {
+  ColoringResult r;
+  const std::size_t n = list.size();
+  const pram::Stats start = exec.stats();
+  const auto& next = list.next_array();
+
+  // 6-coloring: the fixed-point labels of deterministic coin tossing.
+  // (Adjacent-distinct holds circularly, so it holds on the path.)
+  std::vector<label_t> labels;
+  core::init_address_labels(exec, n, labels);
+  r.reduce_rounds = core::reduce_to_constant(exec, list, labels, rule);
+
+  auto pred = core::parallel_predecessors(exec, list);
+  std::vector<std::uint8_t> colors(n), colors2(n);
+  exec.step(n, [&](std::size_t v, auto&& m) {
+    m.wr(colors, v, static_cast<std::uint8_t>(m.rd(labels, v)));
+  });
+
+  // Remove colors 5, 4, 3. Nodes holding color c form an independent set;
+  // they re-pick in one synchronous step (reads of neighbour colors are
+  // stable: a neighbour holds color != c, hence is not recoloring now).
+  for (std::uint8_t c = 5; c >= 3; --c) {
+    exec.step(n, [&](std::size_t v, auto&& m) {
+      const std::uint8_t mine = m.rd(colors, v);
+      if (mine != c) {
+        m.wr(colors2, v, mine);
+        return;
+      }
+      const index_t pv = m.rd(pred, v);
+      const index_t s = m.rd(next, v);
+      const std::uint8_t a =
+          pv == knil ? 0xFF : m.rd(colors, static_cast<std::size_t>(pv));
+      const std::uint8_t b =
+          s == knil ? 0xFF : m.rd(colors, static_cast<std::size_t>(s));
+      std::uint8_t pick = 0;
+      while (pick == a || pick == b) ++pick;
+      LLMP_DCHECK(pick < 3);
+      m.wr(colors2, v, pick);
+    });
+    colors.swap(colors2);
+  }
+
+  r.colors = std::move(colors);
+  r.cost = exec.stats() - start;
+  return r;
+}
+
+/// Oracle: throws unless colors is a proper coloring of the path with
+/// values < palette.
+void check_coloring(const list::LinkedList& list,
+                    const std::vector<std::uint8_t>& colors,
+                    std::uint8_t palette);
+
+}  // namespace llmp::apps

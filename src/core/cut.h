@@ -1,0 +1,184 @@
+// Match1 steps 3–4: cut the list at label local minima, then walk each of
+// the resulting constant-length sublists taking every other pointer.
+// Shared by Match1, Match3 and Match4, which differ only in how they
+// produce the constant-alphabet pointer labels fed in here.
+//
+// Pointer labels: plabel[v] is the label of pointer e_v = <v, suc(v)>;
+// adjacent real pointers must carry different labels (a matching
+// partition, enforced by LLMP_DCHECK and by the callers' contracts).
+//
+// Cut rule (paper step 3, with explicit boundary convention): e_v is cut
+// iff both neighbour pointers exist and plabel is a strict local minimum
+// at v. Boundary pointers are never cut, hence no two cut pointers are
+// adjacent, hence the pointer after a cut is always the first of a run and
+// is always taken — which is what makes the matching maximal (the cut
+// pointer's head endpoint is covered). Runs between cuts are valley-free
+// label sequences over an alphabet of size A, so their length is at most
+// 2A−1: the per-head walk is a bounded sequential subroutine and the step
+// declares that bound as its unit cost.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/fanout.h"
+#include "list/linked_list.h"
+#include "pram/stats.h"
+#include "support/check.h"
+#include "support/types.h"
+
+namespace llmp::core {
+
+struct CutStats {
+  std::size_t cuts = 0;     ///< pointers deleted in step 3
+  std::size_t max_run = 0;  ///< longest sublist walked in step 4
+};
+
+/// Execute steps 3–4. `alphabet` is an upper bound on plabel values + 1
+/// (6 for the fixed-point labels; 3 for Match4's WalkDown output).
+/// `pred` is the predecessor array; `in_matching` receives the result.
+template <class Exec>
+CutStats cut_and_walk(Exec& exec, const list::LinkedList& list,
+                      const std::vector<index_t>& pred,
+                      const std::vector<label_t>& plabel, label_t alphabet,
+                      std::vector<std::uint8_t>& in_matching) {
+  const std::size_t n = list.size();
+  LLMP_CHECK(plabel.size() == n);
+  LLMP_CHECK(pred.size() == n);
+  in_matching.assign(n, 0);
+  if (n <= 1) return {};
+  const auto& next = list.next_array();
+  const std::size_t max_run = 2 * static_cast<std::size_t>(alphabet) - 1;
+
+  // Step 3: mark cut pointers. Each processor reads three label cells
+  // (its own pointer's and both neighbours') — CREW.
+  std::vector<std::uint8_t> cut(n, 0);
+  exec.step(n, [&](std::size_t v, auto&& m) {
+    const index_t nv = m.rd(next, v);
+    if (nv == knil) return;                       // no pointer e_v
+    const index_t pv = m.rd(pred, v);
+    if (pv == knil) return;                       // boundary: never cut
+    if (m.rd(next, static_cast<std::size_t>(nv)) == knil) return;
+    const label_t here = m.rd(plabel, v);
+    const label_t before = m.rd(plabel, static_cast<std::size_t>(pv));
+    const label_t after = m.rd(plabel, static_cast<std::size_t>(nv));
+    LLMP_DCHECK(here != before && here != after);
+    if (before > here && here < after) m.wr(cut, v, std::uint8_t{1});
+  });
+
+  // Step 4: each sublist head walks its run, taking alternate pointers.
+  // A head is a node whose pointer exists and whose predecessor pointer is
+  // absent or cut. Every run's first pointer is taken.
+  CutStats stats;
+  std::vector<std::size_t> run_len(n, 0);  // per-head, for max_run audit
+  exec.step(n, max_run, [&](std::size_t v, auto&& m) {
+    const index_t pv = m.rd(pred, v);
+    if (m.rd(next, v) == knil) return;
+    if (pv != knil && !m.rd(cut, static_cast<std::size_t>(pv))) return;
+    // v heads a run (cut pointers head nothing: no two cuts are adjacent,
+    // and a head's own pointer is never cut — see header comment).
+    std::size_t len = 0;
+    bool take = true;
+    index_t u = static_cast<index_t>(v);
+    for (;;) {
+      ++len;
+      LLMP_CHECK_MSG(len <= max_run, "run exceeds 2·alphabet − 1");
+      if (take) m.wr(in_matching, static_cast<std::size_t>(u), std::uint8_t{1});
+      take = !take;
+      const index_t u2 = m.rd(next, static_cast<std::size_t>(u));
+      if (m.rd(next, static_cast<std::size_t>(u2)) == knil) break;
+      if (m.rd(cut, static_cast<std::size_t>(u2))) break;  // run ends
+      u = u2;
+    }
+    m.wr(run_len, v, len);
+  });
+
+  for (index_t v = 0; v < n; ++v) {
+    stats.max_run = std::max(stats.max_run, run_len[v]);
+    stats.cuts += cut[v];
+  }
+  return stats;
+}
+
+/// EREW variant of cut_and_walk: every neighbour read that had multiple
+/// simultaneous readers (plabel of the two adjacent pointers, pointer
+/// existence of the successor, cut flag of the predecessor pointer) is
+/// replaced by a pushed inbox, read exclusively. Costs 4 extra fan-out
+/// steps; same output (tested).
+template <class Exec>
+CutStats cut_and_walk_erew(Exec& exec, const list::LinkedList& list,
+                           const std::vector<index_t>& pred,
+                           const std::vector<label_t>& plabel,
+                           label_t alphabet,
+                           std::vector<std::uint8_t>& in_matching) {
+  const std::size_t n = list.size();
+  LLMP_CHECK(plabel.size() == n);
+  LLMP_CHECK(pred.size() == n);
+  in_matching.assign(n, 0);
+  if (n <= 1) return {};
+  const auto& next = list.next_array();
+  const std::size_t max_run = 2 * static_cast<std::size_t>(alphabet) - 1;
+  constexpr label_t kNoLbl = kno_label;
+
+  // Inboxes: neighbour pointer labels and whether the successor has a
+  // pointer of its own.
+  std::vector<label_t> lbl_prev(n, kNoLbl), lbl_next(n, kNoLbl);
+  pull_from_pred(exec, list, plabel, lbl_prev, /*circular=*/false);
+  pull_from_next(exec, list, pred, plabel, lbl_next, /*circular=*/false);
+  std::vector<std::uint8_t> has_ptr(n);
+  exec.step(n, [&](std::size_t v, auto&& m) {
+    m.wr(has_ptr, v, static_cast<std::uint8_t>(m.rd(next, v) != knil));
+  });
+  std::vector<std::uint8_t> next_has_ptr(n, 0);
+  pull_from_next(exec, list, pred, has_ptr, next_has_ptr, false);
+
+  // Step 3 (EREW): every read is of the processor's own cells.
+  std::vector<std::uint8_t> cut(n, 0);
+  exec.step(n, [&](std::size_t v, auto&& m) {
+    if (!m.rd(has_ptr, v)) return;
+    if (m.rd(pred, v) == knil) return;        // boundary: never cut
+    if (!m.rd(next_has_ptr, v)) return;       // successor pointer missing
+    const label_t here = m.rd(plabel, v);
+    const label_t before = m.rd(lbl_prev, v);
+    const label_t after = m.rd(lbl_next, v);
+    LLMP_DCHECK(here != before && here != after);
+    if (before > here && here < after) m.wr(cut, v, std::uint8_t{1});
+  });
+
+  // Head detection needs the predecessor pointer's cut flag: push it.
+  std::vector<std::uint8_t> cut_prev(n, 0);
+  pull_from_pred(exec, list, cut, cut_prev, false);
+
+  // Step 4: walks are disjoint, so the traversal reads are exclusive; the
+  // only cross-run reads (cut flag and pointer-existence of the boundary
+  // pointer) touch cells no other walker reads this step.
+  CutStats stats;
+  std::vector<std::size_t> run_len(n, 0);
+  exec.step(n, max_run, [&](std::size_t v, auto&& m) {
+    if (!m.rd(has_ptr, v)) return;
+    if (m.rd(pred, v) != knil && !m.rd(cut_prev, v)) return;
+    std::size_t len = 0;
+    bool take = true;
+    index_t u = static_cast<index_t>(v);
+    for (;;) {
+      ++len;
+      LLMP_CHECK_MSG(len <= max_run, "run exceeds 2·alphabet − 1");
+      if (take)
+        m.wr(in_matching, static_cast<std::size_t>(u), std::uint8_t{1});
+      take = !take;
+      const index_t u2 = m.rd(next, static_cast<std::size_t>(u));
+      if (m.rd(next, static_cast<std::size_t>(u2)) == knil) break;
+      if (m.rd(cut, static_cast<std::size_t>(u2))) break;
+      u = u2;
+    }
+    m.wr(run_len, v, len);
+  });
+
+  for (index_t v = 0; v < n; ++v) {
+    stats.max_run = std::max(stats.max_run, run_len[v]);
+    stats.cuts += cut[v];
+  }
+  return stats;
+}
+
+}  // namespace llmp::core

@@ -1,0 +1,66 @@
+// Exclusive-read fan-out helpers — the EREW idiom.
+//
+// The CREW variants of the algorithms read a neighbour's cell directly
+// (label[suc(v)], color[pred(v)], …): each cell then has up to three
+// simultaneous readers, which EREW forbids. The standard fix is an inbox
+// per node: in one extra step, every node *pushes* its value to the unique
+// neighbour that wants it (writes are exclusive because every node has at
+// most one predecessor and one successor), and in the next step every node
+// reads only its own inbox. Lemma 4's EREW claim — and the appendix's
+// remark that Match2 "can be executed on the EREW model without any
+// precomputation" — is validated by running the EREW algorithm variants
+// built from these helpers on pram::Machine(Mode::kEREW); see
+// tests/erew_test.cpp.
+#pragma once
+
+#include <vector>
+
+#include "list/linked_list.h"
+#include "support/check.h"
+#include "support/types.h"
+
+namespace llmp::core {
+
+/// inbox[v] := src[suc(v)] — every node pushes its value to its
+/// predecessor. With `circular`, the head pushes to the tail (the paper's
+/// suc(tail) = head convention); otherwise the tail's inbox keeps its
+/// prior contents. One EREW step.
+template <class Exec, class T>
+void pull_from_next(Exec& exec, const list::LinkedList& list,
+                    const std::vector<index_t>& pred,
+                    const std::vector<T>& src, std::vector<T>& inbox,
+                    bool circular) {
+  const std::size_t n = list.size();
+  LLMP_CHECK(src.size() == n && inbox.size() == n && pred.size() == n);
+  const index_t tail = list.tail();
+  exec.step(n, [&](std::size_t u, auto&& m) {
+    index_t p = m.rd(pred, u);
+    if (p == knil) {
+      if (!circular) return;
+      p = tail;
+    }
+    m.wr(inbox, static_cast<std::size_t>(p), m.rd(src, u));
+  });
+}
+
+/// inbox[v] := src[pred(v)] — every node pushes its value to its
+/// successor. With `circular`, the tail pushes to the head. One EREW step.
+template <class Exec, class T>
+void pull_from_pred(Exec& exec, const list::LinkedList& list,
+                    const std::vector<T>& src, std::vector<T>& inbox,
+                    bool circular) {
+  const std::size_t n = list.size();
+  LLMP_CHECK(src.size() == n && inbox.size() == n);
+  const auto& next = list.next_array();
+  const index_t head = list.head();
+  exec.step(n, [&](std::size_t u, auto&& m) {
+    index_t s = m.rd(next, u);
+    if (s == knil) {
+      if (!circular) return;
+      s = head;
+    }
+    m.wr(inbox, static_cast<std::size_t>(s), m.rd(src, u));
+  });
+}
+
+}  // namespace llmp::core

@@ -1,0 +1,66 @@
+#include "core/lookup_table.h"
+
+#include <algorithm>
+
+namespace llmp::core {
+
+MatchingLookupTable::MatchingLookupTable(int component_bits, int tuple_width,
+                                         BitRule rule, int collapse_width)
+    : component_bits_(component_bits),
+      tuple_width_(tuple_width),
+      collapse_width_(collapse_width == 0 ? tuple_width : collapse_width),
+      rule_(rule) {
+  LLMP_CHECK(component_bits >= 1 && tuple_width >= 1);
+  LLMP_CHECK(collapse_width_ >= 1 && collapse_width_ <= tuple_width);
+  const int key_bits = component_bits * tuple_width;
+  LLMP_CHECK_MSG(key_bits <= kMaxKeyBits,
+                 "table would need 2^" << key_bits << " cells");
+  table_.resize(std::size_t{1} << key_bits);
+  std::vector<label_t> comp(static_cast<std::size_t>(collapse_width_));
+  const label_t comp_mask = (label_t{1} << component_bits) - 1;
+  const int skip_bits = component_bits * (tuple_width - collapse_width_);
+  for (std::size_t key = 0; key < table_.size(); ++key) {
+    // Decompose; component 0 is the most significant b-bit field. Only the
+    // first collapse_width components participate in the value.
+    label_t k = static_cast<label_t>(key) >> skip_bits;
+    for (int i = collapse_width_ - 1; i >= 0; --i) {
+      comp[static_cast<std::size_t>(i)] = k & comp_mask;
+      k >>= component_bits;
+    }
+    const label_t v = collapse(comp, rule_);
+    LLMP_CHECK(v <= 0xFF);
+    table_[key] = static_cast<std::uint8_t>(v);
+    // Track the bound over valid keys only (adjacent components differ).
+    bool valid = true;
+    for (int i = 0; i + 1 < collapse_width_; ++i)
+      valid &= comp[static_cast<std::size_t>(i)] !=
+               comp[static_cast<std::size_t>(i) + 1];
+    if (valid) final_bound_ = std::max(final_bound_, v + 1);
+  }
+  if (collapse_width_ == 1)
+    final_bound_ = label_t{1} << component_bits;  // identity collapse
+}
+
+std::vector<label_t> MatchingLookupTable::components(label_t key) const {
+  std::vector<label_t> comp(static_cast<std::size_t>(tuple_width_));
+  const label_t comp_mask = (label_t{1} << component_bits_) - 1;
+  for (int i = tuple_width_ - 1; i >= 0; --i) {
+    comp[static_cast<std::size_t>(i)] = key & comp_mask;
+    key >>= component_bits_;
+  }
+  return comp;
+}
+
+label_t MatchingLookupTable::collapse(const std::vector<label_t>& a,
+                                      BitRule rule) {
+  LLMP_CHECK(!a.empty());
+  std::vector<label_t> level(a);
+  while (level.size() > 1) {
+    for (std::size_t i = 0; i + 1 < level.size(); ++i)
+      level[i] = safe_partition_value(level[i], level[i + 1], rule);
+    level.pop_back();
+  }
+  return level[0];
+}
+
+}  // namespace llmp::core

@@ -1,0 +1,139 @@
+// Lookup tables for iterated matching partition functions (Match3 step 4
+// and the paper's appendix).
+//
+// Match3 concatenates the (crunched, b-bit) labels of w = 2^r consecutive
+// nodes into one key of b·w bits and resolves the whole remaining
+// reduction with a single table probe: T[key] = f^(w)(a_1, …, a_w), the
+// w-fold iterated matching partition function evaluated on the key's
+// components. f^(w) is itself a matching partition function (paper §2), so
+// T[key(v)] != T[key(suc(v))] whenever adjacent node labels differ — and
+// with b >= 3-bit components the collapsed value lands in the fixed-point
+// alphabet {0..5}, ready for Match1 steps 3–4.
+//
+// The appendix constructs such a table on the EREW PRAM by *guessing* the
+// i(i+1)/2 pyramid cells f^(q+1)(a_p..a_{p+q}) of every key, verifying
+// each cell from the two cells below it in one parallel step, and fanning
+// in the per-cell verdicts with a binary tree in O(log w) steps. We
+// reproduce that scheme in verify_pyramid (templated on the executor so
+// the Machine can audit its depth and memory discipline): the simulator
+// cannot enumerate exponentially many guesses at once, so it plays the
+// nondeterministic move by presenting the (unique) consistent guess and
+// then runs the paper's verification circuit verbatim. Its measured depth
+// — O(log w), independent of n — is experiment E11.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/partition_fn.h"
+#include "support/check.h"
+#include "support/types.h"
+
+namespace llmp::core {
+
+/// f extended to equal arguments (never queried for valid list keys):
+/// returns 0 so table construction can enumerate all bit patterns.
+inline label_t safe_partition_value(label_t a, label_t b, BitRule rule) {
+  return a == b ? 0 : partition_value(a, b, rule);
+}
+
+class MatchingLookupTable {
+ public:
+  static constexpr int kMaxKeyBits = 26;  // 64 MiB of uint8 cells at most
+
+  /// Build T for tuples of `tuple_width` components of `component_bits`
+  /// bits each (component_bits·tuple_width <= kMaxKeyBits).
+  /// `collapse_width` (default 0 = tuple_width) collapses only the first
+  /// that many components: T[key] = f^(collapse_width)(a_1 … a_cw). Match3
+  /// collapses the full tuple to a constant; Match4's fast partition
+  /// (Lemma 5) stops at w = i−k+1 components to land on Θ(log^(i) n) sets
+  /// even though pointer jumping gathered a power-of-two tuple.
+  MatchingLookupTable(int component_bits, int tuple_width, BitRule rule,
+                      int collapse_width = 0);
+
+  /// T[key]: the collapsed label, < final_bound().
+  label_t value(label_t key) const {
+    LLMP_DCHECK(key < table_.size());
+    return table_[static_cast<std::size_t>(key)];
+  }
+
+  int component_bits() const { return component_bits_; }
+  int tuple_width() const { return tuple_width_; }
+  int collapse_width() const { return collapse_width_; }
+  std::size_t cells() const { return table_.size(); }
+  /// Exclusive upper bound of stored values over *valid* keys (those whose
+  /// adjacent components differ); <= 6 whenever component_bits <= 3.
+  label_t final_bound() const { return final_bound_; }
+  BitRule rule() const { return rule_; }
+
+  /// Split a key into its components, a[0] = most significant (the tuple
+  /// head's own label, per Match3's concatenation order).
+  std::vector<label_t> components(label_t key) const;
+
+  /// Collapse one tuple directly (no table) — the ground truth the table
+  /// is built from and that tests compare against.
+  static label_t collapse(const std::vector<label_t>& a, BitRule rule);
+
+ private:
+  int component_bits_;
+  int tuple_width_;
+  int collapse_width_;
+  BitRule rule_;
+  label_t final_bound_ = 0;
+  std::vector<std::uint8_t> table_;
+};
+
+/// Appendix guess-and-verify construction audit: presents the consistent
+/// pyramid for `key` and runs the paper's verification circuit — one
+/// parallel step checking every cell against the two below it, then a
+/// binary AND-reduction tree. Returns true iff the pyramid verifies.
+/// Depth: 1 + ceil(log2(#cells)); #cells = w(w+1)/2.
+template <class Exec>
+bool verify_pyramid(Exec& exec, const MatchingLookupTable& table,
+                    label_t key) {
+  const int w = table.collapse_width();
+  auto all = table.components(key);
+  std::vector<label_t> base(all.begin(), all.begin() + w);
+  // cells[level][pos] flattened; level 0 = the w components.
+  std::vector<std::vector<label_t>> pyramid(static_cast<std::size_t>(w));
+  pyramid[0] = base;
+  for (int level = 1; level < w; ++level) {
+    pyramid[level].resize(static_cast<std::size_t>(w - level));
+    for (int i = 0; i + level < w; ++i)
+      pyramid[level][i] =
+          safe_partition_value(pyramid[level - 1][i], pyramid[level - 1][i + 1],
+                               table.rule());
+  }
+  // Flatten the guessed cells (levels >= 1) and verify each in parallel.
+  struct Cell {
+    int level, pos;
+  };
+  std::vector<Cell> cells;
+  for (int level = 1; level < w; ++level)
+    for (int i = 0; i + level < w; ++i) cells.push_back({level, i});
+  std::vector<std::uint8_t> ok(cells.size() == 0 ? 1 : cells.size(), 1);
+  exec.step(cells.size(), [&](std::size_t c, auto&& m) {
+    const auto [level, pos] = cells[c];
+    const label_t expect = safe_partition_value(
+        pyramid[level - 1][pos], pyramid[level - 1][pos + 1], table.rule());
+    m.wr(ok, c, static_cast<std::uint8_t>(pyramid[level][pos] == expect));
+  });
+  // Binary fan-in of the verdicts (the appendix's O(log i) AND tree).
+  for (std::size_t span = 1; span < ok.size(); span <<= 1) {
+    exec.step((ok.size() + 2 * span - 1) / (2 * span), [&](std::size_t v,
+                                                           auto&& m) {
+      const std::size_t lhs = v * 2 * span;
+      const std::size_t rhs = lhs + span;
+      if (rhs < ok.size()) {
+        const std::uint8_t a = m.rd(ok, lhs);
+        const std::uint8_t b = m.rd(ok, rhs);
+        m.wr(ok, lhs, static_cast<std::uint8_t>(a & b));
+      }
+    });
+  }
+  const bool verified = ok[0] != 0;
+  // The verified apex must equal the table entry.
+  return verified && pyramid[w - 1][0] == table.value(key);
+}
+
+}  // namespace llmp::core

@@ -1,0 +1,66 @@
+// Algorithm Match1 (paper §2; Han [6] / Cole–Vishkin [3]).
+//
+//   Step 1  label[v] := address of v
+//   Step 2  repeat ~G(n) times: label[v] := f(label[v], label[suc(v)])
+//   Step 3  cut <v, suc(v)> at label local minima
+//   Step 4  walk each constant-length sublist, taking alternate pointers
+//
+// Time O(n·G(n)/p + G(n)) (Lemma 3): step 2 runs Θ(G(n)) synchronous
+// steps of n processors. Not optimal — the whole point of the paper is to
+// do better — but it is the building block every later algorithm reuses
+// (Match3 and Match4 call steps 3–4 verbatim via cut.h).
+#pragma once
+
+#include <string>
+
+#include "core/cut.h"
+#include "core/match_result.h"
+#include "core/partition_fn.h"
+#include "list/linked_list.h"
+
+namespace llmp::core {
+
+struct Match1Options {
+  BitRule rule = BitRule::kMostSignificant;
+  /// Run the EREW-legal variant (inbox fan-outs instead of neighbour
+  /// reads): ~2x the steps, verified exclusive by pram::Machine.
+  bool erew = false;
+};
+
+template <class Exec>
+MatchResult match1(Exec& exec, const list::LinkedList& list,
+                   const Match1Options& opt = {}) {
+  MatchResult r;
+  const std::size_t n = list.size();
+  const pram::Stats start = exec.stats();
+  pram::Stats mark = start;
+  auto phase = [&](const std::string& name) {
+    r.phases.push_back({name, exec.stats() - mark});
+    mark = exec.stats();
+  };
+
+  auto pred = parallel_predecessors(exec, list);
+  phase("pred");
+
+  std::vector<label_t> labels;
+  init_address_labels(exec, n, labels);
+  r.relabel_rounds =
+      opt.erew ? reduce_to_constant_erew(exec, list, pred, labels, opt.rule)
+               : reduce_to_constant(exec, list, labels, opt.rule);
+  r.partition_sets = distinct_labels(labels);
+  phase("reduce");
+
+  r.cut = opt.erew
+              ? cut_and_walk_erew(exec, list, pred, labels, kFixedPointBound,
+                                  r.in_matching)
+              : cut_and_walk(exec, list, pred, labels, kFixedPointBound,
+                             r.in_matching);
+  phase("cut+walk");
+
+  r.edges = 0;
+  for (auto b : r.in_matching) r.edges += (b != 0);
+  r.cost = exec.stats() - start;
+  return r;
+}
+
+}  // namespace llmp::core

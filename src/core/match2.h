@@ -1,0 +1,122 @@
+// Algorithm Match2 (paper §2; Han [6] / Cole–Vishkin [3]) — the optimal
+// O(n/p + log n) algorithm whose sort step the paper's contribution
+// (Match4) eliminates.
+//
+//   Step 1  partition the pointers into ≤ 2·log^(2) n·(1+o(1)) matching
+//           sets (two relabel rounds, i.e. f^(3))
+//   Step 2  *globally* sort pointers by set number so each set is
+//           contiguous — integers in {0..R−1}, R = O(log log n)
+//   Step 3  sweep the sets one at a time; within a set all pointers are
+//           node-disjoint, so each checks DONE on its endpoints, claims
+//           both, and joins S
+//
+// The sort is a parallel stable counting sort (pram/prefix.h); the paper's
+// point — visible in this implementation's phase breakdown (E5) — is that
+// the sort is the only phase whose time does not scale down to O(n/p)
+// with many processors, which makes Match2 "inefficient" beyond
+// p = O(n / log n).
+#pragma once
+
+#include <string>
+
+#include "core/match_result.h"
+#include "core/partition_fn.h"
+#include "list/linked_list.h"
+#include "pram/prefix.h"
+
+namespace llmp::core {
+
+struct Match2Options {
+  /// Relabel rounds in step 1. Two rounds compute f^(3): set numbers
+  /// bounded by 2·ceil(log2(2·ceil(log2 n))) = O(log log n), the paper's
+  /// choice. More rounds shrink R further at one extra step each.
+  int partition_rounds = 2;
+  BitRule rule = BitRule::kMostSignificant;
+  /// Histogram blocks for the sort; 0 = use the executor's p.
+  std::size_t sort_blocks = 0;
+  /// Run the EREW-legal variant. The paper's Lemma 4 is an EREW bound and
+  /// the appendix notes Match2 runs on EREW "without any precomputation";
+  /// only step 1's relabel needs the inbox fan-out — the sort and the
+  /// sweep are exclusive already.
+  bool erew = false;
+};
+
+template <class Exec>
+MatchResult match2(Exec& exec, const list::LinkedList& list,
+                   const Match2Options& opt = {}) {
+  MatchResult r;
+  const std::size_t n = list.size();
+  const pram::Stats start = exec.stats();
+  pram::Stats mark = start;
+  auto phase = [&](const std::string& name) {
+    r.phases.push_back({name, exec.stats() - mark});
+    mark = exec.stats();
+  };
+
+  // Step 1: matching partition into R sets.
+  std::vector<label_t> labels;
+  init_address_labels(exec, n, labels);
+  label_t bound = static_cast<label_t>(n);
+  if (n > 1) {
+    if (opt.erew) {
+      auto pred = parallel_predecessors(exec, list);
+      relabel_rounds_erew(exec, list, pred, labels, opt.partition_rounds,
+                          opt.rule);
+    } else {
+      relabel_rounds(exec, list, labels, opt.partition_rounds, opt.rule);
+    }
+    for (int t = 0; t < opt.partition_rounds; ++t)
+      bound = partition_bound_after(bound);
+  } else {
+    bound = 1;
+  }
+  r.relabel_rounds = opt.partition_rounds;
+  r.partition_sets = distinct_labels(labels);
+  phase("partition");
+
+  // Step 2: global sort of pointers by set number. (The tail has no real
+  // pointer; it is sorted along and skipped in the sweep.)
+  const index_t range = static_cast<index_t>(bound);
+  std::vector<index_t> keys(n);
+  exec.step(n, [&](std::size_t v, auto&& m) {
+    m.wr(keys, v, static_cast<index_t>(m.rd(labels, v)));
+  });
+  const std::size_t blocks =
+      opt.sort_blocks == 0 ? exec.processors() : opt.sort_blocks;
+  pram::SortedByKey sorted =
+      pram::counting_sort_by_key(exec, keys, range, blocks);
+  phase("sort");
+
+  // Step 3: process the sets one by one.
+  const auto& next = list.next_array();
+  std::vector<std::uint8_t> done(n);
+  r.in_matching.assign(n, 0);
+  exec.step(n, [&](std::size_t v, auto&& m) {
+    m.wr(done, v, std::uint8_t{0});
+  });
+  for (index_t k = 0; k < range; ++k) {
+    const std::uint64_t lo = sorted.offsets[k];
+    const std::uint64_t hi = sorted.offsets[k + 1];
+    if (lo == hi) continue;
+    exec.step(static_cast<std::size_t>(hi - lo), [&](std::size_t t,
+                                                     auto&& m) {
+      const index_t v = m.rd(sorted.order, static_cast<std::size_t>(lo) + t);
+      const index_t s = m.rd(next, static_cast<std::size_t>(v));
+      if (s == knil) return;  // tail: no pointer
+      if (m.rd(done, static_cast<std::size_t>(v)) ||
+          m.rd(done, static_cast<std::size_t>(s)))
+        return;
+      m.wr(done, static_cast<std::size_t>(v), std::uint8_t{1});
+      m.wr(done, static_cast<std::size_t>(s), std::uint8_t{1});
+      m.wr(r.in_matching, static_cast<std::size_t>(v), std::uint8_t{1});
+    });
+  }
+  phase("sweep");
+
+  r.edges = 0;
+  for (auto b : r.in_matching) r.edges += (b != 0);
+  r.cost = exec.stats() - start;
+  return r;
+}
+
+}  // namespace llmp::core

@@ -1,0 +1,45 @@
+// Result type shared by all matching algorithms.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/cut.h"
+#include "pram/stats.h"
+#include "support/types.h"
+
+namespace llmp::core {
+
+struct MatchResult {
+  /// in_matching[v] == 1 ⇔ pointer <v, suc(v)> is in the matching.
+  std::vector<std::uint8_t> in_matching;
+  std::size_t edges = 0;  ///< number of chosen pointers
+
+  pram::Stats cost;              ///< total PRAM cost of the run
+  pram::PhaseBreakdown phases;   ///< per-phase deltas (see stats.h)
+
+  int relabel_rounds = 0;        ///< deterministic-coin-tossing rounds used
+  int gather_rounds = 0;         ///< Match3/4 concatenation-jump rounds
+  std::size_t table_cells = 0;   ///< Match3/4 lookup-table size (0 = none)
+  std::size_t partition_sets = 0;  ///< matching sets before combining
+  CutStats cut;                  ///< step-3/4 audit numbers
+};
+
+/// Compute the predecessor array as one PRAM step pair (init + scatter);
+/// writes are exclusive (each node has at most one predecessor) — EREW.
+template <class Exec>
+std::vector<index_t> parallel_predecessors(Exec& exec,
+                                           const list::LinkedList& list) {
+  const std::size_t n = list.size();
+  const auto& next = list.next_array();
+  std::vector<index_t> pred(n);
+  exec.step(n, [&](std::size_t v, auto&& m) { m.wr(pred, v, knil); });
+  exec.step(n, [&](std::size_t v, auto&& m) {
+    const index_t s = m.rd(next, v);
+    if (s != knil) m.wr(pred, static_cast<std::size_t>(s),
+                        static_cast<index_t>(v));
+  });
+  return pred;
+}
+
+}  // namespace llmp::core

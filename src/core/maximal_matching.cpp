@@ -1,0 +1,17 @@
+#include "core/maximal_matching.h"
+
+namespace llmp::core {
+
+std::string to_string(Algorithm alg) {
+  switch (alg) {
+    case Algorithm::kSequential: return "sequential";
+    case Algorithm::kMatch1: return "Match1";
+    case Algorithm::kMatch2: return "Match2";
+    case Algorithm::kMatch3: return "Match3";
+    case Algorithm::kMatch4: return "Match4";
+    case Algorithm::kRandomized: return "randomized";
+  }
+  return "?";
+}
+
+}  // namespace llmp::core

@@ -1,0 +1,78 @@
+// Public entry point: pick an algorithm, get a maximal matching plus its
+// PRAM cost accounting. This is the API the examples and benches use; the
+// individual algorithm headers remain available for fine-grained options.
+//
+//   llmp::pram::SeqExec exec(/*processors=*/64);
+//   auto list = llmp::list::generators::random_list(1 << 20, /*seed=*/1);
+//   auto result = llmp::core::maximal_matching(
+//       exec, list, {.algorithm = llmp::core::Algorithm::kMatch4,
+//                    .i_parameter = 3});
+//   llmp::core::verify::check_maximal(list, result.in_matching);
+#pragma once
+
+#include <string>
+
+#include "core/match1.h"
+#include "core/match2.h"
+#include "core/match3.h"
+#include "core/match4.h"
+#include "core/random_match.h"
+#include "core/sequential.h"
+
+namespace llmp::core {
+
+enum class Algorithm {
+  kSequential,  ///< greedy walk, T1 = n (the optimality baseline)
+  kMatch1,      ///< O(n·G(n)/p + G(n))
+  kMatch2,      ///< O(n/p + log n), sort-bound
+  kMatch3,      ///< O(n·log G(n)/p + log G(n)), not optimal
+  kMatch4,      ///< this paper: O(n·log i/p + log^(i) n + log i)
+  kRandomized,  ///< Luby-style coin tossing, O(log n) rounds w.h.p.
+};
+
+std::string to_string(Algorithm alg);
+
+struct MatchOptions {
+  Algorithm algorithm = Algorithm::kMatch4;
+  /// Match4's adjustable i (rows = Θ(log^(i) n)); also reused as Match2's
+  /// partition rounds and Match3's crunch rounds when nonzero.
+  int i_parameter = 3;
+  /// Match4: use the Lemma 5 table-accelerated partition.
+  bool partition_with_table = false;
+  BitRule rule = BitRule::kMostSignificant;
+  std::uint64_t seed = 0x9e3779b97f4a7c15ULL;  ///< randomized baseline only
+};
+
+template <class Exec>
+MatchResult maximal_matching(Exec& exec, const list::LinkedList& list,
+                             const MatchOptions& opt = {}) {
+  switch (opt.algorithm) {
+    case Algorithm::kSequential:
+      return sequential_matching(list);
+    case Algorithm::kMatch1:
+      return match1(exec, list, Match1Options{opt.rule});
+    case Algorithm::kMatch2: {
+      Match2Options o;
+      o.rule = opt.rule;
+      return match2(exec, list, o);
+    }
+    case Algorithm::kMatch3: {
+      Match3Options o;
+      o.rule = opt.rule;
+      return match3(exec, list, o);
+    }
+    case Algorithm::kMatch4: {
+      Match4Options o;
+      o.i_parameter = opt.i_parameter;
+      o.partition_with_table = opt.partition_with_table;
+      o.rule = opt.rule;
+      return match4(exec, list, o);
+    }
+    case Algorithm::kRandomized:
+      return random_matching(exec, list, RandomMatchOptions{opt.seed});
+  }
+  LLMP_CHECK_MSG(false, "unknown algorithm");
+  return {};
+}
+
+}  // namespace llmp::core

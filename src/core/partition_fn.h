@@ -1,0 +1,173 @@
+// Matching partition functions (paper §2, Lemmas 1–2).
+//
+// A function m is a *matching partition function* when
+// m(a,b) != m(b,c) whenever a != b or b != c: labeling every pointer
+// <a, suc(a)> of a linked list with m(a, suc(a)) then partitions the
+// pointers into classes in which no two pointers share a node — matching
+// sets. The paper's function is
+//
+//     f(<a,b>) = 2k + a_k,   k = max{ i : bit i of (a XOR b) is 1 },
+//
+// where a_k (whether the tail's distinguishing bit is set) doubles as the
+// forward/backward direction of the pointer across the bisecting line of
+// Fig. 2. The variant with k = min{...} (used in [6,15] and in Cole–
+// Vishkin's deterministic coin tossing) trades the bisection intuition for
+// cheaper evaluation; both are implemented and proven equivalent in the
+// tests (both are matching partition functions; their set counts match the
+// same bound).
+//
+// Applying f once maps labels < B to labels < 2·ceil(log2 B) (Lemma 1:
+// addresses < n give at most 2 log n matching sets). Re-applying f to the
+// labels coarsens the partition (Lemma 2: f^(k) yields 2·log^(k−1) n·
+// (1+o(1)) sets) and reaches the fixed point B = 6 after ~G(n) rounds,
+// where labels take values in {0..5} and adjacent pointers still differ —
+// the basis of Match1 and of the 6→3 coloring in apps/.
+#pragma once
+
+#include <vector>
+
+#include "core/fanout.h"
+#include "list/linked_list.h"
+#include "support/bits.h"
+#include "support/check.h"
+#include "support/types.h"
+
+namespace llmp::core {
+
+enum class BitRule {
+  kMostSignificant,   // the paper's f: k = msb(a XOR b) (Fig. 2 intuition)
+  kLeastSignificant,  // the [6,15]/[3] variant: k = lsb(a XOR b)
+};
+
+/// f(<a,b>) = 2k + a_k. Precondition: a != b.
+inline label_t partition_value(label_t a, label_t b, BitRule rule) {
+  LLMP_DCHECK(a != b);
+  const label_t x = a ^ b;
+  const int k = rule == BitRule::kMostSignificant ? bits::msb_index(x)
+                                                  : bits::lsb_index(x);
+  return 2 * static_cast<label_t>(k) + ((a >> k) & 1);
+}
+
+/// Upper bound on f's value when both arguments are < `input_bound`:
+/// one application maps [0, B) into [0, 2·ceil(log2 B)). The fixed point
+/// is 6 — the constant label alphabet Match1 cuts on.
+label_t partition_bound_after(label_t input_bound);
+
+/// The fixed-point alphabet size: labels no longer shrink once < 6.
+inline constexpr label_t kFixedPointBound = 6;
+
+/// One synchronous relabel step over the whole (circularly closed) list:
+/// out[v] = f(in[v], in[suc(v)]). One PRAM step, n processors, EREW-illegal
+/// only in that each cell is read by its own and its predecessor's
+/// processor — i.e. it is CREW (the machine tests pin this down).
+template <class Exec>
+void relabel(Exec& exec, const list::LinkedList& list,
+             const std::vector<label_t>& in, std::vector<label_t>& out,
+             BitRule rule) {
+  LLMP_CHECK(in.size() == list.size());
+  LLMP_CHECK(out.size() == list.size());
+  const std::size_t n = list.size();
+  const auto& next = list.next_array();
+  const index_t head = list.head();
+  exec.step(n, [&](std::size_t v, auto&& m) {
+    const index_t raw = m.rd(next, v);
+    const index_t s = raw == knil ? head : raw;
+    const label_t a = m.rd(in, v);
+    const label_t b = m.rd(in, static_cast<std::size_t>(s));
+    m.wr(out, v, partition_value(a, b, rule));
+  });
+}
+
+/// EREW relabel: two steps — fan the successor labels into per-node
+/// inboxes (exclusive writes), then combine locally (exclusive reads).
+/// Same result as relabel(); costs one extra step and one extra array.
+template <class Exec>
+void relabel_erew(Exec& exec, const list::LinkedList& list,
+                  const std::vector<index_t>& pred,
+                  const std::vector<label_t>& in, std::vector<label_t>& out,
+                  std::vector<label_t>& inbox, BitRule rule) {
+  const std::size_t n = list.size();
+  LLMP_CHECK(in.size() == n && out.size() == n && inbox.size() == n);
+  pull_from_next(exec, list, pred, in, inbox, /*circular=*/true);
+  exec.step(n, [&](std::size_t v, auto&& m) {
+    m.wr(out, v, partition_value(m.rd(in, v), m.rd(inbox, v), rule));
+  });
+}
+
+/// Assign initial labels: the node's own address (paper Match1 step 1).
+template <class Exec>
+void init_address_labels(Exec& exec, std::size_t n,
+                         std::vector<label_t>& labels) {
+  labels.assign(n, 0);
+  exec.step(n, [&](std::size_t v, auto&& m) {
+    m.wr(labels, v, static_cast<label_t>(v));
+  });
+}
+
+/// Iterate `rounds` relabel steps (computing f^(rounds+1)); labels must
+/// start pairwise-distinct-adjacent (addresses qualify). Uses an internal
+/// scratch buffer; `labels` holds the result.
+template <class Exec>
+void relabel_rounds(Exec& exec, const list::LinkedList& list,
+                    std::vector<label_t>& labels, int rounds, BitRule rule) {
+  std::vector<label_t> tmp(labels.size());
+  for (int r = 0; r < rounds; ++r) {
+    relabel(exec, list, labels, tmp, rule);
+    labels.swap(tmp);
+  }
+}
+
+/// Iterate relabel steps until the label *bound* reaches the fixed point
+/// (< 6). Returns the number of rounds executed — Θ(G(n)), compared
+/// against itlog::G in the Lemma 2 tests. Single-node lists need no work.
+template <class Exec>
+int reduce_to_constant(Exec& exec, const list::LinkedList& list,
+                       std::vector<label_t>& labels, BitRule rule) {
+  if (list.size() <= 1) return 0;
+  label_t bound = static_cast<label_t>(list.size());
+  int rounds = 0;
+  std::vector<label_t> tmp(labels.size());
+  while (bound > kFixedPointBound) {
+    relabel(exec, list, labels, tmp, rule);
+    labels.swap(tmp);
+    bound = partition_bound_after(bound);
+    ++rounds;
+  }
+  return rounds;
+}
+
+/// EREW counterpart of relabel_rounds (needs the predecessor array).
+template <class Exec>
+void relabel_rounds_erew(Exec& exec, const list::LinkedList& list,
+                         const std::vector<index_t>& pred,
+                         std::vector<label_t>& labels, int rounds,
+                         BitRule rule) {
+  std::vector<label_t> tmp(labels.size()), inbox(labels.size());
+  for (int r = 0; r < rounds; ++r) {
+    relabel_erew(exec, list, pred, labels, tmp, inbox, rule);
+    labels.swap(tmp);
+  }
+}
+
+/// EREW counterpart of reduce_to_constant.
+template <class Exec>
+int reduce_to_constant_erew(Exec& exec, const list::LinkedList& list,
+                            const std::vector<index_t>& pred,
+                            std::vector<label_t>& labels, BitRule rule) {
+  if (list.size() <= 1) return 0;
+  label_t bound = static_cast<label_t>(list.size());
+  int rounds = 0;
+  std::vector<label_t> tmp(labels.size()), inbox(labels.size());
+  while (bound > kFixedPointBound) {
+    relabel_erew(exec, list, pred, labels, tmp, inbox, rule);
+    labels.swap(tmp);
+    bound = partition_bound_after(bound);
+    ++rounds;
+  }
+  return rounds;
+}
+
+/// Number of distinct values among labels[v] for all n circular pointers.
+std::size_t distinct_labels(const std::vector<label_t>& labels);
+
+}  // namespace llmp::core

@@ -1,0 +1,102 @@
+// Randomized coin-tossing baseline (the prior-art family the paper's
+// introduction contrasts with: randomized list algorithms à la Miller–Reif
+// [11,13]). Luby-style symmetry breaking on the path graph of pointers:
+// every round, each still-active pointer draws a random priority; a
+// pointer joins the matching when its priority beats both neighbours'.
+// Selected pointers and their neighbours deactivate; a constant expected
+// fraction of active pointers dies per round, so O(log n) rounds w.h.p.
+// — which is exactly what the deterministic algorithms beat.
+#pragma once
+
+#include <string>
+
+#include "core/match_result.h"
+#include "list/linked_list.h"
+#include "support/rng.h"
+
+namespace llmp::core {
+
+struct RandomMatchOptions {
+  std::uint64_t seed = 0x9e3779b97f4a7c15ULL;
+};
+
+namespace detail {
+/// Deterministic per-(round, node) priority: a pure function, so every
+/// virtual processor can evaluate it locally with no shared RNG state.
+inline std::uint64_t priority(std::uint64_t seed, std::uint64_t round,
+                              std::uint64_t v) {
+  rng::SplitMix64 sm(seed ^ (round * 0xa0761d6478bd642fULL) ^
+                     (v * 0xe7037ed1a0b428dbULL));
+  return sm.next();
+}
+}  // namespace detail
+
+template <class Exec>
+MatchResult random_matching(Exec& exec, const list::LinkedList& list,
+                            const RandomMatchOptions& opt = {}) {
+  MatchResult r;
+  const std::size_t n = list.size();
+  const pram::Stats start = exec.stats();
+  const auto& next = list.next_array();
+  auto pred = parallel_predecessors(exec, list);
+
+  std::vector<std::uint8_t> active(n), covered(n), selected(n);
+  r.in_matching.assign(n, 0);
+  exec.step(n, [&](std::size_t v, auto&& m) {
+    m.wr(active, v, static_cast<std::uint8_t>(m.rd(next, v) != knil));
+    m.wr(covered, v, std::uint8_t{0});
+  });
+
+  std::size_t remaining = list.pointers();
+  int rounds = 0;
+  while (remaining > 0) {
+    const std::uint64_t round = static_cast<std::uint64_t>(rounds);
+    // Draw priorities implicitly; select local maxima among active
+    // pointers (ties broken by node id, which priority() makes measure-0
+    // anyway).
+    exec.step(n, [&](std::size_t v, auto&& m) {
+      m.wr(selected, v, std::uint8_t{0});
+      if (!m.rd(active, v)) return;
+      const std::uint64_t mine = detail::priority(opt.seed, round, v);
+      const index_t pv = m.rd(pred, v);
+      if (pv != knil && m.rd(active, static_cast<std::size_t>(pv)) &&
+          detail::priority(opt.seed, round, pv) >= mine)
+        return;
+      const index_t s = m.rd(next, v);
+      if (s != knil && m.rd(next, static_cast<std::size_t>(s)) != knil &&
+          m.rd(active, static_cast<std::size_t>(s)) &&
+          detail::priority(opt.seed, round, s) > mine)
+        return;
+      m.wr(selected, v, std::uint8_t{1});
+    });
+    // Commit selections: cover both endpoints.
+    exec.step(n, [&](std::size_t v, auto&& m) {
+      if (!m.rd(selected, v)) return;
+      m.wr(r.in_matching, v, std::uint8_t{1});
+      m.wr(covered, v, std::uint8_t{1});
+      m.wr(covered, static_cast<std::size_t>(m.rd(next, v)), std::uint8_t{1});
+    });
+    // Deactivate pointers with a covered endpoint.
+    exec.step(n, [&](std::size_t v, auto&& m) {
+      if (!m.rd(active, v)) return;
+      const index_t s = m.rd(next, v);
+      if (m.rd(covered, v) || m.rd(covered, static_cast<std::size_t>(s)))
+        m.wr(active, v, std::uint8_t{0});
+    });
+    // Loop control (host side; a PRAM would OR-reduce in O(log n) once).
+    std::size_t still = 0;
+    for (std::size_t v = 0; v < n; ++v) still += (active[v] != 0);
+    LLMP_CHECK_MSG(still < remaining, "no progress in a randomized round");
+    remaining = still;
+    ++rounds;
+  }
+
+  r.relabel_rounds = rounds;
+  r.edges = 0;
+  for (auto b : r.in_matching) r.edges += (b != 0);
+  r.cost = exec.stats() - start;
+  r.phases.push_back({"rounds", r.cost});
+  return r;
+}
+
+}  // namespace llmp::core

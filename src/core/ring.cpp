@@ -1,0 +1,73 @@
+#include "core/ring.h"
+
+#include "support/rng.h"
+
+namespace llmp::core {
+
+void check_ring(const std::vector<index_t>& ring_next) {
+  const std::size_t n = ring_next.size();
+  LLMP_CHECK_MSG(n >= 1, "empty ring");
+  std::vector<std::uint8_t> indeg(n, 0);
+  for (index_t v = 0; v < n; ++v) {
+    LLMP_CHECK_MSG(ring_next[v] < n, "successor out of range");
+    LLMP_CHECK_MSG(indeg[ring_next[v]] == 0, "two predecessors");
+    indeg[ring_next[v]] = 1;
+  }
+  std::size_t seen = 0;
+  index_t v = 0;
+  do {
+    ++seen;
+    LLMP_CHECK_MSG(seen <= n, "not a single cycle");
+    v = ring_next[v];
+  } while (v != 0);
+  LLMP_CHECK_MSG(seen == n, "links form more than one cycle");
+}
+
+void check_ring_matching(const std::vector<index_t>& ring_next,
+                         const std::vector<std::uint8_t>& in_matching) {
+  check_ring(ring_next);
+  const std::size_t n = ring_next.size();
+  LLMP_CHECK(in_matching.size() == n);
+  if (n <= 1) {
+    LLMP_CHECK_MSG(in_matching[0] == 0, "self-loop cannot be matched");
+    return;
+  }
+  // Validity: no two cyclically adjacent pointers chosen; n == 2 is the
+  // special case where the two pointers share *both* endpoints.
+  if (n == 2) {
+    LLMP_CHECK_MSG(!(in_matching[0] && in_matching[1]),
+                   "both parallel pointers chosen");
+    LLMP_CHECK_MSG(in_matching[0] || in_matching[1], "not maximal");
+    return;
+  }
+  std::vector<std::uint8_t> covered(n, 0);
+  for (index_t v = 0; v < n; ++v) {
+    if (!in_matching[v]) continue;
+    const index_t s = ring_next[v];
+    LLMP_CHECK_MSG(!covered[v] && !covered[s],
+                   "pointers sharing node chosen");
+    covered[v] = 1;
+    covered[s] = 1;
+  }
+  for (index_t v = 0; v < n; ++v) {
+    if (in_matching[v]) continue;
+    LLMP_CHECK_MSG(covered[v] || covered[ring_next[v]],
+                   "pointer <" << v << "," << ring_next[v]
+                               << "> addable: not maximal");
+  }
+}
+
+std::vector<index_t> random_ring(std::size_t n, std::uint64_t seed) {
+  LLMP_CHECK(n >= 1);
+  std::vector<index_t> perm(n);
+  for (index_t v = 0; v < n; ++v) perm[v] = v;
+  rng::Xoshiro256 gen(seed);
+  for (std::size_t i = n - 1; i > 0; --i)
+    std::swap(perm[i], perm[gen.below(i + 1)]);
+  std::vector<index_t> next(n);
+  for (std::size_t i = 0; i < n; ++i)
+    next[perm[i]] = perm[(i + 1) % n];
+  return next;
+}
+
+}  // namespace llmp::core

@@ -1,0 +1,94 @@
+// Maximal matching on a *ring* (circular linked list).
+//
+// The paper's matching partition function is already circular (it defines
+// f(tail, head) so every node carries a label), and rings are the natural
+// closed form of the input: n nodes, n pointers, no head or tail. The
+// standard reduction to the path case: delete one arbitrary pointer e0,
+// solve the resulting open list with any of Match1–4, then add e0 back iff
+// both its endpoints stayed free. The result is a valid maximal matching
+// of the ring: validity is inherited (e0 is only added when addable), and
+// maximality holds because every other pointer was already maximal against
+// the path matching, while e0 is explicitly reconsidered.
+#pragma once
+
+#include <vector>
+
+#include "core/maximal_matching.h"
+#include "list/linked_list.h"
+
+namespace llmp::core {
+
+/// Validate that `ring_next` is one n-cycle covering all nodes.
+void check_ring(const std::vector<index_t>& ring_next);
+
+struct RingMatchResult {
+  /// in_matching[v] == 1 ⇔ ring pointer <v, ring_next[v]> chosen.
+  std::vector<std::uint8_t> in_matching;
+  std::size_t edges = 0;
+  bool seam_added = false;  ///< whether the deleted pointer rejoined
+  pram::Stats cost;
+  MatchResult path;  ///< the underlying open-list run (for inspection)
+};
+
+/// Compute a maximal matching of the ring's n pointers.
+template <class Exec>
+RingMatchResult ring_matching(Exec& exec,
+                              const std::vector<index_t>& ring_next,
+                              const MatchOptions& opt = {}) {
+  check_ring(ring_next);
+  const std::size_t n = ring_next.size();
+  RingMatchResult r;
+  r.in_matching.assign(n, 0);
+  if (n == 1) return r;  // a self-loop has no matchable pointer
+  if (n == 2) {
+    // Two mutual pointers share both endpoints; either one alone is a
+    // maximal matching. Take <0, 1>.
+    r.in_matching[0] = 1;
+    r.edges = 1;
+    return r;
+  }
+  const pram::Stats start = exec.stats();
+
+  // Cut the seam pointer e0 = <0, ring_next[0]>: the open list runs from
+  // ring_next[0] around to 0.
+  const index_t seam_tail = 0;
+  const index_t seam_head = ring_next[0];
+  std::vector<index_t> open_next(ring_next);
+  open_next[seam_tail] = knil;
+  const list::LinkedList path(std::move(open_next));
+
+  r.path = maximal_matching(exec, path, opt);
+  r.in_matching = r.path.in_matching;
+
+  // Seam fix-up: one O(1) step — e0 is addable iff neither endpoint is
+  // covered. seam_tail's other pointer is e_pred(0) (checked via the
+  // matching bit of pred(0)); seam_head's other pointer is e_{seam_head}.
+  const auto pred = path.predecessors();
+  exec.step(1, [&](std::size_t, auto&& m) {
+    const index_t p0 = pred[seam_tail];
+    const bool tail_covered =
+        p0 != knil && m.rd(r.in_matching, static_cast<std::size_t>(p0));
+    const bool head_covered =
+        m.rd(r.in_matching, static_cast<std::size_t>(seam_head)) != 0;
+    if (!tail_covered && !head_covered) {
+      m.wr(r.in_matching, static_cast<std::size_t>(seam_tail),
+           std::uint8_t{1});
+      r.seam_added = true;
+    }
+  });
+
+  r.edges = 0;
+  for (auto b : r.in_matching) r.edges += (b != 0);
+  r.cost = exec.stats() - start;
+  return r;
+}
+
+/// Oracle: throws unless in_matching is a valid maximal matching of the
+/// ring (cyclic adjacency).
+void check_ring_matching(const std::vector<index_t>& ring_next,
+                         const std::vector<std::uint8_t>& in_matching);
+
+/// Ring workload: a random n-cycle over array positions.
+std::vector<index_t> random_ring(std::size_t n, std::uint64_t seed);
+
+}  // namespace llmp::core

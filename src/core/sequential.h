@@ -1,0 +1,35 @@
+// Sequential baseline: one walk down the list, greedily taking every
+// pointer whose tail is still free. T1 = Θ(n) — the denominator of every
+// optimality claim (a parallel algorithm is optimal when p·T = O(T1)).
+// Greedy on a path takes the first pointer of every free run, so the
+// result is maximal and in fact maximum for a path.
+#pragma once
+
+#include "core/match_result.h"
+#include "list/linked_list.h"
+
+namespace llmp::core {
+
+inline MatchResult sequential_matching(const list::LinkedList& list) {
+  MatchResult r;
+  const std::size_t n = list.size();
+  r.in_matching.assign(n, 0);
+  bool prev_taken = false;
+  std::uint64_t ops = 0;
+  for (index_t v = list.head(); v != knil; v = list.next(v)) {
+    ++ops;
+    if (!list.has_pointer(v)) break;
+    if (!prev_taken) {
+      r.in_matching[v] = 1;
+      ++r.edges;
+      prev_taken = true;
+    } else {
+      prev_taken = false;
+    }
+  }
+  r.cost = {ops, ops, ops, 0, 0};  // depth = time_1 = work = n
+  r.phases.push_back({"walk", r.cost});
+  return r;
+}
+
+}  // namespace llmp::core

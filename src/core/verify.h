@@ -1,0 +1,44 @@
+// Correctness oracles. These are deliberately simple sequential checks —
+// independent of the PRAM machinery they audit — used by every test and by
+// the benches' self-checks.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "list/linked_list.h"
+#include "support/types.h"
+
+namespace llmp::core::verify {
+
+/// A matching is given as in_matching[v] == 1 for chosen pointers
+/// <v, suc(v)> (v must have a real pointer). Throws check_error with a
+/// diagnostic if two chosen pointers share a node.
+void check_matching(const list::LinkedList& list,
+                    const std::vector<std::uint8_t>& in_matching);
+
+/// Throws unless the matching is maximal: every unchosen pointer has at
+/// least one endpoint covered by a chosen pointer.
+void check_maximal(const list::LinkedList& list,
+                   const std::vector<std::uint8_t>& in_matching);
+
+/// The paper's maximality witness: of any three consecutive pointers at
+/// least one is in the matching. Implies maximality for paths; checked
+/// separately because Match1's analysis promises it directly.
+void check_one_of_three(const list::LinkedList& list,
+                        const std::vector<std::uint8_t>& in_matching);
+
+/// Throws unless labels[v] != labels[suc(v)] for every *circular* pointer
+/// — i.e. the labels form a valid (circular) matching partition.
+void check_partition_labels(const list::LinkedList& list,
+                            const std::vector<label_t>& labels);
+
+/// Throws unless labels restricted to real pointers are a valid matching
+/// partition: adjacent real pointers e_v, e_{suc(v)} get different labels.
+void check_pointer_partition(const list::LinkedList& list,
+                             const std::vector<label_t>& labels);
+
+/// Number of chosen pointers.
+std::size_t matching_size(const std::vector<std::uint8_t>& in_matching);
+
+}  // namespace llmp::core::verify

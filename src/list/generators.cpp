@@ -1,0 +1,81 @@
+#include "list/generators.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/check.h"
+#include "support/rng.h"
+
+namespace llmp::list::generators {
+
+namespace {
+
+/// Build a list whose order visits array positions perm[0], perm[1], ….
+LinkedList from_visit_order(const std::vector<index_t>& perm) {
+  const std::size_t n = perm.size();
+  std::vector<index_t> next(n, knil);
+  for (std::size_t i = 0; i + 1 < n; ++i) next[perm[i]] = perm[i + 1];
+  next[perm[n - 1]] = knil;
+  return LinkedList(std::move(next));
+}
+
+std::vector<index_t> iota_perm(std::size_t n) {
+  std::vector<index_t> perm(n);
+  std::iota(perm.begin(), perm.end(), index_t{0});
+  return perm;
+}
+
+void shuffle_range(std::vector<index_t>& perm, std::size_t lo, std::size_t hi,
+                   rng::Xoshiro256& gen) {
+  for (std::size_t i = hi - 1; i > lo; --i) {
+    const std::size_t j = lo + gen.below(i - lo + 1);
+    std::swap(perm[i], perm[j]);
+  }
+}
+
+}  // namespace
+
+LinkedList random_list(std::size_t n, std::uint64_t seed) {
+  LLMP_CHECK(n >= 1);
+  auto perm = iota_perm(n);
+  rng::Xoshiro256 gen(seed);
+  if (n > 1) shuffle_range(perm, 0, n, gen);
+  return from_visit_order(perm);
+}
+
+LinkedList identity_list(std::size_t n) { return LinkedList::identity(n); }
+
+LinkedList reverse_list(std::size_t n) {
+  LLMP_CHECK(n >= 1);
+  auto perm = iota_perm(n);
+  std::reverse(perm.begin(), perm.end());
+  return from_visit_order(perm);
+}
+
+LinkedList strided_list(std::size_t n, std::size_t stride) {
+  LLMP_CHECK(n >= 1);
+  LLMP_CHECK(stride >= 1);
+  LLMP_CHECK_MSG(std::gcd(n, stride) == 1,
+                 "stride must be coprime with n to cover all nodes");
+  std::vector<index_t> perm(n);
+  std::size_t pos = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    perm[i] = static_cast<index_t>(pos);
+    pos = (pos + stride) % n;
+  }
+  return from_visit_order(perm);
+}
+
+LinkedList blocked_list(std::size_t n, std::size_t block, std::uint64_t seed) {
+  LLMP_CHECK(n >= 1);
+  LLMP_CHECK(block >= 1);
+  auto perm = iota_perm(n);
+  rng::Xoshiro256 gen(seed);
+  for (std::size_t lo = 0; lo < n; lo += block) {
+    const std::size_t hi = std::min(n, lo + block);
+    if (hi - lo > 1) shuffle_range(perm, lo, hi, gen);
+  }
+  return from_visit_order(perm);
+}
+
+}  // namespace llmp::list::generators

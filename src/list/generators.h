@@ -1,0 +1,38 @@
+// Workload generators. The algorithms' costs do not depend on data values
+// (they are oblivious up to the pointer structure), but the *shape* of the
+// list in memory governs how pointers distribute over bisecting lines
+// (Fig. 2 / E1), over Match4's rows, and over matching-set sizes, so the
+// experiments sweep several shapes:
+//
+//   random_list     — uniformly random placement of list order in the
+//                     array (a random permutation); the generic workload.
+//   identity_list   — list order equals array order: every pointer is the
+//                     minimal forward pointer <i, i+1>; adversarial for
+//                     bisection-crossing counts (only log n crossings).
+//   reverse_list    — array order reversed: all pointers backward.
+//   strided_list    — list order jumps by a fixed stride (mod n):
+//                     concentrates pointers in few matching sets.
+//   blocked_list    — random within blocks, sequential across blocks:
+//                     models partially sorted inputs; parameterizes the
+//                     inter-/intra-row pointer ratio in Match4 (E7/E8).
+#pragma once
+
+#include <cstdint>
+
+#include "list/linked_list.h"
+
+namespace llmp::list::generators {
+
+LinkedList random_list(std::size_t n, std::uint64_t seed);
+LinkedList identity_list(std::size_t n);
+LinkedList reverse_list(std::size_t n);
+
+/// List order visits array positions 0, s, 2s, … (mod n); requires
+/// gcd(s, n) == 1 so the walk covers every node (checked).
+LinkedList strided_list(std::size_t n, std::size_t stride);
+
+/// Array positions are shuffled within consecutive blocks of `block`
+/// cells, and the list visits blocks in order.
+LinkedList blocked_list(std::size_t n, std::size_t block, std::uint64_t seed);
+
+}  // namespace llmp::list::generators

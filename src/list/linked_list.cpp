@@ -1,0 +1,60 @@
+#include "list/linked_list.h"
+
+namespace llmp::list {
+
+LinkedList::LinkedList(std::vector<index_t> next) : next_(std::move(next)) {
+  const std::size_t n = next_.size();
+  LLMP_CHECK_MSG(n >= 1, "a linked list needs at least one node");
+  // Find the tail and check in-degrees: every node except the head has
+  // exactly one incoming pointer.
+  std::vector<std::uint8_t> indeg(n, 0);
+  tail_ = knil;
+  for (index_t v = 0; v < n; ++v) {
+    const index_t s = next_[v];
+    if (s == knil) {
+      LLMP_CHECK_MSG(tail_ == knil, "more than one tail");
+      tail_ = v;
+    } else {
+      LLMP_CHECK_MSG(s < n, "successor out of range");
+      LLMP_CHECK_MSG(indeg[s] == 0, "node " << s << " has two predecessors");
+      indeg[s] = 1;
+    }
+  }
+  LLMP_CHECK_MSG(tail_ != knil, "no tail (links contain a cycle)");
+  head_ = knil;
+  for (index_t v = 0; v < n; ++v) {
+    if (indeg[v] == 0) {
+      LLMP_CHECK_MSG(head_ == knil, "more than one head (disjoint chains)");
+      head_ = v;
+    }
+  }
+  LLMP_CHECK(head_ != knil);
+  // Head + unique tail + in-degree <= 1 everywhere rules out everything
+  // except one chain plus disjoint cycles; walking from the head and
+  // counting proves there are no cycles.
+  std::size_t seen = 0;
+  for (index_t v = head_; v != knil; v = next_[v]) {
+    ++seen;
+    LLMP_CHECK_MSG(seen <= n, "links contain a cycle");
+  }
+  LLMP_CHECK_MSG(seen == n, "links do not cover all nodes (cycle present)");
+}
+
+LinkedList LinkedList::identity(std::size_t n) {
+  LLMP_CHECK(n >= 1);
+  std::vector<index_t> next(n);
+  for (std::size_t i = 0; i + 1 < n; ++i) next[i] = static_cast<index_t>(i + 1);
+  next[n - 1] = knil;
+  return LinkedList(std::move(next));
+}
+
+std::vector<index_t> LinkedList::predecessors() const {
+  std::vector<index_t> pred(next_.size(), knil);
+  for (index_t v = 0; v < next_.size(); ++v) {
+    const index_t s = next_[v];
+    if (s != knil) pred[s] = v;
+  }
+  return pred;
+}
+
+}  // namespace llmp::list

@@ -1,0 +1,53 @@
+// Sense-reversing centralized barrier.
+//
+// C++20 has std::barrier, but a sense-reversing barrier is the classic HPC
+// primitive for SPMD pools: one atomic counter + a per-thread local sense
+// flag, no phase object reconstruction, and spin-then-yield waiting that
+// behaves sanely both on dedicated cores and on oversubscribed hosts
+// (this machine runs every worker on one core, so pure spinning would
+// serialize progress behind the scheduler).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <thread>
+
+#include "support/check.h"
+
+namespace llmp::pram {
+
+class Barrier {
+ public:
+  explicit Barrier(std::size_t parties) : parties_(parties) {
+    LLMP_CHECK(parties >= 1);
+  }
+
+  Barrier(const Barrier&) = delete;
+  Barrier& operator=(const Barrier&) = delete;
+
+  /// Block until all `parties` threads arrive. Each participating thread
+  /// must keep its own `local_sense` bool, initialized to false, and pass
+  /// the same reference on every call.
+  void arrive_and_wait(bool& local_sense) {
+    local_sense = !local_sense;
+    if (count_.fetch_add(1, std::memory_order_acq_rel) + 1 == parties_) {
+      count_.store(0, std::memory_order_relaxed);
+      sense_.store(local_sense, std::memory_order_release);
+    } else {
+      int spins = 0;
+      while (sense_.load(std::memory_order_acquire) != local_sense) {
+        if (++spins > kSpinLimit) std::this_thread::yield();
+      }
+    }
+  }
+
+  std::size_t parties() const { return parties_; }
+
+ private:
+  static constexpr int kSpinLimit = 256;
+  const std::size_t parties_;
+  std::atomic<std::size_t> count_{0};
+  std::atomic<bool> sense_{false};
+};
+
+}  // namespace llmp::pram

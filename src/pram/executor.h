@@ -1,0 +1,135 @@
+// Executor concept and its fast implementations.
+//
+// Every algorithm in core/ and apps/ is a template over an Executor E
+// whose single primitive is one synchronous PRAM step:
+//
+//   exec.step(nprocs, [&](std::size_t v, auto&& m) { ... });
+//   exec.step(nprocs, unit_cost, body);   // body does `unit_cost` ops/proc
+//
+// Inside the body, shared memory is touched only through the accessor:
+//
+//   T x = m.rd(vec, i);      // read vec[i]
+//   m.wr(vec, i, value);     // write vec[i]
+//
+// Algorithms obey the double-buffer discipline: within one step, no cell
+// is read after any processor wrote it. Under that discipline, executing
+// the virtual processors in any order — sequentially, or chunked over real
+// threads — is equivalent to the PRAM's lockstep read-phase/write-phase
+// semantics, so the fast executors below apply writes immediately. The
+// discipline itself (plus EREW/CREW legality) is *verified* by
+// pram::Machine (machine.h), which runs the same algorithm templates with
+// tracked memory.
+//
+// Executors implement the cost model of stats.h: step(n, u, ·) adds
+// ceil(n/p)·u to time_p, n·u to work, and 1 to depth, where p is the
+// processor budget given at construction — a model parameter, independent
+// of how many host threads actually execute the body.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "pram/stats.h"
+#include "pram/thread_pool.h"
+#include "support/check.h"
+
+namespace llmp::pram {
+
+/// Untracked pass-through memory accessor used by the fast executors.
+struct DirectMem {
+  template <class T>
+  T rd(const std::vector<T>& a, std::size_t i) const {
+    LLMP_DCHECK(i < a.size());
+    return a[i];
+  }
+  template <class T>
+  void wr(std::vector<T>& a, std::size_t i, T v) const {
+    LLMP_DCHECK(i < a.size());
+    a[i] = v;
+  }
+};
+
+/// Sequential executor: virtual processors run in index order on the
+/// calling thread. The default for tests and for benches, whose metric is
+/// the cost model, not the wall clock.
+class SeqExec {
+ public:
+  /// `processors` is the PRAM processor budget p used for time_p.
+  explicit SeqExec(std::size_t processors) : p_(processors) {
+    LLMP_CHECK(processors >= 1);
+  }
+
+  template <class F>
+  void step(std::size_t nprocs, std::uint64_t unit_cost, F&& body) {
+    account(nprocs, unit_cost);
+    DirectMem m;
+    for (std::size_t v = 0; v < nprocs; ++v) body(v, m);
+  }
+
+  template <class F>
+  void step(std::size_t nprocs, F&& body) {
+    step(nprocs, 1, std::forward<F>(body));
+  }
+
+  std::size_t processors() const { return p_; }
+  Stats& stats() { return stats_; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  void account(std::size_t nprocs, std::uint64_t unit_cost) {
+    stats_.depth += 1;
+    stats_.time_p += ceil_div(nprocs, p_) * unit_cost;
+    stats_.work += static_cast<std::uint64_t>(nprocs) * unit_cost;
+  }
+
+  std::size_t p_;
+  Stats stats_;
+};
+
+/// Thread-pool executor: each step's virtual processors are chunked over
+/// the pool. Correct for all llmp algorithms by the double-buffer
+/// discipline (see header comment). The processor budget p for the cost
+/// model is independent of the pool size.
+class ParallelExec {
+ public:
+  ParallelExec(std::size_t processors, ThreadPool& pool)
+      : p_(processors), pool_(&pool) {
+    LLMP_CHECK(processors >= 1);
+  }
+
+  template <class F>
+  void step(std::size_t nprocs, std::uint64_t unit_cost, F&& body) {
+    stats_.depth += 1;
+    stats_.time_p += ceil_div(nprocs, p_) * unit_cost;
+    stats_.work += static_cast<std::uint64_t>(nprocs) * unit_cost;
+    if (nprocs < kParallelThreshold || pool_->workers() == 0) {
+      DirectMem m;
+      for (std::size_t v = 0; v < nprocs; ++v) body(v, m);
+      return;
+    }
+    pool_->parallel_for(nprocs, [&](std::size_t v) {
+      DirectMem m;
+      body(v, m);
+    });
+  }
+
+  template <class F>
+  void step(std::size_t nprocs, F&& body) {
+    step(nprocs, 1, std::forward<F>(body));
+  }
+
+  std::size_t processors() const { return p_; }
+  Stats& stats() { return stats_; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  static constexpr std::size_t kParallelThreshold = 2048;
+
+  std::size_t p_;
+  ThreadPool* pool_;
+  Stats stats_;
+};
+
+}  // namespace llmp::pram

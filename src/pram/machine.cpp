@@ -1,0 +1,126 @@
+#include "pram/machine.h"
+
+#include <sstream>
+
+namespace llmp::pram {
+
+std::string to_string(Mode mode) {
+  switch (mode) {
+    case Mode::kEREW: return "EREW";
+    case Mode::kCREW: return "CREW";
+    case Mode::kCRCWCommon: return "CRCW-Common";
+    case Mode::kCRCWArbitrary: return "CRCW-Arbitrary";
+    case Mode::kCRCWPriority: return "CRCW-Priority";
+  }
+  return "?";
+}
+
+std::string to_string(Violation::Kind kind) {
+  switch (kind) {
+    case Violation::Kind::kReadAfterWrite:
+      return "read-after-write within a step";
+    case Violation::Kind::kConcurrentRead:
+      return "concurrent read under EREW";
+    case Violation::Kind::kConcurrentWrite:
+      return "illegal concurrent write";
+    case Violation::Kind::kReadWriteClash:
+      return "read/write clash under EREW";
+  }
+  return "?";
+}
+
+Machine::Meta& Machine::meta_for(const void* base, std::size_t cells) {
+  Meta& m = metas_[base];
+  if (m.read_stamp.size() < cells) {
+    m.read_stamp.resize(cells, 0);
+    m.write_stamp.resize(cells, 0);
+    m.reader.resize(cells, 0);
+    m.writer.resize(cells, 0);
+  }
+  return m;
+}
+
+void Machine::on_read(const void* base, std::size_t cells, std::size_t i) {
+  LLMP_CHECK(i < cells);
+  Meta& m = meta_for(base, cells);
+  ++stats_.reads;
+  if (m.write_stamp[i] == step_id_ && m.writer[i] != cur_proc_) {
+    // Another processor wrote this cell earlier in the same step: a PRAM
+    // returns the old value, the fast executors the new one — the
+    // algorithm broke the synchronous discipline. A processor re-reading
+    // its *own* write models consecutive micro-steps of a sequential
+    // subroutine (unit_cost > 1) and is deterministic, hence allowed.
+    flag(Violation::Kind::kReadAfterWrite, i, m.writer[i]);
+  }
+  if (mode_ == Mode::kEREW && m.read_stamp[i] == step_id_ &&
+      m.reader[i] != cur_proc_) {
+    flag(Violation::Kind::kConcurrentRead, i, m.reader[i]);
+  }
+  m.read_stamp[i] = step_id_;
+  m.reader[i] = static_cast<std::uint32_t>(cur_proc_);
+}
+
+bool Machine::on_write(const void* base, std::size_t cells, std::size_t i) {
+  LLMP_CHECK(i < cells);
+  Meta& m = meta_for(base, cells);
+  ++stats_.writes;
+  if (mode_ == Mode::kEREW && m.read_stamp[i] == step_id_ &&
+      m.reader[i] != cur_proc_) {
+    flag(Violation::Kind::kReadWriteClash, i, m.reader[i]);
+  }
+  const bool second_write = (m.write_stamp[i] == step_id_);
+  if (!second_write) {
+    m.write_stamp[i] = step_id_;
+    m.writer[i] = static_cast<std::uint32_t>(cur_proc_);
+    return true;
+  }
+  if (m.writer[i] == cur_proc_) {
+    // Same processor updating its own cell again within a multi-op step
+    // (sequential subroutine): legal in every mode.
+    return true;
+  }
+  switch (mode_) {
+    case Mode::kEREW:
+    case Mode::kCREW:
+      flag(Violation::Kind::kConcurrentWrite, i, m.writer[i]);
+      m.writer[i] = static_cast<std::uint32_t>(cur_proc_);
+      return true;  // keep going so tests can observe the final state
+    case Mode::kCRCWCommon:
+      // Mem::wr compares the stored value against the new one and flags a
+      // mismatch; equal values need not be re-applied.
+      return false;
+    case Mode::kCRCWArbitrary:
+      m.writer[i] = static_cast<std::uint32_t>(cur_proc_);
+      return true;  // "arbitrary": this simulator picks the last writer
+    case Mode::kCRCWPriority:
+      // Lowest-numbered processor wins, independent of execution order.
+      if (cur_proc_ < m.writer[i]) {
+        m.writer[i] = static_cast<std::uint32_t>(cur_proc_);
+        return true;
+      }
+      return false;
+  }
+  return true;
+}
+
+void Machine::flag(Violation::Kind kind, std::size_t cell,
+                   std::size_t other_proc) {
+  Violation v{kind, cell, static_cast<std::size_t>(step_id_), cur_proc_,
+              other_proc};
+  violations_.push_back(v);
+  if (policy_ == OnViolation::kThrow) {
+    std::ostringstream os;
+    os << to_string(mode_) << " violation at step " << step_id_ << ", cell "
+       << cell << ": " << to_string(kind) << " (proc " << cur_proc_
+       << " vs proc " << other_proc << ")";
+    throw model_violation(os.str());
+  }
+}
+
+Stats phase_cost(const PhaseBreakdown& phases, const std::string& name) {
+  for (const auto& ph : phases)
+    if (ph.name == name) return ph.cost;
+  return {};
+}
+
+}  // namespace llmp::pram

@@ -1,0 +1,153 @@
+// Parallel prefix sums and stable integer sorting on the Executor concept.
+//
+// Match2 (Lemma 4) needs a *global* sort of all n pointers by their
+// matching-set number — small integers in {0, …, R−1} with R = O(log log n).
+// The paper attributes Match2's bottleneck to exactly this step and cites
+// Reif's and Cole–Vishkin's partial-sum subroutines for sharpening it; we
+// implement the standard work-efficient structure:
+//
+//   exclusive_scan — Blelloch up-/down-sweep: 2·ceil(log2 m) steps, O(m)
+//                    work, EREW-legal (verified by machine tests).
+//   counting_sort_by_key — B block histograms (one virtual processor per
+//                    block, O(n/B + R) sequential work each), a scan over
+//                    the R·B counters laid out key-major (which makes the
+//                    sort stable), and a scatter pass. With B = p the time
+//                    is O(n/p + R + log(R·p)) — the O(n/p + log n) shape of
+//                    Lemma 4.
+//
+// Match4's whole point (E13) is that this global sort can be replaced by
+// per-column sequential sorts plus the WalkDown schedule; bench_ablation
+// runs both against each other.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pram/stats.h"
+#include "support/check.h"
+#include "support/itlog.h"
+#include "support/types.h"
+
+namespace llmp::pram {
+
+/// In-place exclusive prefix sum (Blelloch scan) of a[0..n). Returns the
+/// total sum. Depth 2·ceil(log2 n) + O(1); work O(n).
+template <class Exec>
+std::uint64_t exclusive_scan(Exec& exec, std::vector<std::uint64_t>& a) {
+  const std::size_t n = a.size();
+  if (n == 0) return 0;
+  if (n == 1) {
+    std::uint64_t total = a[0];
+    a[0] = 0;
+    return total;
+  }
+  // Pad to a power of two with zeros (identity of +).
+  std::size_t m = std::size_t{1} << itlog::ceil_log2(n);
+  a.resize(m, 0);
+
+  // Up-sweep: each virtual processor owns one internal tree node; it reads
+  // its left child's boundary cell and accumulates into its right one. The
+  // read and written cells are distinct within each step, so the fast
+  // executors' immediate writes match lockstep semantics.
+  for (std::size_t d = 1; d < m; d <<= 1) {
+    const std::size_t stride = d << 1;
+    exec.step(m / stride, [&](std::size_t v, auto&& mem) {
+      const std::size_t base = v * stride;
+      const std::uint64_t left = mem.rd(a, base + d - 1);
+      const std::uint64_t right = mem.rd(a, base + stride - 1);
+      mem.wr(a, base + stride - 1, left + right);
+    });
+  }
+
+  std::uint64_t total = 0;
+  exec.step(1, [&](std::size_t, auto&& mem) {
+    total = mem.rd(a, m - 1);
+    mem.wr(a, m - 1, std::uint64_t{0});
+  });
+
+  // Down-sweep.
+  for (std::size_t d = m >> 1; d >= 1; d >>= 1) {
+    const std::size_t stride = d << 1;
+    exec.step(m / stride, [&](std::size_t v, auto&& mem) {
+      const std::size_t base = v * stride;
+      const std::uint64_t t = mem.rd(a, base + d - 1);
+      const std::uint64_t r = mem.rd(a, base + stride - 1);
+      mem.wr(a, base + d - 1, r);
+      mem.wr(a, base + stride - 1, r + t);
+    });
+  }
+  a.resize(n);
+  return total;
+}
+
+/// Result of counting_sort_by_key: `order` lists element indices in stable
+/// sorted-by-key sequence; `offsets[k]..offsets[k+1]` is the slice of
+/// `order` holding key k (offsets has range+1 entries).
+struct SortedByKey {
+  std::vector<index_t> order;
+  std::vector<std::uint64_t> offsets;
+};
+
+/// Stable parallel counting sort of `keys` (each < range) using `blocks`
+/// virtual processors. Time O(n/blocks + range + log(range·blocks))
+/// with p >= blocks.
+template <class Exec>
+SortedByKey counting_sort_by_key(Exec& exec, const std::vector<index_t>& keys,
+                                 index_t range, std::size_t blocks) {
+  LLMP_CHECK(range >= 1);
+  LLMP_CHECK(blocks >= 1);
+  const std::size_t n = keys.size();
+  SortedByKey result;
+  result.order.resize(n);
+  result.offsets.assign(static_cast<std::size_t>(range) + 1, 0);
+  if (n == 0) return result;
+  std::vector<index_t>& order = result.order;
+  blocks = std::min(blocks, n);
+  const std::size_t chunk = (n + blocks - 1) / blocks;
+
+  // counts laid out key-major: counts[r·blocks + b] = multiplicity of key
+  // r in block b. The key-major layout means the exclusive scan hands each
+  // (key, block) pair the final start offset with blocks ordered within a
+  // key — which preserves block order and hence stability.
+  std::vector<std::uint64_t> counts(static_cast<std::size_t>(range) * blocks,
+                                    0);
+  const std::uint64_t per_block =
+      static_cast<std::uint64_t>(chunk) + range;  // histogram work/proc
+  exec.step(blocks, per_block, [&](std::size_t b, auto&& mem) {
+    const std::size_t lo = b * chunk;
+    const std::size_t hi = std::min(n, lo + chunk);
+    for (std::size_t i = lo; i < hi; ++i) {
+      const index_t k = mem.rd(keys, i);
+      LLMP_DCHECK(k < range);
+      const std::size_t cell = static_cast<std::size_t>(k) * blocks + b;
+      mem.wr(counts, cell, mem.rd(counts, cell) + 1);
+    }
+  });
+
+  exclusive_scan(exec, counts);
+
+  // offsets[k] = start of key k = the scanned count of its first block.
+  exec.step(range, [&](std::size_t k, auto&& mem) {
+    mem.wr(result.offsets, k, mem.rd(counts, k * blocks));
+  });
+  exec.step(1, [&](std::size_t, auto&& mem) {
+    mem.wr(result.offsets, static_cast<std::size_t>(range),
+           static_cast<std::uint64_t>(n));
+  });
+
+  exec.step(blocks, per_block, [&](std::size_t b, auto&& mem) {
+    const std::size_t lo = b * chunk;
+    const std::size_t hi = std::min(n, lo + chunk);
+    for (std::size_t i = lo; i < hi; ++i) {
+      const index_t k = mem.rd(keys, i);
+      const std::size_t cell = static_cast<std::size_t>(k) * blocks + b;
+      const std::uint64_t pos = mem.rd(counts, cell);
+      mem.wr(counts, cell, pos + 1);
+      mem.wr(order, static_cast<std::size_t>(pos),
+             static_cast<index_t>(i));
+    }
+  });
+  return result;
+}
+
+}  // namespace llmp::pram

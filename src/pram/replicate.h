@@ -1,0 +1,73 @@
+// EREW table replication (paper appendix).
+//
+// "To run our algorithms on the EREW model we need p copies of the table,
+// one for each processor. … p copies of table T can be created using
+// O(p·log n) space and O(n/p + log n) time on the EREW model."
+//
+// Doubling broadcast: starting from the master copy, each round every
+// existing copy clones itself, doubling the replica count — ceil(log2 p)
+// rounds of exclusive reads/writes (round r copies cells from replica i to
+// replica i + 2^r; no cell is touched twice). Time with p processors:
+// O(copies·size/p + log copies); the appendix's bound with size = Θ(log n)
+// per-table and copies = p gives exactly O(n/p + log n)… which is why the
+// table-based algorithms need it as *preprocessing* — it dwarfs the
+// O(G(n)) main loops (E11 quantifies this).
+#pragma once
+
+#include <vector>
+
+#include "pram/stats.h"
+#include "support/check.h"
+#include "support/itlog.h"
+
+namespace llmp::pram {
+
+/// Replicate `table` into `copies` contiguous copies (flat layout:
+/// replica c occupies [c·size, (c+1)·size)). EREW-legal; ceil(log2 copies)
+/// synchronous rounds.
+template <class Exec, class T>
+std::vector<T> replicate(Exec& exec, const std::vector<T>& table,
+                         std::size_t copies) {
+  LLMP_CHECK(copies >= 1);
+  const std::size_t size = table.size();
+  std::vector<T> out(size * copies);
+  // Seed the master replica.
+  exec.step(size, [&](std::size_t i, auto&& m) {
+    m.wr(out, i, m.rd(table, i));
+  });
+  // Doubling rounds: replicas [0, have) clone into [have, min(2·have, p)).
+  for (std::size_t have = 1; have < copies; have <<= 1) {
+    const std::size_t make = std::min(have, copies - have);
+    exec.step(make * size, [&](std::size_t w, auto&& m) {
+      const std::size_t replica = w / size;
+      const std::size_t cell = w % size;
+      m.wr(out, (have + replica) * size + cell,
+           m.rd(out, replica * size + cell));
+    });
+  }
+  return out;
+}
+
+/// View of one replica inside the flat replicated array.
+template <class T>
+class ReplicaView {
+ public:
+  ReplicaView(const std::vector<T>& flat, std::size_t size,
+              std::size_t replica)
+      : flat_(&flat), base_(replica * size), size_(size) {
+    LLMP_CHECK((replica + 1) * size <= flat.size());
+  }
+
+  const T& operator[](std::size_t i) const {
+    LLMP_DCHECK(i < size_);
+    return (*flat_)[base_ + i];
+  }
+  std::size_t size() const { return size_; }
+
+ private:
+  const std::vector<T>* flat_;
+  std::size_t base_;
+  std::size_t size_;
+};
+
+}  // namespace llmp::pram

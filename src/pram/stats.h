@@ -1,0 +1,64 @@
+// PRAM cost model.
+//
+// The paper states every bound as "time with p processors": a parallel
+// statement over n virtual processors costs ceil(n/p) steps (Brent
+// scheduling), and a full algorithm costs the sum over its synchronous
+// steps. Executors account exactly that:
+//
+//   depth   — number of synchronous steps (= time with p = ∞),
+//   time_p  — Σ_j ceil(n_j / p) · unit_j   (time with p processors),
+//   work    — Σ_j n_j · unit_j             (total operations).
+//
+// `unit_j` is 1 for ordinary O(1)-per-processor steps; steps whose body is
+// a bounded sequential subroutine (e.g. Match4's per-column counting sort,
+// which does O(x) work per processor) declare their per-processor
+// instruction count so time_p stays faithful to the paper's accounting.
+//
+// On this host the wall clock cannot exhibit PRAM speedups (1 core), so
+// time_p is the headline metric of every experiment; see EXPERIMENTS.md.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace llmp::pram {
+
+struct Stats {
+  std::uint64_t depth = 0;   ///< synchronous steps (time with unlimited p)
+  std::uint64_t time_p = 0;  ///< Σ ceil(n_j/p)·unit_j — time with p procs
+  std::uint64_t work = 0;    ///< Σ n_j·unit_j — total operations
+  std::uint64_t reads = 0;   ///< tracked reads (Machine only)
+  std::uint64_t writes = 0;  ///< tracked writes (Machine only)
+
+  Stats operator-(const Stats& o) const {
+    return {depth - o.depth, time_p - o.time_p, work - o.work,
+            reads - o.reads, writes - o.writes};
+  }
+  Stats& operator+=(const Stats& o) {
+    depth += o.depth;
+    time_p += o.time_p;
+    work += o.work;
+    reads += o.reads;
+    writes += o.writes;
+    return *this;
+  }
+};
+
+/// Named per-phase cost deltas, e.g. {"partition", ...}, {"sort", ...}.
+/// Match2's experiment (E5) exists to show one phase dominating.
+struct Phase {
+  std::string name;
+  Stats cost;
+};
+
+using PhaseBreakdown = std::vector<Phase>;
+
+/// Find a phase by name; returns zero Stats when absent.
+Stats phase_cost(const PhaseBreakdown& phases, const std::string& name);
+
+inline std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) {
+  return b == 0 ? 0 : (a + b - 1) / b;
+}
+
+}  // namespace llmp::pram

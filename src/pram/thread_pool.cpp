@@ -1,0 +1,101 @@
+#include "pram/thread_pool.h"
+
+#include <algorithm>
+
+#include "support/check.h"
+
+namespace llmp::pram {
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  threads_.reserve(workers);
+  for (std::size_t t = 0; t < workers; ++t)
+    threads_.emplace_back([this, t] { worker_loop(t); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_job_.notify_all();
+  for (auto& th : threads_) th.join();
+}
+
+void ThreadPool::worker_loop(std::size_t tid) {
+  std::size_t seen_epoch = 0;
+  for (;;) {
+    std::function<void(std::size_t)> job;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_job_.wait(lk, [&] { return stop_ || epoch_ != seen_epoch; });
+      if (stop_) return;
+      seen_epoch = epoch_;
+      job = job_;
+    }
+    try {
+      job(tid);
+    } catch (...) {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (--pending_ == 0) cv_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::dispatch(const std::function<void(std::size_t)>& per_worker) {
+  if (threads_.empty()) {
+    per_worker(0);
+    if (first_error_) {
+      auto e = first_error_;
+      first_error_ = nullptr;
+      std::rethrow_exception(e);
+    }
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    LLMP_CHECK_MSG(pending_ == 0, "ThreadPool::dispatch is not reentrant");
+    job_ = per_worker;
+    pending_ = threads_.size();
+    ++epoch_;
+  }
+  cv_job_.notify_all();
+  // The caller runs the final slice itself (tid == workers()).
+  try {
+    per_worker(threads_.size());
+  } catch (...) {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!first_error_) first_error_ = std::current_exception();
+  }
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_done_.wait(lk, [&] { return pending_ == 0; });
+    if (first_error_) {
+      auto e = first_error_;
+      first_error_ = nullptr;
+      lk.unlock();
+      std::rethrow_exception(e);
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  const std::size_t slices = threads_.size() + 1;
+  const std::size_t chunk = (n + slices - 1) / slices;
+  dispatch([&](std::size_t tid) {
+    const std::size_t lo = tid * chunk;
+    const std::size_t hi = std::min(n, lo + chunk);
+    for (std::size_t i = lo; i < hi; ++i) body(i);
+  });
+}
+
+void ThreadPool::run_spmd(const std::function<void(std::size_t)>& fn) {
+  dispatch(fn);
+}
+
+}  // namespace llmp::pram

@@ -1,0 +1,64 @@
+// Persistent SPMD worker pool.
+//
+// The pool owns `workers` threads that sleep between jobs. `parallel_for`
+// splits an index range into contiguous chunks, one per worker plus the
+// calling thread, and blocks until all chunks complete. Exceptions thrown
+// by the body are captured and rethrown on the caller (first one wins).
+//
+// The pool backs ParallelExec's synchronous steps: because every algorithm
+// step writes only cells that no other virtual processor reads in the same
+// step (the double-buffer discipline that pram::Machine verifies), chunked
+// unordered execution of one step is equivalent to lockstep execution.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace llmp::pram {
+
+class ThreadPool {
+ public:
+  /// Spawn `workers` background threads (>= 0; 0 makes parallel_for run
+  /// entirely on the caller, useful for tests of the dispatch logic).
+  explicit ThreadPool(std::size_t workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Apply body(i) for all i in [0, n), split into per-thread contiguous
+  /// chunks. Blocks until done; rethrows the first body exception.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+  /// Run fn(tid) once on every worker and on the caller (tid = workers()).
+  /// Used by SPMD-style tests that exercise the Barrier.
+  void run_spmd(const std::function<void(std::size_t)>& fn);
+
+  std::size_t workers() const { return threads_.size(); }
+
+ private:
+  struct Job {
+    std::function<void(std::size_t worker)> work;  // per-worker slice
+    std::size_t epoch = 0;
+  };
+
+  void worker_loop(std::size_t tid);
+  void dispatch(const std::function<void(std::size_t)>& per_worker);
+
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable cv_job_;
+  std::condition_variable cv_done_;
+  std::function<void(std::size_t)> job_;
+  std::size_t epoch_ = 0;
+  std::size_t pending_ = 0;
+  bool stop_ = false;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace llmp::pram

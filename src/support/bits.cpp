@@ -1,0 +1,109 @@
+#include "support/bits.h"
+
+namespace llmp::bits {
+
+std::uint64_t reverse_bits(std::uint64_t x, int width) {
+  LLMP_CHECK(width >= 1 && width <= 64);
+  LLMP_CHECK(width == 64 || x < (std::uint64_t{1} << width));
+  std::uint64_t r = 0;
+  for (int i = 0; i < width; ++i) {
+    r = (r << 1) | (x & 1);
+    x >>= 1;
+  }
+  return r;
+}
+
+namespace {
+
+// Smallest De Bruijn sequence multipliers for power-of-two table sizes.
+// For a width-w table we round w up to a power of two W and use a De Bruijn
+// sequence B(2, log2 W): (unary * db) >> (W - log2 W) is a perfect hash of
+// the W possible one-hot inputs.
+struct DeBruijnParams {
+  std::uint64_t multiplier;
+  int shift;
+  int table_size;
+};
+
+DeBruijnParams debruijn_for(int width) {
+  // Find W = next power of two >= width, then construct a De Bruijn
+  // sequence of order log2 W greedily (prefer-one construction).
+  int W = 1;
+  while (W < width) W <<= 1;
+  int order = 0;
+  while ((1 << order) < W) ++order;
+  if (order == 0) return {0, 0, 1};
+  // Greedy prefer-one De Bruijn sequence construction.
+  std::uint64_t seq = 0;
+  std::vector<bool> seen(static_cast<std::size_t>(1) << order, false);
+  std::uint64_t window = 0;
+  seen[0] = true;
+  int produced = order;  // leading zeros of the window
+  std::uint64_t mask = (std::uint64_t{1} << order) - 1;
+  while (produced < W) {
+    std::uint64_t try1 = ((window << 1) | 1) & mask;
+    std::uint64_t next;
+    if (!seen[try1]) {
+      next = try1;
+      seq = (seq << 1) | 1;
+    } else {
+      next = (window << 1) & mask;
+      seq = (seq << 1);
+    }
+    seen[next] = true;
+    window = next;
+    ++produced;
+  }
+  // Left-align within W bits so (1<<k)*seq >> (W-order) enumerates windows.
+  return {seq, W - order, W};
+}
+
+}  // namespace
+
+UnaryToBinaryTable::UnaryToBinaryTable(int width, Layout layout)
+    : width_(width), layout_(layout) {
+  LLMP_CHECK(width >= 1 && width <= 64);
+  if (layout == Layout::kDirect) {
+    LLMP_CHECK_MSG(width <= 28, "direct layout limited to 2^28 cells");
+    table_.assign(std::size_t{1} << width, 0);
+    for (int k = 0; k < width; ++k)
+      table_[std::size_t{1} << k] = static_cast<std::uint8_t>(k);
+  } else {
+    DeBruijnParams p = debruijn_for(width);
+    debruijn_ = p.multiplier;
+    shift_ = p.shift;
+    mask_ = p.table_size == 64 ? ~std::uint64_t{0}
+                               : (std::uint64_t{1} << p.table_size) - 1;
+    table_.assign(static_cast<std::size_t>(p.table_size), 0);
+    for (int k = 0; k < width; ++k) {
+      std::uint64_t unary = std::uint64_t{1} << k;
+      table_[slot_of(unary)] = static_cast<std::uint8_t>(k);
+    }
+  }
+}
+
+std::size_t UnaryToBinaryTable::slot_of(std::uint64_t unary) const {
+  if (table_.size() == 1) return 0;
+  // Perfect hash of one-hot values: multiply by a De Bruijn sequence
+  // modulo 2^W (W = table size) and read the top log2(W) window.
+  return static_cast<std::size_t>(((unary * debruijn_) & mask_) >> shift_);
+}
+
+int UnaryToBinaryTable::convert(std::uint64_t unary) const {
+  LLMP_DCHECK(unary != 0 && (unary & (unary - 1)) == 0);
+  if (layout_ == Layout::kDirect) {
+    LLMP_DCHECK(unary < table_.size());
+    return table_[static_cast<std::size_t>(unary)];
+  }
+  return table_[slot_of(unary)];
+}
+
+BitReversalTable::BitReversalTable(int width) : width_(width) {
+  LLMP_CHECK(width >= 1 && width <= 24);
+  table_.resize(std::size_t{1} << width);
+  for (std::size_t x = 0; x < table_.size(); ++x)
+    table_[x] = static_cast<std::uint32_t>(
+        reverse_bits(static_cast<std::uint64_t>(x), width));
+}
+
+}  // namespace llmp::bits

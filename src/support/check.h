@@ -1,0 +1,50 @@
+// Invariant checking. LLMP_CHECK is always on (it guards API misuse and
+// verification oracles); LLMP_DCHECK compiles out in release builds and is
+// used on hot paths. Failures throw llmp::check_error so tests can assert on
+// them and long-running benches fail loudly instead of corrupting results.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace llmp {
+
+class check_error : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] inline void check_fail(const char* expr, const char* file,
+                                    int line, const std::string& msg) {
+  std::ostringstream os;
+  os << file << ':' << line << ": check failed: " << expr;
+  if (!msg.empty()) os << " — " << msg;
+  throw check_error(os.str());
+}
+}  // namespace detail
+
+}  // namespace llmp
+
+#define LLMP_CHECK(cond)                                              \
+  do {                                                                \
+    if (!(cond))                                                      \
+      ::llmp::detail::check_fail(#cond, __FILE__, __LINE__, "");      \
+  } while (0)
+
+#define LLMP_CHECK_MSG(cond, msg)                                     \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      std::ostringstream llmp_os_;                                    \
+      llmp_os_ << msg;                                                \
+      ::llmp::detail::check_fail(#cond, __FILE__, __LINE__,           \
+                                 llmp_os_.str());                     \
+    }                                                                 \
+  } while (0)
+
+#ifdef NDEBUG
+#define LLMP_DCHECK(cond) ((void)0)
+#else
+#define LLMP_DCHECK(cond) LLMP_CHECK(cond)
+#endif

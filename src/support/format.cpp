@@ -1,0 +1,82 @@
+#include "support/format.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <iomanip>
+#include <sstream>
+
+#include "support/check.h"
+
+namespace llmp::fmt {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  LLMP_CHECK(!headers_.empty());
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  LLMP_CHECK_MSG(cells.size() == headers_.size(),
+                 "row arity " << cells.size() << " != header arity "
+                              << headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    width[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  auto line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << (c == 0 ? "| " : " | ") << std::setw(static_cast<int>(width[c]))
+         << cells[c];
+    }
+    os << " |\n";
+  };
+  line(headers_);
+  os << '|';
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << std::string(width[c] + 2, '-') << '|';
+  }
+  os << '\n';
+  for (const auto& row : rows_) line(row);
+}
+
+std::string num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+namespace {
+std::string with_separators(std::uint64_t v) {
+  std::string digits = std::to_string(v);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count != 0 && count % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++count;
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+}  // namespace
+
+std::string num(std::uint64_t v) { return with_separators(v); }
+
+std::string num(std::int64_t v) {
+  if (v >= 0) return with_separators(static_cast<std::uint64_t>(v));
+  std::string s = with_separators(static_cast<std::uint64_t>(-(v + 1)) + 1);
+  s.insert(s.begin(), '-');
+  return s;
+}
+
+std::string num(int v) { return num(static_cast<std::int64_t>(v)); }
+
+std::string num(unsigned v) { return num(static_cast<std::uint64_t>(v)); }
+
+}  // namespace llmp::fmt

@@ -1,0 +1,42 @@
+// Aligned plain-text table printer for the benchmark harness. Every bench
+// binary prints the rows the corresponding experiment in EXPERIMENTS.md
+// reports (measured quantity next to the paper's formula), and this keeps
+// the output columns aligned and machine-greppable.
+#pragma once
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace llmp::fmt {
+
+/// Columnar table: set headers once, add rows of stringified cells, print.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Add one row; must have the same arity as the headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with aligned columns to `os` (default stdout).
+  void print(std::ostream& os = std::cout) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision double → string (benches align on width).
+std::string num(double v, int precision = 2);
+
+/// Integral → string with thousands separators for readability.
+/// (size_t and uint64_t are the same type on this platform; one overload.)
+std::string num(std::uint64_t v);
+std::string num(std::int64_t v);
+std::string num(int v);
+std::string num(unsigned v);
+
+}  // namespace llmp::fmt

@@ -1,0 +1,92 @@
+#include "support/itlog.h"
+
+#include <bit>
+#include <cmath>
+#include <memory>
+
+#include "support/bits.h"
+#include "support/check.h"
+
+namespace llmp::itlog {
+
+int floor_log2(std::uint64_t n) {
+  LLMP_CHECK(n >= 1);
+  return 63 - std::countl_zero(n);
+}
+
+int ceil_log2(std::uint64_t n) {
+  LLMP_CHECK(n >= 1);
+  int f = floor_log2(n);
+  return (n & (n - 1)) == 0 ? f : f + 1;
+}
+
+double ilog_real(int i, double n) {
+  LLMP_CHECK(i >= 1);
+  double x = n;
+  for (int k = 0; k < i; ++k) {
+    if (x <= 0) return -1.0;
+    x = std::log2(x);
+  }
+  return x;
+}
+
+std::uint64_t ilog_ceil(int i, std::uint64_t n) {
+  LLMP_CHECK(i >= 0);
+  std::uint64_t x = n;
+  for (int k = 0; k < i; ++k) {
+    if (x <= 1) return 1;
+    x = static_cast<std::uint64_t>(ceil_log2(x));
+  }
+  return x == 0 ? 1 : x;
+}
+
+int G(std::uint64_t n) {
+  LLMP_CHECK(n >= 1);
+  double x = static_cast<double>(n);
+  int k = 0;
+  do {
+    x = std::log2(x);
+    ++k;
+  } while (x >= 1.0);
+  return k;
+}
+
+int log_G(std::uint64_t n) {
+  int g = G(n);
+  return g <= 1 ? 0 : ceil_log2(static_cast<std::uint64_t>(g));
+}
+
+int floor_log2_appendix(std::uint64_t n, int width) {
+  LLMP_CHECK(n >= 1 && width >= 1 && width <= 24);
+  LLMP_CHECK(n < (std::uint64_t{1} << width));
+  // The appendix evaluates log n by bit-reversing n so the most significant
+  // 1-bit becomes the least significant, isolating it with XOR, and
+  // converting the unary result to binary with a table.
+  static thread_local int cached_width = -1;
+  static thread_local std::unique_ptr<bits::TableBitOps> ops;
+  if (cached_width != width) {
+    ops = std::make_unique<bits::TableBitOps>(width);
+    cached_width = width;
+  }
+  std::uint64_t rev = bits::reverse_bits(n, width);
+  int k_from_low = ops->lsb_index(rev);
+  return width - 1 - k_from_low;
+}
+
+int G_appendix(std::uint64_t n) {
+  LLMP_CHECK(n >= 1);
+  // Iterate x := floor(log2 x), counting iterations, until the iterate
+  // drops below 1. Because floor(log2(floor(x))) == floor(log2 x) for all
+  // real x >= 1 (both equal k where 2^k <= x < 2^(k+1)), the integer
+  // iterate is the floor of the paper's real-valued iterate at every
+  // level, so the stopping index equals G(n) exactly.
+  std::uint64_t x = n;
+  int k = 0;
+  do {
+    x = static_cast<std::uint64_t>(floor_log2(x));
+    ++k;
+  } while (x >= 1);
+  return k;
+}
+
+}  // namespace llmp::itlog

@@ -1,0 +1,58 @@
+// Iterated-logarithm quantities from the paper.
+//
+//   log^(1) n = log2 n,   log^(k) n = log2(log^(k-1) n)
+//   G(n)      = min{ k : log^(k) n < 1 }          (a log* variant)
+//
+// The paper uses these both in complexity statements (Lemmas 2–5,
+// Theorems 1–2) and as quantities the algorithms must *compute* (the
+// appendix shows sequential procedures and an O(log G(n))-step parallel
+// procedure for G(n) and log G(n) built from a linked list over the powers
+// of two). We provide:
+//
+//   * exact real-valued versions (for formula columns in benches),
+//   * integer ceil-based versions (for sizing rows/tables: these are the
+//     "evaluation of function H means finding m = Θ(H)" variants), and
+//   * the appendix's sequential evaluation procedure built only from the
+//     XOR/convert primitives of bits.h (tested against the direct ones).
+//
+// The parallel pointer-jumping evaluator lives in core/ (it needs the PRAM
+// executor); see core/appendix_eval.h.
+#pragma once
+
+#include <cstdint>
+
+namespace llmp::itlog {
+
+/// floor(log2 n). Precondition: n >= 1.
+int floor_log2(std::uint64_t n);
+
+/// ceil(log2 n). Precondition: n >= 1. ceil_log2(1) == 0.
+int ceil_log2(std::uint64_t n);
+
+/// Real-valued iterated logarithm log^(i) n (i >= 1). Returns a negative
+/// value once the iterate drops below 1 and further logs are undefined.
+double ilog_real(int i, double n);
+
+/// Integer iterated logarithm: apply x -> ceil(log2 x) i times, flooring
+/// at 1. This is the Θ(log^(i) n) quantity used to size Match4's rows.
+/// ilog_ceil(0, n) == n.
+std::uint64_t ilog_ceil(int i, std::uint64_t n);
+
+/// G(n) = min{ k : log^(k) n < 1 } on the real-valued iteration.
+/// G(1) == 1 by convention (log 1 = 0 < 1). Precondition: n >= 1.
+int G(std::uint64_t n);
+
+/// ceil(log2 G(n)) — the Match3 concatenation round count.
+int log_G(std::uint64_t n);
+
+/// Appendix-faithful sequential evaluation of floor(log2 n) using only
+/// bit-reversal + the unary→binary conversion idiom:
+///   n' := reverse(n); n' := n' XOR (n' - 1); logn := k - convert(n')
+/// Exposed so tests can confirm it agrees with floor_log2 on all widths.
+int floor_log2_appendix(std::uint64_t n, int width);
+
+/// Appendix-faithful sequential G(n): iterate the log procedure until the
+/// value drops below 2, counting iterations. Agrees with G() (tested).
+int G_appendix(std::uint64_t n);
+
+}  // namespace llmp::itlog

@@ -1,0 +1,25 @@
+// Common scalar types used throughout llmp.
+//
+// Node identifiers are array indices (the paper stores the list in an array
+// X[0..n-1] and identifies a node with its address); 32-bit indices cover
+// every list size this library targets while halving memory traffic relative
+// to size_t. Labels produced by matching partition functions start as node
+// addresses and only shrink under iteration, but Match3 temporarily
+// *concatenates* labels, so labels get a full 64 bits.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+
+namespace llmp {
+
+using index_t = std::uint32_t;  ///< node id / array position
+using label_t = std::uint64_t;  ///< matching-partition label
+
+/// Sentinel for "no node" (list tail's successor, head's predecessor).
+inline constexpr index_t knil = static_cast<index_t>(-1);
+
+/// Sentinel for "no label assigned yet".
+inline constexpr label_t kno_label = static_cast<label_t>(-1);
+
+}  // namespace llmp

@@ -1,0 +1,57 @@
+// Tests for the appendix's parallel G(n)/log G(n) evaluator.
+#include "core/appendix_eval.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pram/executor.h"
+#include "pram/machine.h"
+
+namespace llmp::core {
+namespace {
+
+TEST(AppendixEval, GWithinOneOfExact) {
+  pram::SeqExec exec(64);
+  for (std::uint64_t n : {1ULL, 2ULL, 3ULL, 5ULL, 16ULL, 17ULL, 100ULL,
+                          65536ULL, (1ULL << 20) + 3, 1ULL << 22}) {
+    const auto r = eval_G_parallel(exec, n);
+    EXPECT_NEAR(r.G, itlog::G(n), 1) << "n=" << n;
+  }
+}
+
+TEST(AppendixEval, LogGWithinTwoOfExact) {
+  pram::SeqExec exec(64);
+  for (std::uint64_t n : {2ULL, 16ULL, 65536ULL, 1ULL << 22}) {
+    const auto r = eval_G_parallel(exec, n);
+    EXPECT_NEAR(r.log_G, itlog::log_G(n), 2) << "n=" << n;
+  }
+}
+
+TEST(AppendixEval, DepthIsLogGRounds) {
+  // The appendix's claim: O(log G(n)) steps with n processors.
+  pram::SeqExec exec(1 << 22);
+  const auto r = eval_G_parallel(exec, 1ULL << 22);
+  EXPECT_LE(r.cost.depth, 1u + 4u);  // init + <= ceil(log2 G) + slack
+  EXPECT_EQ(r.cost.time_p, r.cost.depth);  // p = n: one tick per step
+}
+
+TEST(AppendixEval, CrewLegalOnTheMachine) {
+  // Node 1's cell is read by itself and by its chain predecessor — CREW.
+  pram::Machine m(pram::Mode::kCREW, 8);
+  const auto r = eval_G_parallel(m, 4096);
+  EXPECT_NEAR(r.G, itlog::G(4096), 1);
+}
+
+TEST(AppendixEval, MonotoneInN) {
+  pram::SeqExec exec(64);
+  int prev = 0;
+  for (int e = 1; e <= 22; ++e) {
+    const auto r = eval_G_parallel(exec, 1ULL << e);
+    EXPECT_GE(r.G, prev);
+    prev = r.G;
+  }
+}
+
+}  // namespace
+}  // namespace llmp::core

@@ -1,0 +1,133 @@
+// Unit tests for support/bits: native bit finders, the appendix's
+// unary→binary conversion idiom, both table layouts, bit reversal.
+#include "support/bits.h"
+
+#include <gtest/gtest.h>
+
+#include "support/rng.h"
+
+namespace llmp::bits {
+namespace {
+
+TEST(Bits, MsbIndexBasics) {
+  EXPECT_EQ(msb_index(1), 0);
+  EXPECT_EQ(msb_index(2), 1);
+  EXPECT_EQ(msb_index(3), 1);
+  EXPECT_EQ(msb_index(0x8000000000000000ULL), 63);
+  EXPECT_EQ(msb_index(0xFFFFFFFFFFFFFFFFULL), 63);
+}
+
+TEST(Bits, LsbIndexBasics) {
+  EXPECT_EQ(lsb_index(1), 0);
+  EXPECT_EQ(lsb_index(2), 1);
+  EXPECT_EQ(lsb_index(3), 0);
+  EXPECT_EQ(lsb_index(0x8000000000000000ULL), 63);
+  EXPECT_EQ(lsb_index(12), 2);
+}
+
+TEST(Bits, IsolateLsbMatchesAppendixAlgebra) {
+  // c := x XOR (x-1); c := (c+1)/2 must equal the lowest set bit.
+  for (std::uint64_t x : {1ULL, 2ULL, 3ULL, 12ULL, 40ULL, 1ULL << 40,
+                          (1ULL << 40) | (1ULL << 3)}) {
+    EXPECT_EQ(isolate_lsb(x), x & (~x + 1)) << x;
+  }
+}
+
+TEST(Bits, ReverseBitsRoundTrip) {
+  rng::Xoshiro256 gen(7);
+  for (int width : {1, 3, 8, 13, 24, 33, 64}) {
+    for (int t = 0; t < 50; ++t) {
+      std::uint64_t x =
+          width == 64 ? gen.next() : gen.next() & ((1ULL << width) - 1);
+      EXPECT_EQ(reverse_bits(reverse_bits(x, width), width), x)
+          << "width=" << width;
+    }
+  }
+}
+
+TEST(Bits, ReverseBitsKnownValues) {
+  EXPECT_EQ(reverse_bits(0b001, 3), 0b100u);
+  EXPECT_EQ(reverse_bits(0b110, 3), 0b011u);
+  EXPECT_EQ(reverse_bits(1, 8), 0x80u);
+}
+
+class UnaryTableTest
+    : public ::testing::TestWithParam<UnaryToBinaryTable::Layout> {};
+
+TEST_P(UnaryTableTest, ConvertAllPowersAcrossWidths) {
+  for (int width : {1, 2, 3, 5, 8, 16, 20}) {
+    UnaryToBinaryTable t(width, GetParam());
+    for (int k = 0; k < width; ++k)
+      EXPECT_EQ(t.convert(std::uint64_t{1} << k), k)
+          << "width=" << width << " k=" << k;
+  }
+}
+
+TEST_P(UnaryTableTest, LsbIndexViaTableAgreesWithNative) {
+  rng::Xoshiro256 gen(11);
+  const int width = 20;
+  UnaryToBinaryTable t(width, GetParam());
+  for (int i = 0; i < 500; ++i) {
+    std::uint64_t x = gen.next() & ((1ULL << width) - 1);
+    if (x == 0) continue;
+    EXPECT_EQ(t.lsb_index(x), lsb_index(x));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Layouts, UnaryTableTest,
+                         ::testing::Values(UnaryToBinaryTable::Layout::kDirect,
+                                           UnaryToBinaryTable::Layout::kDeBruijn),
+                         [](const auto& info) {
+                           return info.param ==
+                                          UnaryToBinaryTable::Layout::kDirect
+                                      ? "Direct"
+                                      : "DeBruijn";
+                         });
+
+TEST(UnaryTable, DeBruijnWideWidths) {
+  // The De Bruijn layout must work beyond the direct layout's 28-bit cap.
+  for (int width : {29, 40, 64}) {
+    UnaryToBinaryTable t(width, UnaryToBinaryTable::Layout::kDeBruijn);
+    for (int k = 0; k < width; ++k)
+      EXPECT_EQ(t.convert(std::uint64_t{1} << k), k) << "width=" << width;
+  }
+}
+
+TEST(UnaryTable, DirectLayoutSizeMatchesPaper) {
+  // "the table T has only log n entries which are useful" — the direct
+  // layout stores 2^width cells; the De Bruijn layout stores only
+  // next_pow2(width).
+  UnaryToBinaryTable direct(10, UnaryToBinaryTable::Layout::kDirect);
+  UnaryToBinaryTable packed(10, UnaryToBinaryTable::Layout::kDeBruijn);
+  EXPECT_EQ(direct.cells(), 1024u);
+  EXPECT_EQ(packed.cells(), 16u);
+}
+
+TEST(UnaryTable, DirectLayoutRejectsHugeWidths) {
+  EXPECT_THROW(UnaryToBinaryTable(29, UnaryToBinaryTable::Layout::kDirect),
+               check_error);
+}
+
+TEST(BitReversalTable, MatchesReverseBits) {
+  for (int width : {1, 4, 9, 12}) {
+    BitReversalTable t(width);
+    const std::uint32_t limit = 1u << width;
+    for (std::uint32_t x = 0; x < limit; ++x)
+      EXPECT_EQ(t.reverse(x), reverse_bits(x, width)) << "width=" << width;
+  }
+}
+
+TEST(TableBitOps, MsbViaReversalAgreesWithNative) {
+  const int width = 16;
+  TableBitOps ops(width);
+  rng::Xoshiro256 gen(3);
+  for (int i = 0; i < 1000; ++i) {
+    std::uint64_t x = gen.next() & ((1ULL << width) - 1);
+    if (x == 0) continue;
+    EXPECT_EQ(ops.msb_index(x), msb_index(x));
+    EXPECT_EQ(ops.lsb_index(x), lsb_index(x));
+  }
+}
+
+}  // namespace
+}  // namespace llmp::bits

@@ -1,0 +1,154 @@
+// Memory-discipline audits: every algorithm template runs unchanged on the
+// tracked pram::Machine, which throws on (a) any break of the synchronous
+// read-before-write discipline — the property that makes the fast
+// executors equivalent to lockstep PRAM execution — and (b) any access
+// pattern illegal under the declared PRAM mode. These tests pin down the
+// *model* each algorithm needs:
+//
+//   relabel / gather / Wyllie / prefix-scan / counting sort . CREW
+//   Match1–4 end-to-end, coloring, MIS, both rankings ....... CREW
+//   predecessor computation, Blelloch scan .................. EREW
+//
+// (The paper's EREW variants need preprocessing-stage table copies —
+// appendix; the concurrent reads here are of the fan-out kind.)
+#include <gtest/gtest.h>
+
+#include "apps/independent_set.h"
+#include "apps/list_ranking.h"
+#include "apps/three_coloring.h"
+#include "core/maximal_matching.h"
+#include "core/verify.h"
+#include "list/generators.h"
+#include "pram/machine.h"
+#include "pram/prefix.h"
+
+namespace llmp {
+namespace {
+
+using pram::Machine;
+using pram::Mode;
+
+list::LinkedList small_list(std::size_t n) {
+  return list::generators::random_list(n, /*seed=*/n + 17);
+}
+
+class CrewDiscipline : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CrewDiscipline, Match1) {
+  Machine m(Mode::kCREW, 8);
+  const auto list = small_list(GetParam());
+  const auto r = core::match1(m, list);
+  core::verify::check_maximal(list, r.in_matching);
+}
+
+TEST_P(CrewDiscipline, Match2) {
+  Machine m(Mode::kCREW, 8);
+  const auto list = small_list(GetParam());
+  const auto r = core::match2(m, list);
+  core::verify::check_maximal(list, r.in_matching);
+}
+
+TEST_P(CrewDiscipline, Match3) {
+  Machine m(Mode::kCREW, 8);
+  const auto list = small_list(GetParam());
+  const auto r = core::match3(m, list);
+  core::verify::check_maximal(list, r.in_matching);
+}
+
+TEST_P(CrewDiscipline, Match4) {
+  Machine m(Mode::kCREW, 8);
+  const auto list = small_list(GetParam());
+  const auto r = core::match4(m, list);
+  core::verify::check_maximal(list, r.in_matching);
+}
+
+TEST_P(CrewDiscipline, Match4WithTablePartition) {
+  Machine m(Mode::kCREW, 8);
+  const auto list = small_list(GetParam());
+  core::Match4Options opt;
+  opt.i_parameter = 4;
+  opt.partition_with_table = true;
+  const auto r = core::match4(m, list, opt);
+  core::verify::check_maximal(list, r.in_matching);
+}
+
+TEST_P(CrewDiscipline, RandomizedMatching) {
+  Machine m(Mode::kCREW, 8);
+  const auto list = small_list(GetParam());
+  const auto r = core::random_matching(m, list);
+  core::verify::check_maximal(list, r.in_matching);
+}
+
+TEST_P(CrewDiscipline, ThreeColoring) {
+  Machine m(Mode::kCREW, 8);
+  const auto list = small_list(GetParam());
+  const auto r = apps::three_coloring(m, list);
+  apps::check_coloring(list, r.colors, 3);
+}
+
+TEST_P(CrewDiscipline, IndependentSet) {
+  Machine m(Mode::kCREW, 8);
+  const auto list = small_list(GetParam());
+  const auto r = apps::independent_set(m, list);
+  apps::check_independent_set(list, r.in_set);
+}
+
+TEST_P(CrewDiscipline, WyllieRanking) {
+  Machine m(Mode::kCREW, 8);
+  const auto list = small_list(GetParam());
+  const auto r = apps::wyllie_ranking(m, list);
+  EXPECT_EQ(r.rank, apps::sequential_ranking(list));
+}
+
+TEST_P(CrewDiscipline, ContractionRanking) {
+  Machine m(Mode::kCREW, 8);
+  const auto list = small_list(GetParam());
+  const auto r = apps::contraction_ranking(m, list);
+  EXPECT_EQ(r.rank, apps::sequential_ranking(list));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CrewDiscipline,
+                         ::testing::Values<std::size_t>(1, 2, 3, 9, 64, 301,
+                                                        1024),
+                         ::testing::PrintToStringParamName());
+
+TEST(ErewDiscipline, PredecessorsAndScanAreErewLegal) {
+  Machine m(Mode::kEREW, 8);
+  const auto list = small_list(128);
+  (void)core::parallel_predecessors(m, list);
+  std::vector<std::uint64_t> a(100);
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] = i % 7;
+  std::uint64_t total = pram::exclusive_scan(m, a);
+  EXPECT_EQ(total, [&] {
+    std::uint64_t s = 0;
+    for (std::size_t i = 0; i < 100; ++i) s += i % 7;
+    return s;
+  }());
+}
+
+TEST(ErewDiscipline, CountingSortIsErewLegal) {
+  Machine m(Mode::kEREW, 8);
+  std::vector<index_t> keys{3, 1, 4, 1, 5, 2, 6, 5, 3, 5, 0, 7};
+  auto sorted = pram::counting_sort_by_key(m, keys, 8, 4);
+  for (std::size_t i = 1; i < sorted.order.size(); ++i)
+    EXPECT_LE(keys[sorted.order[i - 1]], keys[sorted.order[i]]);
+}
+
+TEST(ErewDiscipline, RelabelNeedsConcurrentReads) {
+  // Documented model boundary: a relabel step reads each label cell from
+  // two processors (its own and its predecessor's), so EREW flags it.
+  Machine m(Mode::kEREW, 8, Machine::OnViolation::kRecord);
+  const auto list = small_list(64);
+  std::vector<label_t> labels;
+  core::init_address_labels(m, 64, labels);
+  std::vector<label_t> out(64);
+  core::relabel(m, list, labels, out, core::BitRule::kMostSignificant);
+  bool has_concurrent_read = false;
+  for (const auto& v : m.violations())
+    has_concurrent_read |=
+        (v.kind == pram::Violation::Kind::kConcurrentRead);
+  EXPECT_TRUE(has_concurrent_read);
+}
+
+}  // namespace
+}  // namespace llmp

@@ -1,0 +1,167 @@
+// EREW-mode audits. The paper's Lemma 4 is an EREW bound, and the appendix
+// states Match2 runs on the EREW model "without any precomputation". These
+// tests run the EREW algorithm variants (inbox fan-outs instead of
+// neighbour reads) on pram::Machine(Mode::kEREW), which throws on any
+// concurrent read/write — so a green test IS the exclusivity proof — and
+// check the EREW variants produce exactly the same output as the CREW
+// ones.
+#include <gtest/gtest.h>
+
+#include "core/cut.h"
+#include "core/fanout.h"
+#include "core/match1.h"
+#include "core/match2.h"
+#include "core/match4.h"
+#include "core/verify.h"
+#include "list/generators.h"
+#include "pram/executor.h"
+#include "pram/machine.h"
+
+namespace llmp::core {
+namespace {
+
+using pram::Machine;
+using pram::Mode;
+
+class ErewSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ErewSizes, FanoutHelpersAreExclusiveAndCorrect) {
+  const std::size_t n = GetParam();
+  const auto list = list::generators::random_list(n, n + 1);
+  const auto pred = list.predecessors();
+  std::vector<label_t> src(n);
+  for (index_t v = 0; v < n; ++v) src[v] = 1000 + v;
+
+  Machine m(Mode::kEREW, 8);
+  std::vector<label_t> from_next(n, kno_label), from_pred(n, kno_label);
+  pull_from_next(m, list, pred, src, from_next, /*circular=*/true);
+  pull_from_pred(m, list, src, from_pred, /*circular=*/true);
+  for (index_t v = 0; v < n; ++v) {
+    EXPECT_EQ(from_next[v], src[list.circular_next(v)]);
+    const index_t p = pred[v] == knil ? list.tail() : pred[v];
+    EXPECT_EQ(from_pred[v], src[p]);
+  }
+}
+
+TEST_P(ErewSizes, RelabelErewMatchesCrewRelabel) {
+  const std::size_t n = GetParam();
+  if (n < 2) GTEST_SKIP();
+  const auto list = list::generators::random_list(n, 3 * n);
+  const auto pred = list.predecessors();
+  pram::SeqExec crew(8);
+  Machine erew(Mode::kEREW, 8);
+  std::vector<label_t> a, b;
+  init_address_labels(crew, n, a);
+  init_address_labels(erew, n, b);
+  std::vector<label_t> ta(n), tb(n), inbox(n);
+  for (int round = 0; round < 4; ++round) {
+    relabel(crew, list, a, ta, BitRule::kMostSignificant);
+    relabel_erew(erew, list, pred, b, tb, inbox,
+                 BitRule::kMostSignificant);
+    a.swap(ta);
+    b.swap(tb);
+    ASSERT_EQ(a, b) << "round " << round;
+  }
+}
+
+TEST_P(ErewSizes, CutAndWalkErewMatchesCrew) {
+  const std::size_t n = GetParam();
+  const auto list = list::generators::random_list(n, 7 * n + 1);
+  const auto pred = list.predecessors();
+  pram::SeqExec crew(8);
+  std::vector<label_t> labels;
+  init_address_labels(crew, n, labels);
+  reduce_to_constant(crew, list, labels, BitRule::kMostSignificant);
+
+  std::vector<std::uint8_t> ma, mb;
+  const auto sa = cut_and_walk(crew, list, pred, labels, kFixedPointBound, ma);
+  Machine erew(Mode::kEREW, 8);
+  const auto sb =
+      cut_and_walk_erew(erew, list, pred, labels, kFixedPointBound, mb);
+  EXPECT_EQ(ma, mb);
+  EXPECT_EQ(sa.cuts, sb.cuts);
+  EXPECT_EQ(sa.max_run, sb.max_run);
+}
+
+TEST_P(ErewSizes, Match1ErewOnTheMachine) {
+  const std::size_t n = GetParam();
+  const auto list = list::generators::random_list(n, n + 9);
+  Machine m(Mode::kEREW, 8);
+  Match1Options opt;
+  opt.erew = true;
+  const auto r = match1(m, list, opt);  // throws on any EREW violation
+  verify::check_maximal(list, r.in_matching);
+
+  // Identical matching to the CREW variant.
+  pram::SeqExec crew(8);
+  const auto rc = match1(crew, list);
+  EXPECT_EQ(r.in_matching, rc.in_matching);
+}
+
+TEST_P(ErewSizes, Match2ErewOnTheMachine_Lemma4) {
+  const std::size_t n = GetParam();
+  const auto list = list::generators::random_list(n, n + 11);
+  Machine m(Mode::kEREW, 8);
+  Match2Options opt;
+  opt.erew = true;
+  const auto r = match2(m, list, opt);
+  verify::check_maximal(list, r.in_matching);
+
+  pram::SeqExec crew(8);
+  const auto rc = match2(crew, list);
+  EXPECT_EQ(r.in_matching, rc.in_matching);
+}
+
+TEST_P(ErewSizes, Match4ErewOnTheMachine) {
+  const std::size_t n = GetParam();
+  const auto list = list::generators::random_list(n, n + 13);
+  Machine m(Mode::kEREW, 8);
+  Match4Options opt;
+  opt.erew = true;
+  const auto r = match4(m, list, opt);
+  verify::check_maximal(list, r.in_matching);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ErewSizes,
+                         ::testing::Values<std::size_t>(1, 2, 3, 5, 16, 63,
+                                                        257, 1024, 4096),
+                         ::testing::PrintToStringParamName());
+
+TEST(Erew, CrewVariantsDoViolateErewAsDocumented) {
+  // Sanity for the whole exercise: the plain CREW variants really do
+  // trip the EREW checker (otherwise these tests would prove nothing).
+  const auto list = list::generators::random_list(256, 5);
+  Machine m(Mode::kEREW, 8, Machine::OnViolation::kRecord);
+  (void)match1(m, list);  // CREW variant on an EREW machine
+  EXPECT_FALSE(m.violations().empty());
+}
+
+TEST(Erew, StepOverheadIsBoundedConstantFactor) {
+  // The EREW variants trade concurrent reads for fan-out steps: depth and
+  // work at most ~3x the CREW variant's.
+  const std::size_t n = 1 << 14;
+  const auto list = list::generators::random_list(n, 21);
+  pram::SeqExec crew(256), erew(256);
+  const auto rc = match1(crew, list);
+  Match1Options opt;
+  opt.erew = true;
+  const auto re = match1(erew, list, opt);
+  EXPECT_LE(re.cost.depth, 3 * rc.cost.depth);
+  EXPECT_LE(re.cost.work, 3 * rc.cost.work);
+  EXPECT_EQ(re.in_matching, rc.in_matching);
+}
+
+TEST(Erew, Match4ErewMatchesCrewMatching) {
+  for (std::size_t n : {100u, 5000u}) {
+    const auto list = list::generators::random_list(n, n);
+    pram::SeqExec a(64), b(64);
+    Match4Options opt_erew;
+    opt_erew.erew = true;
+    const auto rc = match4(a, list);
+    const auto re = match4(b, list, opt_erew);
+    EXPECT_EQ(rc.in_matching, re.in_matching) << n;
+  }
+}
+
+}  // namespace
+}  // namespace llmp::core

@@ -1,0 +1,127 @@
+// Tests for the Euler-tour tree reduction: tour structure and the three
+// statistics against a sequential DFS oracle, over random/path/star
+// shapes.
+#include "apps/euler_tour.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "pram/executor.h"
+#include "pram/machine.h"
+
+namespace llmp::apps {
+namespace {
+
+struct Oracle {
+  std::vector<std::uint64_t> depth, size, preorder;
+};
+
+Oracle dfs_oracle(const Tree& tree) {
+  const std::size_t n = tree.size();
+  Oracle o;
+  o.depth.assign(n, 0);
+  o.size.assign(n, 1);
+  o.preorder.assign(n, 0);
+  std::vector<std::vector<index_t>> children(n);
+  for (index_t v = 0; v < n; ++v)
+    if (tree.parent[v] != knil) children[tree.parent[v]].push_back(v);
+  std::uint64_t counter = 0;
+  // Iterative DFS in ascending-child order (matches the tour's order).
+  std::function<void(index_t, std::uint64_t)> go = [&](index_t v,
+                                                       std::uint64_t d) {
+    o.depth[v] = d;
+    o.preorder[v] = counter++;
+    for (index_t c : children[v]) {
+      go(c, d + 1);
+      o.size[v] += o.size[c];
+    }
+  };
+  go(tree.root, 0);
+  return o;
+}
+
+void expect_valid_tour(const Tree& tree) {
+  const EulerTour tour = build_euler_tour(tree);
+  const std::size_t m = tour.arcs.size();
+  EXPECT_EQ(m, 2 * (tree.size() - 1));
+  // Walking the tour simulates a DFS: a stack of open down-arcs.
+  std::vector<index_t> stack;
+  std::size_t seen = 0;
+  for (index_t a = tour.arcs.head(); a != knil; a = tour.arcs.next(a)) {
+    ++seen;
+    if (tour.is_down[a]) {
+      stack.push_back(tour.arc_child[a]);
+    } else {
+      ASSERT_FALSE(stack.empty());
+      EXPECT_EQ(stack.back(), tour.arc_child[a]) << "unbalanced tour";
+      stack.pop_back();
+    }
+  }
+  EXPECT_EQ(seen, m);
+  EXPECT_TRUE(stack.empty());
+}
+
+class TourShapes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(TourShapes, TourIsBalancedDfsWalk) {
+  const std::size_t n = GetParam();
+  if (n < 2) GTEST_SKIP();
+  expect_valid_tour(random_tree(n, n * 13 + 1));
+  expect_valid_tour(path_tree(n));
+  expect_valid_tour(star_tree(n));
+}
+
+TEST_P(TourShapes, StatisticsMatchDfsOracle) {
+  const std::size_t n = GetParam();
+  pram::SeqExec exec(64);
+  for (const Tree& tree :
+       {random_tree(n, 7 * n + 5), path_tree(n), star_tree(n)}) {
+    const TreeStats stats = tree_statistics(exec, tree);
+    if (n < 2) {
+      EXPECT_EQ(stats.subtree_size, std::vector<std::uint64_t>{1});
+      continue;
+    }
+    const Oracle o = dfs_oracle(tree);
+    EXPECT_EQ(stats.depth, o.depth);
+    EXPECT_EQ(stats.subtree_size, o.size);
+    EXPECT_EQ(stats.preorder, o.preorder);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TourShapes,
+                         ::testing::Values<std::size_t>(1, 2, 3, 4, 5, 17,
+                                                        100, 1024, 5000),
+                         ::testing::PrintToStringParamName());
+
+TEST(EulerTour, PathAndStarExtremes) {
+  pram::SeqExec exec(64);
+  const std::size_t n = 64;
+  const auto path_stats = tree_statistics(exec, path_tree(n));
+  EXPECT_EQ(path_stats.depth[n - 1], n - 1);
+  EXPECT_EQ(path_stats.subtree_size[0], n);
+  EXPECT_EQ(path_stats.preorder[n - 1], n - 1);
+  const auto star_stats = tree_statistics(exec, star_tree(n));
+  for (index_t v = 1; v < n; ++v) {
+    EXPECT_EQ(star_stats.depth[v], 1u);
+    EXPECT_EQ(star_stats.subtree_size[v], 1u);
+  }
+}
+
+TEST(EulerTour, CrewLegalOnTheMachine) {
+  pram::Machine m(pram::Mode::kCREW, 8);
+  const Tree tree = random_tree(200, 3);
+  const TreeStats stats = tree_statistics(m, tree);
+  const Oracle o = dfs_oracle(tree);
+  EXPECT_EQ(stats.depth, o.depth);
+}
+
+TEST(EulerTour, RejectsMalformedTrees) {
+  Tree bad;
+  bad.parent = {knil, 0, 1};
+  bad.root = 1;  // disagrees with the parent array
+  EXPECT_THROW(build_euler_tour(bad), check_error);
+}
+
+}  // namespace
+}  // namespace llmp::apps

@@ -1,0 +1,112 @@
+// Miniature versions of the headline experiment claims (EXPERIMENTS.md),
+// encoded as assertions so a regression in any reproduced result fails
+// ctest directly — no bench run needed.
+#include <gtest/gtest.h>
+
+#include "core/match1.h"
+#include "core/match2.h"
+#include "core/match4.h"
+#include "core/partition_fn.h"
+#include "core/verify.h"
+#include "list/generators.h"
+#include "pram/executor.h"
+#include "pram/prefix.h"
+
+namespace llmp {
+namespace {
+
+// E2 (Lemma 1): one relabel round uses at most 2*ceil(log2 n) sets.
+TEST(ExperimentSmoke, E2_Lemma1Bound) {
+  const std::size_t n = 1 << 16;
+  const auto lst = list::generators::random_list(n, 1);
+  pram::SeqExec exec(64);
+  std::vector<label_t> labels, out(n);
+  core::init_address_labels(exec, n, labels);
+  core::relabel(exec, lst, labels, out, core::BitRule::kMostSignificant);
+  EXPECT_LE(core::distinct_labels(out),
+            2 * static_cast<std::size_t>(itlog::ceil_log2(n)));
+}
+
+// E5: Match2's sort share of time_p grows with p (the paper's
+// "global sorting scheme is inefficient").
+TEST(ExperimentSmoke, E5_SortShareGrowsWithP) {
+  const std::size_t n = 1 << 16;
+  const auto lst = list::generators::random_list(n, 2);
+  auto sort_share = [&](std::size_t p) {
+    pram::SeqExec exec(p);
+    const auto r = core::match2(exec, lst);
+    return static_cast<double>(pram::phase_cost(r.phases, "sort").time_p) /
+           static_cast<double>(r.cost.time_p);
+  };
+  EXPECT_LT(sort_share(64), sort_share(1 << 14));
+}
+
+// E9 (Theorem 1): Match4's efficiency p*T/T1 is near-flat inside the
+// optimality window and strictly worse beyond ~4x the knee.
+TEST(ExperimentSmoke, E9_OptimalityWindow) {
+  const std::size_t n = 1 << 18;
+  const int i = 3;
+  const auto lst = list::generators::random_list(n, 3);
+  const label_t x = core::bound_after_rounds(n, i);
+  const std::size_t knee = n / static_cast<std::size_t>(x);
+  auto efficiency = [&](std::size_t p) {
+    pram::SeqExec exec(p);
+    core::Match4Options opt;
+    opt.i_parameter = i;
+    const auto r = core::match4(exec, lst, opt);
+    return static_cast<double>(p) * static_cast<double>(r.cost.time_p) /
+           static_cast<double>(n);
+  };
+  const double inside_lo = efficiency(256);
+  const double inside_hi = efficiency(knee / 2);
+  const double outside = efficiency(8 * knee);
+  EXPECT_LT(std::abs(inside_hi - inside_lo), 0.15 * inside_lo)
+      << "efficiency must be flat inside the window";
+  EXPECT_GT(outside, 1.2 * inside_hi)
+      << "efficiency must degrade beyond p* = n/log^(i) n";
+}
+
+// E13: the WalkDown scheduler beats the global-sort scheduler at extreme
+// p (the additive-term regime) on the identical partition.
+TEST(ExperimentSmoke, E13_WalkDownWinsHighP) {
+  const std::size_t n = 1 << 18;
+  const auto lst = list::generators::random_list(n, 4);
+  const std::size_t p = n;  // extreme parallelism
+  pram::SeqExec ea(p), eb(p);
+  core::Match4Options m4;
+  m4.i_parameter = 3;
+  const auto walkdown = core::match4(ea, lst, m4);
+  const auto global_sort = core::match2(eb, lst);
+  EXPECT_LT(walkdown.cost.time_p, global_sort.cost.time_p);
+}
+
+// E3 (Lemma 2 fixed point): labels reach the 6-letter alphabet within
+// G(n)+2 rounds.
+TEST(ExperimentSmoke, E3_FixedPointWithinGRounds) {
+  const std::size_t n = 1 << 20;
+  const auto lst = list::generators::random_list(n, 5);
+  pram::SeqExec exec(64);
+  std::vector<label_t> labels;
+  core::init_address_labels(exec, n, labels);
+  const int rounds = core::reduce_to_constant(
+      exec, lst, labels, core::BitRule::kMostSignificant);
+  EXPECT_LE(rounds, itlog::G(n) + 2);
+  EXPECT_LE(core::distinct_labels(labels), 6u);
+}
+
+// E4: Match1's efficiency is pinned at ~G(n) for every p (never optimal).
+TEST(ExperimentSmoke, E4_Match1NeverOptimal) {
+  const std::size_t n = 1 << 18;
+  const auto lst = list::generators::random_list(n, 6);
+  for (std::size_t p : {std::size_t{16}, std::size_t{1} << 12}) {
+    pram::SeqExec exec(p);
+    const auto r = core::match1(exec, lst);
+    const double eff = static_cast<double>(p) *
+                       static_cast<double>(r.cost.time_p) /
+                       static_cast<double>(n);
+    EXPECT_GT(eff, static_cast<double>(itlog::G(n))) << p;
+  }
+}
+
+}  // namespace
+}  // namespace llmp

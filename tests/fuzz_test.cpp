@@ -1,0 +1,115 @@
+// Randomized cross-checking sweep ("fuzz"): many seeds × random sizes ×
+// random shapes; every algorithm (CREW and EREW variants) must produce a
+// valid maximal matching, deterministic algorithms must be
+// backend-independent, and the applications must agree with their
+// sequential oracles. This is the safety net the structured TEST_P grids
+// cannot provide: irregular sizes and shape/seed combinations nobody
+// thought to enumerate.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "apps/independent_set.h"
+#include "apps/list_ranking.h"
+#include "apps/three_coloring.h"
+#include "core/maximal_matching.h"
+#include "core/verify.h"
+#include "list/generators.h"
+#include "pram/executor.h"
+#include "support/rng.h"
+
+namespace llmp {
+namespace {
+
+list::LinkedList random_shape(rng::Xoshiro256& gen, std::size_t n) {
+  switch (gen.below(5)) {
+    case 0: return list::generators::identity_list(n);
+    case 1: return list::generators::reverse_list(n);
+    case 2: {
+      std::size_t stride = 1 + gen.below(n);
+      while (std::gcd(stride, n) != 1) ++stride;
+      return list::generators::strided_list(n, stride);
+    }
+    case 3:
+      return list::generators::blocked_list(n, 1 + gen.below(64),
+                                            gen.next());
+    default:
+      return list::generators::random_list(n, gen.next());
+  }
+}
+
+class FuzzSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzSweep, EveryAlgorithmEveryList) {
+  rng::Xoshiro256 gen(GetParam() * 0x9E3779B97F4A7C15ULL + 1);
+  for (int round = 0; round < 12; ++round) {
+    const std::size_t n = 1 + gen.below(3000);
+    const auto lst = random_shape(gen, n);
+    const std::size_t p = 1 + gen.below(512);
+    for (auto alg : {core::Algorithm::kMatch1, core::Algorithm::kMatch2,
+                     core::Algorithm::kMatch3, core::Algorithm::kMatch4,
+                     core::Algorithm::kRandomized}) {
+      pram::SeqExec exec(p);
+      core::MatchOptions opt;
+      opt.algorithm = alg;
+      opt.i_parameter = 1 + static_cast<int>(gen.below(5));
+      opt.partition_with_table = gen.coin();
+      opt.rule = gen.coin() ? core::BitRule::kMostSignificant
+                            : core::BitRule::kLeastSignificant;
+      opt.seed = gen.next();
+      const auto r = core::maximal_matching(exec, lst, opt);
+      ASSERT_NO_THROW(core::verify::check_matching(lst, r.in_matching))
+          << core::to_string(alg) << " n=" << n << " p=" << p;
+      ASSERT_NO_THROW(core::verify::check_maximal(lst, r.in_matching))
+          << core::to_string(alg) << " n=" << n << " p=" << p;
+    }
+  }
+}
+
+TEST_P(FuzzSweep, ErewVariantsMatchCrew) {
+  rng::Xoshiro256 gen(GetParam() * 0xBF58476D1CE4E5B9ULL + 3);
+  for (int round = 0; round < 8; ++round) {
+    const std::size_t n = 1 + gen.below(2000);
+    const auto lst = random_shape(gen, n);
+    {
+      pram::SeqExec a(64), b(64);
+      core::Match1Options crew, erew;
+      erew.erew = true;
+      ASSERT_EQ(core::match1(a, lst, crew).in_matching,
+                core::match1(b, lst, erew).in_matching)
+          << "Match1 n=" << n;
+    }
+    {
+      pram::SeqExec a(64), b(64);
+      core::Match4Options crew, erew;
+      erew.erew = true;
+      ASSERT_EQ(core::match4(a, lst, crew).in_matching,
+                core::match4(b, lst, erew).in_matching)
+          << "Match4 n=" << n;
+    }
+  }
+}
+
+TEST_P(FuzzSweep, ApplicationsAgainstOracles) {
+  rng::Xoshiro256 gen(GetParam() * 0x94D049BB133111EBULL + 7);
+  for (int round = 0; round < 6; ++round) {
+    const std::size_t n = 1 + gen.below(2500);
+    const auto lst = random_shape(gen, n);
+    pram::SeqExec e1(64), e2(64), e3(64), e4(64);
+    const auto col = apps::three_coloring(e1, lst);
+    ASSERT_NO_THROW(apps::check_coloring(lst, col.colors, 3)) << n;
+    const auto mis = apps::independent_set(e2, lst);
+    ASSERT_NO_THROW(apps::check_independent_set(lst, mis.in_set)) << n;
+    const auto oracle = apps::sequential_ranking(lst);
+    ASSERT_EQ(apps::wyllie_ranking(e3, lst).rank, oracle) << n;
+    ASSERT_EQ(apps::contraction_ranking(e4, lst).rank, oracle) << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSweep,
+                         ::testing::Values<std::uint64_t>(1, 2, 3, 4, 5, 6,
+                                                          7, 8),
+                         ::testing::PrintToStringParamName());
+
+}  // namespace
+}  // namespace llmp

@@ -1,0 +1,95 @@
+// Unit tests for support/itlog: iterated logs, G(n), and the appendix's
+// table-based evaluation procedures.
+#include "support/itlog.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/check.h"
+
+namespace llmp::itlog {
+namespace {
+
+TEST(Itlog, FloorAndCeilLog2) {
+  EXPECT_EQ(floor_log2(1), 0);
+  EXPECT_EQ(ceil_log2(1), 0);
+  EXPECT_EQ(floor_log2(2), 1);
+  EXPECT_EQ(ceil_log2(2), 1);
+  EXPECT_EQ(floor_log2(3), 1);
+  EXPECT_EQ(ceil_log2(3), 2);
+  EXPECT_EQ(floor_log2(1024), 10);
+  EXPECT_EQ(ceil_log2(1024), 10);
+  EXPECT_EQ(ceil_log2(1025), 11);
+  EXPECT_EQ(floor_log2(~std::uint64_t{0}), 63);
+}
+
+TEST(Itlog, IlogRealMatchesRepeatedLog) {
+  double x = 1e6;
+  EXPECT_NEAR(ilog_real(1, x), std::log2(x), 1e-12);
+  EXPECT_NEAR(ilog_real(2, x), std::log2(std::log2(x)), 1e-12);
+  EXPECT_NEAR(ilog_real(3, x), std::log2(std::log2(std::log2(x))), 1e-12);
+}
+
+TEST(Itlog, IlogCeilIsMonotoneInIterationCount) {
+  for (std::uint64_t n : {2ULL, 17ULL, 1000ULL, 1ULL << 20, 1ULL << 40}) {
+    std::uint64_t prev = n;
+    for (int i = 1; i <= 6; ++i) {
+      std::uint64_t cur = ilog_ceil(i, n);
+      EXPECT_LE(cur, prev) << "n=" << n << " i=" << i;
+      EXPECT_GE(cur, 1u);
+      prev = cur;
+    }
+  }
+}
+
+TEST(Itlog, IlogCeilDominatesRealIlog) {
+  // ceil-based iterate >= real iterate at every level (it never
+  // undershoots the Θ(log^(i) n) it sizes).
+  for (std::uint64_t n : {16ULL, 100ULL, 1ULL << 16, 1ULL << 32}) {
+    for (int i = 1; i <= 4; ++i) {
+      const double real = ilog_real(i, static_cast<double>(n));
+      if (real < 1) break;
+      EXPECT_GE(static_cast<double>(ilog_ceil(i, n)) + 1e-9, real)
+          << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(Itlog, GKnownValues) {
+  EXPECT_EQ(G(1), 1);   // log 1 = 0 < 1 after one application
+  EXPECT_EQ(G(2), 2);   // 2 → 1 → 0
+  EXPECT_EQ(G(4), 3);   // 4 → 2 → 1 → 0
+  EXPECT_EQ(G(16), 4);  // 16 → 4 → 2 → 1 → 0
+  EXPECT_EQ(G(65536), 5);
+  EXPECT_EQ(G(1ULL << 20), 5);
+  EXPECT_EQ(G(~std::uint64_t{0}), 5);  // 2^64-ish → 64 → 6 → ~2.6 → ~1.4 → <1
+}
+
+TEST(Itlog, GAppendixAgreesEverywhere) {
+  for (std::uint64_t n = 1; n <= 4096; ++n)
+    EXPECT_EQ(G_appendix(n), G(n)) << "n=" << n;
+  for (std::uint64_t n : {1ULL << 20, 1ULL << 33, ~0ULL})
+    EXPECT_EQ(G_appendix(n), G(n)) << "n=" << n;
+}
+
+TEST(Itlog, LogGValues) {
+  EXPECT_EQ(log_G(1), 0);
+  EXPECT_EQ(log_G(16), 2);          // G=4
+  EXPECT_EQ(log_G(1ULL << 20), 3);  // G=5 → ceil(log2 5) = 3
+}
+
+TEST(Itlog, AppendixFloorLog2AgreesWithNative) {
+  const int width = 14;
+  for (std::uint64_t n = 1; n < (1ULL << width); ++n)
+    ASSERT_EQ(floor_log2_appendix(n, width), floor_log2(n)) << "n=" << n;
+}
+
+TEST(Itlog, PreconditionsThrow) {
+  EXPECT_THROW(floor_log2(0), check_error);
+  EXPECT_THROW(ceil_log2(0), check_error);
+  EXPECT_THROW(G(0), check_error);
+}
+
+}  // namespace
+}  // namespace llmp::itlog

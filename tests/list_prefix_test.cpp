@@ -1,0 +1,119 @@
+// Tests for generic parallel list prefix, including a non-commutative
+// monoid that catches any ordering mistake in the contraction/expansion.
+#include "apps/list_prefix.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "apps/list_ranking.h"
+#include "list/generators.h"
+#include "pram/executor.h"
+#include "pram/machine.h"
+#include "support/rng.h"
+
+namespace llmp::apps {
+namespace {
+
+class PrefixSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PrefixSizes, SumMatchesOracle) {
+  const std::size_t n = GetParam();
+  const auto lst = list::generators::random_list(n, 5 * n + 1);
+  rng::Xoshiro256 gen(n);
+  std::vector<std::uint64_t> values(n);
+  for (auto& v : values) v = gen.below(1000);
+  pram::SeqExec exec(64);
+  const auto r = list_prefix<SumMonoid>(exec, lst, values);
+  EXPECT_EQ(r.prefix, sequential_prefix<SumMonoid>(lst, values));
+}
+
+TEST_P(PrefixSizes, MaxMatchesOracle) {
+  const std::size_t n = GetParam();
+  const auto lst = list::generators::reverse_list(n);
+  rng::Xoshiro256 gen(n + 1);
+  std::vector<std::uint64_t> values(n);
+  for (auto& v : values) v = gen.next();
+  pram::SeqExec exec(64);
+  const auto r = list_prefix<MaxMonoid>(exec, lst, values);
+  EXPECT_EQ(r.prefix, sequential_prefix<MaxMonoid>(lst, values));
+}
+
+TEST_P(PrefixSizes, NonCommutativeAffineMatchesOracle) {
+  // Affine composition is order-sensitive: any segment-order bug in the
+  // contraction or expansion flips a coefficient.
+  const std::size_t n = GetParam();
+  const auto lst = list::generators::random_list(n, 9 * n + 2);
+  rng::Xoshiro256 gen(n + 2);
+  std::vector<AffineMonoid::Affine> values(n);
+  for (auto& v : values) v = {gen.next() | 1, gen.next()};
+  pram::SeqExec exec(64);
+  const auto r = list_prefix<AffineMonoid>(exec, lst, values);
+  const auto oracle = sequential_prefix<AffineMonoid>(lst, values);
+  ASSERT_EQ(r.prefix.size(), oracle.size());
+  for (std::size_t v = 0; v < n; ++v)
+    ASSERT_TRUE(r.prefix[v] == oracle[v]) << "node " << v;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PrefixSizes,
+                         ::testing::Values<std::size_t>(1, 2, 3, 5, 8, 33,
+                                                        100, 1000, 8192),
+                         ::testing::PrintToStringParamName());
+
+TEST(ListPrefix, RankingIsPrefixOfUnitWeights) {
+  const std::size_t n = 2000;
+  const auto lst = list::generators::random_list(n, 4);
+  std::vector<std::uint64_t> ones(n, 1);
+  pram::SeqExec exec(64);
+  const auto r = list_prefix<SumMonoid>(exec, lst, ones);
+  // inclusive prefix of 1s = position + 1; rank (distance to tail) =
+  // n - prefix.
+  const auto ranks = sequential_ranking(lst);
+  for (index_t v = 0; v < n; ++v)
+    EXPECT_EQ(n - r.prefix[v], ranks[v]);
+}
+
+TEST(ListPrefix, EveryMatcherWorks) {
+  const std::size_t n = 700;
+  const auto lst = list::generators::random_list(n, 6);
+  rng::Xoshiro256 gen(12);
+  std::vector<std::uint64_t> values(n);
+  for (auto& v : values) v = gen.below(50);
+  const auto oracle = sequential_prefix<SumMonoid>(lst, values);
+  for (auto alg : {core::Algorithm::kMatch1, core::Algorithm::kMatch2,
+                   core::Algorithm::kMatch3, core::Algorithm::kMatch4}) {
+    pram::SeqExec exec(32);
+    PrefixOptions opt;
+    opt.matcher = alg;
+    EXPECT_EQ((list_prefix<SumMonoid>(exec, lst, values, opt).prefix),
+              oracle)
+        << core::to_string(alg);
+  }
+}
+
+TEST(ListPrefix, CrewLegalOnTheMachine) {
+  const std::size_t n = 300;
+  const auto lst = list::generators::random_list(n, 8);
+  std::vector<std::uint64_t> values(n, 2);
+  pram::Machine m(pram::Mode::kCREW, 8);
+  const auto r = list_prefix<SumMonoid>(m, lst, values);
+  EXPECT_EQ(r.prefix, sequential_prefix<SumMonoid>(lst, values));
+}
+
+TEST(ListPrefix, WorkIsLinearInN) {
+  // O(log n) rounds over geometrically shrinking lists: total work c·n.
+  std::uint64_t per_n_small = 0, per_n_large = 0;
+  for (std::size_t n : {std::size_t{1} << 12, std::size_t{1} << 16}) {
+    const auto lst = list::generators::random_list(n, 3);
+    std::vector<std::uint64_t> values(n, 1);
+    pram::SeqExec exec(64);
+    const auto r = list_prefix<SumMonoid>(exec, lst, values);
+    (n == (std::size_t{1} << 12) ? per_n_small : per_n_large) =
+        r.cost.work / n;
+  }
+  // Flat per-element work within 40% across a 16x size change.
+  EXPECT_LT(per_n_large, per_n_small + 2 * per_n_small / 5);
+}
+
+}  // namespace
+}  // namespace llmp::apps

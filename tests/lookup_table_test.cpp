@@ -1,0 +1,186 @@
+// Tests for the matching-partition lookup tables (Match3 step 4 and the
+// appendix's guess-and-verify construction) and the gather machinery.
+#include "core/lookup_table.h"
+
+#include <gtest/gtest.h>
+
+#include "core/gather.h"
+#include "core/verify.h"
+#include "list/generators.h"
+#include "pram/executor.h"
+#include "pram/machine.h"
+#include "support/rng.h"
+
+namespace llmp::core {
+namespace {
+
+TEST(LookupTable, CollapseEqualsIteratedF) {
+  // collapse(a_1..a_w) must equal f^(w): the pairwise-level pyramid.
+  const BitRule rule = BitRule::kMostSignificant;
+  rng::Xoshiro256 gen(1);
+  for (int w : {1, 2, 3, 4, 7}) {
+    for (int t = 0; t < 200; ++t) {
+      std::vector<label_t> a(static_cast<std::size_t>(w));
+      for (auto& x : a) x = gen.below(16);
+      // Manual recursion: f^(w)(a1..aw) = f(f^(w-1)(a1..), f^(w-1)(a2..)).
+      std::function<label_t(std::size_t, std::size_t)> fk =
+          [&](std::size_t lo, std::size_t len) -> label_t {
+        if (len == 1) return a[lo];
+        return safe_partition_value(fk(lo, len - 1), fk(lo + 1, len - 1),
+                                    rule);
+      };
+      EXPECT_EQ(MatchingLookupTable::collapse(a, rule),
+                fk(0, static_cast<std::size_t>(w)));
+    }
+  }
+}
+
+class TableRule : public ::testing::TestWithParam<BitRule> {};
+
+TEST_P(TableRule, TableValuesMatchDirectCollapse) {
+  const BitRule rule = GetParam();
+  MatchingLookupTable table(/*component_bits=*/3, /*tuple_width=*/4, rule);
+  EXPECT_EQ(table.cells(), std::size_t{1} << 12);
+  rng::Xoshiro256 gen(2);
+  for (int t = 0; t < 3000; ++t) {
+    const label_t key = gen.below(table.cells());
+    EXPECT_EQ(table.value(key),
+              MatchingLookupTable::collapse(table.components(key), rule));
+  }
+}
+
+TEST_P(TableRule, ValidKeysCollapseToFixedPointAlphabet) {
+  const BitRule rule = GetParam();
+  MatchingLookupTable table(3, 4, rule);
+  EXPECT_LE(table.final_bound(), kFixedPointBound);
+}
+
+TEST_P(TableRule, TableIsAMatchingPartitionFunction) {
+  // T(a1..aw) != T(a2..aw+1) for keys arising from adjacent-distinct
+  // label sequences — the property Match3 step 4 relies on.
+  const BitRule rule = GetParam();
+  const int b = 3, w = 4;
+  MatchingLookupTable table(b, w, rule);
+  rng::Xoshiro256 gen(3);
+  for (int t = 0; t < 5000; ++t) {
+    // Random adjacent-distinct sequence of w+1 components.
+    std::vector<label_t> seq(w + 1);
+    seq[0] = gen.below(8);
+    for (int i = 1; i <= w; ++i) {
+      label_t x;
+      do x = gen.below(8); while (x == seq[i - 1]);
+      seq[static_cast<std::size_t>(i)] = x;
+    }
+    auto key_of = [&](int lo) {
+      label_t key = 0;
+      for (int i = 0; i < w; ++i)
+        key = (key << b) | seq[static_cast<std::size_t>(lo + i)];
+      return key;
+    };
+    ASSERT_NE(table.value(key_of(0)), table.value(key_of(1)))
+        << "seq " << seq[0] << seq[1] << seq[2] << seq[3] << seq[4];
+  }
+}
+
+TEST_P(TableRule, PartialCollapseUsesOnlyLeadingComponents) {
+  const BitRule rule = GetParam();
+  MatchingLookupTable table(3, 4, rule, /*collapse_width=*/2);
+  rng::Xoshiro256 gen(4);
+  for (int t = 0; t < 1000; ++t) {
+    const label_t key = gen.below(table.cells());
+    auto comp = table.components(key);
+    std::vector<label_t> lead(comp.begin(), comp.begin() + 2);
+    EXPECT_EQ(table.value(key),
+              MatchingLookupTable::collapse(lead, rule));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Rules, TableRule,
+                         ::testing::Values(BitRule::kMostSignificant,
+                                           BitRule::kLeastSignificant),
+                         [](const auto& info) {
+                           return info.param == BitRule::kMostSignificant
+                                      ? "MSB"
+                                      : "LSB";
+                         });
+
+TEST(LookupTable, RejectsOversizedKeys) {
+  EXPECT_THROW(MatchingLookupTable(4, 8, BitRule::kMostSignificant),
+               check_error);  // 32 key bits > 26
+}
+
+TEST(VerifyPyramid, AcceptsConsistentTables) {
+  MatchingLookupTable table(3, 4, BitRule::kMostSignificant);
+  pram::SeqExec exec(8);
+  rng::Xoshiro256 gen(5);
+  for (int t = 0; t < 50; ++t)
+    EXPECT_TRUE(verify_pyramid(exec, table, gen.below(table.cells())));
+}
+
+TEST(VerifyPyramid, DepthIsLogarithmicInWidth) {
+  // The appendix's claim: verification fans in w(w+1)/2 cell verdicts in
+  // O(log w) steps (plus the single parallel check step).
+  MatchingLookupTable table(3, 8, BitRule::kLeastSignificant);
+  pram::SeqExec exec(64);
+  verify_pyramid(exec, table, 0xABCDEF);  // < 2^24 table cells
+  // cells = 7+6+...+1 = 28 guesses; 1 check step + ceil(log2 28) = 5.
+  EXPECT_LE(exec.stats().depth, 1u + 5u);
+}
+
+TEST(VerifyPyramid, ErewLegalOnTheMachine) {
+  MatchingLookupTable table(3, 4, BitRule::kMostSignificant);
+  pram::Machine m(pram::Mode::kEREW, 8);
+  EXPECT_TRUE(verify_pyramid(m, table, 0xABC));
+}
+
+TEST(Gather, GatherPlusLookupEqualsIteratedRelabel) {
+  // Match3's acceleration must be *extensionally* equal to running the
+  // plain relabel loop for the same number of rounds.
+  const BitRule rule = BitRule::kMostSignificant;
+  for (std::size_t n : {2u, 3u, 50u, 4096u}) {
+    const auto list = list::generators::random_list(n, n + 1);
+    const int crunch = 3;  // labels < 8 → 3 bits
+    const int gather_rounds = 2;
+    const int w = 4;
+
+    pram::SeqExec fast(8);
+    std::vector<label_t> accel;
+    init_address_labels(fast, n, accel);
+    relabel_rounds(fast, list, accel, crunch, rule);
+    const int b = itlog::ceil_log2(bound_after_rounds(n, crunch));
+    MatchingLookupTable table(b, w, rule);
+    gather_labels(fast, list, accel, b, gather_rounds);
+    lookup_labels(fast, table, accel);
+
+    pram::SeqExec slow(8);
+    std::vector<label_t> plain;
+    init_address_labels(slow, n, plain);
+    relabel_rounds(slow, list, plain, crunch + (w - 1), rule);
+
+    EXPECT_EQ(accel, plain) << "n=" << n;
+  }
+}
+
+TEST(Gather, AcceleratedPathIsShallower) {
+  const std::size_t n = 1 << 16;
+  const auto list = list::generators::random_list(n, 9);
+  const BitRule rule = BitRule::kMostSignificant;
+
+  pram::SeqExec fast(256);
+  std::vector<label_t> a;
+  init_address_labels(fast, n, a);
+  relabel_rounds(fast, list, a, 3, rule);
+  MatchingLookupTable table(3, 4, rule);
+  gather_labels(fast, list, a, 3, 2);
+  lookup_labels(fast, table, a);
+  const auto fast_depth = fast.stats().depth;
+
+  pram::SeqExec slow(256);
+  std::vector<label_t> blabels;
+  init_address_labels(slow, n, blabels);
+  relabel_rounds(slow, list, blabels, 3 + 3, rule);
+  EXPECT_LE(fast_depth, slow.stats().depth + 1);
+}
+
+}  // namespace
+}  // namespace llmp::core

@@ -1,0 +1,98 @@
+// Unit tests for the algorithm planners (Match3/Match4 parameter
+// resolution) and the label-bound arithmetic they rest on.
+#include <gtest/gtest.h>
+
+#include "core/gather.h"
+#include "core/match3.h"
+#include "core/match4.h"
+
+namespace llmp::core {
+namespace {
+
+TEST(Bounds, BoundAfterRoundsIteratesThePaperRecurrence) {
+  // n → 2·ceil(log2 n) per round, clamped at the small end.
+  EXPECT_EQ(bound_after_rounds(1 << 20, 0), 1u << 20);
+  EXPECT_EQ(bound_after_rounds(1 << 20, 1), 40u);
+  EXPECT_EQ(bound_after_rounds(1 << 20, 2), 12u);
+  EXPECT_EQ(bound_after_rounds(1 << 20, 3), 8u);
+  EXPECT_EQ(bound_after_rounds(1 << 20, 4), 6u);
+  EXPECT_EQ(bound_after_rounds(1 << 20, 50), 6u);  // fixed point
+  EXPECT_EQ(bound_after_rounds(2, 5), 2u);         // tiny-n clamp
+}
+
+TEST(Bounds, RoundsToConstantTracksG) {
+  for (std::uint64_t n : {7ULL, 100ULL, 1ULL << 16, 1ULL << 20, 1ULL << 40}) {
+    const int r = rounds_to_constant(static_cast<std::size_t>(n));
+    EXPECT_LE(r, itlog::G(n) + 2) << n;
+    EXPECT_GE(r, itlog::G(n) - 2) << n;
+  }
+}
+
+TEST(PlanMatch3, AutoPlanRespectsTableBudget) {
+  for (std::size_t n : {std::size_t{100}, std::size_t{1} << 12,
+                        std::size_t{1} << 20, std::size_t{1} << 26}) {
+    const Match3Plan plan = plan_match3(n, {});
+    if (plan.needs_table) {
+      EXPECT_GT(plan.table_cells, 0u) << n;
+      EXPECT_LE(plan.table_cells, Match3Options::kAutoTableCells) << n;
+      EXPECT_GE(plan.collapse_width, 2) << n;
+      EXPECT_LE(1 << plan.gather_rounds, 2 * plan.collapse_width) << n;
+      // The table stands in for exactly the rounds that finish reduction.
+      EXPECT_EQ(bound_after_rounds(
+                    n, plan.crunch_rounds + plan.collapse_width - 1),
+                kFixedPointBound)
+          << n;
+    }
+  }
+}
+
+TEST(PlanMatch3, ExplicitTooWideCrunchThrows) {
+  Match3Options opt;
+  opt.crunch_rounds = 1;  // 7-bit labels × width 4 = 2^28 cells: too big
+  EXPECT_THROW(plan_match3(std::size_t{1} << 40, opt), check_error);
+}
+
+TEST(PlanMatch3, ExplicitFeasibleCrunchHonored) {
+  Match3Options opt;
+  opt.crunch_rounds = 3;
+  const auto plan = plan_match3(std::size_t{1} << 20, opt);
+  EXPECT_EQ(plan.crunch_rounds, 3);
+  EXPECT_TRUE(plan.needs_table);
+  EXPECT_EQ(plan.component_bits, 3);  // bound 8 after 3 rounds
+}
+
+TEST(PlanMatch4, IterativePlanMatchesBoundArithmetic) {
+  Match4Options opt;
+  opt.i_parameter = 2;
+  const auto plan = plan_match4(std::size_t{1} << 20, opt);
+  EXPECT_FALSE(plan.uses_table);
+  EXPECT_EQ(plan.set_bound, bound_after_rounds(std::size_t{1} << 20, 2));
+}
+
+TEST(PlanMatch4, TablePlanCoversTheRemainingRounds) {
+  Match4Options opt;
+  opt.partition_with_table = true;
+  for (int i : {2, 3, 4, 5, 6}) {
+    opt.i_parameter = i;
+    const auto plan = plan_match4(std::size_t{1} << 22, opt);
+    if (!plan.uses_table) continue;  // crunching alone reached the bound
+    EXPECT_EQ(plan.crunch_rounds + plan.collapse_width - 1, i) << i;
+    EXPECT_LE(plan.component_bits * (1 << plan.gather_rounds),
+              MatchingLookupTable::kMaxKeyBits)
+        << i;
+  }
+}
+
+TEST(PlanMatch4, RowsShrinkWithI) {
+  label_t prev = ~label_t{0};
+  for (int i = 1; i <= 6; ++i) {
+    Match4Options opt;
+    opt.i_parameter = i;
+    const auto plan = plan_match4(std::size_t{1} << 20, opt);
+    EXPECT_LE(plan.set_bound, prev) << i;
+    prev = plan.set_bound;
+  }
+}
+
+}  // namespace
+}  // namespace llmp::core

@@ -1,0 +1,123 @@
+// Tests for parallel prefix sums and the stable counting sort — the
+// substrate of Match2's global sort step.
+#include "pram/prefix.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "pram/executor.h"
+#include "support/rng.h"
+
+namespace llmp::pram {
+namespace {
+
+std::vector<std::uint64_t> oracle_exclusive_scan(
+    const std::vector<std::uint64_t>& a) {
+  std::vector<std::uint64_t> out(a.size());
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    out[i] = acc;
+    acc += a[i];
+  }
+  return out;
+}
+
+class ScanSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ScanSizes, MatchesOracleAndReturnsTotal) {
+  const std::size_t n = GetParam();
+  rng::Xoshiro256 gen(n + 3);
+  std::vector<std::uint64_t> a(n);
+  for (auto& x : a) x = gen.below(1000);
+  const auto expect = oracle_exclusive_scan(a);
+  const std::uint64_t expect_total =
+      std::accumulate(a.begin(), a.end(), std::uint64_t{0});
+  SeqExec exec(4);
+  std::vector<std::uint64_t> b = a;
+  const std::uint64_t total = exclusive_scan(exec, b);
+  EXPECT_EQ(total, expect_total);
+  EXPECT_EQ(b, expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ScanSizes,
+                         ::testing::Values<std::size_t>(0, 1, 2, 3, 4, 7, 8,
+                                                        9, 63, 64, 65, 1000,
+                                                        4096, 100000),
+                         ::testing::PrintToStringParamName());
+
+TEST(Scan, DepthIsLogarithmicWorkIsLinear) {
+  const std::size_t n = 1 << 16;
+  SeqExec exec(16);
+  std::vector<std::uint64_t> a(n, 1);
+  exclusive_scan(exec, a);
+  // Up-sweep + down-sweep: 2·log2(n) + 2 steps.
+  EXPECT_LE(exec.stats().depth, 2 * 16 + 2u);
+  EXPECT_LE(exec.stats().work, 3 * static_cast<std::uint64_t>(n));
+}
+
+class SortCase
+    : public ::testing::TestWithParam<std::tuple<std::size_t, index_t,
+                                                 std::size_t>> {};
+
+TEST_P(SortCase, SortsStably) {
+  const auto [n, range, blocks] = GetParam();
+  rng::Xoshiro256 gen(n * 7 + range);
+  std::vector<index_t> keys(n);
+  for (auto& k : keys) k = static_cast<index_t>(gen.below(range));
+  SeqExec exec(8);
+  const SortedByKey sorted = counting_sort_by_key(exec, keys, range, blocks);
+  ASSERT_EQ(sorted.order.size(), n);
+  // Permutation + sorted keys + stability (ties in input order).
+  std::vector<bool> seen(n, false);
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_LT(sorted.order[i], n);
+    ASSERT_FALSE(seen[sorted.order[i]]);
+    seen[sorted.order[i]] = true;
+    if (i > 0) {
+      const index_t ka = keys[sorted.order[i - 1]];
+      const index_t kb = keys[sorted.order[i]];
+      ASSERT_LE(ka, kb);
+      if (ka == kb) ASSERT_LT(sorted.order[i - 1], sorted.order[i]);
+    }
+  }
+  // Offsets delimit each key's slice.
+  ASSERT_EQ(sorted.offsets.size(), static_cast<std::size_t>(range) + 1);
+  for (index_t k = 0; k < range; ++k)
+    for (std::uint64_t i = sorted.offsets[k]; i < sorted.offsets[k + 1]; ++i)
+      ASSERT_EQ(keys[sorted.order[i]], k);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SortCase,
+    ::testing::Combine(::testing::Values<std::size_t>(0, 1, 5, 100, 4097),
+                       ::testing::Values<index_t>(1, 2, 13, 40),
+                       ::testing::Values<std::size_t>(1, 4, 17)));
+
+TEST(Sort, BlocksMoreThanElementsIsClamped) {
+  std::vector<index_t> keys{2, 0, 1};
+  SeqExec exec(8);
+  const auto sorted = counting_sort_by_key(exec, keys, 3, 64);
+  EXPECT_EQ(sorted.order, (std::vector<index_t>{1, 2, 0}));
+}
+
+TEST(Sort, TimeScalesWithBlocksMatch2Shape) {
+  // With blocks = p, time_p is O(n/p + R + log(R·p)) — halving p should
+  // roughly halve the linear term.
+  const std::size_t n = 1 << 15;
+  rng::Xoshiro256 gen(4);
+  std::vector<index_t> keys(n);
+  for (auto& k : keys) k = static_cast<index_t>(gen.below(12));
+  auto time_with = [&](std::size_t p) {
+    SeqExec exec(p);
+    counting_sort_by_key(exec, keys, 12, p);
+    return exec.stats().time_p;
+  };
+  const auto t8 = time_with(8);
+  const auto t64 = time_with(64);
+  EXPECT_GT(t8, 4 * t64);  // near-linear scaling in this range
+}
+
+}  // namespace
+}  // namespace llmp::pram

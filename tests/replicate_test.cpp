@@ -1,0 +1,60 @@
+// Tests for EREW table replication (appendix preprocessing).
+#include "pram/replicate.h"
+
+#include <gtest/gtest.h>
+
+#include "pram/executor.h"
+#include "pram/machine.h"
+
+namespace llmp::pram {
+namespace {
+
+class ReplicateCases
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {
+};
+
+TEST_P(ReplicateCases, AllCopiesEqualMaster) {
+  const auto [size, copies] = GetParam();
+  std::vector<std::uint32_t> table(size);
+  for (std::size_t i = 0; i < size; ++i)
+    table[i] = static_cast<std::uint32_t>(i * 2654435761u);
+  SeqExec exec(16);
+  const auto flat = replicate(exec, table, copies);
+  ASSERT_EQ(flat.size(), size * copies);
+  for (std::size_t c = 0; c < copies; ++c) {
+    ReplicaView<std::uint32_t> view(flat, size, c);
+    for (std::size_t i = 0; i < size; ++i)
+      ASSERT_EQ(view[i], table[i]) << "copy " << c << " cell " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ReplicateCases,
+    ::testing::Combine(::testing::Values<std::size_t>(1, 7, 64, 1000),
+                       ::testing::Values<std::size_t>(1, 2, 3, 8, 33)));
+
+TEST(Replicate, ErewLegalOnTheMachine) {
+  std::vector<int> table{1, 2, 3, 4, 5};
+  Machine m(Mode::kEREW, 8);
+  const auto flat = replicate(m, table, 16);
+  EXPECT_EQ(flat.size(), 80u);
+  EXPECT_EQ(flat[5 * 15 + 4], 5);
+}
+
+TEST(Replicate, DepthIsLogCopies) {
+  std::vector<int> table(64, 9);
+  SeqExec exec(1 << 20);
+  replicate(exec, table, 1024);
+  // 1 seed step + ceil(log2 1024) doubling rounds.
+  EXPECT_EQ(exec.stats().depth, 1u + 10u);
+}
+
+TEST(Replicate, WorkIsCopiesTimesSize) {
+  std::vector<int> table(128, 1);
+  SeqExec exec(64);
+  replicate(exec, table, 32);
+  EXPECT_EQ(exec.stats().work, 128u * 32u);
+}
+
+}  // namespace
+}  // namespace llmp::pram

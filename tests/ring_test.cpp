@@ -1,0 +1,142 @@
+// Tests for maximal matching on rings (circular lists), plus targeted
+// unit tests of the cut stage on crafted label patterns and the
+// p-invariance property of the cost-model executors.
+#include "core/ring.h"
+
+#include <gtest/gtest.h>
+
+#include "core/cut.h"
+#include "core/verify.h"
+#include "list/generators.h"
+#include "pram/executor.h"
+
+namespace llmp::core {
+namespace {
+
+class RingSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RingSizes, EveryAlgorithmMaximalOnRing) {
+  const std::size_t n = GetParam();
+  const auto ring = random_ring(n, 3 * n + 1);
+  for (auto alg : {Algorithm::kMatch1, Algorithm::kMatch2,
+                   Algorithm::kMatch3, Algorithm::kMatch4}) {
+    pram::SeqExec exec(32);
+    MatchOptions opt;
+    opt.algorithm = alg;
+    const auto r = ring_matching(exec, ring, opt);
+    check_ring_matching(ring, r.in_matching);
+    EXPECT_EQ(r.edges, verify::matching_size(r.in_matching));
+    // A maximal matching on an n-cycle has between ceil(n/3) and
+    // floor(n/2) edges.
+    if (n >= 3) {
+      EXPECT_GE(3 * r.edges, n) << to_string(alg);
+      EXPECT_LE(2 * r.edges, n) << to_string(alg);
+    }
+  }
+}
+
+TEST_P(RingSizes, SeamIsNeverLeftAddable) {
+  const std::size_t n = GetParam();
+  if (n < 3) GTEST_SKIP();
+  const auto ring = random_ring(n, n + 5);
+  pram::SeqExec exec(16);
+  const auto r = ring_matching(exec, ring);
+  // The seam pointer is <0, ring[0]>; if unchosen, an endpoint is covered.
+  if (!r.in_matching[0]) {
+    bool covered = r.in_matching[ring[0]] != 0;
+    for (index_t v = 0; v < n && !covered; ++v)
+      if (ring[v] == 0 && r.in_matching[v]) covered = true;
+    EXPECT_TRUE(covered);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RingSizes,
+                         ::testing::Values<std::size_t>(1, 2, 3, 4, 5, 9,
+                                                        100, 2048),
+                         ::testing::PrintToStringParamName());
+
+TEST(Ring, RejectsNonRings) {
+  using V = std::vector<index_t>;
+  EXPECT_THROW(check_ring(V{0, 1}), check_error);        // two self-loops
+  EXPECT_THROW(check_ring(V{1, 0, 3, 2}), check_error);  // two 2-cycles
+  EXPECT_THROW(check_ring(V{1, 1, 0}), check_error);     // double pred
+  EXPECT_THROW(check_ring(V{5}), check_error);           // out of range
+  EXPECT_NO_THROW(check_ring(V{1, 2, 0}));
+}
+
+TEST(Ring, OracleRejectsBadMatchings) {
+  const std::vector<index_t> ring{1, 2, 3, 4, 5, 0};
+  std::vector<std::uint8_t> adjacent{1, 1, 0, 0, 0, 0};
+  EXPECT_THROW(check_ring_matching(ring, adjacent), check_error);
+  std::vector<std::uint8_t> sparse{1, 0, 0, 0, 0, 0};  // <3,4>,<4,5> free
+  EXPECT_THROW(check_ring_matching(ring, sparse), check_error);
+  std::vector<std::uint8_t> good{1, 0, 1, 0, 1, 0};
+  EXPECT_NO_THROW(check_ring_matching(ring, good));
+}
+
+// ---- targeted cut-stage unit tests ---------------------------------------
+
+/// Build a path list whose pointer labels follow `pattern` (cyclically
+/// extended); pattern must have adjacent-distinct entries including the
+/// wrap between repeats.
+void run_cut_pattern(const std::vector<label_t>& pattern, std::size_t n,
+                     label_t alphabet) {
+  const auto lst = list::generators::identity_list(n);
+  std::vector<label_t> plabel(n, 0);
+  for (index_t v = 0; v < n; ++v) plabel[v] = pattern[v % pattern.size()];
+  verify::check_pointer_partition(lst, plabel);
+  pram::SeqExec exec(8);
+  const auto pred = lst.predecessors();
+  std::vector<std::uint8_t> matching;
+  const CutStats stats =
+      cut_and_walk(exec, lst, pred, plabel, alphabet, matching);
+  verify::check_matching(lst, matching);
+  verify::check_maximal(lst, matching);
+  verify::check_one_of_three(lst, matching);
+  EXPECT_LE(stats.max_run, 2 * static_cast<std::size_t>(alphabet) - 1);
+}
+
+TEST(CutPatterns, AlternatingLabelsMakeLongRuns) {
+  run_cut_pattern({0, 1}, 101, 2);  // no interior local minima at all
+}
+
+TEST(CutPatterns, StrictlyIncreasingThenWrap) {
+  run_cut_pattern({0, 1, 2, 3, 4, 5}, 100, 6);  // minima at every wrap
+}
+
+TEST(CutPatterns, SawtoothMaximizesCuts) {
+  run_cut_pattern({0, 5, 1, 4, 2, 3}, 120, 6);
+}
+
+TEST(CutPatterns, DescendingRuns) {
+  run_cut_pattern({5, 4, 3, 2, 1, 0}, 90, 6);
+}
+
+// ---- cost-model p-invariance ----------------------------------------------
+
+TEST(CostModel, MatchingIndependentOfProcessorBudget) {
+  // p only scales time_p; the computed matching and the depth/work columns
+  // must not change with it.
+  const auto lst = list::generators::random_list(3000, 8);
+  for (auto alg : {Algorithm::kMatch1, Algorithm::kMatch2,
+                   Algorithm::kMatch3, Algorithm::kMatch4}) {
+    MatchOptions opt;
+    opt.algorithm = alg;
+    pram::SeqExec e1(1), e2(4096);
+    const auto a = maximal_matching(e1, lst, opt);
+    const auto b = maximal_matching(e2, lst, opt);
+    EXPECT_EQ(a.in_matching, b.in_matching) << to_string(alg);
+    EXPECT_GE(a.cost.time_p, b.cost.time_p) << to_string(alg);
+    if (alg != Algorithm::kMatch2) {
+      // Match2's sort legitimately restructures with p (its histogram
+      // blocks default to the processor budget); the others must have
+      // p-independent step structure. The matching is identical either
+      // way: counting sort is stable, so block count cannot reorder it.
+      EXPECT_EQ(a.cost.depth, b.cost.depth) << to_string(alg);
+      EXPECT_EQ(a.cost.work, b.cost.work) << to_string(alg);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace llmp::core

@@ -1,0 +1,94 @@
+// Tests for the SPMD thread pool and the sense-reversing barrier.
+#include "pram/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "pram/barrier.h"
+
+namespace llmp::pram {
+namespace {
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  for (std::size_t workers : {0u, 1u, 3u}) {
+    ThreadPool pool(workers);
+    const std::size_t n = 10000;
+    std::vector<std::atomic<int>> hits(n);
+    pool.parallel_for(n, [&](std::size_t i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t i = 0; i < n; ++i)
+      ASSERT_EQ(hits[i].load(), 1) << "workers=" << workers << " i=" << i;
+  }
+}
+
+TEST(ThreadPool, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool touched = false;
+  pool.parallel_for(0, [&](std::size_t) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+TEST(ThreadPool, BodyExceptionPropagatesToCaller) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(100,
+                                 [&](std::size_t i) {
+                                   if (i == 57)
+                                     throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+  // The pool survives and is reusable after an exception.
+  std::atomic<int> sum{0};
+  pool.parallel_for(10, [&](std::size_t i) {
+    sum.fetch_add(static_cast<int>(i));
+  });
+  EXPECT_EQ(sum.load(), 45);
+}
+
+TEST(ThreadPool, ManySmallJobsReuseWorkers) {
+  ThreadPool pool(2);
+  std::atomic<std::uint64_t> total{0};
+  for (int round = 0; round < 200; ++round)
+    pool.parallel_for(16, [&](std::size_t i) {
+      total.fetch_add(i, std::memory_order_relaxed);
+    });
+  EXPECT_EQ(total.load(), 200u * 120u);
+}
+
+TEST(Barrier, SynchronizesPhases) {
+  constexpr std::size_t kParties = 4;
+  ThreadPool pool(kParties - 1);
+  Barrier barrier(kParties);
+  constexpr int kPhases = 50;
+  std::vector<std::atomic<int>> counts(kPhases);
+  std::atomic<bool> order_ok{true};
+  pool.run_spmd([&](std::size_t) {
+    bool sense = false;
+    for (int ph = 0; ph < kPhases; ++ph) {
+      counts[ph].fetch_add(1, std::memory_order_relaxed);
+      barrier.arrive_and_wait(sense);
+      // After the barrier, every party must have bumped this phase.
+      if (counts[ph].load(std::memory_order_relaxed) !=
+          static_cast<int>(kParties))
+        order_ok.store(false);
+      barrier.arrive_and_wait(sense);
+    }
+  });
+  EXPECT_TRUE(order_ok.load());
+  for (int ph = 0; ph < kPhases; ++ph)
+    EXPECT_EQ(counts[ph].load(), static_cast<int>(kParties));
+}
+
+TEST(Barrier, SinglePartyNeverBlocks) {
+  Barrier b(1);
+  bool sense = false;
+  for (int i = 0; i < 10; ++i) b.arrive_and_wait(sense);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace llmp::pram

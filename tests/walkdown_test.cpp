@@ -1,0 +1,195 @@
+// Audits of the scheduling machinery of §3: the 2D layout, WalkDown1
+// (Lemma 6) and WalkDown2 (Lemma 7, Corollaries 1–2), and the combined
+// 3-set partition Match4 builds from them.
+#include "core/walkdown.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <utility>
+
+#include "core/gather.h"
+#include "core/match_result.h"
+#include "core/verify.h"
+#include "list/generators.h"
+#include "pram/executor.h"
+#include "pram/machine.h"
+
+namespace llmp::core {
+namespace {
+
+struct WdCtx {
+  list::LinkedList list;
+  std::vector<index_t> keys;   // matching-set numbers, < rows
+  std::vector<index_t> pred;
+  label_t bound;
+};
+
+WdCtx make_ctx(std::size_t n, int rounds, std::uint64_t seed) {
+  WdCtx s{list::generators::random_list(n, seed), {}, {}, 0};
+  pram::SeqExec exec(8);
+  std::vector<label_t> labels;
+  init_address_labels(exec, n, labels);
+  relabel_rounds(exec, s.list, labels, rounds,
+                 BitRule::kMostSignificant);
+  s.bound = n > 1 ? bound_after_rounds(n, rounds) : 1;
+  s.keys.resize(n);
+  for (index_t v = 0; v < n; ++v)
+    s.keys[v] = static_cast<index_t>(labels[v]);
+  s.pred = s.list.predecessors();
+  return s;
+}
+
+TEST(Layout2D, ColumnsAreSortedAndComplete) {
+  const std::size_t n = 1000;
+  WdCtx s = make_ctx(n, 2, 3);
+  pram::SeqExec exec(8);
+  Layout2D lay = build_layout(exec, n, s.keys, s.bound);
+  EXPECT_EQ(lay.rows, static_cast<std::size_t>(s.bound));
+  EXPECT_EQ(lay.cols, (n + lay.rows - 1) / lay.rows);
+  std::vector<bool> seen(n, false);
+  for (std::size_t j = 0; j < lay.cols; ++j) {
+    index_t prev_key = 0;
+    for (std::size_t r = 0; r < lay.rows; ++r) {
+      const index_t v = lay.cell_node[j * lay.rows + r];
+      if (v == knil) continue;
+      EXPECT_FALSE(seen[v]);
+      seen[v] = true;
+      EXPECT_EQ(lay.node_row[v], r);
+      // Node stays in its own column.
+      EXPECT_EQ(v / lay.rows, j);
+      // Keys non-decreasing down the column.
+      EXPECT_GE(s.keys[v], prev_key);
+      prev_key = s.keys[v];
+    }
+  }
+  for (index_t v = 0; v < n; ++v) EXPECT_TRUE(seen[v]) << v;
+}
+
+TEST(WalkDown2, Lemma7CellInRowRIsHandledAtStepRPlusKey) {
+  const std::size_t n = 2000;
+  WdCtx s = make_ctx(n, 2, 11);
+  pram::SeqExec exec(8);
+  Layout2D lay = build_layout(exec, n, s.keys, s.bound);
+  std::vector<std::uint8_t> color(n, kNoColor);
+  walkdown1(exec, s.list, lay, s.pred, color);
+  WalkDown2Trace trace = walkdown2(exec, s.list, lay, s.pred, color);
+  for (index_t v = 0; v < n; ++v) {
+    ASSERT_NE(trace.handled_at[v], knil) << "Corollary 1: all cells handled";
+    EXPECT_EQ(trace.handled_at[v], lay.node_row[v] + s.keys[v])
+        << "Lemma 7 violated at node " << v;
+  }
+}
+
+TEST(WalkDown2, Corollary1FinishesByStep2XMinus2) {
+  const std::size_t n = 513;  // ragged last column
+  WdCtx s = make_ctx(n, 3, 5);
+  pram::SeqExec exec(8);
+  Layout2D lay = build_layout(exec, n, s.keys, s.bound);
+  std::vector<std::uint8_t> color(n, kNoColor);
+  walkdown1(exec, s.list, lay, s.pred, color);
+  WalkDown2Trace trace = walkdown2(exec, s.list, lay, s.pred, color);
+  EXPECT_EQ(trace.steps, 2 * lay.rows - 1);
+  for (index_t v = 0; v < n; ++v)
+    EXPECT_LE(trace.handled_at[v], 2 * lay.rows - 2);
+}
+
+TEST(WalkDown2, Corollary2SameRowSameStepSameSet) {
+  const std::size_t n = 4096;
+  WdCtx s = make_ctx(n, 2, 19);
+  pram::SeqExec exec(8);
+  Layout2D lay = build_layout(exec, n, s.keys, s.bound);
+  std::vector<std::uint8_t> color(n, kNoColor);
+  walkdown1(exec, s.list, lay, s.pred, color);
+  WalkDown2Trace trace = walkdown2(exec, s.list, lay, s.pred, color);
+  // Group handled cells by (step, row): all must share one key.
+  std::map<std::pair<index_t, index_t>, index_t> key_of;
+  for (index_t v = 0; v < n; ++v) {
+    const auto at = std::make_pair(trace.handled_at[v], lay.node_row[v]);
+    const auto res = key_of.emplace(at, s.keys[v]);
+    EXPECT_EQ(res.first->second, s.keys[v])
+        << "two sets in row " << at.second << " at step " << at.first;
+  }
+}
+
+TEST(WalkDown, CombinedPassesGiveProper3SetPartition) {
+  for (std::size_t n : {2u, 3u, 17u, 300u, 5000u}) {
+    for (int rounds : {1, 2, 3}) {
+      WdCtx s = make_ctx(n, rounds, n + rounds);
+      pram::SeqExec exec(8);
+      Layout2D lay = build_layout(exec, n, s.keys, s.bound);
+      std::vector<std::uint8_t> color(n, kNoColor);
+      walkdown1(exec, s.list, lay, s.pred, color);
+      walkdown2(exec, s.list, lay, s.pred, color);
+      std::vector<label_t> plabel(n, 0);
+      for (index_t v = 0; v < n; ++v) {
+        if (!s.list.has_pointer(v)) continue;
+        ASSERT_NE(color[v], kNoColor) << "pointer e_" << v << " unlabeled";
+        ASSERT_LT(color[v], 3);
+        plabel[v] = color[v];
+      }
+      verify::check_pointer_partition(s.list, plabel);
+    }
+  }
+}
+
+TEST(WalkDown, AdjacentPointersNeverHandledConcurrently) {
+  // The safety property behind Lemma 6 and the shared palette: no two
+  // adjacent pointers are processed at the same (phase, step). Encode
+  // phase 1 steps as row(tail), phase 2 as 2·rows + handled_at.
+  const std::size_t n = 3000;
+  WdCtx s = make_ctx(n, 2, 23);
+  pram::SeqExec exec(8);
+  Layout2D lay = build_layout(exec, n, s.keys, s.bound);
+  std::vector<std::uint8_t> color(n, kNoColor);
+  walkdown1(exec, s.list, lay, s.pred, color);
+  WalkDown2Trace trace = walkdown2(exec, s.list, lay, s.pred, color);
+  const auto& next = s.list.next_array();
+  auto handle_time = [&](index_t v) -> std::size_t {
+    const bool intra = lay.node_row[v] == lay.node_row[next[v]];
+    return intra ? 2 * lay.rows + trace.handled_at[v] : lay.node_row[v];
+  };
+  for (index_t v = 0; v < n; ++v) {
+    if (!s.list.has_pointer(v)) continue;
+    const index_t w = next[v];
+    if (!s.list.has_pointer(w)) continue;
+    EXPECT_NE(handle_time(v), handle_time(w))
+        << "adjacent pointers e_" << v << ", e_" << w;
+  }
+}
+
+TEST(WalkDown, MachineConfirmsCrewLegality) {
+  const std::size_t n = 700;
+  WdCtx s = make_ctx(n, 2, 31);
+  pram::Machine m(pram::Mode::kCREW, 8);
+  Layout2D lay = build_layout(m, n, s.keys, s.bound);
+  std::vector<std::uint8_t> color(n, kNoColor);
+  EXPECT_NO_THROW({
+    walkdown1(m, s.list, lay, s.pred, color);
+    walkdown2(m, s.list, lay, s.pred, color);
+  });
+}
+
+TEST(WalkDown1, InterRowOnlyListIsFullyLabeledByPhaseOne) {
+  // Lemma 6's hypothesis: with x = n rows (one column), every pointer is
+  // inter-row, and WalkDown1 alone 3-labels the whole list.
+  const std::size_t n = 200;
+  const auto list = list::generators::random_list(n, 41);
+  pram::SeqExec exec(8);
+  std::vector<index_t> keys(n);
+  for (index_t v = 0; v < n; ++v) keys[v] = v;  // distinct keys: n rows
+  Layout2D lay = build_layout(exec, n, keys, n);
+  auto pred = list.predecessors();
+  std::vector<std::uint8_t> color(n, kNoColor);
+  walkdown1(exec, list, lay, pred, color);
+  std::vector<label_t> plabel(n, 0);
+  for (index_t v = 0; v < n; ++v) {
+    if (!list.has_pointer(v)) continue;
+    ASSERT_LT(color[v], 3) << v;
+    plabel[v] = color[v];
+  }
+  verify::check_pointer_partition(list, plabel);
+}
+
+}  // namespace
+}  // namespace llmp::core
