@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_appendix_tables.dir/bench_appendix_tables.cpp.o"
+  "CMakeFiles/bench_appendix_tables.dir/bench_appendix_tables.cpp.o.d"
+  "bench_appendix_tables"
+  "bench_appendix_tables.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_appendix_tables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

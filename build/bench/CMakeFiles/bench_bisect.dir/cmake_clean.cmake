@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bisect.dir/bench_bisect.cpp.o"
+  "CMakeFiles/bench_bisect.dir/bench_bisect.cpp.o.d"
+  "bench_bisect"
+  "bench_bisect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bisect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

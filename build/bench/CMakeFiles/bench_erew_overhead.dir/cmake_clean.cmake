@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_erew_overhead.dir/bench_erew_overhead.cpp.o"
+  "CMakeFiles/bench_erew_overhead.dir/bench_erew_overhead.cpp.o.d"
+  "bench_erew_overhead"
+  "bench_erew_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_erew_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

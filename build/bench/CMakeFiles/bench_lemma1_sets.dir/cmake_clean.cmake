@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lemma1_sets.dir/bench_lemma1_sets.cpp.o"
+  "CMakeFiles/bench_lemma1_sets.dir/bench_lemma1_sets.cpp.o.d"
+  "bench_lemma1_sets"
+  "bench_lemma1_sets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lemma1_sets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lemma2_iterated.dir/bench_lemma2_iterated.cpp.o"
+  "CMakeFiles/bench_lemma2_iterated.dir/bench_lemma2_iterated.cpp.o.d"
+  "bench_lemma2_iterated"
+  "bench_lemma2_iterated.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lemma2_iterated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_match1.dir/bench_match1.cpp.o"
+  "CMakeFiles/bench_match1.dir/bench_match1.cpp.o.d"
+  "bench_match1"
+  "bench_match1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_match1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_match2.dir/bench_match2.cpp.o"
+  "CMakeFiles/bench_match2.dir/bench_match2.cpp.o.d"
+  "bench_match2"
+  "bench_match2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_match2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_match3.dir/bench_match3.cpp.o"
+  "CMakeFiles/bench_match3.dir/bench_match3.cpp.o.d"
+  "bench_match3"
+  "bench_match3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_match3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

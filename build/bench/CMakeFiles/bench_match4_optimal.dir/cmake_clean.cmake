@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_match4_optimal.dir/bench_match4_optimal.cpp.o"
+  "CMakeFiles/bench_match4_optimal.dir/bench_match4_optimal.cpp.o.d"
+  "bench_match4_optimal"
+  "bench_match4_optimal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_match4_optimal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_theorem2_curve.dir/bench_theorem2_curve.cpp.o"
+  "CMakeFiles/bench_theorem2_curve.dir/bench_theorem2_curve.cpp.o.d"
+  "bench_theorem2_curve"
+  "bench_theorem2_curve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_theorem2_curve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_walkdown.dir/bench_walkdown.cpp.o"
+  "CMakeFiles/bench_walkdown.dir/bench_walkdown.cpp.o.d"
+  "bench_walkdown"
+  "bench_walkdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_walkdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

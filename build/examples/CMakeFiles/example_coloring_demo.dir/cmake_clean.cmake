@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_coloring_demo.dir/coloring_demo.cpp.o"
+  "CMakeFiles/example_coloring_demo.dir/coloring_demo.cpp.o.d"
+  "example_coloring_demo"
+  "example_coloring_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_coloring_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

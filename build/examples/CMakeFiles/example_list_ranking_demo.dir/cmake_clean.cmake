@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_list_ranking_demo.dir/list_ranking_demo.cpp.o"
+  "CMakeFiles/example_list_ranking_demo.dir/list_ranking_demo.cpp.o.d"
+  "example_list_ranking_demo"
+  "example_list_ranking_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_list_ranking_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_llmp_cli.dir/llmp_cli.cpp.o"
+  "CMakeFiles/example_llmp_cli.dir/llmp_cli.cpp.o.d"
+  "example_llmp_cli"
+  "example_llmp_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_llmp_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_scheduling_demo.dir/scheduling_demo.cpp.o"
+  "CMakeFiles/example_scheduling_demo.dir/scheduling_demo.cpp.o.d"
+  "example_scheduling_demo"
+  "example_scheduling_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_scheduling_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_tree_stats_demo.dir/tree_stats_demo.cpp.o"
+  "CMakeFiles/example_tree_stats_demo.dir/tree_stats_demo.cpp.o.d"
+  "example_tree_stats_demo"
+  "example_tree_stats_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_tree_stats_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

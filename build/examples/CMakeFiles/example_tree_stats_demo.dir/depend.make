@@ -1,0 +1,2 @@
+# Empty dependencies file for example_tree_stats_demo.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llmp_apps.dir/euler_tour.cpp.o"
+  "CMakeFiles/llmp_apps.dir/euler_tour.cpp.o.d"
+  "CMakeFiles/llmp_apps.dir/independent_set.cpp.o"
+  "CMakeFiles/llmp_apps.dir/independent_set.cpp.o.d"
+  "CMakeFiles/llmp_apps.dir/list_ranking.cpp.o"
+  "CMakeFiles/llmp_apps.dir/list_ranking.cpp.o.d"
+  "CMakeFiles/llmp_apps.dir/three_coloring.cpp.o"
+  "CMakeFiles/llmp_apps.dir/three_coloring.cpp.o.d"
+  "libllmp_apps.a"
+  "libllmp_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llmp_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/lookup_table.cpp" "src/core/CMakeFiles/llmp_core.dir/lookup_table.cpp.o" "gcc" "src/core/CMakeFiles/llmp_core.dir/lookup_table.cpp.o.d"
+  "/root/repo/src/core/maximal_matching.cpp" "src/core/CMakeFiles/llmp_core.dir/maximal_matching.cpp.o" "gcc" "src/core/CMakeFiles/llmp_core.dir/maximal_matching.cpp.o.d"
+  "/root/repo/src/core/partition_fn.cpp" "src/core/CMakeFiles/llmp_core.dir/partition_fn.cpp.o" "gcc" "src/core/CMakeFiles/llmp_core.dir/partition_fn.cpp.o.d"
+  "/root/repo/src/core/ring.cpp" "src/core/CMakeFiles/llmp_core.dir/ring.cpp.o" "gcc" "src/core/CMakeFiles/llmp_core.dir/ring.cpp.o.d"
+  "/root/repo/src/core/verify.cpp" "src/core/CMakeFiles/llmp_core.dir/verify.cpp.o" "gcc" "src/core/CMakeFiles/llmp_core.dir/verify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/llmp_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/pram/CMakeFiles/llmp_pram.dir/DependInfo.cmake"
+  "/root/repo/build/src/list/CMakeFiles/llmp_list.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

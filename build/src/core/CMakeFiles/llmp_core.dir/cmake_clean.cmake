@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llmp_core.dir/lookup_table.cpp.o"
+  "CMakeFiles/llmp_core.dir/lookup_table.cpp.o.d"
+  "CMakeFiles/llmp_core.dir/maximal_matching.cpp.o"
+  "CMakeFiles/llmp_core.dir/maximal_matching.cpp.o.d"
+  "CMakeFiles/llmp_core.dir/partition_fn.cpp.o"
+  "CMakeFiles/llmp_core.dir/partition_fn.cpp.o.d"
+  "CMakeFiles/llmp_core.dir/ring.cpp.o"
+  "CMakeFiles/llmp_core.dir/ring.cpp.o.d"
+  "CMakeFiles/llmp_core.dir/verify.cpp.o"
+  "CMakeFiles/llmp_core.dir/verify.cpp.o.d"
+  "libllmp_core.a"
+  "libllmp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llmp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

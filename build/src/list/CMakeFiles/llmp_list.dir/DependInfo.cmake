@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/list/generators.cpp" "src/list/CMakeFiles/llmp_list.dir/generators.cpp.o" "gcc" "src/list/CMakeFiles/llmp_list.dir/generators.cpp.o.d"
+  "/root/repo/src/list/linked_list.cpp" "src/list/CMakeFiles/llmp_list.dir/linked_list.cpp.o" "gcc" "src/list/CMakeFiles/llmp_list.dir/linked_list.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/llmp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

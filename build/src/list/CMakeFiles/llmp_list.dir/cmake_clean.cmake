@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llmp_list.dir/generators.cpp.o"
+  "CMakeFiles/llmp_list.dir/generators.cpp.o.d"
+  "CMakeFiles/llmp_list.dir/linked_list.cpp.o"
+  "CMakeFiles/llmp_list.dir/linked_list.cpp.o.d"
+  "libllmp_list.a"
+  "libllmp_list.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llmp_list.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

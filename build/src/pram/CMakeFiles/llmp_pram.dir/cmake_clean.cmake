@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llmp_pram.dir/machine.cpp.o"
+  "CMakeFiles/llmp_pram.dir/machine.cpp.o.d"
+  "CMakeFiles/llmp_pram.dir/thread_pool.cpp.o"
+  "CMakeFiles/llmp_pram.dir/thread_pool.cpp.o.d"
+  "libllmp_pram.a"
+  "libllmp_pram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llmp_pram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libllmp_pram.a"
+)

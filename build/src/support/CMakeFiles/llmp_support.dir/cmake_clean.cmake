@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llmp_support.dir/bits.cpp.o"
+  "CMakeFiles/llmp_support.dir/bits.cpp.o.d"
+  "CMakeFiles/llmp_support.dir/format.cpp.o"
+  "CMakeFiles/llmp_support.dir/format.cpp.o.d"
+  "CMakeFiles/llmp_support.dir/itlog.cpp.o"
+  "CMakeFiles/llmp_support.dir/itlog.cpp.o.d"
+  "libllmp_support.a"
+  "libllmp_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llmp_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

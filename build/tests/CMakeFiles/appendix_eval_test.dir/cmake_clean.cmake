@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appendix_eval_test.dir/appendix_eval_test.cpp.o"
+  "CMakeFiles/appendix_eval_test.dir/appendix_eval_test.cpp.o.d"
+  "appendix_eval_test"
+  "appendix_eval_test.pdb"
+  "appendix_eval_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appendix_eval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

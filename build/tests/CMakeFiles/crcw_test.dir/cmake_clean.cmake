@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crcw_test.dir/crcw_test.cpp.o"
+  "CMakeFiles/crcw_test.dir/crcw_test.cpp.o.d"
+  "crcw_test"
+  "crcw_test.pdb"
+  "crcw_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crcw_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

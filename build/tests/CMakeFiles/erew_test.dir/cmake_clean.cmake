@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erew_test.dir/erew_test.cpp.o"
+  "CMakeFiles/erew_test.dir/erew_test.cpp.o.d"
+  "erew_test"
+  "erew_test.pdb"
+  "erew_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erew_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

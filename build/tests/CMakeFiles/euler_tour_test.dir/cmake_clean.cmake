@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/euler_tour_test.dir/euler_tour_test.cpp.o"
+  "CMakeFiles/euler_tour_test.dir/euler_tour_test.cpp.o.d"
+  "euler_tour_test"
+  "euler_tour_test.pdb"
+  "euler_tour_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/euler_tour_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

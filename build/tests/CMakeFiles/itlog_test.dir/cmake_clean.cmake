@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/itlog_test.dir/itlog_test.cpp.o"
+  "CMakeFiles/itlog_test.dir/itlog_test.cpp.o.d"
+  "itlog_test"
+  "itlog_test.pdb"
+  "itlog_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/itlog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lookup_table_test.dir/lookup_table_test.cpp.o"
+  "CMakeFiles/lookup_table_test.dir/lookup_table_test.cpp.o.d"
+  "lookup_table_test"
+  "lookup_table_test.pdb"
+  "lookup_table_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lookup_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partition_fn_test.dir/partition_fn_test.cpp.o"
+  "CMakeFiles/partition_fn_test.dir/partition_fn_test.cpp.o.d"
+  "partition_fn_test"
+  "partition_fn_test.pdb"
+  "partition_fn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partition_fn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/walkdown_test.dir/walkdown_test.cpp.o"
+  "CMakeFiles/walkdown_test.dir/walkdown_test.cpp.o.d"
+  "walkdown_test"
+  "walkdown_test.pdb"
+  "walkdown_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/walkdown_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

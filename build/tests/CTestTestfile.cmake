@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/appendix_eval_test[1]_include.cmake")
+include("/root/repo/build/tests/apps_test[1]_include.cmake")
+include("/root/repo/build/tests/bits_test[1]_include.cmake")
+include("/root/repo/build/tests/crcw_test[1]_include.cmake")
+include("/root/repo/build/tests/discipline_test[1]_include.cmake")
+include("/root/repo/build/tests/erew_test[1]_include.cmake")
+include("/root/repo/build/tests/euler_tour_test[1]_include.cmake")
+include("/root/repo/build/tests/experiments_smoke_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/headers_test[1]_include.cmake")
+include("/root/repo/build/tests/itlog_test[1]_include.cmake")
+include("/root/repo/build/tests/list_prefix_test[1]_include.cmake")
+include("/root/repo/build/tests/list_test[1]_include.cmake")
+include("/root/repo/build/tests/lookup_table_test[1]_include.cmake")
+include("/root/repo/build/tests/machine_test[1]_include.cmake")
+include("/root/repo/build/tests/matching_test[1]_include.cmake")
+include("/root/repo/build/tests/partition_fn_test[1]_include.cmake")
+include("/root/repo/build/tests/plan_test[1]_include.cmake")
+include("/root/repo/build/tests/prefix_test[1]_include.cmake")
+include("/root/repo/build/tests/replicate_test[1]_include.cmake")
+include("/root/repo/build/tests/ring_test[1]_include.cmake")
+include("/root/repo/build/tests/support_misc_test[1]_include.cmake")
+include("/root/repo/build/tests/thread_pool_test[1]_include.cmake")
+include("/root/repo/build/tests/verify_test[1]_include.cmake")
+include("/root/repo/build/tests/walkdown_test[1]_include.cmake")

@@ -1,0 +1,3 @@
+add_test([=[Headers.PublicSurfaceIsSelfContained]=]  /root/repo/build/tests/headers_test [==[--gtest_filter=Headers.PublicSurfaceIsSelfContained]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[Headers.PublicSurfaceIsSelfContained]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  headers_test_TESTS Headers.PublicSurfaceIsSelfContained)
