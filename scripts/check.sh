@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Full local CI sweep:
+#
+#   1. plain Release build + the tier-1 ctest suite,
+#   2. llmp_lint over the tree and llmp_prove over the registry,
+#   3. the tier-1 suite again under ASan+UBSan (-DLLMP_SANITIZE=...),
+#   4. the threading tests (thread_pool_test, machine_test) under TSan.
+#
+# Usage: scripts/check.sh [--fast]   (--fast skips the sanitizer builds)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FAST=0
+[[ "${1:-}" == "--fast" ]] && FAST=1
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+echo "== [1/4] Release build + tier-1 tests =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS"
+(cd build && ctest --output-on-failure -j "$JOBS")
+
+echo "== [2/4] llmp_lint + llmp_prove =="
+./build/tools/llmp_lint/llmp_lint src bench examples tools
+./build/tools/llmp_prove
+
+if [[ "$FAST" == 1 ]]; then
+  echo "check.sh: --fast: skipping sanitizer builds"
+  exit 0
+fi
+
+echo "== [3/4] tier-1 tests under ASan+UBSan =="
+cmake -B build-asan -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DLLMP_SANITIZE=address,undefined >/dev/null
+cmake --build build-asan -j "$JOBS"
+(cd build-asan && ctest --output-on-failure -j "$JOBS")
+
+echo "== [4/4] threading tests under TSan =="
+cmake -B build-tsan -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DLLMP_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j "$JOBS" --target thread_pool_test machine_test
+(cd build-tsan && ctest --output-on-failure -j "$JOBS" \
+  -R "ThreadPool|Machine")
+
+echo "check.sh: all green"

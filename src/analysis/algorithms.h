@@ -1,0 +1,34 @@
+// Registry of the algorithms the prover covers.
+//
+// Each AlgoSpec wraps one algorithm template as two type-erased runners
+// instantiated from the SAME generic lambda: one over analysis::
+// SymbolicExec (records the trace the prover analyzes) and one over
+// pram::Machine (the dynamic checker the prover's replay must agree
+// with — asserted in tests/analysis_test.cpp). `declared` is the PRAM
+// variant the algorithm is designed for; llmp_prove exits nonzero if any
+// algorithm is illegal under its declared model.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "analysis/symbolic_exec.h"
+#include "list/linked_list.h"
+#include "pram/machine.h"
+
+namespace llmp::analysis {
+
+struct AlgoSpec {
+  std::string name;
+  pram::Mode declared;
+  std::function<void(SymbolicExec&, const list::LinkedList&)> run_symbolic;
+  std::function<void(pram::Machine&, const list::LinkedList&)> run_machine;
+};
+
+/// All registered algorithms: Match1–Match4 (plus their EREW and lookup-
+/// table variants), the bare WalkDown1/2 schedule, and the apps built on
+/// matching (3-coloring, independent set, ranking, prefix).
+const std::vector<AlgoSpec>& algorithm_registry();
+
+}  // namespace llmp::analysis

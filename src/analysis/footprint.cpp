@@ -1,0 +1,178 @@
+#include "analysis/footprint.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <numeric>
+
+namespace llmp::analysis {
+
+std::string to_string(Shape shape) {
+  switch (shape) {
+    case Shape::kEmpty:
+      return "empty";
+    case Shape::kAffine:
+      return "affine";
+    case Shape::kBroadcast:
+      return "broadcast";
+    case Shape::kStrided:
+      return "strided";
+    case Shape::kIrregular:
+      return "irregular";
+  }
+  return "?";
+}
+
+namespace {
+
+struct ProcCells {
+  long long proc = 0;
+  std::vector<long long> cells;  // sorted, distinct
+};
+
+/// Exclusivity of the strided family {a·v + b + s·k : 0 <= k < c} across
+/// participants spanning `span` consecutive processor indices. Two
+/// participants v != w collide iff a·(v−w) = s·(j−k) has a solution with
+/// 0 < |v−w| < span and |j−k| < c. With g = gcd(|a|, s), the minimal
+/// positive Δproc admitting a solution is s/g, at which |Δk| = |a|/g; the
+/// family is exclusive iff that minimal collision lies outside the ranges.
+bool exclusive_strided(long long a, long long s, std::size_t c,
+                       std::size_t span) {
+  if (a == 0) return span <= 1;
+  if (s == 0) return true;  // c == 1 collapses to the affine case
+  const long long g = std::gcd(std::llabs(a), std::llabs(s));
+  const long long min_dproc = std::llabs(s) / g;
+  const long long min_dk = std::llabs(a) / g;
+  const bool collision = min_dproc < static_cast<long long>(span) &&
+                         min_dk < static_cast<long long>(c);
+  return !collision;
+}
+
+}  // namespace
+
+Footprint classify_footprint(
+    const std::vector<std::pair<std::uint32_t, std::uint64_t>>& samples) {
+  Footprint f;
+  if (samples.empty()) {
+    f.exclusive = true;
+    return f;
+  }
+
+  // Group cells by processor, sort, and drop within-processor repeats
+  // (a processor revisiting its own cell never conflicts with anyone).
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> sorted = samples;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+
+  std::vector<ProcCells> procs;
+  for (const auto& [p, cell] : sorted) {
+    if (procs.empty() || procs.back().proc != static_cast<long long>(p))
+      procs.push_back({static_cast<long long>(p), {}});
+    procs.back().cells.push_back(static_cast<long long>(cell));
+  }
+  f.participants = procs.size();
+
+  if (procs.size() == 1) {
+    // A single participant conflicts with no one, whatever it touches.
+    f.exclusive = true;
+    f.lone_proc = procs.front().proc;
+    const auto& cells = procs.front().cells;
+    if (cells.size() == 1) {
+      f.shape = Shape::kAffine;
+      f.b = cells.front();
+    } else {
+      const long long s = cells[1] - cells[0];
+      bool ap = s > 0;
+      for (std::size_t k = 1; ap && k < cells.size(); ++k)
+        ap = cells[k] - cells[k - 1] == s;
+      if (ap) {
+        f.shape = Shape::kStrided;
+        f.b = cells.front();
+        f.stride = s;
+        f.count = cells.size();
+      } else {
+        f.shape = Shape::kIrregular;
+      }
+    }
+    return f;
+  }
+
+  const bool single_cell = std::all_of(
+      procs.begin(), procs.end(),
+      [](const ProcCells& pc) { return pc.cells.size() == 1; });
+
+  if (single_cell) {
+    const bool all_same = std::all_of(
+        procs.begin(), procs.end(), [&](const ProcCells& pc) {
+          return pc.cells.front() == procs.front().cells.front();
+        });
+    if (all_same) {
+      f.shape = Shape::kBroadcast;
+      f.b = procs.front().cells.front();
+      return f;  // > 1 participant sharing a cell: not exclusive
+    }
+    // Fit cell = a·proc + b through the first two participants, then
+    // verify every sample. A verified fit with a != 0 is injective over
+    // the integers, i.e. exclusive for every problem size.
+    const long long dp = procs[1].proc - procs[0].proc;
+    const long long dc = procs[1].cells.front() - procs[0].cells.front();
+    if (dc % dp == 0) {
+      const long long a = dc / dp;
+      const long long b = procs[0].cells.front() - a * procs[0].proc;
+      const bool fits = std::all_of(
+          procs.begin(), procs.end(), [&](const ProcCells& pc) {
+            return pc.cells.front() == a * pc.proc + b;
+          });
+      if (fits && a != 0) {
+        f.shape = Shape::kAffine;
+        f.a = a;
+        f.b = b;
+        f.exclusive = true;
+        return f;
+      }
+    }
+    f.shape = Shape::kIrregular;
+    return f;
+  }
+
+  // Multi-cell participants: same cell count, same internal stride, and
+  // affine bases — the per-column / blocked pattern.
+  const std::size_t c = procs.front().cells.size();
+  long long s = c > 1 ? procs.front().cells[1] - procs.front().cells[0] : 0;
+  bool strided = s >= 0;
+  for (const ProcCells& pc : procs) {
+    if (pc.cells.size() != c) {
+      strided = false;
+      break;
+    }
+    for (std::size_t k = 1; strided && k < pc.cells.size(); ++k)
+      strided = pc.cells[k] - pc.cells[k - 1] == s;
+    if (!strided) break;
+  }
+  if (strided) {
+    const long long dp = procs[1].proc - procs[0].proc;
+    const long long db = procs[1].cells.front() - procs[0].cells.front();
+    if (db % dp == 0) {
+      const long long a = db / dp;
+      const long long b = procs[0].cells.front() - a * procs[0].proc;
+      const bool fits = std::all_of(
+          procs.begin(), procs.end(), [&](const ProcCells& pc) {
+            return pc.cells.front() == a * pc.proc + b;
+          });
+      if (fits) {
+        f.shape = Shape::kStrided;
+        f.a = a;
+        f.b = b;
+        f.stride = s;
+        f.count = c;
+        const std::size_t span = static_cast<std::size_t>(
+            procs.back().proc - procs.front().proc + 1);
+        f.exclusive = exclusive_strided(a, s, c, span);
+        return f;
+      }
+    }
+  }
+  f.shape = Shape::kIrregular;
+  return f;
+}
+
+}  // namespace llmp::analysis

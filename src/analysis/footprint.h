@@ -1,0 +1,65 @@
+// Footprint classification: from concrete access samples to symbolic
+// access-pattern shapes.
+//
+// A footprint is the set of (processor, cell) pairs one array saw for one
+// access kind (read or write) within one step. Classification fits the
+// samples to progressively richer shapes:
+//
+//   kAffine     cell(v) = a·v + b with a ≠ 0 — each participant touches
+//               exactly one cell, and the map is injective for EVERY
+//               problem size, so cross-processor exclusivity is a theorem,
+//               not an observation.
+//   kBroadcast  cell(v) = b — everyone reads/writes the same cell
+//               (exclusive only if at most one participant).
+//   kStrided    participant v touches the arithmetic progression
+//               a·v + b + s·k for k < c (per-column loops, blocked
+//               scans). Exclusivity is discharged by a gcd argument,
+//               see exclusive_strided() in footprint.cpp.
+//   kIrregular  anything else — typically data-dependent indirection
+//               (cells read through next[] or a matching). No symbolic
+//               claim; the concrete replay still validates the run.
+//
+// The prover combines these per-step shapes into EREW/CREW legality
+// proofs: an affine write footprint is exclusive at all n, so a step whose
+// every write fits kAffine can never produce a concurrent write, whatever
+// the input size. See docs/ANALYSIS.md for the soundness caveats.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace llmp::analysis {
+
+enum class Shape {
+  kEmpty,      ///< no accesses
+  kAffine,     ///< one cell per participant, cell = a·proc + b
+  kBroadcast,  ///< one shared cell for all participants
+  kStrided,    ///< c cells per participant at stride s, affine bases
+  kIrregular,  ///< no closed form found
+};
+
+std::string to_string(Shape shape);
+
+struct Footprint {
+  Shape shape = Shape::kEmpty;
+  long long a = 0;          ///< affine/strided: coefficient of proc
+  long long b = 0;          ///< affine/strided: offset (base of proc 0 fit)
+  long long stride = 0;     ///< strided: distance between a proc's cells
+  std::size_t count = 0;    ///< strided: cells per participant
+  std::size_t participants = 0;  ///< processors with at least one access
+  long long lone_proc = -1;      ///< the participant, when there is one
+  /// Cross-processor disjointness holds by algebra (for every n), not just
+  /// for the sampled run. Trivially true for <= 1 participant.
+  bool exclusive = false;
+};
+
+/// Classifies one footprint from its (proc, cell) samples. Samples may
+/// repeat (a processor re-touching a cell collapses to one occurrence)
+/// and arrive in any order.
+Footprint classify_footprint(
+    const std::vector<std::pair<std::uint32_t, std::uint64_t>>& samples);
+
+}  // namespace llmp::analysis

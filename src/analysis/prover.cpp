@@ -1,0 +1,307 @@
+#include "analysis/prover.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <unordered_map>
+
+#include "support/check.h"
+
+namespace llmp::analysis {
+
+namespace {
+
+/// Per-cell state during the Machine-equivalent replay. Mirrors
+/// pram::Machine's Meta stamps: who read / wrote first this step, whether
+/// more than one processor did, and the first written value's hash (the
+/// cell's content, which later CRCW-Common writers must match).
+struct CellState {
+  bool written = false;
+  bool wrote_many = false;
+  std::uint32_t writer = 0;
+  bool hash_valid = false;
+  std::uint64_t hash = 0;
+  bool read = false;
+  bool read_many = false;
+  std::uint32_t reader = 0;
+};
+
+std::uint64_t cell_key(const Access& a) {
+  // Array ids are small and cells are vector indices; 40 bits of cell
+  // space is far beyond any run the prover samples.
+  return (static_cast<std::uint64_t>(a.array) << 40) | a.cell;
+}
+
+}  // namespace
+
+StepReplay replay_step(const StepTrace& step) {
+  StepReplay r;
+  std::unordered_map<std::uint64_t, CellState> cells;
+  for (const Access& a : step.accesses) {
+    CellState& st = cells[cell_key(a)];
+    if (!a.is_write) {
+      if (st.written && (st.wrote_many || st.writer != a.proc))
+        r.read_after_write = true;
+      if (!st.read) {
+        st.read = true;
+        st.reader = a.proc;
+      } else if (st.read_many || st.reader != a.proc) {
+        st.read_many = true;
+        r.concurrent_read = true;
+      }
+    } else {
+      if (st.read && (st.read_many || st.reader != a.proc))
+        r.read_write_clash = true;
+      if (st.written && (st.wrote_many || st.writer != a.proc)) {
+        r.concurrent_write = true;
+        st.wrote_many = true;
+        // Common compares the incoming value against the cell's content,
+        // i.e. the first applied write. Unhashable values can't be
+        // checked and count as disagreement, exactly like Machine's
+        // non-equality-comparable fallback.
+        if (!(st.hash_valid && a.has_value && st.hash == a.value_hash))
+          r.concurrent_write_diff = true;
+      } else if (!st.written) {
+        st.written = true;
+        st.writer = a.proc;
+        st.hash_valid = a.has_value;
+        st.hash = a.value_hash;
+      } else {
+        // Same processor overwriting its own cell: content changes.
+        st.hash_valid = a.has_value;
+        st.hash = a.value_hash;
+      }
+    }
+  }
+  return r;
+}
+
+StepAnalysis analyze_step(const StepTrace& step) {
+  StepAnalysis out;
+  out.replay = replay_step(step);
+
+  bool single_proc = true;
+  std::uint32_t first_proc = 0;
+  bool any = false;
+  std::map<std::uint32_t,
+           std::pair<std::vector<std::pair<std::uint32_t, std::uint64_t>>,
+                     std::vector<std::pair<std::uint32_t, std::uint64_t>>>>
+      by_array;
+  for (const Access& a : step.accesses) {
+    if (!any) {
+      first_proc = a.proc;
+      any = true;
+    } else if (a.proc != first_proc) {
+      single_proc = false;
+    }
+    auto& slot = by_array[a.array];
+    (a.is_write ? slot.second : slot.first).emplace_back(a.proc, a.cell);
+  }
+
+  out.reads_exclusive = true;
+  out.writes_exclusive = true;
+  out.no_read_write_mix = true;
+  for (auto& [id, slot] : by_array) {
+    ArrayUse use;
+    use.array = id;
+    use.reads = classify_footprint(slot.first);
+    use.writes = classify_footprint(slot.second);
+    out.reads_exclusive &= use.reads.exclusive;
+    out.writes_exclusive &= use.writes.exclusive;
+    // An array both read and written in one step is symbolically safe
+    // only when reader and writer provably coincide per cell: identical
+    // injective affine forms (the same-processor read-modify-write
+    // idiom), or a single participant on both sides. Disjoint
+    // data-dependent footprints stay legal concretely but aren't proved.
+    if (use.reads.shape != Shape::kEmpty &&
+        use.writes.shape != Shape::kEmpty && !single_proc) {
+      const bool same_affine = use.reads.shape == Shape::kAffine &&
+                               use.writes.shape == Shape::kAffine &&
+                               use.reads.a == use.writes.a &&
+                               use.reads.b == use.writes.b &&
+                               use.writes.a != 0;
+      const bool lone_pair = use.reads.participants <= 1 &&
+                             use.writes.participants <= 1 &&
+                             use.reads.lone_proc == use.writes.lone_proc;
+      if (!(same_affine || lone_pair)) out.no_read_write_mix = false;
+    }
+    out.arrays.push_back(use);
+  }
+
+  if (single_proc) {
+    // One processor (or no accesses at all) cannot conflict with itself.
+    out.erew_proven = out.crew_proven = out.common_proven = true;
+  } else {
+    out.erew_proven = out.reads_exclusive && out.writes_exclusive &&
+                      out.no_read_write_mix;
+    out.crew_proven = out.writes_exclusive && out.no_read_write_mix;
+    out.common_proven = out.crew_proven;
+  }
+  return out;
+}
+
+namespace {
+
+void count_shape(const Footprint& f, ShapeCounts& c) {
+  switch (f.shape) {
+    case Shape::kEmpty:
+      break;
+    case Shape::kAffine:
+      ++c.affine;
+      break;
+    case Shape::kBroadcast:
+      ++c.broadcast;
+      break;
+    case Shape::kStrided:
+      ++c.strided;
+      break;
+    case Shape::kIrregular:
+      ++c.irregular;
+      break;
+  }
+}
+
+std::string flag_name(const StepReplay& r) {
+  if (r.read_after_write) return "read-after-write";
+  if (r.concurrent_write_diff) return "concurrent write (differing values)";
+  if (r.concurrent_write) return "concurrent write";
+  if (r.read_write_clash) return "read/write clash";
+  if (r.concurrent_read) return "concurrent read";
+  return "";
+}
+
+}  // namespace
+
+RunAnalysis analyze_run(const Trace& trace, std::size_t n) {
+  RunAnalysis run;
+  run.n = n;
+  run.steps = trace.steps.size();
+  run.arrays = trace.arrays;
+  for (std::size_t s = 0; s < trace.steps.size(); ++s) {
+    const StepAnalysis a = analyze_step(trace.steps[s]);
+    run.flags.read_after_write |= a.replay.read_after_write;
+    run.flags.concurrent_read |= a.replay.concurrent_read;
+    run.flags.concurrent_write |= a.replay.concurrent_write;
+    run.flags.concurrent_write_diff |= a.replay.concurrent_write_diff;
+    run.flags.read_write_clash |= a.replay.read_write_clash;
+    run.erew_proven &= a.erew_proven;
+    run.crew_proven &= a.crew_proven;
+    run.common_proven &= a.common_proven;
+    for (const ArrayUse& u : a.arrays) {
+      count_shape(u.reads, run.shapes);
+      count_shape(u.writes, run.shapes);
+    }
+    if (run.witness.empty()) {
+      const std::string f = flag_name(a.replay);
+      if (!f.empty())
+        run.witness = "step " + std::to_string(s) + ": " + f;
+    }
+  }
+  return run;
+}
+
+std::string to_string(Tier tier) {
+  switch (tier) {
+    case Tier::kProven:
+      return "proven";
+    case Tier::kGeneralized:
+      return "checked";
+    case Tier::kEmpirical:
+      return "observed";
+  }
+  return "?";
+}
+
+namespace {
+
+ModeVerdict verdict(const std::vector<RunAnalysis>& runs, bool legal,
+                    bool proven) {
+  ModeVerdict v;
+  v.legal = legal;
+  if (!legal) {
+    v.tier = Tier::kEmpirical;
+  } else if (proven) {
+    v.tier = Tier::kProven;
+  } else {
+    v.tier = runs.size() >= 2 ? Tier::kGeneralized : Tier::kEmpirical;
+  }
+  return v;
+}
+
+}  // namespace
+
+AlgoVerdicts combine_runs(const std::vector<RunAnalysis>& runs) {
+  AlgoVerdicts out;
+  bool erew_legal = true, crew_legal = true, common_legal = true;
+  bool erew_proven = true, crew_proven = true, common_proven = true;
+  for (const RunAnalysis& r : runs) {
+    const StepReplay& f = r.flags;
+    erew_legal &= !(f.read_after_write || f.concurrent_read ||
+                    f.concurrent_write || f.read_write_clash);
+    crew_legal &= !(f.read_after_write || f.concurrent_write);
+    common_legal &= !(f.read_after_write || f.concurrent_write_diff);
+    erew_proven &= r.erew_proven;
+    crew_proven &= r.crew_proven;
+    common_proven &= r.common_proven;
+    if (out.witness.empty()) out.witness = r.witness;
+  }
+  out.erew = verdict(runs, erew_legal, erew_proven);
+  out.crew = verdict(runs, crew_legal, crew_proven);
+  out.common = verdict(runs, common_legal, common_proven);
+  return out;
+}
+
+namespace {
+
+std::string pad(std::string s, std::size_t w) {
+  if (s.size() < w) s.append(w - s.size(), ' ');
+  return s;
+}
+
+std::string cell(const ModeVerdict& v) {
+  return v.legal ? to_string(v.tier) : "VIOLATED";
+}
+
+}  // namespace
+
+std::string format_table(const std::vector<AlgoReport>& reports) {
+  std::ostringstream os;
+  os << pad("algorithm", 18) << pad("model", 7) << pad("sizes", 13)
+     << pad("steps", 7) << pad("EREW", 10) << pad("CREW", 10)
+     << pad("COMMON", 10) << "footprints (aff/bc/str/irr)\n";
+  os << std::string(96, '-') << '\n';
+  for (const AlgoReport& r : reports) {
+    std::string sizes;
+    for (const RunAnalysis& run : r.runs) {
+      if (!sizes.empty()) sizes += ',';
+      sizes += std::to_string(run.n);
+    }
+    const RunAnalysis* big =
+        r.runs.empty() ? nullptr : &r.runs.back();
+    os << pad(r.name, 18) << pad(r.declared, 7) << pad(sizes, 13)
+       << pad(big ? std::to_string(big->steps) : "-", 7)
+       << pad(cell(r.verdicts.erew), 10) << pad(cell(r.verdicts.crew), 10)
+       << pad(cell(r.verdicts.common), 10);
+    if (big) {
+      os << big->shapes.affine << '/' << big->shapes.broadcast << '/'
+         << big->shapes.strided << '/' << big->shapes.irregular;
+    }
+    os << '\n';
+    if (!r.declared_legal) {
+      os << "    !! illegal under declared model " << r.declared;
+      if (!r.verdicts.witness.empty())
+        os << " — " << r.verdicts.witness;
+      os << '\n';
+    }
+  }
+  os << '\n'
+     << "verdicts: proven   = legal at every size, discharged "
+        "algebraically (holds for all n)\n"
+     << "          checked  = legal at every sampled size; some "
+        "footprints data-dependent\n"
+     << "          observed = legal, but sampled at a single size only\n"
+     << "          VIOLATED = a conflict was replayed at some size\n";
+  return os.str();
+}
+
+}  // namespace llmp::analysis

@@ -1,0 +1,123 @@
+// The access-pattern prover: from recorded traces to PRAM legality
+// verdicts with an explicit proof tier.
+//
+// Two engines run over every step of a Trace:
+//
+//   * replay_step — an order-sensitive re-run of pram::Machine's conflict
+//     detection on the recorded accesses. It flags exactly the four
+//     Violation kinds (read-after-write, concurrent read, concurrent
+//     write, read/write clash) plus value-level CRCW-Common disagreement,
+//     so for any concrete run the prover and the Machine agree by
+//     construction (asserted in tests/analysis_test.cpp).
+//
+//   * analyze_step — an order-insensitive classification of each array's
+//     read and write footprints (footprint.h). When every footprint that
+//     a mode's legality depends on is affine (or provably disjoint
+//     strided), the step's legality holds for EVERY problem size, not
+//     just the sampled one.
+//
+// Per-mode verdicts over a set of runs at different sizes then carry a
+// tier:
+//
+//   kProven       legal, and every step's obligation was discharged
+//                 algebraically at every sampled size — the affine forms
+//                 are size-independent, so this is a for-all-n statement
+//                 modulo the caveats in docs/ANALYSIS.md.
+//   kGeneralized  legal at every sampled size, but some step's footprint
+//                 is data-dependent (irregular), so exclusivity was
+//                 checked cell-by-cell rather than proved by algebra.
+//   kEmpirical    legal, but only one size was sampled.
+//
+// Illegal verdicts carry a witness string naming the first offending step
+// and conflict kind.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "analysis/footprint.h"
+#include "analysis/trace.h"
+
+namespace llmp::analysis {
+
+/// Machine-equivalent conflict flags for one step (concrete, per run).
+struct StepReplay {
+  bool read_after_write = false;   // any mode: synchronous-discipline break
+  bool concurrent_read = false;    // EREW
+  bool concurrent_write = false;   // EREW / CREW: distinct-processor writes
+  bool concurrent_write_diff = false;  // CRCW-Common: writers disagreed
+  bool read_write_clash = false;   // EREW: distinct procs read + wrote
+};
+
+StepReplay replay_step(const StepTrace& step);
+
+/// One array's behaviour within one step.
+struct ArrayUse {
+  std::uint32_t array = 0;
+  Footprint reads, writes;
+};
+
+struct StepAnalysis {
+  StepReplay replay;
+  std::vector<ArrayUse> arrays;
+  // Symbolic obligations (hold for every n, by the footprint algebra):
+  bool reads_exclusive = false;   // every array's reads exclusive
+  bool writes_exclusive = false;  // every array's writes exclusive
+  bool no_read_write_mix = false;  // no array both read and written by
+                                   // distinct processors except through
+                                   // identical affine forms
+  // Mode-level symbolic proof for this step:
+  bool erew_proven = false;    // exclusive reads + writes + no mixing
+  bool crew_proven = false;    // exclusive writes + no mixing
+  bool common_proven = false;  // conservative: same as crew_proven
+};
+
+StepAnalysis analyze_step(const StepTrace& step);
+
+struct ShapeCounts {
+  std::size_t affine = 0, broadcast = 0, strided = 0, irregular = 0;
+};
+
+/// Analysis of one full run (one problem size).
+struct RunAnalysis {
+  std::size_t n = 0;
+  std::size_t steps = 0;
+  std::size_t arrays = 0;
+  StepReplay flags;  ///< OR over all steps
+  bool erew_proven = true, crew_proven = true, common_proven = true;
+  ShapeCounts shapes;
+  std::string witness;  ///< first conflict, e.g. "step 12: concurrent read"
+};
+
+RunAnalysis analyze_run(const Trace& trace, std::size_t n);
+
+enum class Tier { kProven, kGeneralized, kEmpirical };
+
+std::string to_string(Tier tier);
+
+struct ModeVerdict {
+  bool legal = false;
+  Tier tier = Tier::kEmpirical;
+};
+
+/// Verdicts for one algorithm across its sampled runs.
+struct AlgoVerdicts {
+  ModeVerdict erew, crew, common;
+  std::string witness;  ///< first illegal witness across runs, if any
+};
+
+AlgoVerdicts combine_runs(const std::vector<RunAnalysis>& runs);
+
+/// Row of the llmp_prove output table.
+struct AlgoReport {
+  std::string name;
+  std::string declared;  ///< model the algorithm claims ("EREW"/"CREW")
+  std::vector<RunAnalysis> runs;
+  AlgoVerdicts verdicts;
+  bool declared_legal = false;  ///< legal under the declared model
+};
+
+std::string format_table(const std::vector<AlgoReport>& reports);
+
+}  // namespace llmp::analysis

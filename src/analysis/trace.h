@@ -1,0 +1,44 @@
+// Access traces recorded by analysis::SymbolicExec.
+//
+// A Trace is the complete memory behaviour of one algorithm run: for every
+// synchronous step, the ordered list of shared-memory accesses with the
+// virtual processor that issued each one, the array touched (numbered by
+// first-touch order), the cell index, and — for trivially copyable element
+// types — a hash of the written value so CRCW-Common agreement can be
+// checked after the fact. The prover (prover.h) consumes traces in two
+// ways: an order-sensitive replay that reproduces pram::Machine's per-run
+// conflict detection exactly, and an order-insensitive footprint
+// classification (footprint.h) that generalizes the per-run facts into
+// for-all-n statements where the access pattern is affine.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace llmp::analysis {
+
+/// One shared-memory access inside a step.
+struct Access {
+  std::uint32_t array = 0;  ///< array id, dense by first-touch order
+  std::uint32_t proc = 0;   ///< virtual processor that issued the access
+  std::uint64_t cell = 0;   ///< element index within the array
+  bool is_write = false;
+  bool has_value = false;     ///< value_hash is meaningful (writes only)
+  std::uint64_t value_hash = 0;  ///< FNV-1a of the written bytes
+};
+
+/// All accesses of one synchronous step, in execution order.
+struct StepTrace {
+  std::size_t nprocs = 0;
+  std::vector<Access> accesses;
+};
+
+/// A full run: every step, plus how many distinct arrays were touched.
+struct Trace {
+  std::vector<StepTrace> steps;
+  std::size_t arrays = 0;
+};
+
+}  // namespace llmp::analysis

@@ -178,6 +178,7 @@ std::vector<typename Monoid::value_type> sequential_prefix(
     const list::LinkedList& list,
     const std::vector<typename Monoid::value_type>& values) {
   using T = typename Monoid::value_type;
+  LLMP_CHECK(values.size() == list.size());
   std::vector<T> out(list.size(), Monoid::identity());
   T acc = Monoid::identity();
   for (index_t v = list.head(); v != knil; v = list.next(v)) {

@@ -48,6 +48,7 @@ RingMatchResult ring_matching(Exec& exec,
     return r;
   }
   const pram::Stats start = exec.stats();
+  LLMP_DCHECK(n >= 3);  // the seam fix-up below assumes a real cycle
 
   // Cut the seam pointer e0 = <0, ring_next[0]>: the open list runs from
   // ring_next[0] around to 0.

@@ -103,6 +103,8 @@ Layout2D build_layout(Exec& exec, std::size_t n,
 /// e_v exists (next[v] != knil).
 inline bool is_intra_row(const Layout2D& lay,
                          const std::vector<index_t>& next, index_t v) {
+  LLMP_DCHECK(v < next.size() && v < lay.node_row.size());
+  LLMP_DCHECK(next[v] < lay.node_row.size());
   return lay.node_row[v] == lay.node_row[next[v]];
 }
 

@@ -13,6 +13,7 @@ namespace {
 /// Build a list whose order visits array positions perm[0], perm[1], ….
 LinkedList from_visit_order(const std::vector<index_t>& perm) {
   const std::size_t n = perm.size();
+  LLMP_CHECK(n >= 1);
   std::vector<index_t> next(n, knil);
   for (std::size_t i = 0; i + 1 < n; ++i) next[perm[i]] = perm[i + 1];
   next[perm[n - 1]] = knil;
@@ -27,6 +28,7 @@ std::vector<index_t> iota_perm(std::size_t n) {
 
 void shuffle_range(std::vector<index_t>& perm, std::size_t lo, std::size_t hi,
                    rng::Xoshiro256& gen) {
+  LLMP_DCHECK(lo < hi && hi <= perm.size());
   for (std::size_t i = hi - 1; i > lo; --i) {
     const std::size_t j = lo + gen.below(i - lo + 1);
     std::swap(perm[i], perm[j]);

@@ -83,7 +83,7 @@ class Machine {
     template <class T>
     T rd(const std::vector<T>& a, std::size_t i) {
       m_->on_read(a.data(), a.size(), i);
-      return a[i];
+      return a[i];  // lint:allow(unchecked-index) — on_read bounds-checks
     }
 
     template <class T>
@@ -91,7 +91,7 @@ class Machine {
       // CRCW Priority: a lower-numbered processor's value must survive, so
       // a later higher-numbered write is suppressed (on_write reports it).
       if (m_->on_write(a.data(), a.size(), i)) {
-        a[i] = v;
+        a[i] = v;  // lint:allow(unchecked-index) — on_write bounds-checks
       } else if (m_->mode() == Mode::kCRCWCommon) {
         // Common: concurrent writers must agree. Types without operator==
         // cannot be checked; treat any concurrent write as a violation.

@@ -37,7 +37,7 @@ std::uint64_t exclusive_scan(Exec& exec, std::vector<std::uint64_t>& a) {
   const std::size_t n = a.size();
   if (n == 0) return 0;
   if (n == 1) {
-    std::uint64_t total = a[0];
+    std::uint64_t total = a[0];  // lint:allow(unchecked-index) — n == 1
     a[0] = 0;
     return total;
   }

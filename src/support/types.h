@@ -8,8 +8,8 @@
 // *concatenates* labels, so labels get a full 64 bits.
 #pragma once
 
-#include <cstdint>
 #include <cstddef>
+#include <cstdint>
 
 namespace llmp {
 

@@ -1,0 +1,37 @@
+// GOOD: the negative control — a well-formed translation unit that every
+// rule must accept: double-buffered step (reads from `in`, writes to
+// `out`), a processor-local scratch vector indexed raw (legal: it is
+// never accessed through the Mem accessor), a read nested *inside* a
+// write expression on the same buffer (executes before the write
+// completes, so it is not a read-after-write), and a guarded indexing
+// helper.
+#include <cstddef>
+#include <vector>
+
+#include "pram/executor.h"
+#include "support/check.h"
+
+namespace llmp::fixture {
+
+inline unsigned guarded_successor(const std::vector<unsigned>& next,
+                                  std::size_t v) {
+  LLMP_DCHECK(v < next.size());
+  return next[v];
+}
+
+inline void relabel_ok(llmp::pram::SeqExec& exec, std::size_t n,
+                       const std::vector<unsigned>& in,
+                       std::vector<unsigned>& out,
+                       std::vector<unsigned>& histo) {
+  exec.step(n, [&](std::size_t v, auto&& m) {
+    std::vector<unsigned> scratch(4, 0);
+    scratch[v % 4] += 1;  // processor-local: raw indexing is fine
+    const unsigned a = m.rd(in, v);
+    const unsigned b = m.rd(in, (v + 1) % n);
+    m.wr(out, v, a ^ b);
+    // Same-cell read-modify-write: the read is nested in the write.
+    m.wr(histo, v, m.rd(histo, v) + scratch[0]);
+  });
+}
+
+}  // namespace llmp::fixture

@@ -1,0 +1,11 @@
+// BAD: a <system> include after a "project" include — headers list all
+// system includes first. Expected: include-order on the <vector> line.
+#pragma once
+
+#include "support/types.h"
+
+#include <vector>
+
+namespace llmp::fixture {
+inline std::vector<llmp::index_t> empty_ids() { return {}; }
+}  // namespace llmp::fixture

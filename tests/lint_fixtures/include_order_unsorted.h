@@ -1,0 +1,12 @@
+// BAD: project includes out of alphabetical order. Expected:
+// include-order on the "list/linked_list.h" line.
+#pragma once
+
+#include <vector>
+
+#include "support/types.h"
+#include "list/linked_list.h"
+
+namespace llmp::fixture {
+inline int zero() { return 0; }
+}  // namespace llmp::fixture

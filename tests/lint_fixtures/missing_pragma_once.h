@@ -1,0 +1,7 @@
+// BAD: a project header without #pragma once. Expected:
+// header-pragma-once at line 1.
+#include <vector>
+
+namespace llmp::fixture {
+inline int twice(int x) { return 2 * x; }
+}  // namespace llmp::fixture

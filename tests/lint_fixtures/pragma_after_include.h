@@ -1,0 +1,9 @@
+// BAD: #pragma once appears after the first #include; the guard must
+// come first so the header is cheap to re-include. Expected:
+// header-pragma-once at the pragma line.
+#include <vector>
+#pragma once
+
+namespace llmp::fixture {
+inline int thrice(int x) { return 3 * x; }
+}  // namespace llmp::fixture

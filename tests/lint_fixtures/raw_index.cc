@@ -1,0 +1,14 @@
+// BAD: a step body indexes a shared vector directly, bypassing the Mem
+// accessor — the classic way to smuggle an untracked access past
+// pram::Machine. Expected: step-raw-index on the `labels[v]` line.
+#include <vector>
+
+#include "pram/executor.h"
+
+void relabel_broken(llmp::pram::SeqExec& exec, std::size_t n) {
+  std::vector<unsigned> labels(n, 0);
+  exec.step(n, [&](std::size_t v, auto&& m) {
+    const unsigned mine = labels[v];  // raw read of a shared array
+    m.wr(labels, v, mine + 1);
+  });
+}

@@ -1,0 +1,20 @@
+// BAD: within one step body, the same buffer is read after it was
+// written — under the synchronous PRAM a processor would still see the
+// old value, but the fast executors apply writes immediately, so results
+// diverge. The double-buffer discipline requires reads and writes to
+// target distinct buffers. Expected: step-read-after-write on the
+// `m.rd(rank, ...)` line following the write.
+#include <vector>
+
+#include "pram/executor.h"
+
+void jump_broken(llmp::pram::SeqExec& exec, std::size_t n,
+                 std::vector<unsigned>& rank,
+                 const std::vector<unsigned>& nxt) {
+  exec.step(n, [&](std::size_t v, auto&& m) {
+    const unsigned s = m.rd(nxt, v);
+    m.wr(rank, v, s);
+    const unsigned neighbour = m.rd(rank, s % n);  // reads a written buffer
+    m.wr(rank, v, neighbour);
+  });
+}

@@ -1,0 +1,13 @@
+// BAD: a step lambda explicitly captures a shared array by mutable
+// reference. Shared state must flow through the accessor, not a named
+// reference capture. Expected: step-ref-capture on the capture list.
+#include <vector>
+
+#include "pram/executor.h"
+
+void scatter_broken(llmp::pram::SeqExec& exec, std::size_t n,
+                    std::vector<unsigned>& out) {
+  exec.step(n, [&out](std::size_t v, auto&& m) {
+    m.wr(out, v, static_cast<unsigned>(v));
+  });
+}

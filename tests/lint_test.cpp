@@ -1,0 +1,111 @@
+// Tests for llmp_lint: the known-bad fixtures must each trigger exactly
+// the advertised rule at the advertised line, the negative-control
+// fixture and the real source tree must come back clean, and the
+// suppression comment must work. The tree-clean test doubles as the
+// regression gate: a future commit that breaks the step discipline (or
+// the include order) fails here before it fails in review.
+#include "lint.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace llmp::lint {
+namespace {
+
+std::string fixture_dir() {
+  return std::string(LLMP_SOURCE_DIR) + "/tests/lint_fixtures/";
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << path;
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+/// Lints a fixture under a synthetic src/ path, so the src/-scoped
+/// unchecked-index rule applies to it too.
+std::vector<Finding> lint_fixture(const std::string& name) {
+  return lint_source("src/lint_fixtures/" + name,
+                     read_file(fixture_dir() + name));
+}
+
+struct Expected {
+  const char* file;
+  const char* rule;
+  int line;
+};
+
+constexpr Expected kBadFixtures[] = {
+    {"raw_index.cc", "step-raw-index", 11},
+    {"ref_capture.cc", "step-ref-capture", 10},
+    {"read_after_write.cc", "step-read-after-write", 17},
+    {"missing_pragma_once.h", "header-pragma-once", 1},
+    {"pragma_after_include.h", "header-pragma-once", 5},
+    {"include_order_system_after_project.h", "include-order", 7},
+    {"include_order_unsorted.h", "include-order", 8},
+    {"unchecked_index.cc", "unchecked-index", 11},
+};
+
+TEST(LintFixtures, EachBadFixtureTriggersExactlyItsRule) {
+  for (const Expected& e : kBadFixtures) {
+    const std::vector<Finding> fs = lint_fixture(e.file);
+    ASSERT_EQ(fs.size(), 1u)
+        << e.file << ": expected exactly one finding, got " << fs.size();
+    EXPECT_EQ(fs[0].rule, e.rule) << e.file;
+    EXPECT_EQ(fs[0].line, e.line) << e.file;
+  }
+}
+
+TEST(LintFixtures, CleanFixtureHasNoFindings) {
+  const std::vector<Finding> fs = lint_fixture("clean_step.cc");
+  for (const Finding& f : fs) ADD_FAILURE() << format_finding(f);
+}
+
+TEST(LintFixtures, FixturesCoverEveryRule) {
+  std::set<std::string> covered;
+  for (const Expected& e : kBadFixtures) covered.insert(e.rule);
+  for (const std::string& rule : all_rule_ids())
+    EXPECT_TRUE(covered.count(rule)) << "no fixture triggers " << rule;
+}
+
+TEST(LintSuppression, AllowCommentSilencesTheRule) {
+  const std::string bad =
+      "inline unsigned at(const std::vector<unsigned>& a, std::size_t i) "
+      "{\n"
+      "  return a[i];\n"
+      "}\n";
+  EXPECT_EQ(lint_source("src/x.h", "#pragma once\n" + bad).size(), 1u);
+  const std::string allowed =
+      "inline unsigned at(const std::vector<unsigned>& a, std::size_t i) "
+      "{\n"
+      "  return a[i];  // lint:allow(unchecked-index)\n"
+      "}\n";
+  EXPECT_TRUE(lint_source("src/x.h", "#pragma once\n" + allowed).empty());
+}
+
+TEST(LintRepo, SourceTreeIsClean) {
+  const std::string root(LLMP_SOURCE_DIR);
+  const std::vector<Finding> fs = lint_tree(
+      {root + "/src", root + "/bench", root + "/examples", root + "/tools"});
+  for (const Finding& f : fs) ADD_FAILURE() << format_finding(f);
+}
+
+TEST(LintRepo, FindingsAreSortedAndFormatted) {
+  Finding f;
+  f.file = "src/a.h";
+  f.line = 3;
+  f.rule = "include-order";
+  f.message = "out of order";
+  EXPECT_EQ(format_finding(f), "src/a.h:3: [include-order] out of order");
+}
+
+}  // namespace
+}  // namespace llmp::lint

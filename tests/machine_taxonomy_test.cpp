@@ -1,0 +1,193 @@
+// The full violation taxonomy, mode by mode: for every Violation::Kind
+// and every Mode, a minimal two-processor scenario that must (or must
+// not) trigger it. Complements machine_test.cpp, which covers cost
+// accounting and the throw/record policies; here the point is the exact
+// matrix of Snir's taxonomy — which conflicts each PRAM variant forbids.
+#include "pram/machine.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace llmp::pram {
+namespace {
+
+using Kind = Violation::Kind;
+
+/// Runs one 4-processor step of `body` under `mode` with recording and
+/// returns the violations.
+template <class Body>
+std::vector<Violation> run(Mode mode, Body&& body) {
+  Machine m(mode, 4, Machine::OnViolation::kRecord);
+  m.step(4, body);
+  return m.violations();
+}
+
+bool has_kind(const std::vector<Violation>& vs, Kind kind) {
+  for (const Violation& v : vs)
+    if (v.kind == kind) return true;
+  return false;
+}
+
+// ---- kReadAfterWrite: forbidden in every mode. ---------------------------
+
+TEST(MachineTaxonomy, ReadAfterWriteFlaggedInEveryMode) {
+  for (Mode mode : {Mode::kEREW, Mode::kCREW, Mode::kCRCWCommon,
+                    Mode::kCRCWArbitrary, Mode::kCRCWPriority}) {
+    std::vector<int> a(2, 0);
+    auto vs = run(mode, [&](std::size_t v, auto&& mem) {
+      if (v == 0) mem.wr(a, 0, 1);
+      if (v == 1) (void)mem.rd(a, 0);
+    });
+    EXPECT_TRUE(has_kind(vs, Kind::kReadAfterWrite)) << to_string(mode);
+  }
+}
+
+TEST(MachineTaxonomy, SameProcessorReadModifyWriteLegalInEveryMode) {
+  for (Mode mode : {Mode::kEREW, Mode::kCREW, Mode::kCRCWCommon,
+                    Mode::kCRCWArbitrary, Mode::kCRCWPriority}) {
+    std::vector<int> a(4, 0);
+    auto vs = run(mode, [&](std::size_t v, auto&& mem) {
+      mem.wr(a, v, mem.rd(a, v) + 1);
+      mem.wr(a, v, mem.rd(a, v) + 1);  // and again: still the same proc
+    });
+    EXPECT_TRUE(vs.empty()) << to_string(mode);
+  }
+}
+
+// ---- kConcurrentRead: EREW only. -----------------------------------------
+
+TEST(MachineTaxonomy, ConcurrentReadFlaggedOnlyUnderErew) {
+  for (Mode mode : {Mode::kEREW, Mode::kCREW, Mode::kCRCWCommon,
+                    Mode::kCRCWArbitrary, Mode::kCRCWPriority}) {
+    std::vector<int> a(2, 7);
+    auto vs = run(mode, [&](std::size_t, auto&& mem) {
+      (void)mem.rd(a, 0);  // all four processors read the same cell
+    });
+    if (mode == Mode::kEREW) {
+      EXPECT_TRUE(has_kind(vs, Kind::kConcurrentRead));
+    } else {
+      EXPECT_TRUE(vs.empty()) << to_string(mode);
+    }
+  }
+}
+
+// ---- kReadWriteClash: EREW only. -----------------------------------------
+
+TEST(MachineTaxonomy, ReadWriteClashFlaggedOnlyUnderErew) {
+  // Proc 0 reads the cell, proc 1 later writes it. The read saw the old
+  // value — consistent with a two-phase PRAM step — so only EREW (one
+  // toucher per cell, full stop) objects.
+  for (Mode mode : {Mode::kEREW, Mode::kCREW, Mode::kCRCWCommon,
+                    Mode::kCRCWArbitrary, Mode::kCRCWPriority}) {
+    std::vector<int> a(2, 0);
+    auto vs = run(mode, [&](std::size_t v, auto&& mem) {
+      if (v == 0) (void)mem.rd(a, 0);
+      if (v == 1) mem.wr(a, 0, 5);
+    });
+    if (mode == Mode::kEREW) {
+      EXPECT_TRUE(has_kind(vs, Kind::kReadWriteClash));
+      EXPECT_FALSE(has_kind(vs, Kind::kReadAfterWrite));
+    } else {
+      EXPECT_TRUE(vs.empty()) << to_string(mode);
+    }
+  }
+}
+
+// ---- kConcurrentWrite: EREW/CREW always; Common only on disagreement. ----
+
+TEST(MachineTaxonomy, EqualConcurrentWritesByMode) {
+  for (Mode mode : {Mode::kEREW, Mode::kCREW, Mode::kCRCWCommon,
+                    Mode::kCRCWArbitrary, Mode::kCRCWPriority}) {
+    std::vector<int> a(2, 0);
+    auto vs = run(mode, [&](std::size_t, auto&& mem) {
+      mem.wr(a, 0, 42);  // everyone writes the same value
+    });
+    if (mode == Mode::kEREW || mode == Mode::kCREW) {
+      EXPECT_TRUE(has_kind(vs, Kind::kConcurrentWrite)) << to_string(mode);
+    } else {
+      EXPECT_TRUE(vs.empty()) << to_string(mode);
+    }
+    EXPECT_EQ(a[0], 42) << to_string(mode);
+  }
+}
+
+TEST(MachineTaxonomy, DifferingConcurrentWritesByMode) {
+  for (Mode mode : {Mode::kEREW, Mode::kCREW, Mode::kCRCWCommon,
+                    Mode::kCRCWArbitrary, Mode::kCRCWPriority}) {
+    std::vector<int> a(2, -1);
+    auto vs = run(mode, [&](std::size_t v, auto&& mem) {
+      mem.wr(a, 0, static_cast<int>(v));  // everyone writes its own id
+    });
+    const bool crcw_free = mode == Mode::kCRCWArbitrary ||
+                           mode == Mode::kCRCWPriority;
+    if (crcw_free) {
+      EXPECT_TRUE(vs.empty()) << to_string(mode);
+    } else {
+      EXPECT_TRUE(has_kind(vs, Kind::kConcurrentWrite)) << to_string(mode);
+    }
+  }
+}
+
+// ---- CRCW resolution semantics. ------------------------------------------
+
+TEST(MachineTaxonomy, PriorityLowestProcessorWins) {
+  // Procs 1..3 write the cell (0 abstains): proc 1's value must survive,
+  // even though procs 2 and 3 execute after it and write "over" it.
+  std::vector<int> a(2, -1);
+  auto vs = run(Mode::kCRCWPriority, [&](std::size_t v, auto&& mem) {
+    if (v >= 1) mem.wr(a, 0, static_cast<int>(10 * v));
+  });
+  EXPECT_TRUE(vs.empty());
+  EXPECT_EQ(a[0], 10);
+}
+
+TEST(MachineTaxonomy, PriorityIsPerCell) {
+  // Different cells resolve independently: each keeps its own lowest
+  // writer's value.
+  std::vector<int> a(2, -1);
+  auto vs = run(Mode::kCRCWPriority, [&](std::size_t v, auto&& mem) {
+    mem.wr(a, v % 2, static_cast<int>(v));  // cell0: {0,2}, cell1: {1,3}
+  });
+  EXPECT_TRUE(vs.empty());
+  EXPECT_EQ(a[0], 0);
+  EXPECT_EQ(a[1], 1);
+}
+
+TEST(MachineTaxonomy, ArbitraryPicksSomeWrittenValue) {
+  std::vector<int> a(2, -1);
+  auto vs = run(Mode::kCRCWArbitrary, [&](std::size_t v, auto&& mem) {
+    mem.wr(a, 0, static_cast<int>(v + 100));
+  });
+  EXPECT_TRUE(vs.empty());
+  EXPECT_GE(a[0], 100);
+  EXPECT_LE(a[0], 103);
+}
+
+TEST(MachineTaxonomy, CommonKeepsTheAgreedValue) {
+  std::vector<int> a(2, -1);
+  auto vs = run(Mode::kCRCWCommon, [&](std::size_t, auto&& mem) {
+    mem.wr(a, 0, 9);
+  });
+  EXPECT_TRUE(vs.empty());
+  EXPECT_EQ(a[0], 9);
+}
+
+// ---- Metadata carried by a violation. ------------------------------------
+
+TEST(MachineTaxonomy, ViolationRecordsCellStepAndProcessors) {
+  Machine m(Mode::kEREW, 4, Machine::OnViolation::kRecord);
+  std::vector<int> a(4, 0);
+  m.step(4, [&](std::size_t v, auto&& mem) { mem.wr(a, v, 1); });  // clean
+  m.step(2, [&](std::size_t, auto&& mem) { (void)mem.rd(a, 3); });
+  ASSERT_EQ(m.violations().size(), 1u);
+  const Violation& v = m.violations().front();
+  EXPECT_EQ(v.kind, Kind::kConcurrentRead);
+  EXPECT_EQ(v.cell, 3u);
+  EXPECT_EQ(v.step, 2u);
+  EXPECT_EQ(v.proc_a, 1u);  // the second reader flags against…
+  EXPECT_EQ(v.proc_b, 0u);  // …the first
+}
+
+}  // namespace
+}  // namespace llmp::pram

@@ -1,0 +1,154 @@
+#include "lexer.h"
+
+#include <cctype>
+
+namespace llmp::lint {
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Scan a comment's text for `lint:allow(a,b)` markers.
+void collect_allows(const std::string& comment, int line, LexOutput& out) {
+  const std::string marker = "lint:allow(";
+  std::size_t at = comment.find(marker);
+  while (at != std::string::npos) {
+    std::size_t p = at + marker.size();
+    std::string id;
+    for (; p < comment.size() && comment[p] != ')'; ++p) {
+      const char c = comment[p];
+      if (c == ',') {
+        if (!id.empty()) out.allow[line].insert(id);
+        id.clear();
+      } else if (!std::isspace(static_cast<unsigned char>(c))) {
+        id += c;
+      }
+    }
+    if (!id.empty()) out.allow[line].insert(id);
+    at = comment.find(marker, p);
+  }
+}
+
+}  // namespace
+
+LexOutput lex(const std::string& text) {
+  LexOutput out;
+  const std::size_t n = text.size();
+  std::size_t i = 0;
+  int line = 1;
+  bool at_line_start = true;  // only whitespace seen since the newline
+
+  auto push = [&](Tok kind, std::string t) {
+    out.tokens.push_back(Token{kind, std::move(t), line});
+  };
+
+  while (i < n) {
+    const char c = text[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      at_line_start = true;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Preprocessor directive: skip the logical line (with continuations).
+    if (c == '#' && at_line_start) {
+      while (i < n) {
+        if (text[i] == '\\' && i + 1 < n && text[i + 1] == '\n') {
+          ++line;
+          i += 2;
+          continue;
+        }
+        if (text[i] == '\n') break;
+        ++i;
+      }
+      continue;
+    }
+    at_line_start = false;
+    // Line comment.
+    if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+      std::size_t end = text.find('\n', i);
+      if (end == std::string::npos) end = n;
+      collect_allows(text.substr(i, end - i), line, out);
+      i = end;
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+      const int start_line = line;
+      std::size_t end = text.find("*/", i + 2);
+      if (end == std::string::npos) end = n;
+      const std::string body = text.substr(i, end - i);
+      collect_allows(body, start_line, out);
+      for (char ch : body)
+        if (ch == '\n') ++line;
+      i = end == n ? n : end + 2;
+      continue;
+    }
+    // String / char literal (raw strings handled crudely: R"( ... )").
+    if (c == '"' || c == '\'') {
+      if (c == '"' && i >= 1 && text[i - 1] == 'R') {
+        std::size_t paren = text.find('(', i);
+        std::size_t close = paren == std::string::npos
+                                ? std::string::npos
+                                : text.find(")" + text.substr(i + 1,
+                                                              paren - i - 1) +
+                                                "\"",
+                                            paren);
+        if (close == std::string::npos) close = n;
+        for (std::size_t k = i; k < close && k < n; ++k)
+          if (text[k] == '\n') ++line;
+        push(Tok::kString, "");
+        i = std::min(n, close + 1);
+        continue;
+      }
+      const char quote = c;
+      std::size_t j = i + 1;
+      std::string body;
+      while (j < n && text[j] != quote) {
+        if (text[j] == '\\' && j + 1 < n) {
+          body += text[j];
+          body += text[j + 1];
+          j += 2;
+          continue;
+        }
+        if (text[j] == '\n') ++line;  // unterminated; keep scanning
+        body += text[j];
+        ++j;
+      }
+      push(Tok::kString, body);
+      i = j < n ? j + 1 : n;
+      continue;
+    }
+    if (ident_start(c)) {
+      std::size_t j = i + 1;
+      while (j < n && ident_char(text[j])) ++j;
+      push(Tok::kIdent, text.substr(i, j - i));
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t j = i + 1;
+      while (j < n && (ident_char(text[j]) || text[j] == '.' ||
+                       ((text[j] == '+' || text[j] == '-') &&
+                        (text[j - 1] == 'e' || text[j - 1] == 'E'))))
+        ++j;
+      push(Tok::kNumber, text.substr(i, j - i));
+      i = j;
+      continue;
+    }
+    push(Tok::kPunct, std::string(1, c));
+    ++i;
+  }
+  out.tokens.push_back(Token{Tok::kEnd, "", line});
+  return out;
+}
+
+}  // namespace llmp::lint

@@ -1,0 +1,46 @@
+// Minimal C++ lexer for llmp_lint. No libclang, no regex: a hand-rolled
+// scanner producing just enough structure for the project's rule checks —
+// identifiers, numbers, literals, and single-character punctuation, with
+// comments and preprocessor directives stripped from the token stream.
+// Preprocessor lines (including continuations) are skipped here because the
+// header rules (#pragma once, include order) run on a separate line-based
+// pass; comments are scanned for `// lint:allow(rule-a,rule-b)` suppression
+// markers, which are returned per line.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace llmp::lint {
+
+enum class Tok {
+  kIdent,   // identifiers and keywords
+  kNumber,  // numeric literal (opaque)
+  kString,  // string or char literal (opaque, text excludes quotes)
+  kPunct,   // single punctuation character
+  kEnd,
+};
+
+struct Token {
+  Tok kind;
+  std::string text;
+  int line = 0;
+
+  bool is(const char* t) const { return text == t; }
+  bool ident() const { return kind == Tok::kIdent; }
+};
+
+struct LexOutput {
+  /// Token stream with comments and preprocessor lines removed; always
+  /// terminated by a kEnd token.
+  std::vector<Token> tokens;
+  /// line -> rule ids suppressed on that line via `lint:allow(...)`;
+  /// the id "*" suppresses every rule on the line.
+  std::map<int, std::set<std::string>> allow;
+};
+
+LexOutput lex(const std::string& text);
+
+}  // namespace llmp::lint

@@ -1,0 +1,81 @@
+// llmp_lint — static checker for the project's PRAM step discipline.
+//
+// The dynamic verifier (pram::Machine) proves discipline on the concrete
+// sizes a test happens to run; this linter enforces the *source-level*
+// rules that make those runs representative, over every file in the tree:
+//
+//   step-raw-index        Inside an `exec.step(...)` lambda body, a shared
+//                         vector (one that the body accesses through the
+//                         Mem accessor) is also indexed directly
+//                         (`vec[i]`), bypassing rd/wr tracking.
+//   step-ref-capture      A step lambda explicitly captures a shared
+//                         vector by mutable reference (`[&vec]`) — shared
+//                         state must flow through the accessor instead.
+//   step-read-after-write Within one step body, `m.rd(vec, …)` appears
+//                         after `m.wr(vec, …)` on the same buffer: the
+//                         double-buffer discipline requires a step's reads
+//                         and writes to target distinct buffers (or at
+//                         least read-before-write program order; a read
+//                         nested inside the write expression is fine).
+//   header-pragma-once    A header lacks `#pragma once`, or the pragma
+//                         appears after the first #include.
+//   include-order         Includes break the project order: headers list
+//                         <system> includes then "project" includes, each
+//                         block alphabetically sorted; .cpp files may lead
+//                         with their primary "own" header.
+//   unchecked-index       A function subscripts a std::vector parameter
+//                         without any LLMP_CHECK/LLMP_DCHECK guard in its
+//                         body (src/ only).
+//
+// A finding on a given line can be suppressed with a trailing
+// `// lint:allow(rule-id)` comment (`lint:allow(*)` allows everything).
+// Detection is purely lexical: no macro expansion, no template
+// instantiation — see docs/ANALYSIS.md for the soundness discussion.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace llmp::lint {
+
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+
+  bool operator<(const Finding& o) const {
+    if (file != o.file) return file < o.file;
+    if (line != o.line) return line < o.line;
+    return rule < o.rule;
+  }
+};
+
+struct Options {
+  bool check_steps = true;    // step-raw-index / step-ref-capture / RAW
+  bool check_headers = true;  // header-pragma-once / include-order
+  bool check_guards = true;   // unchecked-index (applied under src/ only)
+};
+
+/// Every rule id the linter can emit, in a stable order.
+const std::vector<std::string>& all_rule_ids();
+
+/// Lint one translation unit given its contents; `path` feeds diagnostics
+/// and selects header-vs-source rule variants.
+std::vector<Finding> lint_source(const std::string& path,
+                                 const std::string& text,
+                                 const Options& opt = {});
+
+/// Lint a file from disk. An unreadable file yields one "io" finding.
+std::vector<Finding> lint_file(const std::string& path,
+                               const Options& opt = {});
+
+/// Recursively lint every .h/.cpp/.cc under each root (files may also be
+/// passed directly). Results are sorted and deterministic.
+std::vector<Finding> lint_tree(const std::vector<std::string>& roots,
+                               const Options& opt = {});
+
+/// "path:line: [rule] message" — the CLI/CI diagnostic form.
+std::string format_finding(const Finding& f);
+
+}  // namespace llmp::lint

@@ -1,0 +1,52 @@
+// llmp_lint CLI. Usage:
+//
+//   llmp_lint [--list-rules] [--no-steps] [--no-headers] [--no-guards]
+//             [path ...]
+//
+// Paths may be files or directories (recursed for .h/.cpp/.cc); with no
+// paths the tool lints src/, bench/, and examples/ relative to the current
+// directory. Exit status is the number of findings capped at 1 — wire it
+// straight into CI.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+int main(int argc, char** argv) {
+  llmp::lint::Options opt;
+  std::vector<std::string> roots;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list-rules") {
+      for (const std::string& id : llmp::lint::all_rule_ids())
+        std::printf("%s\n", id.c_str());
+      return 0;
+    } else if (arg == "--no-steps") {
+      opt.check_steps = false;
+    } else if (arg == "--no-headers") {
+      opt.check_headers = false;
+    } else if (arg == "--no-guards") {
+      opt.check_guards = false;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: llmp_lint [--list-rules] [--no-steps] [--no-headers] "
+          "[--no-guards] [path ...]\n");
+      return 0;
+    } else {
+      roots.push_back(arg);
+    }
+  }
+  if (roots.empty()) roots = {"src", "bench", "examples"};
+
+  const std::vector<llmp::lint::Finding> findings =
+      llmp::lint::lint_tree(roots, opt);
+  for (const llmp::lint::Finding& f : findings)
+    std::printf("%s\n", llmp::lint::format_finding(f).c_str());
+  if (findings.empty()) {
+    std::printf("llmp_lint: clean\n");
+    return 0;
+  }
+  std::printf("llmp_lint: %zu finding(s)\n", findings.size());
+  return 1;
+}

@@ -1,0 +1,103 @@
+// llmp_prove — run every registered algorithm under the trace-recording
+// executor and print the PRAM-legality verdict table.
+//
+//   llmp_prove [--sizes 48,97,160] [--seed 7] [--algo substring]
+//
+// Each algorithm runs once per size on a pseudorandom list; the recorded
+// traces are replayed for Machine-equivalent conflict detection and
+// classified for the symbolic (for-all-n) proof tier. Exit status is
+// nonzero if any algorithm is illegal under its DECLARED model, so the
+// binary doubles as a CI gate. See docs/ANALYSIS.md.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "analysis/algorithms.h"
+#include "analysis/prover.h"
+#include "analysis/symbolic_exec.h"
+#include "list/generators.h"
+#include "pram/machine.h"
+
+namespace {
+
+std::vector<std::size_t> parse_sizes(const std::string& arg) {
+  std::vector<std::size_t> sizes;
+  std::size_t pos = 0;
+  while (pos < arg.size()) {
+    std::size_t next = arg.find(',', pos);
+    if (next == std::string::npos) next = arg.size();
+    sizes.push_back(
+        static_cast<std::size_t>(std::stoull(arg.substr(pos, next - pos))));
+    pos = next + 1;
+  }
+  return sizes;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::size_t> sizes = {48, 97, 160};
+  std::uint64_t seed = 7;
+  std::string filter;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "llmp_prove: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--sizes") {
+      sizes = parse_sizes(value());
+    } else if (arg == "--seed") {
+      seed = std::stoull(value());
+    } else if (arg == "--algo") {
+      filter = value();
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: llmp_prove [--sizes n1,n2,...] [--seed s] "
+          "[--algo substring]\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "llmp_prove: unknown argument %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (sizes.empty()) {
+    std::fprintf(stderr, "llmp_prove: --sizes must name at least one n\n");
+    return 2;
+  }
+
+  using namespace llmp;
+  std::vector<analysis::AlgoReport> reports;
+  bool all_declared_legal = true;
+  for (const analysis::AlgoSpec& spec : analysis::algorithm_registry()) {
+    if (!filter.empty() && spec.name.find(filter) == std::string::npos)
+      continue;
+    analysis::AlgoReport report;
+    report.name = spec.name;
+    report.declared = pram::to_string(spec.declared);
+    for (std::size_t n : sizes) {
+      const list::LinkedList list = list::generators::random_list(n, seed);
+      analysis::SymbolicExec exec(n);
+      spec.run_symbolic(exec, list);
+      report.runs.push_back(
+          analysis::analyze_run(exec.take_trace(), n));
+    }
+    report.verdicts = analysis::combine_runs(report.runs);
+    const analysis::ModeVerdict& declared_verdict =
+        spec.declared == pram::Mode::kEREW ? report.verdicts.erew
+        : spec.declared == pram::Mode::kCREW
+            ? report.verdicts.crew
+            : report.verdicts.common;
+    report.declared_legal = declared_verdict.legal;
+    all_declared_legal &= report.declared_legal;
+    reports.push_back(std::move(report));
+  }
+
+  std::fputs(analysis::format_table(reports).c_str(), stdout);
+  return all_declared_legal ? 0 : 1;
+}
