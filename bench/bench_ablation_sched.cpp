@@ -77,9 +77,9 @@ core::MatchResult match4_with_global_sort(Exec& exec,
   return r;
 }
 
-void run_tables() {
-  const std::size_t n = std::size_t{1} << 20;
-  const int i = 3;
+void run_tables(const bench::BenchArgs& args) {
+  const std::size_t n = args.n_or(std::size_t{1} << 20);
+  const int i = args.i_or(3);
   const auto lst = list::generators::random_list(n, 29);
 
   std::cout << "E13 — scheduler ablation at n = " << bench::pow2(n)
@@ -134,7 +134,8 @@ BENCHMARK(BM_AblationArms)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  run_tables();
+  const llmp::bench::BenchArgs args = llmp::bench::parse_bench_args(argc, argv);
+  run_tables(args);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -20,7 +20,7 @@ namespace {
 
 using namespace llmp;
 
-void run_tables() {
+void run_tables(const bench::BenchArgs& /*args*/) {
   std::cout << "E11 — appendix preprocessing machinery\n";
 
   std::cout << "\n(a) unary->binary conversion tables\n";
@@ -137,7 +137,8 @@ BENCHMARK(BM_TableBuild_3x4)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  run_tables();
+  const llmp::bench::BenchArgs args = llmp::bench::parse_bench_args(argc, argv);
+  run_tables(args);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -18,17 +18,18 @@ namespace {
 
 using namespace llmp;
 
-void run_tables() {
+void run_tables(const bench::BenchArgs& args) {
+  const std::size_t p = args.p_or(256);
   std::cout << "E12 — applications: 3-coloring, MIS, list ranking\n";
 
-  std::cout << "\n(a) coloring & MIS cost over n (p = 256)\n";
+  std::cout << "\n(a) coloring & MIS cost over n (p = " << p << ")\n";
   {
     fmt::Table t({"n", "3-coloring time_p", "coloring rounds",
                   "MIS time_p", "MIS size / n"});
     for (int e = 12; e <= 20; e += 2) {
       const std::size_t n = std::size_t{1} << e;
       const auto lst = list::generators::random_list(n, e * 3);
-      pram::SeqExec ec(256), em(256);
+      pram::SeqExec ec(p), em(p);
       const auto col = apps::three_coloring(ec, lst);
       apps::check_coloring(lst, col.colors, 3);
       const auto mis = apps::independent_set(em, lst);
@@ -143,7 +144,8 @@ BENCHMARK(BM_WyllieRanking)->Arg(1 << 16)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  run_tables();
+  const llmp::bench::BenchArgs args = llmp::bench::parse_bench_args(argc, argv);
+  run_tables(args);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -53,9 +53,13 @@ void crossing_histogram(const list::LinkedList& lst, const char* shape) {
   t.print();
 }
 
-void run_tables() {
+void run_tables(const bench::BenchArgs& args) {
   std::cout << "E1 — bisecting-line crossing histograms (Fig. 1/Fig. 2)\n";
-  for (std::size_t n : {std::size_t{1} << 12, std::size_t{1} << 18}) {
+  const std::vector<std::size_t> sizes =
+      args.n != 0 ? std::vector<std::size_t>{args.n}
+                  : std::vector<std::size_t>{std::size_t{1} << 12,
+                                             std::size_t{1} << 18};
+  for (std::size_t n : sizes) {
     crossing_histogram(list::generators::random_list(n, 1), "random");
     crossing_histogram(list::generators::identity_list(n), "identity");
     crossing_histogram(list::generators::reverse_list(n), "reverse");
@@ -82,7 +86,8 @@ BENCHMARK(BM_PartitionValue)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  run_tables();
+  const llmp::bench::BenchArgs args = llmp::bench::parse_bench_args(argc, argv);
+  run_tables(args);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -11,6 +11,8 @@
 
 #include <chrono>
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 
 #include "list/generators.h"
@@ -19,6 +21,59 @@
 #include "support/itlog.h"
 
 namespace llmp::bench {
+
+/// Harness-wide command-line overrides, shared by all bench binaries:
+///
+///   --n N     principal problem size (0 = keep the binary's default)
+///   --p P     principal processor count
+///   --i I     Match4's i parameter / iteration count
+///   --csv     render every fmt::Table as CSV for scripting sweeps
+///
+/// parse_bench_args() STRIPS these from argv before the remaining flags
+/// reach benchmark::Initialize (which exits on flags it doesn't know).
+struct BenchArgs {
+  std::size_t n = 0;
+  std::size_t p = 0;
+  int i = 0;
+  bool csv = false;
+
+  std::size_t n_or(std::size_t dflt) const { return n != 0 ? n : dflt; }
+  std::size_t p_or(std::size_t dflt) const { return p != 0 ? p : dflt; }
+  int i_or(int dflt) const { return i != 0 ? i : dflt; }
+};
+
+/// Parse and remove the harness flags from (argc, argv). Accepts both
+/// "--n 65536" and "--n=65536". Switches fmt tables to CSV under --csv.
+inline BenchArgs parse_bench_args(int& argc, char** argv) {
+  BenchArgs args;
+  int out = 1;
+  for (int in = 1; in < argc; ++in) {
+    const char* arg = argv[in];
+    auto value = [&](const char* name) -> const char* {
+      const std::size_t len = std::strlen(name);
+      if (std::strncmp(arg, name, len) != 0) return nullptr;
+      if (arg[len] == '=') return arg + len + 1;
+      if (arg[len] == '\0' && in + 1 < argc) return argv[++in];
+      return nullptr;
+    };
+    if (std::strcmp(arg, "--csv") == 0) {
+      args.csv = true;
+    } else if (const char* v = value("--n")) {
+      args.n = static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+    } else if (const char* v = value("--p")) {
+      args.p = static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+    } else if (const char* v = value("--i")) {
+      args.i = static_cast<int>(std::strtol(v, nullptr, 10));
+    } else {
+      argv[out++] = argv[in];
+      continue;
+    }
+  }
+  argc = out;
+  argv[argc] = nullptr;
+  if (args.csv) fmt::set_table_style(fmt::TableStyle::kCsv);
+  return args;
+}
 
 /// Measured/formula ratio rendered with the measurement, e.g. "4128 (1.01·f)".
 inline std::string vs_formula(std::uint64_t measured, double formula) {

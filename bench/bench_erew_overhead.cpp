@@ -17,19 +17,21 @@ namespace {
 
 using namespace llmp;
 
-void run_tables() {
+void run_tables(const bench::BenchArgs& args) {
   std::cout << "EREW overhead — exclusive-read variants vs CREW\n";
 
-  std::cout << "\n(a) algorithm cost at n = 2^18, p = 4096 (both variants "
+  const std::size_t p = args.p_or(4096);
+  std::cout << "\n(a) algorithm cost at n = " << bench::pow2(args.n_or(std::size_t{1} << 18))
+            << ", p = " << p << " (both variants "
                "verified maximal;\n    EREW additionally machine-checked "
                "in tests/erew_test.cpp)\n";
   {
-    const std::size_t n = std::size_t{1} << 18;
+    const std::size_t n = args.n_or(std::size_t{1} << 18);
     const auto lst = list::generators::random_list(n, 31);
     fmt::Table t({"algorithm", "CREW depth", "EREW depth", "CREW time_p",
                   "EREW time_p", "time ratio"});
     auto row = [&](const char* name, auto run_crew, auto run_erew) {
-      pram::SeqExec a(4096), b(4096);
+      pram::SeqExec a(p), b(p);
       const auto rc = run_crew(a);
       const auto re = run_erew(b);
       core::verify::check_maximal(lst, rc.in_matching);
@@ -109,7 +111,8 @@ BENCHMARK(BM_Match4Erew)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  run_tables();
+  const llmp::bench::BenchArgs args = llmp::bench::parse_bench_args(argc, argv);
+  run_tables(args);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

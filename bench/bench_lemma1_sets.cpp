@@ -20,7 +20,7 @@ std::size_t sets_after_one_round(const list::LinkedList& lst,
   return core::distinct_labels(out);
 }
 
-void run_tables() {
+void run_tables(const bench::BenchArgs& /*args*/) {
   std::cout << "E2 — Lemma 1: distinct matching sets after one f\n\n";
   fmt::Table t({"n", "bound 2*log n", "random MSB", "random LSB",
                 "identity MSB", "reverse MSB", "strided MSB"});
@@ -67,7 +67,8 @@ BENCHMARK(BM_OneRelabelRound)->Arg(1 << 16)->Arg(1 << 20)
 }  // namespace
 
 int main(int argc, char** argv) {
-  run_tables();
+  const llmp::bench::BenchArgs args = llmp::bench::parse_bench_args(argc, argv);
+  run_tables(args);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

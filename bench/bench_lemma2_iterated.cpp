@@ -37,7 +37,7 @@ void sweep_for_n(std::size_t n) {
   t.print();
 }
 
-void run_tables() {
+void run_tables(const bench::BenchArgs& /*args*/) {
   std::cout << "E3 — Lemma 2: iterated matching partition set counts\n";
   for (int e : {12, 16, 20, 22}) sweep_for_n(std::size_t{1} << e);
   std::cout << "\nMeasured sets track 2*log^(k) n (the paper indexes the "
@@ -64,7 +64,8 @@ BENCHMARK(BM_ReduceToConstant)->Arg(1 << 16)->Arg(1 << 20)
 }  // namespace
 
 int main(int argc, char** argv) {
-  run_tables();
+  const llmp::bench::BenchArgs args = llmp::bench::parse_bench_args(argc, argv);
+  run_tables(args);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

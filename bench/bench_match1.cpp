@@ -29,28 +29,30 @@ double formula(std::size_t n, std::size_t p) {
   return static_cast<double>(n) * g / static_cast<double>(p) + g;
 }
 
-void run_tables() {
+void run_tables(const bench::BenchArgs& args) {
+  const std::size_t p0 = args.p_or(256);
   std::cout << "E4 — Match1: time_p vs O(n*G(n)/p + G(n))\n";
 
-  std::cout << "\n(a) n sweep at p = 256\n";
+  std::cout << "\n(a) n sweep at p = " << p0 << "\n";
   {
     fmt::Table t({"n", "G(n)", "time_p", "formula fit"});
     double c = 0;
     for (int e = 12; e <= 22; e += 2) {
       const std::size_t n = std::size_t{1} << e;
-      const std::uint64_t tp = run_match1(n, 256);
-      if (c == 0) c = static_cast<double>(tp) / formula(n, 256);
+      const std::uint64_t tp = run_match1(n, p0);
+      if (c == 0) c = static_cast<double>(tp) / formula(n, p0);
       t.add_row({bench::pow2(n), fmt::num(itlog::G(n)), fmt::num(tp),
-                 bench::vs_formula(tp, c * formula(n, 256))});
+                 bench::vs_formula(tp, c * formula(n, p0))});
     }
     t.print();
   }
 
-  std::cout << "\n(b) p sweep at n = 2^20 (speedup should be ~p until "
-               "p ~ n)\n";
+  const std::size_t nb = args.n_or(std::size_t{1} << 20);
+  std::cout << "\n(b) p sweep at n = " << bench::pow2(nb)
+            << " (speedup should be ~p until p ~ n)\n";
   {
     fmt::Table t({"p", "time_p", "speedup vs p=1", "efficiency p*T/T1"});
-    const std::size_t n = std::size_t{1} << 20;
+    const std::size_t n = nb;
     const std::uint64_t t1 = run_match1(n, 1);
     const double seq = static_cast<double>(
         core::sequential_matching(list::generators::random_list(n, 1))
@@ -83,7 +85,8 @@ BENCHMARK(BM_Match1)->Arg(1 << 16)->Arg(1 << 20)
 }  // namespace
 
 int main(int argc, char** argv) {
-  run_tables();
+  const llmp::bench::BenchArgs args = llmp::bench::parse_bench_args(argc, argv);
+  run_tables(args);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -20,17 +20,19 @@ core::MatchResult run_match2(std::size_t n, std::size_t p) {
   return r;
 }
 
-void run_tables() {
+void run_tables(const bench::BenchArgs& args) {
+  const std::size_t p0 = args.p_or(256);
   std::cout << "E5 — Match2: time_p vs O(n/p + log n), phase breakdown\n";
 
-  std::cout << "\n(a) n sweep at p = 256\n";
+  std::cout << "\n(a) n sweep at p = " << p0 << "\n";
   {
     fmt::Table t({"n", "sets R", "time_p", "formula fit c*(n/p + log n)"});
     double c = 0;
     for (int e = 12; e <= 22; e += 2) {
       const std::size_t n = std::size_t{1} << e;
-      const auto r = run_match2(n, 256);
-      const double f = static_cast<double>(n) / 256 + itlog::ceil_log2(n);
+      const auto r = run_match2(n, p0);
+      const double f =
+          static_cast<double>(n) / p0 + itlog::ceil_log2(n);
       if (c == 0) c = static_cast<double>(r.cost.time_p) / f;
       t.add_row({bench::pow2(n), fmt::num(r.partition_sets),
                  fmt::num(r.cost.time_p),
@@ -39,12 +41,13 @@ void run_tables() {
     t.print();
   }
 
-  std::cout << "\n(b) phase breakdown, n = 2^20: the sort term stops "
-               "scaling once p is large\n";
+  const std::size_t nb = args.n_or(std::size_t{1} << 20);
+  std::cout << "\n(b) phase breakdown, n = " << bench::pow2(nb)
+            << ": the sort term stops scaling once p is large\n";
   {
     fmt::Table t({"p", "partition", "sort", "sweep", "total time_p",
                   "sort share"});
-    const std::size_t n = std::size_t{1} << 20;
+    const std::size_t n = nb;
     for (std::size_t p = 64; p <= (std::size_t{1} << 20); p <<= 4) {
       const auto r = run_match2(n, p);
       const auto part = pram::phase_cost(r.phases, "partition").time_p;
@@ -77,7 +80,8 @@ BENCHMARK(BM_Match2)->Arg(1 << 16)->Arg(1 << 20)
 }  // namespace
 
 int main(int argc, char** argv) {
-  run_tables();
+  const llmp::bench::BenchArgs args = llmp::bench::parse_bench_args(argc, argv);
+  run_tables(args);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -13,16 +13,18 @@ namespace {
 
 using namespace llmp;
 
-void run_tables() {
+void run_tables(const bench::BenchArgs& args) {
   std::cout << "E6 — Match3: crunch/table trade-off and "
                "O(n*logG(n)/p + logG(n)) scaling\n";
 
-  std::cout << "\n(a) the adjustable parameter k at n = 2^20 "
-               "(log G(n) = " << itlog::log_G(1 << 20) << ")\n";
+  const std::size_t na = args.n_or(std::size_t{1} << 20);
+  const std::size_t pa = args.p_or(4096);
+  std::cout << "\n(a) the adjustable parameter k at n = " << bench::pow2(na)
+            << " (log G(n) = " << itlog::log_G(na) << ")\n";
   {
     fmt::Table t({"crunch k", "gather rounds", "table cells", "depth",
-                  "time_p (p=4096)", "sets"});
-    const std::size_t n = std::size_t{1} << 20;
+                  "time_p (p=" + std::to_string(pa) + ")", "sets"});
+    const std::size_t n = na;
     const auto lst = list::generators::random_list(n, 21);
     for (int k = 1; k <= core::rounds_to_constant(n); ++k) {
       core::Match3Options opt;
@@ -33,7 +35,7 @@ void run_tables() {
         t.add_row({fmt::num(k), "-", "table too large", "-", "-", "-"});
         continue;
       }
-      pram::SeqExec exec(4096);
+      pram::SeqExec exec(pa);
       const auto r = core::match3(exec, lst, opt);
       core::verify::check_maximal(lst, r.in_matching);
       t.add_row({fmt::num(k), fmt::num(r.gather_rounds),
@@ -86,7 +88,8 @@ BENCHMARK(BM_Match3)->Arg(1 << 16)->Arg(1 << 20)
 }  // namespace
 
 int main(int argc, char** argv) {
-  run_tables();
+  const llmp::bench::BenchArgs args = llmp::bench::parse_bench_args(argc, argv);
+  run_tables(args);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -26,14 +26,16 @@ std::uint64_t run_match4(const list::LinkedList& lst, std::size_t p, int i) {
   return r.cost.time_p;
 }
 
-void run_tables() {
-  const std::size_t n = std::size_t{1} << 20;
+void run_tables(const bench::BenchArgs& args) {
+  const std::size_t n = args.n_or(std::size_t{1} << 20);
   const auto lst = list::generators::random_list(n, 17);
   const double t1 = static_cast<double>(n);  // sequential walk
 
   std::cout << "E9 — Theorem 1: Match4 optimality window (n = "
             << bench::pow2(n) << ", T1 = n)\n";
-  for (int i : {1, 2, 3}) {
+  const std::vector<int> i_values =
+      args.i != 0 ? std::vector<int>{args.i} : std::vector<int>{1, 2, 3};
+  for (int i : i_values) {
     const label_t x = core::bound_after_rounds(n, i);
     const std::size_t knee = n / static_cast<std::size_t>(x);
     std::cout << "\n  i = " << i << ": rows x = " << x
@@ -70,7 +72,8 @@ BENCHMARK(BM_Match4)->Arg(1 << 16)->Arg(1 << 20)
 }  // namespace
 
 int main(int argc, char** argv) {
-  run_tables();
+  const llmp::bench::BenchArgs args = llmp::bench::parse_bench_args(argc, argv);
+  run_tables(args);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -28,8 +28,8 @@ std::uint64_t time_of(core::Algorithm alg, const list::LinkedList& lst,
   return r.cost.time_p;
 }
 
-void run_tables() {
-  const std::size_t n = std::size_t{1} << 20;
+void run_tables(const bench::BenchArgs& args) {
+  const std::size_t n = args.n_or(std::size_t{1} << 20);
   const auto lst = list::generators::random_list(n, 23);
 
   std::cout << "E10 — Theorem 2: time_p curve over (p, i), n = "
@@ -113,7 +113,8 @@ BENCHMARK(BM_Match4Table)->Arg(1 << 18)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  run_tables();
+  const llmp::bench::BenchArgs args = llmp::bench::parse_bench_args(argc, argv);
+  run_tables(args);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -76,9 +76,9 @@ Audited audit(const list::LinkedList& lst, int rounds, std::size_t p) {
   return a;
 }
 
-void run_tables() {
+void run_tables(const bench::BenchArgs& args) {
   std::cout << "E7/E8 — WalkDown schedules (Lemmas 6-7, Corollaries 1-2)\n";
-  const std::size_t n = std::size_t{1} << 18;
+  const std::size_t n = args.n_or(std::size_t{1} << 18);
 
   std::cout << "\n(a) row-count sweep (random list, n = " << bench::pow2(n)
             << ", p = y = n/x)\n";
@@ -136,7 +136,8 @@ BENCHMARK(BM_WalkDownSchedule)->Arg(1 << 16)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  run_tables();
+  const llmp::bench::BenchArgs args = llmp::bench::parse_bench_args(argc, argv);
+  run_tables(args);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

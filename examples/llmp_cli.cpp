@@ -6,7 +6,11 @@
 //   llmp_cli rank  --n 100000 --p 1024
 //   llmp_cli color --n 4096 --shape strided
 //   llmp_cli tree  --n 65536 --seed 7
+//   llmp_cli list                    # registry: names, models, time bounds
 //
+// Algorithm names resolve through the single registry (core/registry.h),
+// so `--alg match4-table` or `--alg match1-erew` picks up that entry's
+// canonical options; bare flags (--i, --table, --erew) override on top.
 // (Built as example_llmp_cli.)
 #include <cstdlib>
 #include <iostream>
@@ -16,10 +20,12 @@
 #include "apps/euler_tour.h"
 #include "apps/independent_set.h"
 #include "apps/list_ranking.h"
+#include "apps/register.h"
 #include "apps/three_coloring.h"
 #include "core/maximal_matching.h"
 #include "core/verify.h"
 #include "list/generators.h"
+#include "pram/context.h"
 #include "pram/executor.h"
 #include "support/format.h"
 
@@ -71,14 +77,19 @@ list::LinkedList make_list(const Args& a) {
   return list::generators::random_list(n, seed);
 }
 
-core::Algorithm parse_alg(const std::string& s) {
-  if (s == "seq" || s == "sequential") return core::Algorithm::kSequential;
-  if (s == "match1") return core::Algorithm::kMatch1;
-  if (s == "match2") return core::Algorithm::kMatch2;
-  if (s == "match3") return core::Algorithm::kMatch3;
-  if (s == "random" || s == "randomized")
-    return core::Algorithm::kRandomized;
-  return core::Algorithm::kMatch4;
+/// Resolve an --alg value to the registry entry's canonical MatchOptions.
+/// Accepts any registered matching name ("match4-table", "match1-erew", …)
+/// plus the historical aliases seq/random.
+bool resolve_alg(const std::string& s, core::MatchOptions& opt) {
+  apps::register_algorithms();
+  const auto& reg = core::AlgorithmRegistry::instance();
+  std::string name = s;
+  if (s == "seq") name = "sequential";
+  if (s == "random") name = "randomized";
+  const core::AlgorithmEntry* entry = reg.find(name);
+  if (entry == nullptr || !entry->matching) return false;
+  opt = entry->canonical;
+  return true;
 }
 
 void emit(const Args& a, const std::string& what,
@@ -101,40 +112,26 @@ void emit(const Args& a, const std::string& what,
 int cmd_match(const Args& a) {
   const auto lst = make_list(a);
   pram::SeqExec exec(static_cast<std::size_t>(a.num("p", 1024)));
+  pram::Context ctx(exec);
   core::MatchOptions opt;
-  opt.algorithm = parse_alg(a.str("alg", "match4"));
-  opt.i_parameter = static_cast<int>(a.num("i", 3));
-  opt.partition_with_table = a.flag("table");
-  opt.seed = a.num("seed", 42);
-  core::MatchResult r;
-  if (a.flag("erew")) {
-    switch (opt.algorithm) {
-      case core::Algorithm::kMatch1: {
-        core::Match1Options o;
-        o.erew = true;
-        r = core::match1(exec, lst, o);
-        break;
-      }
-      case core::Algorithm::kMatch2: {
-        core::Match2Options o;
-        o.erew = true;
-        r = core::match2(exec, lst, o);
-        break;
-      }
-      case core::Algorithm::kMatch4: {
-        core::Match4Options o;
-        o.erew = true;
-        o.i_parameter = opt.i_parameter;
-        r = core::match4(exec, lst, o);
-        break;
-      }
-      default:
-        std::cerr << "--erew supports match1/match2/match4\n";
-        return 2;
-    }
-  } else {
-    r = core::maximal_matching(exec, lst, opt);
+  if (!resolve_alg(a.str("alg", "match4"), opt)) {
+    std::cerr << "unknown algorithm " << a.str("alg", "match4")
+              << " (see `llmp_cli list`)\n";
+    return 2;
   }
+  opt.i_parameter = static_cast<int>(a.num("i", opt.i_parameter));
+  opt.partition_with_table = opt.partition_with_table || a.flag("table");
+  opt.seed = a.num("seed", 42);
+  if (a.flag("erew")) {
+    if (opt.algorithm != core::Algorithm::kMatch1 &&
+        opt.algorithm != core::Algorithm::kMatch2 &&
+        opt.algorithm != core::Algorithm::kMatch4) {
+      std::cerr << "--erew supports match1/match2/match4\n";
+      return 2;
+    }
+    opt.erew = true;
+  }
+  const core::MatchResult r = core::maximal_matching(ctx, lst, opt);
   core::verify::check_matching(lst, r.in_matching);
   core::verify::check_maximal(lst, r.in_matching);
   emit(a, "match",
@@ -199,14 +196,25 @@ int cmd_tree(const Args& a) {
   return 0;
 }
 
+int cmd_list() {
+  apps::register_algorithms();
+  fmt::Table t({"name", "model", "time bound"});
+  for (const core::AlgorithmEntry* e :
+       core::AlgorithmRegistry::instance().entries())
+    t.add_row({e->name, pram::to_string(e->declared), e->formula});
+  t.print();
+  return 0;
+}
+
 void usage() {
   std::cout <<
-      "usage: llmp_cli <match|rank|color|tree> [options]\n"
+      "usage: llmp_cli <match|rank|color|tree|list> [options]\n"
       "  common: --n N --p P --seed S --shape "
       "random|identity|reverse|strided|blocked --json\n"
-      "  match:  --alg seq|match1|match2|match3|match4|random --i I "
-      "--table --erew\n"
-      "  rank:   --alg contraction|wyllie\n";
+      "  match:  --alg seq|match1|match2|match3|match4|random|<registry "
+      "name> --i I --table --erew\n"
+      "  rank:   --alg contraction|wyllie\n"
+      "  list:   print the algorithm registry (names, models, bounds)\n";
 }
 
 }  // namespace
@@ -217,6 +225,7 @@ int main(int argc, char** argv) {
   if (a.command == "rank") return cmd_rank(a);
   if (a.command == "color") return cmd_color(a);
   if (a.command == "tree") return cmd_tree(a);
+  if (a.command == "list") return cmd_list();
   usage();
   return a.command.empty() ? 0 : 2;
 }

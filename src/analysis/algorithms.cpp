@@ -1,154 +1,15 @@
 #include "analysis/algorithms.h"
 
-#include <cstdint>
-#include <utility>
-#include <vector>
-
-#include "apps/independent_set.h"
-#include "apps/list_prefix.h"
-#include "apps/list_ranking.h"
-#include "apps/three_coloring.h"
-#include "core/match1.h"
-#include "core/match2.h"
-#include "core/match3.h"
-#include "core/match4.h"
-#include "core/match_result.h"
-#include "core/partition_fn.h"
-#include "core/walkdown.h"
-#include "support/types.h"
+#include "apps/register.h"
 
 namespace llmp::analysis {
 
-namespace {
-
-template <class Fn>
-AlgoSpec spec(std::string name, pram::Mode declared, Fn fn) {
-  AlgoSpec s;
-  s.name = std::move(name);
-  s.declared = declared;
-  s.run_symbolic = [fn](SymbolicExec& exec, const list::LinkedList& list) {
-    fn(exec, list);
-  };
-  s.run_machine = [fn](pram::Machine& exec, const list::LinkedList& list) {
-    fn(exec, list);
-  };
-  return s;
-}
-
-/// The bare WalkDown schedule on a completed partition: reduce labels to
-/// the fixed point, lay the list out in a kFixedPointBound × ceil(n/x)
-/// grid, then run WalkDown1 (inter-row pointers) and WalkDown2 (intra-row
-/// walk). Mirrors match4's steps 2–4 without the final cut.
-template <class Exec>
-void walkdown_schedule(Exec& exec, const list::LinkedList& list, bool erew) {
-  const std::size_t n = list.size();
-  auto pred = core::parallel_predecessors(exec, list);
-  std::vector<label_t> labels;
-  core::init_address_labels(exec, n, labels);
-  if (erew)
-    core::reduce_to_constant_erew(exec, list, pred, labels,
-                                  core::BitRule::kMostSignificant);
-  else
-    core::reduce_to_constant(exec, list, labels,
-                             core::BitRule::kMostSignificant);
-  std::vector<index_t> keys(n);
-  exec.step(n, [&](std::size_t v, auto&& m) {
-    m.wr(keys, v, static_cast<index_t>(m.rd(labels, v)));
-  });
-  core::Layout2D lay = core::build_layout(
-      exec, n, keys, static_cast<std::size_t>(core::kFixedPointBound));
-  std::vector<std::uint8_t> color(n);
-  exec.step(n, [&](std::size_t v, auto&& m) {
-    m.wr(color, v, core::kNoColor);
-  });
-  if (erew) {
-    core::ErewWalkState st =
-        core::make_erew_walk_state(exec, list, lay, pred);
-    core::walkdown1_erew(exec, list, lay, pred, st, color);
-    core::walkdown2_erew(exec, list, lay, pred, st, color);
-  } else {
-    core::walkdown1(exec, list, lay, pred, color);
-    core::walkdown2(exec, list, lay, pred, color);
-  }
-}
-
-}  // namespace
-
-const std::vector<AlgoSpec>& algorithm_registry() {
-  static const std::vector<AlgoSpec> kRegistry = [] {
-    std::vector<AlgoSpec> r;
-    r.push_back(spec("match1", pram::Mode::kCREW,
-                     [](auto& exec, const list::LinkedList& list) {
-                       core::match1(exec, list);
-                     }));
-    r.push_back(spec("match1-erew", pram::Mode::kEREW,
-                     [](auto& exec, const list::LinkedList& list) {
-                       core::Match1Options opt;
-                       opt.erew = true;
-                       core::match1(exec, list, opt);
-                     }));
-    r.push_back(spec("match2", pram::Mode::kCREW,
-                     [](auto& exec, const list::LinkedList& list) {
-                       core::match2(exec, list);
-                     }));
-    r.push_back(spec("match2-erew", pram::Mode::kEREW,
-                     [](auto& exec, const list::LinkedList& list) {
-                       core::Match2Options opt;
-                       opt.erew = true;
-                       core::match2(exec, list, opt);
-                     }));
-    r.push_back(spec("match3", pram::Mode::kCREW,
-                     [](auto& exec, const list::LinkedList& list) {
-                       core::match3(exec, list);
-                     }));
-    r.push_back(spec("match4", pram::Mode::kCREW,
-                     [](auto& exec, const list::LinkedList& list) {
-                       core::match4(exec, list);
-                     }));
-    r.push_back(spec("match4-table", pram::Mode::kCREW,
-                     [](auto& exec, const list::LinkedList& list) {
-                       core::Match4Options opt;
-                       opt.partition_with_table = true;
-                       core::match4(exec, list, opt);
-                     }));
-    r.push_back(spec("match4-erew", pram::Mode::kEREW,
-                     [](auto& exec, const list::LinkedList& list) {
-                       core::Match4Options opt;
-                       opt.erew = true;
-                       core::match4(exec, list, opt);
-                     }));
-    r.push_back(spec("walkdown1+2", pram::Mode::kCREW,
-                     [](auto& exec, const list::LinkedList& list) {
-                       walkdown_schedule(exec, list, /*erew=*/false);
-                     }));
-    r.push_back(spec("walkdown-erew", pram::Mode::kEREW,
-                     [](auto& exec, const list::LinkedList& list) {
-                       walkdown_schedule(exec, list, /*erew=*/true);
-                     }));
-    r.push_back(spec("three-coloring", pram::Mode::kCREW,
-                     [](auto& exec, const list::LinkedList& list) {
-                       apps::three_coloring(exec, list);
-                     }));
-    r.push_back(spec("independent-set", pram::Mode::kCREW,
-                     [](auto& exec, const list::LinkedList& list) {
-                       apps::independent_set(exec, list);
-                     }));
-    r.push_back(spec("wyllie-ranking", pram::Mode::kCREW,
-                     [](auto& exec, const list::LinkedList& list) {
-                       apps::wyllie_ranking(exec, list);
-                     }));
-    r.push_back(spec("contract-ranking", pram::Mode::kCREW,
-                     [](auto& exec, const list::LinkedList& list) {
-                       apps::contraction_ranking(exec, list);
-                     }));
-    r.push_back(spec("list-prefix", pram::Mode::kCREW,
-                     [](auto& exec, const list::LinkedList& list) {
-                       std::vector<std::uint64_t> ones(list.size(), 1);
-                       apps::list_prefix<apps::SumMonoid>(exec, list, ones);
-                     }));
-    return r;
+const std::vector<const core::AlgorithmEntry*>& algorithm_registry() {
+  static const std::vector<const core::AlgorithmEntry*> kRows = [] {
+    apps::register_algorithms();
+    return core::AlgorithmRegistry::instance().prover_entries();
   }();
-  return kRegistry;
+  return kRows;
 }
 
 }  // namespace llmp::analysis

@@ -1,34 +1,25 @@
-// Registry of the algorithms the prover covers.
+// The prover's view of the single algorithm registry.
 //
-// Each AlgoSpec wraps one algorithm template as two type-erased runners
-// instantiated from the SAME generic lambda: one over analysis::
-// SymbolicExec (records the trace the prover analyzes) and one over
-// pram::Machine (the dynamic checker the prover's replay must agree
-// with — asserted in tests/analysis_test.cpp). `declared` is the PRAM
-// variant the algorithm is designed for; llmp_prove exits nonzero if any
-// algorithm is illegal under its declared model.
+// Historically analysis/ kept its own AlgoSpec table; that table and the
+// Algorithm switch in core/ have been collapsed into the one
+// core::AlgorithmRegistry (core/registry.h). This header is the thin glue
+// the prover and its tests use: it guarantees the apps entries are
+// registered (core cannot register them itself) and returns the
+// prover-swept rows in report order. Each entry's type-erased runner
+// executes on a pram::Context over any of the four backends — llmp_prove
+// drives the SymbolicExec and Machine instantiations.
 #pragma once
 
-#include <functional>
-#include <string>
 #include <vector>
 
-#include "analysis/symbolic_exec.h"
-#include "list/linked_list.h"
-#include "pram/machine.h"
+#include "core/registry.h"
 
 namespace llmp::analysis {
 
-struct AlgoSpec {
-  std::string name;
-  pram::Mode declared;
-  std::function<void(SymbolicExec&, const list::LinkedList&)> run_symbolic;
-  std::function<void(pram::Machine&, const list::LinkedList&)> run_machine;
-};
-
-/// All registered algorithms: Match1–Match4 (plus their EREW and lookup-
-/// table variants), the bare WalkDown1/2 schedule, and the apps built on
-/// matching (3-coloring, independent set, ranking, prefix).
-const std::vector<AlgoSpec>& algorithm_registry();
+/// All prover-swept algorithms in fixed report order: Match1–Match4 (plus
+/// their EREW and lookup-table variants), the bare WalkDown1/2 schedule,
+/// and the apps built on matching (3-coloring, independent set, ranking,
+/// prefix). Ensures apps::register_algorithms() has run.
+const std::vector<const core::AlgorithmEntry*>& algorithm_registry();
 
 }  // namespace llmp::analysis

@@ -37,9 +37,16 @@
 #include <vector>
 
 #include "analysis/footprint.h"
-#include "analysis/trace.h"
+#include "pram/trace.h"
 
 namespace llmp::analysis {
+
+// Traces are recorded by the pram layer (pram::SymbolicExec, one of the
+// four Context backends); the analysis layer consumes them. Aliased here
+// so the prover's vocabulary stays analysis::Trace etc.
+using pram::Access;
+using pram::StepTrace;
+using pram::Trace;
 
 /// Machine-equivalent conflict flags for one step (concrete, per run).
 struct StepReplay {

@@ -22,6 +22,7 @@
 
 #include "apps/list_prefix.h"
 #include "list/linked_list.h"
+#include "pram/arena.h"
 #include "support/check.h"
 #include "support/rng.h"
 #include "support/types.h"
@@ -90,7 +91,8 @@ TreeStats tree_statistics(Exec& exec, const Tree& tree,
   const std::size_t m = tour.arcs.size();
   LLMP_CHECK(m < (std::size_t{1} << 31));  // both fields fit 32 bits
 
-  std::vector<std::uint64_t> packed(m);
+  auto packed_h = pram::scratch<std::uint64_t>(exec, m);
+  std::vector<std::uint64_t>& packed = *packed_h;
   exec.step(m, [&](std::size_t a, auto&& mm) {
     mm.wr(packed, a,
           (std::uint64_t{1} << 32) |

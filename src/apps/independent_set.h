@@ -14,6 +14,7 @@
 
 #include "apps/three_coloring.h"
 #include "list/linked_list.h"
+#include "pram/arena.h"
 
 namespace llmp::apps {
 
@@ -34,7 +35,9 @@ IndependentSetResult independent_set(Exec& exec,
 
   ColoringResult coloring = three_coloring(exec, list, rule);
   const auto& next = list.next_array();
-  auto pred = core::parallel_predecessors(exec, list);
+  auto pred_h = pram::scratch<index_t>(exec, n);
+  std::vector<index_t>& pred = *pred_h;
+  core::parallel_predecessors_into(exec, list, pred);
 
   std::vector<std::uint8_t>& in_set = r.in_set;
   in_set.assign(n, 0);

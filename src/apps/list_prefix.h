@@ -20,11 +20,13 @@
 //              static value_type op(value_type, value_type); };
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
 #include "core/maximal_matching.h"
 #include "list/linked_list.h"
+#include "pram/arena.h"
 
 namespace llmp::apps {
 
@@ -85,8 +87,12 @@ PrefixResult<Monoid, Exec> list_prefix(
   const pram::Stats start = exec.stats();
 
   // seg[v]: fold of the contiguous original segment node v represents.
-  std::vector<index_t> nxt(list.next_array());
-  std::vector<T> seg(values);
+  auto nxt_h = pram::scratch<index_t>(exec, n);
+  std::vector<index_t>& nxt = *nxt_h;
+  std::copy(list.next_array().begin(), list.next_array().end(), nxt.begin());
+  auto seg_h = pram::scratch<T>(exec, n);
+  std::vector<T>& seg = *seg_h;
+  std::copy(values.begin(), values.end(), seg.begin());
 
   struct Splice {
     index_t node;    // removed node s
@@ -101,7 +107,8 @@ PrefixResult<Monoid, Exec> list_prefix(
 
   while (alive.size() > 1) {
     const std::size_t m_cur = alive.size();
-    std::vector<index_t> pos(n, knil);
+    auto pos_h = pram::scratch<index_t>(exec, n, knil);
+    std::vector<index_t>& pos = *pos_h;
     exec.step(m_cur, [&](std::size_t d, auto&& mm) {
       mm.wr(pos, static_cast<std::size_t>(alive[d]),
             static_cast<index_t>(d));
@@ -119,8 +126,12 @@ PrefixResult<Monoid, Exec> list_prefix(
     mopt.i_parameter = opt.i_parameter;
     const core::MatchResult match = core::maximal_matching(exec, cur, mopt);
 
-    std::vector<std::uint8_t> removed(n, 0), has_entry(m_cur, 0);
-    std::vector<Splice> entries(m_cur);
+    auto removed_h = pram::scratch<std::uint8_t>(exec, n);
+    auto has_entry_h = pram::scratch<std::uint8_t>(exec, m_cur);
+    auto entries_h = pram::scratch<Splice>(exec, m_cur);
+    std::vector<std::uint8_t>& removed = *removed_h;
+    std::vector<std::uint8_t>& has_entry = *has_entry_h;
+    std::vector<Splice>& entries = *entries_h;
     exec.step(m_cur, [&](std::size_t d, auto&& mm) {
       if (!match.in_matching[d]) return;
       const index_t v = alive[d];
@@ -153,7 +164,8 @@ PrefixResult<Monoid, Exec> list_prefix(
 
   // P[v] = fold of everything strictly before v's original position.
   LLMP_CHECK(alive.front() == list.head());
-  std::vector<T> before(n, Monoid::identity());
+  auto before_h = pram::scratch<T>(exec, n, Monoid::identity());
+  std::vector<T>& before = *before_h;
   for (auto it = rounds_log.rbegin(); it != rounds_log.rend(); ++it) {
     const std::vector<Splice>& entries = *it;
     exec.step(entries.size(), [&](std::size_t e, auto&& mm) {

@@ -27,11 +27,13 @@
 //                          scope; E12 quantifies the gap).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
 #include "core/maximal_matching.h"
 #include "list/linked_list.h"
+#include "pram/arena.h"
 #include "pram/prefix.h"
 
 namespace llmp::apps {
@@ -50,7 +52,12 @@ RankingResult wyllie_ranking(Exec& exec, const list::LinkedList& list) {
   const pram::Stats start = exec.stats();
   const auto& next_arr = list.next_array();
 
-  std::vector<index_t> nxt(n), nxt2(n);
+  auto nxt_h = pram::scratch<index_t>(exec, n);
+  auto nxt2_h = pram::scratch<index_t>(exec, n);
+  std::vector<index_t>& nxt = *nxt_h;
+  std::vector<index_t>& nxt2 = *nxt2_h;
+  // rank is moved into the result, so it (and its swap partner) stays a
+  // plain vector rather than an arena lease.
   std::vector<std::uint64_t> rank(n), rank2(n);
   exec.step(n, [&](std::size_t v, auto&& m) {
     const index_t s = m.rd(next_arr, v);
@@ -92,8 +99,11 @@ RankingResult contraction_ranking(Exec& exec, const list::LinkedList& list,
 
   // Working copy in *original* node ids; each round also keeps a dense
   // LinkedList of the alive nodes for the matcher.
-  std::vector<index_t> nxt(list.next_array());
-  std::vector<std::uint64_t> dist(n);
+  auto nxt_h = pram::scratch<index_t>(exec, n);
+  std::vector<index_t>& nxt = *nxt_h;
+  std::copy(list.next_array().begin(), list.next_array().end(), nxt.begin());
+  auto dist_h = pram::scratch<std::uint64_t>(exec, n);
+  std::vector<std::uint64_t>& dist = *dist_h;
   exec.step(n, [&](std::size_t v, auto&& m) {
     m.wr(dist, v, std::uint64_t{1});
   });
@@ -116,7 +126,8 @@ RankingResult contraction_ranking(Exec& exec, const list::LinkedList& list,
   while (alive.size() > 1) {
     const std::size_t m_cur = alive.size();
     // Dense view: position of each alive node, dense next array.
-    std::vector<index_t> pos(n, knil);
+    auto pos_h = pram::scratch<index_t>(exec, n, knil);
+    std::vector<index_t>& pos = *pos_h;
     exec.step(m_cur, [&](std::size_t d_id, auto&& mm) {
       mm.wr(pos, static_cast<std::size_t>(alive[d_id]),
             static_cast<index_t>(d_id));
@@ -135,9 +146,12 @@ RankingResult contraction_ranking(Exec& exec, const list::LinkedList& list,
     const core::MatchResult match = core::maximal_matching(exec, cur, mopt);
 
     // Splice matched heads out (in original-id space).
-    std::vector<std::uint8_t> removed(n, 0);
-    std::vector<Splice> log_entries(m_cur);
-    std::vector<std::uint8_t> has_entry(m_cur, 0);
+    auto removed_h = pram::scratch<std::uint8_t>(exec, n);
+    auto log_entries_h = pram::scratch<Splice>(exec, m_cur);
+    auto has_entry_h = pram::scratch<std::uint8_t>(exec, m_cur);
+    std::vector<std::uint8_t>& removed = *removed_h;
+    std::vector<Splice>& log_entries = *log_entries_h;
+    std::vector<std::uint8_t>& has_entry = *has_entry_h;
     exec.step(m_cur, [&](std::size_t d_id, auto&& mm) {
       if (!match.in_matching[d_id]) return;
       const index_t v = alive[d_id];
@@ -172,7 +186,8 @@ RankingResult contraction_ranking(Exec& exec, const list::LinkedList& list,
   // are ever removed, and the list head is nobody's pointer head), so its
   // head-distance is 0.
   LLMP_CHECK(alive.front() == list.head());
-  std::vector<std::uint64_t> h(n, 0);
+  auto h_h = pram::scratch<std::uint64_t>(exec, n);
+  std::vector<std::uint64_t>& h = *h_h;
 
   // Expand in reverse: h[s] = h[anchor] + dist[anchor]-at-splice. The
   // anchor is alive when s is expanded (it survived this round; if a

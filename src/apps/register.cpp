@@ -1,0 +1,69 @@
+#include "apps/register.h"
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "apps/independent_set.h"
+#include "apps/list_prefix.h"
+#include "apps/list_ranking.h"
+#include "apps/three_coloring.h"
+#include "core/registry.h"
+
+namespace llmp::apps {
+
+namespace {
+
+template <class Fn>
+core::AlgorithmEntry app_entry(std::string name, pram::Mode declared,
+                               std::string formula, int order, Fn fn) {
+  core::AlgorithmEntry e;
+  e.name = std::move(name);
+  e.declared = declared;
+  e.formula = std::move(formula);
+  e.order = order;
+  e.in_prover = true;
+  e.runner = core::make_runner(std::move(fn));
+  return e;
+}
+
+}  // namespace
+
+void register_algorithms() {
+  static const bool done = [] {
+    auto& reg = core::AlgorithmRegistry::instance();
+    // Ranks 10–14: after the core matching/walkdown rows, before the
+    // non-prover baselines. add() is first-wins, so re-registration is a
+    // no-op even if this initializer somehow runs again.
+    reg.add(app_entry("three-coloring", pram::Mode::kCREW,
+                      "O(n·G(n)/p + G(n))", 10,
+                      [](auto& ctx, const list::LinkedList& list) {
+                        apps::three_coloring(ctx, list);
+                      }));
+    reg.add(app_entry("independent-set", pram::Mode::kCREW,
+                      "O(n·G(n)/p + G(n))", 11,
+                      [](auto& ctx, const list::LinkedList& list) {
+                        apps::independent_set(ctx, list);
+                      }));
+    reg.add(app_entry("wyllie-ranking", pram::Mode::kCREW,
+                      "O(log n) steps, O(n log n) work", 12,
+                      [](auto& ctx, const list::LinkedList& list) {
+                        apps::wyllie_ranking(ctx, list);
+                      }));
+    reg.add(app_entry("contract-ranking", pram::Mode::kCREW,
+                      "O(n) work, O(log n) rounds", 13,
+                      [](auto& ctx, const list::LinkedList& list) {
+                        apps::contraction_ranking(ctx, list);
+                      }));
+    reg.add(app_entry("list-prefix", pram::Mode::kCREW,
+                      "O(n) work, O(log n) rounds", 14,
+                      [](auto& ctx, const list::LinkedList& list) {
+                        std::vector<std::uint64_t> ones(list.size(), 1);
+                        apps::list_prefix<apps::SumMonoid>(ctx, list, ones);
+                      }));
+    return true;
+  }();
+  (void)done;
+}
+
+}  // namespace llmp::apps

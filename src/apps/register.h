@@ -1,0 +1,17 @@
+// Registration of the application algorithms (chapter-7 material: the
+// things matching partition is *for*) into the core AlgorithmRegistry.
+//
+// core/ cannot depend on apps/, so the registry is seeded with only the
+// matching algorithms; call register_algorithms() once (idempotent, and
+// cheap thereafter) before consuming AlgorithmRegistry entries that should
+// include the apps — analysis::algorithm_registry() does this for you.
+#pragma once
+
+namespace llmp::apps {
+
+/// Append the application entries (three-coloring, independent-set,
+/// wyllie-ranking, contract-ranking, list-prefix) to
+/// core::AlgorithmRegistry::instance(). Safe to call repeatedly.
+void register_algorithms();
+
+}  // namespace llmp::apps

@@ -16,6 +16,7 @@
 #include "core/match_result.h"
 #include "core/partition_fn.h"
 #include "list/linked_list.h"
+#include "pram/arena.h"
 
 namespace llmp::apps {
 
@@ -37,11 +38,16 @@ ColoringResult three_coloring(Exec& exec, const list::LinkedList& list,
 
   // 6-coloring: the fixed-point labels of deterministic coin tossing.
   // (Adjacent-distinct holds circularly, so it holds on the path.)
-  std::vector<label_t> labels;
+  auto labels_h = pram::scratch<label_t>(exec, n);
+  std::vector<label_t>& labels = *labels_h;
   core::init_address_labels(exec, n, labels);
   r.reduce_rounds = core::reduce_to_constant(exec, list, labels, rule);
 
-  auto pred = core::parallel_predecessors(exec, list);
+  auto pred_h = pram::scratch<index_t>(exec, n);
+  std::vector<index_t>& pred = *pred_h;
+  core::parallel_predecessors_into(exec, list, pred);
+  // colors is moved into the result, so it (and its swap partner) stays a
+  // plain vector rather than an arena lease.
   std::vector<std::uint8_t> colors(n), colors2(n);
   exec.step(n, [&](std::size_t v, auto&& m) {
     m.wr(colors, v, static_cast<std::uint8_t>(m.rd(labels, v)));

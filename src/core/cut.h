@@ -23,6 +23,7 @@
 
 #include "core/fanout.h"
 #include "list/linked_list.h"
+#include "pram/arena.h"
 #include "pram/stats.h"
 #include "support/check.h"
 #include "support/types.h"
@@ -52,7 +53,8 @@ CutStats cut_and_walk(Exec& exec, const list::LinkedList& list,
 
   // Step 3: mark cut pointers. Each processor reads three label cells
   // (its own pointer's and both neighbours') — CREW.
-  std::vector<std::uint8_t> cut(n, 0);
+  auto cut_h = pram::scratch<std::uint8_t>(exec, n);
+  std::vector<std::uint8_t>& cut = *cut_h;
   exec.step(n, [&](std::size_t v, auto&& m) {
     const index_t nv = m.rd(next, v);
     if (nv == knil) return;                       // no pointer e_v
@@ -70,7 +72,8 @@ CutStats cut_and_walk(Exec& exec, const list::LinkedList& list,
   // A head is a node whose pointer exists and whose predecessor pointer is
   // absent or cut. Every run's first pointer is taken.
   CutStats stats;
-  std::vector<std::size_t> run_len(n, 0);  // per-head, for max_run audit
+  auto run_len_h = pram::scratch<std::size_t>(exec, n);  // max_run audit
+  std::vector<std::size_t>& run_len = *run_len_h;
   exec.step(n, max_run, [&](std::size_t v, auto&& m) {
     const index_t pv = m.rd(pred, v);
     if (m.rd(next, v) == knil) return;
@@ -122,18 +125,24 @@ CutStats cut_and_walk_erew(Exec& exec, const list::LinkedList& list,
 
   // Inboxes: neighbour pointer labels and whether the successor has a
   // pointer of its own.
-  std::vector<label_t> lbl_prev(n, kNoLbl), lbl_next(n, kNoLbl);
+  auto lbl_prev_h = pram::scratch<label_t>(exec, n, kNoLbl);
+  auto lbl_next_h = pram::scratch<label_t>(exec, n, kNoLbl);
+  std::vector<label_t>& lbl_prev = *lbl_prev_h;
+  std::vector<label_t>& lbl_next = *lbl_next_h;
   pull_from_pred(exec, list, plabel, lbl_prev, /*circular=*/false);
   pull_from_next(exec, list, pred, plabel, lbl_next, /*circular=*/false);
-  std::vector<std::uint8_t> has_ptr(n);
+  auto has_ptr_h = pram::scratch<std::uint8_t>(exec, n);
+  std::vector<std::uint8_t>& has_ptr = *has_ptr_h;
   exec.step(n, [&](std::size_t v, auto&& m) {
     m.wr(has_ptr, v, static_cast<std::uint8_t>(m.rd(next, v) != knil));
   });
-  std::vector<std::uint8_t> next_has_ptr(n, 0);
+  auto next_has_ptr_h = pram::scratch<std::uint8_t>(exec, n);
+  std::vector<std::uint8_t>& next_has_ptr = *next_has_ptr_h;
   pull_from_next(exec, list, pred, has_ptr, next_has_ptr, false);
 
   // Step 3 (EREW): every read is of the processor's own cells.
-  std::vector<std::uint8_t> cut(n, 0);
+  auto cut_h = pram::scratch<std::uint8_t>(exec, n);
+  std::vector<std::uint8_t>& cut = *cut_h;
   exec.step(n, [&](std::size_t v, auto&& m) {
     if (!m.rd(has_ptr, v)) return;
     if (m.rd(pred, v) == knil) return;        // boundary: never cut
@@ -146,14 +155,16 @@ CutStats cut_and_walk_erew(Exec& exec, const list::LinkedList& list,
   });
 
   // Head detection needs the predecessor pointer's cut flag: push it.
-  std::vector<std::uint8_t> cut_prev(n, 0);
+  auto cut_prev_h = pram::scratch<std::uint8_t>(exec, n);
+  std::vector<std::uint8_t>& cut_prev = *cut_prev_h;
   pull_from_pred(exec, list, cut, cut_prev, false);
 
   // Step 4: walks are disjoint, so the traversal reads are exclusive; the
   // only cross-run reads (cut flag and pointer-existence of the boundary
   // pointer) touch cells no other walker reads this step.
   CutStats stats;
-  std::vector<std::size_t> run_len(n, 0);
+  auto run_len_h = pram::scratch<std::size_t>(exec, n);
+  std::vector<std::size_t>& run_len = *run_len_h;
   exec.step(n, max_run, [&](std::size_t v, auto&& m) {
     if (!m.rd(has_ptr, v)) return;
     if (m.rd(pred, v) != knil && !m.rd(cut_prev, v)) return;

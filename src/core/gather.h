@@ -20,6 +20,7 @@
 #include "core/lookup_table.h"
 #include "core/partition_fn.h"
 #include "list/linked_list.h"
+#include "pram/arena.h"
 #include "support/itlog.h"
 
 namespace llmp::core {
@@ -56,13 +57,17 @@ void gather_labels(Exec& exec, const list::LinkedList& list,
   const auto& next_arr = list.next_array();
   const index_t head = list.head();
 
-  std::vector<index_t> nxt(n), nxt2(n);
+  auto nxt_h = pram::scratch<index_t>(exec, n);
+  auto nxt2_h = pram::scratch<index_t>(exec, n);
+  std::vector<index_t>& nxt = *nxt_h;
+  std::vector<index_t>& nxt2 = *nxt2_h;
   exec.step(n, [&](std::size_t v, auto&& m) {
     const index_t s = m.rd(next_arr, v);
     m.wr(nxt, v, s == knil ? head : s);
   });
 
-  std::vector<label_t> lbl2(n);
+  auto lbl2_h = pram::scratch<label_t>(exec, n);
+  std::vector<label_t>& lbl2 = *lbl2_h;
   for (int t = 0; t < jump_rounds; ++t) {
     const int shift = component_bits << t;  // current label width in bits
     exec.step(n, [&](std::size_t v, auto&& m) {

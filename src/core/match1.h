@@ -17,6 +17,7 @@
 #include "core/match_result.h"
 #include "core/partition_fn.h"
 #include "list/linked_list.h"
+#include "pram/context.h"
 
 namespace llmp::core {
 
@@ -27,27 +28,34 @@ struct Match1Options {
   bool erew = false;
 };
 
+/// In-place entry point: reuses `r`'s buffers, and leases all scratch from
+/// the executor's arena — zero heap allocations on a warm pram::Context.
 template <class Exec>
-MatchResult match1(Exec& exec, const list::LinkedList& list,
-                   const Match1Options& opt = {}) {
-  MatchResult r;
+void match1_into(Exec& exec, const list::LinkedList& list,
+                 const Match1Options& opt, MatchResult& r) {
+  r.reset();
   const std::size_t n = list.size();
   const pram::Stats start = exec.stats();
   pram::Stats mark = start;
   auto phase = [&](const std::string& name) {
-    r.phases.push_back({name, exec.stats() - mark});
+    const pram::Stats delta = exec.stats() - mark;
+    r.phases.push_back({name, delta});
+    pram::note_phase(exec, name, delta);
     mark = exec.stats();
   };
 
-  auto pred = parallel_predecessors(exec, list);
+  auto pred_h = pram::scratch<index_t>(exec, n);
+  std::vector<index_t>& pred = *pred_h;
+  parallel_predecessors_into(exec, list, pred);
   phase("pred");
 
-  std::vector<label_t> labels;
+  auto labels_h = pram::scratch<label_t>(exec, n);
+  std::vector<label_t>& labels = *labels_h;
   init_address_labels(exec, n, labels);
   r.relabel_rounds =
       opt.erew ? reduce_to_constant_erew(exec, list, pred, labels, opt.rule)
                : reduce_to_constant(exec, list, labels, opt.rule);
-  r.partition_sets = distinct_labels(labels);
+  r.partition_sets = distinct_labels(exec, labels);
   phase("reduce");
 
   r.cut = opt.erew
@@ -60,6 +68,13 @@ MatchResult match1(Exec& exec, const list::LinkedList& list,
   r.edges = 0;
   for (auto b : r.in_matching) r.edges += (b != 0);
   r.cost = exec.stats() - start;
+}
+
+template <class Exec>
+MatchResult match1(Exec& exec, const list::LinkedList& list,
+                   const Match1Options& opt = {}) {
+  MatchResult r;
+  match1_into(exec, list, opt, r);
   return r;
 }
 

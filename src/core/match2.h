@@ -22,6 +22,7 @@
 #include "core/match_result.h"
 #include "core/partition_fn.h"
 #include "list/linked_list.h"
+#include "pram/context.h"
 #include "pram/prefix.h"
 
 namespace llmp::core {
@@ -41,25 +42,34 @@ struct Match2Options {
   bool erew = false;
 };
 
+/// In-place entry point; see match1_into. The counting sort's output
+/// (SortedByKey) still allocates per call, so Match2 is sort-bound on the
+/// allocator too — the zero-steady-state-allocation guarantee covers the
+/// other phases.
 template <class Exec>
-MatchResult match2(Exec& exec, const list::LinkedList& list,
-                   const Match2Options& opt = {}) {
-  MatchResult r;
+void match2_into(Exec& exec, const list::LinkedList& list,
+                 const Match2Options& opt, MatchResult& r) {
+  r.reset();
   const std::size_t n = list.size();
   const pram::Stats start = exec.stats();
   pram::Stats mark = start;
   auto phase = [&](const std::string& name) {
-    r.phases.push_back({name, exec.stats() - mark});
+    const pram::Stats delta = exec.stats() - mark;
+    r.phases.push_back({name, delta});
+    pram::note_phase(exec, name, delta);
     mark = exec.stats();
   };
 
   // Step 1: matching partition into R sets.
-  std::vector<label_t> labels;
+  auto labels_h = pram::scratch<label_t>(exec, n);
+  std::vector<label_t>& labels = *labels_h;
   init_address_labels(exec, n, labels);
   label_t bound = static_cast<label_t>(n);
   if (n > 1) {
     if (opt.erew) {
-      auto pred = parallel_predecessors(exec, list);
+      auto pred_h = pram::scratch<index_t>(exec, n);
+      std::vector<index_t>& pred = *pred_h;
+      parallel_predecessors_into(exec, list, pred);
       relabel_rounds_erew(exec, list, pred, labels, opt.partition_rounds,
                           opt.rule);
     } else {
@@ -71,13 +81,14 @@ MatchResult match2(Exec& exec, const list::LinkedList& list,
     bound = 1;
   }
   r.relabel_rounds = opt.partition_rounds;
-  r.partition_sets = distinct_labels(labels);
+  r.partition_sets = distinct_labels(exec, labels);
   phase("partition");
 
   // Step 2: global sort of pointers by set number. (The tail has no real
   // pointer; it is sorted along and skipped in the sweep.)
   const index_t range = static_cast<index_t>(bound);
-  std::vector<index_t> keys(n);
+  auto keys_h = pram::scratch<index_t>(exec, n);
+  std::vector<index_t>& keys = *keys_h;
   exec.step(n, [&](std::size_t v, auto&& m) {
     m.wr(keys, v, static_cast<index_t>(m.rd(labels, v)));
   });
@@ -89,7 +100,8 @@ MatchResult match2(Exec& exec, const list::LinkedList& list,
 
   // Step 3: process the sets one by one.
   const auto& next = list.next_array();
-  std::vector<std::uint8_t> done(n);
+  auto done_h = pram::scratch<std::uint8_t>(exec, n);
+  std::vector<std::uint8_t>& done = *done_h;
   r.in_matching.assign(n, 0);
   exec.step(n, [&](std::size_t v, auto&& m) {
     m.wr(done, v, std::uint8_t{0});
@@ -116,6 +128,13 @@ MatchResult match2(Exec& exec, const list::LinkedList& list,
   r.edges = 0;
   for (auto b : r.in_matching) r.edges += (b != 0);
   r.cost = exec.stats() - start;
+}
+
+template <class Exec>
+MatchResult match2(Exec& exec, const list::LinkedList& list,
+                   const Match2Options& opt = {}) {
+  MatchResult r;
+  match2_into(exec, list, opt, r);
   return r;
 }
 

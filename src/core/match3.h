@@ -24,6 +24,7 @@
 #include "core/match_result.h"
 #include "core/partition_fn.h"
 #include "list/linked_list.h"
+#include "pram/context.h"
 
 namespace llmp::core {
 
@@ -92,15 +93,19 @@ inline Match3Plan plan_match3(std::size_t n, const Match3Options& opt) {
   return build(std::max(1, max_k));
 }
 
+/// In-place entry point; see match1_into. (The lookup table itself is
+/// preprocessing and is rebuilt per call — E11 measures that separately.)
 template <class Exec>
-MatchResult match3(Exec& exec, const list::LinkedList& list,
-                   const Match3Options& opt = {}) {
-  MatchResult r;
+void match3_into(Exec& exec, const list::LinkedList& list,
+                 const Match3Options& opt, MatchResult& r) {
+  r.reset();
   const std::size_t n = list.size();
   const pram::Stats start = exec.stats();
   pram::Stats mark = start;
   auto phase = [&](const std::string& name) {
-    r.phases.push_back({name, exec.stats() - mark});
+    const pram::Stats delta = exec.stats() - mark;
+    r.phases.push_back({name, delta});
+    pram::note_phase(exec, name, delta);
     mark = exec.stats();
   };
 
@@ -109,7 +114,8 @@ MatchResult match3(Exec& exec, const list::LinkedList& list,
   r.gather_rounds = plan.gather_rounds;
 
   // Steps 1–2: address labels, then crunch.
-  std::vector<label_t> labels;
+  auto labels_h = pram::scratch<label_t>(exec, n);
+  std::vector<label_t>& labels = *labels_h;
   init_address_labels(exec, n, labels);
   if (n > 1) relabel_rounds(exec, list, labels, plan.crunch_rounds, opt.rule);
   phase("crunch");
@@ -125,11 +131,13 @@ MatchResult match3(Exec& exec, const list::LinkedList& list,
                   plan.gather_rounds);
     lookup_labels(exec, table, labels);
   }
-  r.partition_sets = distinct_labels(labels);
+  r.partition_sets = distinct_labels(exec, labels);
   phase("gather+lookup");
 
   // Steps 5–6 = Match1 steps 3–4.
-  auto pred = parallel_predecessors(exec, list);
+  auto pred_h = pram::scratch<index_t>(exec, n);
+  std::vector<index_t>& pred = *pred_h;
+  parallel_predecessors_into(exec, list, pred);
   r.cut = cut_and_walk(exec, list, pred, labels, kFixedPointBound,
                        r.in_matching);
   phase("cut+walk");
@@ -137,6 +145,13 @@ MatchResult match3(Exec& exec, const list::LinkedList& list,
   r.edges = 0;
   for (auto b : r.in_matching) r.edges += (b != 0);
   r.cost = exec.stats() - start;
+}
+
+template <class Exec>
+MatchResult match3(Exec& exec, const list::LinkedList& list,
+                   const Match3Options& opt = {}) {
+  MatchResult r;
+  match3_into(exec, list, opt, r);
   return r;
 }
 

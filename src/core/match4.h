@@ -25,6 +25,7 @@
 #include "core/partition_fn.h"
 #include "core/walkdown.h"
 #include "list/linked_list.h"
+#include "pram/context.h"
 
 namespace llmp::core {
 
@@ -83,15 +84,20 @@ inline Match4Plan plan_match4(std::size_t n, const Match4Options& opt) {
   return plan;
 }
 
+/// In-place entry point; see match1_into. All scratch — predecessors,
+/// labels, the 2D layout, WalkDown state, colors — is leased from the
+/// executor's arena, so warm Context runs allocate nothing.
 template <class Exec>
-MatchResult match4(Exec& exec, const list::LinkedList& list,
-                   const Match4Options& opt = {}) {
-  MatchResult r;
+void match4_into(Exec& exec, const list::LinkedList& list,
+                 const Match4Options& opt, MatchResult& r) {
+  r.reset();
   const std::size_t n = list.size();
   const pram::Stats start = exec.stats();
   pram::Stats mark = start;
   auto phase = [&](const std::string& name) {
-    r.phases.push_back({name, exec.stats() - mark});
+    const pram::Stats delta = exec.stats() - mark;
+    r.phases.push_back({name, delta});
+    pram::note_phase(exec, name, delta);
     mark = exec.stats();
   };
 
@@ -99,10 +105,13 @@ MatchResult match4(Exec& exec, const list::LinkedList& list,
   if (eff.erew) eff.partition_with_table = false;
   const Match4Plan plan = plan_match4(n, eff);
 
-  auto pred = parallel_predecessors(exec, list);
+  auto pred_h = pram::scratch<index_t>(exec, n);
+  std::vector<index_t>& pred = *pred_h;
+  parallel_predecessors_into(exec, list, pred);
 
   // ---- Step 1: partition into sets numbered < x. -------------------------
-  std::vector<label_t> labels;
+  auto labels_h = pram::scratch<label_t>(exec, n);
+  std::vector<label_t>& labels = *labels_h;
   init_address_labels(exec, n, labels);
   label_t bound = static_cast<label_t>(std::max<std::size_t>(n, 1));
   if (n > 1) {
@@ -129,13 +138,14 @@ MatchResult match4(Exec& exec, const list::LinkedList& list,
   } else {
     bound = 1;
   }
-  r.partition_sets = distinct_labels(labels);
+  r.partition_sets = distinct_labels(exec, labels);
   phase("partition");
 
   // ---- Step 2: 2D layout, per-column sequential sorts. -------------------
   // Rows x = the set-number bound, so every key fits a row; columns
   // y = ceil(n/x), one processor each.
-  std::vector<index_t> keys(n);
+  auto keys_h = pram::scratch<index_t>(exec, n);
+  std::vector<index_t>& keys = *keys_h;
   exec.step(n, [&](std::size_t v, auto&& m) {
     m.wr(keys, v, static_cast<index_t>(m.rd(labels, v)));
   });
@@ -144,7 +154,8 @@ MatchResult match4(Exec& exec, const list::LinkedList& list,
   phase("column-sort");
 
   // ---- Steps 3–4: the WalkDown schedule. ---------------------------------
-  std::vector<std::uint8_t> color(n);
+  auto color_h = pram::scratch<std::uint8_t>(exec, n);
+  std::vector<std::uint8_t>& color = *color_h;
   exec.step(n, [&](std::size_t v, auto&& m) { m.wr(color, v, kNoColor); });
   if (eff.erew) {
     ErewWalkState st = make_erew_walk_state(exec, list, lay, pred);
@@ -157,7 +168,8 @@ MatchResult match4(Exec& exec, const list::LinkedList& list,
   phase("walkdown");
 
   // ---- Step 5: Match1 steps 3–4 on the 3-color labels. -------------------
-  std::vector<label_t> plabel(n, 0);
+  auto plabel_h = pram::scratch<label_t>(exec, n);
+  std::vector<label_t>& plabel = *plabel_h;
   exec.step(n, [&](std::size_t v, auto&& m) {
     const std::uint8_t c = m.rd(color, v);
     m.wr(plabel, v, static_cast<label_t>(c == kNoColor ? 0 : c));
@@ -170,6 +182,13 @@ MatchResult match4(Exec& exec, const list::LinkedList& list,
   r.edges = 0;
   for (auto b : r.in_matching) r.edges += (b != 0);
   r.cost = exec.stats() - start;
+}
+
+template <class Exec>
+MatchResult match4(Exec& exec, const list::LinkedList& list,
+                   const Match4Options& opt = {}) {
+  MatchResult r;
+  match4_into(exec, list, opt, r);
   return r;
 }
 

@@ -1,0 +1,65 @@
+// The one options→algorithm switch, shared by every dispatch path.
+//
+// core::maximal_matching uses it directly for executor types outside the
+// four registry backends; core/registry.cpp instantiates it once per
+// backend to build the type-erased MatchDispatcher. Keeping the switch
+// here (and nowhere else) is what makes the registry the single dispatch
+// surface: adding an algorithm means one enum case, one entry, one case
+// below.
+#pragma once
+
+#include "core/match1.h"
+#include "core/match2.h"
+#include "core/match3.h"
+#include "core/match4.h"
+#include "core/random_match.h"
+#include "core/registry.h"
+#include "core/sequential.h"
+#include "support/check.h"
+
+namespace llmp::core::detail {
+
+template <class Exec>
+void dispatch_match(Exec& exec, const list::LinkedList& list,
+                    const MatchOptions& opt, MatchResult& out) {
+  switch (opt.algorithm) {
+    case Algorithm::kSequential:
+      sequential_matching_into(list, out);
+      return;
+    case Algorithm::kMatch1: {
+      Match1Options o;
+      o.rule = opt.rule;
+      o.erew = opt.erew;
+      match1_into(exec, list, o, out);
+      return;
+    }
+    case Algorithm::kMatch2: {
+      Match2Options o;
+      o.rule = opt.rule;
+      o.erew = opt.erew;
+      match2_into(exec, list, o, out);
+      return;
+    }
+    case Algorithm::kMatch3: {
+      Match3Options o;
+      o.rule = opt.rule;
+      match3_into(exec, list, o, out);
+      return;
+    }
+    case Algorithm::kMatch4: {
+      Match4Options o;
+      o.i_parameter = opt.i_parameter;
+      o.partition_with_table = opt.partition_with_table;
+      o.rule = opt.rule;
+      o.erew = opt.erew;
+      match4_into(exec, list, o, out);
+      return;
+    }
+    case Algorithm::kRandomized:
+      random_matching_into(exec, list, RandomMatchOptions{opt.seed}, out);
+      return;
+  }
+  LLMP_CHECK_MSG(false, "unknown algorithm");
+}
+
+}  // namespace llmp::core::detail

@@ -23,22 +23,44 @@ struct MatchResult {
   std::size_t table_cells = 0;   ///< Match3/4 lookup-table size (0 = none)
   std::size_t partition_sets = 0;  ///< matching sets before combining
   CutStats cut;                  ///< step-3/4 audit numbers
+
+  /// Reset for reuse by the *_into entry points: clears counters and the
+  /// phase list while keeping vector capacity, so warm calls through a
+  /// pram::Context allocate nothing.
+  void reset() {
+    edges = 0;
+    cost = {};
+    phases.clear();
+    relabel_rounds = 0;
+    gather_rounds = 0;
+    table_cells = 0;
+    partition_sets = 0;
+    cut = {};
+  }
 };
 
-/// Compute the predecessor array as one PRAM step pair (init + scatter);
-/// writes are exclusive (each node has at most one predecessor) — EREW.
+/// Compute the predecessor array as one PRAM step pair (init + scatter)
+/// into a caller-sized buffer; writes are exclusive (each node has at most
+/// one predecessor) — EREW.
 template <class Exec>
-std::vector<index_t> parallel_predecessors(Exec& exec,
-                                           const list::LinkedList& list) {
+void parallel_predecessors_into(Exec& exec, const list::LinkedList& list,
+                                std::vector<index_t>& pred) {
   const std::size_t n = list.size();
   const auto& next = list.next_array();
-  std::vector<index_t> pred(n);
+  LLMP_CHECK(pred.size() == n);
   exec.step(n, [&](std::size_t v, auto&& m) { m.wr(pred, v, knil); });
   exec.step(n, [&](std::size_t v, auto&& m) {
     const index_t s = m.rd(next, v);
     if (s != knil) m.wr(pred, static_cast<std::size_t>(s),
                         static_cast<index_t>(v));
   });
+}
+
+template <class Exec>
+std::vector<index_t> parallel_predecessors(Exec& exec,
+                                           const list::LinkedList& list) {
+  std::vector<index_t> pred(list.size());
+  parallel_predecessors_into(exec, list, pred);
   return pred;
 }
 

@@ -2,77 +2,67 @@
 // PRAM cost accounting. This is the API the examples and benches use; the
 // individual algorithm headers remain available for fine-grained options.
 //
-//   llmp::pram::SeqExec exec(/*processors=*/64);
+//   llmp::pram::SeqExec seq(/*processors=*/64);
+//   llmp::pram::Context ctx(seq);   // pooled scratch + phase metrics
 //   auto list = llmp::list::generators::random_list(1 << 20, /*seed=*/1);
 //   auto result = llmp::core::maximal_matching(
-//       exec, list, {.algorithm = llmp::core::Algorithm::kMatch4,
-//                    .i_parameter = 3});
+//       ctx, list, {.algorithm = llmp::core::Algorithm::kMatch4,
+//                   .i_parameter = 3});
 //   llmp::core::verify::check_maximal(list, result.in_matching);
+//
+// Dispatch goes through the single algorithm registry (registry.h): a
+// Context over one of the four standard backends — and a bare backend,
+// which is wrapped in a throwaway Context — routes through the type-erased
+// MatchDispatcher; any other executor type falls back to the same
+// dispatch_match template instantiated inline. Either way the algorithm
+// code and the step sequence are identical.
 #pragma once
 
 #include <string>
+#include <type_traits>
 
-#include "core/match1.h"
-#include "core/match2.h"
-#include "core/match3.h"
-#include "core/match4.h"
-#include "core/random_match.h"
-#include "core/sequential.h"
+#include "core/match_dispatch.h"
+#include "core/registry.h"
 
 namespace llmp::core {
 
-enum class Algorithm {
-  kSequential,  ///< greedy walk, T1 = n (the optimality baseline)
-  kMatch1,      ///< O(n·G(n)/p + G(n))
-  kMatch2,      ///< O(n/p + log n), sort-bound
-  kMatch3,      ///< O(n·log G(n)/p + log G(n)), not optimal
-  kMatch4,      ///< this paper: O(n·log i/p + log^(i) n + log i)
-  kRandomized,  ///< Luby-style coin tossing, O(log n) rounds w.h.p.
-};
+namespace detail {
 
-std::string to_string(Algorithm alg);
+/// The four backends the registry's type-erased runners cover.
+template <class E>
+inline constexpr bool is_registry_backend_v =
+    std::is_same_v<E, pram::SeqExec> || std::is_same_v<E, pram::ParallelExec> ||
+    std::is_same_v<E, pram::Machine> || std::is_same_v<E, pram::SymbolicExec>;
 
-struct MatchOptions {
-  Algorithm algorithm = Algorithm::kMatch4;
-  /// Match4's adjustable i (rows = Θ(log^(i) n)); also reused as Match2's
-  /// partition rounds and Match3's crunch rounds when nonzero.
-  int i_parameter = 3;
-  /// Match4: use the Lemma 5 table-accelerated partition.
-  bool partition_with_table = false;
-  BitRule rule = BitRule::kMostSignificant;
-  std::uint64_t seed = 0x9e3779b97f4a7c15ULL;  ///< randomized baseline only
-};
+}  // namespace detail
+
+/// In-place entry point: fills `out`, reusing its buffers. Warm calls
+/// through a pooled pram::Context perform zero heap allocations for the
+/// non-sort algorithms (asserted in tests/context_test.cpp).
+template <class Exec>
+void maximal_matching_into(Exec& exec, const list::LinkedList& list,
+                           const MatchOptions& opt, MatchResult& out) {
+  if constexpr (pram::is_context_v<Exec>) {
+    if constexpr (detail::is_registry_backend_v<typename Exec::backend_type>) {
+      AlgorithmRegistry::instance().match_dispatcher().run(exec, list, opt,
+                                                           out);
+    } else {
+      detail::dispatch_match(exec, list, opt, out);
+    }
+  } else if constexpr (detail::is_registry_backend_v<Exec>) {
+    pram::Context<Exec> ctx(exec);
+    AlgorithmRegistry::instance().match_dispatcher().run(ctx, list, opt, out);
+  } else {
+    detail::dispatch_match(exec, list, opt, out);
+  }
+}
 
 template <class Exec>
 MatchResult maximal_matching(Exec& exec, const list::LinkedList& list,
                              const MatchOptions& opt = {}) {
-  switch (opt.algorithm) {
-    case Algorithm::kSequential:
-      return sequential_matching(list);
-    case Algorithm::kMatch1:
-      return match1(exec, list, Match1Options{opt.rule});
-    case Algorithm::kMatch2: {
-      Match2Options o;
-      o.rule = opt.rule;
-      return match2(exec, list, o);
-    }
-    case Algorithm::kMatch3: {
-      Match3Options o;
-      o.rule = opt.rule;
-      return match3(exec, list, o);
-    }
-    case Algorithm::kMatch4: {
-      Match4Options o;
-      o.i_parameter = opt.i_parameter;
-      o.partition_with_table = opt.partition_with_table;
-      o.rule = opt.rule;
-      return match4(exec, list, o);
-    }
-    case Algorithm::kRandomized:
-      return random_matching(exec, list, RandomMatchOptions{opt.seed});
-  }
-  LLMP_CHECK_MSG(false, "unknown algorithm");
-  return {};
+  MatchResult r;
+  maximal_matching_into(exec, list, opt, r);
+  return r;
 }
 
 }  // namespace llmp::core

@@ -24,10 +24,12 @@
 // the basis of Match1 and of the 6→3 coloring in apps/.
 #pragma once
 
+#include <algorithm>
 #include <vector>
 
 #include "core/fanout.h"
 #include "list/linked_list.h"
+#include "pram/arena.h"
 #include "support/bits.h"
 #include "support/check.h"
 #include "support/types.h"
@@ -110,7 +112,8 @@ void init_address_labels(Exec& exec, std::size_t n,
 template <class Exec>
 void relabel_rounds(Exec& exec, const list::LinkedList& list,
                     std::vector<label_t>& labels, int rounds, BitRule rule) {
-  std::vector<label_t> tmp(labels.size());
+  auto tmp_h = pram::scratch<label_t>(exec, labels.size());
+  std::vector<label_t>& tmp = *tmp_h;
   for (int r = 0; r < rounds; ++r) {
     relabel(exec, list, labels, tmp, rule);
     labels.swap(tmp);
@@ -126,7 +129,8 @@ int reduce_to_constant(Exec& exec, const list::LinkedList& list,
   if (list.size() <= 1) return 0;
   label_t bound = static_cast<label_t>(list.size());
   int rounds = 0;
-  std::vector<label_t> tmp(labels.size());
+  auto tmp_h = pram::scratch<label_t>(exec, labels.size());
+  std::vector<label_t>& tmp = *tmp_h;
   while (bound > kFixedPointBound) {
     relabel(exec, list, labels, tmp, rule);
     labels.swap(tmp);
@@ -142,7 +146,10 @@ void relabel_rounds_erew(Exec& exec, const list::LinkedList& list,
                          const std::vector<index_t>& pred,
                          std::vector<label_t>& labels, int rounds,
                          BitRule rule) {
-  std::vector<label_t> tmp(labels.size()), inbox(labels.size());
+  auto tmp_h = pram::scratch<label_t>(exec, labels.size());
+  auto inbox_h = pram::scratch<label_t>(exec, labels.size());
+  std::vector<label_t>& tmp = *tmp_h;
+  std::vector<label_t>& inbox = *inbox_h;
   for (int r = 0; r < rounds; ++r) {
     relabel_erew(exec, list, pred, labels, tmp, inbox, rule);
     labels.swap(tmp);
@@ -157,7 +164,10 @@ int reduce_to_constant_erew(Exec& exec, const list::LinkedList& list,
   if (list.size() <= 1) return 0;
   label_t bound = static_cast<label_t>(list.size());
   int rounds = 0;
-  std::vector<label_t> tmp(labels.size()), inbox(labels.size());
+  auto tmp_h = pram::scratch<label_t>(exec, labels.size());
+  auto inbox_h = pram::scratch<label_t>(exec, labels.size());
+  std::vector<label_t>& tmp = *tmp_h;
+  std::vector<label_t>& inbox = *inbox_h;
   while (bound > kFixedPointBound) {
     relabel_erew(exec, list, pred, labels, tmp, inbox, rule);
     labels.swap(tmp);
@@ -169,5 +179,19 @@ int reduce_to_constant_erew(Exec& exec, const list::LinkedList& list,
 
 /// Number of distinct values among labels[v] for all n circular pointers.
 std::size_t distinct_labels(const std::vector<label_t>& labels);
+
+/// Arena-aware overload: sorts a pooled copy, so warm Context runs do not
+/// allocate for the audit. Host-side (no PRAM steps), like the above.
+template <class Exec>
+std::size_t distinct_labels(Exec& exec, const std::vector<label_t>& labels) {
+  auto copy_h = pram::scratch<label_t>(exec, labels.size());
+  std::vector<label_t>& copy = *copy_h;
+  std::copy(labels.begin(), labels.end(), copy.begin());
+  std::sort(copy.begin(), copy.end());
+  std::size_t distinct = 0;
+  for (std::size_t i = 0; i < copy.size(); ++i)
+    distinct += (i == 0 || copy[i] != copy[i - 1]);
+  return distinct;
+}
 
 }  // namespace llmp::core

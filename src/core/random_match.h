@@ -12,6 +12,7 @@
 
 #include "core/match_result.h"
 #include "list/linked_list.h"
+#include "pram/context.h"
 #include "support/rng.h"
 
 namespace llmp::core {
@@ -31,16 +32,24 @@ inline std::uint64_t priority(std::uint64_t seed, std::uint64_t round,
 }
 }  // namespace detail
 
+/// In-place entry point; see match1_into.
 template <class Exec>
-MatchResult random_matching(Exec& exec, const list::LinkedList& list,
-                            const RandomMatchOptions& opt = {}) {
-  MatchResult r;
+void random_matching_into(Exec& exec, const list::LinkedList& list,
+                          const RandomMatchOptions& opt, MatchResult& r) {
+  r.reset();
   const std::size_t n = list.size();
   const pram::Stats start = exec.stats();
   const auto& next = list.next_array();
-  auto pred = parallel_predecessors(exec, list);
+  auto pred_h = pram::scratch<index_t>(exec, n);
+  std::vector<index_t>& pred = *pred_h;
+  parallel_predecessors_into(exec, list, pred);
 
-  std::vector<std::uint8_t> active(n), covered(n), selected(n);
+  auto active_h = pram::scratch<std::uint8_t>(exec, n);
+  auto covered_h = pram::scratch<std::uint8_t>(exec, n);
+  auto selected_h = pram::scratch<std::uint8_t>(exec, n);
+  std::vector<std::uint8_t>& active = *active_h;
+  std::vector<std::uint8_t>& covered = *covered_h;
+  std::vector<std::uint8_t>& selected = *selected_h;
   r.in_matching.assign(n, 0);
   exec.step(n, [&](std::size_t v, auto&& m) {
     m.wr(active, v, static_cast<std::uint8_t>(m.rd(next, v) != knil));
@@ -96,6 +105,14 @@ MatchResult random_matching(Exec& exec, const list::LinkedList& list,
   for (auto b : r.in_matching) r.edges += (b != 0);
   r.cost = exec.stats() - start;
   r.phases.push_back({"rounds", r.cost});
+  pram::note_phase(exec, "rounds", r.cost);
+}
+
+template <class Exec>
+MatchResult random_matching(Exec& exec, const list::LinkedList& list,
+                            const RandomMatchOptions& opt = {}) {
+  MatchResult r;
+  random_matching_into(exec, list, opt, r);
   return r;
 }
 

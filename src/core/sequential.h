@@ -10,8 +10,10 @@
 
 namespace llmp::core {
 
-inline MatchResult sequential_matching(const list::LinkedList& list) {
-  MatchResult r;
+/// In-place entry point: reuses `r`'s buffers across warm calls.
+inline void sequential_matching_into(const list::LinkedList& list,
+                                     MatchResult& r) {
+  r.reset();
   const std::size_t n = list.size();
   r.in_matching.assign(n, 0);
   bool prev_taken = false;
@@ -29,6 +31,11 @@ inline MatchResult sequential_matching(const list::LinkedList& list) {
   }
   r.cost = {ops, ops, ops, 0, 0};  // depth = time_1 = work = n
   r.phases.push_back({"walk", r.cost});
+}
+
+inline MatchResult sequential_matching(const list::LinkedList& list) {
+  MatchResult r;
+  sequential_matching_into(list, r);
   return r;
 }
 

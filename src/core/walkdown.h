@@ -35,11 +35,13 @@
 // the E7/E8 property tests.)
 #pragma once
 
+#include <algorithm>
 #include <vector>
 
 #include "core/fanout.h"
 #include "core/match_result.h"
 #include "list/linked_list.h"
+#include "pram/arena.h"
 #include "pram/stats.h"
 #include "support/check.h"
 #include "support/types.h"
@@ -49,17 +51,19 @@ namespace llmp::core {
 /// No color assigned yet (valid colors are 0,1,2).
 inline constexpr std::uint8_t kNoColor = 0xFF;
 
-/// The sorted 2D view of the list.
+/// The sorted 2D view of the list. The arrays are arena leases (pooled
+/// when built through a pram::Context, plain heap otherwise), so the
+/// struct is move-only and its backing stores recycle across warm runs.
 struct Layout2D {
   std::size_t rows = 0;  ///< x
   std::size_t cols = 0;  ///< y = ceil(n/x)
   /// cell_node[j*rows + r]: node in (row r, column j); knil for padding
   /// cells of the last column.
-  std::vector<index_t> cell_node;
+  pram::ScratchVec<index_t> cell_node;
   /// node_row[v]: the row node v occupies after its column's sort.
-  std::vector<index_t> node_row;
+  pram::ScratchVec<index_t> node_row;
   /// node_key[v]: the matching-set number the columns were sorted by.
-  std::vector<index_t> node_key;
+  pram::ScratchVec<index_t> node_key;
 };
 
 /// Sort every column by set number (keys[v] < rows for all v). One step of
@@ -73,16 +77,24 @@ Layout2D build_layout(Exec& exec, std::size_t n,
   Layout2D lay;
   lay.rows = rows;
   lay.cols = (n + rows - 1) / rows;
-  lay.cell_node.assign(lay.rows * lay.cols, knil);
-  lay.node_row.assign(n, 0);
-  lay.node_key = keys;
+  lay.cell_node = pram::scratch<index_t>(exec, lay.rows * lay.cols, knil);
+  lay.node_row = pram::scratch<index_t>(exec, n, index_t{0});
+  lay.node_key = pram::scratch<index_t>(exec, n);
+  std::copy(keys.begin(), keys.end(), lay.node_key.vec().begin());
+
+  // Per-column histograms, hoisted into one zero-filled lease so the step
+  // body allocates nothing (column j owns slice [j·(rows+1), (j+1)·(rows+1))
+  // — processor-local, hence untracked, exactly like the per-column local
+  // vector it replaces).
+  auto hist_h = pram::scratch<std::size_t>(exec, lay.cols * (rows + 1));
+  std::vector<std::size_t>& hist = *hist_h;
 
   exec.step(lay.cols, 2 * rows + 2, [&](std::size_t j, auto&& m) {
     const std::size_t lo = j * rows;
     const std::size_t hi = std::min(n, lo + rows);
     // Sequential counting sort of the column's cells by key — processor-
     // local histogram, shared writes only to this column's cells.
-    std::vector<std::size_t> count(rows + 1, 0);
+    std::size_t* count = hist.data() + j * (rows + 1);
     for (std::size_t v = lo; v < hi; ++v) {
       const index_t k = m.rd(keys, v);
       LLMP_DCHECK(k < rows);
@@ -144,8 +156,9 @@ void walkdown1(Exec& exec, const list::LinkedList& list, const Layout2D& lay,
 
 /// Per-step trace of WalkDown2, kept for the Lemma 7 / Corollary audits
 /// (E8): handled_at[v] = the step at which node v's cell was handled.
+/// `handled_at` is an arena lease (move-only, recycled like Layout2D's).
 struct WalkDown2Trace {
-  std::vector<index_t> handled_at;
+  pram::ScratchVec<index_t> handled_at;
   std::size_t steps = 0;
 };
 
@@ -159,11 +172,14 @@ WalkDown2Trace walkdown2(Exec& exec, const list::LinkedList& list,
   const std::size_t n = list.size();
   const auto& next = list.next_array();
   WalkDown2Trace trace;
-  trace.handled_at.assign(n, knil);
+  trace.handled_at = pram::scratch<index_t>(exec, n, knil);
   const std::size_t total_steps = lay.rows == 0 ? 0 : 2 * lay.rows - 1;
   trace.steps = total_steps;
 
-  std::vector<index_t> count(lay.cols), index(lay.cols);
+  auto count_h = pram::scratch<index_t>(exec, lay.cols);
+  auto index_h = pram::scratch<index_t>(exec, lay.cols);
+  std::vector<index_t>& count = *count_h;
+  std::vector<index_t>& index = *index_h;
   exec.step(lay.cols, [&](std::size_t j, auto&& m) {
     m.wr(count, j, index_t{0});
     m.wr(index, j, index_t{0});
@@ -218,11 +234,11 @@ WalkDown2Trace walkdown2(Exec& exec, const list::LinkedList& list,
 // tests/erew_test.cpp.
 // ---------------------------------------------------------------------------
 
-/// Shared EREW state for the two WalkDown phases.
+/// Shared EREW state for the two WalkDown phases (arena leases, move-only).
 struct ErewWalkState {
-  std::vector<index_t> row_next;       ///< node_row[suc(v)] (knil if none)
-  std::vector<std::uint8_t> col_prev;  ///< color of e_pred(v) so far
-  std::vector<std::uint8_t> col_next;  ///< color of e_suc(v) so far
+  pram::ScratchVec<index_t> row_next;       ///< node_row[suc(v)], knil if none
+  pram::ScratchVec<std::uint8_t> col_prev;  ///< color of e_pred(v) so far
+  pram::ScratchVec<std::uint8_t> col_next;  ///< color of e_suc(v) so far
 };
 
 template <class Exec>
@@ -231,10 +247,10 @@ ErewWalkState make_erew_walk_state(Exec& exec, const list::LinkedList& list,
                                    const std::vector<index_t>& pred) {
   const std::size_t n = list.size();
   ErewWalkState st;
-  st.row_next.assign(n, knil);
-  st.col_prev.assign(n, kNoColor);
-  st.col_next.assign(n, kNoColor);
-  pull_from_next(exec, list, pred, lay.node_row, st.row_next,
+  st.row_next = pram::scratch<index_t>(exec, n, knil);
+  st.col_prev = pram::scratch<std::uint8_t>(exec, n, kNoColor);
+  st.col_next = pram::scratch<std::uint8_t>(exec, n, kNoColor);
+  pull_from_next(exec, list, pred, lay.node_row.vec(), st.row_next.vec(),
                  /*circular=*/false);
   return st;
 }
@@ -291,11 +307,14 @@ WalkDown2Trace walkdown2_erew(Exec& exec, const list::LinkedList& list,
   const std::size_t n = list.size();
   const auto& next = list.next_array();
   WalkDown2Trace trace;
-  trace.handled_at.assign(n, knil);
+  trace.handled_at = pram::scratch<index_t>(exec, n, knil);
   const std::size_t total_steps = lay.rows == 0 ? 0 : 2 * lay.rows - 1;
   trace.steps = total_steps;
 
-  std::vector<index_t> count(lay.cols), index(lay.cols);
+  auto count_h = pram::scratch<index_t>(exec, lay.cols);
+  auto index_h = pram::scratch<index_t>(exec, lay.cols);
+  std::vector<index_t>& count = *count_h;
+  std::vector<index_t>& index = *index_h;
   exec.step(lay.cols, [&](std::size_t j, auto&& m) {
     m.wr(count, j, index_t{0});
     m.wr(index, j, index_t{0});

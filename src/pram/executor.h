@@ -28,6 +28,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -48,6 +49,19 @@ struct DirectMem {
   void wr(std::vector<T>& a, std::size_t i, T v) const {
     LLMP_DCHECK(i < a.size());
     a[i] = v;
+  }
+
+  /// Vector-like handles (pram::ScratchVec) route through their .vec().
+  template <class V>
+    requires requires(const V& h) { h.vec(); }
+  auto rd(const V& a, std::size_t i) const {
+    return rd(a.vec(), i);
+  }
+  template <class V, class T>
+    requires requires(V& h) { h.vec(); }
+  void wr(V& a, std::size_t i, T v) const {
+    using U = typename std::remove_reference_t<decltype(a.vec())>::value_type;
+    wr(a.vec(), i, static_cast<U>(v));
   }
 };
 
@@ -94,6 +108,11 @@ class SeqExec {
 /// model is independent of the pool size.
 class ParallelExec {
  public:
+  /// Steps smaller than this run inline on the caller: below it, waking
+  /// the pool costs more than the loop. Public so tests can pin behavior
+  /// exactly at the boundary (thread_pool_test.cpp).
+  static constexpr std::size_t kParallelThreshold = 2048;
+
   ParallelExec(std::size_t processors, ThreadPool& pool)
       : p_(processors), pool_(&pool) {
     LLMP_CHECK(processors >= 1);
@@ -109,7 +128,9 @@ class ParallelExec {
       for (std::size_t v = 0; v < nprocs; ++v) body(v, m);
       return;
     }
-    pool_->parallel_for(nprocs, [&](std::size_t v) {
+    // Templated chunked dispatch: the pool inlines the body per chunk, no
+    // per-index std::function hop (thread_pool.h).
+    pool_->parallel_for(nprocs, [&body](std::size_t v) {
       DirectMem m;
       body(v, m);
     });
@@ -125,8 +146,6 @@ class ParallelExec {
   const Stats& stats() const { return stats_; }
 
  private:
-  static constexpr std::size_t kParallelThreshold = 2048;
-
   std::size_t p_;
   ThreadPool* pool_;
   Stats stats_;

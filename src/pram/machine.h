@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <stdexcept>
 #include <string>
+#include <type_traits>
 #include <unordered_map>
 #include <vector>
 
@@ -103,6 +104,19 @@ class Machine {
           m_->flag(Violation::Kind::kConcurrentWrite, i);
         }
       }
+    }
+
+    /// Vector-like handles (pram::ScratchVec) route through their .vec().
+    template <class V>
+      requires requires(const V& h) { h.vec(); }
+    auto rd(const V& a, std::size_t i) {
+      return rd(a.vec(), i);
+    }
+    template <class V, class T>
+      requires requires(V& h) { h.vec(); }
+    void wr(V& a, std::size_t i, T v) {
+      using U = typename std::remove_reference_t<decltype(a.vec())>::value_type;
+      wr(a.vec(), i, static_cast<U>(v));
     }
 
    private:

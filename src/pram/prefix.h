@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "pram/arena.h"
 #include "pram/stats.h"
 #include "support/check.h"
 #include "support/itlog.h"
@@ -109,8 +110,9 @@ SortedByKey counting_sort_by_key(Exec& exec, const std::vector<index_t>& keys,
   // r in block b. The key-major layout means the exclusive scan hands each
   // (key, block) pair the final start offset with blocks ordered within a
   // key — which preserves block order and hence stability.
-  std::vector<std::uint64_t> counts(static_cast<std::size_t>(range) * blocks,
-                                    0);
+  auto counts_h = pram::scratch<std::uint64_t>(
+      exec, static_cast<std::size_t>(range) * blocks);
+  std::vector<std::uint64_t>& counts = *counts_h;
   const std::uint64_t per_block =
       static_cast<std::uint64_t>(chunk) + range;  // histogram work/proc
   exec.step(blocks, per_block, [&](std::size_t b, auto&& mem) {

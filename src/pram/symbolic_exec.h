@@ -1,7 +1,7 @@
 // Trace-recording executor for the access-pattern prover.
 //
-// SymbolicExec implements the same Executor concept as pram::SeqExec /
-// pram::Machine (executor.h), so every algorithm template in core/ and
+// SymbolicExec implements the same Executor concept as SeqExec /
+// Machine (executor.h), so every algorithm template in core/ and
 // apps/ runs on it unchanged. Each rd/wr is applied to the real vector
 // (the algorithm computes its genuine result, including all data-dependent
 // control flow) and simultaneously appended to a Trace. The prover then
@@ -27,11 +27,11 @@
 #include <utility>
 #include <vector>
 
-#include "analysis/trace.h"
 #include "pram/stats.h"
+#include "pram/trace.h"
 #include "support/check.h"
 
-namespace llmp::analysis {
+namespace llmp::pram {
 
 class SymbolicExec {
  public:
@@ -64,6 +64,19 @@ class SymbolicExec {
       a[i] = v;  // lint:allow(unchecked-index) — checked above
     }
 
+    /// Vector-like handles (pram::ScratchVec) route through their .vec().
+    template <class V>
+      requires requires(const V& h) { h.vec(); }
+    auto rd(const V& a, std::size_t i) {
+      return rd(a.vec(), i);
+    }
+    template <class V, class T>
+      requires requires(V& h) { h.vec(); }
+    void wr(V& a, std::size_t i, T v) {
+      using U = typename std::remove_reference_t<decltype(a.vec())>::value_type;
+      wr(a.vec(), i, static_cast<U>(v));
+    }
+
    private:
     SymbolicExec* e_;
   };
@@ -71,7 +84,7 @@ class SymbolicExec {
   template <class F>
   void step(std::size_t nprocs, std::uint64_t unit_cost, F&& body) {
     stats_.depth += 1;
-    stats_.time_p += pram::ceil_div(nprocs, p_) * unit_cost;
+    stats_.time_p += ceil_div(nprocs, p_) * unit_cost;
     stats_.work += static_cast<std::uint64_t>(nprocs) * unit_cost;
     trace_.steps.emplace_back();
     trace_.steps.back().nprocs = nprocs;
@@ -88,8 +101,8 @@ class SymbolicExec {
   }
 
   std::size_t processors() const { return p_; }
-  pram::Stats& stats() { return stats_; }
-  const pram::Stats& stats() const { return stats_; }
+  Stats& stats() { return stats_; }
+  const Stats& stats() const { return stats_; }
   const Trace& trace() const { return trace_; }
 
   /// Moves the recorded trace out and resets recording state.
@@ -126,10 +139,10 @@ class SymbolicExec {
   }
 
   std::size_t p_;
-  pram::Stats stats_;
+  Stats stats_;
   Trace trace_;
   std::uint32_t cur_proc_ = 0;
   std::unordered_map<const void*, std::uint32_t> ids_;
 };
 
-}  // namespace llmp::analysis
+}  // namespace llmp::pram

@@ -1,7 +1,5 @@
 #include "pram/thread_pool.h"
 
-#include <algorithm>
-
 #include "support/check.h"
 
 namespace llmp::pram {
@@ -24,16 +22,18 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::worker_loop(std::size_t tid) {
   std::size_t seen_epoch = 0;
   for (;;) {
-    std::function<void(std::size_t)> job;
+    SliceFn fn = nullptr;
+    void* ctx = nullptr;
     {
       std::unique_lock<std::mutex> lk(mu_);
       cv_job_.wait(lk, [&] { return stop_ || epoch_ != seen_epoch; });
       if (stop_) return;
       seen_epoch = epoch_;
-      job = job_;
+      fn = job_fn_;
+      ctx = job_ctx_;
     }
     try {
-      job(tid);
+      fn(ctx, tid);
     } catch (...) {
       std::lock_guard<std::mutex> lk(mu_);
       if (!first_error_) first_error_ = std::current_exception();
@@ -45,9 +45,17 @@ void ThreadPool::worker_loop(std::size_t tid) {
   }
 }
 
-void ThreadPool::dispatch(const std::function<void(std::size_t)>& per_worker) {
+void ThreadPool::dispatch(SliceFn fn, void* ctx) {
   if (threads_.empty()) {
-    per_worker(0);
+    // Zero-worker path: the caller is the only slice (tid == workers()
+    // == 0). Same protocol as below — capture into first_error_, then
+    // rethrow once — so behavior is uniform whatever the pool size.
+    LLMP_CHECK_MSG(pending_ == 0, "ThreadPool::dispatch is not reentrant");
+    try {
+      fn(ctx, 0);
+    } catch (...) {
+      if (!first_error_) first_error_ = std::current_exception();
+    }
     if (first_error_) {
       auto e = first_error_;
       first_error_ = nullptr;
@@ -58,14 +66,15 @@ void ThreadPool::dispatch(const std::function<void(std::size_t)>& per_worker) {
   {
     std::lock_guard<std::mutex> lk(mu_);
     LLMP_CHECK_MSG(pending_ == 0, "ThreadPool::dispatch is not reentrant");
-    job_ = per_worker;
+    job_fn_ = fn;
+    job_ctx_ = ctx;
     pending_ = threads_.size();
     ++epoch_;
   }
   cv_job_.notify_all();
   // The caller runs the final slice itself (tid == workers()).
   try {
-    per_worker(threads_.size());
+    fn(ctx, threads_.size());
   } catch (...) {
     std::lock_guard<std::mutex> lk(mu_);
     if (!first_error_) first_error_ = std::current_exception();
@@ -82,20 +91,9 @@ void ThreadPool::dispatch(const std::function<void(std::size_t)>& per_worker) {
   }
 }
 
-void ThreadPool::parallel_for(std::size_t n,
-                              const std::function<void(std::size_t)>& body) {
-  if (n == 0) return;
-  const std::size_t slices = threads_.size() + 1;
-  const std::size_t chunk = (n + slices - 1) / slices;
-  dispatch([&](std::size_t tid) {
-    const std::size_t lo = tid * chunk;
-    const std::size_t hi = std::min(n, lo + chunk);
-    for (std::size_t i = lo; i < hi; ++i) body(i);
-  });
-}
-
 void ThreadPool::run_spmd(const std::function<void(std::size_t)>& fn) {
-  dispatch(fn);
+  auto call = [&fn](std::size_t tid) { fn(tid); };
+  dispatch(&invoke<decltype(call)>, &call);
 }
 
 }  // namespace llmp::pram

@@ -5,12 +5,21 @@
 // calling thread, and blocks until all chunks complete. Exceptions thrown
 // by the body are captured and rethrown on the caller (first one wins).
 //
+// `parallel_for` is a template: the per-chunk slice loop calls the body
+// directly (inlined at the call site), and only the per-*chunk* dispatch
+// is type-erased — as a raw {function pointer, context pointer} pair, not
+// a std::function — so per-step dispatch cost does not scale with the
+// step's processor count. The erasure is safe without ownership because
+// dispatch blocks until every slice has run. run_spmd keeps the
+// std::function interface for SPMD-style tests.
+//
 // The pool backs ParallelExec's synchronous steps: because every algorithm
 // step writes only cells that no other virtual processor reads in the same
 // step (the double-buffer discipline that pram::Machine verifies), chunked
 // unordered execution of one step is equivalent to lockstep execution.
 #pragma once
 
+#include <algorithm>
 #include <condition_variable>
 #include <cstddef>
 #include <exception>
@@ -33,7 +42,18 @@ class ThreadPool {
 
   /// Apply body(i) for all i in [0, n), split into per-thread contiguous
   /// chunks. Blocks until done; rethrows the first body exception.
-  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+  template <class F>
+  void parallel_for(std::size_t n, F&& body) {
+    if (n == 0) return;
+    const std::size_t slices = threads_.size() + 1;
+    const std::size_t chunk = (n + slices - 1) / slices;
+    auto slice = [&body, n, chunk](std::size_t tid) {
+      const std::size_t lo = tid * chunk;
+      const std::size_t hi = std::min(n, lo + chunk);
+      for (std::size_t i = lo; i < hi; ++i) body(i);
+    };
+    dispatch(&invoke<decltype(slice)>, &slice);
+  }
 
   /// Run fn(tid) once on every worker and on the caller (tid = workers()).
   /// Used by SPMD-style tests that exercise the Barrier.
@@ -42,19 +62,27 @@ class ThreadPool {
   std::size_t workers() const { return threads_.size(); }
 
  private:
-  struct Job {
-    std::function<void(std::size_t worker)> work;  // per-worker slice
-    std::size_t epoch = 0;
-  };
+  /// Type-erased per-slice job: fn(ctx, tid). ctx outlives the dispatch
+  /// because dispatch blocks until all slices finish.
+  using SliceFn = void (*)(void* ctx, std::size_t tid);
+
+  template <class F>
+  static void invoke(void* ctx, std::size_t tid) {
+    (*static_cast<F*>(ctx))(tid);
+  }
 
   void worker_loop(std::size_t tid);
-  void dispatch(const std::function<void(std::size_t)>& per_worker);
+  /// Run fn(ctx, tid) once per worker (tid < workers()) and once on the
+  /// caller (tid == workers()). With zero workers the caller runs tid 0
+  /// under the same exception-capture protocol as the threaded path.
+  void dispatch(SliceFn fn, void* ctx);
 
   std::vector<std::thread> threads_;
   std::mutex mu_;
   std::condition_variable cv_job_;
   std::condition_variable cv_done_;
-  std::function<void(std::size_t)> job_;
+  SliceFn job_fn_ = nullptr;
+  void* job_ctx_ = nullptr;
   std::size_t epoch_ = 0;
   std::size_t pending_ = 0;
   bool stop_ = false;

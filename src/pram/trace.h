@@ -1,4 +1,4 @@
-// Access traces recorded by analysis::SymbolicExec.
+// Access traces recorded by pram::SymbolicExec.
 //
 // A Trace is the complete memory behaviour of one algorithm run: for every
 // synchronous step, the ordered list of shared-memory accesses with the
@@ -17,7 +17,7 @@
 #include <string>
 #include <vector>
 
-namespace llmp::analysis {
+namespace llmp::pram {
 
 /// One shared-memory access inside a step.
 struct Access {
@@ -41,4 +41,4 @@ struct Trace {
   std::size_t arrays = 0;
 };
 
-}  // namespace llmp::analysis
+}  // namespace llmp::pram

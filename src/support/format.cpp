@@ -9,6 +9,26 @@
 
 namespace llmp::fmt {
 
+namespace {
+TableStyle g_table_style = TableStyle::kAligned;
+
+/// CSV cell: quoted (with doubled inner quotes) when it contains a comma,
+/// quote, or newline — fmt::num's thousands separators make commas common.
+std::string csv_cell(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char ch : cell) {
+    if (ch == '"') out.push_back('"');
+    out.push_back(ch);
+  }
+  out.push_back('"');
+  return out;
+}
+}  // namespace
+
+void set_table_style(TableStyle style) { g_table_style = style; }
+TableStyle table_style() { return g_table_style; }
+
 Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
   LLMP_CHECK(!headers_.empty());
 }
@@ -21,6 +41,24 @@ void Table::add_row(std::vector<std::string> cells) {
 }
 
 void Table::print(std::ostream& os) const {
+  if (g_table_style == TableStyle::kCsv) {
+    print_csv(os);
+    return;
+  }
+  print_aligned(os);
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c)
+      os << (c == 0 ? "" : ",") << csv_cell(cells[c]);
+    os << '\n';
+  };
+  line(headers_);
+  for (const auto& row : rows_) line(row);
+}
+
+void Table::print_aligned(std::ostream& os) const {
   std::vector<std::size_t> width(headers_.size());
   for (std::size_t c = 0; c < headers_.size(); ++c)
     width[c] = headers_[c].size();

@@ -11,6 +11,13 @@
 
 namespace llmp::fmt {
 
+/// Process-wide table rendering style. kAligned is the human-readable
+/// default; kCsv emits RFC-4180-ish comma-separated rows for scripting
+/// sweeps (the bench binaries switch to it under --csv).
+enum class TableStyle { kAligned, kCsv };
+void set_table_style(TableStyle style);
+TableStyle table_style();
+
 /// Columnar table: set headers once, add rows of stringified cells, print.
 class Table {
  public:
@@ -19,12 +26,15 @@ class Table {
   /// Add one row; must have the same arity as the headers.
   void add_row(std::vector<std::string> cells);
 
-  /// Render with aligned columns to `os` (default stdout).
+  /// Render to `os` (default stdout) in the process-wide table style.
   void print(std::ostream& os = std::cout) const;
 
   std::size_t rows() const { return rows_.size(); }
 
  private:
+  void print_aligned(std::ostream& os) const;
+  void print_csv(std::ostream& os) const;
+
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;
 };

@@ -12,15 +12,17 @@
 #include <vector>
 
 #include "analysis/algorithms.h"
-#include "analysis/symbolic_exec.h"
 #include "apps/list_ranking.h"
 #include "list/generators.h"
+#include "pram/context.h"
 #include "pram/executor.h"
 #include "pram/machine.h"
+#include "pram/symbolic_exec.h"
 
 namespace llmp::analysis {
 namespace {
 
+using pram::SymbolicExec;
 using Samples = std::vector<std::pair<std::uint32_t, std::uint64_t>>;
 
 // ---- Footprint classification. -------------------------------------------
@@ -198,20 +200,22 @@ TEST(SymbolicExec, AnalyzeRunSeesTheShiftedReadAsLegalCrew) {
 
 // ---- The headline: prover verdicts == pram::Machine verdicts. ------------
 
-bool machine_clean(const AlgoSpec& spec, pram::Mode mode,
+bool machine_clean(const core::AlgorithmEntry& entry, pram::Mode mode,
                    const list::LinkedList& list) {
   pram::Machine machine(mode, list.size(),
                         pram::Machine::OnViolation::kRecord);
-  spec.run_machine(machine, list);
+  pram::Context ctx(machine);
+  entry.runner->run(ctx, list);
   return machine.violations().empty();
 }
 
 TEST(ProverVsMachine, LegalityAgreesForEveryRegisteredAlgorithm) {
   const std::size_t kN = 64;
   const list::LinkedList list = list::generators::random_list(kN, 3);
-  for (const AlgoSpec& spec : algorithm_registry()) {
+  for (const core::AlgorithmEntry* entry : algorithm_registry()) {
     SymbolicExec sym(kN);
-    spec.run_symbolic(sym, list);
+    pram::Context ctx(sym);
+    entry->runner->run(ctx, list);
     const RunAnalysis run = analyze_run(sym.take_trace(), kN);
     const StepReplay& f = run.flags;
 
@@ -221,20 +225,20 @@ TEST(ProverVsMachine, LegalityAgreesForEveryRegisteredAlgorithm) {
     const bool common_legal =
         !(f.read_after_write || f.concurrent_write_diff);
 
-    EXPECT_EQ(erew_legal, machine_clean(spec, pram::Mode::kEREW, list))
-        << spec.name << " under EREW";
-    EXPECT_EQ(crew_legal, machine_clean(spec, pram::Mode::kCREW, list))
-        << spec.name << " under CREW";
+    EXPECT_EQ(erew_legal, machine_clean(*entry, pram::Mode::kEREW, list))
+        << entry->name << " under EREW";
+    EXPECT_EQ(crew_legal, machine_clean(*entry, pram::Mode::kCREW, list))
+        << entry->name << " under CREW";
     EXPECT_EQ(common_legal,
-              machine_clean(spec, pram::Mode::kCRCWCommon, list))
-        << spec.name << " under CRCW-Common";
+              machine_clean(*entry, pram::Mode::kCRCWCommon, list))
+        << entry->name << " under CRCW-Common";
   }
 }
 
 TEST(ProverVsMachine, DeclaredModelIsLegalForEveryAlgorithm) {
   const list::LinkedList list = list::generators::random_list(80, 11);
-  for (const AlgoSpec& spec : algorithm_registry()) {
-    EXPECT_TRUE(machine_clean(spec, spec.declared, list)) << spec.name;
+  for (const core::AlgorithmEntry* entry : algorithm_registry()) {
+    EXPECT_TRUE(machine_clean(*entry, entry->declared, list)) << entry->name;
   }
 }
 

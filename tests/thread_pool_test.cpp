@@ -1,4 +1,5 @@
-// Tests for the SPMD thread pool and the sense-reversing barrier.
+// Tests for the SPMD thread pool and the sense-reversing barrier, plus
+// ParallelExec's inline/pooled dispatch seam at kParallelThreshold.
 #include "pram/thread_pool.h"
 
 #include <gtest/gtest.h>
@@ -9,6 +10,7 @@
 #include <vector>
 
 #include "pram/barrier.h"
+#include "pram/executor.h"
 
 namespace llmp::pram {
 namespace {
@@ -49,6 +51,22 @@ TEST(ThreadPool, BodyExceptionPropagatesToCaller) {
   EXPECT_EQ(sum.load(), 45);
 }
 
+TEST(ThreadPool, ZeroWorkerPoolRunsInlineAndPropagatesExceptions) {
+  // workers == 0 must degrade to a plain sequential loop on the caller
+  // thread: full coverage, exceptions surfaced, pool reusable after.
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.workers(), 0u);
+  EXPECT_THROW(pool.parallel_for(100,
+                                 [&](std::size_t i) {
+                                   if (i == 57)
+                                     throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+  std::uint64_t sum = 0;  // no atomics needed: everything is inline
+  pool.parallel_for(10, [&](std::size_t i) { sum += i; });
+  EXPECT_EQ(sum, 45u);
+}
+
 TEST(ThreadPool, ManySmallJobsReuseWorkers) {
   ThreadPool pool(2);
   std::atomic<std::uint64_t> total{0};
@@ -57,6 +75,39 @@ TEST(ThreadPool, ManySmallJobsReuseWorkers) {
       total.fetch_add(i, std::memory_order_relaxed);
     });
   EXPECT_EQ(total.load(), 200u * 120u);
+}
+
+TEST(ParallelExec, ThresholdBoundaryMatchesSeqExecExactly) {
+  // ParallelExec runs steps with nprocs < kParallelThreshold inline and
+  // dispatches larger ones to the pool. Pin the seam: one below, at, and
+  // one above the threshold must all produce the same memory contents and
+  // the same Stats as SeqExec.
+  const std::size_t t = ParallelExec::kParallelThreshold;
+  for (std::size_t n : {t - 1, t, t + 1}) {
+    SeqExec seq(64);
+    ThreadPool pool(3);
+    ParallelExec par(64, pool);
+    std::vector<std::uint64_t> a_seq(n, 1), b_seq(n, 0);
+    std::vector<std::uint64_t> a_par(n, 1), b_par(n, 0);
+    auto run = [n](auto& exec, std::vector<std::uint64_t>& a,
+                   std::vector<std::uint64_t>& b) {
+      exec.step(n, [&](std::size_t v, auto&& m) {
+        m.wr(b, v, m.rd(a, v) + v);
+      });
+      exec.step(n, 5, [&](std::size_t v, auto&& m) {
+        m.wr(a, v, m.rd(b, (v + 1) % n));
+      });
+    };
+    run(seq, a_seq, b_seq);
+    run(par, a_par, b_par);
+    EXPECT_EQ(a_seq, a_par) << "n=" << n;
+    EXPECT_EQ(b_seq, b_par) << "n=" << n;
+    EXPECT_EQ(seq.stats().depth, par.stats().depth) << "n=" << n;
+    EXPECT_EQ(seq.stats().time_p, par.stats().time_p) << "n=" << n;
+    EXPECT_EQ(seq.stats().work, par.stats().work) << "n=" << n;
+    EXPECT_EQ(seq.stats().reads, par.stats().reads) << "n=" << n;
+    EXPECT_EQ(seq.stats().writes, par.stats().writes) << "n=" << n;
+  }
 }
 
 TEST(Barrier, SynchronizesPhases) {

@@ -16,9 +16,9 @@
 
 #include "analysis/algorithms.h"
 #include "analysis/prover.h"
-#include "analysis/symbolic_exec.h"
 #include "list/generators.h"
-#include "pram/machine.h"
+#include "pram/context.h"
+#include "pram/symbolic_exec.h"
 
 namespace {
 
@@ -74,23 +74,24 @@ int main(int argc, char** argv) {
   using namespace llmp;
   std::vector<analysis::AlgoReport> reports;
   bool all_declared_legal = true;
-  for (const analysis::AlgoSpec& spec : analysis::algorithm_registry()) {
-    if (!filter.empty() && spec.name.find(filter) == std::string::npos)
+  for (const core::AlgorithmEntry* entry : analysis::algorithm_registry()) {
+    if (!filter.empty() && entry->name.find(filter) == std::string::npos)
       continue;
     analysis::AlgoReport report;
-    report.name = spec.name;
-    report.declared = pram::to_string(spec.declared);
+    report.name = entry->name;
+    report.declared = pram::to_string(entry->declared);
     for (std::size_t n : sizes) {
       const list::LinkedList list = list::generators::random_list(n, seed);
-      analysis::SymbolicExec exec(n);
-      spec.run_symbolic(exec, list);
+      pram::SymbolicExec exec(n);
+      pram::Context ctx(exec);
+      entry->runner->run(ctx, list);
       report.runs.push_back(
           analysis::analyze_run(exec.take_trace(), n));
     }
     report.verdicts = analysis::combine_runs(report.runs);
     const analysis::ModeVerdict& declared_verdict =
-        spec.declared == pram::Mode::kEREW ? report.verdicts.erew
-        : spec.declared == pram::Mode::kCREW
+        entry->declared == pram::Mode::kEREW ? report.verdicts.erew
+        : entry->declared == pram::Mode::kCREW
             ? report.verdicts.crew
             : report.verdicts.common;
     report.declared_legal = declared_verdict.legal;
