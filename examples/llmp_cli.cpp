@@ -8,10 +8,13 @@
 //   llmp_cli tree  --n 65536 --seed 7
 //   llmp_cli list                    # registry: names, models, time bounds
 //
-// Algorithm names resolve through the single registry (core/registry.h),
-// so `--alg match4-table` or `--alg match1-erew` picks up that entry's
-// canonical options; bare flags (--i, --table, --erew) override on top.
-// (Built as example_llmp_cli.)
+// The match command goes through the public surface (llmp.h): names
+// resolve through the single registry, so `--alg match4-table` or
+// `--alg match1-erew` picks up that entry's canonical options; bare flags
+// (--i, --table, --erew) override on top, and bad input comes back as a
+// Status instead of aborting. The app commands (rank/color/tree) use the
+// apps/ headers directly — they are demos of the repo's internals, not of
+// the stable surface. (Built as example_llmp_cli.)
 #include <cstdlib>
 #include <iostream>
 #include <map>
@@ -20,13 +23,8 @@
 #include "apps/euler_tour.h"
 #include "apps/independent_set.h"
 #include "apps/list_ranking.h"
-#include "apps/register.h"
 #include "apps/three_coloring.h"
-#include "core/maximal_matching.h"
-#include "core/verify.h"
-#include "list/generators.h"
-#include "pram/context.h"
-#include "pram/executor.h"
+#include "llmp.h"
 #include "support/format.h"
 
 namespace {
@@ -77,21 +75,6 @@ list::LinkedList make_list(const Args& a) {
   return list::generators::random_list(n, seed);
 }
 
-/// Resolve an --alg value to the registry entry's canonical MatchOptions.
-/// Accepts any registered matching name ("match4-table", "match1-erew", …)
-/// plus the historical aliases seq/random.
-bool resolve_alg(const std::string& s, core::MatchOptions& opt) {
-  apps::register_algorithms();
-  const auto& reg = core::AlgorithmRegistry::instance();
-  std::string name = s;
-  if (s == "seq") name = "sequential";
-  if (s == "random") name = "randomized";
-  const core::AlgorithmEntry* entry = reg.find(name);
-  if (entry == nullptr || !entry->matching) return false;
-  opt = entry->canonical;
-  return true;
-}
-
 void emit(const Args& a, const std::string& what,
           const std::vector<std::pair<std::string, std::string>>& fields) {
   if (a.flag("json")) {
@@ -111,38 +94,27 @@ void emit(const Args& a, const std::string& what,
 
 int cmd_match(const Args& a) {
   const auto lst = make_list(a);
-  pram::SeqExec exec(static_cast<std::size_t>(a.num("p", 1024)));
-  pram::Context ctx(exec);
-  core::MatchOptions opt;
-  if (!resolve_alg(a.str("alg", "match4"), opt)) {
-    std::cerr << "unknown algorithm " << a.str("alg", "match4")
-              << " (see `llmp_cli list`)\n";
+  llmp::Context ctx(static_cast<std::size_t>(a.num("p", 1024)));
+  const std::string alg = a.str("alg", "match4");
+  llmp::Options opt;
+  opt.i_parameter = static_cast<int>(a.num("i", 0));  // 0 = canonical
+  opt.table = a.flag("table");
+  opt.erew = a.flag("erew");
+  opt.seed = a.num("seed", 42);
+  const auto r = llmp::run(ctx, alg, lst, opt);
+  if (!r.ok()) {
+    std::cerr << r.status().to_string() << " (see `llmp_cli list`)\n";
     return 2;
   }
-  opt.i_parameter = static_cast<int>(a.num("i", opt.i_parameter));
-  opt.partition_with_table = opt.partition_with_table || a.flag("table");
-  opt.seed = a.num("seed", 42);
-  if (a.flag("erew")) {
-    if (opt.algorithm != core::Algorithm::kMatch1 &&
-        opt.algorithm != core::Algorithm::kMatch2 &&
-        opt.algorithm != core::Algorithm::kMatch4) {
-      std::cerr << "--erew supports match1/match2/match4\n";
-      return 2;
-    }
-    opt.erew = true;
-  }
-  const core::MatchResult r = core::maximal_matching(ctx, lst, opt);
-  core::verify::check_matching(lst, r.in_matching);
-  core::verify::check_maximal(lst, r.in_matching);
   emit(a, "match",
-       {{"algorithm", core::to_string(opt.algorithm)},
+       {{"algorithm", alg},
         {"n", std::to_string(lst.size())},
-        {"p", std::to_string(exec.processors())},
-        {"edges", std::to_string(r.edges)},
-        {"depth", std::to_string(r.cost.depth)},
-        {"time_p", std::to_string(r.cost.time_p)},
-        {"work", std::to_string(r.cost.work)},
-        {"partition_sets", std::to_string(r.partition_sets)},
+        {"p", std::to_string(ctx.processors())},
+        {"edges", std::to_string(r->edges)},
+        {"depth", std::to_string(r->cost.depth)},
+        {"time_p", std::to_string(r->cost.time_p)},
+        {"work", std::to_string(r->cost.work)},
+        {"partition_sets", std::to_string(r->partition_sets)},
         {"verified", "maximal"}});
   return 0;
 }

@@ -1,17 +1,14 @@
 // Quickstart: compute a maximal matching of a linked list's pointers with
-// each algorithm through one warm pram::Context, verify it, and read the
-// PRAM cost model. The Context owns the scratch arena, so every run after
-// the first recycles the previous run's buffers (takes vs hits below).
+// each algorithm through one warm llmp::Context, and read the PRAM cost
+// model. Uses only the public umbrella header: llmp::Context owns the
+// backend and the scratch arena, llmp::run resolves registry names,
+// verifies results, and reports problems as a Status instead of aborting.
 //
 //   ./example_quickstart [n] [processors]
 #include <cstdlib>
 #include <iostream>
 
-#include "core/maximal_matching.h"
-#include "core/verify.h"
-#include "list/generators.h"
-#include "pram/context.h"
-#include "pram/executor.h"
+#include "llmp.h"
 #include "support/format.h"
 
 int main(int argc, char** argv) {
@@ -27,34 +24,31 @@ int main(int argc, char** argv) {
             << " pointers, head = " << lst.head() << ", tail = " << lst.tail()
             << "\np (cost-model processors) = " << p << "\n\n";
 
-  // One backend + one Context for the whole program: the arena inside the
-  // Context is what lets run k+1 reuse run k's scratch slabs.
-  pram::SeqExec exec(p);  // p is a model parameter, not host threads
-  pram::Context ctx(exec);
+  // One Context for the whole program: the arena inside it is what lets
+  // run k+1 reuse run k's scratch slabs. p is a model parameter of the
+  // simulated PRAM, not host threads.
+  llmp::Context ctx(p);
 
   fmt::Table t({"algorithm", "edges", "PRAM steps (depth)", "time_p",
                 "work", "partition sets"});
-  for (auto alg : {core::Algorithm::kSequential, core::Algorithm::kMatch1,
-                   core::Algorithm::kMatch2, core::Algorithm::kMatch3,
-                   core::Algorithm::kMatch4, core::Algorithm::kRandomized}) {
-    core::MatchOptions opt;
-    opt.algorithm = alg;
-    opt.i_parameter = 3;  // Match4's adjustable i: rows = Θ(log^(3) n)
-    const core::MatchResult r = core::maximal_matching(ctx, lst, opt);
-
-    // Every algorithm must produce a *valid*, *maximal* matching; these
-    // throw with a diagnostic if not.
-    core::verify::check_matching(lst, r.in_matching);
-    core::verify::check_maximal(lst, r.in_matching);
-
-    t.add_row({core::to_string(alg), fmt::num(r.edges),
-               fmt::num(r.cost.depth), fmt::num(r.cost.time_p),
-               fmt::num(r.cost.work), fmt::num(r.partition_sets)});
+  for (const char* name : {"sequential", "match1", "match2", "match3",
+                           "match4", "randomized"}) {
+    // llmp::run resolves the registry name, runs the algorithm with
+    // i_parameter = 3 (Match4's adjustable i: rows = Θ(log^(3) n)), and
+    // verifies the matching is valid and maximal (Options::verify).
+    const auto r = llmp::run(ctx, name, lst, {.i_parameter = 3});
+    if (!r.ok()) {
+      std::cerr << name << ": " << r.status().to_string() << "\n";
+      return 1;
+    }
+    t.add_row({name, fmt::num(r->edges), fmt::num(r->cost.depth),
+               fmt::num(r->cost.time_p), fmt::num(r->cost.work),
+               fmt::num(r->partition_sets)});
   }
   t.print();
 
   std::cout << "\nPer-phase breakdown of Match4 (the paper's algorithm):\n";
-  const auto r4 = core::match4(ctx, lst);
+  const auto r4 = core::match4(ctx.pram_context(), lst);
   fmt::Table ph({"phase", "depth", "time_p", "work"});
   for (const auto& phse : r4.phases)
     ph.add_row({phse.name, fmt::num(phse.cost.depth),

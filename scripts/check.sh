@@ -4,7 +4,8 @@
 #   1. plain Release build + the tier-1 ctest suite,
 #   2. llmp_lint over the tree and llmp_prove over the registry,
 #   3. the tier-1 suite again under ASan+UBSan (-DLLMP_SANITIZE=...),
-#   4. the threading tests (thread_pool_test, machine_test) under TSan.
+#   4. the threading tests (thread_pool_test, machine_test, serve_test)
+#      under TSan.
 #
 # Usage: scripts/check.sh [--fast]   (--fast skips the sanitizer builds)
 set -euo pipefail
@@ -40,8 +41,9 @@ echo "== [4/4] threading tests under TSan =="
 cmake -B build-tsan -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DLLMP_SANITIZE=thread >/dev/null
-cmake --build build-tsan -j "$JOBS" --target thread_pool_test machine_test
+cmake --build build-tsan -j "$JOBS" \
+  --target thread_pool_test machine_test serve_test
 (cd build-tsan && ctest --output-on-failure -j "$JOBS" \
-  -R "ThreadPool|Machine")
+  -R "ThreadPool|Machine|Serve|BoundedQueue")
 
 echo "check.sh: all green"

@@ -1,6 +1,10 @@
 #include "core/lookup_table.h"
 
 #include <algorithm>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <tuple>
 
 namespace llmp::core {
 
@@ -61,6 +65,26 @@ label_t MatchingLookupTable::collapse(const std::vector<label_t>& a,
     level.pop_back();
   }
   return level[0];
+}
+
+const MatchingLookupTable& cached_lookup_table(int component_bits,
+                                               int tuple_width, BitRule rule,
+                                               int collapse_width) {
+  using Key = std::tuple<int, int, int, int>;
+  static std::mutex mu;
+  static std::map<Key, std::unique_ptr<const MatchingLookupTable>> cache;
+  const Key key{component_bits, tuple_width, static_cast<int>(rule),
+                collapse_width};
+  std::lock_guard<std::mutex> lock(mu);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    it = cache
+             .emplace(key, std::make_unique<const MatchingLookupTable>(
+                               component_bits, tuple_width, rule,
+                               collapse_width))
+             .first;
+  }
+  return *it->second;
 }
 
 }  // namespace llmp::core

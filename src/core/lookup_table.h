@@ -83,6 +83,18 @@ class MatchingLookupTable {
   std::vector<std::uint8_t> table_;
 };
 
+/// Process-wide cache of built tables, keyed by the full constructor
+/// parameter tuple. A table depends only on its parameters — which Match3
+/// and Match4 derive deterministically from (n, options) via their plan
+/// objects — never on the list, so warm repeated runs at a stable size
+/// reuse one immutable table instead of re-running the Θ(cells·w)
+/// construction per call; this is what extends the zero-steady-state-
+/// allocation guarantee to the table-based algorithms. Thread-safe
+/// (serve workers share it); entries live for the process lifetime.
+const MatchingLookupTable& cached_lookup_table(int component_bits,
+                                               int tuple_width, BitRule rule,
+                                               int collapse_width = 0);
+
 /// Appendix guess-and-verify construction audit: presents the consistent
 /// pyramid for `key` and runs the paper's verification circuit — one
 /// parallel step checking every cell against the two below it, then a

@@ -17,6 +17,7 @@
 // p = O(n / log n).
 #pragma once
 
+#include <algorithm>
 #include <string>
 
 #include "core/match_result.h"
@@ -24,6 +25,7 @@
 #include "list/linked_list.h"
 #include "pram/context.h"
 #include "pram/prefix.h"
+#include "support/itlog.h"
 
 namespace llmp::core {
 
@@ -42,10 +44,41 @@ struct Match2Options {
   bool erew = false;
 };
 
-/// In-place entry point; see match1_into. The counting sort's output
-/// (SortedByKey) still allocates per call, so Match2 is sort-bound on the
-/// allocator too — the zero-steady-state-allocation guarantee covers the
-/// other phases.
+/// The concrete sizes Match2 derives from (n, options, p) before touching
+/// the list — the plan every sort buffer is pre-sized from, which is what
+/// extends the zero-steady-state-allocation guarantee to Match2: all
+/// scratch (keys, order, offsets, the padded counter grid) is leased at
+/// plan-determined sizes, so a warm Context serves every take from the
+/// pool (asserted by tests/context_test.cpp).
+struct Match2Plan {
+  int partition_rounds = 2;
+  label_t label_bound = 1;   ///< R: exclusive bound on set numbers
+  std::size_t blocks = 1;    ///< histogram blocks (min(p-or-option, n))
+  std::size_t count_cells = 1;  ///< counter grid, pow2-padded for the scan
+};
+
+inline Match2Plan plan_match2(std::size_t n, const Match2Options& opt,
+                              std::size_t processors) {
+  Match2Plan plan;
+  plan.partition_rounds = opt.partition_rounds;
+  label_t bound = static_cast<label_t>(n);
+  if (n > 1) {
+    for (int t = 0; t < opt.partition_rounds; ++t)
+      bound = partition_bound_after(bound);
+  } else {
+    bound = 1;
+  }
+  plan.label_bound = bound;
+  plan.blocks = opt.sort_blocks == 0 ? processors : opt.sort_blocks;
+  plan.blocks = std::min(plan.blocks, std::max<std::size_t>(n, 1));
+  plan.count_cells = std::size_t{1} << itlog::ceil_log2(
+      static_cast<std::size_t>(plan.label_bound) * plan.blocks);
+  return plan;
+}
+
+/// In-place entry point; see match1_into. Warm calls through a pooled
+/// pram::Context allocate nothing: every sort buffer is pre-sized from
+/// plan_match2 and leased from the arena.
 template <class Exec>
 void match2_into(Exec& exec, const list::LinkedList& list,
                  const Match2Options& opt, MatchResult& r) {
@@ -60,11 +93,12 @@ void match2_into(Exec& exec, const list::LinkedList& list,
     mark = exec.stats();
   };
 
+  const Match2Plan plan = plan_match2(n, opt, exec.processors());
+
   // Step 1: matching partition into R sets.
   auto labels_h = pram::scratch<label_t>(exec, n);
   std::vector<label_t>& labels = *labels_h;
   init_address_labels(exec, n, labels);
-  label_t bound = static_cast<label_t>(n);
   if (n > 1) {
     if (opt.erew) {
       auto pred_h = pram::scratch<index_t>(exec, n);
@@ -75,27 +109,27 @@ void match2_into(Exec& exec, const list::LinkedList& list,
     } else {
       relabel_rounds(exec, list, labels, opt.partition_rounds, opt.rule);
     }
-    for (int t = 0; t < opt.partition_rounds; ++t)
-      bound = partition_bound_after(bound);
-  } else {
-    bound = 1;
   }
   r.relabel_rounds = opt.partition_rounds;
   r.partition_sets = distinct_labels(exec, labels);
   phase("partition");
 
-  // Step 2: global sort of pointers by set number. (The tail has no real
-  // pointer; it is sorted along and skipped in the sweep.)
-  const index_t range = static_cast<index_t>(bound);
+  // Step 2: global sort of pointers by set number, into arena-leased
+  // buffers pre-sized from the plan. (The tail has no real pointer; it is
+  // sorted along and skipped in the sweep.)
+  const index_t range = static_cast<index_t>(plan.label_bound);
   auto keys_h = pram::scratch<index_t>(exec, n);
   std::vector<index_t>& keys = *keys_h;
   exec.step(n, [&](std::size_t v, auto&& m) {
     m.wr(keys, v, static_cast<index_t>(m.rd(labels, v)));
   });
-  const std::size_t blocks =
-      opt.sort_blocks == 0 ? exec.processors() : opt.sort_blocks;
-  pram::SortedByKey sorted =
-      pram::counting_sort_by_key(exec, keys, range, blocks);
+  auto order_h = pram::scratch<index_t>(exec, n);
+  auto offsets_h =
+      pram::scratch<std::uint64_t>(exec, static_cast<std::size_t>(range) + 1);
+  std::vector<index_t>& order = *order_h;
+  std::vector<std::uint64_t>& offsets = *offsets_h;
+  pram::counting_sort_by_key_into(exec, keys, range, plan.blocks, order,
+                                  offsets);
   phase("sort");
 
   // Step 3: process the sets one by one.
@@ -107,12 +141,12 @@ void match2_into(Exec& exec, const list::LinkedList& list,
     m.wr(done, v, std::uint8_t{0});
   });
   for (index_t k = 0; k < range; ++k) {
-    const std::uint64_t lo = sorted.offsets[k];
-    const std::uint64_t hi = sorted.offsets[k + 1];
+    const std::uint64_t lo = offsets[k];
+    const std::uint64_t hi = offsets[k + 1];
     if (lo == hi) continue;
     exec.step(static_cast<std::size_t>(hi - lo), [&](std::size_t t,
                                                      auto&& m) {
-      const index_t v = m.rd(sorted.order, static_cast<std::size_t>(lo) + t);
+      const index_t v = m.rd(order, static_cast<std::size_t>(lo) + t);
       const index_t s = m.rd(next, static_cast<std::size_t>(v));
       if (s == knil) return;  // tail: no pointer
       if (m.rd(done, static_cast<std::size_t>(v)) ||

@@ -94,7 +94,9 @@ inline Match3Plan plan_match3(std::size_t n, const Match3Options& opt) {
 }
 
 /// In-place entry point; see match1_into. (The lookup table itself is
-/// preprocessing and is rebuilt per call — E11 measures that separately.)
+/// preprocessing — E11 measures its construction separately — and is
+/// served from the process-wide cached_lookup_table, so only the first
+/// call at a given plan pays for the build.)
 template <class Exec>
 void match3_into(Exec& exec, const list::LinkedList& list,
                  const Match3Options& opt, MatchResult& r) {
@@ -121,10 +123,13 @@ void match3_into(Exec& exec, const list::LinkedList& list,
   phase("crunch");
 
   // Steps 3–4: concatenate and probe (table construction is
-  // preprocessing, not counted in the algorithm's phases; E11 reports it).
+  // preprocessing, not counted in the algorithm's phases; E11 reports it —
+  // and the process-wide cache hands warm runs the already-built table, so
+  // repeated calls at a stable n allocate nothing here).
   if (n > 1 && plan.needs_table) {
-    MatchingLookupTable table(plan.component_bits, 1 << plan.gather_rounds,
-                              opt.rule, plan.collapse_width);
+    const MatchingLookupTable& table = cached_lookup_table(
+        plan.component_bits, 1 << plan.gather_rounds, opt.rule,
+        plan.collapse_width);
     r.table_cells = table.cells();
     LLMP_CHECK(table.final_bound() <= kFixedPointBound);
     gather_labels(exec, list, labels, plan.component_bits,

@@ -117,8 +117,9 @@ void match4_into(Exec& exec, const list::LinkedList& list,
   if (n > 1) {
     if (plan.uses_table) {
       relabel_rounds(exec, list, labels, plan.crunch_rounds, opt.rule);
-      MatchingLookupTable table(plan.component_bits, 1 << plan.gather_rounds,
-                                opt.rule, plan.collapse_width);
+      const MatchingLookupTable& table = cached_lookup_table(
+          plan.component_bits, 1 << plan.gather_rounds, opt.rule,
+          plan.collapse_width);
       r.table_cells = table.cells();
       gather_labels(exec, list, labels, plan.component_bits,
                     plan.gather_rounds);

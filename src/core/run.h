@@ -1,0 +1,61 @@
+// Status-based public entry points over the algorithm registry.
+//
+// core::maximal_matching (maximal_matching.h) trusts its caller: invalid
+// MatchOptions abort through LLMP_CHECK, unknown names never reach it
+// because callers resolve them by hand. Those conventions are fine inside
+// the repo but wrong at a service boundary, where user input arrives over
+// a queue and a bad request must fail *that request*, not the process.
+// This header is the boundary: every function validates first and reports
+// user-input problems as a Status (support/status.h); only genuinely
+// broken internal invariants surface as kInternal.
+//
+//   pram::Context ctx(exec);
+//   core::MatchResult out;
+//   llmp::Status s = core::run_matching_into(ctx, list, opt, out);
+//
+// serve::Service workers and the llmp.h facade both funnel through here,
+// so the validation rules live in exactly one place (run.cpp).
+#pragma once
+
+#include <string_view>
+
+#include "core/maximal_matching.h"
+#include "support/status.h"
+
+namespace llmp::core {
+
+/// Validate user-supplied MatchOptions: kInvalidArgument for an
+/// out-of-range algorithm enum, a non-positive or table-infeasible
+/// Match4 i, or --erew on an algorithm without an EREW variant.
+Status validate_options(const MatchOptions& opt);
+
+/// Resolve a registry name ("match4-table", "match1-erew", …) to that
+/// entry's canonical MatchOptions. kNotFound for unknown names and
+/// kInvalidArgument for registered non-matching entries (schedules/apps).
+/// Callers that want the app entries listed must have called
+/// apps::register_algorithms() first (the llmp.h facade does).
+Result<MatchOptions> resolve_algorithm(std::string_view name);
+
+/// Validate, then dispatch through the registry into `out` (reusing its
+/// buffers — warm calls through a pooled Context allocate nothing).
+template <class Exec>
+Status run_matching_into(Exec& exec, const list::LinkedList& list,
+                         const MatchOptions& opt, MatchResult& out) {
+  if (Status s = validate_options(opt); !s.ok()) return s;
+  try {
+    maximal_matching_into(exec, list, opt, out);
+  } catch (const check_error& e) {
+    return Status::internal(e.what());
+  }
+  return {};
+}
+
+template <class Exec>
+Result<MatchResult> run_matching(Exec& exec, const list::LinkedList& list,
+                                 const MatchOptions& opt = {}) {
+  MatchResult out;
+  if (Status s = run_matching_into(exec, list, opt, out); !s.ok()) return s;
+  return out;
+}
+
+}  // namespace llmp::core

@@ -88,4 +88,24 @@ std::size_t matching_size(const std::vector<std::uint8_t>& in_matching) {
   return count;
 }
 
+Status matching_status(const list::LinkedList& list,
+                       const std::vector<std::uint8_t>& in_matching) {
+  try {
+    check_matching(list, in_matching);
+  } catch (const check_error& e) {
+    return Status::failed_verification(e.what());
+  }
+  return {};
+}
+
+Status maximal_status(const list::LinkedList& list,
+                      const std::vector<std::uint8_t>& in_matching) {
+  try {
+    check_maximal(list, in_matching);
+  } catch (const check_error& e) {
+    return Status::failed_verification(e.what());
+  }
+  return {};
+}
+
 }  // namespace llmp::core::verify

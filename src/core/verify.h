@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "list/linked_list.h"
+#include "support/status.h"
 #include "support/types.h"
 
 namespace llmp::core::verify {
@@ -40,5 +41,14 @@ void check_pointer_partition(const list::LinkedList& list,
 
 /// Number of chosen pointers.
 std::size_t matching_size(const std::vector<std::uint8_t>& in_matching);
+
+/// Status forms of the two headline oracles for public entry points (the
+/// serve layer and llmp::run audit results instead of aborting a server):
+/// the identical checks, but a kFailedVerification Status carrying the
+/// diagnostic instead of a thrown check_error.
+Status matching_status(const list::LinkedList& list,
+                       const std::vector<std::uint8_t>& in_matching);
+Status maximal_status(const list::LinkedList& list,
+                      const std::vector<std::uint8_t>& in_matching);
 
 }  // namespace llmp::core::verify

@@ -1,43 +1,76 @@
 #include "list/linked_list.h"
 
+#include <sstream>
+#include <utility>
+
 namespace llmp::list {
 
-LinkedList::LinkedList(std::vector<index_t> next) : next_(std::move(next)) {
-  const std::size_t n = next_.size();
-  LLMP_CHECK_MSG(n >= 1, "a linked list needs at least one node");
+Status LinkedList::structure(const std::vector<index_t>& next, index_t* head,
+                             index_t* tail) {
+  const std::size_t n = next.size();
+  auto fail = [](const auto&... parts) {
+    std::ostringstream os;
+    (os << ... << parts);
+    return Status::invalid_argument(os.str());
+  };
+  if (n < 1) return fail("a linked list needs at least one node");
   // Find the tail and check in-degrees: every node except the head has
   // exactly one incoming pointer.
   std::vector<std::uint8_t> indeg(n, 0);
-  tail_ = knil;
+  index_t the_tail = knil;
   for (index_t v = 0; v < n; ++v) {
-    const index_t s = next_[v];
+    LLMP_DCHECK(v < next.size());
+    const index_t s = next[v];
     if (s == knil) {
-      LLMP_CHECK_MSG(tail_ == knil, "more than one tail");
-      tail_ = v;
+      if (the_tail != knil) return fail("more than one tail");
+      the_tail = v;
     } else {
-      LLMP_CHECK_MSG(s < n, "successor out of range");
-      LLMP_CHECK_MSG(indeg[s] == 0, "node " << s << " has two predecessors");
+      if (s >= n) return fail("successor out of range");
+      if (indeg[s] != 0)
+        return fail("node ", s, " has two predecessors");
       indeg[s] = 1;
     }
   }
-  LLMP_CHECK_MSG(tail_ != knil, "no tail (links contain a cycle)");
-  head_ = knil;
+  if (the_tail == knil) return fail("no tail (links contain a cycle)");
+  index_t the_head = knil;
   for (index_t v = 0; v < n; ++v) {
     if (indeg[v] == 0) {
-      LLMP_CHECK_MSG(head_ == knil, "more than one head (disjoint chains)");
-      head_ = v;
+      if (the_head != knil)
+        return fail("more than one head (disjoint chains)");
+      the_head = v;
     }
   }
-  LLMP_CHECK(head_ != knil);
+  if (the_head == knil) return fail("no head");
   // Head + unique tail + in-degree <= 1 everywhere rules out everything
   // except one chain plus disjoint cycles; walking from the head and
   // counting proves there are no cycles.
   std::size_t seen = 0;
-  for (index_t v = head_; v != knil; v = next_[v]) {
+  for (index_t v = the_head; v != knil; v = next[v]) {
     ++seen;
-    LLMP_CHECK_MSG(seen <= n, "links contain a cycle");
+    if (seen > n) return fail("links contain a cycle");
   }
-  LLMP_CHECK_MSG(seen == n, "links do not cover all nodes (cycle present)");
+  if (seen != n)
+    return fail("links do not cover all nodes (cycle present)");
+  if (head != nullptr) *head = the_head;
+  if (tail != nullptr) *tail = the_tail;
+  return {};
+}
+
+LinkedList::LinkedList(std::vector<index_t> next) : next_(std::move(next)) {
+  const Status s = structure(next_, &head_, &tail_);
+  LLMP_CHECK_MSG(s.ok(), s.message());
+}
+
+Result<LinkedList> LinkedList::make(std::vector<index_t> next) {
+  LinkedList l;
+  if (Status s = structure(next, &l.head_, &l.tail_); !s.ok())
+    return s;
+  l.next_ = std::move(next);
+  return l;
+}
+
+Status LinkedList::validate(const std::vector<index_t>& next) {
+  return structure(next, nullptr, nullptr);
 }
 
 LinkedList LinkedList::identity(std::size_t n) {

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "support/check.h"
+#include "support/status.h"
 #include "support/types.h"
 
 namespace llmp::list {
@@ -25,6 +26,14 @@ class LinkedList {
   /// exactly one tail must exist and the links must form one chain
   /// covering all nodes (validated; throws check_error otherwise).
   explicit LinkedList(std::vector<index_t> next);
+
+  /// Non-throwing factory for untrusted input (the public API / serve
+  /// boundary): kInvalidArgument with the diagnostic instead of a throw.
+  static Result<LinkedList> make(std::vector<index_t> next);
+
+  /// Structure check alone: OK iff `next` encodes one chain over all
+  /// nodes (the constructor would accept it).
+  static Status validate(const std::vector<index_t>& next);
 
   /// The list with nodes in array order: next[i] = i+1.
   static LinkedList identity(std::size_t n);
@@ -62,6 +71,11 @@ class LinkedList {
 
  private:
   LinkedList() = default;
+
+  /// The one structure walk behind the constructor, validate() and
+  /// make(): fills *head/*tail when non-null.
+  static Status structure(const std::vector<index_t>& next, index_t* head,
+                          index_t* tail);
 
   std::vector<index_t> next_;
   index_t head_ = knil;

@@ -1,0 +1,106 @@
+// llmp.h — the umbrella header and the library's stable public surface.
+//
+// Everything an application needs lives behind three names:
+//
+//   llmp::Context             one execution context: backend + pooled arena
+//                             + the algorithm registry, ready to run
+//   llmp::run(ctx, name, l)   run a registry algorithm on a list, get a
+//                             Result<core::MatchResult> (never aborts on
+//                             user input — see support/status.h)
+//   llmp::serve::Service      the multi-request batch/serve layer
+//                             (serve/service.h)
+//
+//   #include "llmp.h"
+//   llmp::Context ctx;
+//   auto list = llmp::list::generators::random_list(1 << 16, 42);
+//   auto r = llmp::run(ctx, "match4", list);
+//   if (r.ok()) std::cout << r->edges << "\n";
+//
+// Deep internal headers (core/match4.h, pram/arena.h, …) remain available
+// and stable *within* the repo, but out-of-tree code should include only
+// this header: the names re-exported here are the compatibility surface
+// the serve layer, the CLI and the examples are written against.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+#include <utility>
+
+#include "apps/register.h"
+#include "core/maximal_matching.h"
+#include "core/run.h"
+#include "core/verify.h"
+#include "list/generators.h"
+#include "list/linked_list.h"
+#include "pram/context.h"
+#include "pram/executor.h"
+#include "serve/service.h"
+#include "support/status.h"
+
+namespace llmp {
+
+/// Per-run overrides applied on top of the algorithm's canonical options.
+/// Zero-initialised fields mean "keep the registry's canonical value".
+struct Options {
+  int i_parameter = 0;     ///< Match4's i / Match2 rounds / Match3 crunch
+  bool table = false;      ///< Match4: Lemma 5 table-accelerated partition
+  bool erew = false;       ///< run the EREW variant where one exists
+  std::uint64_t seed = 0;  ///< randomized baseline only
+  bool verify = true;      ///< audit the result with core::verify
+};
+
+/// The one-object setup for sequential use: owns a SeqExec backend and a
+/// pram::Context with a pooled ScratchArena, and registers the application
+/// algorithms so llmp::run() resolves every public name. Warm runs through
+/// one Context allocate nothing. Not thread-safe — use one Context per
+/// thread, or serve::Service which does exactly that.
+class Context {
+ public:
+  explicit Context(std::size_t processors = 1024)
+      : exec_(processors == 0 ? 1 : processors), ctx_(exec_) {
+    apps::register_algorithms();
+  }
+
+  /// The underlying pram::Context, for calling algorithm templates or
+  /// core entry points directly.
+  pram::Context<pram::SeqExec>& pram_context() { return ctx_; }
+  std::size_t processors() const { return ctx_.processors(); }
+  pram::ScratchArena& arena() { return ctx_.arena(); }
+  const pram::PhaseBreakdown& phases() const { return ctx_.phases(); }
+
+ private:
+  pram::SeqExec exec_;
+  pram::Context<pram::SeqExec> ctx_;
+};
+
+/// Run the registry algorithm `name` ("match4", "match2-erew",
+/// "sequential", …) on `list`. User-input problems come back as a Status
+/// (kNotFound, kInvalidArgument), verification failures as
+/// kFailedVerification; this never aborts on bad input.
+inline Result<core::MatchResult> run(Context& ctx, std::string_view name,
+                                     const list::LinkedList& list,
+                                     const Options& options = {}) {
+  Result<core::MatchOptions> resolved = core::resolve_algorithm(name);
+  if (!resolved.ok()) return resolved.status();
+  core::MatchOptions opt = resolved.value();
+  if (options.i_parameter != 0) opt.i_parameter = options.i_parameter;
+  if (options.table) opt.partition_with_table = true;
+  if (options.erew) opt.erew = true;
+  if (options.seed != 0) opt.seed = options.seed;
+
+  core::MatchResult out;
+  if (Status s = core::run_matching_into(ctx.pram_context(), list, opt, out);
+      !s.ok())
+    return s;
+  if (options.verify) {
+    if (Status s = core::verify::matching_status(list, out.in_matching);
+        !s.ok())
+      return s;
+    if (Status s = core::verify::maximal_status(list, out.in_matching);
+        !s.ok())
+      return s;
+  }
+  return out;
+}
+
+}  // namespace llmp

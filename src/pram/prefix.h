@@ -89,29 +89,35 @@ struct SortedByKey {
   std::vector<std::uint64_t> offsets;
 };
 
-/// Stable parallel counting sort of `keys` (each < range) using `blocks`
-/// virtual processors. Time O(n/blocks + range + log(range·blocks))
-/// with p >= blocks.
+/// In-place stable parallel counting sort of `keys` (each < range) using
+/// `blocks` virtual processors, writing into caller-owned buffers so warm
+/// repeated sorts reuse capacity (Match2 leases them from the Context
+/// arena and reaches zero steady-state allocations — see Match2Plan).
+/// Time O(n/blocks + range + log(range·blocks)) with p >= blocks.
 template <class Exec>
-SortedByKey counting_sort_by_key(Exec& exec, const std::vector<index_t>& keys,
-                                 index_t range, std::size_t blocks) {
+void counting_sort_by_key_into(Exec& exec, const std::vector<index_t>& keys,
+                               index_t range, std::size_t blocks,
+                               std::vector<index_t>& order,
+                               std::vector<std::uint64_t>& offsets) {
   LLMP_CHECK(range >= 1);
   LLMP_CHECK(blocks >= 1);
   const std::size_t n = keys.size();
-  SortedByKey result;
-  result.order.resize(n);
-  result.offsets.assign(static_cast<std::size_t>(range) + 1, 0);
-  if (n == 0) return result;
-  std::vector<index_t>& order = result.order;
+  order.resize(n);
+  offsets.assign(static_cast<std::size_t>(range) + 1, 0);
+  if (n == 0) return;
   blocks = std::min(blocks, n);
   const std::size_t chunk = (n + blocks - 1) / blocks;
 
   // counts laid out key-major: counts[r·blocks + b] = multiplicity of key
   // r in block b. The key-major layout means the exclusive scan hands each
   // (key, block) pair the final start offset with blocks ordered within a
-  // key — which preserves block order and hence stability.
-  auto counts_h = pram::scratch<std::uint64_t>(
-      exec, static_cast<std::size_t>(range) * blocks);
+  // key — which preserves block order and hence stability. The grid is
+  // leased pre-padded to the power of two the scan will grow it to, so
+  // the cold call's single take is already final-sized (the cost model is
+  // unchanged: the scan pads to this same size internally either way).
+  const std::size_t cells = static_cast<std::size_t>(range) * blocks;
+  const std::size_t padded = std::size_t{1} << itlog::ceil_log2(cells);
+  auto counts_h = pram::scratch<std::uint64_t>(exec, padded);
   std::vector<std::uint64_t>& counts = *counts_h;
   const std::uint64_t per_block =
       static_cast<std::uint64_t>(chunk) + range;  // histogram work/proc
@@ -130,10 +136,10 @@ SortedByKey counting_sort_by_key(Exec& exec, const std::vector<index_t>& keys,
 
   // offsets[k] = start of key k = the scanned count of its first block.
   exec.step(range, [&](std::size_t k, auto&& mem) {
-    mem.wr(result.offsets, k, mem.rd(counts, k * blocks));
+    mem.wr(offsets, k, mem.rd(counts, k * blocks));
   });
   exec.step(1, [&](std::size_t, auto&& mem) {
-    mem.wr(result.offsets, static_cast<std::size_t>(range),
+    mem.wr(offsets, static_cast<std::size_t>(range),
            static_cast<std::uint64_t>(n));
   });
 
@@ -149,6 +155,15 @@ SortedByKey counting_sort_by_key(Exec& exec, const std::vector<index_t>& keys,
              static_cast<index_t>(i));
     }
   });
+}
+
+/// Allocating convenience form of counting_sort_by_key_into.
+template <class Exec>
+SortedByKey counting_sort_by_key(Exec& exec, const std::vector<index_t>& keys,
+                                 index_t range, std::size_t blocks) {
+  SortedByKey result;
+  counting_sort_by_key_into(exec, keys, range, blocks, result.order,
+                            result.offsets);
   return result;
 }
 

@@ -1,0 +1,241 @@
+#include "serve/service.h"
+
+#include <bit>
+#include <utility>
+
+#include "core/verify.h"
+#include "pram/executor.h"
+#include "support/alloc_counter.h"
+
+namespace llmp::serve {
+
+namespace {
+
+/// Ready future carrying an error — for requests refused at submit.
+std::future<Result<core::MatchResult>> ready_error(Status s) {
+  std::promise<Result<core::MatchResult>> p;
+  std::future<Result<core::MatchResult>> f = p.get_future();
+  p.set_value(Result<core::MatchResult>(std::move(s)));
+  return f;
+}
+
+}  // namespace
+
+Service::Service(ServiceOptions options)
+    : options_(std::move(options)),
+      queue_(options_.queue_capacity == 0 ? 1 : options_.queue_capacity) {
+  if (options_.workers == 0) options_.workers = 1;
+  if (options_.processors == 0) options_.processors = 1;
+  workers_.reserve(options_.workers);
+  for (std::size_t w = 0; w < options_.workers; ++w)
+    workers_.emplace_back([this, w] { worker_loop(w); });
+}
+
+Service::~Service() { shutdown(); }
+
+std::future<Result<core::MatchResult>> Service::submit(Request req) {
+  if (shut_down_.load(std::memory_order_acquire) || queue_.closed()) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return ready_error(Status::unavailable("service is shut down"));
+  }
+  if (req.list == nullptr) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return ready_error(Status::invalid_argument("request has no list"));
+  }
+
+  // Resolve + validate now so a bad request fails fast and never occupies
+  // queue capacity or a worker.
+  core::MatchOptions resolved;
+  if (req.options.has_value()) {
+    resolved = *req.options;
+  } else {
+    Result<core::MatchOptions> r = core::resolve_algorithm(req.algorithm);
+    if (!r.ok()) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      return ready_error(r.status());
+    }
+    resolved = r.value();
+  }
+  if (Status s = core::validate_options(resolved); !s.ok()) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return ready_error(std::move(s));
+  }
+
+  Job job;
+  job.req = std::move(req);
+  job.resolved = resolved;
+  job.enqueued = std::chrono::steady_clock::now();
+  std::future<Result<core::MatchResult>> fut = job.promise.get_future();
+
+  bool accepted = false;
+  if (options_.overflow == OverflowPolicy::kReject) {
+    accepted = queue_.try_push(job);
+    if (!accepted && !queue_.closed()) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      return ready_error(Status::resource_exhausted("request queue is full"));
+    }
+  } else {
+    accepted = queue_.push(std::move(job));
+  }
+  if (!accepted) {  // queue closed while we waited / tried
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return ready_error(Status::unavailable("service is shut down"));
+  }
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  return fut;
+}
+
+std::vector<std::future<Result<core::MatchResult>>> Service::submit_batch(
+    std::vector<Request> reqs) {
+  std::vector<std::future<Result<core::MatchResult>>> futs;
+  futs.reserve(reqs.size());
+  for (Request& r : reqs) futs.push_back(submit(std::move(r)));
+  return futs;
+}
+
+void Service::shutdown() {
+  queue_.close();
+  if (shut_down_.exchange(true, std::memory_order_acq_rel)) return;
+  for (std::thread& t : workers_)
+    if (t.joinable()) t.join();
+}
+
+void Service::record_latency(std::chrono::steady_clock::time_point enqueued) {
+  const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                      std::chrono::steady_clock::now() - enqueued)
+                      .count();
+  const std::uint64_t v = us <= 0 ? 0 : static_cast<std::uint64_t>(us);
+  std::size_t bucket = static_cast<std::size_t>(std::bit_width(v));
+  if (bucket >= kLatencyBuckets) bucket = kLatencyBuckets - 1;
+  latency_[bucket].fetch_add(1, std::memory_order_relaxed);
+}
+
+void Service::finish(Job& job, Result<core::MatchResult> result) {
+  record_latency(job.enqueued);
+  completed_.fetch_add(1, std::memory_order_relaxed);
+  if (result.ok())
+    ok_.fetch_add(1, std::memory_order_relaxed);
+  else
+    switch (result.status().code()) {
+      case StatusCode::kCancelled:
+        cancelled_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case StatusCode::kDeadlineExceeded:
+        expired_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      default:
+        failed_.fetch_add(1, std::memory_order_relaxed);
+    }
+  job.promise.set_value(std::move(result));
+}
+
+void Service::worker_loop(std::size_t worker_index) {
+  // One long-lived execution context per worker: the pooled arena turns
+  // every warm request into a zero-allocation run, and the persistent
+  // MatchResult keeps the result buffers between requests too.
+  pram::SeqExec exec(options_.processors);
+  pram::Context ctx(exec);
+  core::MatchResult scratch;
+  std::uint64_t seen_takes = 0;
+  std::uint64_t seen_hits = 0;
+
+  while (std::optional<Job> popped = queue_.pop()) {
+    Job& job = *popped;
+    if (options_.on_dequeue) options_.on_dequeue(worker_index);
+
+    if (job.req.cancel && job.req.cancel->load(std::memory_order_acquire)) {
+      finish(job, Status::cancelled("cancel token set before execution"));
+      continue;
+    }
+    if (std::chrono::steady_clock::now() >= job.req.deadline) {
+      finish(job, Status::deadline_exceeded("deadline passed in queue"));
+      continue;
+    }
+
+    Status s;
+    {
+      // Only the algorithm body counts toward the steady-state allocation
+      // metric; the response copy and promise below are envelope traffic.
+      support::AllocScope scope;
+      ctx.clear_phases();  // keep the metrics sink from growing per request
+      s = core::run_matching_into(ctx, *job.req.list, job.resolved, scratch);
+    }
+    if (s.ok() && options_.verify) {
+      s = core::verify::matching_status(*job.req.list, scratch.in_matching);
+      if (s.ok())
+        s = core::verify::maximal_status(*job.req.list, scratch.in_matching);
+    }
+
+    // Publish the arena counters so stats() never touches worker stack
+    // state (the arena lives on this thread's stack, not in the Service).
+    const std::uint64_t takes = ctx.arena().takes();
+    const std::uint64_t hits = ctx.arena().hits();
+    arena_takes_.fetch_add(takes - seen_takes, std::memory_order_relaxed);
+    arena_hits_.fetch_add(hits - seen_hits, std::memory_order_relaxed);
+    seen_takes = takes;
+    seen_hits = hits;
+
+    if (s.ok())
+      finish(job, Result<core::MatchResult>(scratch));  // copy out
+    else
+      finish(job, std::move(s));
+  }
+}
+
+ServiceStats Service::stats() const {
+  ServiceStats s;
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.completed = completed_.load(std::memory_order_relaxed);
+  s.ok = ok_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.cancelled = cancelled_.load(std::memory_order_relaxed);
+  s.expired = expired_.load(std::memory_order_relaxed);
+  s.failed = failed_.load(std::memory_order_relaxed);
+  s.queue_depth = queue_.size();
+  s.workers = workers_.size();
+  const std::uint64_t allocs = support::scoped_allocs();
+  const std::uint64_t base = alloc_baseline_.load(std::memory_order_relaxed);
+  s.steady_allocs = allocs >= base ? allocs - base : 0;
+  s.arena_takes = arena_takes_.load(std::memory_order_relaxed);
+  s.arena_hits = arena_hits_.load(std::memory_order_relaxed);
+
+  // Percentiles from the log2 histogram: walk cumulative counts and
+  // report the holding bucket's upper bound (2^bucket microseconds).
+  std::array<std::uint64_t, kLatencyBuckets> h{};
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < kLatencyBuckets; ++i) {
+    h[i] = latency_[i].load(std::memory_order_relaxed);
+    total += h[i];
+  }
+  auto percentile = [&](double q) -> std::uint64_t {
+    if (total == 0) return 0;
+    const std::uint64_t rank =
+        static_cast<std::uint64_t>(q * static_cast<double>(total - 1)) + 1;
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < kLatencyBuckets; ++i) {
+      seen += h[i];
+      if (seen >= rank)
+        return i == 0 ? 1 : (std::uint64_t{1} << i);
+    }
+    return std::uint64_t{1} << (kLatencyBuckets - 1);
+  };
+  s.p50_latency_us = percentile(0.50);
+  s.p99_latency_us = percentile(0.99);
+  return s;
+}
+
+void Service::reset_stats() {
+  submitted_.store(0, std::memory_order_relaxed);
+  completed_.store(0, std::memory_order_relaxed);
+  ok_.store(0, std::memory_order_relaxed);
+  rejected_.store(0, std::memory_order_relaxed);
+  cancelled_.store(0, std::memory_order_relaxed);
+  expired_.store(0, std::memory_order_relaxed);
+  failed_.store(0, std::memory_order_relaxed);
+  arena_takes_.store(0, std::memory_order_relaxed);
+  arena_hits_.store(0, std::memory_order_relaxed);
+  alloc_baseline_.store(support::scoped_allocs(), std::memory_order_relaxed);
+  for (auto& b : latency_) b.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace llmp::serve

@@ -1,0 +1,196 @@
+// llmp::serve::Service — a batch/serve layer over pram::Context.
+//
+// The repo's algorithms are single-threaded templates over an Executor;
+// parallelism inside one run is the *simulated* PRAM. This layer adds the
+// orthogonal axis: many independent matching requests served concurrently
+// by a pool of workers, each owning one long-lived pram::Context whose
+// pooled ScratchArena makes warm request execution allocation-free.
+//
+//   serve::Service svc({.workers = 8, .queue_capacity = 256});
+//   auto fut = svc.submit({.list = &list, .algorithm = "match4"});
+//   llmp::Result<core::MatchResult> r = fut.get();
+//   if (r.ok()) use(r.value()); else log(r.status().to_string());
+//
+// Request lifecycle. submit() resolves the algorithm name against the
+// AlgorithmRegistry and validates the options immediately — bad requests
+// fail fast with an already-ready future (kNotFound / kInvalidArgument)
+// and never occupy queue capacity. Valid requests enter a bounded MPMC
+// queue; when it is full the configured OverflowPolicy either blocks the
+// submitter (kBlock — backpressure) or fails the request with
+// kResourceExhausted (kReject — load shedding). A worker that dequeues a
+// request first honours its cancel token (kCancelled) and deadline
+// (kDeadlineExceeded — expiry *in the queue* is the common case under
+// overload), then runs the algorithm through its own Context into a
+// per-worker persistent MatchResult, optionally audits the output with
+// core::verify (kFailedVerification), and fulfills the future with a copy.
+//
+// Shutdown is graceful by construction: shutdown() closes the queue, which
+// rejects new work (kUnavailable) while workers keep draining already
+// accepted requests; it returns after every queued future is fulfilled and
+// all workers joined. The destructor calls shutdown().
+//
+// Threading contract. submit()/submit_batch()/stats() are safe from any
+// thread. The pointed-to LinkedList must stay alive and unmodified until
+// the request's future is ready (lists are immutable after construction,
+// so sharing one list across many in-flight requests is fine). Workers
+// never touch each other's Context; the only shared mutable state is the
+// queue and the ServiceStats atomics.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/match_result.h"
+#include "core/registry.h"
+#include "core/run.h"
+#include "list/linked_list.h"
+#include "serve/queue.h"
+#include "support/status.h"
+
+namespace llmp::serve {
+
+/// What submit() does when the request queue is full.
+enum class OverflowPolicy {
+  kBlock,   ///< block the submitter until a slot frees (backpressure)
+  kReject,  ///< fail the request with kResourceExhausted (load shedding)
+};
+
+struct ServiceOptions {
+  std::size_t workers = 4;
+  std::size_t queue_capacity = 256;
+  /// PRAM processor budget p for each worker's executor (affects the
+  /// simulated time_p accounting, not host parallelism).
+  std::size_t processors = 1024;
+  OverflowPolicy overflow = OverflowPolicy::kBlock;
+  /// Audit every result with core::verify (matching + maximal); failures
+  /// surface as kFailedVerification on that request's future.
+  bool verify = false;
+  /// Test/trace seam: called by a worker right after it dequeues a
+  /// request, with the worker index, *before* cancel/deadline checks and
+  /// execution. Tests use it to hold workers and build queue states;
+  /// benches use it to simulate a downstream wait. Must be thread-safe.
+  std::function<void(std::size_t)> on_dequeue;
+};
+
+/// Shared cancellation flag: submitter sets it, workers poll it at
+/// dequeue. Copyable and cheap; one token may cover a whole batch.
+using CancelToken = std::shared_ptr<std::atomic<bool>>;
+inline CancelToken make_cancel_token() {
+  return std::make_shared<std::atomic<bool>>(false);
+}
+
+struct Request {
+  /// Borrowed; must outlive the request's future (see header comment).
+  const list::LinkedList* list = nullptr;
+  /// Registry name resolved at submit time ("match4", "match2-erew", …).
+  std::string algorithm = "match4";
+  /// When set, used verbatim instead of resolving `algorithm`.
+  std::optional<core::MatchOptions> options;
+  /// Absolute deadline; max() (the default) means none. A request whose
+  /// deadline passes before a worker picks it up fails kDeadlineExceeded.
+  std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::time_point::max();
+  /// Optional; null means not cancellable.
+  CancelToken cancel;
+};
+
+/// One consistent snapshot of service counters (values are monotonically
+/// increasing between reset_stats() calls; queue_depth is instantaneous).
+struct ServiceStats {
+  std::uint64_t submitted = 0;  ///< accepted into the queue
+  std::uint64_t completed = 0;  ///< futures fulfilled by workers
+  std::uint64_t ok = 0;         ///< … with an OK result
+  std::uint64_t rejected = 0;   ///< refused at submit (full/closed/invalid)
+  std::uint64_t cancelled = 0;  ///< failed kCancelled at dequeue
+  std::uint64_t expired = 0;    ///< failed kDeadlineExceeded at dequeue
+  std::uint64_t failed = 0;     ///< completed with any other non-OK status
+  std::size_t queue_depth = 0;
+  std::size_t workers = 0;
+  /// End-to-end latency (submit → future ready) percentiles, from a
+  /// log2-bucketed histogram: each reported value is the upper bound of
+  /// the bucket holding that percentile, so it is exact to within 2×.
+  std::uint64_t p50_latency_us = 0;
+  std::uint64_t p99_latency_us = 0;
+  /// Heap allocations inside worker algorithm-execution regions since the
+  /// last reset_stats() — the serve-layer steady-state allocation metric.
+  /// Zero once every worker's arena is warm (in instrumented binaries;
+  /// see support/alloc_counter.h).
+  std::uint64_t steady_allocs = 0;
+  std::uint64_t arena_takes = 0;  ///< scratch leases across all workers
+  std::uint64_t arena_hits = 0;   ///< … satisfied from the pool
+};
+
+class Service {
+ public:
+  explicit Service(ServiceOptions options = {});
+  ~Service();  ///< calls shutdown()
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  /// Submit one request. Always returns a valid future; errors (bad
+  /// request, full queue under kReject, shut-down service) arrive as a
+  /// non-OK Result on it, already ready.
+  std::future<Result<core::MatchResult>> submit(Request req);
+
+  /// Submit many requests; futures are positionally matched. Under
+  /// kBlock this may block between elements when the queue fills.
+  std::vector<std::future<Result<core::MatchResult>>> submit_batch(
+      std::vector<Request> reqs);
+
+  /// Stop accepting work, drain every accepted request, join workers.
+  /// Idempotent; the destructor calls it.
+  void shutdown();
+
+  ServiceStats stats() const;
+  /// Zero the counters and histogram and rebase the steady-allocation
+  /// baseline (call after warmup to measure the steady state).
+  void reset_stats();
+
+  const ServiceOptions& options() const { return options_; }
+
+ private:
+  struct Job {
+    Request req;
+    core::MatchOptions resolved;
+    std::chrono::steady_clock::time_point enqueued;
+    std::promise<Result<core::MatchResult>> promise;
+  };
+
+  void worker_loop(std::size_t worker_index);
+  void finish(Job& job, Result<core::MatchResult> result);
+  void record_latency(std::chrono::steady_clock::time_point enqueued);
+
+  ServiceOptions options_;
+  BoundedQueue<Job> queue_;
+  std::vector<std::thread> workers_;
+  std::atomic<bool> shut_down_{false};
+
+  // Stats. Plain atomics, relaxed: stats() is a monitoring snapshot, not
+  // a synchronization point.
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> ok_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> cancelled_{0};
+  std::atomic<std::uint64_t> expired_{0};
+  std::atomic<std::uint64_t> failed_{0};
+  std::atomic<std::uint64_t> arena_takes_{0};
+  std::atomic<std::uint64_t> arena_hits_{0};
+  std::atomic<std::uint64_t> alloc_baseline_{0};
+  /// Latency histogram: bucket i counts requests with latency in
+  /// (2^(i-1), 2^i] microseconds (bucket 0: <= 1 µs).
+  static constexpr std::size_t kLatencyBuckets = 48;
+  std::array<std::atomic<std::uint64_t>, kLatencyBuckets> latency_{};
+};
+
+}  // namespace llmp::serve

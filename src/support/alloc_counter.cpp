@@ -1,0 +1,29 @@
+#include "support/alloc_counter.h"
+
+#include <atomic>
+
+namespace llmp::support {
+
+namespace {
+std::atomic<std::uint64_t> g_scoped_allocs{0};
+thread_local bool g_scope_active = false;
+}  // namespace
+
+void note_alloc() noexcept {
+  if (g_scope_active)
+    g_scoped_allocs.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t scoped_allocs() noexcept {
+  return g_scoped_allocs.load(std::memory_order_relaxed);
+}
+
+bool alloc_scope_active() noexcept { return g_scope_active; }
+
+AllocScope::AllocScope() noexcept : prev_(g_scope_active) {
+  g_scope_active = true;
+}
+
+AllocScope::~AllocScope() { g_scope_active = prev_; }
+
+}  // namespace llmp::support

@@ -1,0 +1,145 @@
+// Status / Result — the error vocabulary of the public API surface.
+//
+// Internal invariants keep throwing llmp::check_error (support/check.h):
+// a broken invariant is a bug and tests want the stack. *User input*
+// errors — an unknown algorithm name, an invalid option combination, a
+// malformed successor array, a request that missed its deadline — are
+// expected at a service boundary and must not abort a server, so the
+// public entry points (core/run.h, serve/service.h, llmp.h) report them
+// as a Status, and value-returning entry points as a Result<T> holding
+// either the value or the Status that explains its absence.
+//
+//   llmp::Status s = core::validate_options(opt);
+//   if (!s.ok()) return s;                     // Status propagates
+//   llmp::Result<MatchResult> r = llmp::run(ctx, "match4", list);
+//   if (r.ok()) use(r.value()); else log(r.status().to_string());
+#pragma once
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "support/check.h"
+
+namespace llmp {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,     ///< malformed options or input structure
+  kNotFound,            ///< unknown algorithm / registry name
+  kDeadlineExceeded,    ///< the request's deadline passed before it ran
+  kCancelled,           ///< the request's cancel token fired
+  kResourceExhausted,   ///< bounded queue full under the reject policy
+  kUnavailable,         ///< service shut down / no longer accepting work
+  kFailedVerification,  ///< result audit (core::verify) rejected the output
+  kInternal,            ///< broken internal invariant surfaced at the API
+};
+
+inline const char* to_string(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+    case StatusCode::kCancelled: return "CANCELLED";
+    case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
+    case StatusCode::kFailedVerification: return "FAILED_VERIFICATION";
+    case StatusCode::kInternal: return "INTERNAL";
+  }
+  return "?";
+}
+
+class Status {
+ public:
+  Status() = default;  ///< OK
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK", or "DEADLINE_EXCEEDED: queued past deadline".
+  std::string to_string() const {
+    if (ok()) return "OK";
+    std::string s = llmp::to_string(code_);
+    if (!message_.empty()) {
+      s += ": ";
+      s += message_;
+    }
+    return s;
+  }
+
+  // Named constructors, one per non-OK code.
+  static Status invalid_argument(std::string m) {
+    return {StatusCode::kInvalidArgument, std::move(m)};
+  }
+  static Status not_found(std::string m) {
+    return {StatusCode::kNotFound, std::move(m)};
+  }
+  static Status deadline_exceeded(std::string m) {
+    return {StatusCode::kDeadlineExceeded, std::move(m)};
+  }
+  static Status cancelled(std::string m) {
+    return {StatusCode::kCancelled, std::move(m)};
+  }
+  static Status resource_exhausted(std::string m) {
+    return {StatusCode::kResourceExhausted, std::move(m)};
+  }
+  static Status unavailable(std::string m) {
+    return {StatusCode::kUnavailable, std::move(m)};
+  }
+  static Status failed_verification(std::string m) {
+    return {StatusCode::kFailedVerification, std::move(m)};
+  }
+  static Status internal(std::string m) {
+    return {StatusCode::kInternal, std::move(m)};
+  }
+
+  bool operator==(const Status& o) const {
+    return code_ == o.code_ && message_ == o.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Value-or-Status. Constructible implicitly from either side so entry
+/// points can `return out;` and `return Status::not_found(...)` alike.
+template <class T>
+class Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : v_(std::move(status)) {  // NOLINT(runtime/explicit)
+    LLMP_CHECK_MSG(!std::get<Status>(v_).ok(),
+                   "Result built from an OK Status carries no value");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+
+  /// The error, or the OK Status when a value is held.
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(v_);
+  }
+
+  T& value() {
+    LLMP_CHECK_MSG(ok(), "Result::value() on error: " + status().to_string());
+    return std::get<T>(v_);
+  }
+  const T& value() const {
+    LLMP_CHECK_MSG(ok(), "Result::value() on error: " + status().to_string());
+    return std::get<T>(v_);
+  }
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<Status, T> v_;
+};
+
+}  // namespace llmp

@@ -274,10 +274,12 @@ TEST(ContextAllocation, WarmMatchingRunsAllocateNothing) {
   pram::SeqExec seq(256);
   pram::Context ctx(seq);
   core::MatchResult r;
-  // Match2 is excluded: its counting sort still sizes result buffers per
-  // call (documented in match2.h). Match3 builds a lookup table per call.
+  // All deterministic algorithms hold the guarantee: Match2's counting
+  // sort leases plan-presized buffers from the arena, and Match3's lookup
+  // table is served from the process-wide cache after the first build.
   for (core::Algorithm alg :
-       {core::Algorithm::kMatch1, core::Algorithm::kMatch4,
+       {core::Algorithm::kMatch1, core::Algorithm::kMatch2,
+        core::Algorithm::kMatch3, core::Algorithm::kMatch4,
         core::Algorithm::kSequential}) {
     core::MatchOptions opt;
     opt.algorithm = alg;
@@ -295,6 +297,28 @@ TEST(ContextAllocation, WarmMatchingRunsAllocateNothing) {
     core::verify::check_maximal(list, r.in_matching);
   }
   EXPECT_GT(ctx.arena().hits(), 0u);
+}
+
+TEST(ContextAllocation, WarmTablePathRunsAllocateNothing) {
+  // Match4's Lemma 5 partition probes a lookup table; the process-wide
+  // table cache makes warm runs allocation-free on this path too.
+  const auto list = list::generators::random_list(4096, 7);
+  pram::SeqExec seq(256);
+  pram::Context ctx(seq);
+  core::MatchResult r;
+  core::MatchOptions opt;
+  opt.algorithm = core::Algorithm::kMatch4;
+  opt.partition_with_table = true;
+  core::maximal_matching_into(ctx, list, opt, r);
+  ctx.clear_phases();
+  core::maximal_matching_into(ctx, list, opt, r);
+  ctx.clear_phases();
+
+  const std::uint64_t before = g_news;
+  core::maximal_matching_into(ctx, list, opt, r);
+  EXPECT_EQ(g_news - before, 0u);
+  ctx.clear_phases();
+  core::verify::check_maximal(list, r.in_matching);
 }
 
 }  // namespace

@@ -21,26 +21,36 @@
 #include "core/partition_fn.h"
 #include "core/random_match.h"
 #include "core/ring.h"
+#include "core/run.h"
 #include "core/sequential.h"
 #include "core/verify.h"
 #include "core/walkdown.h"
 #include "list/generators.h"
 #include "list/linked_list.h"
+#include "llmp.h"
 #include "pram/barrier.h"
+#include "pram/context.h"
 #include "pram/executor.h"
 #include "pram/machine.h"
 #include "pram/prefix.h"
 #include "pram/replicate.h"
 #include "pram/stats.h"
 #include "pram/thread_pool.h"
+#include "serve/queue.h"
+#include "serve/service.h"
+#include "support/alloc_counter.h"
 #include "support/bits.h"
 #include "support/check.h"
 #include "support/format.h"
 #include "support/itlog.h"
 #include "support/rng.h"
+#include "support/status.h"
 #include "support/types.h"
 // Second pass: include guards must hold.
 #include "apps/euler_tour.h"
+#include "llmp.h"
+#include "serve/service.h"
+#include "support/status.h"
 #include "core/maximal_matching.h"
 #include "pram/machine.h"
 #include "support/bits.h"

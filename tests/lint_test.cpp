@@ -91,6 +91,36 @@ TEST(LintSuppression, AllowCommentSilencesTheRule) {
   EXPECT_TRUE(lint_source("src/x.h", "#pragma once\n" + allowed).empty());
 }
 
+TEST(LintScope, ServeLayerIsExemptFromStepRulesOnly) {
+  // A step body directly indexing a vector it also reads through the
+  // accessor: a step-raw-index violation anywhere PRAM discipline
+  // applies…
+  const std::string step_violation =
+      "inline void f(Exec& exec, std::vector<unsigned>& a) {\n"
+      "  exec.step(a.size(), [&](std::size_t v, auto&& m) {\n"
+      "    m.wr(a, v, a[v] + 1);\n"
+      "  });\n"
+      "}\n";
+  const std::string text = "#pragma once\n" + step_violation;
+  auto step_findings = [](const std::vector<Finding>& fs) {
+    std::size_t count = 0;
+    for (const Finding& f : fs) count += f.rule.rfind("step-", 0) == 0;
+    return count;
+  };
+  EXPECT_GT(step_findings(lint_source("src/core/x.h", text)), 0u);
+  // …but src/serve/ runs real threads, not PRAM steps: exempt. (Other
+  // rule families — here unchecked-index on the vector parameter — keep
+  // applying to serve code.)
+  EXPECT_EQ(step_findings(lint_source("src/serve/x.h", text)), 0u);
+
+  // Non-step rules still apply to the serve layer: a header without
+  // #pragma once is flagged wherever it lives.
+  const std::string no_pragma = "inline int g() { return 1; }\n";
+  const auto fs = lint_source("src/serve/y.h", no_pragma);
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].rule, "header-pragma-once");
+}
+
 TEST(LintRepo, SourceTreeIsClean) {
   const std::string root(LLMP_SOURCE_DIR);
   const std::vector<Finding> fs = lint_tree(

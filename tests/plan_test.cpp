@@ -1,13 +1,46 @@
-// Unit tests for the algorithm planners (Match3/Match4 parameter
+// Unit tests for the algorithm planners (Match2/Match3/Match4 parameter
 // resolution) and the label-bound arithmetic they rest on.
 #include <gtest/gtest.h>
 
 #include "core/gather.h"
+#include "core/match2.h"
 #include "core/match3.h"
 #include "core/match4.h"
 
 namespace llmp::core {
 namespace {
+
+TEST(PlanMatch2, SizesAreDeterminedBeforeTouchingTheList) {
+  const std::size_t n = std::size_t{1} << 20;
+  const Match2Plan plan = plan_match2(n, {}, /*processors=*/256);
+  // Two relabel rounds: n → 2·ceil(log2 n) → 2·ceil(log2 40) = 12.
+  EXPECT_EQ(plan.partition_rounds, 2);
+  EXPECT_EQ(plan.label_bound, 12u);
+  EXPECT_EQ(plan.blocks, 256u);  // default: the executor's p
+  // Counter grid: label_bound·blocks cells, padded to the power of two
+  // the exclusive scan works over.
+  EXPECT_GE(plan.count_cells, std::size_t{12} * 256);
+  EXPECT_EQ(plan.count_cells & (plan.count_cells - 1), 0u);
+}
+
+TEST(PlanMatch2, BlocksClampToNAndHonorSortBlocks) {
+  Match2Options opt;
+  opt.sort_blocks = 8;
+  EXPECT_EQ(plan_match2(1 << 16, opt, 1024).blocks, 8u);
+  // More processors than nodes: blocks clamp to n.
+  EXPECT_EQ(plan_match2(16, {}, 1024).blocks, 16u);
+  // Degenerate sizes stay well-formed.
+  const Match2Plan tiny = plan_match2(1, {}, 64);
+  EXPECT_EQ(tiny.label_bound, 1u);
+  EXPECT_GE(tiny.count_cells, 1u);
+}
+
+TEST(PlanMatch2, MoreRoundsShrinkTheLabelBound) {
+  Match2Options two, three;
+  three.partition_rounds = 3;
+  EXPECT_LT(plan_match2(1 << 20, three, 256).label_bound,
+            plan_match2(1 << 20, two, 256).label_bound);
+}
 
 TEST(Bounds, BoundAfterRoundsIteratesThePaperRecurrence) {
   // n → 2·ceil(log2 n) per round, clamped at the small end.

@@ -1,0 +1,374 @@
+// Semantics of the serve layer (src/serve): queue backpressure, deadline
+// and cancellation handling, graceful drain, concurrent correctness, and
+// the zero-steady-state-allocation guarantee across worker Contexts.
+//
+// This binary instruments global operator new (like context_test.cpp) so
+// ServiceStats::steady_allocs counts for real. Tests that need a held
+// worker or a full queue use the on_dequeue hook to park workers on a
+// latch — no sleeps-as-synchronization.
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
+#include <future>
+#include <mutex>
+#include <new>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "llmp.h"
+#include "serve/queue.h"
+#include "support/alloc_counter.h"
+
+void* operator new(std::size_t size) {
+  llmp::support::note_alloc();
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+
+namespace llmp {
+namespace {
+
+using core::MatchResult;
+using serve::OverflowPolicy;
+using serve::Request;
+using serve::Service;
+using serve::ServiceOptions;
+using serve::ServiceStats;
+
+list::LinkedList make_list(std::size_t n, std::uint64_t seed = 42) {
+  return list::generators::random_list(n, seed);
+}
+
+/// A gate the on_dequeue hook can park workers on: tests open it to
+/// release every held worker.
+class Gate {
+ public:
+  void wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    ++waiting_;
+    cv_entered_.notify_all();
+    cv_.wait(lock, [this] { return open_; });
+  }
+  void open() {
+    std::lock_guard<std::mutex> lock(mu_);
+    open_ = true;
+    cv_.notify_all();
+  }
+  /// Block until `k` workers are parked on the gate.
+  void await_waiting(int k) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_entered_.wait(lock, [&] { return waiting_ >= k; });
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable cv_entered_;
+  int waiting_ = 0;
+  bool open_ = false;
+};
+
+// ---- BoundedQueue unit tests. ----------------------------------------------
+
+TEST(BoundedQueue, FifoWithinCapacity) {
+  serve::BoundedQueue<int> q(4);
+  for (int i = 0; i < 4; ++i) {
+    int v = i;
+    EXPECT_TRUE(q.try_push(v));
+  }
+  int overflow = 99;
+  EXPECT_FALSE(q.try_push(overflow));
+  EXPECT_EQ(q.size(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(q.pop(), i);
+}
+
+TEST(BoundedQueue, CloseDrainsThenSignalsShutdown) {
+  serve::BoundedQueue<int> q(4);
+  int v = 7;
+  ASSERT_TRUE(q.try_push(v));
+  q.close();
+  int rejected = 8;
+  EXPECT_FALSE(q.try_push(rejected));  // closed: no new work
+  EXPECT_EQ(q.pop(), 7);               // …but queued work drains
+  EXPECT_EQ(q.pop(), std::nullopt);    // then the shutdown signal
+}
+
+TEST(BoundedQueue, CloseWakesBlockedProducer) {
+  serve::BoundedQueue<int> q(1);
+  int v = 1;
+  ASSERT_TRUE(q.try_push(v));
+  std::thread producer([&] { EXPECT_FALSE(q.push(2)); });  // blocks: full
+  q.close();
+  producer.join();
+}
+
+// ---- Submit correctness. ---------------------------------------------------
+
+TEST(Serve, SubmitMatchesDirectRunAndVerifies) {
+  const auto lst = make_list(5000);
+  Service svc({.workers = 2});
+  auto fut = svc.submit({.list = &lst, .algorithm = "match4"});
+  Result<MatchResult> r = fut.get();
+  ASSERT_TRUE(r.ok()) << r.status().to_string();
+  EXPECT_TRUE(core::verify::matching_status(lst, r->in_matching).ok());
+  EXPECT_TRUE(core::verify::maximal_status(lst, r->in_matching).ok());
+
+  // Same edges as a direct single-threaded run (the algorithms are
+  // deterministic).
+  llmp::Context ctx;
+  const auto direct = llmp::run(ctx, "match4", lst);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(r->edges, direct->edges);
+  EXPECT_EQ(r->in_matching, direct->in_matching);
+}
+
+TEST(Serve, SubmitBatchConcurrentCorrectness) {
+  // Different algorithms and lists in flight at once; every result must
+  // verify against its own list.
+  std::vector<list::LinkedList> lists;
+  for (std::uint64_t s = 0; s < 6; ++s) lists.push_back(make_list(2000, s));
+  const char* algs[] = {"match1", "match2", "match3", "match4", "sequential"};
+
+  Service svc({.workers = 4});
+  std::vector<Request> reqs;
+  for (std::size_t k = 0; k < 60; ++k)
+    reqs.push_back({.list = &lists[k % lists.size()],
+                    .algorithm = algs[k % 5]});
+  auto futs = svc.submit_batch(std::move(reqs));
+  ASSERT_EQ(futs.size(), 60u);
+  for (std::size_t k = 0; k < futs.size(); ++k) {
+    Result<MatchResult> r = futs[k].get();
+    ASSERT_TRUE(r.ok()) << "request " << k << ": " << r.status().to_string();
+    const auto& lst = lists[k % lists.size()];
+    EXPECT_TRUE(core::verify::matching_status(lst, r->in_matching).ok());
+    EXPECT_TRUE(core::verify::maximal_status(lst, r->in_matching).ok());
+  }
+  const ServiceStats st = svc.stats();
+  EXPECT_EQ(st.submitted, 60u);
+  EXPECT_EQ(st.completed, 60u);
+  EXPECT_EQ(st.ok, 60u);
+}
+
+TEST(Serve, VerifyOptionAuditsResults) {
+  const auto lst = make_list(1000);
+  Service svc({.workers = 1, .verify = true});
+  Result<MatchResult> r = svc.submit({.list = &lst}).get();
+  ASSERT_TRUE(r.ok()) << r.status().to_string();
+}
+
+// ---- Bad requests fail fast. -----------------------------------------------
+
+TEST(Serve, UnknownAlgorithmIsNotFound) {
+  const auto lst = make_list(100);
+  Service svc({.workers = 1});
+  Result<MatchResult> r =
+      svc.submit({.list = &lst, .algorithm = "match99"}).get();
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(Serve, InvalidOptionsAreInvalidArgument) {
+  const auto lst = make_list(100);
+  Service svc({.workers = 1});
+  core::MatchOptions bad;
+  bad.algorithm = core::Algorithm::kMatch4;
+  bad.i_parameter = -3;
+  Result<MatchResult> r = svc.submit({.list = &lst, .options = bad}).get();
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+
+  Result<MatchResult> null_list = svc.submit({.list = nullptr}).get();
+  EXPECT_EQ(null_list.status().code(), StatusCode::kInvalidArgument);
+}
+
+// ---- Backpressure. ---------------------------------------------------------
+
+TEST(Serve, RejectPolicyShedsLoadWhenFull) {
+  const auto lst = make_list(500);
+  Gate gate;
+  ServiceOptions opt;
+  opt.workers = 1;
+  opt.queue_capacity = 2;
+  opt.overflow = OverflowPolicy::kReject;
+  opt.on_dequeue = [&](std::size_t) { gate.wait(); };
+  Service svc(opt);
+
+  // First request parks the worker; two more fill the queue; the fourth
+  // must be shed with kResourceExhausted.
+  auto f0 = svc.submit({.list = &lst});
+  gate.await_waiting(1);
+  auto f1 = svc.submit({.list = &lst});
+  auto f2 = svc.submit({.list = &lst});
+  auto f3 = svc.submit({.list = &lst});
+  EXPECT_EQ(f3.get().status().code(), StatusCode::kResourceExhausted);
+  EXPECT_GE(svc.stats().rejected, 1u);
+
+  gate.open();
+  EXPECT_TRUE(f0.get().ok());
+  EXPECT_TRUE(f1.get().ok());
+  EXPECT_TRUE(f2.get().ok());
+}
+
+TEST(Serve, BlockPolicyAppliesBackpressure) {
+  const auto lst = make_list(500);
+  Gate gate;
+  ServiceOptions opt;
+  opt.workers = 1;
+  opt.queue_capacity = 1;
+  opt.overflow = OverflowPolicy::kBlock;
+  opt.on_dequeue = [&](std::size_t) { gate.wait(); };
+  Service svc(opt);
+
+  auto f0 = svc.submit({.list = &lst});  // parks the worker
+  gate.await_waiting(1);
+  auto f1 = svc.submit({.list = &lst});  // fills the queue
+
+  // The next submit must block until the gate opens and a slot frees.
+  std::atomic<bool> submitted{false};
+  std::future<Result<MatchResult>> f2;
+  std::thread submitter([&] {
+    f2 = svc.submit({.list = &lst});
+    submitted.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(submitted.load());  // still blocked on the full queue
+
+  gate.open();
+  submitter.join();
+  EXPECT_TRUE(submitted.load());
+  EXPECT_TRUE(f0.get().ok());
+  EXPECT_TRUE(f1.get().ok());
+  EXPECT_TRUE(f2.get().ok());
+}
+
+// ---- Deadlines and cancellation. -------------------------------------------
+
+TEST(Serve, DeadlineExpiryMidQueue) {
+  const auto lst = make_list(500);
+  Gate gate;
+  ServiceOptions opt;
+  opt.workers = 1;
+  opt.queue_capacity = 8;
+  opt.on_dequeue = [&](std::size_t) { gate.wait(); };
+  Service svc(opt);
+
+  auto running = svc.submit({.list = &lst});  // parks the worker
+  gate.await_waiting(1);
+  // Queued behind the parked worker with an already-tight deadline.
+  auto doomed = svc.submit(
+      {.list = &lst,
+       .deadline = std::chrono::steady_clock::now() +
+                   std::chrono::milliseconds(1)});
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  gate.open();
+  EXPECT_TRUE(running.get().ok());
+  EXPECT_EQ(doomed.get().status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(svc.stats().expired, 1u);
+}
+
+TEST(Serve, CancellationMidQueue) {
+  const auto lst = make_list(500);
+  Gate gate;
+  ServiceOptions opt;
+  opt.workers = 1;
+  opt.queue_capacity = 8;
+  opt.on_dequeue = [&](std::size_t) { gate.wait(); };
+  Service svc(opt);
+
+  auto running = svc.submit({.list = &lst});
+  gate.await_waiting(1);
+  serve::CancelToken token = serve::make_cancel_token();
+  auto cancelled = svc.submit({.list = &lst, .cancel = token});
+  token->store(true);  // cancel while still queued
+  gate.open();
+  EXPECT_TRUE(running.get().ok());
+  EXPECT_EQ(cancelled.get().status().code(), StatusCode::kCancelled);
+  EXPECT_EQ(svc.stats().cancelled, 1u);
+}
+
+// ---- Shutdown. -------------------------------------------------------------
+
+TEST(Serve, ShutdownDrainsAcceptedWork) {
+  const auto lst = make_list(2000);
+  Service svc({.workers = 2, .queue_capacity = 64});
+  std::vector<std::future<Result<MatchResult>>> futs;
+  for (int k = 0; k < 20; ++k) futs.push_back(svc.submit({.list = &lst}));
+  svc.shutdown();  // returns only after every accepted request completes
+  for (auto& f : futs) {
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+    EXPECT_TRUE(f.get().ok());
+  }
+  EXPECT_EQ(svc.stats().completed, 20u);
+  EXPECT_EQ(svc.stats().queue_depth, 0u);
+}
+
+TEST(Serve, SubmitAfterShutdownIsUnavailable) {
+  const auto lst = make_list(100);
+  Service svc({.workers = 1});
+  svc.shutdown();
+  Result<MatchResult> r = svc.submit({.list = &lst}).get();
+  EXPECT_EQ(r.status().code(), StatusCode::kUnavailable);
+  svc.shutdown();  // idempotent
+}
+
+TEST(Serve, DestructorDrains) {
+  const auto lst = make_list(1000);
+  std::vector<std::future<Result<MatchResult>>> futs;
+  {
+    Service svc({.workers = 2});
+    for (int k = 0; k < 8; ++k) futs.push_back(svc.submit({.list = &lst}));
+  }  // ~Service == shutdown(): every future below must be ready and OK
+  for (auto& f : futs) EXPECT_TRUE(f.get().ok());
+}
+
+// ---- Stats and the steady-state allocation guarantee. ----------------------
+
+TEST(Serve, StatsCountLatencyAndQueueDepth) {
+  const auto lst = make_list(1000);
+  Service svc({.workers = 2});
+  std::vector<std::future<Result<MatchResult>>> futs;
+  for (int k = 0; k < 10; ++k) futs.push_back(svc.submit({.list = &lst}));
+  for (auto& f : futs) ASSERT_TRUE(f.get().ok());
+  const ServiceStats st = svc.stats();
+  EXPECT_EQ(st.submitted, 10u);
+  EXPECT_EQ(st.completed, 10u);
+  EXPECT_EQ(st.ok, 10u);
+  EXPECT_EQ(st.workers, 2u);
+  EXPECT_GT(st.p50_latency_us, 0u);
+  EXPECT_GE(st.p99_latency_us, st.p50_latency_us);
+  EXPECT_GT(st.arena_takes, 0u);
+}
+
+TEST(Serve, SteadyStateAllocationsAreZeroAfterWarmup) {
+  // Same-size lists cycling through warm workers: after warmup and a
+  // stats reset, the in-scope allocation counter must not move. Covers
+  // match2 and match3 too (their buffers are plan-presized and the lookup
+  // table is served from the process-wide cache).
+  std::vector<list::LinkedList> lists;
+  for (std::uint64_t s = 0; s < 4; ++s) lists.push_back(make_list(3000, s));
+  const char* algs[] = {"match1", "match2", "match3", "match4"};
+
+  Service svc({.workers = 2});
+  auto fire = [&](int count) {
+    std::vector<std::future<Result<MatchResult>>> futs;
+    for (int k = 0; k < count; ++k)
+      futs.push_back(svc.submit({.list = &lists[k % lists.size()],
+                                 .algorithm = algs[k % 4]}));
+    for (auto& f : futs) ASSERT_TRUE(f.get().ok());
+  };
+  fire(48);  // warm both workers across all four algorithms
+  svc.reset_stats();
+  fire(40);
+  const ServiceStats st = svc.stats();
+  EXPECT_EQ(st.steady_allocs, 0u)
+      << "warm serve requests must not allocate in the algorithm body";
+  EXPECT_EQ(st.arena_takes, st.arena_hits)
+      << "every warm scratch lease must come from the pool";
+}
+
+}  // namespace
+}  // namespace llmp

@@ -452,6 +452,17 @@ bool under_src(const std::string& path) {
   return path.find("src/") == 0 || path.find("/src/") != std::string::npos;
 }
 
+// src/serve/ is the one subsystem allowed to use real host threads: its
+// queue and worker loop are ordinary mutex/atomic concurrency, not PRAM
+// step bodies, so the step-discipline rules (written for exec.step
+// lambdas and rd/wr accessors) do not apply there. Header hygiene and
+// guard rules still do. src/core/ and src/pram/ algorithm code remains
+// fully checked.
+bool under_serve(const std::string& path) {
+  return path.find("src/serve/") == 0 ||
+         path.find("/src/serve/") != std::string::npos;
+}
+
 void apply_suppressions(const LexOutput& lx, std::vector<Finding>& findings) {
   findings.erase(
       std::remove_if(findings.begin(), findings.end(),
@@ -478,7 +489,8 @@ std::vector<Finding> lint_source(const std::string& path,
                                  const Options& opt) {
   std::vector<Finding> findings;
   const LexOutput lx = lex(text);
-  if (opt.check_steps) check_step_rules(path, lx.tokens, findings);
+  if (opt.check_steps && !under_serve(path))
+    check_step_rules(path, lx.tokens, findings);
   if (opt.check_headers) check_header_rules(path, text, findings);
   if (opt.check_guards && under_src(path))
     check_guard_rules(path, lx.tokens, findings);

@@ -27,6 +27,12 @@
 //                         without any LLMP_CHECK/LLMP_DCHECK guard in its
 //                         body (src/ only).
 //
+// Scope: the three step-discipline rules are skipped under src/serve/ —
+// the serve layer runs real host threads (mutexes, atomics, futures), not
+// PRAM step bodies, so those rules have no subject there; header and
+// guard rules still apply. Everything under src/core/ and src/pram/ stays
+// fully checked.
+//
 // A finding on a given line can be suppressed with a trailing
 // `// lint:allow(rule-id)` comment (`lint:allow(*)` allows everything).
 // Detection is purely lexical: no macro expansion, no template
