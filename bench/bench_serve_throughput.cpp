@@ -39,8 +39,15 @@ void* operator new(std::size_t size) {
   if (void* p = std::malloc(size)) return p;
   throw std::bad_alloc();
 }
+// Nothrow forms too: libstdc++ internals (std::get_temporary_buffer) pair
+// new(nothrow) with plain delete, which must land on the same allocator.
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  llmp::support::note_alloc();
+  return std::malloc(size ? size : 1);
+}
 void operator delete(void* p) noexcept { std::free(p); }
 void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
 
 namespace {
 

@@ -4,8 +4,10 @@
 #   1. plain Release build + the tier-1 ctest suite,
 #   2. llmp_lint over the tree and llmp_prove over the registry,
 #   3. the tier-1 suite again under ASan+UBSan (-DLLMP_SANITIZE=...),
-#   4. the threading tests (thread_pool_test, machine_test, serve_test)
-#      under TSan.
+#   4. the threading tests (thread_pool_test, machine_test, serve_test,
+#      chaos_test) under TSan — the chaos storm exercises fault
+#      injection, worker restarts, retries and the watchdog with the
+#      race detector watching.
 #
 # Usage: scripts/check.sh [--fast]   (--fast skips the sanitizer builds)
 set -euo pipefail
@@ -42,8 +44,8 @@ cmake -B build-tsan -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DLLMP_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS" \
-  --target thread_pool_test machine_test serve_test
+  --target thread_pool_test machine_test serve_test chaos_test
 (cd build-tsan && ctest --output-on-failure -j "$JOBS" \
-  -R "ThreadPool|Machine|Serve|BoundedQueue")
+  -R "ThreadPool|Machine|Serve|BoundedQueue|Chaos")
 
 echo "check.sh: all green"

@@ -6,6 +6,8 @@
 #include <mutex>
 #include <tuple>
 
+#include "support/failpoint.h"
+
 namespace llmp::core {
 
 MatchingLookupTable::MatchingLookupTable(int component_bits, int tuple_width,
@@ -78,6 +80,7 @@ const MatchingLookupTable& cached_lookup_table(int component_bits,
   std::lock_guard<std::mutex> lock(mu);
   auto it = cache.find(key);
   if (it == cache.end()) {
+    LLMP_FAILPOINT("core.lookup.build");
     it = cache
              .emplace(key, std::make_unique<const MatchingLookupTable>(
                                component_bits, tuple_width, rule,

@@ -25,6 +25,7 @@
 #include "list/linked_list.h"
 #include "pram/context.h"
 #include "pram/prefix.h"
+#include "support/failpoint.h"
 #include "support/itlog.h"
 
 namespace llmp::core {
@@ -59,6 +60,7 @@ struct Match2Plan {
 
 inline Match2Plan plan_match2(std::size_t n, const Match2Options& opt,
                               std::size_t processors) {
+  LLMP_FAILPOINT("core.match2.plan");
   Match2Plan plan;
   plan.partition_rounds = opt.partition_rounds;
   label_t bound = static_cast<label_t>(n);

@@ -25,6 +25,7 @@
 #include "core/partition_fn.h"
 #include "list/linked_list.h"
 #include "pram/context.h"
+#include "support/failpoint.h"
 
 namespace llmp::core {
 
@@ -127,6 +128,7 @@ void match3_into(Exec& exec, const list::LinkedList& list,
   // and the process-wide cache hands warm runs the already-built table, so
   // repeated calls at a stable n allocate nothing here).
   if (n > 1 && plan.needs_table) {
+    LLMP_FAILPOINT("core.match3.table");
     const MatchingLookupTable& table = cached_lookup_table(
         plan.component_bits, 1 << plan.gather_rounds, opt.rule,
         plan.collapse_width);

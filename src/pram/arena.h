@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "support/check.h"
+#include "support/failpoint.h"
 
 namespace llmp::pram {
 
@@ -96,6 +97,7 @@ class ScratchArena {
   /// identical contents to a fresh std::vector<T>(n, fill).
   template <class T>
   ScratchVec<T> take(std::size_t n, T fill = T{}) {
+    LLMP_FAILPOINT("pram.arena.take");
     ++takes_;
     std::vector<T> v;
     if (policy_ == Policy::kPooled) {

@@ -21,6 +21,7 @@
 #include <utility>
 
 #include "support/check.h"
+#include "support/failpoint.h"
 
 namespace llmp::serve {
 
@@ -34,7 +35,10 @@ class BoundedQueue {
   BoundedQueue& operator=(const BoundedQueue&) = delete;
 
   /// Block until a slot frees (or the queue closes). False iff closed.
+  /// May throw from the serve.queue.push failpoint when armed (before the
+  /// item is enqueued — the caller keeps ownership and fails the request).
   bool push(T item) {
+    enter_push();
     std::unique_lock<std::mutex> lock(mu_);
     not_full_.wait(lock,
                    [this] { return closed_ || items_.size() < capacity_; });
@@ -47,6 +51,7 @@ class BoundedQueue {
 
   /// Non-blocking push. False iff full or closed (item is untouched then).
   bool try_push(T& item) {
+    enter_push();
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (closed_ || items_.size() >= capacity_) return false;
@@ -57,7 +62,10 @@ class BoundedQueue {
   }
 
   /// Block until an item arrives; nullopt once closed *and* drained.
+  /// May throw from the serve.queue.pop failpoint when armed (before any
+  /// item is taken, so no request is ever lost to an injected pop fault).
   std::optional<T> pop() {
+    LLMP_FAILPOINT("serve.queue.pop");
     std::unique_lock<std::mutex> lock(mu_);
     not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
     if (items_.empty()) return std::nullopt;  // closed and drained
@@ -89,6 +97,10 @@ class BoundedQueue {
   }
 
  private:
+  /// One failpoint site shared by both push paths (names are unique
+  /// repo-wide; see support/failpoint.h).
+  static void enter_push() { LLMP_FAILPOINT("serve.queue.push"); }
+
   const std::size_t capacity_;
   mutable std::mutex mu_;
   std::condition_variable not_empty_;

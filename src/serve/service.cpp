@@ -1,11 +1,14 @@
 #include "serve/service.h"
 
+#include <algorithm>
 #include <bit>
 #include <utility>
 
 #include "core/verify.h"
+#include "pram/context.h"
 #include "pram/executor.h"
 #include "support/alloc_counter.h"
+#include "support/failpoint.h"
 
 namespace llmp::serve {
 
@@ -19,19 +22,79 @@ std::future<Result<core::MatchResult>> ready_error(Status s) {
   return f;
 }
 
+/// splitmix64 finalizer — the retry jitter hash. Deterministic in
+/// (request id, attempt) so a replayed chaos run backs off identically.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::int64_t now_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+Status status_of(const support::failpoint::InjectedFault& f) {
+  return Status(f.code(), std::string("injected fault: ") + f.what());
+}
+
 }  // namespace
+
+/// Everything a worker rebuilds on a supervision restart. An exception
+/// that escaped the algorithm may have left leases, pools or the result
+/// scratch half-mutated, so recovery is wholesale: a fresh backend, a
+/// fresh Context (empty arena — it re-warms), fresh result buffers.
+struct Service::WorkerContext {
+  pram::SeqExec exec;
+  pram::Context<pram::SeqExec> ctx;
+  core::MatchResult scratch;
+  /// Arena counters already published to the Service atomics.
+  std::uint64_t seen_takes = 0;
+  std::uint64_t seen_hits = 0;
+
+  explicit WorkerContext(std::size_t processors)
+      : exec(processors), ctx(exec) {}
+};
 
 Service::Service(ServiceOptions options)
     : options_(std::move(options)),
       queue_(options_.queue_capacity == 0 ? 1 : options_.queue_capacity) {
   if (options_.workers == 0) options_.workers = 1;
   if (options_.processors == 0) options_.processors = 1;
-  workers_.reserve(options_.workers);
-  for (std::size_t w = 0; w < options_.workers; ++w)
-    workers_.emplace_back([this, w] { worker_loop(w); });
+  if (options_.retry.max_attempts < 1) options_.retry.max_attempts = 1;
+  if (options_.retry.backoff_base.count() < 1)
+    options_.retry.backoff_base = std::chrono::milliseconds{1};
+  if (options_.retry.backoff_max < options_.retry.backoff_base)
+    options_.retry.backoff_max = options_.retry.backoff_base;
+  if (options_.degrade.after_consecutive_failures < 1)
+    options_.degrade.after_consecutive_failures = 1;
+  if (options_.supervisor_period.count() < 1)
+    options_.supervisor_period = std::chrono::milliseconds{1};
+  fallback_options_.algorithm = core::Algorithm::kSequential;
+
+  {
+    std::lock_guard<std::mutex> lock(workers_mu_);
+    active_.reserve(options_.workers);
+    for (std::size_t w = 0; w < options_.workers; ++w)
+      active_.push_back(spawn_worker_locked(w));
+  }
+  // The supervisor thread exists only when these options can need it; a
+  // default-constructed Service spawns exactly its workers, as before.
+  if (options_.retry.max_attempts > 1 || options_.wedge_threshold.count() > 0)
+    supervisor_ = std::thread([this] { supervisor_loop(); });
 }
 
 Service::~Service() { shutdown(); }
+
+std::shared_ptr<Service::Worker> Service::spawn_worker_locked(
+    std::size_t index) {
+  auto w = std::make_shared<Worker>();
+  w->thread = std::thread([this, w, index] { worker_main(w, index); });
+  return w;
+}
 
 std::future<Result<core::MatchResult>> Service::submit(Request req) {
   if (shut_down_.load(std::memory_order_acquire) || queue_.closed()) {
@@ -64,18 +127,28 @@ std::future<Result<core::MatchResult>> Service::submit(Request req) {
   Job job;
   job.req = std::move(req);
   job.resolved = resolved;
+  job.requested = resolved.algorithm;
+  job.id = next_id_.fetch_add(1, std::memory_order_relaxed);
   job.enqueued = std::chrono::steady_clock::now();
   std::future<Result<core::MatchResult>> fut = job.promise.get_future();
 
   bool accepted = false;
-  if (options_.overflow == OverflowPolicy::kReject) {
-    accepted = queue_.try_push(job);
-    if (!accepted && !queue_.closed()) {
-      rejected_.fetch_add(1, std::memory_order_relaxed);
-      return ready_error(Status::resource_exhausted("request queue is full"));
+  try {
+    if (options_.overflow == OverflowPolicy::kReject) {
+      accepted = queue_.try_push(job);
+      if (!accepted && !queue_.closed()) {
+        rejected_.fetch_add(1, std::memory_order_relaxed);
+        return ready_error(
+            Status::resource_exhausted("request queue is full"));
+      }
+    } else {
+      accepted = queue_.push(std::move(job));
     }
-  } else {
-    accepted = queue_.push(std::move(job));
+  } catch (const support::failpoint::InjectedFault& f) {
+    // serve.queue.push fires before the item is enqueued, so the request
+    // was never accepted; fail it on the submitter, retryably.
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return ready_error(status_of(f));
   }
   if (!accepted) {  // queue closed while we waited / tried
     rejected_.fetch_add(1, std::memory_order_relaxed);
@@ -96,8 +169,31 @@ std::vector<std::future<Result<core::MatchResult>>> Service::submit_batch(
 void Service::shutdown() {
   queue_.close();
   if (shut_down_.exchange(true, std::memory_order_acq_rel)) return;
-  for (std::thread& t : workers_)
-    if (t.joinable()) t.join();
+
+  // Join every worker this Service ever spawned. The watchdog cannot
+  // spawn more: its scan re-checks queue_.closed() under workers_mu_, so
+  // any scan racing this close either finished before our snapshot (its
+  // replacement is in active_) or sees the closed queue and stands down.
+  std::vector<std::shared_ptr<Worker>> all;
+  {
+    std::lock_guard<std::mutex> lock(workers_mu_);
+    all.insert(all.end(), active_.begin(), active_.end());
+    all.insert(all.end(), retired_.begin(), retired_.end());
+  }
+  for (auto& w : all)
+    if (w->thread.joinable()) w->thread.join();
+
+  // Stop the supervisor last: while workers drained it kept dispatching
+  // due retries (which fail kUnavailable at the closed queue); its exit
+  // path flushes whatever is still parked in backoff.
+  if (supervisor_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(sup_mu_);
+      sup_stop_ = true;
+    }
+    sup_cv_.notify_all();
+    supervisor_.join();
+  }
 }
 
 void Service::record_latency(std::chrono::steady_clock::time_point enqueued) {
@@ -129,56 +225,321 @@ void Service::finish(Job& job, Result<core::MatchResult> result) {
   job.promise.set_value(std::move(result));
 }
 
-void Service::worker_loop(std::size_t worker_index) {
+void Service::finish_or_retry(Job&& job, Status s) {
+  job.attempts += 1;
+  const RetryPolicy& retry = options_.retry;
+  const bool retryable = retry.max_attempts > 1 && s.retryable() &&
+                         job.attempts < retry.max_attempts &&
+                         !queue_.closed();
+  if (!retryable) {
+    // A retryable failure that ran out of attempts is a quarantine: the
+    // service gave the request every chance it was configured to.
+    if (s.retryable() && retry.max_attempts > 1 &&
+        job.attempts >= retry.max_attempts)
+      quarantined_.fetch_add(1, std::memory_order_relaxed);
+    finish(job, std::move(s));
+    return;
+  }
+
+  retries_.fetch_add(1, std::memory_order_relaxed);
+  job.last_error = std::move(s);
+
+  // Exponential backoff with deterministic jitter: base * 2^(k-1) clamped
+  // to max, plus up to 50% more from hash(id, attempt) — identical
+  // spreading run to run, no shared RNG contention.
+  const int shift = std::min(job.attempts - 1, 20);
+  std::chrono::milliseconds backoff = retry.backoff_base * (1LL << shift);
+  if (backoff > retry.backoff_max || backoff < retry.backoff_base)
+    backoff = retry.backoff_max;
+  const std::int64_t half = backoff.count() / 2;
+  if (half > 0) {
+    const std::uint64_t h =
+        mix64(job.id * 0x9e3779b97f4a7c15ULL +
+              static_cast<std::uint64_t>(job.attempts));
+    backoff += std::chrono::milliseconds(
+        static_cast<std::int64_t>(h % static_cast<std::uint64_t>(half + 1)));
+  }
+  const auto due = std::chrono::steady_clock::now() + backoff;
+
+  {
+    std::lock_guard<std::mutex> lock(sup_mu_);
+    if (!sup_stop_) {
+      pending_retries_.push_back(PendingRetry{due, std::move(job)});
+      sup_cv_.notify_one();
+      return;
+    }
+  }
+  // Supervisor already gone (can only happen on teardown races): fail
+  // with the error that triggered the retry rather than dropping it.
+  finish(job, job.last_error);
+}
+
+void Service::maybe_degrade(Job& job) {
+  const DegradePolicy& d = options_.degrade;
+  if (!d.enabled) return;
+  if (job.resolved.algorithm == core::Algorithm::kSequential) return;
+  const std::size_t a = static_cast<std::size_t>(job.requested);
+
+  bool degrade = false;
+  if (consec_failures_[a].load(std::memory_order_relaxed) >=
+      static_cast<std::uint32_t>(d.after_consecutive_failures)) {
+    // Circuit open. Every probe_every-th candidate still runs the real
+    // algorithm; one probe success resets the failure count (in
+    // note_run_outcome) and closes the circuit.
+    if (d.probe_every > 0) {
+      const std::uint32_t seq =
+          probe_seq_[a].fetch_add(1, std::memory_order_relaxed);
+      degrade = (seq % static_cast<std::uint32_t>(d.probe_every)) !=
+                static_cast<std::uint32_t>(d.probe_every) - 1;
+    } else {
+      degrade = true;
+    }
+  }
+  if (!degrade && d.overload_queue_depth > 0 &&
+      queue_.size() >= d.overload_queue_depth)
+    degrade = true;
+
+  if (degrade) {
+    job.resolved = fallback_options_;
+    job.degraded = true;
+    degraded_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void Service::note_run_outcome(const Job& job, bool run_ok) {
+  // Only non-degraded runs speak for their algorithm's health; the
+  // sequential fallback succeeding says nothing about e.g. match3.
+  if (!options_.degrade.enabled || job.degraded) return;
+  auto& failures = consec_failures_[static_cast<std::size_t>(job.requested)];
+  if (run_ok)
+    failures.store(0, std::memory_order_relaxed);
+  else
+    failures.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool Service::process_job(WorkerContext& wc, std::size_t index, Job& job) {
+  if (options_.on_dequeue) options_.on_dequeue(index);
+
+  if (job.req.cancel && job.req.cancel->load(std::memory_order_acquire)) {
+    finish(job, Status::cancelled("cancel token set before execution"));
+    return false;
+  }
+  if (std::chrono::steady_clock::now() >= job.req.deadline) {
+    finish(job, Status::deadline_exceeded("deadline passed in queue"));
+    return false;
+  }
+
+  // Supervision: nothing a request does may take the worker thread down.
+  // An injected fault surfaces its chosen code; any other escape — a bug,
+  // a poison input — fails this request kInternal. Either way the escape
+  // is reported to worker_main, which rebuilds the execution context.
+  Status s;
+  bool escaped = false;
+  try {
+    s = LLMP_FAILPOINT_STATUS("serve.worker.run");
+    if (s.ok()) {
+      maybe_degrade(job);
+      {
+        // Only the algorithm body counts toward the steady-state
+        // allocation metric; the response copy and promise below are
+        // envelope traffic.
+        support::AllocScope scope;
+        wc.ctx.clear_phases();  // keep the metrics sink from growing
+        s = core::run_matching_into(wc.ctx, *job.req.list, job.resolved,
+                                    wc.scratch);
+      }
+      if (s.ok() && options_.verify) {
+        s = core::verify::matching_status(*job.req.list, wc.scratch.in_matching);
+        if (s.ok())
+          s = core::verify::maximal_status(*job.req.list,
+                                           wc.scratch.in_matching);
+      }
+      note_run_outcome(job, s.ok());
+    }
+  } catch (const support::failpoint::InjectedFault& f) {
+    s = status_of(f);
+    escaped = true;
+    note_run_outcome(job, false);
+  } catch (const std::exception& e) {
+    s = Status::internal(std::string("worker caught exception: ") + e.what());
+    escaped = true;
+    note_run_outcome(job, false);
+  } catch (...) {
+    s = Status::internal("worker caught unknown exception");
+    escaped = true;
+    note_run_outcome(job, false);
+  }
+
+  // Publish the arena counters so stats() never touches worker stack
+  // state (the arena lives on this thread's stack, not in the Service).
+  const std::uint64_t takes = wc.ctx.arena().takes();
+  const std::uint64_t hits = wc.ctx.arena().hits();
+  arena_takes_.fetch_add(takes - wc.seen_takes, std::memory_order_relaxed);
+  arena_hits_.fetch_add(hits - wc.seen_hits, std::memory_order_relaxed);
+  wc.seen_takes = takes;
+  wc.seen_hits = hits;
+
+  if (s.ok())
+    finish(job, Result<core::MatchResult>(wc.scratch));  // copy out
+  else
+    finish_or_retry(std::move(job), std::move(s));
+  return escaped;
+}
+
+void Service::worker_main(std::shared_ptr<Worker> self, std::size_t index) {
   // One long-lived execution context per worker: the pooled arena turns
   // every warm request into a zero-allocation run, and the persistent
   // MatchResult keeps the result buffers between requests too.
-  pram::SeqExec exec(options_.processors);
-  pram::Context ctx(exec);
-  core::MatchResult scratch;
-  std::uint64_t seen_takes = 0;
-  std::uint64_t seen_hits = 0;
+  auto wc = std::make_unique<WorkerContext>(options_.processors);
 
-  while (std::optional<Job> popped = queue_.pop()) {
-    Job& job = *popped;
-    if (options_.on_dequeue) options_.on_dequeue(worker_index);
-
-    if (job.req.cancel && job.req.cancel->load(std::memory_order_acquire)) {
-      finish(job, Status::cancelled("cancel token set before execution"));
+  for (;;) {
+    std::optional<Job> popped;
+    try {
+      popped = queue_.pop();
+    } catch (...) {
+      // serve.queue.pop fires before any item is taken, so no request is
+      // lost; treat it like any other escape and restart fresh.
+      restarts_.fetch_add(1, std::memory_order_relaxed);
+      wc = std::make_unique<WorkerContext>(options_.processors);
       continue;
     }
-    if (std::chrono::steady_clock::now() >= job.req.deadline) {
-      finish(job, Status::deadline_exceeded("deadline passed in queue"));
-      continue;
-    }
+    if (!popped) break;  // closed and drained
 
-    Status s;
-    {
-      // Only the algorithm body counts toward the steady-state allocation
-      // metric; the response copy and promise below are envelope traffic.
-      support::AllocScope scope;
-      ctx.clear_phases();  // keep the metrics sink from growing per request
-      s = core::run_matching_into(ctx, *job.req.list, job.resolved, scratch);
-    }
-    if (s.ok() && options_.verify) {
-      s = core::verify::matching_status(*job.req.list, scratch.in_matching);
-      if (s.ok())
-        s = core::verify::maximal_status(*job.req.list, scratch.in_matching);
-    }
+    self->busy_since_us.store(now_us(), std::memory_order_release);
+    const bool escaped = process_job(*wc, index, *popped);
+    self->busy_since_us.store(0, std::memory_order_release);
 
-    // Publish the arena counters so stats() never touches worker stack
-    // state (the arena lives on this thread's stack, not in the Service).
-    const std::uint64_t takes = ctx.arena().takes();
-    const std::uint64_t hits = ctx.arena().hits();
-    arena_takes_.fetch_add(takes - seen_takes, std::memory_order_relaxed);
-    arena_hits_.fetch_add(hits - seen_hits, std::memory_order_relaxed);
-    seen_takes = takes;
-    seen_hits = hits;
+    if (escaped) {
+      restarts_.fetch_add(1, std::memory_order_relaxed);
+      wc = std::make_unique<WorkerContext>(options_.processors);
+    }
+    // A watchdog-retired worker finishes the request it was wedged on,
+    // then exits; its replacement already owns the slot.
+    if (self->retired.load(std::memory_order_acquire)) break;
+  }
+}
 
-    if (s.ok())
-      finish(job, Result<core::MatchResult>(scratch));  // copy out
+void Service::supervisor_loop() {
+  const bool watchdog = options_.wedge_threshold.count() > 0;
+  std::unique_lock<std::mutex> lock(sup_mu_);
+  while (!sup_stop_) {
+    // Sleep until the earliest due retry, the next watchdog scan, or a
+    // notify (new retry parked / stop requested).
+    auto next = std::chrono::steady_clock::time_point::max();
+    for (const PendingRetry& p : pending_retries_) next = std::min(next, p.due);
+    if (watchdog)
+      next = std::min(next,
+                      std::chrono::steady_clock::now() +
+                          options_.supervisor_period);
+    if (next == std::chrono::steady_clock::time_point::max())
+      sup_cv_.wait(lock,
+                   [this] { return sup_stop_ || !pending_retries_.empty(); });
     else
-      finish(job, std::move(s));
+      sup_cv_.wait_until(lock, next);
+    if (sup_stop_) break;
+
+    // Dispatch due retries outside the lock: the queue push and the
+    // promise fulfillment in finish() must not hold sup_mu_.
+    const auto now = std::chrono::steady_clock::now();
+    std::vector<Job> due;
+    for (std::size_t i = 0; i < pending_retries_.size();) {
+      if (pending_retries_[i].due <= now) {
+        due.push_back(std::move(pending_retries_[i].job));
+        pending_retries_[i] = std::move(pending_retries_.back());
+        pending_retries_.pop_back();
+      } else {
+        ++i;
+      }
+    }
+    lock.unlock();
+    for (Job& job : due) dispatch_retry(std::move(job));
+    if (watchdog) watchdog_scan();
+    lock.lock();
+  }
+
+  // Stop: flush everything still parked in backoff — shutdown() promises
+  // every accepted future is ready when it returns.
+  std::vector<PendingRetry> rest = std::move(pending_retries_);
+  pending_retries_.clear();
+  lock.unlock();
+  for (PendingRetry& p : rest) {
+    Job& job = p.job;
+    if (job.req.cancel && job.req.cancel->load(std::memory_order_acquire))
+      finish(job, Status::cancelled("cancelled during retry backoff"));
+    else if (std::chrono::steady_clock::now() >= job.req.deadline)
+      finish(job,
+             Status::deadline_exceeded("deadline passed during retry backoff"));
+    else
+      finish(job, job.last_error.ok()
+                      ? Status::unavailable("service shut down during retry")
+                      : job.last_error);
+  }
+}
+
+void Service::dispatch_retry(Job&& job) {
+  if (job.req.cancel && job.req.cancel->load(std::memory_order_acquire)) {
+    finish(job, Status::cancelled("cancelled during retry backoff"));
+    return;
+  }
+  if (std::chrono::steady_clock::now() >= job.req.deadline) {
+    finish(job,
+           Status::deadline_exceeded("deadline passed during retry backoff"));
+    return;
+  }
+  bool pushed = false;
+  try {
+    pushed = queue_.try_push(job);
+  } catch (const support::failpoint::InjectedFault& f) {
+    finish(job, status_of(f));
+    return;
+  }
+  if (pushed) return;
+  if (queue_.closed()) {
+    // Shutting down: the retry can never run; surface the error that
+    // caused it.
+    finish(job, job.last_error.ok()
+                    ? Status::unavailable("service shut down during retry")
+                    : job.last_error);
+    return;
+  }
+  // Queue momentarily full — park again briefly rather than blocking the
+  // supervisor (it also owes the watchdog its scans).
+  const auto due =
+      std::chrono::steady_clock::now() + options_.retry.backoff_base;
+  {
+    std::lock_guard<std::mutex> lock(sup_mu_);
+    if (!sup_stop_) {
+      pending_retries_.push_back(PendingRetry{due, std::move(job)});
+      sup_cv_.notify_one();
+      return;
+    }
+  }
+  finish(job, job.last_error.ok()
+                  ? Status::unavailable("service shut down during retry")
+                  : job.last_error);
+}
+
+void Service::watchdog_scan() {
+  const std::int64_t threshold_us =
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          options_.wedge_threshold)
+          .count();
+  const std::int64_t now = now_us();
+  std::lock_guard<std::mutex> lock(workers_mu_);
+  // During shutdown the drain IS slow work finishing — never retire then
+  // (and never spawn a worker shutdown() could miss; see shutdown()).
+  if (queue_.closed()) return;
+  for (std::size_t i = 0; i < active_.size(); ++i) {
+    std::shared_ptr<Worker>& w = active_[i];
+    const std::int64_t busy = w->busy_since_us.load(std::memory_order_acquire);
+    if (busy == 0 || now - busy < threshold_us) continue;
+    // Wedged: C++ threads can't be killed, so replace instead. The old
+    // thread finishes its request (late), sees retired, and exits; it is
+    // joined at shutdown.
+    w->retired.store(true, std::memory_order_release);
+    watchdog_fires_.fetch_add(1, std::memory_order_relaxed);
+    retired_.push_back(std::move(w));
+    active_[i] = spawn_worker_locked(i);
   }
 }
 
@@ -191,8 +552,16 @@ ServiceStats Service::stats() const {
   s.cancelled = cancelled_.load(std::memory_order_relaxed);
   s.expired = expired_.load(std::memory_order_relaxed);
   s.failed = failed_.load(std::memory_order_relaxed);
+  s.restarts = restarts_.load(std::memory_order_relaxed);
+  s.retries = retries_.load(std::memory_order_relaxed);
+  s.quarantined = quarantined_.load(std::memory_order_relaxed);
+  s.degraded = degraded_.load(std::memory_order_relaxed);
+  s.watchdog_fires = watchdog_fires_.load(std::memory_order_relaxed);
   s.queue_depth = queue_.size();
-  s.workers = workers_.size();
+  {
+    std::lock_guard<std::mutex> lock(workers_mu_);
+    s.workers = active_.size();
+  }
   const std::uint64_t allocs = support::scoped_allocs();
   const std::uint64_t base = alloc_baseline_.load(std::memory_order_relaxed);
   s.steady_allocs = allocs >= base ? allocs - base : 0;
@@ -232,10 +601,17 @@ void Service::reset_stats() {
   cancelled_.store(0, std::memory_order_relaxed);
   expired_.store(0, std::memory_order_relaxed);
   failed_.store(0, std::memory_order_relaxed);
+  restarts_.store(0, std::memory_order_relaxed);
+  retries_.store(0, std::memory_order_relaxed);
+  quarantined_.store(0, std::memory_order_relaxed);
+  degraded_.store(0, std::memory_order_relaxed);
+  watchdog_fires_.store(0, std::memory_order_relaxed);
   arena_takes_.store(0, std::memory_order_relaxed);
   arena_hits_.store(0, std::memory_order_relaxed);
   alloc_baseline_.store(support::scoped_allocs(), std::memory_order_relaxed);
   for (auto& b : latency_) b.store(0, std::memory_order_relaxed);
+  for (auto& c : consec_failures_) c.store(0, std::memory_order_relaxed);
+  for (auto& p : probe_seq_) p.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace llmp::serve

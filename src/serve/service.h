@@ -1,4 +1,5 @@
-// llmp::serve::Service — a batch/serve layer over pram::Context.
+// llmp::serve::Service — a self-healing batch/serve layer over
+// pram::Context.
 //
 // The repo's algorithms are single-threaded templates over an Executor;
 // parallelism inside one run is the *simulated* PRAM. This layer adds the
@@ -24,27 +25,54 @@
 // per-worker persistent MatchResult, optionally audits the output with
 // core::verify (kFailedVerification), and fulfills the future with a copy.
 //
+// Fault tolerance (docs/RESILIENCE.md has the full semantics):
+//
+//   * Supervision — any exception escaping a request (a bug, a poison
+//     input, an armed failpoint) fails *that request's* future, never the
+//     worker thread: the worker records a restart and rebuilds its
+//     execution context fresh before the next request.
+//   * RetryPolicy — a request failing with a retryable() Status is
+//     re-enqueued up to max_attempts times with exponential backoff and
+//     deterministic jitter; a request that exhausts its attempts is
+//     quarantined (fails with the last error, counted in stats).
+//   * Watchdog — when wedge_threshold is nonzero, a supervisor thread
+//     retires any worker stuck on one request past the threshold and
+//     spawns a replacement so capacity recovers; the wedged thread's
+//     request still completes (late) and the thread exits afterwards.
+//   * Degradation — when DegradePolicy::enabled, requests for an
+//     algorithm that keeps failing (or any request while the queue is
+//     overloaded past a watermark) are served by `sequential` instead of
+//     failing; periodic probe requests retry the original algorithm so
+//     the Service returns to it once the fault clears.
+//
+// All of this is off by default: a default-constructed Service behaves
+// exactly like the pre-resilience one (no retry, no watchdog, no
+// fallback), except that worker threads no longer die silently.
+//
 // Shutdown is graceful by construction: shutdown() closes the queue, which
 // rejects new work (kUnavailable) while workers keep draining already
-// accepted requests; it returns after every queued future is fulfilled and
-// all workers joined. The destructor calls shutdown().
+// accepted requests; requests parked in retry backoff are flushed with
+// their last error. It returns after every accepted future is fulfilled
+// and all workers joined. The destructor calls shutdown().
 //
 // Threading contract. submit()/submit_batch()/stats() are safe from any
 // thread. The pointed-to LinkedList must stay alive and unmodified until
 // the request's future is ready (lists are immutable after construction,
 // so sharing one list across many in-flight requests is fine). Workers
-// never touch each other's Context; the only shared mutable state is the
-// queue and the ServiceStats atomics.
+// never touch each other's Context; shared mutable state is the queue,
+// the worker table, the retry schedule and the ServiceStats atomics.
 #pragma once
 
 #include <array>
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <future>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
@@ -65,6 +93,31 @@ enum class OverflowPolicy {
   kReject,  ///< fail the request with kResourceExhausted (load shedding)
 };
 
+/// Bounded retries for requests failing with a retryable() Status.
+struct RetryPolicy {
+  /// Total attempts per request (1 = no retry, the default).
+  int max_attempts = 1;
+  /// Backoff before attempt k+1 is base * 2^(k-1), clamped to `max`, plus
+  /// a deterministic jitter in [0, 50%] derived from (request id, k) — so
+  /// a retry storm spreads out identically run to run.
+  std::chrono::milliseconds backoff_base{1};
+  std::chrono::milliseconds backoff_max{64};
+};
+
+/// Graceful degradation: serve via `sequential` instead of failing.
+struct DegradePolicy {
+  bool enabled = false;
+  /// Fall back for an algorithm after this many consecutive failures.
+  int after_consecutive_failures = 3;
+  /// While degraded, every Nth candidate request probes the original
+  /// algorithm; one probe success restores it. 0 disables probing
+  /// (degradation then persists until reset_stats()).
+  int probe_every = 16;
+  /// Also degrade any request dequeued while the queue holds at least
+  /// this many requests (sustained overload). 0 disables the trigger.
+  std::size_t overload_queue_depth = 0;
+};
+
 struct ServiceOptions {
   std::size_t workers = 4;
   std::size_t queue_capacity = 256;
@@ -75,6 +128,14 @@ struct ServiceOptions {
   /// Audit every result with core::verify (matching + maximal); failures
   /// surface as kFailedVerification on that request's future.
   bool verify = false;
+  RetryPolicy retry;
+  DegradePolicy degrade;
+  /// Watchdog: a worker busy on one request for longer than this is
+  /// retired and replaced (the request still completes on the old
+  /// thread). 0 (default) disables the watchdog.
+  std::chrono::milliseconds wedge_threshold{0};
+  /// Watchdog scan cadence (only meaningful when the watchdog is on).
+  std::chrono::milliseconds supervisor_period{2};
   /// Test/trace seam: called by a worker right after it dequeues a
   /// request, with the worker index, *before* cancel/deadline checks and
   /// execution. Tests use it to hold workers and build queue states;
@@ -83,7 +144,8 @@ struct ServiceOptions {
 };
 
 /// Shared cancellation flag: submitter sets it, workers poll it at
-/// dequeue. Copyable and cheap; one token may cover a whole batch.
+/// dequeue (and the retry scheduler when a backoff expires). Copyable and
+/// cheap; one token may cover a whole batch.
 using CancelToken = std::shared_ptr<std::atomic<bool>>;
 inline CancelToken make_cancel_token() {
   return std::make_shared<std::atomic<bool>>(false);
@@ -97,7 +159,8 @@ struct Request {
   /// When set, used verbatim instead of resolving `algorithm`.
   std::optional<core::MatchOptions> options;
   /// Absolute deadline; max() (the default) means none. A request whose
-  /// deadline passes before a worker picks it up fails kDeadlineExceeded.
+  /// deadline passes before a worker picks it up — or while it waits in
+  /// retry backoff — fails kDeadlineExceeded.
   std::chrono::steady_clock::time_point deadline =
       std::chrono::steady_clock::time_point::max();
   /// Optional; null means not cancellable.
@@ -108,14 +171,21 @@ struct Request {
 /// increasing between reset_stats() calls; queue_depth is instantaneous).
 struct ServiceStats {
   std::uint64_t submitted = 0;  ///< accepted into the queue
-  std::uint64_t completed = 0;  ///< futures fulfilled by workers
+  std::uint64_t completed = 0;  ///< futures fulfilled
   std::uint64_t ok = 0;         ///< … with an OK result
   std::uint64_t rejected = 0;   ///< refused at submit (full/closed/invalid)
-  std::uint64_t cancelled = 0;  ///< failed kCancelled at dequeue
-  std::uint64_t expired = 0;    ///< failed kDeadlineExceeded at dequeue
+  std::uint64_t cancelled = 0;  ///< failed kCancelled
+  std::uint64_t expired = 0;    ///< failed kDeadlineExceeded
   std::uint64_t failed = 0;     ///< completed with any other non-OK status
+  // Resilience counters (completed == ok + cancelled + expired + failed
+  // always; the five below classify *how* the service got there).
+  std::uint64_t restarts = 0;       ///< worker contexts rebuilt after escape
+  std::uint64_t retries = 0;        ///< retry attempts scheduled
+  std::uint64_t quarantined = 0;    ///< requests failed after max_attempts
+  std::uint64_t degraded = 0;       ///< requests served via `sequential`
+  std::uint64_t watchdog_fires = 0; ///< wedged workers retired + replaced
   std::size_t queue_depth = 0;
-  std::size_t workers = 0;
+  std::size_t workers = 0;          ///< live (non-retired) workers
   /// End-to-end latency (submit → future ready) percentiles, from a
   /// log2-bucketed histogram: each reported value is the upper bound of
   /// the bucket holding that percentile, so it is exact to within 2×.
@@ -138,8 +208,8 @@ class Service {
   Service& operator=(const Service&) = delete;
 
   /// Submit one request. Always returns a valid future; errors (bad
-  /// request, full queue under kReject, shut-down service) arrive as a
-  /// non-OK Result on it, already ready.
+  /// request, full queue under kReject, shut-down service, an injected
+  /// queue fault) arrive as a non-OK Result on it, already ready.
   std::future<Result<core::MatchResult>> submit(Request req);
 
   /// Submit many requests; futures are positionally matched. Under
@@ -147,13 +217,15 @@ class Service {
   std::vector<std::future<Result<core::MatchResult>>> submit_batch(
       std::vector<Request> reqs);
 
-  /// Stop accepting work, drain every accepted request, join workers.
-  /// Idempotent; the destructor calls it.
+  /// Stop accepting work, drain every accepted request (flushing retry
+  /// backoffs with their last error), join workers. Idempotent; the
+  /// destructor calls it.
   void shutdown();
 
   ServiceStats stats() const;
-  /// Zero the counters and histogram and rebase the steady-allocation
-  /// baseline (call after warmup to measure the steady state).
+  /// Zero the counters and histogram, rebase the steady-allocation
+  /// baseline (call after warmup to measure the steady state), and clear
+  /// the degradation failure-tracking state.
   void reset_stats();
 
   const ServiceOptions& options() const { return options_; }
@@ -162,18 +234,79 @@ class Service {
   struct Job {
     Request req;
     core::MatchOptions resolved;
+    core::Algorithm requested;  ///< pre-degradation algorithm (tracking key)
+    int attempts = 0;           ///< attempts already finished (all failed)
+    std::uint64_t id = 0;       ///< submit order; seeds the retry jitter
+    bool degraded = false;      ///< this attempt runs the fallback
     std::chrono::steady_clock::time_point enqueued;
+    Status last_error;          ///< status that caused the latest retry
     std::promise<Result<core::MatchResult>> promise;
   };
 
-  void worker_loop(std::size_t worker_index);
+  /// One worker thread's identity: liveness + wedge tracking. Retired
+  /// handles stay in retired_ until shutdown joins them.
+  struct Worker {
+    std::thread thread;
+    /// steady_clock µs when the current request started; 0 = idle.
+    std::atomic<std::int64_t> busy_since_us{0};
+    /// Set by the watchdog: finish the current request, then exit.
+    std::atomic<bool> retired{false};
+  };
+
+  /// Everything a worker rebuilds on a supervision restart: the backend,
+  /// the pooled Context and the persistent result scratch.
+  struct WorkerContext;
+
+  /// A request waiting out its retry backoff (owned by the supervisor).
+  struct PendingRetry {
+    std::chrono::steady_clock::time_point due;
+    Job job;
+  };
+
+  void worker_main(std::shared_ptr<Worker> self, std::size_t index);
+  /// Run one dequeued job; returns true when an exception escaped (the
+  /// caller then rebuilds the context — a supervision restart).
+  bool process_job(WorkerContext& wc, std::size_t index, Job& job);
+  /// Fallback decision for this attempt; may rewrite job.resolved.
+  void maybe_degrade(Job& job);
+  void note_run_outcome(const Job& job, bool run_ok);
+  /// Terminal failure vs. scheduling a retry.
+  void finish_or_retry(Job&& job, Status s);
+  /// Supervisor-side: re-enqueue a retry whose backoff expired (or fail
+  /// it if it was cancelled / its deadline passed / the queue closed).
+  void dispatch_retry(Job&& job);
   void finish(Job& job, Result<core::MatchResult> result);
   void record_latency(std::chrono::steady_clock::time_point enqueued);
 
+  void supervisor_loop();
+  void watchdog_scan();
+  std::shared_ptr<Worker> spawn_worker_locked(std::size_t index);
+
   ServiceOptions options_;
+  core::MatchOptions fallback_options_;  ///< canonical `sequential`
   BoundedQueue<Job> queue_;
-  std::vector<std::thread> workers_;
   std::atomic<bool> shut_down_{false};
+  std::atomic<std::uint64_t> next_id_{0};
+
+  // Worker table: active_[i] is slot i's current worker; a watchdog
+  // replacement moves the old handle to retired_ and installs a fresh one
+  // in place. Both vectors are guarded by workers_mu_.
+  mutable std::mutex workers_mu_;
+  std::vector<std::shared_ptr<Worker>> active_;
+  std::vector<std::shared_ptr<Worker>> retired_;
+
+  // Supervisor: retry scheduling + watchdog. The thread exists only when
+  // the options can need it (retries enabled or watchdog on).
+  std::thread supervisor_;
+  std::mutex sup_mu_;
+  std::condition_variable sup_cv_;
+  bool sup_stop_ = false;
+  std::vector<PendingRetry> pending_retries_;
+
+  // Degradation tracking, indexed by core::Algorithm.
+  static constexpr std::size_t kAlgos = 6;
+  std::array<std::atomic<std::uint32_t>, kAlgos> consec_failures_{};
+  std::array<std::atomic<std::uint32_t>, kAlgos> probe_seq_{};
 
   // Stats. Plain atomics, relaxed: stats() is a monitoring snapshot, not
   // a synchronization point.
@@ -184,6 +317,11 @@ class Service {
   std::atomic<std::uint64_t> cancelled_{0};
   std::atomic<std::uint64_t> expired_{0};
   std::atomic<std::uint64_t> failed_{0};
+  std::atomic<std::uint64_t> restarts_{0};
+  std::atomic<std::uint64_t> retries_{0};
+  std::atomic<std::uint64_t> quarantined_{0};
+  std::atomic<std::uint64_t> degraded_{0};
+  std::atomic<std::uint64_t> watchdog_fires_{0};
   std::atomic<std::uint64_t> arena_takes_{0};
   std::atomic<std::uint64_t> arena_hits_{0};
   std::atomic<std::uint64_t> alloc_baseline_{0};

@@ -1,0 +1,289 @@
+#include "support/failpoint.h"
+
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+namespace llmp::support::failpoint {
+namespace {
+
+/// splitmix64 — the deterministic per-point random stream.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// FNV-1a over the name: a stable cross-platform seed (std::hash is not).
+std::uint64_t name_seed(std::string_view name) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+struct Point {
+  std::vector<Rule> rules;
+  std::vector<std::int64_t> fired;  // per-rule fire counts (for max_fires)
+  Counts counts;
+  std::uint64_t rng = 0;  // counter for the splitmix stream
+  std::uint64_t seed = 0;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, Point, std::less<>> points;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // leaked: usable during exit
+  return *r;
+}
+
+/// The rule (if any) that fires for this evaluation, chosen under the
+/// registry lock; sleeping and throwing happen outside it.
+struct Decision {
+  bool fire = false;
+  Rule rule;
+};
+
+Decision evaluate(const char* name) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  auto it = reg.points.find(std::string_view(name));
+  if (it == reg.points.end()) return {};
+  Point& p = it->second;
+  ++p.counts.evaluations;
+  for (std::size_t i = 0; i < p.rules.size(); ++i) {
+    const Rule& r = p.rules[i];
+    if (r.max_fires >= 0 && p.fired[i] >= r.max_fires) continue;
+    if (r.probability < 1.0) {
+      const double u =
+          static_cast<double>(mix64(p.seed + p.rng++) >> 11) * 0x1.0p-53;
+      if (u >= r.probability) continue;
+    }
+    ++p.fired[i];
+    switch (r.action) {
+      case Action::kThrow: ++p.counts.throws; break;
+      case Action::kStatus: ++p.counts.statuses; break;
+      case Action::kSleep: ++p.counts.sleeps; break;
+    }
+    return {true, r};
+  }
+  return {};
+}
+
+std::string fault_message(const char* name, const Rule& r) {
+  std::string m = "injected fault at failpoint '";
+  m += name;
+  m += "'";
+  if (r.action == Action::kStatus) {
+    m += " (status ";
+    m += llmp::to_string(r.code);
+    m += ")";
+  }
+  return m;
+}
+
+Status parse_rule(std::string_view text, Rule& out) {
+  // action[(arg)] then ':'-separated modifiers.
+  std::vector<std::string_view> parts;
+  while (!text.empty()) {
+    const std::size_t colon = text.find(':');
+    parts.push_back(text.substr(0, colon));
+    if (colon == std::string_view::npos) break;
+    text.remove_prefix(colon + 1);
+  }
+  if (parts.empty() || parts[0].empty())
+    return Status::invalid_argument("failpoint rule is empty");
+
+  const std::string_view head = parts[0];
+  const std::size_t paren = head.find('(');
+  const std::string_view action = head.substr(0, paren);
+  std::string_view arg;
+  if (paren != std::string_view::npos) {
+    if (head.back() != ')')
+      return Status::invalid_argument("failpoint rule '" + std::string(head) +
+                                      "' has an unclosed argument");
+    arg = head.substr(paren + 1, head.size() - paren - 2);
+  }
+
+  if (action == "throw") {
+    out.action = Action::kThrow;
+  } else if (action == "sleep") {
+    out.action = Action::kSleep;
+    if (arg.empty())
+      return Status::invalid_argument("sleep needs a duration: sleep(<ms>)");
+    out.sleep = std::chrono::milliseconds(
+        std::strtoll(std::string(arg).c_str(), nullptr, 10));
+  } else if (action == "status") {
+    out.action = Action::kStatus;
+    static const std::pair<std::string_view, StatusCode> kCodes[] = {
+        {"invalid_argument", StatusCode::kInvalidArgument},
+        {"not_found", StatusCode::kNotFound},
+        {"deadline_exceeded", StatusCode::kDeadlineExceeded},
+        {"cancelled", StatusCode::kCancelled},
+        {"resource_exhausted", StatusCode::kResourceExhausted},
+        {"unavailable", StatusCode::kUnavailable},
+        {"failed_verification", StatusCode::kFailedVerification},
+        {"internal", StatusCode::kInternal},
+    };
+    bool found = false;
+    for (const auto& [n, c] : kCodes) {
+      if (arg == n) {
+        out.code = c;
+        found = true;
+      }
+    }
+    if (!found)
+      return Status::invalid_argument("unknown status code '" +
+                                      std::string(arg) + "' in failpoint rule");
+  } else {
+    return Status::invalid_argument("unknown failpoint action '" +
+                                    std::string(action) + "'");
+  }
+
+  for (std::size_t i = 1; i < parts.size(); ++i) {
+    const std::string_view mod = parts[i];
+    if (mod.rfind("p=", 0) == 0) {
+      out.probability = std::strtod(std::string(mod.substr(2)).c_str(), nullptr);
+      if (out.probability < 0.0 || out.probability > 1.0)
+        return Status::invalid_argument("failpoint probability out of [0,1]");
+    } else if (mod.rfind("n=", 0) == 0) {
+      out.max_fires =
+          std::strtoll(std::string(mod.substr(2)).c_str(), nullptr, 10);
+    } else {
+      return Status::invalid_argument("unknown failpoint modifier '" +
+                                      std::string(mod) + "'");
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+void arm(std::string_view name, Rule rule) {
+  arm(name, std::vector<Rule>{rule});
+}
+
+void arm(std::string_view name, std::vector<Rule> rules) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  auto [it, inserted] = reg.points.try_emplace(std::string(name));
+  Point& p = it->second;
+  if (inserted) detail::g_armed.fetch_add(1, std::memory_order_relaxed);
+  p.rules = std::move(rules);
+  p.fired.assign(p.rules.size(), 0);
+  p.counts = {};
+  p.rng = 0;
+  p.seed = name_seed(name);
+}
+
+void disarm(std::string_view name) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  auto it = reg.points.find(name);
+  if (it == reg.points.end()) return;
+  reg.points.erase(it);
+  detail::g_armed.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void disarm_all() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  detail::g_armed.fetch_sub(static_cast<int>(reg.points.size()),
+                            std::memory_order_relaxed);
+  reg.points.clear();
+}
+
+bool armed(std::string_view name) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  return reg.points.find(name) != reg.points.end();
+}
+
+Counts counts(std::string_view name) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  auto it = reg.points.find(name);
+  return it == reg.points.end() ? Counts{} : it->second.counts;
+}
+
+Status arm_from_string(std::string_view spec) {
+  while (!spec.empty()) {
+    const std::size_t semi = spec.find(';');
+    std::string_view point = spec.substr(0, semi);
+    spec = semi == std::string_view::npos ? std::string_view()
+                                          : spec.substr(semi + 1);
+    if (point.empty()) continue;
+    const std::size_t eq = point.find('=');
+    if (eq == std::string_view::npos || eq == 0)
+      return Status::invalid_argument("failpoint spec '" + std::string(point) +
+                                      "' is not <name>=<rules>");
+    const std::string_view name = point.substr(0, eq);
+    std::string_view rules_text = point.substr(eq + 1);
+    if (rules_text == "off") {
+      disarm(name);
+      continue;
+    }
+    std::vector<Rule> rules;
+    while (!rules_text.empty()) {
+      const std::size_t bar = rules_text.find('|');
+      Rule r;
+      if (Status s = parse_rule(rules_text.substr(0, bar), r); !s.ok())
+        return s;
+      rules.push_back(r);
+      if (bar == std::string_view::npos) break;
+      rules_text.remove_prefix(bar + 1);
+    }
+    if (rules.empty())
+      return Status::invalid_argument("failpoint '" + std::string(name) +
+                                      "' has no rules");
+    arm(name, std::move(rules));
+  }
+  return {};
+}
+
+Status arm_from_env() {
+  const char* env = std::getenv("LLMP_FAILPOINTS");
+  if (env == nullptr || *env == '\0') return {};
+  return arm_from_string(env);
+}
+
+namespace detail {
+
+std::atomic<int> g_armed{0};
+
+void hit(const char* name) {
+  const Decision d = evaluate(name);
+  if (!d.fire) return;
+  if (d.rule.action == Action::kSleep) {
+    std::this_thread::sleep_for(d.rule.sleep);
+    return;
+  }
+  throw InjectedFault(d.rule.code, fault_message(name, d.rule));
+}
+
+Status hit_status(const char* name) {
+  const Decision d = evaluate(name);
+  if (!d.fire) return {};
+  switch (d.rule.action) {
+    case Action::kSleep:
+      std::this_thread::sleep_for(d.rule.sleep);
+      return {};
+    case Action::kStatus:
+      return Status(d.rule.code, fault_message(name, d.rule));
+    case Action::kThrow:
+      break;
+  }
+  throw InjectedFault(d.rule.code, fault_message(name, d.rule));
+}
+
+}  // namespace detail
+
+}  // namespace llmp::support::failpoint

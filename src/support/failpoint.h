@@ -1,0 +1,139 @@
+// Failpoints — named fault-injection sites for chaos and resilience tests.
+//
+// A failpoint is a named hook compiled into a production code path:
+//
+//   LLMP_FAILPOINT("serve.queue.pop");            // may throw or sleep
+//   Status s = LLMP_FAILPOINT_STATUS("serve.worker.run");  // may also
+//                                                 // return an error Status
+//
+// Disabled (the default), a failpoint costs one relaxed atomic load and a
+// predictable branch — no lock, no lookup, no allocation — so shipping
+// them in hot paths (BoundedQueue, ScratchArena::take, the Match2/Match3
+// plan and table builds) changes nothing observable. Armed — by code
+// (failpoint::arm) or the LLMP_FAILPOINTS environment variable — a
+// failpoint evaluates its rules in order and may
+//
+//   * throw   failpoint::InjectedFault (a crash/escape at that site),
+//   * status  return / throw an error Status with a chosen code,
+//   * sleep   stall the calling thread (a straggler / wedged worker).
+//
+// Each rule carries a firing probability and an optional fire cap, so
+// `throw:p=0.01|sleep(50):p=0.005` injects a probabilistic mix. The
+// per-point random stream is seeded from the point's name, making a fixed
+// schedule reproducible run to run (modulo thread interleaving, which
+// moves *which* evaluation fires, not how many per evaluation count).
+//
+// Naming convention (enforced by llmp_lint's failpoint-name rule): every
+// name is `file.scope.event` — exactly three lowercase [a-z0-9_] segments
+// — and unique across the tree. Registry of shipped points: see
+// docs/RESILIENCE.md.
+//
+// Evaluation counters (counts()) let chaos tests reconcile injected
+// faults against the serve layer's retry/failure statistics.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/status.h"
+
+namespace llmp::support::failpoint {
+
+/// Thrown by throw/status rules at non-Status sites; carries the Status
+/// code a catching boundary (the serve worker) should surface.
+class InjectedFault : public std::runtime_error {
+ public:
+  InjectedFault(StatusCode code, const std::string& what)
+      : std::runtime_error(what), code_(code) {}
+  StatusCode code() const { return code_; }
+
+ private:
+  StatusCode code_;
+};
+
+enum class Action {
+  kThrow,   ///< throw InjectedFault
+  kStatus,  ///< error Status (thrown as InjectedFault at non-Status sites)
+  kSleep,   ///< sleep for `sleep` milliseconds, then continue
+};
+
+struct Rule {
+  Action action = Action::kThrow;
+  /// Chance this rule fires per evaluation, in [0, 1].
+  double probability = 1.0;
+  /// Stop firing after this many fires; -1 = unlimited.
+  std::int64_t max_fires = -1;
+  std::chrono::milliseconds sleep{0};
+  /// Status code injected by kThrow/kStatus rules.
+  StatusCode code = StatusCode::kUnavailable;
+};
+
+/// Per-point evaluation counters (monotonic since arm()).
+struct Counts {
+  std::uint64_t evaluations = 0;  ///< armed evaluations of this point
+  std::uint64_t throws = 0;       ///< kThrow fires
+  std::uint64_t statuses = 0;     ///< kStatus fires
+  std::uint64_t sleeps = 0;       ///< kSleep fires
+  /// Fires that fail the caller (sleep fires only delay it).
+  std::uint64_t faults() const { return throws + statuses; }
+};
+
+/// Arm `name` with one rule / a rule list evaluated in order (first rule
+/// that fires wins). Re-arming replaces the rules and resets the counters
+/// and the point's deterministic random stream.
+void arm(std::string_view name, Rule rule);
+void arm(std::string_view name, std::vector<Rule> rules);
+void disarm(std::string_view name);
+void disarm_all();
+bool armed(std::string_view name);
+Counts counts(std::string_view name);
+
+/// Parse and arm a schedule:
+///   spec   := point (';' point)*
+///   point  := name '=' rule ('|' rule)*
+///   rule   := ('throw' | 'sleep(' ms ')' | 'status(' code ')' | 'off')
+///             (':p=' float)? (':n=' fires)?
+///   code   := unavailable | internal | resource_exhausted |
+///             deadline_exceeded | cancelled | invalid_argument |
+///             not_found | failed_verification
+/// e.g. "serve.worker.run=throw:p=0.01|sleep(50):p=0.005;pram.arena.take=off".
+Status arm_from_string(std::string_view spec);
+
+/// Arm from $LLMP_FAILPOINTS when set; OK (and a no-op) when unset.
+Status arm_from_env();
+
+namespace detail {
+extern std::atomic<int> g_armed;
+/// Slow paths, called only when any point is armed. hit() throws
+/// InjectedFault for throw/status fires; hit_status() returns the Status
+/// for status fires and throws only for throw fires.
+void hit(const char* name);
+Status hit_status(const char* name);
+}  // namespace detail
+
+/// True iff at least one failpoint is armed (the fast-path gate).
+inline bool any_armed() {
+  return detail::g_armed.load(std::memory_order_relaxed) != 0;
+}
+
+}  // namespace llmp::support::failpoint
+
+/// Evaluate failpoint `name` (a string literal). Disabled: one relaxed
+/// load. Armed: may sleep, or throw failpoint::InjectedFault.
+#define LLMP_FAILPOINT(name)                        \
+  do {                                              \
+    if (::llmp::support::failpoint::any_armed())    \
+      ::llmp::support::failpoint::detail::hit(name); \
+  } while (0)
+
+/// Status-site form: a status rule returns its error Status instead of
+/// throwing (throw rules still throw, sleep rules still sleep).
+#define LLMP_FAILPOINT_STATUS(name)                         \
+  (::llmp::support::failpoint::any_armed()                  \
+       ? ::llmp::support::failpoint::detail::hit_status(name) \
+       : ::llmp::Status())

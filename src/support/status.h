@@ -60,6 +60,25 @@ class Status {
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
+  /// Whether the failed operation might succeed if simply retried —
+  /// transient conditions (an overloaded queue, a restarting worker, a
+  /// missed deadline, a crashed attempt) are retryable; deterministic
+  /// rejections of the request itself (bad input, unknown name, an
+  /// explicit cancel, a wrong result) are not. serve::Service's
+  /// RetryPolicy and callers branch on this instead of string-matching
+  /// messages.
+  bool retryable() const {
+    switch (code_) {
+      case StatusCode::kDeadlineExceeded:
+      case StatusCode::kResourceExhausted:
+      case StatusCode::kUnavailable:
+      case StatusCode::kInternal:
+        return true;
+      default:
+        return false;
+    }
+  }
+
   /// "OK", or "DEADLINE_EXCEEDED: queued past deadline".
   std::string to_string() const {
     if (ok()) return "OK";

@@ -1,0 +1,243 @@
+// Chaos harness: hammers serve::Service from many client threads while a
+// failpoint schedule injects worker crashes, scratch-allocation failures,
+// queue faults and stragglers — then checks the self-healing invariants:
+//
+//   * every accepted future completes (no deadlock, no silent loss),
+//   * the injected-fault counters reconcile exactly with the service's
+//     retry/failure statistics,
+//   * capacity recovers once the faults stop (throughput comparable to
+//     the pre-chaos baseline, zero failures afterward),
+//   * with every failpoint disarmed the zero-steady-state-allocation
+//     guarantee still holds (the hooks are free when disabled).
+//
+// The binary instruments global operator new (like serve_test.cpp) so
+// ServiceStats::steady_allocs counts for real.
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <future>
+#include <new>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "llmp.h"
+#include "support/alloc_counter.h"
+#include "support/failpoint.h"
+
+void* operator new(std::size_t size) {
+  llmp::support::note_alloc();
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+// Nothrow forms too: libstdc++ internals (std::get_temporary_buffer) pair
+// new(nothrow) with plain delete, which must land on the same allocator.
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  llmp::support::note_alloc();
+  return std::malloc(size ? size : 1);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+
+namespace llmp {
+namespace {
+
+namespace fp = support::failpoint;
+
+using core::MatchResult;
+using serve::Request;
+using serve::Service;
+using serve::ServiceOptions;
+using serve::ServiceStats;
+
+class Chaos : public ::testing::Test {
+ protected:
+  void TearDown() override { fp::disarm_all(); }
+};
+
+constexpr std::size_t kListSize = 512;
+
+/// Fire `count` requests from `threads` submitter threads, wait for every
+/// future, and return how many came back OK (the rest carried an error
+/// status — a future that never becomes ready would hang the test, which
+/// is itself the deadlock detector). Algorithms cycle over the whole
+/// registry to exercise every code path under fault.
+std::uint64_t hammer(Service& svc, const std::vector<list::LinkedList>& lists,
+                     int count, int threads) {
+  static const char* kAlgs[] = {"match1", "match2", "match3", "match4",
+                                "sequential"};
+  std::atomic<std::uint64_t> ok{0};
+  std::vector<std::thread> clients;
+  clients.reserve(static_cast<std::size_t>(threads));
+  const int per = count / threads;
+  for (int t = 0; t < threads; ++t) {
+    clients.emplace_back([&, t] {
+      std::vector<std::future<Result<MatchResult>>> futs;
+      futs.reserve(static_cast<std::size_t>(per));
+      for (int k = 0; k < per; ++k) {
+        const int j = t * per + k;
+        futs.push_back(
+            svc.submit({.list = &lists[static_cast<std::size_t>(j) %
+                                       lists.size()],
+                        .algorithm = kAlgs[j % 5]}));
+      }
+      for (auto& f : futs)
+        if (f.get().ok()) ok.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  for (auto& c : clients) c.join();
+  return ok.load();
+}
+
+TEST_F(Chaos, FaultStormCompletesReconcilesAndRecovers) {
+  std::vector<list::LinkedList> lists;
+  for (std::uint64_t s = 0; s < 3; ++s)
+    lists.push_back(list::generators::random_list(kListSize, s));
+
+  ServiceOptions opt;
+  opt.workers = 4;
+  opt.queue_capacity = 128;
+  opt.retry = {.max_attempts = 3,
+               .backoff_base = std::chrono::milliseconds(1),
+               .backoff_max = std::chrono::milliseconds(8)};
+  Service svc(opt);
+
+  // Baseline: no faults.
+  constexpr int kBaseline = 1000;
+  const auto base_t0 = std::chrono::steady_clock::now();
+  ASSERT_EQ(hammer(svc, lists, kBaseline, 4),
+            static_cast<std::uint64_t>(kBaseline));
+  const auto base_elapsed = std::chrono::steady_clock::now() - base_t0;
+  svc.reset_stats();
+
+  // Storm: ~3% of worker attempts fail (half escaping as exceptions) and
+  // ~0.2% of scratch leases throw mid-algorithm. 10k requests make the
+  // expected injected-fault count ≥ 300.
+  ASSERT_TRUE(fp::arm_from_string(
+                  "serve.worker.run=status(unavailable):p=0.015|throw:p=0.015;"
+                  "pram.arena.take=throw:p=0.002")
+                  .ok());
+  constexpr int kStorm = 10000;
+  const std::uint64_t storm_ok = hammer(svc, lists, kStorm, 4);
+
+  // Every future completed (hammer returned); now reconcile. No request
+  // is in flight and none is parked in retry backoff (a future is ready
+  // only after its final attempt), so the counters are stable.
+  const ServiceStats st = svc.stats();
+  const fp::Counts run = fp::counts("serve.worker.run");
+  const fp::Counts take = fp::counts("pram.arena.take");
+  fp::disarm_all();
+
+  EXPECT_EQ(st.submitted, static_cast<std::uint64_t>(kStorm));
+  EXPECT_EQ(st.completed, static_cast<std::uint64_t>(kStorm));
+  EXPECT_EQ(st.completed, st.ok + st.cancelled + st.expired + st.failed);
+  EXPECT_EQ(st.cancelled, 0u);
+  EXPECT_EQ(st.expired, 0u);
+  EXPECT_EQ(st.ok, storm_ok);
+
+  // Exact bookkeeping: every injected fault failed exactly one attempt,
+  // and every failed attempt was either retried or failed its future.
+  const std::uint64_t injected = run.faults() + take.throws;
+  EXPECT_GT(injected, static_cast<std::uint64_t>(kStorm) / 100)
+      << "chaos schedule injected under 1% faults — not a real storm";
+  EXPECT_EQ(injected, st.retries + st.failed);
+  // Every escape (throw rules only) rebuilt a worker context.
+  EXPECT_EQ(st.restarts, run.throws + take.throws);
+  EXPECT_GT(st.ok, 0u);
+  EXPECT_GE(st.retries, 1u);
+
+  // Recovery: faults are gone; the same load must run clean and at a
+  // throughput comparable to the baseline (a lost worker or a poisoned
+  // context would show up here as a slowdown or failures).
+  svc.reset_stats();
+  const auto rec_t0 = std::chrono::steady_clock::now();
+  ASSERT_EQ(hammer(svc, lists, kBaseline, 4),
+            static_cast<std::uint64_t>(kBaseline));
+  const auto rec_elapsed = std::chrono::steady_clock::now() - rec_t0;
+  const ServiceStats rec = svc.stats();
+  EXPECT_EQ(rec.failed, 0u);
+  EXPECT_EQ(rec.retries, 0u);
+  EXPECT_LT(rec_elapsed, base_elapsed * 5 + std::chrono::milliseconds(200))
+      << "post-fault throughput did not recover";
+}
+
+TEST_F(Chaos, QueuePushFaultsFailOnlyTheSubmitter) {
+  std::vector<list::LinkedList> lists;
+  lists.push_back(list::generators::random_list(kListSize, 7));
+  Service svc({.workers = 2, .queue_capacity = 64});
+
+  ASSERT_TRUE(fp::arm_from_string("serve.queue.push=throw:p=0.2").ok());
+  constexpr int kCount = 400;
+  std::vector<std::future<Result<MatchResult>>> futs;
+  for (int k = 0; k < kCount; ++k)
+    futs.push_back(svc.submit({.list = &lists[0]}));
+  std::uint64_t ok = 0, unavailable = 0;
+  for (auto& f : futs) {
+    const Result<MatchResult> r = f.get();
+    if (r.ok())
+      ++ok;
+    else if (r.status().code() == StatusCode::kUnavailable)
+      ++unavailable;  // the injected code — and retryable() for callers
+  }
+  const ServiceStats st = svc.stats();
+  const fp::Counts push = fp::counts("serve.queue.push");
+  fp::disarm_all();
+
+  EXPECT_EQ(ok + unavailable, static_cast<std::uint64_t>(kCount));
+  EXPECT_EQ(unavailable, push.throws);  // a push fault loses no request
+  EXPECT_EQ(st.rejected, push.throws);
+  EXPECT_EQ(st.submitted, ok);
+  EXPECT_EQ(st.ok, ok);
+}
+
+TEST_F(Chaos, WatchdogRecoversCapacityFromStragglers) {
+  std::vector<list::LinkedList> lists;
+  lists.push_back(list::generators::random_list(kListSize, 11));
+
+  ServiceOptions opt;
+  opt.workers = 2;
+  opt.queue_capacity = 64;
+  opt.wedge_threshold = std::chrono::milliseconds(30);
+  opt.supervisor_period = std::chrono::milliseconds(5);
+  Service svc(opt);
+
+  // The first two worker attempts stall for 300ms — far past the wedge
+  // threshold; the watchdog must replace those workers so the remaining
+  // requests don't queue behind the stragglers.
+  ASSERT_TRUE(fp::arm_from_string("serve.worker.run=sleep(300):n=2").ok());
+  std::vector<std::future<Result<MatchResult>>> futs;
+  for (int k = 0; k < 40; ++k) futs.push_back(svc.submit({.list = &lists[0]}));
+  for (auto& f : futs) EXPECT_TRUE(f.get().ok());  // stragglers finish late
+
+  const ServiceStats st = svc.stats();
+  const fp::Counts run = fp::counts("serve.worker.run");
+  ASSERT_EQ(run.sleeps, 2u);
+  EXPECT_GE(st.watchdog_fires, 1u) << "no wedged worker was replaced";
+  EXPECT_EQ(st.workers, 2u);  // capacity restored, slot count stable
+  EXPECT_EQ(st.completed, 40u);
+  EXPECT_EQ(st.failed, 0u);  // sleeps delay, never fail
+}
+
+TEST_F(Chaos, DisarmedFailpointsPreserveZeroSteadyStateAllocations) {
+  // The resilience hooks ship in the hot paths (queue, arena take, plan
+  // and table builds); disabled they must not change the serve layer's
+  // zero-allocation steady state.
+  ASSERT_FALSE(fp::any_armed());
+  std::vector<list::LinkedList> lists;
+  for (std::uint64_t s = 0; s < 3; ++s)
+    lists.push_back(list::generators::random_list(2000, s));
+
+  Service svc({.workers = 2});
+  ASSERT_EQ(hammer(svc, lists, 48, 2), 48u);  // warm every worker
+  svc.reset_stats();
+  ASSERT_EQ(hammer(svc, lists, 40, 2), 40u);
+  const ServiceStats st = svc.stats();
+  EXPECT_EQ(st.steady_allocs, 0u)
+      << "disabled failpoints must not allocate in the algorithm body";
+  EXPECT_EQ(st.arena_takes, st.arena_hits);
+}
+
+}  // namespace
+}  // namespace llmp

@@ -44,10 +44,26 @@ void* operator new[](std::size_t size) {
   if (p == nullptr) throw std::bad_alloc();
   return p;
 }
+// The nothrow forms must be replaced alongside the throwing ones: libstdc++'s
+// std::get_temporary_buffer (stable_sort) allocates via new(nothrow) and
+// deallocates via plain delete — mixing the default nothrow new with the
+// malloc-backed delete below is an alloc/dealloc mismatch under ASan.
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  ++g_news;
+  return std::malloc(size ? size : 1);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  ++g_news;
+  return std::malloc(size ? size : 1);
+}
 void operator delete(void* p) noexcept { std::free(p); }
 void operator delete[](void* p) noexcept { std::free(p); }
 void operator delete(void* p, std::size_t) noexcept { std::free(p); }
 void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
 
 namespace llmp {
 namespace {

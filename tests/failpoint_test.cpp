@@ -1,0 +1,216 @@
+// Unit tests of the fault-injection framework (support/failpoint.h):
+// arming/disarming, rule actions, probability and fire caps, the
+// deterministic per-point random stream, the spec-string/env parsers, and
+// the evaluation counters chaos tests reconcile against.
+#include <chrono>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "support/failpoint.h"
+
+namespace llmp::support::failpoint {
+namespace {
+
+/// Every test leaves the process with no points armed (the registry is a
+/// process-wide singleton shared with any code under test).
+class Failpoint : public ::testing::Test {
+ protected:
+  void TearDown() override { disarm_all(); }
+};
+
+/// A throwing/sleeping site. Returns true iff evaluation fell through.
+bool visit_site() {
+  LLMP_FAILPOINT("test.site.alpha");
+  return true;
+}
+
+Status visit_status_site() { return LLMP_FAILPOINT_STATUS("test.site.beta"); }
+
+TEST_F(Failpoint, DisabledIsInvisible) {
+  EXPECT_FALSE(any_armed());
+  EXPECT_TRUE(visit_site());                   // no throw
+  EXPECT_TRUE(visit_status_site().ok());       // OK status
+  EXPECT_EQ(counts("test.site.alpha").evaluations, 0u);
+}
+
+TEST_F(Failpoint, ThrowRuleThrowsInjectedFaultWithDefaultCode) {
+  arm("test.site.alpha", Rule{});
+  EXPECT_TRUE(any_armed());
+  EXPECT_TRUE(armed("test.site.alpha"));
+  try {
+    visit_site();
+    FAIL() << "armed throw rule did not fire";
+  } catch (const InjectedFault& f) {
+    EXPECT_EQ(f.code(), StatusCode::kUnavailable);
+    EXPECT_NE(std::string(f.what()).find("test.site.alpha"),
+              std::string::npos);
+  }
+  const Counts c = counts("test.site.alpha");
+  EXPECT_EQ(c.evaluations, 1u);
+  EXPECT_EQ(c.throws, 1u);
+  EXPECT_EQ(c.faults(), 1u);
+}
+
+TEST_F(Failpoint, StatusRuleReturnsAtStatusSiteThrowsElsewhere) {
+  Rule r;
+  r.action = Action::kStatus;
+  r.code = StatusCode::kResourceExhausted;
+  arm("test.site.beta", r);
+  Status s = visit_status_site();
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+
+  // The same rule at a plain site is thrown, carrying its code.
+  arm("test.site.alpha", r);
+  try {
+    visit_site();
+    FAIL() << "status rule at a plain site must throw";
+  } catch (const InjectedFault& f) {
+    EXPECT_EQ(f.code(), StatusCode::kResourceExhausted);
+  }
+  EXPECT_EQ(counts("test.site.beta").statuses, 1u);
+}
+
+TEST_F(Failpoint, SleepRuleDelaysAndContinues) {
+  Rule r;
+  r.action = Action::kSleep;
+  r.sleep = std::chrono::milliseconds(20);
+  arm("test.site.alpha", r);
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_TRUE(visit_site());  // delayed, not failed
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_GE(elapsed, std::chrono::milliseconds(20));
+  EXPECT_EQ(counts("test.site.alpha").sleeps, 1u);
+  EXPECT_EQ(counts("test.site.alpha").faults(), 0u);
+}
+
+TEST_F(Failpoint, MaxFiresCapsTheRule) {
+  Rule r;
+  r.max_fires = 2;
+  arm("test.site.alpha", r);
+  EXPECT_THROW(visit_site(), InjectedFault);
+  EXPECT_THROW(visit_site(), InjectedFault);
+  EXPECT_TRUE(visit_site());  // cap reached: falls through
+  EXPECT_TRUE(visit_site());
+  const Counts c = counts("test.site.alpha");
+  EXPECT_EQ(c.throws, 2u);
+  EXPECT_EQ(c.evaluations, 4u);
+}
+
+TEST_F(Failpoint, ZeroProbabilityNeverFires) {
+  Rule r;
+  r.probability = 0.0;
+  arm("test.site.alpha", r);
+  for (int i = 0; i < 200; ++i) EXPECT_TRUE(visit_site());
+  EXPECT_EQ(counts("test.site.alpha").throws, 0u);
+  EXPECT_EQ(counts("test.site.alpha").evaluations, 200u);
+}
+
+TEST_F(Failpoint, ProbabilityIsRoughlyHonoredAndDeterministic) {
+  Rule r;
+  r.probability = 0.3;
+  arm("test.site.alpha", r);
+  for (int i = 0; i < 1000; ++i) {
+    try {
+      visit_site();
+    } catch (const InjectedFault&) {
+    }
+  }
+  const std::uint64_t first = counts("test.site.alpha").throws;
+  EXPECT_GT(first, 200u);  // ~300 expected; wide tolerance
+  EXPECT_LT(first, 400u);
+
+  // Same schedule replayed: the per-point stream is seeded from the name
+  // and reset by arm(), so the fire count is bit-identical.
+  arm("test.site.alpha", r);
+  for (int i = 0; i < 1000; ++i) {
+    try {
+      visit_site();
+    } catch (const InjectedFault&) {
+    }
+  }
+  EXPECT_EQ(counts("test.site.alpha").throws, first);
+}
+
+TEST_F(Failpoint, RuleListEvaluatesInOrderFirstFireWins) {
+  Rule a;           // throw, but capped out immediately
+  a.max_fires = 1;
+  Rule b;
+  b.action = Action::kStatus;
+  b.code = StatusCode::kInternal;
+  arm("test.site.beta", std::vector<Rule>{a, b});
+  EXPECT_THROW((void)visit_status_site(), InjectedFault);  // rule a
+  EXPECT_EQ(visit_status_site().code(), StatusCode::kInternal);  // rule b
+  const Counts c = counts("test.site.beta");
+  EXPECT_EQ(c.throws, 1u);
+  EXPECT_EQ(c.statuses, 1u);
+}
+
+TEST_F(Failpoint, DisarmRestoresTheFastPath) {
+  arm("test.site.alpha", Rule{});
+  arm("test.site.beta", Rule{});
+  EXPECT_TRUE(any_armed());
+  disarm("test.site.alpha");
+  EXPECT_TRUE(visit_site());  // this point is gone
+  EXPECT_TRUE(any_armed());   // the other is still armed
+  disarm("test.site.beta");
+  EXPECT_FALSE(any_armed());
+  disarm("test.site.beta");  // disarming a missing point is a no-op
+  EXPECT_FALSE(any_armed());
+}
+
+TEST_F(Failpoint, ArmFromStringParsesTheGrammar) {
+  const Status s = arm_from_string(
+      "test.site.alpha=throw:p=0.5:n=3|sleep(25):p=0.25;"
+      "test.site.beta=status(deadline_exceeded)");
+  ASSERT_TRUE(s.ok()) << s.to_string();
+  EXPECT_TRUE(armed("test.site.alpha"));
+  EXPECT_TRUE(armed("test.site.beta"));
+  EXPECT_EQ(visit_status_site().code(), StatusCode::kDeadlineExceeded);
+
+  // 'off' disarms a point in the same spec language.
+  ASSERT_TRUE(arm_from_string("test.site.beta=off").ok());
+  EXPECT_FALSE(armed("test.site.beta"));
+  EXPECT_TRUE(armed("test.site.alpha"));
+}
+
+TEST_F(Failpoint, MalformedSpecsAreInvalidArgument) {
+  EXPECT_EQ(arm_from_string("nameonly").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(arm_from_string("a.b.c=explode").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(arm_from_string("a.b.c=sleep").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(arm_from_string("a.b.c=status(bogus)").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(arm_from_string("a.b.c=throw:p=1.5").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(arm_from_string("a.b.c=throw:bogus=1").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_FALSE(armed("a.b.c"));  // nothing half-armed
+}
+
+TEST_F(Failpoint, ArmFromEnvReadsLlmpFailpoints) {
+  ASSERT_EQ(::setenv("LLMP_FAILPOINTS", "test.site.alpha=sleep(1)", 1), 0);
+  EXPECT_TRUE(arm_from_env().ok());
+  EXPECT_TRUE(armed("test.site.alpha"));
+  ASSERT_EQ(::unsetenv("LLMP_FAILPOINTS"), 0);
+  disarm_all();
+  EXPECT_TRUE(arm_from_env().ok());  // unset: OK and a no-op
+  EXPECT_FALSE(any_armed());
+}
+
+TEST_F(Failpoint, ReArmingResetsCountersAndCap) {
+  Rule r;
+  r.max_fires = 1;
+  arm("test.site.alpha", r);
+  EXPECT_THROW(visit_site(), InjectedFault);
+  EXPECT_TRUE(visit_site());
+  arm("test.site.alpha", r);  // fresh counters, fresh cap
+  EXPECT_EQ(counts("test.site.alpha").evaluations, 0u);
+  EXPECT_THROW(visit_site(), InjectedFault);
+}
+
+}  // namespace
+}  // namespace llmp::support::failpoint

@@ -1,0 +1,8 @@
+// BAD: the failpoint name has two segments; the convention is
+// file.scope.event — exactly three lowercase [a-z0-9_] segments.
+// Expected: failpoint-name on the macro line.
+#include "support/failpoint.h"
+
+void submit_broken() {
+  LLMP_FAILPOINT("serve.push");
+}

@@ -1,0 +1,8 @@
+// Clean alone — but arms the same name as failpoint_dup_b.cc, so linting
+// both files as one tree must flag the second site (failpoint names key a
+// process-wide registry and must be unique).
+#include "support/failpoint.h"
+
+void site_one() {
+  LLMP_FAILPOINT("fixture.dup.site");
+}

@@ -1,0 +1,7 @@
+// See failpoint_dup_a.cc: this second site of the same name is the one
+// the tree-wide uniqueness check reports.
+#include "support/failpoint.h"
+
+void site_two() {
+  LLMP_FAILPOINT("fixture.dup.site");
+}

@@ -52,6 +52,7 @@ constexpr Expected kBadFixtures[] = {
     {"include_order_system_after_project.h", "include-order", 7},
     {"include_order_unsorted.h", "include-order", 8},
     {"unchecked_index.cc", "unchecked-index", 11},
+    {"failpoint_bad_name.cc", "failpoint-name", 7},
 };
 
 TEST(LintFixtures, EachBadFixtureTriggersExactlyItsRule) {
@@ -74,6 +75,21 @@ TEST(LintFixtures, FixturesCoverEveryRule) {
   for (const Expected& e : kBadFixtures) covered.insert(e.rule);
   for (const std::string& rule : all_rule_ids())
     EXPECT_TRUE(covered.count(rule)) << "no fixture triggers " << rule;
+}
+
+TEST(LintFixtures, DuplicateFailpointNamesAcrossFilesAreFlagged) {
+  // Each dup fixture is clean on its own (valid three-segment name)…
+  EXPECT_TRUE(lint_fixture("failpoint_dup_a.cc").empty());
+  EXPECT_TRUE(lint_fixture("failpoint_dup_b.cc").empty());
+  // …but linted as one tree, the second site of the shared name is
+  // flagged (uniqueness is a cross-file property of the registry).
+  const std::vector<Finding> fs =
+      lint_tree({fixture_dir() + "failpoint_dup_a.cc",
+                 fixture_dir() + "failpoint_dup_b.cc"});
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].rule, "failpoint-name");
+  EXPECT_NE(fs[0].file.find("failpoint_dup_b.cc"), std::string::npos);
+  EXPECT_NE(fs[0].message.find("failpoint_dup_a.cc"), std::string::npos);
 }
 
 TEST(LintSuppression, AllowCommentSilencesTheRule) {

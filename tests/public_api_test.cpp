@@ -40,6 +40,22 @@ TEST(Status, EveryCodeRoundTripsThroughToString) {
   }
 }
 
+TEST(Status, RetryableClassifiesTransientVsDeterministic) {
+  // Transient conditions: another attempt could land on a healthy worker,
+  // a drained queue, a rebuilt context.
+  EXPECT_TRUE(Status::deadline_exceeded("queued too long").retryable());
+  EXPECT_TRUE(Status::resource_exhausted("queue full").retryable());
+  EXPECT_TRUE(Status::unavailable("worker restarting").retryable());
+  EXPECT_TRUE(Status::internal("worker caught exception").retryable());
+  // Deterministic rejections of the request itself: retrying replays the
+  // same failure (or was explicitly asked for by the caller — cancel).
+  EXPECT_FALSE(Status().retryable());
+  EXPECT_FALSE(Status::invalid_argument("bad i_parameter").retryable());
+  EXPECT_FALSE(Status::not_found("match99").retryable());
+  EXPECT_FALSE(Status::cancelled("token set").retryable());
+  EXPECT_FALSE(Status::failed_verification("not maximal").retryable());
+}
+
 TEST(Result, HoldsValueOrStatus) {
   Result<int> v(7);
   EXPECT_TRUE(v.ok());

@@ -10,6 +10,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdlib>
+#include <functional>
 #include <future>
 #include <mutex>
 #include <new>
@@ -21,14 +22,22 @@
 #include "llmp.h"
 #include "serve/queue.h"
 #include "support/alloc_counter.h"
+#include "support/failpoint.h"
 
 void* operator new(std::size_t size) {
   llmp::support::note_alloc();
   if (void* p = std::malloc(size)) return p;
   throw std::bad_alloc();
 }
+// Nothrow forms too: libstdc++ internals (std::get_temporary_buffer) pair
+// new(nothrow) with plain delete, which must land on the same allocator.
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  llmp::support::note_alloc();
+  return std::malloc(size ? size : 1);
+}
 void operator delete(void* p) noexcept { std::free(p); }
 void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
 
 namespace llmp {
 namespace {
@@ -368,6 +377,245 @@ TEST(Serve, SteadyStateAllocationsAreZeroAfterWarmup) {
       << "warm serve requests must not allocate in the algorithm body";
   EXPECT_EQ(st.arena_takes, st.arena_hits)
       << "every warm scratch lease must come from the pool";
+}
+
+// ---- Resilience: supervision, retries, watchdog, degradation. --------------
+
+namespace fp = support::failpoint;
+
+/// Resilience tests arm failpoints; every one of them must leave the
+/// process clean (other tests in this binary assert fault-free behavior).
+class ServeResilience : public ::testing::Test {
+ protected:
+  void TearDown() override { fp::disarm_all(); }
+
+  static bool poll_until(const std::function<bool()>& pred,
+                         std::chrono::milliseconds limit) {
+    const auto t0 = std::chrono::steady_clock::now();
+    while (std::chrono::steady_clock::now() - t0 < limit) {
+      if (pred()) return true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return pred();
+  }
+};
+
+TEST_F(ServeResilience, WorkerSurvivesThrowingRequest) {
+  // An exception escaping a request fails that future — retryably, with
+  // the injected code — and the worker keeps serving (the silent-death
+  // regression test: before supervision, the second future never became
+  // ready).
+  const auto lst = make_list(500);
+  Service svc({.workers = 1});
+  ASSERT_TRUE(fp::arm_from_string("serve.worker.run=throw:n=1").ok());
+
+  auto doomed = svc.submit({.list = &lst});
+  auto healthy = svc.submit({.list = &lst});
+  const Status s = doomed.get().status();
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(s.retryable());
+  EXPECT_TRUE(healthy.get().ok()) << "worker died with the request";
+
+  const ServiceStats st = svc.stats();
+  EXPECT_EQ(st.restarts, 1u);  // context rebuilt after the escape
+  EXPECT_EQ(st.failed, 1u);
+  EXPECT_EQ(st.quarantined, 0u);  // retries were not configured
+}
+
+TEST_F(ServeResilience, RetrySucceedsAfterTransientFault) {
+  const auto lst = make_list(500);
+  ServiceOptions opt;
+  opt.workers = 1;
+  opt.retry = {.max_attempts = 3,
+               .backoff_base = std::chrono::milliseconds(1),
+               .backoff_max = std::chrono::milliseconds(4)};
+  Service svc(opt);
+  ASSERT_TRUE(
+      fp::arm_from_string("serve.worker.run=status(unavailable):n=2").ok());
+
+  Result<MatchResult> r = svc.submit({.list = &lst}).get();
+  ASSERT_TRUE(r.ok()) << r.status().to_string();
+  EXPECT_TRUE(core::verify::matching_status(lst, r->in_matching).ok());
+
+  const ServiceStats st = svc.stats();
+  EXPECT_EQ(st.retries, 2u);
+  EXPECT_EQ(st.ok, 1u);
+  EXPECT_EQ(st.failed, 0u);
+  EXPECT_EQ(st.quarantined, 0u);
+  EXPECT_EQ(st.restarts, 0u);  // a status rule does not escape
+}
+
+TEST_F(ServeResilience, QuarantineAfterMaxAttempts) {
+  const auto lst = make_list(500);
+  ServiceOptions opt;
+  opt.workers = 1;
+  opt.retry = {.max_attempts = 2,
+               .backoff_base = std::chrono::milliseconds(1),
+               .backoff_max = std::chrono::milliseconds(2)};
+  Service svc(opt);
+  ASSERT_TRUE(fp::arm_from_string("serve.worker.run=status(internal)").ok());
+
+  Result<MatchResult> r = svc.submit({.list = &lst}).get();
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+
+  const ServiceStats st = svc.stats();
+  EXPECT_EQ(st.retries, 1u);      // one retry was granted…
+  EXPECT_EQ(st.quarantined, 1u);  // …then the request was given up on
+  EXPECT_EQ(st.failed, 1u);
+}
+
+TEST_F(ServeResilience, ShutdownDuringWorkerRestarts) {
+  // Injected pop faults fire before any item is dequeued, so a shutdown
+  // racing a storm of worker restarts still drains every accepted
+  // request.
+  const auto lst = make_list(500);
+  Service svc({.workers = 2, .queue_capacity = 32});
+  ASSERT_TRUE(fp::arm_from_string("serve.queue.pop=throw:p=0.5").ok());
+
+  std::vector<std::future<Result<MatchResult>>> futs;
+  for (int k = 0; k < 20; ++k) futs.push_back(svc.submit({.list = &lst}));
+  svc.shutdown();
+  for (auto& f : futs) {
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+    EXPECT_TRUE(f.get().ok());
+  }
+  EXPECT_EQ(svc.stats().completed, 20u);
+}
+
+TEST_F(ServeResilience, CancelDuringRetryBackoff) {
+  const auto lst = make_list(500);
+  ServiceOptions opt;
+  opt.workers = 1;
+  opt.retry = {.max_attempts = 3,
+               .backoff_base = std::chrono::milliseconds(200),
+               .backoff_max = std::chrono::milliseconds(200)};
+  Service svc(opt);
+  ASSERT_TRUE(
+      fp::arm_from_string("serve.worker.run=status(unavailable):n=1").ok());
+
+  serve::CancelToken token = serve::make_cancel_token();
+  auto fut = svc.submit({.list = &lst, .cancel = token});
+  ASSERT_TRUE(poll_until([&] { return svc.stats().retries >= 1; },
+                         std::chrono::seconds(10)))
+      << "first attempt never failed into a retry";
+  token->store(true);  // cancel while the request waits out its backoff
+  EXPECT_EQ(fut.get().status().code(), StatusCode::kCancelled);
+  EXPECT_EQ(svc.stats().cancelled, 1u);
+}
+
+TEST_F(ServeResilience, DeadlineExpiresWhileQueuedForRetry) {
+  const auto lst = make_list(500);
+  ServiceOptions opt;
+  opt.workers = 1;
+  opt.retry = {.max_attempts = 3,
+               .backoff_base = std::chrono::milliseconds(300),
+               .backoff_max = std::chrono::milliseconds(300)};
+  Service svc(opt);
+  ASSERT_TRUE(fp::arm_from_string("serve.worker.run=status(unavailable)").ok());
+
+  // The backoff (>=300ms) outlives the deadline (50ms): whether the
+  // deadline passes in the queue or in the retry park, the future must
+  // expire, never hang or exhaust attempts as kUnavailable.
+  auto fut = svc.submit({.list = &lst,
+                         .deadline = std::chrono::steady_clock::now() +
+                                     std::chrono::milliseconds(50)});
+  EXPECT_EQ(fut.get().status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(svc.stats().expired, 1u);
+}
+
+TEST_F(ServeResilience, ShutdownFlushesPendingRetries) {
+  const auto lst = make_list(500);
+  ServiceOptions opt;
+  opt.workers = 1;
+  opt.retry = {.max_attempts = 2,
+               .backoff_base = std::chrono::seconds(10),
+               .backoff_max = std::chrono::seconds(10)};
+  Service svc(opt);
+  ASSERT_TRUE(
+      fp::arm_from_string("serve.worker.run=status(internal):n=1").ok());
+
+  auto fut = svc.submit({.list = &lst});
+  ASSERT_TRUE(poll_until([&] { return svc.stats().retries >= 1; },
+                         std::chrono::seconds(10)));
+  const auto t0 = std::chrono::steady_clock::now();
+  svc.shutdown();  // must not wait out the 10s backoff
+  EXPECT_LT(std::chrono::steady_clock::now() - t0, std::chrono::seconds(5));
+  ASSERT_EQ(fut.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  EXPECT_EQ(fut.get().status().code(), StatusCode::kInternal);  // last error
+}
+
+TEST_F(ServeResilience, WatchdogReplacesWedgedWorker) {
+  // No failpoints: the first request wedges its worker on a gate; the
+  // watchdog must retire that worker and spawn a replacement that serves
+  // the rest. The wedged request still completes once the gate opens.
+  const auto lst = make_list(500);
+  Gate gate;
+  std::atomic<int> dequeues{0};
+  ServiceOptions opt;
+  opt.workers = 1;
+  opt.queue_capacity = 8;
+  opt.wedge_threshold = std::chrono::milliseconds(30);
+  opt.supervisor_period = std::chrono::milliseconds(5);
+  opt.on_dequeue = [&](std::size_t) {
+    if (dequeues.fetch_add(1) == 0) gate.wait();  // wedge the first only
+  };
+  Service svc(opt);
+
+  auto wedged = svc.submit({.list = &lst});
+  gate.await_waiting(1);
+  std::vector<std::future<Result<MatchResult>>> rest;
+  for (int k = 0; k < 3; ++k) rest.push_back(svc.submit({.list = &lst}));
+  // The replacement worker (not the wedged one) must finish these.
+  for (auto& f : rest) EXPECT_TRUE(f.get().ok());
+  EXPECT_GE(svc.stats().watchdog_fires, 1u);
+  EXPECT_EQ(svc.stats().workers, 1u);  // slot count is stable
+
+  gate.open();
+  EXPECT_TRUE(wedged.get().ok());  // late, not lost
+  svc.shutdown();                  // joins the retired thread too
+  EXPECT_EQ(svc.stats().completed, 4u);
+}
+
+TEST_F(ServeResilience, DegradesToSequentialAndKeepsServing) {
+  // Acceptance scenario: match3's table build fails permanently; with
+  // retries + degradation on, every client still gets a correct matching
+  // (served by `sequential`) and no future ever errors.
+  const auto lst = make_list(3000);
+  ServiceOptions opt;
+  opt.workers = 1;
+  opt.retry = {.max_attempts = 4,
+               .backoff_base = std::chrono::milliseconds(1),
+               .backoff_max = std::chrono::milliseconds(4)};
+  opt.degrade = {.enabled = true,
+                 .after_consecutive_failures = 1,
+                 .probe_every = 8};
+  Service svc(opt);
+  ASSERT_TRUE(fp::arm_from_string("core.match3.table=throw").ok());
+
+  std::vector<std::future<Result<MatchResult>>> futs;
+  for (int k = 0; k < 12; ++k)
+    futs.push_back(svc.submit({.list = &lst, .algorithm = "match3"}));
+  for (auto& f : futs) {
+    Result<MatchResult> r = f.get();
+    ASSERT_TRUE(r.ok()) << r.status().to_string();
+    EXPECT_TRUE(core::verify::matching_status(lst, r->in_matching).ok());
+    EXPECT_TRUE(core::verify::maximal_status(lst, r->in_matching).ok());
+  }
+  const ServiceStats st = svc.stats();
+  EXPECT_EQ(st.ok, 12u);
+  EXPECT_EQ(st.failed, 0u);
+  EXPECT_EQ(st.quarantined, 0u);
+  EXPECT_GT(st.degraded, 0u) << "fallback never engaged";
+
+  // Fault cleared: a probe eventually restores the real algorithm.
+  fp::disarm_all();
+  std::vector<std::future<Result<MatchResult>>> after;
+  for (int k = 0; k < 20; ++k)
+    after.push_back(svc.submit({.list = &lst, .algorithm = "match3"}));
+  for (auto& f : after) EXPECT_TRUE(f.get().ok());
+  const ServiceStats st2 = svc.stats();
+  EXPECT_EQ(st2.failed, 0u);
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 #include <cctype>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <set>
 #include <sstream>
 
@@ -445,6 +446,65 @@ void check_guard_rules(const std::string& path,
 }
 
 // ---------------------------------------------------------------------------
+// failpoint-name: LLMP_FAILPOINT sites must follow the naming convention.
+// ---------------------------------------------------------------------------
+
+struct FailpointSite {
+  std::string name;
+  int line = 0;
+};
+
+bool is_failpoint_macro(const std::string& t) {
+  return t == "LLMP_FAILPOINT" || t == "LLMP_FAILPOINT_STATUS";
+}
+
+/// Every `LLMP_FAILPOINT[_STATUS]("name")` call site in the token stream.
+/// (The macro definitions themselves live on preprocessor lines, which
+/// the lexer strips.)
+std::vector<FailpointSite> collect_failpoint_sites(
+    const std::vector<Token>& toks) {
+  std::vector<FailpointSite> sites;
+  for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+    if (!toks[i].ident() || !is_failpoint_macro(toks[i].text)) continue;
+    if (!toks[i + 1].is("(")) continue;
+    if (toks[i + 2].kind != Tok::kString) continue;
+    sites.push_back({toks[i + 2].text, toks[i + 2].line});
+  }
+  return sites;
+}
+
+/// `file.scope.event`: exactly three non-empty segments of [a-z0-9_].
+bool valid_failpoint_name(const std::string& name) {
+  int segments = 1;
+  char prev = '.';
+  for (char c : name) {
+    if (c == '.') {
+      if (prev == '.') return false;  // empty segment
+      ++segments;
+    } else if (!((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                 c == '_')) {
+      return false;
+    }
+    prev = c;
+  }
+  return segments == 3 && prev != '.';
+}
+
+void check_failpoint_rules(const std::string& path,
+                           const std::vector<Token>& toks,
+                           std::vector<Finding>& findings) {
+  for (const FailpointSite& site : collect_failpoint_sites(toks)) {
+    if (!valid_failpoint_name(site.name)) {
+      findings.push_back(
+          {path, site.line, "failpoint-name",
+           "failpoint name '" + site.name +
+               "' must be file.scope.event — exactly three lowercase "
+               "[a-z0-9_] segments"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Driver.
 // ---------------------------------------------------------------------------
 
@@ -479,8 +539,9 @@ void apply_suppressions(const LexOutput& lx, std::vector<Finding>& findings) {
 
 const std::vector<std::string>& all_rule_ids() {
   static const std::vector<std::string> ids = {
-      "step-raw-index",     "step-ref-capture", "step-read-after-write",
-      "header-pragma-once", "include-order",    "unchecked-index"};
+      "step-raw-index",  "step-ref-capture", "step-read-after-write",
+      "header-pragma-once", "include-order", "unchecked-index",
+      "failpoint-name"};
   return ids;
 }
 
@@ -494,6 +555,7 @@ std::vector<Finding> lint_source(const std::string& path,
   if (opt.check_headers) check_header_rules(path, text, findings);
   if (opt.check_guards && under_src(path))
     check_guard_rules(path, lx.tokens, findings);
+  if (opt.check_failpoints) check_failpoint_rules(path, lx.tokens, findings);
   apply_suppressions(lx, findings);
   std::sort(findings.begin(), findings.end());
   return findings;
@@ -530,6 +592,35 @@ std::vector<Finding> lint_tree(const std::vector<std::string>& roots,
   for (const std::string& f : files) {
     std::vector<Finding> fs_ = lint_file(f, opt);
     findings.insert(findings.end(), fs_.begin(), fs_.end());
+  }
+
+  // failpoint-name uniqueness is a cross-file property: names key a
+  // process-wide registry, so a second site with the same name would make
+  // arm()/counts() ambiguous. Flag every site after the first (files are
+  // sorted, so "first" is deterministic).
+  if (opt.check_failpoints) {
+    std::map<std::string, std::pair<std::string, int>> first_site;
+    for (const std::string& file : files) {
+      std::ifstream in(file, std::ios::binary);
+      if (!in) continue;  // already reported as an io finding above
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      const LexOutput lx = lex(buf.str());
+      std::vector<Finding> dups;
+      for (const FailpointSite& site : collect_failpoint_sites(lx.tokens)) {
+        auto [it, inserted] =
+            first_site.try_emplace(site.name, file, site.line);
+        if (inserted) continue;
+        dups.push_back({file, site.line, "failpoint-name",
+                        "failpoint name '" + site.name +
+                            "' is already used at " + it->second.first + ":" +
+                            std::to_string(it->second.second) +
+                            "; names must be unique across the tree"});
+      }
+      apply_suppressions(lx, dups);
+      findings.insert(findings.end(), dups.begin(), dups.end());
+    }
+    std::sort(findings.begin(), findings.end());
   }
   return findings;
 }

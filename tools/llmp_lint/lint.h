@@ -26,6 +26,13 @@
 //   unchecked-index       A function subscripts a std::vector parameter
 //                         without any LLMP_CHECK/LLMP_DCHECK guard in its
 //                         body (src/ only).
+//   failpoint-name        An LLMP_FAILPOINT / LLMP_FAILPOINT_STATUS site
+//                         whose name literal is not `file.scope.event`
+//                         (exactly three lowercase [a-z0-9_] segments), or
+//                         — across the whole linted tree — a name armed at
+//                         more than one site (names key a process-wide
+//                         registry; a duplicate makes chaos schedules and
+//                         counter reconciliation ambiguous).
 //
 // Scope: the three step-discipline rules are skipped under src/serve/ —
 // the serve layer runs real host threads (mutexes, atomics, futures), not
@@ -61,6 +68,7 @@ struct Options {
   bool check_steps = true;    // step-raw-index / step-ref-capture / RAW
   bool check_headers = true;  // header-pragma-once / include-order
   bool check_guards = true;   // unchecked-index (applied under src/ only)
+  bool check_failpoints = true;  // failpoint-name (uniqueness needs lint_tree)
 };
 
 /// Every rule id the linter can emit, in a stable order.

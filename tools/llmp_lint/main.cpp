@@ -1,7 +1,7 @@
 // llmp_lint CLI. Usage:
 //
 //   llmp_lint [--list-rules] [--no-steps] [--no-headers] [--no-guards]
-//             [path ...]
+//             [--no-failpoints] [path ...]
 //
 // Paths may be files or directories (recursed for .h/.cpp/.cc); with no
 // paths the tool lints src/, bench/, and examples/ relative to the current
@@ -28,10 +28,12 @@ int main(int argc, char** argv) {
       opt.check_headers = false;
     } else if (arg == "--no-guards") {
       opt.check_guards = false;
+    } else if (arg == "--no-failpoints") {
+      opt.check_failpoints = false;
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: llmp_lint [--list-rules] [--no-steps] [--no-headers] "
-          "[--no-guards] [path ...]\n");
+          "[--no-guards] [--no-failpoints] [path ...]\n");
       return 0;
     } else {
       roots.push_back(arg);

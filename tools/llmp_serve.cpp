@@ -9,6 +9,12 @@
 //   llmp_serve --requests 2000 --n 10000 --workers 8 --queue 256
 //   llmp_serve --alg match2 --verify --deadline-ms 50 --policy reject
 //   llmp_serve --csv            # one machine-readable line instead
+//
+// Resilience knobs (docs/RESILIENCE.md): --failpoints arms fault
+// injection for the run, --retries/--wedge-ms/--degrade turn on the
+// self-healing machinery so injected faults are absorbed instead of
+// surfacing to the client.
+//   llmp_serve --failpoints 'serve.worker.run=throw:p=0.01' --retries 3
 #include <chrono>
 #include <cstdlib>
 #include <iostream>
@@ -19,6 +25,7 @@
 
 #include "llmp.h"
 #include "support/alloc_counter.h"
+#include "support/failpoint.h"
 #include "support/format.h"
 
 // Instrument the global allocator so ServiceStats::steady_allocs counts
@@ -28,8 +35,15 @@ void* operator new(std::size_t size) {
   if (void* p = std::malloc(size)) return p;
   throw std::bad_alloc();
 }
+// Nothrow forms too: libstdc++ internals (std::get_temporary_buffer) pair
+// new(nothrow) with plain delete, which must land on the same allocator.
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  llmp::support::note_alloc();
+  return std::malloc(size ? size : 1);
+}
 void operator delete(void* p) noexcept { std::free(p); }
 void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
 
 namespace {
 
@@ -63,6 +77,10 @@ void usage() {
          "  --verify       audit every result with core::verify\n"
          "  --warmup K     warmup requests before stats reset (default "
          "8x workers + 8)\n"
+         "  --failpoints S arm failpoints from spec S after warmup\n"
+         "  --retries R    retry attempts per request (default 1 = none)\n"
+         "  --wedge-ms T   watchdog replaces workers busy longer than T\n"
+         "  --degrade      enable graceful degradation to sequential\n"
          "  --csv          one machine-readable summary line\n";
 }
 
@@ -96,6 +114,13 @@ int main(int argc, char** argv) {
                       ? serve::OverflowPolicy::kReject
                       : serve::OverflowPolicy::kBlock;
   sopt.verify = a.flag("verify");
+  sopt.retry.max_attempts =
+      static_cast<int>(std::max<std::uint64_t>(a.num("retries", 1), 1));
+  sopt.wedge_threshold = std::chrono::milliseconds(a.num("wedge-ms", 0));
+  if (sopt.wedge_threshold.count() > 0)
+    sopt.supervisor_period =
+        std::max(sopt.wedge_threshold / 4, std::chrono::milliseconds(1));
+  sopt.degrade.enabled = a.flag("degrade");
 
   // A small pool of pre-generated lists, cycled — request generation must
   // not dominate the measurement.
@@ -128,6 +153,18 @@ int main(int argc, char** argv) {
   }
   svc.reset_stats();
 
+  // Arm failpoints only after warmup: the warm arena pool is part of the
+  // steady state the fault run is supposed to stress.
+  const std::string failpoints = a.str("failpoints", "");
+  if (!failpoints.empty()) {
+    const Status s = support::failpoint::arm_from_string(failpoints);
+    if (!s.ok()) {
+      std::cerr << "llmp_serve: bad --failpoints spec: " << s.message()
+                << "\n";
+      return 2;
+    }
+  }
+
   const auto t0 = std::chrono::steady_clock::now();
   std::vector<std::future<Result<core::MatchResult>>> futs;
   futs.reserve(requests);
@@ -145,11 +182,14 @@ int main(int argc, char** argv) {
 
   if (a.flag("csv")) {
     std::cout << "alg,n,workers,queue,requests,ok,rejected,expired,failed,"
+                 "retries,restarts,quarantined,degraded,watchdog_fires,"
                  "seconds,rps,p50_us,p99_us,steady_allocs,arena_takes,"
                  "arena_hits\n"
               << alg << ',' << n << ',' << sopt.workers << ','
               << sopt.queue_capacity << ',' << requests << ',' << got_ok << ','
               << st.rejected << ',' << st.expired << ',' << st.failed << ','
+              << st.retries << ',' << st.restarts << ',' << st.quarantined
+              << ',' << st.degraded << ',' << st.watchdog_fires << ','
               << secs << ',' << rps << ',' << st.p50_latency_us << ','
               << st.p99_latency_us << ',' << st.steady_allocs << ','
               << st.arena_takes << ',' << st.arena_hits << "\n";
@@ -171,6 +211,11 @@ int main(int argc, char** argv) {
   t.add_row({"expired", fmt::num(st.expired)});
   t.add_row({"cancelled", fmt::num(st.cancelled)});
   t.add_row({"failed", fmt::num(st.failed)});
+  t.add_row({"retries", fmt::num(st.retries)});
+  t.add_row({"worker restarts", fmt::num(st.restarts)});
+  t.add_row({"quarantined", fmt::num(st.quarantined)});
+  t.add_row({"degraded runs", fmt::num(st.degraded)});
+  t.add_row({"watchdog fires", fmt::num(st.watchdog_fires)});
   t.add_row({"p50 latency (us)", fmt::num(st.p50_latency_us)});
   t.add_row({"p99 latency (us)", fmt::num(st.p99_latency_us)});
   t.add_row({"steady-state allocs", fmt::num(st.steady_allocs)});
