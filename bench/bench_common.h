@@ -11,8 +11,10 @@
 
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 
 #include "list/generators.h"
@@ -24,10 +26,13 @@ namespace llmp::bench {
 
 /// Harness-wide command-line overrides, shared by all bench binaries:
 ///
-///   --n N     principal problem size (0 = keep the binary's default)
-///   --p P     principal processor count
-///   --i I     Match4's i parameter / iteration count
-///   --csv     render every fmt::Table as CSV for scripting sweeps
+///   --n N          principal problem size (0 = keep the binary's default)
+///   --p P          principal processor count
+///   --i I          Match4's i parameter / iteration count
+///   --csv          render every fmt::Table as CSV for scripting sweeps
+///   --json[=FILE]  additionally mirror every printed table, at process
+///                  exit, as google-benchmark-compatible JSON (to FILE,
+///                  or stdout when no FILE is given); composes with --csv
 ///
 /// parse_bench_args() STRIPS these from argv before the remaining flags
 /// reach benchmark::Initialize (which exits on flags it doesn't know).
@@ -36,11 +41,43 @@ struct BenchArgs {
   std::size_t p = 0;
   int i = 0;
   bool csv = false;
+  bool json = false;
+  std::string json_path;  // empty = stdout
 
   std::size_t n_or(std::size_t dflt) const { return n != 0 ? n : dflt; }
   std::size_t p_or(std::size_t dflt) const { return p != 0 ? p : dflt; }
   int i_or(int dflt) const { return i != 0 ? i : dflt; }
 };
+
+namespace detail {
+
+/// State for the atexit JSON flush (std::atexit takes a plain function
+/// pointer, so the path/executable live in function-local statics).
+inline std::string& json_exit_path() {
+  static std::string path;
+  return path;
+}
+inline std::string& json_exit_executable() {
+  static std::string exe = "bench";
+  return exe;
+}
+
+inline void flush_json_capture() {
+  const std::string out = fmt::render_captured_json(json_exit_executable());
+  if (json_exit_path().empty()) {
+    std::fputs(out.c_str(), stdout);
+    return;
+  }
+  std::ofstream f(json_exit_path(), std::ios::binary);
+  if (!f) {
+    std::fprintf(stderr, "bench: cannot write --json file '%s'\n",
+                 json_exit_path().c_str());
+    return;
+  }
+  f << out;
+}
+
+}  // namespace detail
 
 /// Parse and remove the harness flags from (argc, argv). Accepts both
 /// "--n 65536" and "--n=65536". Switches fmt tables to CSV under --csv.
@@ -58,6 +95,12 @@ inline BenchArgs parse_bench_args(int& argc, char** argv) {
     };
     if (std::strcmp(arg, "--csv") == 0) {
       args.csv = true;
+    } else if (std::strncmp(arg, "--json", 6) == 0 &&
+               (arg[6] == '\0' || arg[6] == '=')) {
+      // "--json" alone streams to stdout; "--json=FILE" writes FILE. The
+      // one-token forms only, so "--json foo" can't swallow a positional.
+      args.json = true;
+      if (arg[6] == '=') args.json_path = arg + 7;
     } else if (const char* v = value("--n")) {
       args.n = static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
     } else if (const char* v = value("--p")) {
@@ -72,6 +115,12 @@ inline BenchArgs parse_bench_args(int& argc, char** argv) {
   argc = out;
   argv[argc] = nullptr;
   if (args.csv) fmt::set_table_style(fmt::TableStyle::kCsv);
+  if (args.json) {
+    fmt::enable_json_capture(true);
+    detail::json_exit_path() = args.json_path;
+    if (argv[0] != nullptr) detail::json_exit_executable() = argv[0];
+    std::atexit(&detail::flush_json_capture);
+  }
   return args;
 }
 

@@ -3,8 +3,11 @@
 #
 #   1. plain Release build + the tier-1 ctest suite,
 #   2. llmp_lint over the tree and llmp_prove over the registry,
-#   3. the tier-1 suite again under ASan+UBSan (-DLLMP_SANITIZE=...),
-#   4. the threading tests (thread_pool_test, machine_test, serve_test,
+#   3. llmp_mc — the bounded model checker's full gate: every serve
+#      scenario clean over every bounded interleaving, and the three
+#      seeded queue mutations each caught (the checker's self-test),
+#   4. the tier-1 suite again under ASan+UBSan (-DLLMP_SANITIZE=...),
+#   5. the threading tests (thread_pool_test, machine_test, serve_test,
 #      chaos_test) under TSan — the chaos storm exercises fault
 #      injection, worker restarts, retries and the watchdog with the
 #      race detector watching.
@@ -18,28 +21,31 @@ FAST=0
 
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
-echo "== [1/4] Release build + tier-1 tests =="
+echo "== [1/5] Release build + tier-1 tests =="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
 (cd build && ctest --output-on-failure -j "$JOBS")
 
-echo "== [2/4] llmp_lint + llmp_prove =="
+echo "== [2/5] llmp_lint + llmp_prove =="
 ./build/tools/llmp_lint/llmp_lint src bench examples tools
 ./build/tools/llmp_prove
+
+echo "== [3/5] llmp_mc model-check gate (incl. seeded-mutation self-test) =="
+./build/tools/llmp_mc
 
 if [[ "$FAST" == 1 ]]; then
   echo "check.sh: --fast: skipping sanitizer builds"
   exit 0
 fi
 
-echo "== [3/4] tier-1 tests under ASan+UBSan =="
+echo "== [4/5] tier-1 tests under ASan+UBSan =="
 cmake -B build-asan -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DLLMP_SANITIZE=address,undefined >/dev/null
 cmake --build build-asan -j "$JOBS"
 (cd build-asan && ctest --output-on-failure -j "$JOBS")
 
-echo "== [4/4] threading tests under TSan =="
+echo "== [5/5] threading tests under TSan =="
 cmake -B build-tsan -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DLLMP_SANITIZE=thread >/dev/null

@@ -1,0 +1,89 @@
+// Vector clocks — the happens-before algebra under the model checker.
+//
+// Every task carries a VectorClock; synchronization objects (mutexes,
+// acquire/release atomics, condition variables, thread create/join) copy
+// and join clocks to encode the happens-before edges their semantics
+// create. Plain-memory accesses (mc::cell / Sync::shared) are then checked
+// against these clocks: two conflicting accesses with unordered clocks are
+// a data race, reported with the exact schedule that produced them.
+//
+// Task count is bounded (kMaxTasks) because model-checked scenarios are
+// small by design; a fixed array keeps joins branch-free and allocation
+// free. Entry t is the number of operations task t had completed when the
+// clock was snapshotted — "epochs" in FastTrack terms are (task, entry)
+// pairs checked with leq_entry().
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "support/check.h"
+
+namespace llmp::mc {
+
+/// Hard cap on concurrently live tasks in one model-checked execution.
+/// Exploration cost is exponential in tasks, so a small bound is a
+/// feature, not a limitation.
+inline constexpr std::size_t kMaxTasks = 8;
+
+class VectorClock {
+ public:
+  constexpr VectorClock() : c_{} {}
+
+  std::uint32_t at(std::size_t task) const {
+    LLMP_DCHECK(task < kMaxTasks);
+    return c_[task];
+  }
+
+  /// Advance this task's own component (one per scheduled operation).
+  void tick(std::size_t task) {
+    LLMP_DCHECK(task < kMaxTasks);
+    ++c_[task];
+  }
+
+  /// Pointwise maximum: `this` has now observed everything `o` had.
+  void join(const VectorClock& o) {
+    for (std::size_t t = 0; t < kMaxTasks; ++t)
+      if (o.c_[t] > c_[t]) c_[t] = o.c_[t];
+  }
+
+  /// True iff every component of `this` is <= the matching one of `o` —
+  /// the snapshot `this` happens-before (or equals) the snapshot `o`.
+  bool leq(const VectorClock& o) const {
+    for (std::size_t t = 0; t < kMaxTasks; ++t)
+      if (c_[t] > o.c_[t]) return false;
+    return true;
+  }
+
+  /// Epoch check: the event (task, stamp) is ordered before a reader
+  /// holding clock `this` iff the reader has observed stamp operations of
+  /// `task`. This is the race-detector fast path.
+  bool observed(std::size_t task, std::uint32_t stamp) const {
+    LLMP_DCHECK(task < kMaxTasks);
+    return c_[task] >= stamp;
+  }
+
+  bool operator==(const VectorClock& o) const { return c_ == o.c_; }
+
+  void clear() { c_.fill(0); }
+
+  /// "[3 0 1 …]" — trailing zero components elided; for race reports.
+  std::string to_string() const {
+    std::size_t last = kMaxTasks;
+    while (last > 1 && c_[last - 1] == 0) --last;
+    std::string s = "[";
+    for (std::size_t t = 0; t < last; ++t) {
+      if (t != 0) s += ' ';
+      s += std::to_string(c_[t]);
+    }
+    s += ']';
+    return s;
+  }
+
+ private:
+  std::array<std::uint32_t, kMaxTasks> c_;
+};
+
+}  // namespace llmp::mc

@@ -1,0 +1,324 @@
+#include "mc/explore.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "support/check.h"
+#include "support/rng.h"
+
+namespace llmp::mc {
+
+namespace {
+
+std::string serialize(const std::vector<std::pair<char, std::size_t>>& path) {
+  std::string s;
+  for (const auto& [kind, id] : path) {
+    if (!s.empty()) s += ',';
+    s += kind;
+    s += std::to_string(id);
+  }
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// DFS chooser — one instance persists across executions; the trail is the
+// current root-to-leaf path plus the explored-sibling bookkeeping needed
+// to backtrack.
+// ---------------------------------------------------------------------------
+
+class DfsChooser final : public Chooser {
+ public:
+  explicit DfsChooser(const Options& opts) : opts_(opts) {}
+
+  void begin_execution() {
+    depth_ = 0;
+    sleep_.clear();
+    preemptions_ = 0;
+  }
+
+  std::size_t choose_task(const ChoiceView& view) override {
+    // Singleton-enabled points are not choices (nothing to record or
+    // backtrack to), but if the lone runnable task is asleep this whole
+    // continuation is a permutation of one already explored: prune.
+    {
+      std::vector<std::size_t> enabled;
+      for (const TaskView& tv : view.tasks)
+        if (tv.enabled) enabled.push_back(tv.id);
+      if (enabled.size() == 1)
+        return sleep_.count(enabled[0]) != 0 ? kPrune : enabled[0];
+    }
+    if (depth_ < trail_.size()) {
+      // Forced prefix replay: reconstruct the live sleep set (everything
+      // asleep at entry plus siblings already fully explored) and the
+      // preemption count, then take the recorded branch.
+      Entry& e = trail_[depth_];
+      LLMP_CHECK_MSG(e.kind == 't',
+                     "schedule divergence: expected a task choice");
+      sleep_ = e.sleep0;
+      for (std::size_t d : e.done)
+        if (d != e.chosen) sleep_.insert(d);
+      if (e.current_enabled && e.chosen != e.current)
+        preemptions_ = e.preemptions + 1;
+      else
+        preemptions_ = e.preemptions;
+      ++depth_;
+      return e.chosen;
+    }
+
+    Entry e;
+    e.kind = 't';
+    for (const TaskView& tv : view.tasks)
+      if (tv.enabled) e.options.push_back(tv.id);
+    e.sleep0 = sleep_;
+    e.preemptions = preemptions_;
+    e.current = view.current;
+    e.current_enabled = view.current_enabled;
+
+    const std::vector<std::size_t> cands = candidates(e, e.sleep0);
+    if (cands.empty()) return kPrune;  // all siblings sleeping / bounded out
+
+    e.chosen = cands.front();
+    e.done.insert(e.chosen);
+    if (e.current_enabled && e.chosen != e.current)
+      preemptions_ = e.preemptions + 1;
+    trail_.push_back(std::move(e));
+    ++depth_;
+    return trail_.back().chosen;
+  }
+
+  std::size_t choose_waiter(const std::vector<std::size_t>& waiters) override {
+    if (depth_ < trail_.size()) {
+      Entry& e = trail_[depth_];
+      LLMP_CHECK_MSG(e.kind == 'w',
+                     "schedule divergence: expected a waiter choice");
+      ++depth_;
+      return e.chosen;
+    }
+    Entry e;
+    e.kind = 'w';
+    e.options = waiters;
+    e.chosen = ordered(e.options, depth_).front();
+    e.done.insert(e.chosen);
+    trail_.push_back(std::move(e));
+    ++depth_;
+    return trail_.back().chosen;
+  }
+
+  void on_perform(std::size_t task, const Op& op,
+                  const ChoiceView& view) override {
+    (void)task;
+    // Wake sleepers whose pending operation does not commute with the one
+    // just performed — their deferred schedules are no longer redundant.
+    for (auto it = sleep_.begin(); it != sleep_.end();) {
+      const TaskView* tv = nullptr;
+      for (const TaskView& cand : view.tasks)
+        if (cand.id == *it) tv = &cand;
+      if (tv == nullptr || dependent(op, tv->pending))
+        it = sleep_.erase(it);
+      else
+        ++it;
+    }
+  }
+
+  std::string schedule_so_far() const override {
+    std::vector<std::pair<char, std::size_t>> path;
+    for (std::size_t i = 0; i < depth_ && i < trail_.size(); ++i)
+      path.emplace_back(trail_[i].kind, trail_[i].chosen);
+    return serialize(path);
+  }
+
+  /// Move to the next unexplored sibling at the deepest backtrack point.
+  /// False when the whole bounded space is exhausted.
+  bool advance() {
+    while (!trail_.empty()) {
+      Entry& e = trail_.back();
+      const std::size_t next = next_sibling(e);
+      if (next != kPrune) {
+        e.chosen = next;
+        e.done.insert(next);
+        return true;
+      }
+      trail_.pop_back();
+    }
+    return false;
+  }
+
+ private:
+  struct Entry {
+    char kind = 't';  ///< 't' = task choice, 'w' = notify_one waiter choice
+    std::vector<std::size_t> options;  ///< enabled tasks / waiters
+    std::size_t chosen = 0;
+    std::set<std::size_t> done;    ///< siblings already explored
+    std::set<std::size_t> sleep0;  ///< sleep set on entry (task choices)
+    std::size_t preemptions = 0;   ///< preemptions used before this choice
+    std::size_t current = 0;
+    bool current_enabled = false;
+  };
+
+  /// Exploration order: current-task-first (costs no preemption), then
+  /// ascending id; optionally shuffled by order_seed.
+  std::vector<std::size_t> ordered(std::vector<std::size_t> ids,
+                                   std::size_t depth) const {
+    std::sort(ids.begin(), ids.end());
+    if (opts_.order_seed != 0) {
+      rng::SplitMix64 sm(opts_.order_seed ^ (depth * 0x9e3779b97f4a7c15ULL));
+      for (std::size_t i = ids.size(); i > 1; --i) {
+        const std::size_t j = sm.next() % i;  // Fisher-Yates: j < i <= size
+        LLMP_DCHECK(j < ids.size());
+        std::swap(ids[i - 1], ids[j]);
+      }
+    }
+    return ids;
+  }
+
+  bool admissible(const Entry& e, std::size_t c) const {
+    if (e.preemptions >= opts_.preemption_bound && e.current_enabled &&
+        c != e.current)
+      return false;  // switching away from a runnable task costs a preemption
+    return true;
+  }
+
+  std::vector<std::size_t> candidates(const Entry& e,
+                                      const std::set<std::size_t>& skip)
+      const {
+    std::vector<std::size_t> out;
+    std::vector<std::size_t> ord = ordered(e.options, e.preemptions);
+    if (e.current_enabled) {  // current first: depth-first along no-preempt
+      const auto it = std::find(ord.begin(), ord.end(), e.current);
+      if (it != ord.end()) {
+        ord.erase(it);
+        ord.insert(ord.begin(), e.current);
+      }
+    }
+    for (std::size_t c : ord)
+      if (skip.count(c) == 0 && e.done.count(c) == 0 && admissible(e, c))
+        out.push_back(c);
+    return out;
+  }
+
+  std::size_t next_sibling(const Entry& e) const {
+    if (e.kind == 'w') {
+      for (std::size_t c : ordered(e.options, e.preemptions))
+        if (e.done.count(c) == 0) return c;
+      return kPrune;
+    }
+    const std::vector<std::size_t> cands = candidates(e, e.sleep0);
+    return cands.empty() ? kPrune : cands.front();
+  }
+
+  const Options opts_;
+  std::vector<Entry> trail_;
+  std::size_t depth_ = 0;
+  std::set<std::size_t> sleep_;  ///< live sleep set during execution
+  std::size_t preemptions_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Replay chooser — consumes a recorded decision string verbatim.
+// ---------------------------------------------------------------------------
+
+class ReplayChooser final : public Chooser {
+ public:
+  explicit ReplayChooser(const std::string& schedule) {
+    std::stringstream ss(schedule);
+    std::string tok;
+    while (std::getline(ss, tok, ',')) {
+      if (tok.empty()) continue;
+      decisions_.emplace_back(tok[0],
+                              static_cast<std::size_t>(
+                                  std::stoul(tok.substr(1))));
+    }
+  }
+
+  std::size_t choose_task(const ChoiceView& view) override {
+    std::vector<std::size_t> enabled;
+    for (const TaskView& tv : view.tasks)
+      if (tv.enabled) enabled.push_back(tv.id);
+    if (enabled.size() == 1) return enabled[0];  // never a recorded choice
+    // Past the recorded decisions any continuation is legal (a recorded
+    // violation schedule ends exactly at the violation): default to the
+    // lowest enabled id.
+    if (next_ >= decisions_.size()) return enabled.empty() ? 0 : enabled[0];
+    return consume('t');
+  }
+  std::size_t choose_waiter(const std::vector<std::size_t>& waiters) override {
+    if (next_ >= decisions_.size()) return waiters.front();
+    return consume('w');
+  }
+  std::string schedule_so_far() const override {
+    return serialize(std::vector<std::pair<char, std::size_t>>(
+        decisions_.begin(),
+        decisions_.begin() + static_cast<std::ptrdiff_t>(
+                                 std::min(next_, decisions_.size()))));
+  }
+  bool fully_consumed() const { return next_ >= decisions_.size(); }
+
+ private:
+  std::size_t consume(char kind) {
+    if (next_ >= decisions_.size() || decisions_[next_].first != kind) {
+      // Let the Execution report this as kDivergence: an id that can
+      // never be enabled.
+      ++next_;
+      return static_cast<std::size_t>(-2);
+    }
+    return decisions_[next_++].second;
+  }
+
+  std::vector<std::pair<char, std::size_t>> decisions_;
+  std::size_t next_ = 0;
+};
+
+}  // namespace
+
+std::string Report::to_string() const {
+  std::ostringstream os;
+  if (ok) {
+    os << "ok: " << executions << " execution(s), " << pruned
+       << " pruned, space " << (exhausted ? "exhausted" : "NOT exhausted");
+  } else {
+    os << "violation (" << llmp::mc::to_string(violation.kind) << ") after "
+       << executions << " execution(s): " << violation.message
+       << "\n  schedule: " << violation.schedule << "\n  trace:\n"
+       << violation.trace;
+  }
+  return os.str();
+}
+
+Report check(const std::function<void()>& body, const Options& opts) {
+  DfsChooser chooser(opts);
+  Report rep;
+  for (;;) {
+    if (rep.executions >= opts.max_executions) {
+      rep.exhausted = false;
+      break;
+    }
+    chooser.begin_execution();
+    Execution exec(chooser, {opts.max_steps, 64});
+    const ExecStatus st = exec.run(body);
+    ++rep.executions;
+    if (st == ExecStatus::kViolation) {
+      rep.ok = false;
+      rep.exhausted = false;
+      rep.violation = exec.violation();
+      break;
+    }
+    if (st == ExecStatus::kPruned) ++rep.pruned;
+    if (!chooser.advance()) break;
+  }
+  return rep;
+}
+
+Violation replay(const std::function<void()>& body,
+                 const std::string& schedule) {
+  ReplayChooser chooser(schedule);
+  Execution exec(chooser, {});
+  const ExecStatus st = exec.run(body);
+  if (st == ExecStatus::kViolation) return exec.violation();
+  Violation v;  // kNone: the schedule ran clean
+  v.schedule = schedule;
+  return v;
+}
+
+}  // namespace llmp::mc

@@ -1,0 +1,60 @@
+// Schedule exploration: stateless DFS over the choice tree with sleep-set
+// partial-order reduction and a preemption bound, plus fixed-schedule
+// replay for reproducing reported violations.
+//
+// Each execution is one root-to-leaf path through the tree of scheduling
+// choices (which task runs next; which waiter a notify_one wakes). The
+// explorer replays the shared prefix, takes the next unexplored sibling at
+// the deepest backtrack point, and runs the fresh suffix. Sleep sets prune
+// sibling orders that only commute independent operations; the preemption
+// bound caps how often a run switches away from an enabled current task
+// (most real bugs need very few preemptions — Musuvathi & Qadeer's CHESS
+// observation). The reduction is sound: every Mazurkiewicz trace keeps a
+// representative. The preemption bound and max_executions are honest
+// bounds — Report::exhausted says whether the space was fully covered.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "mc/sched.h"
+
+namespace llmp::mc {
+
+struct Options {
+  /// Max switches away from an enabled running task per execution.
+  std::size_t preemption_bound = 2;
+  /// Hard cap on explored executions (Report::exhausted=false if hit).
+  std::size_t max_executions = 200'000;
+  /// Per-execution step budget (livelock guard).
+  std::size_t max_steps = 20'000;
+  /// Non-zero: deterministically shuffles sibling exploration order
+  /// (SplitMix64) — different seeds surface different bugs first.
+  std::uint64_t order_seed = 0;
+};
+
+struct Report {
+  bool ok = true;          ///< no violation found
+  bool exhausted = true;   ///< the bounded space was fully explored
+  std::size_t executions = 0;  ///< schedules actually run
+  std::size_t pruned = 0;      ///< schedules cut by the sleep-set reduction
+  Violation violation;         ///< populated when !ok
+
+  /// One-line summary, or the full violation report when !ok.
+  std::string to_string() const;
+};
+
+/// Exhaustively explore `body` within the bounds. Returns on the first
+/// violation (with its replayable schedule) or when the space/limits are
+/// exhausted.
+Report check(const std::function<void()>& body, const Options& opts = {});
+
+/// Re-run `body` under a recorded schedule (Violation::schedule). Returns
+/// the violation it reproduces — kind kNone means the schedule ran clean,
+/// kDivergence means body and schedule no longer match.
+Violation replay(const std::function<void()>& body,
+                 const std::string& schedule);
+
+}  // namespace llmp::mc

@@ -1,0 +1,18 @@
+// Umbrella header for the bounded concurrency model checker.
+//
+//   #include "mc/mc.h"
+//   auto rep = llmp::mc::check([] {
+//     llmp::mc::mutex mu("mu");
+//     llmp::mc::cell<int> x(0, "x");
+//     llmp::mc::thread t([&] { std::unique_lock<llmp::mc::mutex> l(mu);
+//                              x.w() = 1; }, "writer");
+//     { std::unique_lock<llmp::mc::mutex> l(mu); MC_ASSERT(x.r() >= 0); }
+//     t.join();
+//   });
+//   // rep.ok, rep.violation.schedule, ... — see docs/MODELCHECK.md.
+#pragma once
+
+#include "mc/clock.h"
+#include "mc/explore.h"
+#include "mc/sched.h"
+#include "mc/sync.h"

@@ -1,0 +1,353 @@
+#include "mc/scenarios.h"
+
+#include <array>
+#include <chrono>
+#include <optional>
+#include <utility>
+
+#include "mc/sync.h"
+#include "serve/retry_ledger.h"
+#include "serve/sync_policy.h"
+#include "serve/worker_slot.h"
+#include "support/check.h"
+
+namespace llmp::mc {
+
+namespace {
+
+using serve::McSyncPolicy;
+using serve::QueueMutation;
+
+template <QueueMutation M>
+using Queue = serve::BoundedQueue<int, McSyncPolicy, M>;
+
+// ---------------------------------------------------------------------------
+// queue-mpmc: 2 producers, 2 consumers, capacity 2, one item each side.
+// Property: every pushed value is popped exactly once (no loss, no dup).
+// Mutants: kDoublePop loses an item (starved consumer -> deadlock, or the
+// final count assert fires); kDroppedAcquire races close() against a
+// consumer's locked read of the flag. kLostNotify happens to survive here
+// because close()'s notify_all rescues any sleeper — backpressure-block
+// and deadline-cancel are the scenarios that kill it.
+// ---------------------------------------------------------------------------
+template <QueueMutation M>
+void queue_mpmc() {
+  Queue<M> q(2);
+  // Per-value tallies are atomics: either consumer may pop either value,
+  // so a plain cell here would itself be a data race (the checker found
+  // exactly that in an earlier draft of this scenario).
+  atomic<int> seen0{0, "seen0"};
+  atomic<int> seen1{0, "seen1"};
+
+  auto consume = [&] {
+    std::optional<int> v = q.pop();
+    MC_ASSERT(v.has_value());
+    if (*v == 0)
+      seen0.fetch_add(1);
+    else
+      seen1.fetch_add(1);
+  };
+  thread p0([&] { MC_ASSERT(q.push(0)); }, "producer0");
+  thread p1([&] { MC_ASSERT(q.push(1)); }, "producer1");
+  thread c0(consume, "consumer0");
+  thread c1(consume, "consumer1");
+  p0.join();
+  p1.join();
+  q.close();  // concurrent with the consumers: exercises the close race
+  c0.join();
+  c1.join();
+  MC_ASSERT(seen0.load() == 1 && seen1.load() == 1);
+}
+
+// ---------------------------------------------------------------------------
+// queue-backpressure-block: capacity 1, one producer pushing two items.
+// The second push must block until the consumer pops; FIFO order holds.
+// kLostNotify leaves the consumer asleep while the producer waits full.
+// ---------------------------------------------------------------------------
+template <QueueMutation M>
+void queue_backpressure_block() {
+  Queue<M> q(1);
+  cell<int> got{0, "got"};
+
+  thread producer(
+      [&] {
+        MC_ASSERT(q.push(1));
+        MC_ASSERT(q.push(2));  // blocks while full: real backpressure
+      },
+      "producer");
+  thread consumer(
+      [&] {
+        std::optional<int> a = q.pop();
+        std::optional<int> b = q.pop();
+        MC_ASSERT(a && *a == 1);  // single producer: FIFO is observable
+        MC_ASSERT(b && *b == 2);
+        got.w() = 2;
+      },
+      "consumer");
+  producer.join();
+  consumer.join();
+  MC_ASSERT(got.r() == 2);
+  MC_ASSERT(q.size() == 0);
+}
+
+// ---------------------------------------------------------------------------
+// queue-backpressure-reject: try_push never blocks; a rejected item is
+// untouched and succeeds after a slot frees; drain-after-close semantics.
+// ---------------------------------------------------------------------------
+template <QueueMutation M>
+void queue_backpressure_reject() {
+  Queue<M> q(1);
+  int a = 1;
+  int b = 2;
+  MC_ASSERT(q.try_push(a));
+  MC_ASSERT(!q.try_push(b));  // full: rejected, not blocked
+  MC_ASSERT(b == 2);          // rejected item keeps its value
+
+  thread consumer(
+      [&] {
+        std::optional<int> x = q.pop();
+        MC_ASSERT(x && *x == 1);
+      },
+      "consumer");
+  consumer.join();
+  MC_ASSERT(q.try_push(b));  // slot freed
+  q.close();
+  int c = 3;
+  MC_ASSERT(!q.try_push(c));  // closed: rejected
+  std::optional<int> y = q.pop();
+  MC_ASSERT(y && *y == 2);  // queued items drain past close
+  MC_ASSERT(!q.pop().has_value());  // closed and drained
+}
+
+// ---------------------------------------------------------------------------
+// queue-close-drain: close() races a blocking push and a draining pop.
+// Property: every *accepted* push is popped — shutdown loses nothing.
+// kDroppedAcquire makes close()'s flag write race the locked readers.
+// ---------------------------------------------------------------------------
+template <QueueMutation M>
+void queue_close_drain() {
+  Queue<M> q(2);
+  cell<int> pushed{0, "pushed"};
+  cell<int> popped{0, "popped"};
+
+  thread producer(
+      [&] {
+        if (q.push(1)) pushed.w() += 1;
+        if (q.push(2)) pushed.w() += 1;  // may be refused by the close
+      },
+      "producer");
+  thread closer([&] { q.close(); }, "closer");
+  thread consumer(
+      [&] {
+        while (q.pop().has_value()) popped.w() += 1;
+      },
+      "consumer");
+  producer.join();
+  closer.join();
+  consumer.join();
+  MC_ASSERT(pushed.r() == popped.r());
+}
+
+// ---------------------------------------------------------------------------
+// queue-deadline-cancel: a cancel flag set concurrently with the worker's
+// dequeue — the exact race process_job() resolves. Either outcome is
+// legal; the property is that the job completes exactly once, and a
+// worker that saw the flag early never also executes the job.
+// ---------------------------------------------------------------------------
+template <QueueMutation M>
+void queue_deadline_cancel() {
+  Queue<M> q(1);
+  atomic<bool> cancel{false, "cancel"};
+  cell<int> outcome{0, "outcome"};  // 1 = executed, 2 = cancelled
+
+  thread submitter(
+      [&] {
+        MC_ASSERT(q.push(7));
+        cancel.store(true, std::memory_order_release);
+      },
+      "submitter");
+  thread worker(
+      [&] {
+        std::optional<int> job = q.pop();
+        MC_ASSERT(job.has_value());
+        // Acquire pairs with the submitter's release — the worker's
+        // view of the cancel decides the job's single outcome.
+        if (cancel.load(std::memory_order_acquire))
+          outcome.w() = 2;
+        else
+          outcome.w() = 1;
+      },
+      "worker");
+  submitter.join();
+  worker.join();
+  MC_ASSERT(outcome.r() == 1 || outcome.r() == 2);
+}
+
+// ---------------------------------------------------------------------------
+// retry-park-stop: the shutdown race RetryLedger exists to make lossless.
+// A worker parks a retry while shutdown stops the ledger; the job must be
+// accounted for exactly once (refused at park, or drained afterwards).
+// ---------------------------------------------------------------------------
+void retry_park_stop() {
+  serve::RetryLedger<int, McSyncPolicy> ledger;
+  cell<int> flushed{0, "flushed"};
+
+  thread parker(
+      [&] {
+        const auto due = std::chrono::steady_clock::time_point::min();
+        int job = 42;
+        if (!ledger.park(due, std::move(job)))
+          flushed.w() += 1;  // refused custody: caller completes it
+      },
+      "parker");
+  thread stopper([&] { ledger.stop(); }, "stopper");
+  parker.join();
+  stopper.join();
+  for (int job : ledger.drain()) {
+    (void)job;
+    flushed.w() += 1;  // accepted custody: drain completes it
+  }
+  MC_ASSERT(flushed.r() == 1);  // never lost, never double-completed
+}
+
+// ---------------------------------------------------------------------------
+// worker-handoff: the watchdog retires a worker mid-request; the worker
+// must observe the retire after finishing that request and exit, and the
+// busy window the watchdog diagnosed must be fully published.
+// ---------------------------------------------------------------------------
+void worker_handoff() {
+  serve::WorkerSlot<McSyncPolicy> slot;
+  cell<int> request_state{0, "request_state"};
+  cell<bool> exited{false, "exited"};
+
+  thread worker(
+      [&] {
+        request_state.w() = 1;  // published by enter()'s release store
+        slot.enter(100);
+        // ... the request runs (wedged, from the watchdog's view) ...
+        slot.leave();
+        if (slot.retired()) exited.w() = true;  // handoff: finish then exit
+      },
+      "worker");
+  thread watchdog(
+      [&] {
+        if (slot.wedged(/*now_us=*/1000, /*threshold_us=*/100)) {
+          // Acquire on busy_since_us: a diagnosed wedge implies the
+          // worker's pre-enter writes are visible here.
+          MC_ASSERT(request_state.r() == 1);
+          slot.retire();
+        }
+      },
+      "watchdog");
+  worker.join();
+  watchdog.join();
+  // If the watchdog fired while the worker was still busy, the worker
+  // either saw the retire (exited) or legally raced past it — but a
+  // retire that lands before leave() must never corrupt the slot.
+  MC_ASSERT(!exited.r() || slot.retired());
+}
+
+template <QueueMutation M>
+std::vector<Scenario> build() {
+  const Options tight{.preemption_bound = 2,
+                      .max_executions = 200'000,
+                      .max_steps = 20'000,
+                      .order_seed = 0};
+  const Options wide{.preemption_bound = 3,
+                     .max_executions = 400'000,
+                     .max_steps = 20'000,
+                     .order_seed = 0};
+  using VK = ViolationKind;
+  return {
+      {"queue-mpmc",
+       "2 producers / 2 consumers over capacity 2: every pushed value "
+       "popped exactly once, close() racing the drain",
+       [] { queue_mpmc<M>(); },
+       tight,
+       {VK::kAssert, VK::kDeadlock, VK::kLostWakeup, VK::kDataRace}},
+      {"queue-backpressure-block",
+       "capacity 1, blocking second push: backpressure unblocks via pop, "
+       "FIFO order observable",
+       [] { queue_backpressure_block<M>(); },
+       wide,
+       {VK::kDeadlock, VK::kLostWakeup}},
+      {"queue-backpressure-reject",
+       "try_push never blocks, rejected items are untouched, queued items "
+       "drain past close()",
+       [] { queue_backpressure_reject<M>(); },
+       wide,
+       {VK::kAssert, VK::kDeadlock, VK::kLostWakeup}},
+      {"queue-close-drain",
+       "close() racing a blocking push and a draining pop: every accepted "
+       "item is popped",
+       [] { queue_close_drain<M>(); },
+       tight,
+       {VK::kAssert, VK::kDeadlock, VK::kLostWakeup, VK::kDataRace}},
+      {"queue-deadline-cancel",
+       "cancel flag set concurrently with dequeue: the job completes "
+       "exactly once, acquire sees the release",
+       [] { queue_deadline_cancel<M>(); },
+       wide,
+       {VK::kDeadlock, VK::kLostWakeup}},
+      {"retry-park-stop",
+       "RetryLedger park() racing stop(): a retry is refused or drained, "
+       "never stranded",
+       [] { retry_park_stop(); },
+       wide,
+       {}},
+      {"worker-handoff",
+       "watchdog retires a busy worker: the wedge diagnosis sees the "
+       "published busy window, the worker finishes then exits",
+       [] { worker_handoff(); },
+       wide,
+       {}},
+  };
+}
+
+}  // namespace
+
+std::vector<Scenario> scenarios(QueueMutation mutation) {
+  switch (mutation) {
+    case QueueMutation::kNone:
+      return build<QueueMutation::kNone>();
+    case QueueMutation::kLostNotify:
+      return build<QueueMutation::kLostNotify>();
+    case QueueMutation::kDoublePop:
+      return build<QueueMutation::kDoublePop>();
+    case QueueMutation::kDroppedAcquire:
+      return build<QueueMutation::kDroppedAcquire>();
+  }
+  LLMP_CHECK_MSG(false, "unknown QueueMutation");
+}
+
+Scenario find_scenario(const std::string& name, QueueMutation mutation) {
+  for (Scenario& s : scenarios(mutation))
+    if (s.name == name) return std::move(s);
+  LLMP_CHECK_MSG(false, "unknown scenario '" << name << "'");
+}
+
+QueueMutation parse_mutation(const std::string& name) {
+  if (name == "none") return QueueMutation::kNone;
+  if (name == "lost-notify") return QueueMutation::kLostNotify;
+  if (name == "double-pop") return QueueMutation::kDoublePop;
+  if (name == "dropped-acquire") return QueueMutation::kDroppedAcquire;
+  LLMP_CHECK_MSG(false, "unknown mutation '" << name
+                                             << "' (none, lost-notify, "
+                                                "double-pop, dropped-acquire)");
+}
+
+const char* to_string(QueueMutation m) {
+  switch (m) {
+    case QueueMutation::kNone:
+      return "none";
+    case QueueMutation::kLostNotify:
+      return "lost-notify";
+    case QueueMutation::kDoublePop:
+      return "double-pop";
+    case QueueMutation::kDroppedAcquire:
+      return "dropped-acquire";
+  }
+  return "?";
+}
+
+}  // namespace llmp::mc

@@ -1,0 +1,52 @@
+// Model-check scenarios for the serve primitives.
+//
+// Each scenario is a closed concurrent test body over the *production*
+// serve templates (BoundedQueue, RetryLedger, WorkerSlot) instantiated
+// with McSyncPolicy, plus the exploration bounds that make its state
+// space exhaustible. The same bodies serve three masters:
+//
+//   * tools/llmp_mc       — the CLI runner (list / check / replay),
+//   * tests/mc_queue_test — the CI regression (clean + mutants caught),
+//   * scripts/check.sh mc — the seeded-mutation self-test stage.
+//
+// A scenario is parameterized by the QueueMutation compiled into the
+// queue: kNone must verify clean; each seeded bug must be detected by at
+// least one scenario (expected_violation lists the kinds a mutant may
+// legitimately surface as — e.g. a lost notify strands a consumer, which
+// the checker reports as a deadlock/lost-wakeup at quiescence).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "mc/explore.h"
+#include "serve/queue.h"
+
+namespace llmp::mc {
+
+struct Scenario {
+  std::string name;
+  std::string description;
+  /// Body for a given seeded mutation (kNone = the real implementation).
+  std::function<void()> body;
+  /// Exploration bounds tuned so the space is exhaustible in CI.
+  Options opts;
+  /// Violation kinds this scenario may report for a seeded mutant;
+  /// empty = the mutation does not reach this scenario's code path.
+  std::vector<ViolationKind> expected_violation;
+};
+
+/// All scenarios compiled against `mutation`. Scenario names are stable
+/// across mutations (replay schedules stay meaningful).
+std::vector<Scenario> scenarios(serve::QueueMutation mutation);
+
+/// Lookup by name; throws check_error when unknown.
+Scenario find_scenario(const std::string& name,
+                       serve::QueueMutation mutation);
+
+/// Parse "none" / "lost-notify" / "double-pop" / "dropped-acquire".
+serve::QueueMutation parse_mutation(const std::string& name);
+const char* to_string(serve::QueueMutation m);
+
+}  // namespace llmp::mc

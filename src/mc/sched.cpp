@@ -1,0 +1,756 @@
+#include "mc/sched.h"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <exception>
+#include <sstream>
+#include <utility>
+
+namespace llmp::mc {
+
+namespace {
+
+thread_local Execution* tl_exec = nullptr;
+thread_local std::size_t tl_task = 0;
+
+bool acquire_order(int mo) {
+  const auto m = static_cast<std::memory_order>(mo);
+  return m == std::memory_order_acquire || m == std::memory_order_acq_rel ||
+         m == std::memory_order_seq_cst;
+}
+
+bool release_order(int mo) {
+  const auto m = static_cast<std::memory_order>(mo);
+  return m == std::memory_order_release || m == std::memory_order_acq_rel ||
+         m == std::memory_order_seq_cst;
+}
+
+bool is_read_only(const Op& op) {
+  return op.kind == OpKind::kAtomicLoad || op.kind == OpKind::kCellRead;
+}
+
+}  // namespace
+
+const char* to_string(OpKind k) {
+  switch (k) {
+    case OpKind::kMutexLock: return "mutex-lock";
+    case OpKind::kMutexUnlock: return "mutex-unlock";
+    case OpKind::kCvWait: return "cv-wait";
+    case OpKind::kCvNotifyOne: return "cv-notify-one";
+    case OpKind::kCvNotifyAll: return "cv-notify-all";
+    case OpKind::kAtomicLoad: return "atomic-load";
+    case OpKind::kAtomicStore: return "atomic-store";
+    case OpKind::kAtomicRmw: return "atomic-rmw";
+    case OpKind::kCellRead: return "cell-read";
+    case OpKind::kCellWrite: return "cell-write";
+    case OpKind::kSpawn: return "spawn";
+    case OpKind::kJoin: return "join";
+    case OpKind::kYield: return "yield";
+    case OpKind::kExit: return "exit";
+  }
+  return "?";
+}
+
+const char* to_string(ViolationKind k) {
+  switch (k) {
+    case ViolationKind::kNone: return "none";
+    case ViolationKind::kDataRace: return "data-race";
+    case ViolationKind::kDeadlock: return "deadlock";
+    case ViolationKind::kLostWakeup: return "lost-wakeup";
+    case ViolationKind::kAssert: return "assert";
+    case ViolationKind::kStepLimit: return "step-limit";
+    case ViolationKind::kDivergence: return "divergence";
+  }
+  return "?";
+}
+
+bool dependent(const Op& a, const Op& b) {
+  // Two operations commute unless they share an object; two pure reads of
+  // the same object commute too. This is deliberately conservative (e.g.
+  // two failed try-locks would not commute here) — soundness of the
+  // sleep-set reduction only needs over-approximation of dependence.
+  const bool share = (a.obj == b.obj) || (a.obj2 != 0 && a.obj2 == b.obj) ||
+                     (b.obj2 != 0 && b.obj2 == a.obj) ||
+                     (a.obj2 != 0 && a.obj2 == b.obj2);
+  if (!share) return false;
+  return !(is_read_only(a) && is_read_only(b));
+}
+
+// ---------------------------------------------------------------------------
+// Internal state.
+// ---------------------------------------------------------------------------
+
+struct Execution::Task {
+  enum class State : std::uint8_t {
+    kRunning,   ///< executing user code (holds the token, or is a fresh
+                ///< child racing to its first announce while its spawner
+                ///< is parked waiting for it)
+    kAtChoice,  ///< parked at an announced pending operation
+    kCvSleep,   ///< asleep in a condition-variable wait
+    kFinished,
+  };
+
+  State state = State::kRunning;
+  Op pending;
+  bool has_pending = false;
+  VectorClock clock;
+  std::thread thread;  ///< empty for task 0 (the caller's thread)
+  std::function<void()> body;
+  std::uint32_t obj = 0;  ///< this task's object id (join/exit dependence)
+  std::string name;
+  // Condvar bookkeeping while in kCvSleep / the reacquire that follows.
+  std::uint32_t waiting_cv = 0;
+  std::uint32_t waiting_mu = 0;
+  bool timed_wait = false;
+  bool woke_by_timeout = false;
+};
+
+struct Execution::Object {
+  OpKind hint = OpKind::kYield;  ///< registering kind, for trace names
+  std::string name;
+  VectorClock clock;  ///< mutex release / atomic release-chain / cv notify
+  int owner = -1;     ///< mutex owner, -1 = free
+  int task_ref = -1;  ///< task objects: the task this object names
+  std::vector<std::size_t> waiters;  ///< cv: sleeping tasks, FIFO
+  // Plain-memory (cell) race-detector state: last-write epoch plus a
+  // last-read epoch per task, FastTrack style.
+  std::size_t w_task = kMaxTasks;
+  std::uint32_t w_stamp = 0;
+  VectorClock w_clock;
+  std::array<std::uint32_t, kMaxTasks> r_stamp{};
+};
+
+Execution* Execution::current() { return tl_exec; }
+
+std::size_t Execution::self_id() const { return tl_task; }
+
+Execution::Execution(Chooser& chooser, Limits limits)
+    : chooser_(chooser), limits_(limits) {}
+
+Execution::~Execution() {
+  for (auto& t : tasks_)
+    if (t->thread.joinable()) t->thread.join();
+}
+
+// ---------------------------------------------------------------------------
+// Token handshake.
+// ---------------------------------------------------------------------------
+
+bool Execution::enabled_locked(const Task& t) const {
+  if (t.state != Task::State::kAtChoice) return false;
+  switch (t.pending.kind) {
+    case OpKind::kMutexLock:
+      return objects_[t.pending.obj].owner < 0;
+    case OpKind::kJoin: {
+      const int ref = objects_[t.pending.obj].task_ref;
+      return ref >= 0 &&
+             tasks_[static_cast<std::size_t>(ref)]->state ==
+                 Task::State::kFinished;
+    }
+    default:
+      return true;
+  }
+}
+
+ChoiceView Execution::view_locked() const {
+  ChoiceView v;
+  for (std::size_t id = 0; id < tasks_.size(); ++id) {
+    const Task& t = *tasks_[id];
+    if (t.state != Task::State::kAtChoice) continue;
+    v.tasks.push_back({id, t.pending, enabled_locked(t)});
+  }
+  v.current = tl_task;
+  for (const TaskView& tv : v.tasks)
+    if (tv.id == tl_task && tv.enabled) v.current_enabled = true;
+  return v;
+}
+
+bool Execution::grant_next(std::unique_lock<std::mutex>& g) {
+  (void)g;
+  for (;;) {
+    if (abort_) return false;
+    std::vector<std::size_t> enabled;
+    for (std::size_t id = 0; id < tasks_.size(); ++id)
+      if (enabled_locked(*tasks_[id])) enabled.push_back(id);
+
+    if (!enabled.empty()) {
+      // The chooser is consulted even when only one task is enabled: a
+      // singleton is not a recordable choice, but the sleep-set strategy
+      // may recognize the whole continuation as redundant and prune it.
+      const std::size_t chosen = chooser_.choose_task(view_locked());
+      if (chosen == Chooser::kPrune) {
+        pruned_ = true;
+        abort_ = true;
+        cv_.notify_all();
+        return false;
+      }
+      if (std::find(enabled.begin(), enabled.end(), chosen) ==
+          enabled.end()) {
+        record_abort_locked(
+            ViolationKind::kDivergence,
+            "chooser picked task " + std::to_string(chosen) +
+                " which is not enabled at this point");
+        return false;
+      }
+      cur_ = chosen;
+      cv_.notify_all();
+      return true;
+    }
+
+    if (unfinished_ == 0) {  // execution complete; nothing to schedule
+      cv_.notify_all();
+      return true;
+    }
+
+    // Quiescence: nothing can run on its own. Timed condvar waits may
+    // now time out (the model fires timeouts only when the system would
+    // otherwise be stuck — "eventually" without modeling wall time).
+    bool woke = false;
+    for (auto& tp : tasks_) {
+      Task& t = *tp;
+      if (t.state == Task::State::kCvSleep && t.timed_wait) {
+        wake_waiter_locked(t, t.waiting_cv, /*by_timeout=*/true);
+        woke = true;
+      }
+    }
+    if (woke) continue;
+
+    bool all_cv = true;
+    for (const auto& tp : tasks_)
+      if (tp->state != Task::State::kFinished &&
+          tp->state != Task::State::kCvSleep)
+        all_cv = false;
+    if (all_cv) {
+      std::string msg =
+          "lost wakeup: every unfinished task is asleep in an untimed "
+          "condition-variable wait with no notify pending (";
+      bool first = true;
+      for (std::size_t id = 0; id < tasks_.size(); ++id) {
+        const Task& t = *tasks_[id];
+        if (t.state != Task::State::kCvSleep) continue;
+        if (!first) msg += ", ";
+        first = false;
+        msg += "task " + std::to_string(id) + " on '" +
+               objects_[t.waiting_cv].name + "'";
+      }
+      msg += ")";
+      record_abort_locked(ViolationKind::kLostWakeup, msg);
+      return false;
+    }
+    record_abort_locked(ViolationKind::kDeadlock, deadlock_message_locked());
+    return false;
+  }
+}
+
+std::string Execution::deadlock_message_locked() const {
+  std::ostringstream os;
+  os << "deadlock: no task can run.";
+  // Wait-for edges, then a cycle if one exists among mutex waits.
+  std::vector<int> waits_on(tasks_.size(), -1);
+  for (std::size_t id = 0; id < tasks_.size(); ++id) {
+    const Task& t = *tasks_[id];
+    if (t.state == Task::State::kFinished) continue;
+    os << " task " << id << " (" << t.name << ") ";
+    if (t.state == Task::State::kCvSleep) {
+      os << "waits on cv '" << objects_[t.waiting_cv].name << "';";
+    } else if (t.pending.kind == OpKind::kMutexLock) {
+      const Object& m = objects_[t.pending.obj];
+      os << "waits for mutex '" << m.name << "' held by task " << m.owner
+         << ";";
+      waits_on[id] = m.owner;
+    } else if (t.pending.kind == OpKind::kJoin) {
+      os << "waits to join task " << objects_[t.pending.obj].task_ref << ";";
+      waits_on[id] = objects_[t.pending.obj].task_ref;
+    } else {
+      os << "blocked at " << to_string(t.pending.kind) << ";";
+    }
+  }
+  // Follow wait-for edges from each node; a revisit inside one walk is a
+  // cycle (the walk is bounded by kMaxTasks, no tortoise needed).
+  for (std::size_t start = 0; start < tasks_.size(); ++start) {
+    std::vector<std::size_t> path;
+    int at = static_cast<int>(start);
+    while (at >= 0) {
+      const auto it =
+          std::find(path.begin(), path.end(), static_cast<std::size_t>(at));
+      if (it != path.end()) {
+        os << " cycle:";
+        for (auto jt = it; jt != path.end(); ++jt) os << " t" << *jt << " ->";
+        os << " t" << at;
+        return os.str();
+      }
+      path.push_back(static_cast<std::size_t>(at));
+      at = waits_on[static_cast<std::size_t>(at)];
+    }
+  }
+  return os.str();
+}
+
+bool Execution::announce_and_wait(std::unique_lock<std::mutex>& g,
+                                  const Op& op, bool may_throw) {
+  if (abort_) return bail_locked(may_throw);
+  Task& self = *tasks_[tl_task];
+  self.pending = op;
+  self.has_pending = true;
+  self.state = Task::State::kAtChoice;
+  if (cur_ == tl_task) {
+    // We hold the token: this is a scheduling point.
+    if (!grant_next(g)) return bail_locked(may_throw);
+  } else {
+    cv_.notify_all();  // first announce of a fresh child: wake the spawner
+  }
+  cv_.wait(g, [&] {
+    return abort_ || (cur_ == tl_task && self.state == Task::State::kAtChoice);
+  });
+  if (abort_) return bail_locked(may_throw);
+  // Granted: we own the token and now perform the pending op. The tick
+  // gives this operation its place in our vector clock.
+  self.clock.tick(tl_task);
+  return true;
+}
+
+void Execution::record_event(std::size_t id, const Op& op,
+                             const std::string& extra) {
+  const Task& t = *tasks_[id];
+  std::ostringstream os;
+  os << "#" << steps_ << " t" << id << "/" << t.name << ": "
+     << to_string(op.kind);
+  if (op.kind != OpKind::kYield && op.kind != OpKind::kExit &&
+      op.obj < objects_.size())
+    os << " '" << objects_[op.obj].name << "'";
+  if (!extra.empty()) os << " " << extra;
+  trace_.push_back(os.str());
+  while (trace_.size() > limits_.max_trace) trace_.pop_front();
+}
+
+void Execution::record_abort_locked(ViolationKind kind,
+                                    const std::string& msg) {
+  if (!abort_) {
+    violation_.kind = kind;
+    violation_.message = msg;
+    violation_.schedule = chooser_.schedule_so_far();
+    violation_.trace = trace_tail_locked();
+    abort_ = true;
+    cv_.notify_all();
+  }
+}
+
+bool Execution::bail_locked(bool may_throw) {
+  // A destructor-driven op (may_throw=false), or any op reached while a
+  // TerminateTask is already unwinding this stack, must not throw — it
+  // degrades to a no-op and the task keeps unwinding/retiring on its own.
+  if (may_throw && std::uncaught_exceptions() == 0) abort_task_locked();
+  return false;
+}
+
+void Execution::abort_task_locked() { throw TerminateTask{}; }
+
+std::string Execution::trace_tail_locked() const {
+  std::string s;
+  for (const std::string& line : trace_) {
+    s += "  ";
+    s += line;
+    s += '\n';
+  }
+  return s;
+}
+
+void Execution::finish_perform(std::unique_lock<std::mutex>& g, Task& t,
+                               const Op& op, const std::string& extra) {
+  (void)g;
+  ++steps_;
+  record_event(tl_task, op, extra);
+  if (steps_ > limits_.max_steps)
+    record_abort_locked(ViolationKind::kStepLimit,
+                        "per-execution step budget exhausted (" +
+                            std::to_string(limits_.max_steps) +
+                            " performs) — livelock or unbounded scenario");
+  if (!abort_) chooser_.on_perform(tl_task, op, view_locked());
+  t.state = Task::State::kRunning;
+  t.has_pending = false;
+}
+
+// ---------------------------------------------------------------------------
+// Shim entry points.
+// ---------------------------------------------------------------------------
+
+std::uint32_t Execution::register_object(OpKind hint, const char* name) {
+  std::unique_lock<std::mutex> g(m_);
+  Object o;
+  o.hint = hint;
+  o.name = name == nullptr ? "" : name;
+  if (o.name.empty())
+    o.name = std::string(to_string(hint)) + "#" +
+             std::to_string(objects_.size());
+  objects_.push_back(std::move(o));
+  return static_cast<std::uint32_t>(objects_.size() - 1);
+}
+
+void Execution::op_mutex_lock(std::uint32_t mu) {
+  std::unique_lock<std::mutex> g(m_);
+  const Op op{OpKind::kMutexLock, mu, 0, 0, false};
+  if (!announce_and_wait(g, op, /*may_throw=*/true)) return;
+  Task& self = *tasks_[tl_task];
+  Object& m = objects_[mu];
+  LLMP_CHECK_MSG(m.owner < 0, "mc::mutex scheduled while held");
+  m.owner = static_cast<int>(tl_task);
+  self.clock.join(m.clock);  // acquire: observe the previous release
+  finish_perform(g, self, op, "");
+}
+
+void Execution::op_mutex_unlock(std::uint32_t mu) {
+  std::unique_lock<std::mutex> g(m_);
+  const Op op{OpKind::kMutexUnlock, mu, 0, 0, false};
+  // may_throw=false: std::unique_lock destructors unlock on plain scope
+  // exit; throwing out of them is std::terminate.
+  if (!announce_and_wait(g, op, /*may_throw=*/false)) return;
+  Task& self = *tasks_[tl_task];
+  Object& m = objects_[mu];
+  LLMP_CHECK_MSG(m.owner == static_cast<int>(tl_task),
+                 "mc::mutex unlocked by a task that does not hold it");
+  m.owner = -1;
+  m.clock = self.clock;  // release: publish our history to the next owner
+  finish_perform(g, self, op, "");
+}
+
+bool Execution::op_cv_wait(std::uint32_t cv, std::uint32_t mu, bool timed) {
+  std::unique_lock<std::mutex> g(m_);
+  const Op op{OpKind::kCvWait, cv, mu, 0, timed};
+  if (!announce_and_wait(g, op, /*may_throw=*/true)) return false;
+  Task& self = *tasks_[tl_task];
+  Object& m = objects_[mu];
+  LLMP_CHECK_MSG(m.owner == static_cast<int>(tl_task),
+                 "mc::condition_variable::wait without holding the mutex");
+  // First half: atomically release the mutex and go to sleep.
+  m.owner = -1;
+  m.clock = self.clock;
+  objects_[cv].waiters.push_back(tl_task);
+  self.waiting_cv = cv;
+  self.waiting_mu = mu;
+  self.timed_wait = timed;
+  self.woke_by_timeout = false;
+  finish_perform(g, self, op, timed ? "(timed)" : "");
+  self.state = Task::State::kCvSleep;
+  self.has_pending = false;
+  if (!grant_next(g)) return bail_locked(/*may_throw=*/true);
+  cv_.wait(g, [&] {
+    return abort_ || (cur_ == tl_task && self.state == Task::State::kAtChoice);
+  });
+  if (abort_) return bail_locked(/*may_throw=*/true);
+  // Woken (by notify or modeled timeout) and granted the reacquire.
+  self.clock.tick(tl_task);
+  Object& m2 = objects_[mu];
+  LLMP_CHECK_MSG(m2.owner < 0, "cv reacquire scheduled while mutex held");
+  m2.owner = static_cast<int>(tl_task);
+  self.clock.join(m2.clock);
+  finish_perform(g, self, self.pending,
+                 self.woke_by_timeout ? "(reacquire after timeout)"
+                                      : "(reacquire after notify)");
+  return !self.woke_by_timeout;
+}
+
+void Execution::wake_waiter_locked(Task& w, std::uint32_t cv,
+                                   bool by_timeout) {
+  auto& waiters = objects_[cv].waiters;
+  for (std::size_t i = 0; i < waiters.size(); ++i) {
+    if (tasks_[waiters[i]].get() == &w) {
+      waiters.erase(waiters.begin() + static_cast<std::ptrdiff_t>(i));
+      break;
+    }
+  }
+  w.state = Task::State::kAtChoice;
+  w.pending = Op{OpKind::kMutexLock, w.waiting_mu, cv, 0, false};
+  w.has_pending = true;
+  w.woke_by_timeout = by_timeout;
+  w.timed_wait = false;
+  if (!by_timeout)
+    w.clock.join(tasks_[tl_task]->clock);  // notify happens-before wake
+}
+
+void Execution::op_cv_notify(std::uint32_t cv, bool all) {
+  std::unique_lock<std::mutex> g(m_);
+  const Op op{all ? OpKind::kCvNotifyAll : OpKind::kCvNotifyOne, cv, 0, 0,
+              false};
+  // may_throw=false: notify calls can legitimately sit in destructors.
+  if (!announce_and_wait(g, op, /*may_throw=*/false)) return;
+  Task& self = *tasks_[tl_task];
+  Object& c = objects_[cv];
+  if (!c.waiters.empty()) {
+    if (all) {
+      while (!c.waiters.empty())
+        wake_waiter_locked(*tasks_[c.waiters.front()], cv, false);
+    } else {
+      std::size_t chosen = c.waiters.front();
+      if (c.waiters.size() >= 2) {
+        chosen = chooser_.choose_waiter(c.waiters);
+        if (std::find(c.waiters.begin(), c.waiters.end(), chosen) ==
+            c.waiters.end()) {
+          record_abort_locked(
+              ViolationKind::kDivergence,
+              "chooser picked a non-waiting task for notify_one");
+          return;
+        }
+      }
+      wake_waiter_locked(*tasks_[chosen], cv, false);
+    }
+  }
+  finish_perform(g, self, op, "");
+}
+
+void Execution::op_atomic(std::uint32_t obj, OpKind kind, int memory_order) {
+  std::unique_lock<std::mutex> g(m_);
+  const Op op{kind, obj, 0, memory_order, false};
+  if (!announce_and_wait(g, op, /*may_throw=*/true)) return;
+  Task& self = *tasks_[tl_task];
+  Object& o = objects_[obj];
+  // Happens-before edges of the C++ model, at seq-cst *interleaving*
+  // granularity (loads read the latest store): an acquire-side operation
+  // joins the object's release chain; a release store heads a new chain; a
+  // relaxed store breaks it (subsequent acquire loads read the relaxed
+  // store and synchronize with nothing); RMWs extend the chain.
+  const bool reads = kind != OpKind::kAtomicStore;
+  const bool writes = kind != OpKind::kAtomicLoad;
+  if (reads && acquire_order(memory_order)) self.clock.join(o.clock);
+  if (kind == OpKind::kAtomicStore) {
+    if (release_order(memory_order))
+      o.clock = self.clock;
+    else
+      o.clock.clear();
+  } else if (writes && release_order(memory_order)) {
+    o.clock.join(self.clock);  // RMW keeps the chain and adds its edges
+  }
+  finish_perform(g, self, op, "");
+}
+
+void Execution::op_cell(std::uint32_t obj, bool write) {
+  std::unique_lock<std::mutex> g(m_);
+  const Op op{write ? OpKind::kCellWrite : OpKind::kCellRead, obj, 0, 0,
+              false};
+  if (!announce_and_wait(g, op, /*may_throw=*/true)) return;
+  Task& self = *tasks_[tl_task];
+  Object& o = objects_[obj];
+
+  auto race = [&](const char* prior, std::size_t prior_task,
+                  const VectorClock& prior_clock) {
+    std::ostringstream os;
+    os << "data race on '" << o.name << "': " << (write ? "write" : "read")
+       << " by task " << tl_task << " (clock " << self.clock.to_string()
+       << ") is unordered with the " << prior << " by task " << prior_task
+       << " (clock " << prior_clock.to_string() << ")";
+    record_abort_locked(ViolationKind::kDataRace, os.str());
+  };
+
+  if (o.w_task < kMaxTasks && o.w_task != tl_task &&
+      !self.clock.observed(o.w_task, o.w_stamp))
+    race("write", o.w_task, o.w_clock);
+  if (write) {
+    for (std::size_t u = 0; u < kMaxTasks; ++u) {
+      if (u == tl_task || o.r_stamp[u] == 0) continue;
+      if (!self.clock.observed(u, o.r_stamp[u]))
+        race("read", u, tasks_[u]->clock);
+    }
+    if (abort_) {
+      bail_locked(/*may_throw=*/true);
+      return;
+    }
+    o.w_task = tl_task;
+    o.w_stamp = self.clock.at(tl_task);
+    o.w_clock = self.clock;
+    o.r_stamp.fill(0);
+  } else {
+    if (abort_) {
+      bail_locked(/*may_throw=*/true);
+      return;
+    }
+    o.r_stamp[tl_task] = self.clock.at(tl_task);
+  }
+  finish_perform(g, self, op, "");
+}
+
+std::size_t Execution::op_spawn(std::function<void()> body,
+                                const char* name) {
+  std::unique_lock<std::mutex> g(m_);
+  // Register the task object first (no scheduling point: it is not yet
+  // shared), then announce the spawn against it.
+  Object to;
+  to.hint = OpKind::kSpawn;
+  to.name = name == nullptr ? "task" : name;
+  objects_.push_back(std::move(to));
+  const auto obj = static_cast<std::uint32_t>(objects_.size() - 1);
+
+  const Op op{OpKind::kSpawn, obj, 0, 0, false};
+  if (!announce_and_wait(g, op, /*may_throw=*/true)) return 0;
+  Task& self = *tasks_[tl_task];
+
+  const std::size_t child = tasks_.size();
+  LLMP_CHECK_MSG(child < kMaxTasks,
+                 "model-checked bodies are bounded to " +
+                     std::to_string(kMaxTasks) + " tasks");
+  auto t = std::make_unique<Task>();
+  t->body = std::move(body);
+  t->name = objects_[obj].name;
+  t->obj = obj;
+  t->clock = self.clock;  // spawn happens-before everything in the child
+  t->clock.tick(child);
+  t->state = Task::State::kRunning;
+  objects_[obj].task_ref = static_cast<int>(child);
+  tasks_.push_back(std::move(t));
+  ++unfinished_;
+  Task& ct = *tasks_[child];
+  ct.thread = std::thread([this, child] { task_wrapper(child); });
+
+  // Run the child up to its first scheduling point (or completion) so the
+  // enabled set is total before anyone chooses again. We are parked, so
+  // user code still runs one task at a time.
+  cv_.wait(g, [&] {
+    return abort_ || ct.has_pending || ct.state == Task::State::kFinished;
+  });
+  if (abort_) {
+    bail_locked(/*may_throw=*/true);
+    return child;  // unwinding suppressed: hand back a joinable-ish id
+  }
+  finish_perform(g, self, op, "-> task " + std::to_string(child));
+  return child;
+}
+
+void Execution::op_join(std::size_t task) {
+  std::unique_lock<std::mutex> g(m_);
+  LLMP_CHECK(task < tasks_.size());
+  const Op op{OpKind::kJoin, tasks_[task]->obj, 0, 0, false};
+  if (!announce_and_wait(g, op, /*may_throw=*/true)) return;
+  Task& self = *tasks_[tl_task];
+  self.clock.join(tasks_[task]->clock);  // child end happens-before join
+  finish_perform(g, self, op, "task " + std::to_string(task));
+}
+
+void Execution::op_yield() {
+  std::unique_lock<std::mutex> g(m_);
+  const Op op{OpKind::kYield, 0, 0, 0, false};
+  if (!announce_and_wait(g, op, /*may_throw=*/true)) return;
+  finish_perform(g, *tasks_[tl_task], op, "");
+}
+
+void Execution::fail_assert(const std::string& message) {
+  std::unique_lock<std::mutex> g(m_);
+  record_abort_locked(ViolationKind::kAssert, message);
+  bail_locked(/*may_throw=*/true);
+}
+
+// ---------------------------------------------------------------------------
+// Task lifecycle.
+// ---------------------------------------------------------------------------
+
+/// Idempotent unwind bookkeeping: a task may already have gone through
+/// finish_task when the abort throw originated inside it (e.g. a prune
+/// decided while granting after its exit).
+void Execution::retire_task_locked(std::size_t id) {
+  Task& t = *tasks_[id];
+  if (t.state != Task::State::kFinished) {
+    t.state = Task::State::kFinished;
+    --unfinished_;
+  }
+  cv_.notify_all();
+}
+
+void Execution::finish_task(std::unique_lock<std::mutex>& g, std::size_t id) {
+  if (abort_) {  // the body completed by swallowing no-op shims: teardown
+    retire_task_locked(id);
+    return;
+  }
+  Task& t = *tasks_[id];
+  t.state = Task::State::kFinished;
+  t.has_pending = false;
+  t.clock.tick(id);
+  --unfinished_;
+  const Op op{OpKind::kExit, t.obj, 0, 0, false};
+  ++steps_;
+  record_event(id, op, "");
+  chooser_.on_perform(id, op, view_locked());
+  if (unfinished_ > 0 && cur_ == id) {
+    if (!grant_next(g)) retire_task_locked(id);  // abort recorded; idempotent
+  } else {
+    cv_.notify_all();  // wake a parked spawner / joiner / run()
+  }
+}
+
+void Execution::task_wrapper(std::size_t id) {
+  tl_exec = this;
+  tl_task = id;
+  try {
+    tasks_[id]->body();
+    std::unique_lock<std::mutex> g(m_);
+    finish_task(g, id);
+  } catch (const TerminateTask&) {
+    std::unique_lock<std::mutex> g(m_);
+    retire_task_locked(id);
+  } catch (const std::exception& e) {
+    std::unique_lock<std::mutex> g(m_);
+    if (!abort_) {
+      violation_.kind = ViolationKind::kAssert;
+      violation_.message =
+          std::string("exception escaped a model-checked task: ") + e.what();
+      violation_.schedule = chooser_.schedule_so_far();
+      violation_.trace = trace_tail_locked();
+      abort_ = true;
+    }
+    retire_task_locked(id);
+  }
+  tl_exec = nullptr;
+}
+
+ExecStatus Execution::run(const std::function<void()>& body) {
+  tl_exec = this;
+  tl_task = 0;
+  {
+    std::unique_lock<std::mutex> g(m_);
+    Object to;
+    to.hint = OpKind::kSpawn;
+    to.name = "main";
+    to.task_ref = 0;
+    objects_.push_back(std::move(to));
+    auto t0 = std::make_unique<Task>();
+    t0->name = "main";
+    t0->obj = 0;
+    t0->clock.tick(0);
+    tasks_.push_back(std::move(t0));
+    unfinished_ = 1;
+    cur_ = 0;
+  }
+
+  try {
+    body();
+    std::unique_lock<std::mutex> g(m_);
+    finish_task(g, 0);
+  } catch (const TerminateTask&) {
+    std::unique_lock<std::mutex> g(m_);
+    retire_task_locked(0);
+  } catch (const std::exception& e) {
+    std::unique_lock<std::mutex> g(m_);
+    if (!abort_) {
+      violation_.kind = ViolationKind::kAssert;
+      violation_.message =
+          std::string("exception escaped the model-checked body: ") + e.what();
+      violation_.schedule = chooser_.schedule_so_far();
+      violation_.trace = trace_tail_locked();
+      abort_ = true;
+    }
+    retire_task_locked(0);
+  }
+
+  {
+    // Wait for the remaining tasks to finish (normally or by unwinding
+    // through the abort flag), then reap the real threads.
+    std::unique_lock<std::mutex> g(m_);
+    cv_.wait(g, [&] { return unfinished_ == 0; });
+  }
+  for (auto& t : tasks_)
+    if (t->thread.joinable()) t->thread.join();
+  tl_exec = nullptr;
+
+  if (pruned_) return ExecStatus::kPruned;
+  if (violation_.kind != ViolationKind::kNone) return ExecStatus::kViolation;
+  return ExecStatus::kDone;
+}
+
+}  // namespace llmp::mc

@@ -1,0 +1,256 @@
+// Deterministic cooperative scheduler — one interleaving at a time.
+//
+// The model checker runs a concurrent test body under a strict token
+// discipline: every mc-instrumented operation (mc::mutex, mc::atomic,
+// mc::condition_variable, mc::cell, mc::thread) is a *scheduling point*.
+// A task reaching one announces its pending operation and parks; whichever
+// task holds the token consults the Chooser (the exploration strategy) to
+// decide who performs their pending operation next. Exactly one task ever
+// executes user code, so a run is fully determined by the sequence of
+// choices — which is what makes schedules replayable byte for byte.
+//
+// Tasks are real std::threads (user code keeps ordinary stacks, RAII and
+// exceptions), but there is no host-level parallelism: the token handoff
+// is a mutex+condvar handshake, so the host program is race-free even
+// though the *modeled* program is being checked for races.
+//
+// The Execution detects, during perform():
+//   * data races      — vector-clock (FastTrack-style epoch) checks on
+//                       mc::cell / Sync::shared plain-memory accesses,
+//   * deadlocks       — no task enabled, some blocked on mutexes/joins
+//                       (the wait-for cycle is reported),
+//   * lost wakeups    — no task enabled and every unfinished task sits in
+//                       an untimed condition-variable wait (quiescence),
+//   * assertion fails — MC_ASSERT inside the body,
+//   * livelock        — the per-execution step budget is exhausted.
+//
+// Exploration policy (DFS order, sleep sets, preemption bound, replay)
+// lives in explore.h; this file is only the machinery for running ONE
+// schedule and reporting what happened. See docs/MODELCHECK.md.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "mc/clock.h"
+#include "support/check.h"
+
+namespace llmp::mc {
+
+/// Instrumented operation kinds. Performing one is the unit of modeled
+/// time: every perform ticks the acting task's vector clock once.
+enum class OpKind : std::uint8_t {
+  kMutexLock,    ///< acquire (also a condvar-wait reacquire)
+  kMutexUnlock,  ///< release
+  kCvWait,       ///< release the mutex and sleep on the condvar
+  kCvNotifyOne,  ///< wake one waiter (which one is a scheduling choice)
+  kCvNotifyAll,  ///< wake every waiter
+  kAtomicLoad,
+  kAtomicStore,
+  kAtomicRmw,
+  kCellRead,   ///< plain-memory read (race-checked)
+  kCellWrite,  ///< plain-memory write (race-checked)
+  kSpawn,      ///< mc::thread creation
+  kJoin,       ///< mc::thread join (enabled once the target finished)
+  kYield,      ///< pure scheduling point, no effect
+  kExit,       ///< task finished (implicit, emitted by the wrapper)
+};
+
+const char* to_string(OpKind k);
+
+/// A pending/performed operation. `obj`/`obj2` are execution-local object
+/// ids (obj2 is the mutex of a condvar wait); `order` carries the memory
+/// order of atomic ops for the happens-before edges.
+struct Op {
+  OpKind kind = OpKind::kYield;
+  std::uint32_t obj = 0;
+  std::uint32_t obj2 = 0;
+  int order = 0;      ///< static_cast<int>(std::memory_order)
+  bool timed = false; ///< condvar wait with a deadline (wait_until/for)
+};
+
+/// Conservative dependence for partial-order reduction: two operations
+/// commute unless they touch a common object and at least one mutates it.
+bool dependent(const Op& a, const Op& b);
+
+enum class ViolationKind : std::uint8_t {
+  kNone,
+  kDataRace,
+  kDeadlock,
+  kLostWakeup,
+  kAssert,
+  kStepLimit,
+  kDivergence,  ///< a forced replay schedule did not match the body
+};
+
+const char* to_string(ViolationKind k);
+
+struct Violation {
+  ViolationKind kind = ViolationKind::kNone;
+  std::string message;
+  /// Chooser-serialized decision sequence that reproduces this violation
+  /// (feed to mc::replay / llmp_mc --replay).
+  std::string schedule;
+  /// Human-readable tail of the event trace leading to the violation.
+  std::string trace;
+};
+
+/// One enabled-or-blocked task as shown to the Chooser.
+struct TaskView {
+  std::size_t id = 0;
+  Op pending;
+  bool enabled = false;
+};
+
+/// Everything the Chooser sees at a scheduling point.
+struct ChoiceView {
+  /// Unfinished tasks that are parked at an announced operation (enabled
+  /// or blocked), ascending id. Condvar sleepers are not listed — they
+  /// have no pending operation until woken.
+  std::vector<TaskView> tasks;
+  /// Task that performed the previous operation (the token holder).
+  std::size_t current = 0;
+  /// True iff `current` appears enabled in `tasks` — choosing someone
+  /// else then is a preemption.
+  bool current_enabled = false;
+};
+
+/// Exploration strategy callbacks, driven by the Execution. Implemented
+/// by the DFS explorer and by the fixed-schedule replayer (explore.h).
+class Chooser {
+ public:
+  virtual ~Chooser() = default;
+  /// Pick the task id to run next from the enabled tasks in `view`.
+  /// Return kPrune to abandon this execution as redundant (sleep sets).
+  virtual std::size_t choose_task(const ChoiceView& view) = 0;
+  /// Pick which condvar waiter a notify_one wakes.
+  virtual std::size_t choose_waiter(const std::vector<std::size_t>& waiters) = 0;
+  /// Observe a performed operation (wakes sleep-set members).
+  virtual void on_perform(std::size_t task, const Op& op,
+                          const ChoiceView& view) {
+    (void)task, (void)op, (void)view;
+  }
+  /// Serialized decision sequence so far (for violation reports).
+  virtual std::string schedule_so_far() const = 0;
+
+  static constexpr std::size_t kPrune = static_cast<std::size_t>(-1);
+};
+
+enum class ExecStatus : std::uint8_t {
+  kDone,       ///< body ran to completion under this schedule
+  kViolation,  ///< a violation was detected (see Execution::violation())
+  kPruned,     ///< chooser abandoned the run as redundant (sleep sets)
+};
+
+/// Runs one interleaving of `body` under a Chooser. Construct fresh per
+/// execution; the explorer loops over executions.
+class Execution {
+ public:
+  struct Limits {
+    std::size_t max_steps = 20'000;  ///< performs before kStepLimit
+    std::size_t max_trace = 64;      ///< trailing events kept for reports
+  };
+
+  Execution(Chooser& chooser, Limits limits);
+  ~Execution();
+  Execution(const Execution&) = delete;
+  Execution& operator=(const Execution&) = delete;
+
+  /// Run `body` as task 0 to completion / violation / prune.
+  ExecStatus run(const std::function<void()>& body);
+
+  const Violation& violation() const { return violation_; }
+  std::size_t steps() const { return steps_; }
+
+  /// The execution the calling thread is currently modeled by, or null
+  /// outside a model-checked body. Shims route through this.
+  static Execution* current();
+
+  // -- shim entry points (called by sync.h on the current task's thread) --
+  std::uint32_t register_object(OpKind hint, const char* name);
+  void op_mutex_lock(std::uint32_t mu);
+  void op_mutex_unlock(std::uint32_t mu);
+  /// Full condvar wait: release `mu`, sleep, reacquire after wake.
+  /// Returns true when woken by a notify, false on a (modeled) timeout.
+  bool op_cv_wait(std::uint32_t cv, std::uint32_t mu, bool timed);
+  void op_cv_notify(std::uint32_t cv, bool all);
+  /// Announce + perform an atomic access; the caller applies the value
+  /// effect right after (it still holds the token, so it is serialized).
+  void op_atomic(std::uint32_t obj, OpKind kind, int memory_order);
+  /// Announce + perform + race-check a plain-memory access.
+  void op_cell(std::uint32_t obj, bool write);
+  /// Register + start a child task; returns its task id. Runs the child
+  /// up to its first scheduling point before returning (so the enabled
+  /// set is complete at every choice).
+  std::size_t op_spawn(std::function<void()> body, const char* name);
+  void op_join(std::size_t task);
+  void op_yield();
+  /// Report an MC_ASSERT failure at the current point. [[noreturn]] via
+  /// the abort exception.
+  void fail_assert(const std::string& message);
+
+ private:
+  struct Task;
+  struct Object;
+  struct TerminateTask {};  ///< unwinds parked tasks on abort
+
+  std::size_t self_id() const;
+  // Nothing below the op_* entry points throws: helpers record the abort
+  // and return false, and each op then exits via bail_locked — which
+  // throws TerminateTask only when its caller is plain user code
+  // (may_throw, not already unwinding). Ops reachable from destructors
+  // (mutex unlock, cv notify) must pass may_throw=false: a destructor is
+  // noexcept, and scope exit runs them even with no exception in flight.
+  /// Announce `op` and wait for the grant; ticks the clock on success.
+  /// False: the execution aborted and the op must bail out.
+  bool announce_and_wait(std::unique_lock<std::mutex>& g, const Op& op,
+                         bool may_throw);
+  /// Choose the next token holder (current task keeps or yields it);
+  /// called with the announce already recorded. False on abort/prune.
+  bool grant_next(std::unique_lock<std::mutex>& g);
+  bool enabled_locked(const Task& t) const;
+  ChoiceView view_locked() const;
+  /// Post-effect bookkeeping shared by every perform: step accounting
+  /// (kStepLimit), trace, the chooser's on_perform, return to user code.
+  void finish_perform(std::unique_lock<std::mutex>& g, Task& t, const Op& op,
+                      const std::string& extra);
+  void wake_waiter_locked(Task& w, std::uint32_t cv, bool by_timeout);
+  void record_event(std::size_t id, const Op& op, const std::string& extra);
+  /// Record the first violation (later calls are ignored) and flip the
+  /// abort flag; never throws.
+  void record_abort_locked(ViolationKind kind, const std::string& msg);
+  /// Exit path for an op once abort_ is set. Returns false (silent no-op)
+  /// or throws TerminateTask to unwind the task.
+  bool bail_locked(bool may_throw);
+  [[noreturn]] void abort_task_locked();
+  std::string deadlock_message_locked() const;
+  std::string trace_tail_locked() const;
+  void task_wrapper(std::size_t id);
+  void finish_task(std::unique_lock<std::mutex>& g, std::size_t id);
+  void retire_task_locked(std::size_t id);
+
+  Chooser& chooser_;
+  const Limits limits_;
+
+  std::mutex m_;
+  std::condition_variable cv_;
+  std::vector<std::unique_ptr<Task>> tasks_;
+  std::vector<Object> objects_;
+  std::size_t cur_ = 0;        ///< token holder
+  std::size_t unfinished_ = 0;
+  std::size_t steps_ = 0;
+  bool abort_ = false;
+  bool pruned_ = false;
+  Violation violation_;
+  std::deque<std::string> trace_;
+};
+
+}  // namespace llmp::mc

@@ -1,0 +1,264 @@
+// Instrumented drop-in replacements for the std:: synchronization
+// vocabulary, usable only inside a model-checked body (mc::check /
+// mc::replay). Each shim registers itself with the active Execution and
+// turns every access into a scheduling point, so the explorer can
+// interleave tasks at exactly the places real hardware could.
+//
+// The shims store their values inline with no host-level synchronization:
+// the token discipline guarantees at most one task executes user code at a
+// time, and every token handoff goes through the Execution's own mutex,
+// which provides the host happens-before edges. The *modeled* program's
+// races are found by the vector-clock checker, not by the host.
+//
+// mc::cell<T> has no std:: counterpart: it wraps plain shared data (a
+// deque, a bool flag) whose accesses must be ordered by the modeled
+// mutexes/atomics. Reads go through .r(), writes through .w(); each is
+// race-checked. Do not hold the returned reference across another mc
+// operation — re-fetch it instead.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "mc/sched.h"
+#include "support/check.h"
+
+namespace llmp::mc {
+
+namespace detail {
+inline Execution& exec() {
+  Execution* e = Execution::current();
+  LLMP_CHECK_MSG(e != nullptr,
+                 "mc:: primitives may only be used inside a model-checked "
+                 "body (mc::check / mc::replay)");
+  return *e;
+}
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line) {
+  std::string msg = std::string("MC_ASSERT failed: ") + expr + " at " + file +
+                    ":" + std::to_string(line);
+  if (Execution* e = Execution::current()) e->fail_assert(msg);
+  throw llmp::check_error(msg);  // outside a checked body: plain failure
+}
+}  // namespace detail
+
+class mutex {
+ public:
+  explicit mutex(const char* name = "mutex")
+      : id_(detail::exec().register_object(OpKind::kMutexLock, name)) {}
+  mutex(const mutex&) = delete;
+  mutex& operator=(const mutex&) = delete;
+
+  void lock() { detail::exec().op_mutex_lock(id_); }
+  void unlock() { detail::exec().op_mutex_unlock(id_); }
+
+  std::uint32_t id() const { return id_; }
+
+ private:
+  std::uint32_t id_;
+};
+
+class condition_variable {
+ public:
+  explicit condition_variable(const char* name = "cv")
+      : id_(detail::exec().register_object(OpKind::kCvWait, name)) {}
+  condition_variable(const condition_variable&) = delete;
+  condition_variable& operator=(const condition_variable&) = delete;
+
+  void notify_one() { detail::exec().op_cv_notify(id_, /*all=*/false); }
+  void notify_all() { detail::exec().op_cv_notify(id_, /*all=*/true); }
+
+  void wait(std::unique_lock<mutex>& lk) {
+    detail::exec().op_cv_wait(id_, lk.mutex()->id(), /*timed=*/false);
+  }
+  template <class Pred>
+  void wait(std::unique_lock<mutex>& lk, Pred pred) {
+    while (!pred()) wait(lk);
+  }
+
+  // Timed waits: the model has no wall clock. A timeout fires only when
+  // the whole system is otherwise quiescent — "the deadline eventually
+  // passes" without enumerating where it falls in every interleaving.
+  template <class Clock, class Duration>
+  std::cv_status wait_until(std::unique_lock<mutex>& lk,
+                            const std::chrono::time_point<Clock, Duration>&) {
+    return detail::exec().op_cv_wait(id_, lk.mutex()->id(), /*timed=*/true)
+               ? std::cv_status::no_timeout
+               : std::cv_status::timeout;
+  }
+  template <class Clock, class Duration, class Pred>
+  bool wait_until(std::unique_lock<mutex>& lk,
+                  const std::chrono::time_point<Clock, Duration>& tp,
+                  Pred pred) {
+    while (!pred())
+      if (wait_until(lk, tp) == std::cv_status::timeout) return pred();
+    return true;
+  }
+  template <class Rep, class Period>
+  std::cv_status wait_for(std::unique_lock<mutex>& lk,
+                          const std::chrono::duration<Rep, Period>&) {
+    return detail::exec().op_cv_wait(id_, lk.mutex()->id(), /*timed=*/true)
+               ? std::cv_status::no_timeout
+               : std::cv_status::timeout;
+  }
+  template <class Rep, class Period, class Pred>
+  bool wait_for(std::unique_lock<mutex>& lk,
+                const std::chrono::duration<Rep, Period>& d, Pred pred) {
+    while (!pred())
+      if (wait_for(lk, d) == std::cv_status::timeout) return pred();
+    return true;
+  }
+
+ private:
+  std::uint32_t id_;
+};
+
+template <class T>
+class atomic {
+ public:
+  atomic() : atomic(T{}) {}
+  explicit atomic(T v, const char* name = "atomic")
+      : v_(v), id_(detail::exec().register_object(OpKind::kAtomicLoad, name)) {}
+  atomic(const atomic&) = delete;
+  atomic& operator=(const atomic&) = delete;
+
+  T load(std::memory_order mo = std::memory_order_seq_cst) const {
+    detail::exec().op_atomic(id_, OpKind::kAtomicLoad, static_cast<int>(mo));
+    return v_;
+  }
+  void store(T v, std::memory_order mo = std::memory_order_seq_cst) {
+    detail::exec().op_atomic(id_, OpKind::kAtomicStore, static_cast<int>(mo));
+    v_ = v;
+  }
+  T exchange(T v, std::memory_order mo = std::memory_order_seq_cst) {
+    detail::exec().op_atomic(id_, OpKind::kAtomicRmw, static_cast<int>(mo));
+    T old = v_;
+    v_ = v;
+    return old;
+  }
+  T fetch_add(T d, std::memory_order mo = std::memory_order_seq_cst) {
+    detail::exec().op_atomic(id_, OpKind::kAtomicRmw, static_cast<int>(mo));
+    T old = v_;
+    v_ = static_cast<T>(v_ + d);
+    return old;
+  }
+  T fetch_sub(T d, std::memory_order mo = std::memory_order_seq_cst) {
+    detail::exec().op_atomic(id_, OpKind::kAtomicRmw, static_cast<int>(mo));
+    T old = v_;
+    v_ = static_cast<T>(v_ - d);
+    return old;
+  }
+  bool compare_exchange_strong(
+      T& expected, T desired,
+      std::memory_order mo = std::memory_order_seq_cst) {
+    detail::exec().op_atomic(id_, OpKind::kAtomicRmw, static_cast<int>(mo));
+    if (v_ == expected) {
+      v_ = desired;
+      return true;
+    }
+    expected = v_;
+    return false;
+  }
+
+  operator T() const { return load(); }
+  T operator=(T v) {
+    store(v);
+    return v;
+  }
+
+ private:
+  T v_;
+  std::uint32_t id_;
+};
+
+/// Plain shared memory under the race detector. Anything the real code
+/// guards with a mutex (queue contents, flags) becomes a cell under mc so
+/// a missing-lock bug surfaces as a reported data race, not silent
+/// corruption.
+template <class T>
+class cell {
+ public:
+  cell() : cell(T{}) {}
+  explicit cell(T v, const char* name = "cell")
+      : v_(std::move(v)),
+        id_(detail::exec().register_object(OpKind::kCellWrite, name)) {}
+  cell(const cell&) = delete;
+  cell& operator=(const cell&) = delete;
+
+  /// Race-checked write access.
+  T& w() {
+    detail::exec().op_cell(id_, /*write=*/true);
+    return v_;
+  }
+  /// Race-checked read access.
+  const T& r() const {
+    detail::exec().op_cell(id_, /*write=*/false);
+    return v_;
+  }
+
+ private:
+  T v_;
+  std::uint32_t id_;
+};
+
+class thread {
+ public:
+  thread() = default;
+  template <class F>
+  explicit thread(F f, const char* name = "worker")
+      : exec_(&detail::exec()),
+        task_(exec_->op_spawn(std::function<void()>(std::move(f)), name)),
+        active_(true) {}
+  thread(thread&& o) noexcept
+      : exec_(o.exec_), task_(o.task_), active_(o.active_) {
+    o.active_ = false;
+  }
+  thread& operator=(thread&& o) noexcept {
+    LLMP_CHECK_MSG(!active_, "assigning over an unjoined mc::thread");
+    exec_ = o.exec_;
+    task_ = o.task_;
+    active_ = o.active_;
+    o.active_ = false;
+    return *this;
+  }
+  thread(const thread&) = delete;
+  thread& operator=(const thread&) = delete;
+  // No join check in the destructor: abort unwinding tears handles down
+  // in arbitrary order; the Execution reaps the real threads itself.
+  ~thread() = default;
+
+  bool joinable() const { return active_; }
+  void join() {
+    LLMP_CHECK_MSG(active_, "mc::thread joined twice (or never started)");
+    exec_->op_join(task_);
+    active_ = false;
+  }
+  std::size_t id() const { return task_; }
+
+ private:
+  Execution* exec_ = nullptr;
+  std::size_t task_ = 0;
+  bool active_ = false;
+};
+
+namespace this_thread {
+/// Pure scheduling point; also how modeled code marks a spin iteration.
+inline void yield() { detail::exec().op_yield(); }
+}  // namespace this_thread
+
+}  // namespace llmp::mc
+
+/// Property assertion inside a model-checked body. A failure is reported
+/// as a violation with the reproducing schedule attached (outside a body
+/// it degrades to an LLMP_CHECK-style throw).
+#define MC_ASSERT(cond)                                            \
+  do {                                                             \
+    if (!(cond))                                                   \
+      ::llmp::mc::detail::assert_fail(#cond, __FILE__, __LINE__);  \
+  } while (0)

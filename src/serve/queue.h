@@ -11,21 +11,39 @@
 // Plain mutex + two condition variables: correctness and TSan-cleanliness
 // over lock-free cleverness. Every operation is O(1) amortized; the lock
 // is held for a deque push/pop only, never while a request executes.
+//
+// The class is a template over a sync policy (serve/sync_policy.h):
+// production instantiates BoundedQueue<T> (std:: primitives), the model
+// checker instantiates BoundedQueue<T, McSyncPolicy> and exhaustively
+// interleaves this exact source (docs/MODELCHECK.md). The third parameter
+// seeds one of three known-bad mutations used to prove the checker can
+// catch real queue bugs — kNone (the shipped code) is the only value any
+// non-test code may use.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <utility>
 
+#include "serve/sync_policy.h"
 #include "support/check.h"
 #include "support/failpoint.h"
 
 namespace llmp::serve {
 
-template <class T>
+/// Seeded bugs for the model-checker self-test (llmp_mc --mutation, the
+/// mc stage of scripts/check.sh). Each is a minimal, realistic slip the
+/// checker must flag: a missing wakeup, a lost item, a missing lock.
+enum class QueueMutation {
+  kNone,            ///< the real implementation
+  kLostNotify,      ///< push() forgets to notify not_empty_ (lost wakeup)
+  kDoublePop,       ///< pop() drops a second item on the floor (lost item)
+  kDroppedAcquire,  ///< close() writes the flag without the lock (race)
+};
+
+template <class T, class Sync = StdSyncPolicy,
+          QueueMutation Mutation = QueueMutation::kNone>
 class BoundedQueue {
  public:
   explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {
@@ -39,13 +57,15 @@ class BoundedQueue {
   /// item is enqueued — the caller keeps ownership and fails the request).
   bool push(T item) {
     enter_push();
-    std::unique_lock<std::mutex> lock(mu_);
-    not_full_.wait(lock,
-                   [this] { return closed_ || items_.size() < capacity_; });
-    if (closed_) return false;
-    items_.push_back(std::move(item));
+    std::unique_lock<typename Sync::mutex> lock(mu_);
+    not_full_.wait(lock, [this] {
+      return closed_.r() || items_.r().size() < capacity_;
+    });
+    if (closed_.r()) return false;
+    items_.w().push_back(std::move(item));
     lock.unlock();
-    not_empty_.notify_one();
+    if constexpr (Mutation != QueueMutation::kLostNotify)
+      not_empty_.notify_one();
     return true;
   }
 
@@ -53,11 +73,12 @@ class BoundedQueue {
   bool try_push(T& item) {
     enter_push();
     {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (closed_ || items_.size() >= capacity_) return false;
-      items_.push_back(std::move(item));
+      std::lock_guard<typename Sync::mutex> lock(mu_);
+      if (closed_.r() || items_.r().size() >= capacity_) return false;
+      items_.w().push_back(std::move(item));
     }
-    not_empty_.notify_one();
+    if constexpr (Mutation != QueueMutation::kLostNotify)
+      not_empty_.notify_one();
     return true;
   }
 
@@ -66,11 +87,15 @@ class BoundedQueue {
   /// item is taken, so no request is ever lost to an injected pop fault).
   std::optional<T> pop() {
     LLMP_FAILPOINT("serve.queue.pop");
-    std::unique_lock<std::mutex> lock(mu_);
-    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
-    if (items_.empty()) return std::nullopt;  // closed and drained
-    T item = std::move(items_.front());
-    items_.pop_front();
+    std::unique_lock<typename Sync::mutex> lock(mu_);
+    not_empty_.wait(lock,
+                    [this] { return closed_.r() || !items_.r().empty(); });
+    if (items_.r().empty()) return std::nullopt;  // closed and drained
+    T item = std::move(items_.w().front());
+    items_.w().pop_front();
+    if constexpr (Mutation == QueueMutation::kDoublePop) {
+      if (!items_.r().empty()) items_.w().pop_front();
+    }
     lock.unlock();
     not_full_.notify_one();
     return item;
@@ -78,22 +103,24 @@ class BoundedQueue {
 
   /// Stop accepting pushes; queued items drain through pop().
   void close() {
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      closed_ = true;
+    if constexpr (Mutation == QueueMutation::kDroppedAcquire) {
+      closed_.w() = true;
+    } else {
+      std::lock_guard<typename Sync::mutex> lock(mu_);
+      closed_.w() = true;
     }
     not_empty_.notify_all();
     not_full_.notify_all();
   }
 
   std::size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return items_.size();
+    std::lock_guard<typename Sync::mutex> lock(mu_);
+    return items_.r().size();
   }
   std::size_t capacity() const { return capacity_; }
   bool closed() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return closed_;
+    std::lock_guard<typename Sync::mutex> lock(mu_);
+    return closed_.r();
   }
 
  private:
@@ -102,11 +129,11 @@ class BoundedQueue {
   static void enter_push() { LLMP_FAILPOINT("serve.queue.push"); }
 
   const std::size_t capacity_;
-  mutable std::mutex mu_;
-  std::condition_variable not_empty_;
-  std::condition_variable not_full_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  mutable typename Sync::mutex mu_{"queue.mu"};
+  typename Sync::condition_variable not_empty_{"queue.not_empty"};
+  typename Sync::condition_variable not_full_{"queue.not_full"};
+  typename Sync::template shared<std::deque<T>> items_{{}, "queue.items"};
+  typename Sync::template shared<bool> closed_{false, "queue.closed"};
 };
 
 }  // namespace llmp::serve

@@ -1,0 +1,120 @@
+// RetryLedger — the supervisor's parking lot for requests in backoff.
+//
+// Extracted from Service so the park/stop race — the classic way retries
+// get dropped at shutdown — is a self-contained, model-checkable unit
+// (scenario retry-park-stop in src/mc/scenarios.cpp). The contract that
+// the checker verifies: a job handed to park() is *always* accounted for
+// exactly once — either park() returns false (the ledger already stopped;
+// the caller keeps the job and must fail it itself) or the job comes back
+// out of take_due()/drain(). No interleaving of park() against stop() may
+// strand a promise.
+//
+// Threading: park() is called by workers (finish_or_retry) and by the
+// supervisor re-parking a bounced retry; wait_due/take_due/drain belong
+// to the supervisor loop; stop() is called once by shutdown().
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "serve/sync_policy.h"
+
+namespace llmp::serve {
+
+template <class Job, class Sync = StdSyncPolicy>
+class RetryLedger {
+ public:
+  using clock = std::chrono::steady_clock;
+
+  RetryLedger() = default;
+  RetryLedger(const RetryLedger&) = delete;
+  RetryLedger& operator=(const RetryLedger&) = delete;
+
+  /// Park `job` until `due`. False once stop() ran: the ledger refuses
+  /// custody and the caller must complete the job itself — that refusal
+  /// is what makes the park/stop race lossless.
+  bool park(clock::time_point due, Job&& job) {
+    std::lock_guard<typename Sync::mutex> lock(mu_);
+    if (stopped_.r()) return false;
+    entries_.w().push_back(Entry{due, std::move(job)});
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Supervisor: sleep until the earliest parked due time, `cap`, a new
+  /// park, or stop — whichever comes first. With nothing parked and
+  /// cap == time_point::max() this waits untimed (pure event wait).
+  void wait_due(clock::time_point cap) {
+    std::unique_lock<typename Sync::mutex> lock(mu_);
+    clock::time_point next = cap;
+    for (const Entry& e : entries_.r()) next = std::min(next, e.due);
+    if (next == clock::time_point::max())
+      cv_.wait(lock,
+               [this] { return stopped_.r() || !entries_.r().empty(); });
+    else
+      cv_.wait_until(lock, next);
+  }
+
+  /// Supervisor: remove and return every job due at or before `now`.
+  std::vector<Job> take_due(clock::time_point now) {
+    std::lock_guard<typename Sync::mutex> lock(mu_);
+    std::vector<Job> due;
+    auto& es = entries_.w();
+    for (std::size_t i = 0; i < es.size();) {
+      if (es[i].due <= now) {
+        due.push_back(std::move(es[i].job));
+        es[i] = std::move(es.back());
+        es.pop_back();
+      } else {
+        ++i;
+      }
+    }
+    return due;
+  }
+
+  /// Refuse further parks and wake the supervisor. Idempotent.
+  void stop() {
+    {
+      std::lock_guard<typename Sync::mutex> lock(mu_);
+      stopped_.w() = true;
+    }
+    cv_.notify_all();
+  }
+
+  bool stopped() const {
+    std::lock_guard<typename Sync::mutex> lock(mu_);
+    return stopped_.r();
+  }
+
+  /// Remove and return everything still parked (due or not) so the
+  /// caller can flush the promises; meaningful after stop().
+  std::vector<Job> drain() {
+    std::lock_guard<typename Sync::mutex> lock(mu_);
+    std::vector<Job> rest;
+    for (Entry& e : entries_.w()) rest.push_back(std::move(e.job));
+    entries_.w().clear();
+    return rest;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<typename Sync::mutex> lock(mu_);
+    return entries_.r().size();
+  }
+
+ private:
+  struct Entry {
+    clock::time_point due;
+    Job job;
+  };
+
+  mutable typename Sync::mutex mu_{"retry.mu"};
+  typename Sync::condition_variable cv_{"retry.cv"};
+  typename Sync::template shared<std::vector<Entry>> entries_{
+      {}, "retry.entries"};
+  typename Sync::template shared<bool> stopped_{false, "retry.stopped"};
+};
+
+}  // namespace llmp::serve

@@ -76,7 +76,7 @@ Service::Service(ServiceOptions options)
   fallback_options_.algorithm = core::Algorithm::kSequential;
 
   {
-    std::lock_guard<std::mutex> lock(workers_mu_);
+    std::lock_guard<Sync::mutex> lock(workers_mu_);
     active_.reserve(options_.workers);
     for (std::size_t w = 0; w < options_.workers; ++w)
       active_.push_back(spawn_worker_locked(w));
@@ -84,7 +84,7 @@ Service::Service(ServiceOptions options)
   // The supervisor thread exists only when these options can need it; a
   // default-constructed Service spawns exactly its workers, as before.
   if (options_.retry.max_attempts > 1 || options_.wedge_threshold.count() > 0)
-    supervisor_ = std::thread([this] { supervisor_loop(); });
+    supervisor_ = Sync::thread([this] { supervisor_loop(); }, "supervisor");
 }
 
 Service::~Service() { shutdown(); }
@@ -92,11 +92,15 @@ Service::~Service() { shutdown(); }
 std::shared_ptr<Service::Worker> Service::spawn_worker_locked(
     std::size_t index) {
   auto w = std::make_shared<Worker>();
-  w->thread = std::thread([this, w, index] { worker_main(w, index); });
+  w->thread =
+      Sync::thread([this, w, index] { worker_main(w, index); }, "worker");
   return w;
 }
 
 std::future<Result<core::MatchResult>> Service::submit(Request req) {
+  // Acquire pairs with shutdown()'s acq_rel exchange: a submitter that
+  // observes the flag also observes the closed queue behind it. (The
+  // check is advisory — queue_.closed() is the authoritative gate.)
   if (shut_down_.load(std::memory_order_acquire) || queue_.closed()) {
     rejected_.fetch_add(1, std::memory_order_relaxed);
     return ready_error(Status::unavailable("service is shut down"));
@@ -168,6 +172,9 @@ std::vector<std::future<Result<core::MatchResult>>> Service::submit_batch(
 
 void Service::shutdown() {
   queue_.close();
+  // Acq_rel: the release half publishes the close above to submitters'
+  // acquire loads; the acquire half makes the second shutdown() caller
+  // see the first one's progress before returning early (idempotence).
   if (shut_down_.exchange(true, std::memory_order_acq_rel)) return;
 
   // Join every worker this Service ever spawned. The watchdog cannot
@@ -176,7 +183,7 @@ void Service::shutdown() {
   // replacement is in active_) or sees the closed queue and stands down.
   std::vector<std::shared_ptr<Worker>> all;
   {
-    std::lock_guard<std::mutex> lock(workers_mu_);
+    std::lock_guard<Sync::mutex> lock(workers_mu_);
     all.insert(all.end(), active_.begin(), active_.end());
     all.insert(all.end(), retired_.begin(), retired_.end());
   }
@@ -186,14 +193,8 @@ void Service::shutdown() {
   // Stop the supervisor last: while workers drained it kept dispatching
   // due retries (which fail kUnavailable at the closed queue); its exit
   // path flushes whatever is still parked in backoff.
-  if (supervisor_.joinable()) {
-    {
-      std::lock_guard<std::mutex> lock(sup_mu_);
-      sup_stop_ = true;
-    }
-    sup_cv_.notify_all();
-    supervisor_.join();
-  }
+  retry_ledger_.stop();
+  if (supervisor_.joinable()) supervisor_.join();
 }
 
 void Service::record_latency(std::chrono::steady_clock::time_point enqueued) {
@@ -260,17 +261,9 @@ void Service::finish_or_retry(Job&& job, Status s) {
         static_cast<std::int64_t>(h % static_cast<std::uint64_t>(half + 1)));
   }
   const auto due = std::chrono::steady_clock::now() + backoff;
-
-  {
-    std::lock_guard<std::mutex> lock(sup_mu_);
-    if (!sup_stop_) {
-      pending_retries_.push_back(PendingRetry{due, std::move(job)});
-      sup_cv_.notify_one();
-      return;
-    }
-  }
-  // Supervisor already gone (can only happen on teardown races): fail
-  // with the error that triggered the retry rather than dropping it.
+  if (retry_ledger_.park(due, std::move(job))) return;
+  // Ledger already stopped (teardown race): park() refused custody, so
+  // fail with the error that triggered the retry rather than dropping it.
   finish(job, job.last_error);
 }
 
@@ -320,6 +313,8 @@ void Service::note_run_outcome(const Job& job, bool run_ok) {
 bool Service::process_job(WorkerContext& wc, std::size_t index, Job& job) {
   if (options_.on_dequeue) options_.on_dequeue(index);
 
+  // Acquire on the token pairs with the canceller's store: observing the
+  // flag also observes whatever state motivated the cancel.
   if (job.req.cancel && job.req.cancel->load(std::memory_order_acquire)) {
     finish(job, Status::cancelled("cancel token set before execution"));
     return false;
@@ -379,6 +374,12 @@ bool Service::process_job(WorkerContext& wc, std::size_t index, Job& job) {
   wc.seen_takes = takes;
   wc.seen_hits = hits;
 
+  // Count the restart BEFORE fulfilling the future: reconciliation
+  // readers (chaos_test) sample the counters as soon as every future is
+  // ready, so an increment trailing finish() would be a lost update in
+  // their eyes. worker_main still does the actual context rebuild.
+  if (escaped) restarts_.fetch_add(1, std::memory_order_relaxed);
+
   if (s.ok())
     finish(job, Result<core::MatchResult>(wc.scratch));  // copy out
   else
@@ -405,65 +406,42 @@ void Service::worker_main(std::shared_ptr<Worker> self, std::size_t index) {
     }
     if (!popped) break;  // closed and drained
 
-    self->busy_since_us.store(now_us(), std::memory_order_release);
+    self->slot.enter(now_us());
     const bool escaped = process_job(*wc, index, *popped);
-    self->busy_since_us.store(0, std::memory_order_release);
+    self->slot.leave();
 
-    if (escaped) {
-      restarts_.fetch_add(1, std::memory_order_relaxed);
-      wc = std::make_unique<WorkerContext>(options_.processors);
-    }
+    // The restart itself was already counted in process_job (before the
+    // future was fulfilled); here only the context is rebuilt.
+    if (escaped) wc = std::make_unique<WorkerContext>(options_.processors);
     // A watchdog-retired worker finishes the request it was wedged on,
     // then exits; its replacement already owns the slot.
-    if (self->retired.load(std::memory_order_acquire)) break;
+    if (self->slot.retired()) break;
   }
 }
 
 void Service::supervisor_loop() {
   const bool watchdog = options_.wedge_threshold.count() > 0;
-  std::unique_lock<std::mutex> lock(sup_mu_);
-  while (!sup_stop_) {
+  while (!retry_ledger_.stopped()) {
     // Sleep until the earliest due retry, the next watchdog scan, or a
-    // notify (new retry parked / stop requested).
-    auto next = std::chrono::steady_clock::time_point::max();
-    for (const PendingRetry& p : pending_retries_) next = std::min(next, p.due);
+    // ledger event (new retry parked / stop requested).
+    auto cap = std::chrono::steady_clock::time_point::max();
     if (watchdog)
-      next = std::min(next,
-                      std::chrono::steady_clock::now() +
-                          options_.supervisor_period);
-    if (next == std::chrono::steady_clock::time_point::max())
-      sup_cv_.wait(lock,
-                   [this] { return sup_stop_ || !pending_retries_.empty(); });
-    else
-      sup_cv_.wait_until(lock, next);
-    if (sup_stop_) break;
+      cap = std::chrono::steady_clock::now() + options_.supervisor_period;
+    retry_ledger_.wait_due(cap);
+    if (retry_ledger_.stopped()) break;
 
-    // Dispatch due retries outside the lock: the queue push and the
-    // promise fulfillment in finish() must not hold sup_mu_.
-    const auto now = std::chrono::steady_clock::now();
-    std::vector<Job> due;
-    for (std::size_t i = 0; i < pending_retries_.size();) {
-      if (pending_retries_[i].due <= now) {
-        due.push_back(std::move(pending_retries_[i].job));
-        pending_retries_[i] = std::move(pending_retries_.back());
-        pending_retries_.pop_back();
-      } else {
-        ++i;
-      }
-    }
-    lock.unlock();
-    for (Job& job : due) dispatch_retry(std::move(job));
+    // Dispatch due retries with no ledger lock held: the queue push and
+    // the promise fulfillment in finish() must not block parkers.
+    for (Job& job : retry_ledger_.take_due(std::chrono::steady_clock::now()))
+      dispatch_retry(std::move(job));
     if (watchdog) watchdog_scan();
-    lock.lock();
   }
 
   // Stop: flush everything still parked in backoff — shutdown() promises
   // every accepted future is ready when it returns.
-  std::vector<PendingRetry> rest = std::move(pending_retries_);
-  pending_retries_.clear();
-  lock.unlock();
-  for (PendingRetry& p : rest) {
-    Job& job = p.job;
+  for (Job& job : retry_ledger_.drain()) {
+    // Acquire on the token pairs with the canceller's store: observing
+    // the flag also observes whatever state motivated the cancel.
     if (job.req.cancel && job.req.cancel->load(std::memory_order_acquire))
       finish(job, Status::cancelled("cancelled during retry backoff"));
     else if (std::chrono::steady_clock::now() >= job.req.deadline)
@@ -477,6 +455,7 @@ void Service::supervisor_loop() {
 }
 
 void Service::dispatch_retry(Job&& job) {
+  // Acquire: same token pairing as process_job's pre-execution check.
   if (job.req.cancel && job.req.cancel->load(std::memory_order_acquire)) {
     finish(job, Status::cancelled("cancelled during retry backoff"));
     return;
@@ -506,14 +485,7 @@ void Service::dispatch_retry(Job&& job) {
   // supervisor (it also owes the watchdog its scans).
   const auto due =
       std::chrono::steady_clock::now() + options_.retry.backoff_base;
-  {
-    std::lock_guard<std::mutex> lock(sup_mu_);
-    if (!sup_stop_) {
-      pending_retries_.push_back(PendingRetry{due, std::move(job)});
-      sup_cv_.notify_one();
-      return;
-    }
-  }
+  if (retry_ledger_.park(due, std::move(job))) return;
   finish(job, job.last_error.ok()
                   ? Status::unavailable("service shut down during retry")
                   : job.last_error);
@@ -525,18 +497,17 @@ void Service::watchdog_scan() {
           options_.wedge_threshold)
           .count();
   const std::int64_t now = now_us();
-  std::lock_guard<std::mutex> lock(workers_mu_);
+  std::lock_guard<Sync::mutex> lock(workers_mu_);
   // During shutdown the drain IS slow work finishing — never retire then
   // (and never spawn a worker shutdown() could miss; see shutdown()).
   if (queue_.closed()) return;
   for (std::size_t i = 0; i < active_.size(); ++i) {
     std::shared_ptr<Worker>& w = active_[i];
-    const std::int64_t busy = w->busy_since_us.load(std::memory_order_acquire);
-    if (busy == 0 || now - busy < threshold_us) continue;
+    if (!w->slot.wedged(now, threshold_us)) continue;
     // Wedged: C++ threads can't be killed, so replace instead. The old
     // thread finishes its request (late), sees retired, and exits; it is
     // joined at shutdown.
-    w->retired.store(true, std::memory_order_release);
+    w->slot.retire();
     watchdog_fires_.fetch_add(1, std::memory_order_relaxed);
     retired_.push_back(std::move(w));
     active_[i] = spawn_worker_locked(i);
@@ -559,7 +530,7 @@ ServiceStats Service::stats() const {
   s.watchdog_fires = watchdog_fires_.load(std::memory_order_relaxed);
   s.queue_depth = queue_.size();
   {
-    std::lock_guard<std::mutex> lock(workers_mu_);
+    std::lock_guard<Sync::mutex> lock(workers_mu_);
     s.workers = active_.size();
   }
   const std::uint64_t allocs = support::scoped_allocs();

@@ -64,9 +64,7 @@
 #pragma once
 
 #include <array>
-#include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -75,7 +73,6 @@
 #include <mutex>
 #include <optional>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "core/match_result.h"
@@ -83,6 +80,9 @@
 #include "core/run.h"
 #include "list/linked_list.h"
 #include "serve/queue.h"
+#include "serve/retry_ledger.h"
+#include "serve/sync_policy.h"
+#include "serve/worker_slot.h"
 #include "support/status.h"
 
 namespace llmp::serve {
@@ -145,10 +145,12 @@ struct ServiceOptions {
 
 /// Shared cancellation flag: submitter sets it, workers poll it at
 /// dequeue (and the retry scheduler when a backoff expires). Copyable and
-/// cheap; one token may cover a whole batch.
-using CancelToken = std::shared_ptr<std::atomic<bool>>;
+/// cheap; one token may cover a whole batch. (The policy atomic IS a
+/// std::atomic<bool>; serve/sync_policy.h explains why serve spells it
+/// this way.)
+using CancelToken = std::shared_ptr<StdSyncPolicy::atomic<bool>>;
 inline CancelToken make_cancel_token() {
-  return std::make_shared<std::atomic<bool>>(false);
+  return std::make_shared<StdSyncPolicy::atomic<bool>>(false);
 }
 
 struct Request {
@@ -231,6 +233,12 @@ class Service {
   const ServiceOptions& options() const { return options_; }
 
  private:
+  /// The production sync vocabulary. Service itself always runs on std::
+  /// primitives; its extracted concurrency slices (BoundedQueue,
+  /// RetryLedger, WorkerSlot) are the parts the model checker re-compiles
+  /// against McSyncPolicy (see docs/MODELCHECK.md).
+  using Sync = StdSyncPolicy;
+
   struct Job {
     Request req;
     core::MatchOptions resolved;
@@ -243,25 +251,17 @@ class Service {
     std::promise<Result<core::MatchResult>> promise;
   };
 
-  /// One worker thread's identity: liveness + wedge tracking. Retired
+  /// One worker thread's identity; liveness + wedge tracking lives in
+  /// the WorkerSlot (the model-checked watchdog handshake). Retired
   /// handles stay in retired_ until shutdown joins them.
   struct Worker {
-    std::thread thread;
-    /// steady_clock µs when the current request started; 0 = idle.
-    std::atomic<std::int64_t> busy_since_us{0};
-    /// Set by the watchdog: finish the current request, then exit.
-    std::atomic<bool> retired{false};
+    Sync::thread thread;
+    WorkerSlot<Sync> slot;
   };
 
   /// Everything a worker rebuilds on a supervision restart: the backend,
   /// the pooled Context and the persistent result scratch.
   struct WorkerContext;
-
-  /// A request waiting out its retry backoff (owned by the supervisor).
-  struct PendingRetry {
-    std::chrono::steady_clock::time_point due;
-    Job job;
-  };
 
   void worker_main(std::shared_ptr<Worker> self, std::size_t index);
   /// Run one dequeued job; returns true when an exception escaped (the
@@ -285,50 +285,51 @@ class Service {
   ServiceOptions options_;
   core::MatchOptions fallback_options_;  ///< canonical `sequential`
   BoundedQueue<Job> queue_;
-  std::atomic<bool> shut_down_{false};
-  std::atomic<std::uint64_t> next_id_{0};
+  Sync::atomic<bool> shut_down_{false};
+  Sync::atomic<std::uint64_t> next_id_{0};
 
   // Worker table: active_[i] is slot i's current worker; a watchdog
   // replacement moves the old handle to retired_ and installs a fresh one
   // in place. Both vectors are guarded by workers_mu_.
-  mutable std::mutex workers_mu_;
+  mutable Sync::mutex workers_mu_;
   std::vector<std::shared_ptr<Worker>> active_;
   std::vector<std::shared_ptr<Worker>> retired_;
 
-  // Supervisor: retry scheduling + watchdog. The thread exists only when
-  // the options can need it (retries enabled or watchdog on).
-  std::thread supervisor_;
-  std::mutex sup_mu_;
-  std::condition_variable sup_cv_;
-  bool sup_stop_ = false;
-  std::vector<PendingRetry> pending_retries_;
+  // Supervisor: retry scheduling (parked in the RetryLedger) + watchdog.
+  // The thread exists only when the options can need it (retries enabled
+  // or watchdog on).
+  Sync::thread supervisor_;
+  RetryLedger<Job, Sync> retry_ledger_;
 
   // Degradation tracking, indexed by core::Algorithm.
   static constexpr std::size_t kAlgos = 6;
-  std::array<std::atomic<std::uint32_t>, kAlgos> consec_failures_{};
-  std::array<std::atomic<std::uint32_t>, kAlgos> probe_seq_{};
+  std::array<Sync::atomic<std::uint32_t>, kAlgos> consec_failures_{};
+  std::array<Sync::atomic<std::uint32_t>, kAlgos> probe_seq_{};
 
-  // Stats. Plain atomics, relaxed: stats() is a monitoring snapshot, not
-  // a synchronization point.
-  std::atomic<std::uint64_t> submitted_{0};
-  std::atomic<std::uint64_t> completed_{0};
-  std::atomic<std::uint64_t> ok_{0};
-  std::atomic<std::uint64_t> rejected_{0};
-  std::atomic<std::uint64_t> cancelled_{0};
-  std::atomic<std::uint64_t> expired_{0};
-  std::atomic<std::uint64_t> failed_{0};
-  std::atomic<std::uint64_t> restarts_{0};
-  std::atomic<std::uint64_t> retries_{0};
-  std::atomic<std::uint64_t> quarantined_{0};
-  std::atomic<std::uint64_t> degraded_{0};
-  std::atomic<std::uint64_t> watchdog_fires_{0};
-  std::atomic<std::uint64_t> arena_takes_{0};
-  std::atomic<std::uint64_t> arena_hits_{0};
-  std::atomic<std::uint64_t> alloc_baseline_{0};
+  // Stats. Plain atomics, every access relaxed: each counter is an
+  // independent monotonic tally and stats() is a monitoring snapshot that
+  // promises no cross-counter consistency — no reader orders other memory
+  // against these, so there is no invariant a stronger order would
+  // protect (memory-order audit, docs/MODELCHECK.md).
+  Sync::atomic<std::uint64_t> submitted_{0};
+  Sync::atomic<std::uint64_t> completed_{0};
+  Sync::atomic<std::uint64_t> ok_{0};
+  Sync::atomic<std::uint64_t> rejected_{0};
+  Sync::atomic<std::uint64_t> cancelled_{0};
+  Sync::atomic<std::uint64_t> expired_{0};
+  Sync::atomic<std::uint64_t> failed_{0};
+  Sync::atomic<std::uint64_t> restarts_{0};
+  Sync::atomic<std::uint64_t> retries_{0};
+  Sync::atomic<std::uint64_t> quarantined_{0};
+  Sync::atomic<std::uint64_t> degraded_{0};
+  Sync::atomic<std::uint64_t> watchdog_fires_{0};
+  Sync::atomic<std::uint64_t> arena_takes_{0};
+  Sync::atomic<std::uint64_t> arena_hits_{0};
+  Sync::atomic<std::uint64_t> alloc_baseline_{0};
   /// Latency histogram: bucket i counts requests with latency in
   /// (2^(i-1), 2^i] microseconds (bucket 0: <= 1 µs).
   static constexpr std::size_t kLatencyBuckets = 48;
-  std::array<std::atomic<std::uint64_t>, kLatencyBuckets> latency_{};
+  std::array<Sync::atomic<std::uint64_t>, kLatencyBuckets> latency_{};
 };
 
 }  // namespace llmp::serve

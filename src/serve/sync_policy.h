@@ -1,0 +1,171 @@
+// Sync policies — the one place in src/serve allowed to spell std::mutex.
+//
+// The serve primitives (BoundedQueue, RetryLedger, WorkerSlot, and the
+// supervision slices of Service) are templates over a *sync policy*: a
+// vocabulary type exporting `mutex`, `condition_variable`, `atomic<T>`,
+// `shared<T>`, `thread` and `yield()`. Production code instantiates them
+// with StdSyncPolicy (plain std:: primitives, zero overhead); the model
+// checker instantiates the *identical source* with McSyncPolicy, whose
+// primitives are the instrumented mc:: shims — so the code the checker
+// explores is the code that ships, not a hand-maintained model of it.
+//
+// `shared<T>` is the policy-level face of mc::cell<T>: plain mutable state
+// that the surrounding mutexes/atomics are supposed to order. Reads go
+// through .r(), writes through .w(); under StdSyncPolicy both are free
+// passthroughs, under McSyncPolicy each access is vector-clock
+// race-checked, so a forgotten lock surfaces as a reported data race.
+//
+// Every constructor takes an optional name so mc traces read
+// "mutex 'queue.mu'" instead of "mutex #3"; StdSyncPolicy ignores it.
+//
+// llmp_lint enforces the boundary: raw std:: synchronization tokens
+// anywhere else under src/serve are a lint error (rule serve-raw-sync).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "mc/sync.h"
+
+namespace llmp::serve {
+
+/// Production policy: thin name-swallowing wrappers over std::.
+struct StdSyncPolicy {
+  class mutex {
+   public:
+    mutex() = default;
+    explicit mutex(const char* /*name*/) {}
+    mutex(const mutex&) = delete;
+    mutex& operator=(const mutex&) = delete;
+
+    void lock() { m_.lock(); }
+    void unlock() { m_.unlock(); }
+    bool try_lock() { return m_.try_lock(); }
+    std::mutex& native() { return m_; }
+
+   private:
+    std::mutex m_;
+  };
+
+  class condition_variable {
+   public:
+    condition_variable() = default;
+    explicit condition_variable(const char* /*name*/) {}
+    condition_variable(const condition_variable&) = delete;
+    condition_variable& operator=(const condition_variable&) = delete;
+
+    void notify_one() { cv_.notify_one(); }
+    void notify_all() { cv_.notify_all(); }
+
+    void wait(std::unique_lock<mutex>& lk) {
+      // The wrapper mutex is not std::mutex, so bridge via adopt/release:
+      // the caller's lock stays logically held across the wait.
+      std::unique_lock<std::mutex> base(lk.mutex()->native(),
+                                        std::adopt_lock);
+      cv_.wait(base);
+      base.release();
+    }
+    template <class Pred>
+    void wait(std::unique_lock<mutex>& lk, Pred pred) {
+      while (!pred()) wait(lk);
+    }
+    template <class Clock, class Duration>
+    std::cv_status wait_until(
+        std::unique_lock<mutex>& lk,
+        const std::chrono::time_point<Clock, Duration>& tp) {
+      std::unique_lock<std::mutex> base(lk.mutex()->native(),
+                                        std::adopt_lock);
+      const std::cv_status st = cv_.wait_until(base, tp);
+      base.release();
+      return st;
+    }
+    template <class Clock, class Duration, class Pred>
+    bool wait_until(std::unique_lock<mutex>& lk,
+                    const std::chrono::time_point<Clock, Duration>& tp,
+                    Pred pred) {
+      while (!pred())
+        if (wait_until(lk, tp) == std::cv_status::timeout) return pred();
+      return true;
+    }
+    template <class Rep, class Period>
+    std::cv_status wait_for(std::unique_lock<mutex>& lk,
+                            const std::chrono::duration<Rep, Period>& d) {
+      std::unique_lock<std::mutex> base(lk.mutex()->native(),
+                                        std::adopt_lock);
+      const std::cv_status st = cv_.wait_for(base, d);
+      base.release();
+      return st;
+    }
+    template <class Rep, class Period, class Pred>
+    bool wait_for(std::unique_lock<mutex>& lk,
+                  const std::chrono::duration<Rep, Period>& d, Pred pred) {
+      while (!pred())
+        if (wait_for(lk, d) == std::cv_status::timeout) return pred();
+      return true;
+    }
+
+   private:
+    std::condition_variable cv_;
+  };
+
+  template <class T>
+  class atomic : public std::atomic<T> {
+   public:
+    atomic() noexcept : std::atomic<T>(T{}) {}
+    explicit atomic(T v, const char* /*name*/ = "") noexcept
+        : std::atomic<T>(v) {}
+  };
+
+  /// Plain shared state: free passthrough here, race-checked under mc.
+  template <class T>
+  class shared {
+   public:
+    shared() = default;
+    explicit shared(T v, const char* /*name*/ = "") : v_(std::move(v)) {}
+    shared(const shared&) = delete;
+    shared& operator=(const shared&) = delete;
+
+    T& w() { return v_; }
+    const T& r() const { return v_; }
+
+   private:
+    T v_;
+  };
+
+  class thread : public std::thread {
+   public:
+    thread() = default;
+    template <class F>
+    explicit thread(F f, const char* /*name*/ = "")
+        : std::thread(std::move(f)) {}
+    thread(thread&&) = default;
+    thread& operator=(thread&&) = default;
+  };
+
+  static void yield() { std::this_thread::yield(); }
+
+  static constexpr bool kModelChecked = false;
+};
+
+/// Model-checking policy: every primitive is an instrumented mc:: shim and
+/// every access a scheduling point. Only usable inside mc::check/replay.
+struct McSyncPolicy {
+  using mutex = mc::mutex;
+  using condition_variable = mc::condition_variable;
+  template <class T>
+  using atomic = mc::atomic<T>;
+  template <class T>
+  using shared = mc::cell<T>;
+  using thread = mc::thread;
+
+  static void yield() { mc::this_thread::yield(); }
+
+  static constexpr bool kModelChecked = true;
+};
+
+}  // namespace llmp::serve

@@ -1,0 +1,62 @@
+// WorkerSlot — the watchdog/worker handshake, one slot per worker thread.
+//
+// A worker publishes "busy on one request since T" on entry and clears it
+// on exit; the watchdog reads the timestamp from another thread and, when
+// the worker looks wedged, flips `retired` so the worker exits after the
+// request it is stuck on finally completes. Extracted from Service so the
+// handshake is a self-contained, model-checkable unit (scenario
+// worker-handoff in src/mc/scenarios.cpp): the property is that a retire
+// is never lost — a worker that leaves its busy window always observes a
+// retire that happened inside it.
+//
+// Memory orders: busy_since_us is written by the worker with release and
+// read by the watchdog with acquire, so a watchdog that sees busy != 0
+// also sees every write the worker made before entering the request
+// (invariant: the wedge diagnosis reads a fully published busy window).
+// `retired` is release/acquire the other way: the worker that observes
+// retired == true also observes why (the watchdog's bookkeeping preceding
+// the store).
+#pragma once
+
+#include <cstdint>
+
+#include "serve/sync_policy.h"
+
+namespace llmp::serve {
+
+template <class Sync = StdSyncPolicy>
+class WorkerSlot {
+ public:
+  WorkerSlot() = default;
+  WorkerSlot(const WorkerSlot&) = delete;
+  WorkerSlot& operator=(const WorkerSlot&) = delete;
+
+  /// Worker: a request starts now (steady_clock µs; must be nonzero).
+  void enter(std::int64_t now_us) {
+    busy_since_us_.store(now_us, std::memory_order_release);
+  }
+  /// Worker: the request finished; 0 = idle, invisible to the watchdog.
+  void leave() { busy_since_us_.store(0, std::memory_order_release); }
+
+  /// Watchdog: when the current request started, or 0 if idle.
+  std::int64_t busy_since_us() const {
+    return busy_since_us_.load(std::memory_order_acquire);
+  }
+  /// Watchdog: the worker is mid-request and past the wedge threshold.
+  bool wedged(std::int64_t now_us, std::int64_t threshold_us) const {
+    const std::int64_t busy = busy_since_us();
+    return busy != 0 && now_us - busy >= threshold_us;
+  }
+
+  /// Watchdog: finish the current request, then exit (a replacement owns
+  /// the slot index from here on).
+  void retire() { retired_.store(true, std::memory_order_release); }
+  bool retired() const { return retired_.load(std::memory_order_acquire); }
+
+ private:
+  typename Sync::template atomic<std::int64_t> busy_since_us_{
+      0, "slot.busy_since_us"};
+  typename Sync::template atomic<bool> retired_{false, "slot.retired"};
+};
+
+}  // namespace llmp::serve

@@ -176,6 +176,8 @@ void arm(std::string_view name, std::vector<Rule> rules) {
   std::lock_guard<std::mutex> lock(reg.mu);
   auto [it, inserted] = reg.points.try_emplace(std::string(name));
   Point& p = it->second;
+  // Relaxed: g_armed is only the fast-path hint; reg.mu (held here and
+  // in hit()) is what orders the registry contents themselves.
   if (inserted) detail::g_armed.fetch_add(1, std::memory_order_relaxed);
   p.rules = std::move(rules);
   p.fired.assign(p.rules.size(), 0);
@@ -190,12 +192,14 @@ void disarm(std::string_view name) {
   auto it = reg.points.find(name);
   if (it == reg.points.end()) return;
   reg.points.erase(it);
+  // Relaxed: hint only; see any_armed() in the header.
   detail::g_armed.fetch_sub(1, std::memory_order_relaxed);
 }
 
 void disarm_all() {
   Registry& reg = registry();
   std::lock_guard<std::mutex> lock(reg.mu);
+  // Relaxed: hint only; see any_armed() in the header.
   detail::g_armed.fetch_sub(static_cast<int>(reg.points.size()),
                             std::memory_order_relaxed);
   reg.points.clear();

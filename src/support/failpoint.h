@@ -117,6 +117,10 @@ Status hit_status(const char* name);
 }  // namespace detail
 
 /// True iff at least one failpoint is armed (the fast-path gate).
+/// Relaxed by design: the gate is a hint, not a synchronization point —
+/// a stale read only routes the site into (or past) hit(), which takes
+/// the registry lock and re-checks under it. Arm/disarm visibility is
+/// carried by that lock, never by g_armed.
 inline bool any_armed() {
   return detail::g_armed.load(std::memory_order_relaxed) != 0;
 }

@@ -1,9 +1,15 @@
 #include "support/format.h"
 
 #include <algorithm>
+#include <cctype>
+#include <chrono>
 #include <cstdint>
+#include <cstdlib>
+#include <ctime>
 #include <iomanip>
 #include <sstream>
+#include <thread>
+#include <vector>
 
 #include "support/check.h"
 
@@ -11,6 +17,17 @@ namespace llmp::fmt {
 
 namespace {
 TableStyle g_table_style = TableStyle::kAligned;
+
+struct CapturedTable {
+  std::vector<std::string> headers;
+  std::vector<std::vector<std::string>> rows;
+};
+
+bool g_json_capture = false;
+std::vector<CapturedTable>& captured() {
+  static std::vector<CapturedTable> tables;
+  return tables;
+}
 
 /// CSV cell: quoted (with doubled inner quotes) when it contains a comma,
 /// quote, or newline — fmt::num's thousands separators make commas common.
@@ -41,6 +58,7 @@ void Table::add_row(std::vector<std::string> cells) {
 }
 
 void Table::print(std::ostream& os) const {
+  if (g_json_capture) captured().push_back({headers_, rows_});
   if (g_table_style == TableStyle::kCsv) {
     print_csv(os);
     return;
@@ -80,6 +98,133 @@ void Table::print_aligned(std::ostream& os) const {
   }
   os << '\n';
   for (const auto& row : rows_) line(row);
+}
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char ch : s) {
+    switch (ch) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out.push_back(ch);
+    }
+  }
+  return out;
+}
+
+/// Leading numeric value of a table cell: thousands separators stripped,
+/// trailing annotations ("4128 (1.01x)") ignored. False when the cell
+/// does not start with a number.
+bool cell_number(const std::string& cell, double* out) {
+  std::string digits;
+  digits.reserve(cell.size());
+  for (char ch : cell) {
+    if (ch == ',') continue;  // fmt::num thousands separator
+    digits.push_back(ch);
+  }
+  const char* begin = digits.c_str();
+  char* end = nullptr;
+  const double v = std::strtod(begin, &end);
+  if (end == begin) return false;
+  *out = v;
+  return true;
+}
+
+/// Headers that would collide with google-benchmark's fixed entry keys.
+bool reserved_json_key(const std::string& key) {
+  return key == "name" || key == "run_name" || key == "run_type" ||
+         key == "repetitions" || key == "repetition_index" ||
+         key == "threads" || key == "iterations" || key == "real_time" ||
+         key == "cpu_time" || key == "time_unit";
+}
+
+bool header_is_time_ms(const std::string& header) {
+  std::string lower;
+  for (char ch : header)
+    lower.push_back(static_cast<char>(std::tolower(ch)));
+  return lower.find("ms") != std::string::npos;
+}
+
+}  // namespace
+
+void enable_json_capture(bool on) {
+  // Touch the collector now: callers register an atexit flush right
+  // after enabling, and the callback must run before the function-local
+  // static's destructor — which requires construction to happen first.
+  captured();
+  g_json_capture = on;
+}
+bool json_capture_enabled() { return g_json_capture; }
+void reset_json_capture() { captured().clear(); }
+
+std::string render_captured_json(const std::string& executable) {
+  std::ostringstream os;
+  const std::time_t now =
+      std::chrono::system_clock::to_time_t(std::chrono::system_clock::now());
+  char date[64] = "unknown";
+  if (std::tm tm{}; localtime_r(&now, &tm) != nullptr)
+    std::strftime(date, sizeof date, "%Y-%m-%dT%H:%M:%S%z", &tm);
+  os << "{\n"
+     << "  \"context\": {\n"
+     << "    \"date\": \"" << date << "\",\n"
+     << "    \"executable\": \"" << json_escape(executable) << "\",\n"
+     << "    \"num_cpus\": " << std::thread::hardware_concurrency() << ",\n"
+     << "    \"mhz_per_cpu\": 0,\n"
+     << "    \"cpu_scaling_enabled\": false,\n"
+     << "    \"caches\": [],\n"
+     << "    \"library_version\": \"llmp-fmt\",\n"
+     << "    \"build_type\": \"unknown\"\n"
+     << "  },\n"
+     << "  \"benchmarks\": [\n";
+  bool first_entry = true;
+  for (const CapturedTable& t : captured()) {
+    for (const auto& row : t.rows) {
+      if (row.empty()) continue;
+      if (!first_entry) os << ",\n";
+      first_entry = false;
+      const std::string name =
+          json_escape(t.headers[0] + "/" + row[0]);
+      double real_time = 0.0;
+      std::ostringstream counters;
+      for (std::size_t c = 1; c < row.size(); ++c) {
+        double v = 0.0;
+        if (!cell_number(row[c], &v)) continue;
+        if (real_time == 0.0 && header_is_time_ms(t.headers[c]))
+          real_time = v;
+        std::string key = json_escape(t.headers[c]);
+        if (reserved_json_key(key)) key = "col_" + key;
+        counters << ",\n      \"" << key << "\": " << v;
+      }
+      os << "    {\n"
+         << "      \"name\": \"" << name << "\",\n"
+         << "      \"run_name\": \"" << name << "\",\n"
+         << "      \"run_type\": \"iteration\",\n"
+         << "      \"repetitions\": 1,\n"
+         << "      \"repetition_index\": 0,\n"
+         << "      \"threads\": 1,\n"
+         << "      \"iterations\": 1,\n"
+         << "      \"real_time\": " << real_time << ",\n"
+         << "      \"cpu_time\": " << real_time << ",\n"
+         << "      \"time_unit\": \"ms\"" << counters.str() << "\n"
+         << "    }";
+    }
+  }
+  os << "\n  ]\n}\n";
+  return os.str();
 }
 
 std::string num(double v, int precision) {

@@ -39,6 +39,21 @@ class Table {
   std::vector<std::vector<std::string>> rows_;
 };
 
+/// google-benchmark-compatible JSON mirroring. While capture is enabled,
+/// every Table::print additionally appends its rows to a process-wide
+/// collector; render_captured_json() emits the collected rows in
+/// google-benchmark's JSON schema (a "context" block plus a "benchmarks"
+/// array), so sweep tooling that already ingests
+/// `--benchmark_format=json` output can ingest llmp tables unchanged.
+/// Each row becomes one entry named "<first-header>/<first-cell>"; every
+/// numeric column rides along as a counter keyed by its header, and a
+/// column whose header mentions "ms" feeds real_time/cpu_time. The bench
+/// binaries switch this on under --json (see bench/bench_common.h).
+void enable_json_capture(bool on);
+bool json_capture_enabled();
+void reset_json_capture();
+std::string render_captured_json(const std::string& executable);
+
 /// Fixed-precision double → string (benches align on width).
 std::string num(double v, int precision = 2);
 

@@ -1,0 +1,17 @@
+// Fixture: a raw std sync primitive in serve code. The serve layer must
+// spell synchronisation through a Sync policy (serve/sync_policy.h) so
+// the identical source compiles against the mc:: shims; naming
+// std::mutex directly breaks that (serve-raw-sync, line 10).
+#include <mutex>
+
+namespace fixture {
+
+inline int locked_increment(int v) {
+  static std::mutex mu;
+  mu.lock();
+  ++v;
+  mu.unlock();
+  return v;
+}
+
+}  // namespace fixture

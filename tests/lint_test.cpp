@@ -31,10 +31,13 @@ std::string read_file(const std::string& path) {
 }
 
 /// Lints a fixture under a synthetic src/ path, so the src/-scoped
-/// unchecked-index rule applies to it too.
+/// unchecked-index rule applies to it too. Fixtures named serve_* are
+/// linted under a synthetic src/serve/ path so the serve-scoped rules
+/// fire as they would in the real tree.
 std::vector<Finding> lint_fixture(const std::string& name) {
-  return lint_source("src/lint_fixtures/" + name,
-                     read_file(fixture_dir() + name));
+  const std::string prefix =
+      name.rfind("serve_", 0) == 0 ? "src/serve/" : "src/lint_fixtures/";
+  return lint_source(prefix + name, read_file(fixture_dir() + name));
 }
 
 struct Expected {
@@ -53,6 +56,7 @@ constexpr Expected kBadFixtures[] = {
     {"include_order_unsorted.h", "include-order", 8},
     {"unchecked_index.cc", "unchecked-index", 11},
     {"failpoint_bad_name.cc", "failpoint-name", 7},
+    {"serve_raw_sync.cc", "serve-raw-sync", 10},
 };
 
 TEST(LintFixtures, EachBadFixtureTriggersExactlyItsRule) {
@@ -135,6 +139,33 @@ TEST(LintScope, ServeLayerIsExemptFromStepRulesOnly) {
   const auto fs = lint_source("src/serve/y.h", no_pragma);
   ASSERT_EQ(fs.size(), 1u);
   EXPECT_EQ(fs[0].rule, "header-pragma-once");
+}
+
+TEST(LintScope, ServeRawSyncAppliesOnlyUnderServe) {
+  const std::string raw =
+      "#pragma once\n"
+      "#include <atomic>\n"
+      "inline std::atomic<int> counter{0};\n";
+  // Outside src/serve/ the primitives are fair game…
+  EXPECT_TRUE(lint_source("src/support/x.h", raw).empty());
+  // …inside it they must go through the policy…
+  const auto fs = lint_source("src/serve/x.h", raw);
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].rule, "serve-raw-sync");
+  EXPECT_EQ(fs[0].line, 3);
+  // …except in sync_policy.h itself, the policies' one sanctioned home.
+  EXPECT_TRUE(lint_source("src/serve/sync_policy.h", raw).empty());
+  // A comment naming std::mutex is not a finding (the lexer strips it),
+  // and the suppression comment works as for every other rule.
+  EXPECT_TRUE(
+      lint_source("src/serve/y.h",
+                  "#pragma once\n// std::mutex is spelled here on purpose\n")
+          .empty());
+  EXPECT_TRUE(lint_source("src/serve/z.h",
+                          "#pragma once\n#include <thread>\n"
+                          "inline void f() { std::thread t; "
+                          "t.join(); }  // lint:allow(serve-raw-sync)\n")
+                  .empty());
 }
 
 TEST(LintRepo, SourceTreeIsClean) {

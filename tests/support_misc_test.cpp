@@ -42,6 +42,47 @@ TEST(Format, TableRejectsWrongArity) {
   EXPECT_THROW(t.add_row({"only one"}), check_error);
 }
 
+TEST(Format, JsonCaptureMirrorsPrintedTables) {
+  fmt::reset_json_capture();
+  fmt::enable_json_capture(true);
+  fmt::Table t({"n", "steps", "wall ms"});
+  t.add_row({"2^16", "4,128 (1.01x)", "12.50"});
+  t.add_row({"2^17", "8,256", "25.00"});
+  std::ostringstream os;
+  t.print(os);
+  fmt::enable_json_capture(false);
+
+  const std::string json = fmt::render_captured_json("bench_x");
+  fmt::reset_json_capture();
+  // google-benchmark schema: a context block and one entry per row.
+  EXPECT_NE(json.find("\"context\""), std::string::npos);
+  EXPECT_NE(json.find("\"executable\": \"bench_x\""), std::string::npos);
+  EXPECT_NE(json.find("\"benchmarks\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"n/2^16\""), std::string::npos);
+  EXPECT_NE(json.find("\"run_type\": \"iteration\""), std::string::npos);
+  EXPECT_NE(json.find("\"time_unit\": \"ms\""), std::string::npos);
+  // Numeric columns ride along as counters: thousands separators and
+  // trailing annotations are stripped to the leading value.
+  EXPECT_NE(json.find("\"steps\": 4128"), std::string::npos);
+  EXPECT_NE(json.find("\"steps\": 8256"), std::string::npos);
+  // The ms-ish column feeds real_time/cpu_time.
+  EXPECT_NE(json.find("\"real_time\": 12.5"), std::string::npos);
+  EXPECT_NE(json.find("\"cpu_time\": 25"), std::string::npos);
+}
+
+TEST(Format, JsonCaptureIsInertWhenDisabled) {
+  fmt::reset_json_capture();
+  ASSERT_FALSE(fmt::json_capture_enabled());
+  fmt::Table t({"a"});
+  t.add_row({"1"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string json = fmt::render_captured_json("x");
+  EXPECT_EQ(json.find("\"name\""), std::string::npos)
+      << "table captured while capture was disabled:\n"
+      << json;
+}
+
 TEST(Rng, DeterministicPerSeed) {
   rng::Xoshiro256 a(7), b(7), c(8);
   for (int i = 0; i < 100; ++i) {

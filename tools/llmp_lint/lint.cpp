@@ -505,6 +505,39 @@ void check_failpoint_rules(const std::string& path,
 }
 
 // ---------------------------------------------------------------------------
+// serve-raw-sync: serve code must go through the sync-policy vocabulary.
+// ---------------------------------------------------------------------------
+
+/// std:: names that bypass the Sync policy. lock_guard / unique_lock are
+/// deliberately absent: they are templated over the policy's mutex type
+/// and work unchanged under the mc:: shims.
+bool is_raw_sync_name(const std::string& t) {
+  return t == "atomic" || t == "atomic_flag" || t == "mutex" ||
+         t == "recursive_mutex" || t == "timed_mutex" ||
+         t == "shared_mutex" || t == "condition_variable" ||
+         t == "condition_variable_any" || t == "thread" || t == "jthread" ||
+         t == "this_thread";
+}
+
+void check_serve_sync_rules(const std::string& path,
+                            const std::vector<Token>& toks,
+                            std::vector<Finding>& findings) {
+  for (std::size_t i = 0; i + 3 < toks.size(); ++i) {
+    if (!(toks[i].ident() && toks[i].text == "std")) continue;
+    if (!(toks[i + 1].is(":") && toks[i + 2].is(":"))) continue;
+    const Token& name = toks[i + 3];
+    if (!name.ident() || !is_raw_sync_name(name.text)) continue;
+    findings.push_back(
+        {path, name.line, "serve-raw-sync",
+         "raw std::" + name.text +
+             " in serve code; spell synchronisation through a Sync policy "
+             "(serve/sync_policy.h) so the source stays model-checkable "
+             "under the mc:: shims"});
+    i += 3;
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Driver.
 // ---------------------------------------------------------------------------
 
@@ -521,6 +554,16 @@ bool under_src(const std::string& path) {
 bool under_serve(const std::string& path) {
   return path.find("src/serve/") == 0 ||
          path.find("/src/serve/") != std::string::npos;
+}
+
+// serve/sync_policy.h is the single sanctioned home of the raw std::
+// primitives: it wraps them into the policy vocabulary everything else
+// in src/serve/ must use.
+bool is_sync_policy_header(const std::string& path) {
+  const std::string suffix = "sync_policy.h";
+  return path.size() >= suffix.size() &&
+         path.compare(path.size() - suffix.size(), suffix.size(), suffix) ==
+             0;
 }
 
 void apply_suppressions(const LexOutput& lx, std::vector<Finding>& findings) {
@@ -541,7 +584,7 @@ const std::vector<std::string>& all_rule_ids() {
   static const std::vector<std::string> ids = {
       "step-raw-index",  "step-ref-capture", "step-read-after-write",
       "header-pragma-once", "include-order", "unchecked-index",
-      "failpoint-name"};
+      "failpoint-name", "serve-raw-sync"};
   return ids;
 }
 
@@ -556,6 +599,9 @@ std::vector<Finding> lint_source(const std::string& path,
   if (opt.check_guards && under_src(path))
     check_guard_rules(path, lx.tokens, findings);
   if (opt.check_failpoints) check_failpoint_rules(path, lx.tokens, findings);
+  if (opt.check_serve_sync && under_serve(path) &&
+      !is_sync_policy_header(path))
+    check_serve_sync_rules(path, lx.tokens, findings);
   apply_suppressions(lx, findings);
   std::sort(findings.begin(), findings.end());
   return findings;

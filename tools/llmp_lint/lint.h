@@ -26,6 +26,14 @@
 //   unchecked-index       A function subscripts a std::vector parameter
 //                         without any LLMP_CHECK/LLMP_DCHECK guard in its
 //                         body (src/ only).
+//   serve-raw-sync        A file under src/serve/ names a raw std sync
+//                         primitive (std::atomic / std::mutex /
+//                         std::condition_variable / std::thread /
+//                         std::this_thread, and friends) outside
+//                         serve/sync_policy.h. Serve code must spell its
+//                         synchronisation through a Sync policy so the
+//                         same source compiles against the mc:: shims and
+//                         stays model-checkable (docs/MODELCHECK.md).
 //   failpoint-name        An LLMP_FAILPOINT / LLMP_FAILPOINT_STATUS site
 //                         whose name literal is not `file.scope.event`
 //                         (exactly three lowercase [a-z0-9_] segments), or
@@ -69,6 +77,7 @@ struct Options {
   bool check_headers = true;  // header-pragma-once / include-order
   bool check_guards = true;   // unchecked-index (applied under src/ only)
   bool check_failpoints = true;  // failpoint-name (uniqueness needs lint_tree)
+  bool check_serve_sync = true;  // serve-raw-sync (applied under src/serve/)
 };
 
 /// Every rule id the linter can emit, in a stable order.

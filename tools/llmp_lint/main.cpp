@@ -1,7 +1,7 @@
 // llmp_lint CLI. Usage:
 //
 //   llmp_lint [--list-rules] [--no-steps] [--no-headers] [--no-guards]
-//             [--no-failpoints] [path ...]
+//             [--no-failpoints] [--no-serve-sync] [path ...]
 //
 // Paths may be files or directories (recursed for .h/.cpp/.cc); with no
 // paths the tool lints src/, bench/, and examples/ relative to the current
@@ -30,10 +30,12 @@ int main(int argc, char** argv) {
       opt.check_guards = false;
     } else if (arg == "--no-failpoints") {
       opt.check_failpoints = false;
+    } else if (arg == "--no-serve-sync") {
+      opt.check_serve_sync = false;
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: llmp_lint [--list-rules] [--no-steps] [--no-headers] "
-          "[--no-guards] [--no-failpoints] [path ...]\n");
+          "[--no-guards] [--no-failpoints] [--no-serve-sync] [path ...]\n");
       return 0;
     } else {
       roots.push_back(arg);

@@ -1,0 +1,233 @@
+// llmp_mc — bounded model checker for the serve primitives.
+//
+// Exhaustively explores the interleavings of small concurrent scenarios
+// over the production BoundedQueue / RetryLedger / WorkerSlot templates
+// (instantiated with McSyncPolicy) under a preemption bound, and proves
+// its own teeth by checking that each seeded queue mutation is caught.
+//
+//   llmp_mc                         # full CI gate: clean + mutation matrix
+//   llmp_mc --list                  # scenario inventory
+//   llmp_mc --scenario=queue-mpmc   # one scenario, real implementation
+//   llmp_mc --scenario=queue-mpmc --mutation=double-pop
+//   llmp_mc --scenario=queue-mpmc --mutation=double-pop --replay=t1,t3,w2
+//   llmp_mc --preemptions=3 --seed=0x5eed   # widen / reorder the search
+//
+// Exit status: 0 iff every requested check behaved as required — real
+// implementation clean AND (in the default full run) every mutation
+// caught by at least one scenario that exercises its code path.
+// docs/MODELCHECK.md covers the model and how to add scenarios.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "mc/mc.h"
+#include "mc/scenarios.h"
+#include "support/check.h"
+
+namespace {
+
+using llmp::mc::Options;
+using llmp::mc::Report;
+using llmp::mc::Scenario;
+using llmp::mc::Violation;
+using llmp::mc::ViolationKind;
+using llmp::serve::QueueMutation;
+
+int usage(int code) {
+  std::fprintf(
+      code == 0 ? stdout : stderr,
+      "usage: llmp_mc [--list] [--scenario=NAME] [--mutation=NAME]\n"
+      "               [--replay=SCHEDULE] [--preemptions=N]\n"
+      "               [--max-execs=N] [--seed=HEX]\n"
+      "\n"
+      "No arguments: run every scenario on the real implementation and\n"
+      "verify each seeded mutation (lost-notify, double-pop,\n"
+      "dropped-acquire) is caught. See docs/MODELCHECK.md.\n");
+  return code;
+}
+
+bool flag_value(const std::string& arg, const char* name, std::string* out) {
+  const std::string prefix = std::string(name) + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  *out = arg.substr(prefix.size());
+  return true;
+}
+
+Options tuned(Options base, std::size_t preemptions, std::size_t max_execs,
+              std::uint64_t seed) {
+  if (preemptions != 0) base.preemption_bound = preemptions;
+  if (max_execs != 0) base.max_executions = max_execs;
+  if (seed != 0) base.order_seed = seed;
+  return base;
+}
+
+/// Run one scenario/mutation pair; returns true when the outcome matches
+/// what the pair requires (clean for kNone, caught-or-unreached for a
+/// mutant).
+bool run_one(const Scenario& sc, QueueMutation mutation, const Options& opts,
+             bool verbose, bool* violated = nullptr) {
+  const Report rep = llmp::mc::check(sc.body, opts);
+  if (violated != nullptr) *violated = !rep.ok;
+  const char* mname = llmp::mc::to_string(mutation);
+  if (mutation == QueueMutation::kNone) {
+    if (rep.ok && rep.exhausted) {
+      std::printf("PASS  %-26s %-16s %zu execution(s), %zu pruned\n",
+                  sc.name.c_str(), mname, rep.executions, rep.pruned);
+      return true;
+    }
+    if (rep.ok) {
+      std::printf("FAIL  %-26s %-16s space NOT exhausted after %zu\n",
+                  sc.name.c_str(), mname, rep.executions);
+      return false;
+    }
+    std::printf("FAIL  %-26s %-16s %s\n", sc.name.c_str(), mname,
+                rep.to_string().c_str());
+    return false;
+  }
+
+  // Mutant: a scenario that exercises the mutated path must report one of
+  // its expected kinds; a scenario that cannot reach the bug must still
+  // verify clean (the mutation is a no-op there).
+  if (!rep.ok) {
+    const bool expected =
+        std::find(sc.expected_violation.begin(), sc.expected_violation.end(),
+                  rep.violation.kind) != sc.expected_violation.end();
+    std::printf("%s  %-26s %-16s caught as %s after %zu execution(s)\n",
+                expected ? "PASS" : "FAIL", sc.name.c_str(), mname,
+                llmp::mc::to_string(rep.violation.kind), rep.executions);
+    if (verbose || !expected) {
+      std::printf("      schedule: %s\n",
+                  rep.violation.schedule.empty() ? "(empty)"
+                                                 : rep.violation.schedule.c_str());
+      std::printf("%s\n", rep.violation.trace.c_str());
+    }
+    return expected;
+  }
+  std::printf("ok    %-26s %-16s not reached here (clean, %zu execs)\n",
+              sc.name.c_str(), mname, rep.executions);
+  return true;
+}
+
+int replay_one(const Scenario& sc, const std::string& schedule) {
+  const Violation v = llmp::mc::replay(sc.body, schedule);
+  if (v.kind == ViolationKind::kNone) {
+    std::printf("replay of '%s' ran clean\n  schedule: %s\n", sc.name.c_str(),
+                schedule.c_str());
+    return 0;
+  }
+  std::printf("replay of '%s' reproduced: %s\n  %s\n  trace:\n%s\n",
+              sc.name.c_str(), llmp::mc::to_string(v.kind), v.message.c_str(),
+              v.trace.c_str());
+  // Reproducing a violation is the *successful* outcome of a replay.
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string scenario_name;
+  std::string mutation_name = "none";
+  std::string replay_schedule;
+  bool have_replay = false;
+  bool list = false;
+  std::size_t preemptions = 0;
+  std::size_t max_execs = 0;
+  std::uint64_t seed = 0;
+  bool explicit_scenario = false;
+  bool explicit_mutation = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string v;
+    if (arg == "--help" || arg == "-h") return usage(0);
+    if (arg == "--list") {
+      list = true;
+    } else if (flag_value(arg, "--scenario", &v)) {
+      scenario_name = v;
+      explicit_scenario = true;
+    } else if (flag_value(arg, "--mutation", &v)) {
+      mutation_name = v;
+      explicit_mutation = true;
+    } else if (flag_value(arg, "--replay", &v)) {
+      replay_schedule = v;
+      have_replay = true;
+    } else if (flag_value(arg, "--preemptions", &v)) {
+      preemptions = static_cast<std::size_t>(std::stoul(v));
+    } else if (flag_value(arg, "--max-execs", &v)) {
+      max_execs = static_cast<std::size_t>(std::stoul(v));
+    } else if (flag_value(arg, "--seed", &v)) {
+      seed = std::stoull(v, nullptr, 16);
+    } else {
+      std::fprintf(stderr, "unknown argument '%s'\n", arg.c_str());
+      return usage(2);
+    }
+  }
+
+  try {
+    if (list) {
+      for (const Scenario& sc :
+           llmp::mc::scenarios(QueueMutation::kNone))
+        std::printf("%-26s %s\n", sc.name.c_str(), sc.description.c_str());
+      return 0;
+    }
+
+    const QueueMutation mutation = llmp::mc::parse_mutation(mutation_name);
+
+    if (have_replay) {
+      if (!explicit_scenario) {
+        std::fprintf(stderr, "--replay requires --scenario\n");
+        return usage(2);
+      }
+      return replay_one(llmp::mc::find_scenario(scenario_name, mutation),
+                        replay_schedule);
+    }
+
+    bool all_ok = true;
+    if (explicit_scenario) {
+      const Scenario sc = llmp::mc::find_scenario(scenario_name, mutation);
+      all_ok = run_one(sc, mutation, tuned(sc.opts, preemptions, max_execs,
+                                           seed),
+                       /*verbose=*/true);
+    } else if (explicit_mutation) {
+      for (const Scenario& sc : llmp::mc::scenarios(mutation))
+        all_ok &= run_one(sc, mutation,
+                          tuned(sc.opts, preemptions, max_execs, seed),
+                          /*verbose=*/false);
+    } else {
+      // Full gate. 1) The real implementation verifies clean everywhere.
+      for (const Scenario& sc :
+           llmp::mc::scenarios(QueueMutation::kNone))
+        all_ok &= run_one(sc, QueueMutation::kNone,
+                          tuned(sc.opts, preemptions, max_execs, seed),
+                          /*verbose=*/false);
+      // 2) Every seeded mutation is caught by at least one scenario.
+      for (const QueueMutation m :
+           {QueueMutation::kLostNotify, QueueMutation::kDoublePop,
+            QueueMutation::kDroppedAcquire}) {
+        bool caught = false;
+        for (const Scenario& sc : llmp::mc::scenarios(m)) {
+          if (sc.expected_violation.empty()) continue;  // path unreachable
+          bool violated = false;
+          if (!run_one(sc, m, tuned(sc.opts, preemptions, max_execs, seed),
+                       /*verbose=*/false, &violated))
+            all_ok = false;
+          else if (violated)
+            caught = true;
+        }
+        if (!caught) {
+          std::printf("FAIL  mutation %s was not caught by any scenario\n",
+                      llmp::mc::to_string(m));
+          all_ok = false;
+        }
+      }
+    }
+    std::printf("%s\n", all_ok ? "llmp_mc: all checks passed"
+                               : "llmp_mc: FAILURES (see above)");
+    return all_ok ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "llmp_mc: %s\n", e.what());
+    return 2;
+  }
+}
