@@ -24,6 +24,8 @@
 #include "apps/independent_set.h"
 #include "apps/list_ranking.h"
 #include "apps/three_coloring.h"
+#include "core/sequential.h"
+#include "engine/blocked_match.h"
 #include "llmp.h"
 #include "support/format.h"
 
@@ -92,8 +94,61 @@ void emit(const Args& a, const std::string& what,
   t.print();
 }
 
+/// `match --budget-bytes B`: run through the out-of-core block engine
+/// under a B-byte cache budget instead of the flat path. The result is
+/// still diffed against core::sequential_matching, and the engine's
+/// cache counters ride along in the emitted fields.
+int cmd_match_blocked(const Args& a, const list::LinkedList& lst) {
+  llmp::Context ctx(static_cast<std::size_t>(a.num("p", 1024)));
+  const std::size_t budget =
+      static_cast<std::size_t>(a.num("budget-bytes", 0));
+  ctx.pram_context().set_block_cache_budget(budget);
+
+  engine::BlockConfig cfg = engine::BlockConfig::from_budget(
+      budget, sizeof(engine::NodeRec),
+      static_cast<std::size_t>(a.num("block-nodes", 4096)));
+  if (a.kv.count("--cache-blocks"))
+    cfg.cache_blocks = static_cast<std::size_t>(a.num("cache-blocks", 8));
+
+  engine::BlockedMatcher matcher;
+  core::MatchResult r;
+  Status s = matcher.init(lst, cfg);
+  if (s.ok()) s = matcher.matching_into(r);
+  if (!s.ok()) {
+    std::cerr << s.to_string() << "\n";
+    return 2;
+  }
+  ctx.pram_context().note_phase("engine",
+                               engine::to_pram_stats(matcher.stats()));
+
+  const core::MatchResult flat = core::sequential_matching(lst);
+  const bool ok = r.in_matching == flat.in_matching && r.edges == flat.edges;
+  const engine::EngineStats& e = matcher.stats();
+  const std::size_t blocks = matcher.blocked_list().blocks();
+  emit(a, "match_blocked",
+       {{"n", std::to_string(lst.size())},
+        {"edges", std::to_string(r.edges)},
+        {"block_nodes", std::to_string(cfg.block_nodes)},
+        {"cache_blocks", std::to_string(cfg.cache_blocks)},
+        {"blocks", std::to_string(blocks)},
+        {"budget_bytes", std::to_string(budget)},
+        {"hit_rate", fmt::num(e.hit_rate(), 3)},
+        {"loads", std::to_string(e.loads)},
+        {"spills", std::to_string(e.spills)},
+        {"load_bytes", std::to_string(e.load_bytes)},
+        {"spill_bytes", std::to_string(e.spill_bytes)},
+        {"swaps", std::to_string(e.swaps)},
+        {"rounds", std::to_string(e.rounds)},
+        {"mailbox_posts", std::to_string(e.mailbox_posts)},
+        {"verified", ok ? "matches-flat" : "MISMATCH"}});
+  return ok ? 0 : 1;
+}
+
 int cmd_match(const Args& a) {
   const auto lst = make_list(a);
+  if (a.num("budget-bytes", 0) > 0 || a.kv.count("--cache-blocks") ||
+      a.kv.count("--block-nodes"))
+    return cmd_match_blocked(a, lst);
   llmp::Context ctx(static_cast<std::size_t>(a.num("p", 1024)));
   const std::string alg = a.str("alg", "match4");
   llmp::Options opt;
@@ -185,6 +240,8 @@ void usage() {
       "random|identity|reverse|strided|blocked --json\n"
       "  match:  --alg seq|match1|match2|match3|match4|random|<registry "
       "name> --i I --table --erew\n"
+      "          --budget-bytes B [--block-nodes N --cache-blocks C]  run "
+      "out of core through the block engine\n"
       "  rank:   --alg contraction|wyllie\n"
       "  list:   print the algorithm registry (names, models, bounds)\n";
 }

@@ -3,6 +3,9 @@
 #
 #   1. plain Release build + the tier-1 ctest suite,
 #   2. llmp_lint over the tree and llmp_prove over the registry,
+#   2b. the bench perf gate: deterministic counters (cache loads/spills,
+#      mailbox traffic, set counts) diffed exactly against the committed
+#      baselines in bench/baselines/ (scripts/bench_gate.py),
 #   3. llmp_mc — the bounded model checker's full gate: every serve
 #      scenario clean over every bounded interleaving, and the three
 #      seeded queue mutations each caught (the checker's self-test),
@@ -30,6 +33,9 @@ echo "== [2/5] llmp_lint + llmp_prove =="
 ./build/tools/llmp_lint/llmp_lint src bench examples tools
 ./build/tools/llmp_prove
 
+echo "== [2b/5] bench perf gate (deterministic counters vs baselines) =="
+python3 scripts/bench_gate.py --build-dir build
+
 echo "== [3/5] llmp_mc model-check gate (incl. seeded-mutation self-test) =="
 ./build/tools/llmp_mc
 
@@ -44,6 +50,13 @@ cmake -B build-asan -S . \
   -DLLMP_SANITIZE=address,undefined >/dev/null
 cmake --build build-asan -j "$JOBS"
 (cd build-asan && ctest --output-on-failure -j "$JOBS")
+
+echo "== [4b/5] blocked-engine out-of-core smoke under ASan (8x cache) =="
+# 2^17 nodes / 4096-node blocks = 32 blocks; the sweep's smallest cache
+# runs at >=8x the budget, with the spill file, mailbox drain and
+# eviction paths all under the sanitizer. The binary exits nonzero if
+# any blocked result diverges from the flat path.
+./build-asan/bench/bench_blocked_ranking --n 131072
 
 echo "== [5/5] threading tests under TSan =="
 cmake -B build-tsan -S . \

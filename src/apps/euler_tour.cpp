@@ -63,7 +63,7 @@ EulerTour build_euler_tour(const Tree& tree) {
   LLMP_CHECK(edges + 1 == n);
 
   const std::size_t m = 2 * static_cast<std::size_t>(edges);
-  std::vector<index_t> next(m, knil);
+  std::vector<index_t> arc_next(m, knil);
   std::vector<index_t> arc_child(m, knil);
   std::vector<std::uint8_t> is_down(m, 0);
   auto down = [&](index_t v) { return 2 * edge_of[v]; };
@@ -79,14 +79,14 @@ EulerTour build_euler_tour(const Tree& tree) {
     const auto& kids = children[v];
     if (v != root) {
       // Entering v: descend to the first child, or bounce straight back.
-      next[down(v)] = kids.empty() ? up(v) : down(kids.front());
+      arc_next[down(v)] = kids.empty() ? up(v) : down(kids.front());
     }
     for (std::size_t i = 0; i + 1 < kids.size(); ++i)
-      next[up(kids[i])] = down(kids[i + 1]);
-    if (!kids.empty() && v != root) next[up(kids.back())] = up(v);
+      arc_next[up(kids[i])] = down(kids[i + 1]);
+    if (!kids.empty() && v != root) arc_next[up(kids.back())] = up(v);
     // Root's last child's up-arc stays knil: the tour's tail.
   }
-  EulerTour tour{list::LinkedList(std::move(next))};
+  EulerTour tour{list::LinkedList(std::move(arc_next))};
   tour.arc_child = std::move(arc_child);
   tour.is_down = std::move(is_down);
   LLMP_CHECK(tour.arcs.head() == down(children[root].front()));

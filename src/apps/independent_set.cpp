@@ -13,11 +13,11 @@ void check_independent_set(const list::LinkedList& list,
     LLMP_CHECK_MSG(!(in_set[v] && in_set[s]),
                    "adjacent nodes " << v << "," << s << " both selected");
   }
-  const auto pred = list.predecessors();
+  const auto preds = list.predecessors();
   for (index_t v = 0; v < list.size(); ++v) {
     if (in_set[v]) continue;
     const index_t s = list.next(v);
-    const index_t p = pred[v];
+    const index_t p = preds[v];
     const bool blocked =
         (s != knil && in_set[s]) || (p != knil && in_set[p]);
     LLMP_CHECK_MSG(blocked, "node " << v << " could be added: not maximal");

@@ -42,7 +42,7 @@ AppendixGEval eval_G_parallel(Exec& exec, std::uint64_t n) {
 
   // The main list over the powers of two. Non-powers hold knil and take
   // no further part (their processors idle).
-  std::vector<index_t> next(size, knil), next2(size, knil);
+  std::vector<index_t> cell(size, knil), cell2(size, knil);
   std::vector<std::uint32_t> dist(size, 0), dist2(size, 0);
   exec.step(size - 1, [&](std::size_t p, auto&& m) {
     const std::uint64_t i = p + 1;
@@ -50,7 +50,7 @@ AppendixGEval eval_G_parallel(Exec& exec, std::uint64_t n) {
     const index_t target =
         i == 1 ? index_t{1}
                : static_cast<index_t>(itlog::floor_log2(i));
-    m.wr(next, static_cast<std::size_t>(i), target);
+    m.wr(cell, static_cast<std::size_t>(i), target);
     m.wr(dist, static_cast<std::size_t>(i),
          static_cast<std::uint32_t>(i == 1 ? 0 : 1));
   });
@@ -63,18 +63,18 @@ AppendixGEval eval_G_parallel(Exec& exec, std::uint64_t n) {
   while (head < 64 && (std::uint64_t{1} << head) <= n)
     head = std::size_t{1} << head;
   int rounds = 0;
-  while (next[head] != 1) {
+  while (cell[head] != 1) {
     exec.step(size - 1, [&](std::size_t p, auto&& m) {
       const std::uint64_t i = p + 1;
-      const index_t s = m.rd(next, static_cast<std::size_t>(i));
+      const index_t s = m.rd(cell, static_cast<std::size_t>(i));
       if (s == knil) return;
       m.wr(dist2, static_cast<std::size_t>(i),
            m.rd(dist, static_cast<std::size_t>(i)) +
                m.rd(dist, static_cast<std::size_t>(s)));
-      m.wr(next2, static_cast<std::size_t>(i),
-           m.rd(next, static_cast<std::size_t>(s)));
+      m.wr(cell2, static_cast<std::size_t>(i),
+           m.rd(cell, static_cast<std::size_t>(s)));
     });
-    next.swap(next2);
+    cell.swap(cell2);
     dist.swap(dist2);
     ++rounds;
     LLMP_CHECK_MSG(rounds <= 64, "jumping failed to converge");

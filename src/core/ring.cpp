@@ -64,10 +64,10 @@ std::vector<index_t> random_ring(std::size_t n, std::uint64_t seed) {
   rng::Xoshiro256 gen(seed);
   for (std::size_t i = n - 1; i > 0; --i)
     std::swap(perm[i], perm[gen.below(i + 1)]);
-  std::vector<index_t> next(n);
+  std::vector<index_t> ring(n);
   for (std::size_t i = 0; i < n; ++i)
-    next[perm[i]] = perm[(i + 1) % n];
-  return next;
+    ring[perm[i]] = perm[(i + 1) % n];
+  return ring;
 }
 
 }  // namespace llmp::core

@@ -64,9 +64,9 @@ RingMatchResult ring_matching(Exec& exec,
   // Seam fix-up: one O(1) step — e0 is addable iff neither endpoint is
   // covered. seam_tail's other pointer is e_pred(0) (checked via the
   // matching bit of pred(0)); seam_head's other pointer is e_{seam_head}.
-  const auto pred = path.predecessors();
+  const auto preds = path.predecessors();
   exec.step(1, [&](std::size_t, auto&& m) {
-    const index_t p0 = pred[seam_tail];
+    const index_t p0 = preds[seam_tail];
     const bool tail_covered =
         p0 != knil && m.rd(r.in_matching, static_cast<std::size_t>(p0));
     const bool head_covered =

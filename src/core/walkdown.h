@@ -112,12 +112,12 @@ Layout2D build_layout(Exec& exec, std::size_t n,
 }
 
 /// Whether pointer e_v is intra-row under the layout. Precondition:
-/// e_v exists (next[v] != knil).
+/// e_v exists (succ_of[v] != knil).
 inline bool is_intra_row(const Layout2D& lay,
-                         const std::vector<index_t>& next, index_t v) {
-  LLMP_DCHECK(v < next.size() && v < lay.node_row.size());
-  LLMP_DCHECK(next[v] < lay.node_row.size());
-  return lay.node_row[v] == lay.node_row[next[v]];
+                         const std::vector<index_t>& succ_of, index_t v) {
+  LLMP_DCHECK(v < succ_of.size() && v < lay.node_row.size());
+  LLMP_DCHECK(succ_of[v] < lay.node_row.size());
+  return lay.node_row[v] == lay.node_row[succ_of[v]];
 }
 
 /// Greedy color: smallest of {0,1,2} not used by either neighbour pointer.

@@ -1,0 +1,217 @@
+#include "engine/blocked_match.h"
+
+#include <algorithm>
+
+#include "support/check.h"
+
+namespace llmp::engine {
+
+Status BlockedMatcher::init(const list::LinkedList& src,
+                            const BlockConfig& cfg) {
+  if (Status s = list_.init(src, cfg); !s.ok()) return s;
+  queries_.init(list_.blocks());
+  replies_.init(list_.blocks());
+  stack_.clear();
+  stack_.reserve(cfg.block_nodes);
+  done_.assign(cfg.block_nodes, 0);
+  watermark_ = cfg.mailbox_watermark != 0
+                   ? cfg.mailbox_watermark
+                   : static_cast<std::uint64_t>(4 * cfg.block_nodes);
+  unresolved_ = 0;
+  return Status();
+}
+
+Status BlockedMatcher::local_pass() {
+  auto& store = list_.store();
+  const std::size_t bn = store.block_nodes();
+  const std::size_t n = list_.size();
+  unresolved_ = 0;
+  for (std::size_t b = 0; b < store.blocks(); ++b) {
+    NodeRec* recs = nullptr;
+    if (Status s = store.pin(b, &recs); !s.ok()) return s;
+    const std::size_t base = b * bn;
+    const std::size_t count = (base + bn <= n) ? bn : n - base;
+    std::fill(done_.begin(), done_.begin() + count, 0);
+    for (std::size_t i = 0; i < count; ++i) {
+      if (done_[i] != 0) continue;
+      // Chase the intra-block chain from slot i until it resolves: hits
+      // the tail, exits the block, or reaches an already-resolved slot.
+      // In-degree ≤ 1 makes the chain a simple path, so with the done_
+      // memo the whole block costs O(block_nodes).
+      stack_.clear();
+      std::size_t cur = i;
+      while (done_[cur] == 0) {
+        const index_t nx = recs[cur].next;
+        if (nx == knil) {  // the tail: 0 links from itself
+          recs[cur].jump = knil;
+          recs[cur].dist = 0;
+          done_[cur] = 1;
+          break;
+        }
+        if (store.block_of(nx) != b) {  // first successor outside b
+          recs[cur].jump = nx;
+          recs[cur].dist = 1;
+          done_[cur] = 1;
+          break;
+        }
+        stack_.push_back(static_cast<index_t>(cur));
+        cur = store.slot_of(nx);
+      }
+      // Unwind: each pushed slot is one link before the slot after it.
+      while (!stack_.empty()) {
+        const std::size_t prev = stack_.back();
+        stack_.pop_back();
+        recs[prev].jump = recs[cur].jump;
+        recs[prev].dist = recs[cur].dist + 1;
+        done_[prev] = 1;
+        cur = prev;
+      }
+    }
+    for (std::size_t i = 0; i < count; ++i) {
+      if (recs[i].jump != knil) ++unresolved_;
+    }
+    store.mark_dirty(b);
+  }
+  return Status();
+}
+
+Status BlockedMatcher::drain_until(std::uint64_t target) {
+  auto& store = list_.store();
+  auto& sched = list_.scheduler();
+  auto& stats = store.stats();
+  while (sched.total_pending() > target) {
+    const std::size_t b = sched.next_block();
+    if (b == CacheScheduler::kNone) break;
+    NodeRec* recs = nullptr;
+    if (Status s = store.pin(b, &recs); !s.ok()) return s;
+    // Answer this block's queries first: replies posted to b itself land
+    // in the reply batch processed right below, so one pin serves both.
+    for (const Request& q : queries_.batch(b)) {
+      const std::size_t slot = store.slot_of(q.node);
+      Request reply;
+      reply.node = q.origin;
+      reply.jump = recs[slot].jump;
+      reply.dist = recs[slot].dist;
+      replies_.post(store.block_of(q.origin), reply, sched, stats);
+    }
+    queries_.clear(b, sched, stats);
+    bool wrote = false;
+    for (const Request& rp : replies_.batch(b)) {
+      NodeRec& rec = recs[store.slot_of(rp.node)];
+      LLMP_DCHECK(rec.jump != knil);
+      rec.dist += rp.dist;
+      rec.jump = rp.jump;
+      if (rec.jump == knil) --unresolved_;
+      wrote = true;
+    }
+    replies_.clear(b, sched, stats);
+    if (wrote) store.mark_dirty(b);
+  }
+  return Status();
+}
+
+Status BlockedMatcher::doubling_round() {
+  auto& store = list_.store();
+  auto& sched = list_.scheduler();
+  auto& stats = store.stats();
+  ++stats.rounds;
+  const std::size_t bn = store.block_nodes();
+  const std::size_t n = list_.size();
+  for (std::size_t b = 0; b < store.blocks(); ++b) {
+    NodeRec* recs = nullptr;
+    if (Status s = store.pin(b, &recs); !s.ok()) return s;
+    const std::size_t base = b * bn;
+    const std::size_t count = (base + bn <= n) ? bn : n - base;
+    bool wrote = false;
+    for (std::size_t i = 0; i < count; ++i) {
+      const index_t w = recs[i].jump;
+      if (w == knil) continue;
+      if (store.block_of(w) == b) {
+        // Target is in the pinned block: apply the jump inline. Reading
+        // a rec already advanced this round is fine — dist is always the
+        // exact distance to jump, whatever round the pair is from.
+        const NodeRec& target = recs[store.slot_of(w)];
+        recs[i].dist += target.dist;
+        recs[i].jump = target.jump;
+        if (recs[i].jump == knil) --unresolved_;
+        wrote = true;
+      } else {
+        Request q;
+        q.node = w;
+        q.origin = static_cast<index_t>(base + i);
+        queries_.post(store.block_of(w), q, sched, stats);
+      }
+    }
+    if (wrote) store.mark_dirty(b);
+    // Bound the in-flight backlog: pause the sweep and let the scheduler
+    // drain the fullest mailboxes before posting more.
+    if (sched.total_pending() > watermark_) {
+      if (Status s = drain_until(watermark_ / 2); !s.ok()) return s;
+    }
+  }
+  return drain_until(0);
+}
+
+Status BlockedMatcher::resolve_all() {
+  // A faulted previous run may have left mail in flight; start clean
+  // (init/assign at unchanged sizes — no allocations).
+  queries_.init(list_.blocks());
+  replies_.init(list_.blocks());
+  list_.scheduler().init(list_.blocks());
+  if (Status s = local_pass(); !s.ok()) return s;
+  while (unresolved_ > 0) {
+    if (Status s = doubling_round(); !s.ok()) return s;
+  }
+  return Status();
+}
+
+Status BlockedMatcher::matching_into(core::MatchResult& r) {
+  if (Status s = resolve_all(); !s.ok()) return s;
+  auto& store = list_.store();
+  const std::size_t bn = store.block_nodes();
+  const std::size_t n = list_.size();
+  r.reset();
+  r.in_matching.assign(n, 0);
+  const std::uint64_t total = static_cast<std::uint64_t>(n) - 1;
+  for (std::size_t b = 0; b < store.blocks(); ++b) {
+    NodeRec* recs = nullptr;
+    if (Status s = store.pin(b, &recs); !s.ok()) return s;
+    const std::size_t base = b * bn;
+    const std::size_t count = (base + bn <= n) ? bn : n - base;
+    for (std::size_t i = 0; i < count; ++i) {
+      if (recs[i].next == knil) continue;  // the tail has no pointer
+      // Greedy-from-head takes every even-distance pointer; distance
+      // from the head is total minus the resolved distance to the tail.
+      const std::uint64_t from_head = total - recs[i].dist;
+      if ((from_head & 1) == 0) {
+        r.in_matching[base + i] = 1;
+        ++r.edges;
+      }
+    }
+  }
+  // Same cost surface as the flat walk (n visits): the engine-level IO
+  // metrics live in stats(), keeping the MatchResult byte-identical.
+  const std::uint64_t ops = n;
+  r.cost = {ops, ops, ops, 0, 0};
+  r.phases.push_back({"walk", r.cost});
+  return Status();
+}
+
+Status BlockedMatcher::ranking_into(std::vector<std::uint64_t>& rank) {
+  if (Status s = resolve_all(); !s.ok()) return s;
+  auto& store = list_.store();
+  const std::size_t bn = store.block_nodes();
+  const std::size_t n = list_.size();
+  rank.assign(n, 0);
+  for (std::size_t b = 0; b < store.blocks(); ++b) {
+    NodeRec* recs = nullptr;
+    if (Status s = store.pin(b, &recs); !s.ok()) return s;
+    const std::size_t base = b * bn;
+    const std::size_t count = (base + bn <= n) ? bn : n - base;
+    LLMP_DCHECK(base + count <= rank.size());
+    for (std::size_t i = 0; i < count; ++i) rank[base + i] = recs[i].dist;
+  }
+  return Status();
+}
+
+}  // namespace llmp::engine

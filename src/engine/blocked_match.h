@@ -1,0 +1,97 @@
+// BlockedMatcher — matching and ranking on a BlockedList, out of core.
+//
+// The flat algorithms walk `next` freely; here every pointer chase that
+// would leave the pinned block becomes a mailbox request, and the work
+// is restructured into block-local streams the cache can serve:
+//
+//   1. local pass — stream the blocks once; inside each block, resolve
+//      every node's (jump, dist) to its first successor *outside* the
+//      block (memoized, O(block) — the intra-block links are enumerated
+//      directly, never through the cache).
+//   2. doubling rounds — Wyllie's pointer jumping on the contracted
+//      jump graph, made locality-friendly: a sweep posts one query per
+//      unresolved node into the target block's mailbox; the scheduler
+//      then repeatedly pins the block with the most mail and answers the
+//      whole batch against one load, posting replies that are applied
+//      the same way. dist(v) is always the exact link distance v→jump(v),
+//      so asynchronous application (replies landing mid-sweep once the
+//      watermark pauses the sweep to drain) preserves correctness while
+//      at least doubling every chain per round.
+//   3. collect — one ordered stream turns the resolved distances-to-tail
+//      into the result: rank(v) = dist(v) (the apps:: convention), and
+//      the greedy matching is its parity — in_matching[v] = 1 iff v's
+//      distance from the head is even and v has a pointer, which is
+//      exactly what core::sequential_matching computes, so the blocked
+//      MatchResult is identical to the flat path's.
+//
+// A matcher is init() once (the only allocations) and rerun warm:
+// repeated matching_into/ranking_into calls allocate nothing.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/match_result.h"
+#include "engine/blocked_list.h"
+#include "engine/mailbox.h"
+#include "list/linked_list.h"
+#include "pram/stats.h"
+#include "support/status.h"
+
+namespace llmp::engine {
+
+class BlockedMatcher {
+ public:
+  /// Build the blocked image of `src` and size all working state — the
+  /// one allocation point. Re-init with a different list re-sizes.
+  Status init(const list::LinkedList& src, const BlockConfig& cfg);
+
+  /// The greedy maximal matching, identical to the flat
+  /// core::sequential_matching result (in_matching, edges, cost, phases).
+  Status matching_into(core::MatchResult& r);
+
+  /// rank[v] = link distance from v to the tail, identical to
+  /// apps::sequential_ranking.
+  Status ranking_into(std::vector<std::uint64_t>& rank);
+
+  BlockedList& blocked_list() { return list_; }
+  const BlockedList& blocked_list() const { return list_; }
+
+  /// All engine counters for the runs since the last reset_stats().
+  const EngineStats& stats() const { return list_.store().stats(); }
+  void reset_stats() { list_.store().stats().reset(); }
+
+ private:
+  /// Phases 1+2: leaves every NodeRec resolved (jump == knil,
+  /// dist == distance to tail).
+  Status resolve_all();
+  Status local_pass();
+  Status doubling_round();
+  /// Drain mailboxes, most-pending block first, until the total backlog
+  /// is at most `target`.
+  Status drain_until(std::uint64_t target);
+
+  BlockedList list_;
+  MailboxSet queries_;
+  MailboxSet replies_;
+  std::vector<index_t> stack_;      ///< local-pass chain stack
+  std::vector<std::uint8_t> done_;  ///< local-pass per-slot flags
+  std::size_t unresolved_ = 0;
+  std::uint64_t watermark_ = 0;
+};
+
+/// EngineStats mapped onto the PRAM metrics vocabulary so blocked runs
+/// feed the same sink (Context::note_phase, bench tables): depth counts
+/// doubling rounds, time_p block IO operations, work mailbox traffic,
+/// reads/writes the bytes moved through the backing store.
+inline pram::Stats to_pram_stats(const EngineStats& e) {
+  pram::Stats s;
+  s.depth = e.rounds;
+  s.time_p = e.loads + e.spills;
+  s.work = e.mailbox_posts;
+  s.reads = e.load_bytes;
+  s.writes = e.spill_bytes;
+  return s;
+}
+
+}  // namespace llmp::engine

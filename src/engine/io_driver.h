@@ -1,0 +1,48 @@
+// IoDriver — the file-backed store behind BlockStore.
+//
+// One unlinked temp file per driver (created with mkstemp under the
+// configured spill dir, unlinked immediately so a crash leaves nothing
+// behind); blocks are fixed-size byte ranges addressed by block id via
+// pread/pwrite, so there is no in-memory index to grow and concurrent
+// drivers never collide. All entry points return Status — IO failure at
+// a service boundary must not abort a server — and carry the
+// `engine.io.load` / `engine.io.spill` failpoints so the chaos suite can
+// inject faults exactly like it does for serve workers.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "support/status.h"
+
+namespace llmp::engine {
+
+class IoDriver {
+ public:
+  IoDriver() = default;
+  ~IoDriver();
+  IoDriver(const IoDriver&) = delete;
+  IoDriver& operator=(const IoDriver&) = delete;
+
+  /// Create the backing file for blocks of `block_bytes` each.
+  /// `spill_dir` empty = $TMPDIR or /tmp. Idempotent close+reopen.
+  Status open(std::size_t block_bytes, const std::string& spill_dir);
+
+  /// Write block `block_id` (failpoint `engine.io.spill`).
+  Status write_block(std::size_t block_id, const void* data);
+
+  /// Read block `block_id` into `data`; the block must have been written
+  /// before (failpoint `engine.io.load`).
+  Status read_block(std::size_t block_id, void* data);
+
+  bool is_open() const { return fd_ >= 0; }
+  std::size_t block_bytes() const { return block_bytes_; }
+
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::size_t block_bytes_ = 0;
+};
+
+}  // namespace llmp::engine

@@ -1,0 +1,78 @@
+// Per-block mailboxes for cross-block pointer requests.
+//
+// The blocked passes never chase a pointer into a non-resident block
+// directly — that would turn every cross-block link into a random block
+// load. Instead they post a small request record into the target block's
+// mailbox and keep streaming; the scheduler later pins the block with the
+// most mail and drains the whole batch against one load. A request either
+// asks a block a question about one of its nodes (kQuery) or delivers a
+// finished value to one of its nodes (kReply) — the pointer-doubling pass
+// in blocked_match.cpp is built entirely from these two shapes.
+//
+// Box vectors keep their capacity across clear(), so a warm engine posts
+// and drains without allocating once the first run has sized them.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "engine/block.h"
+#include "engine/scheduler.h"
+#include "support/check.h"
+#include "support/types.h"
+
+namespace llmp::engine {
+
+/// One cross-block request. For a kQuery, `node` is the queried node in
+/// the target block and `origin` the node awaiting the answer; for a
+/// kReply, `node` is the destination node in the target block and
+/// `jump`/`dist` the delivered successor/distance pair.
+struct Request {
+  index_t node = knil;
+  index_t origin = knil;
+  index_t jump = knil;
+  std::uint64_t dist = 0;
+};
+
+class MailboxSet {
+ public:
+  /// Size the boxes for `blocks` blocks; keeps per-box capacity when
+  /// re-initialized to the same or a smaller count.
+  void init(std::size_t blocks) {
+    if (boxes_.size() < blocks) boxes_.resize(blocks);
+    blocks_ = blocks;
+    for (std::size_t b = 0; b < blocks_; ++b) boxes_[b].clear();
+  }
+
+  std::size_t blocks() const { return blocks_; }
+
+  void post(std::size_t block, const Request& req, CacheScheduler& sched,
+            EngineStats& stats) {
+    LLMP_DCHECK(block < blocks_);
+    boxes_[block].push_back(req);
+    sched.note_post(block);
+    ++stats.mailbox_posts;
+  }
+
+  bool empty(std::size_t block) const { return boxes_[block].empty(); }
+
+  /// The batch for `block`; the caller drains it in full, then calls
+  /// clear(). Kept as a two-step so the drain loop can post new requests
+  /// to *other* blocks while iterating this one.
+  const std::vector<Request>& batch(std::size_t block) const {
+    return boxes_[block];
+  }
+
+  void clear(std::size_t block, CacheScheduler& sched, EngineStats& stats) {
+    if (!boxes_[block].empty()) ++stats.mailbox_batches;
+    boxes_[block].clear();
+    sched.note_drain(block);
+  }
+
+ private:
+  std::vector<std::vector<Request>> boxes_;
+  std::size_t blocks_ = 0;
+};
+
+}  // namespace llmp::engine

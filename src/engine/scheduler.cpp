@@ -1,0 +1,45 @@
+#include "engine/scheduler.h"
+
+#include "support/check.h"
+
+namespace llmp::engine {
+
+void CacheScheduler::init(std::size_t blocks) {
+  pending_.assign(blocks, 0);
+  last_use_.assign(blocks, 0);
+  tick_ = 0;
+}
+
+std::uint64_t CacheScheduler::total_pending_impl() const {
+  std::uint64_t total = 0;
+  for (const std::uint64_t p : pending_) total += p;
+  return total;
+}
+
+std::size_t CacheScheduler::next_block() const {
+  std::size_t best = kNone;
+  std::uint64_t best_pending = 0;
+  for (std::size_t b = 0; b < pending_.size(); ++b) {
+    if (pending_[b] > best_pending) {
+      best = b;
+      best_pending = pending_[b];
+    }
+  }
+  return best;
+}
+
+std::size_t CacheScheduler::pick_victim(
+    const std::vector<std::size_t>& resident) const {
+  LLMP_CHECK_MSG(!resident.empty(), "pick_victim with no resident blocks");
+  std::size_t best = resident[0];
+  for (std::size_t i = 1; i < resident.size(); ++i) {
+    const std::size_t b = resident[i];
+    if (pending_[b] < pending_[best] ||
+        (pending_[b] == pending_[best] && last_use_[b] < last_use_[best])) {
+      best = b;
+    }
+  }
+  return best;
+}
+
+}  // namespace llmp::engine

@@ -1,0 +1,61 @@
+// CacheScheduler — ranks blocks by pending pointer work.
+//
+// The scheduler answers the two questions the blocked passes keep asking:
+//
+//   * next_block(): which non-resident-work block should the cache pull
+//     in next? The one with the most pending mailbox requests, so every
+//     load is amortized over the largest batch available.
+//   * pick_victim(): which resident frame should be recycled? The block
+//     with the least pending work, breaking ties toward the least
+//     recently used frame — evicting a block that mail is waiting on
+//     would force an immediate swap back.
+//
+// The scheduler only keeps counters (pending requests per block, an LRU
+// tick per block); the mailbox owns the request payloads (mailbox.h) and
+// the BlockStore owns the frames (block_store.h). All state is sized once
+// in init() and reset without allocation between warm runs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace llmp::engine {
+
+class CacheScheduler {
+ public:
+  /// Size the counters for `blocks` blocks; reuses capacity when called
+  /// again with the same or a smaller count.
+  void init(std::size_t blocks);
+
+  std::size_t blocks() const { return pending_.size(); }
+
+  /// Mailbox bookkeeping: one request posted to / drained from `block`.
+  void note_post(std::size_t block) { ++pending_[block]; }
+  void note_drain(std::size_t block) { pending_[block] = 0; }
+
+  std::uint64_t pending(std::size_t block) const { return pending_[block]; }
+  std::uint64_t total_pending() const { return total_pending_impl(); }
+
+  /// Mark `block` used now (pin hit or load) for LRU tie-breaking.
+  void touch(std::size_t block) { last_use_[block] = ++tick_; }
+
+  /// The block with the most pending requests; `kNone` when no block has
+  /// pending work.
+  static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+  std::size_t next_block() const;
+
+  /// The best eviction victim among `resident` (block ids): least
+  /// pending work, then least recently used. `resident` must be
+  /// non-empty; the currently pinned block is excluded by the caller.
+  std::size_t pick_victim(const std::vector<std::size_t>& resident) const;
+
+ private:
+  std::uint64_t total_pending_impl() const;
+
+  std::vector<std::uint64_t> pending_;
+  std::vector<std::uint64_t> last_use_;
+  std::uint64_t tick_ = 0;
+};
+
+}  // namespace llmp::engine

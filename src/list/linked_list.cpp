@@ -56,8 +56,9 @@ Status LinkedList::structure(const std::vector<index_t>& next, index_t* head,
   return {};
 }
 
-LinkedList::LinkedList(std::vector<index_t> next) : next_(std::move(next)) {
-  const Status s = structure(next_, &head_, &tail_);
+LinkedList::LinkedList(std::vector<index_t> next)
+    : storage_(std::move(next)) {
+  const Status s = structure(storage_.next_array(), &head_, &tail_);
   LLMP_CHECK_MSG(s.ok(), s.message());
 }
 
@@ -65,7 +66,7 @@ Result<LinkedList> LinkedList::make(std::vector<index_t> next) {
   LinkedList l;
   if (Status s = structure(next, &l.head_, &l.tail_); !s.ok())
     return s;
-  l.next_ = std::move(next);
+  l.storage_ = FlatStorage(std::move(next));
   return l;
 }
 
@@ -82,12 +83,13 @@ LinkedList LinkedList::identity(std::size_t n) {
 }
 
 std::vector<index_t> LinkedList::predecessors() const {
-  std::vector<index_t> pred(next_.size(), knil);
-  for (index_t v = 0; v < next_.size(); ++v) {
-    const index_t s = next_[v];
-    if (s != knil) pred[s] = v;
+  const std::size_t n = size();
+  std::vector<index_t> result(n, knil);
+  for (index_t v = 0; v < n; ++v) {
+    const index_t s = next(v);
+    if (s != knil) result[s] = v;
   }
-  return pred;
+  return result;
 }
 
 }  // namespace llmp::list

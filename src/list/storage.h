@@ -1,0 +1,58 @@
+// Storage-policy seam for list data.
+//
+// A linked list's successor array can live in one flat in-memory vector
+// (the PRAM algorithms' native layout) or partitioned into cached blocks
+// behind the out-of-core engine (src/engine). Every layer that cares
+// which one it holds asks storage_policy() instead of assuming a raw
+// array; code outside src/list and src/engine accesses successors through
+// accessors (LinkedList::next, Mem::rd over next_array()) — llmp_lint's
+// storage-access rule fences direct `next[]`/`succ[]`/`pred[]` indexing
+// to these two directories.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "support/check.h"
+#include "support/types.h"
+
+namespace llmp::list {
+
+enum class StoragePolicy {
+  kFlat,     ///< one in-memory successor array (list::LinkedList)
+  kBlocked,  ///< fixed-size blocks behind a bounded cache (engine::BlockedList)
+};
+
+inline const char* to_string(StoragePolicy p) {
+  switch (p) {
+    case StoragePolicy::kFlat: return "flat";
+    case StoragePolicy::kBlocked: return "blocked";
+  }
+  return "?";
+}
+
+/// The flat policy: owns the successor vector and is the only place the
+/// raw array lives. LinkedList delegates its accessors here.
+class FlatStorage {
+ public:
+  FlatStorage() = default;
+  explicit FlatStorage(std::vector<index_t> next) : next_(std::move(next)) {}
+
+  static constexpr StoragePolicy policy() { return StoragePolicy::kFlat; }
+
+  std::size_t size() const { return next_.size(); }
+
+  index_t successor(index_t v) const {
+    LLMP_DCHECK(v < next_.size());
+    return next_[v];
+  }
+
+  /// The whole array, for the PRAM passes' m.rd(next, v) accesses.
+  const std::vector<index_t>& next_array() const { return next_; }
+
+ private:
+  std::vector<index_t> next_;
+};
+
+}  // namespace llmp::list

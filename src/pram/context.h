@@ -62,6 +62,14 @@ class Context {
   const Exec& backend() const { return *exec_; }
   ScratchArena& arena() { return arena_; }
 
+  /// Block-cache budget for out-of-core runs (src/engine), in bytes;
+  /// 0 = unset (run flat). Carried here beside the ScratchArena so one
+  /// warm Context describes all of a worker's memory policy.
+  std::size_t block_cache_budget() const { return block_cache_budget_; }
+  void set_block_cache_budget(std::size_t bytes) {
+    block_cache_budget_ = bytes;
+  }
+
   /// Append one phase-labeled cost span to the metrics sink.
   void note_phase(const std::string& name, const Stats& delta) {
     phases_.push_back({name, delta});
@@ -93,6 +101,7 @@ class Context {
   Exec* exec_;
   ScratchArena arena_;
   PhaseBreakdown phases_;
+  std::size_t block_cache_budget_ = 0;
 };
 
 template <class T>

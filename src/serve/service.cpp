@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "core/verify.h"
+#include "engine/blocked_match.h"
 #include "pram/context.h"
 #include "pram/executor.h"
 #include "support/alloc_counter.h"
@@ -126,6 +127,13 @@ std::future<Result<core::MatchResult>> Service::submit(Request req) {
   if (Status s = core::validate_options(resolved); !s.ok()) {
     rejected_.fetch_add(1, std::memory_order_relaxed);
     return ready_error(std::move(s));
+  }
+  if (req.memory_budget_bytes > 0 &&
+      resolved.algorithm != core::Algorithm::kSequential) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return ready_error(Status::invalid_argument(
+        "memory_budget_bytes requires the sequential algorithm (the block "
+        "engine's native path)"));
   }
 
   Job job;
@@ -310,6 +318,20 @@ void Service::note_run_outcome(const Job& job, bool run_ok) {
     failures.fetch_add(1, std::memory_order_relaxed);
 }
 
+Status Service::run_blocked(WorkerContext& wc, Job& job) {
+  // The request's budget rides on the worker's Context (the same place
+  // the ScratchArena lives) and shapes the engine's bounded cache.
+  wc.ctx.set_block_cache_budget(job.req.memory_budget_bytes);
+  const engine::BlockConfig cfg = engine::BlockConfig::from_budget(
+      wc.ctx.block_cache_budget(), sizeof(engine::NodeRec));
+  engine::BlockedMatcher matcher;
+  if (Status s = matcher.init(*job.req.list, cfg); !s.ok()) return s;
+  Status s = matcher.matching_into(wc.scratch);
+  wc.ctx.clear_phases();
+  wc.ctx.note_phase("engine", engine::to_pram_stats(matcher.stats()));
+  return s;
+}
+
 bool Service::process_job(WorkerContext& wc, std::size_t index, Job& job) {
   if (options_.on_dequeue) options_.on_dequeue(index);
 
@@ -334,7 +356,14 @@ bool Service::process_job(WorkerContext& wc, std::size_t index, Job& job) {
     s = LLMP_FAILPOINT_STATUS("serve.worker.run");
     if (s.ok()) {
       maybe_degrade(job);
-      {
+      if (job.req.memory_budget_bytes > 0) {
+        // Out-of-core path: the block engine is built per request (its
+        // geometry depends on the request's budget and list size), so
+        // its cold setup allocations are attributed to the request
+        // rather than the steady-state metric. The resident cache stays
+        // within the request's budget regardless of list size.
+        s = run_blocked(wc, job);
+      } else {
         // Only the algorithm body counts toward the steady-state
         // allocation metric; the response copy and promise below are
         // envelope traffic.

@@ -167,6 +167,14 @@ struct Request {
       std::chrono::steady_clock::time_point::max();
   /// Optional; null means not cancellable.
   CancelToken cancel;
+  /// Per-request memory budget for the matching run's working state, in
+  /// bytes. 0 (default) runs the flat in-memory path. Nonzero routes the
+  /// request through the out-of-core block engine (src/engine), whose
+  /// resident cache stays within the budget however large the list —
+  /// blocked and flat requests run side by side on the same workers.
+  /// Only `sequential` supports a budget (the engine's native
+  /// algorithm); other algorithms are rejected kInvalidArgument.
+  std::size_t memory_budget_bytes = 0;
 };
 
 /// One consistent snapshot of service counters (values are monotonically
@@ -267,6 +275,8 @@ class Service {
   /// Run one dequeued job; returns true when an exception escaped (the
   /// caller then rebuilds the context — a supervision restart).
   bool process_job(WorkerContext& wc, std::size_t index, Job& job);
+  /// The out-of-core path for requests carrying a memory budget.
+  Status run_blocked(WorkerContext& wc, Job& job);
   /// Fallback decision for this attempt; may rewrite job.resolved.
   void maybe_degrade(Job& job);
   void note_run_outcome(const Job& job, bool run_ok);

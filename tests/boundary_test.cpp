@@ -1,0 +1,132 @@
+// Degenerate and block-boundary lengths through every registered
+// algorithm, on both storage policies. The block engine's local pass and
+// mailbox rounds change behaviour exactly at block-size multiples, so the
+// interesting lengths are n ∈ {1, 2, B−1, B, B+1, 2B} for the engine's
+// block_nodes B — plus n = 0, which the list constructor must reject
+// before any algorithm sees it. Every flat run is maximality-checked;
+// every blocked run is diffed bit-for-bit against the flat sequential
+// result, and the blocked image must round-trip back to the exact
+// successor array it was built from.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "apps/list_ranking.h"
+#include "apps/register.h"
+#include "core/registry.h"
+#include "core/run.h"
+#include "core/sequential.h"
+#include "core/verify.h"
+#include "engine/blocked_match.h"
+#include "list/generators.h"
+#include "list/linked_list.h"
+#include "pram/context.h"
+#include "pram/executor.h"
+
+namespace llmp {
+namespace {
+
+constexpr std::size_t kBlockNodes = 16;
+
+std::vector<std::size_t> boundary_sizes() {
+  return {1, 2, kBlockNodes - 1, kBlockNodes, kBlockNodes + 1,
+          2 * kBlockNodes};
+}
+
+std::vector<list::LinkedList> shapes_of(std::size_t n) {
+  std::vector<list::LinkedList> shapes;
+  shapes.push_back(list::generators::identity_list(n));
+  shapes.push_back(list::generators::reverse_list(n));
+  shapes.push_back(list::generators::random_list(n, 7));
+  return shapes;
+}
+
+TEST(Boundary, EmptyListIsRejectedBeforeAnyAlgorithmRuns) {
+  const auto r = list::LinkedList::make({});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(list::LinkedList::validate({}).ok());
+}
+
+// Every `matching` registry entry (each public name with its canonical
+// options — seq, match1..4 and variants, random) must handle each
+// boundary length and produce a maximal matching.
+TEST(Boundary, EveryRegisteredAlgorithmHandlesBoundaryLengths) {
+  apps::register_algorithms();
+  std::size_t entries_run = 0;
+  for (const core::AlgorithmEntry* e :
+       core::AlgorithmRegistry::instance().entries()) {
+    if (!e->matching) continue;
+    ++entries_run;
+    for (std::size_t n : boundary_sizes()) {
+      for (const list::LinkedList& lst : shapes_of(n)) {
+        pram::SeqExec seq(64);
+        pram::Context ctx(seq);
+        core::MatchResult r;
+        ASSERT_TRUE(core::run_matching_into(ctx, lst, e->canonical, r).ok())
+            << e->name << " n=" << n;
+        ASSERT_NO_THROW(core::verify::check_maximal(lst, r.in_matching))
+            << e->name << " n=" << n;
+        // Maximality on a path of n−1 pointers bounds the size: at
+        // least every third pointer is taken, at most every other.
+        const std::size_t ptrs = n - 1;
+        EXPECT_GE(r.edges, (ptrs + 2) / 3) << e->name << " n=" << n;
+        EXPECT_LE(r.edges, n / 2) << e->name << " n=" << n;
+      }
+    }
+  }
+  EXPECT_GE(entries_run, 6u);  // seq, match1..4, random at minimum
+}
+
+// The blocked engine at the same lengths: every partial-final-block and
+// exact-multiple case must match the flat sequential result exactly,
+// with caches of 1, 2, and enough frames to hold everything.
+TEST(Boundary, BlockedStorageMatchesFlatAtBlockBoundaries) {
+  for (std::size_t n : boundary_sizes()) {
+    for (const list::LinkedList& lst : shapes_of(n)) {
+      core::MatchResult flat;
+      core::sequential_matching_into(lst, flat);
+      const std::vector<std::uint64_t> flat_rank =
+          apps::sequential_ranking(lst);
+      for (std::size_t cache : {std::size_t{1}, std::size_t{2},
+                                std::size_t{8}}) {
+        engine::BlockConfig cfg;
+        cfg.block_nodes = kBlockNodes;
+        cfg.cache_blocks = cache;
+        engine::BlockedMatcher matcher;
+        ASSERT_TRUE(matcher.init(lst, cfg).ok()) << n << "/" << cache;
+        core::MatchResult blocked;
+        ASSERT_TRUE(matcher.matching_into(blocked).ok()) << n << "/" << cache;
+        EXPECT_EQ(blocked.in_matching, flat.in_matching) << n << "/" << cache;
+        EXPECT_EQ(blocked.edges, flat.edges) << n << "/" << cache;
+        EXPECT_EQ(blocked.cost.work, flat.cost.work) << n << "/" << cache;
+        std::vector<std::uint64_t> rank;
+        ASSERT_TRUE(matcher.ranking_into(rank).ok()) << n << "/" << cache;
+        EXPECT_EQ(rank, flat_rank) << n << "/" << cache;
+      }
+    }
+  }
+}
+
+// Round-trip: the blocked image streams back out as exactly the
+// successor array it was built from, at every boundary length (the
+// partial final block must not leak fill values into the flat copy).
+TEST(Boundary, BlockedImageRoundTripsAtBoundaryLengths) {
+  for (std::size_t n : boundary_sizes()) {
+    const list::LinkedList lst = list::generators::random_list(n, 11);
+    engine::BlockConfig cfg;
+    cfg.block_nodes = kBlockNodes;
+    cfg.cache_blocks = 1;  // worst case: every pin can evict
+    engine::BlockedList blocked;
+    ASSERT_TRUE(blocked.init(lst, cfg).ok()) << n;
+    std::vector<index_t> out;
+    ASSERT_TRUE(blocked.to_flat(out).ok()) << n;
+    ASSERT_EQ(out.size(), n);
+    for (index_t v = 0; v < n; ++v) EXPECT_EQ(out[v], lst.next(v)) << n;
+  }
+}
+
+}  // namespace
+}  // namespace llmp

@@ -22,6 +22,8 @@
 
 #include <gtest/gtest.h>
 
+#include "core/sequential.h"
+#include "engine/blocked_match.h"
 #include "llmp.h"
 #include "support/alloc_counter.h"
 #include "support/failpoint.h"
@@ -218,6 +220,111 @@ TEST_F(Chaos, WatchdogRecoversCapacityFromStragglers) {
   EXPECT_EQ(st.workers, 2u);  // capacity restored, slot count stable
   EXPECT_EQ(st.completed, 40u);
   EXPECT_EQ(st.failed, 0u);  // sleeps delay, never fail
+}
+
+// Engine chaos, direct: storm the block engine's three failpoints and
+// reconcile exactly. Status rules (IO load/spill) abort a run with the
+// injected code — each failed run consumed exactly one status, since the
+// first fault aborts. The eviction failpoint throws; each thrown run
+// consumed exactly one throw. Surviving runs must still be bit-exact,
+// and after disarming, the same warm matcher must run clean.
+TEST_F(Chaos, BlockEngineFaultsReconcileExactly) {
+  const std::size_t kNodes = 2048;
+  const auto lst = list::generators::random_list(kNodes, 3);
+  core::MatchResult flat;
+  core::sequential_matching_into(lst, flat);
+
+  engine::BlockConfig cfg;
+  cfg.block_nodes = 128;  // 16 blocks…
+  cfg.cache_blocks = 2;   // …through 2 frames: every run loads and spills
+  engine::BlockedMatcher matcher;
+  ASSERT_TRUE(matcher.init(lst, cfg).ok());
+
+  ASSERT_TRUE(fp::arm_from_string(
+                  "engine.io.load=status(unavailable):p=0.002;"
+                  "engine.io.spill=status(unavailable):p=0.002;"
+                  "engine.cache.evict=throw:p=0.001")
+                  .ok());
+  constexpr int kRuns = 200;
+  std::uint64_t ok_runs = 0, status_runs = 0, thrown_runs = 0;
+  core::MatchResult r;
+  for (int k = 0; k < kRuns; ++k) {
+    try {
+      const Status s = matcher.matching_into(r);
+      if (s.ok()) {
+        ++ok_runs;
+        EXPECT_EQ(r.in_matching, flat.in_matching);
+        EXPECT_EQ(r.edges, flat.edges);
+      } else {
+        ++status_runs;
+        EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+        EXPECT_TRUE(s.retryable());
+      }
+    } catch (const fp::InjectedFault&) {
+      ++thrown_runs;
+    }
+  }
+  const fp::Counts load = fp::counts("engine.io.load");
+  const fp::Counts spill = fp::counts("engine.io.spill");
+  const fp::Counts evict = fp::counts("engine.cache.evict");
+  fp::disarm_all();
+
+  EXPECT_EQ(ok_runs + status_runs + thrown_runs,
+            static_cast<std::uint64_t>(kRuns));
+  EXPECT_EQ(status_runs, load.statuses + spill.statuses);
+  EXPECT_EQ(thrown_runs, evict.throws);
+  EXPECT_GT(status_runs + thrown_runs, 0u)
+      << "chaos schedule injected nothing — not a real storm";
+  EXPECT_GT(ok_runs, 0u) << "every run faulted — rates too hot to verify";
+
+  // Recovery on the same warm matcher: no residue from aborted runs.
+  ASSERT_TRUE(matcher.matching_into(r).ok());
+  EXPECT_EQ(r.in_matching, flat.in_matching);
+}
+
+// Engine chaos through the serve layer: blocked requests ride the same
+// retry machinery as flat ones. Injected IO faults surface kUnavailable
+// (retryable), so each fault fails exactly one attempt and the service's
+// retry/failure counters reconcile exactly against the failpoint's.
+TEST_F(Chaos, ServeRetriesBlockedRequestsThroughIoFaults) {
+  const std::size_t kNodes = 16384;  // 4 blocks at the engine's default
+  const auto lst = list::generators::random_list(kNodes, 5);
+
+  ServiceOptions opt;
+  opt.workers = 2;
+  opt.queue_capacity = 64;
+  opt.retry = {.max_attempts = 3,
+               .backoff_base = std::chrono::milliseconds(1),
+               .backoff_max = std::chrono::milliseconds(4)};
+  Service svc(opt);
+
+  ASSERT_TRUE(
+      fp::arm_from_string("engine.io.load=status(unavailable):p=0.01;"
+                          "engine.io.spill=status(unavailable):p=0.01")
+          .ok());
+  constexpr int kCount = 120;
+  const std::size_t kBudget = 64 * 1024;  // 1 frame: constant swapping
+  std::vector<std::future<Result<MatchResult>>> futs;
+  futs.reserve(kCount);
+  for (int k = 0; k < kCount; ++k)
+    futs.push_back(svc.submit({.list = &lst,
+                               .algorithm = "sequential",
+                               .memory_budget_bytes = kBudget}));
+  std::uint64_t ok = 0;
+  for (auto& f : futs) ok += f.get().ok();
+
+  const ServiceStats st = svc.stats();
+  const fp::Counts load = fp::counts("engine.io.load");
+  const fp::Counts spill = fp::counts("engine.io.spill");
+  fp::disarm_all();
+
+  EXPECT_EQ(st.completed, static_cast<std::uint64_t>(kCount));
+  EXPECT_EQ(st.ok, ok);
+  const std::uint64_t injected = load.statuses + spill.statuses;
+  EXPECT_GT(injected, 0u) << "no IO fault fired — storm misconfigured";
+  EXPECT_EQ(injected, st.retries + st.failed);
+  EXPECT_EQ(st.restarts, 0u);  // status faults never escape the worker
+  EXPECT_GT(st.ok, 0u);
 }
 
 TEST_F(Chaos, DisarmedFailpointsPreserveZeroSteadyStateAllocations) {

@@ -25,8 +25,16 @@
 #include "core/sequential.h"
 #include "core/verify.h"
 #include "core/walkdown.h"
+#include "engine/block.h"
+#include "engine/block_store.h"
+#include "engine/blocked_list.h"
+#include "engine/blocked_match.h"
+#include "engine/io_driver.h"
+#include "engine/mailbox.h"
+#include "engine/scheduler.h"
 #include "list/generators.h"
 #include "list/linked_list.h"
+#include "list/storage.h"
 #include "llmp.h"
 #include "pram/barrier.h"
 #include "pram/context.h"
@@ -48,6 +56,7 @@
 #include "support/types.h"
 // Second pass: include guards must hold.
 #include "apps/euler_tour.h"
+#include "engine/blocked_match.h"
 #include "llmp.h"
 #include "serve/service.h"
 #include "support/status.h"

@@ -13,10 +13,10 @@
 
 namespace llmp::fixture {
 
-inline unsigned guarded_successor(const std::vector<unsigned>& next,
+inline unsigned guarded_successor(const std::vector<unsigned>& succ_of,
                                   std::size_t v) {
-  LLMP_DCHECK(v < next.size());
-  return next[v];
+  LLMP_DCHECK(v < succ_of.size());
+  return succ_of[v];
 }
 
 inline void relabel_ok(llmp::pram::SeqExec& exec, std::size_t n,

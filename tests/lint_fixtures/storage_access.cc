@@ -1,0 +1,18 @@
+// BAD: code outside src/list/ and src/engine/ subscripts the successor
+// array directly, baking the flat storage layout into a call site that
+// must stay storage-agnostic. Expected: storage-access on the `next[v]`
+// line (the test lints this fixture under a synthetic src/ path; the
+// guarded DCHECK keeps unchecked-index quiet so exactly one rule fires).
+#include <cstddef>
+#include <vector>
+
+#include "support/check.h"
+
+namespace llmp::fixture {
+
+inline unsigned successor(const std::vector<unsigned>& next, std::size_t v) {
+  LLMP_DCHECK(v < next.size());
+  return next[v];
+}
+
+}  // namespace llmp::fixture

@@ -1,14 +1,14 @@
 // BAD: an indexing helper subscripts a std::vector parameter with no
 // LLMP_CHECK/LLMP_DCHECK anywhere in its body. Expected: unchecked-index
-// on the `next[v]` line (the rule applies to files under src/; the test
+// on the `cells[v]` line (the rule applies to files under src/; the test
 // lints this fixture under a synthetic src/ path).
 #include <cstddef>
 #include <vector>
 
 namespace llmp::fixture {
 
-inline unsigned successor(const std::vector<unsigned>& next, std::size_t v) {
-  return next[v];  // no guard
+inline unsigned successor(const std::vector<unsigned>& cells, std::size_t v) {
+  return cells[v];  // no guard
 }
 
 }  // namespace llmp::fixture

@@ -57,6 +57,7 @@ constexpr Expected kBadFixtures[] = {
     {"unchecked_index.cc", "unchecked-index", 11},
     {"failpoint_bad_name.cc", "failpoint-name", 7},
     {"serve_raw_sync.cc", "serve-raw-sync", 10},
+    {"storage_access.cc", "storage-access", 15},
 };
 
 TEST(LintFixtures, EachBadFixtureTriggersExactlyItsRule) {
@@ -166,6 +167,43 @@ TEST(LintScope, ServeRawSyncAppliesOnlyUnderServe) {
                           "inline void f() { std::thread t; "
                           "t.join(); }  // lint:allow(serve-raw-sync)\n")
                   .empty());
+}
+
+TEST(LintScope, StorageAccessExemptsListAndEngine) {
+  // Subscripting the successor array is the storage layer's whole job:
+  // the same text that is flagged elsewhere under src/ is legal inside
+  // src/list/ and src/engine/, and outside src/ entirely (bench, tools).
+  const std::string raw =
+      "#pragma once\n"
+      "#include <vector>\n"
+      "#include \"support/check.h\"\n"
+      "inline unsigned f(const std::vector<unsigned>& next, std::size_t v) "
+      "{\n"
+      "  LLMP_DCHECK(v < next.size());\n"
+      "  return next[v];\n"
+      "}\n";
+  auto storage_findings = [&](const std::string& path) {
+    std::size_t count = 0;
+    for (const Finding& f : lint_source(path, raw))
+      count += f.rule == "storage-access";
+    return count;
+  };
+  EXPECT_EQ(storage_findings("src/apps/x.h"), 1u);
+  EXPECT_EQ(storage_findings("src/core/x.h"), 1u);
+  EXPECT_EQ(storage_findings("src/list/x.h"), 0u);
+  EXPECT_EQ(storage_findings("src/engine/x.h"), 0u);
+  EXPECT_EQ(storage_findings("bench/x.cpp"), 0u);
+  // Passing the array whole (no subscript) is fine anywhere: the Mem
+  // accessor path `m.rd(next, v)` must not trip the rule.
+  const std::string accessor =
+      "#pragma once\n"
+      "inline void g(M& m, const V& next, std::size_t v) { m.rd(next, v); "
+      "}\n";
+  EXPECT_TRUE(lint_source("src/apps/y.h", accessor).empty());
+  // The --no-storage-access escape hatch.
+  Options opt;
+  opt.check_storage = false;
+  EXPECT_TRUE(lint_source("src/apps/x.h", raw, opt).empty());
 }
 
 TEST(LintRepo, SourceTreeIsClean) {

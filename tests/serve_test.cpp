@@ -136,6 +136,42 @@ TEST(Serve, SubmitMatchesDirectRunAndVerifies) {
   EXPECT_EQ(r->in_matching, direct->in_matching);
 }
 
+TEST(Serve, BlockedBudgetRequestMatchesFlatBesideIt) {
+  // One blocked (budgeted) and one flat request on the same workers: the
+  // out-of-core path must return the same matching the flat sequential
+  // path does, and the engine's cost surface must ride the metrics the
+  // flat result carries (cost/phases are part of MatchResult equality).
+  const auto lst = make_list(20000);
+  Service svc({.workers = 2});
+  auto blocked_fut = svc.submit({.list = &lst,
+                                 .algorithm = "sequential",
+                                 .memory_budget_bytes = 64 * 1024});
+  auto flat_fut = svc.submit({.list = &lst, .algorithm = "sequential"});
+  Result<MatchResult> blocked = blocked_fut.get();
+  Result<MatchResult> flat = flat_fut.get();
+  ASSERT_TRUE(blocked.ok()) << blocked.status().to_string();
+  ASSERT_TRUE(flat.ok()) << flat.status().to_string();
+  EXPECT_EQ(blocked->in_matching, flat->in_matching);
+  EXPECT_EQ(blocked->edges, flat->edges);
+  EXPECT_EQ(blocked->cost.work, flat->cost.work);
+  EXPECT_TRUE(core::verify::maximal_status(lst, blocked->in_matching).ok());
+}
+
+TEST(Serve, BudgetWithNonSequentialAlgorithmIsInvalidArgument) {
+  // The block engine natively runs the greedy sequential walk; a budget
+  // on any other algorithm is a contract violation caught at submit.
+  const auto lst = make_list(1000);
+  Service svc({.workers = 1});
+  auto fut = svc.submit({.list = &lst,
+                         .algorithm = "match4",
+                         .memory_budget_bytes = 64 * 1024});
+  const Result<MatchResult> r = fut.get();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  // The rejection happened before the queue: nothing was submitted.
+  EXPECT_EQ(svc.stats().submitted, 0u);
+}
+
 TEST(Serve, SubmitBatchConcurrentCorrectness) {
   // Different algorithms and lists in flight at once; every result must
   // verify against its own list.

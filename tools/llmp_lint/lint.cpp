@@ -505,6 +505,31 @@ void check_failpoint_rules(const std::string& path,
 }
 
 // ---------------------------------------------------------------------------
+// storage-access: successor/predecessor arrays are a storage policy.
+// ---------------------------------------------------------------------------
+
+/// The identifiers whose raw subscript bakes the flat layout into a call
+/// site. Exact-name match only: `succ_of[v]` or `arc_next[v]` are fine.
+bool is_storage_array_name(const std::string& t) {
+  return t == "next" || t == "pred" || t == "succ" || t == "suc";
+}
+
+void check_storage_rules(const std::string& path,
+                         const std::vector<Token>& toks,
+                         std::vector<Finding>& findings) {
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (!toks[i].ident() || !is_storage_array_name(toks[i].text)) continue;
+    if (!toks[i + 1].is("[")) continue;
+    findings.push_back(
+        {path, toks[i].line, "storage-access",
+         "raw subscript of storage array '" + toks[i].text +
+             "' outside src/list//src/engine/; go through the "
+             "list::LinkedList accessors (next(v), predecessors()) or "
+             "rename the local — storage layout is a policy"});
+  }
+}
+
+// ---------------------------------------------------------------------------
 // serve-raw-sync: serve code must go through the sync-policy vocabulary.
 // ---------------------------------------------------------------------------
 
@@ -556,6 +581,16 @@ bool under_serve(const std::string& path) {
          path.find("/src/serve/") != std::string::npos;
 }
 
+// src/list/ owns the flat layout and src/engine/ the blocked one; inside
+// those two subsystems subscripting the storage arrays IS the job. All
+// other src/ code must stay storage-agnostic.
+bool owns_storage(const std::string& path) {
+  return path.find("src/list/") == 0 ||
+         path.find("/src/list/") != std::string::npos ||
+         path.find("src/engine/") == 0 ||
+         path.find("/src/engine/") != std::string::npos;
+}
+
 // serve/sync_policy.h is the single sanctioned home of the raw std::
 // primitives: it wraps them into the policy vocabulary everything else
 // in src/serve/ must use.
@@ -584,7 +619,7 @@ const std::vector<std::string>& all_rule_ids() {
   static const std::vector<std::string> ids = {
       "step-raw-index",  "step-ref-capture", "step-read-after-write",
       "header-pragma-once", "include-order", "unchecked-index",
-      "failpoint-name", "serve-raw-sync"};
+      "failpoint-name", "serve-raw-sync", "storage-access"};
   return ids;
 }
 
@@ -599,6 +634,8 @@ std::vector<Finding> lint_source(const std::string& path,
   if (opt.check_guards && under_src(path))
     check_guard_rules(path, lx.tokens, findings);
   if (opt.check_failpoints) check_failpoint_rules(path, lx.tokens, findings);
+  if (opt.check_storage && under_src(path) && !owns_storage(path))
+    check_storage_rules(path, lx.tokens, findings);
   if (opt.check_serve_sync && under_serve(path) &&
       !is_sync_policy_header(path))
     check_serve_sync_rules(path, lx.tokens, findings);

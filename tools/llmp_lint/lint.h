@@ -34,6 +34,17 @@
 //                         synchronisation through a Sync policy so the
 //                         same source compiles against the mc:: shims and
 //                         stays model-checkable (docs/MODELCHECK.md).
+//   storage-access        A file under src/ outside src/list/ and
+//                         src/engine/ subscripts a successor/predecessor
+//                         array directly (`next[v]`, `succ[v]`, `pred[v]`,
+//                         `suc[v]`). List storage is a policy behind
+//                         list::LinkedList and the block engine; raw
+//                         subscripts bake the flat layout into call sites
+//                         that must stay storage-agnostic. Use the
+//                         accessors (list.next(v), predecessors()) or a
+//                         differently named local. Passing the array
+//                         whole (`m.rd(next, v)`) is fine — only the
+//                         subscript is load-bearing.
 //   failpoint-name        An LLMP_FAILPOINT / LLMP_FAILPOINT_STATUS site
 //                         whose name literal is not `file.scope.event`
 //                         (exactly three lowercase [a-z0-9_] segments), or
@@ -78,6 +89,7 @@ struct Options {
   bool check_guards = true;   // unchecked-index (applied under src/ only)
   bool check_failpoints = true;  // failpoint-name (uniqueness needs lint_tree)
   bool check_serve_sync = true;  // serve-raw-sync (applied under src/serve/)
+  bool check_storage = true;  // storage-access (src/ minus list/ + engine/)
 };
 
 /// Every rule id the linter can emit, in a stable order.

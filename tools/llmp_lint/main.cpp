@@ -1,7 +1,8 @@
 // llmp_lint CLI. Usage:
 //
 //   llmp_lint [--list-rules] [--no-steps] [--no-headers] [--no-guards]
-//             [--no-failpoints] [--no-serve-sync] [path ...]
+//             [--no-failpoints] [--no-serve-sync] [--no-storage-access]
+//             [path ...]
 //
 // Paths may be files or directories (recursed for .h/.cpp/.cc); with no
 // paths the tool lints src/, bench/, and examples/ relative to the current
@@ -32,10 +33,13 @@ int main(int argc, char** argv) {
       opt.check_failpoints = false;
     } else if (arg == "--no-serve-sync") {
       opt.check_serve_sync = false;
+    } else if (arg == "--no-storage-access") {
+      opt.check_storage = false;
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: llmp_lint [--list-rules] [--no-steps] [--no-headers] "
-          "[--no-guards] [--no-failpoints] [--no-serve-sync] [path ...]\n");
+          "[--no-guards] [--no-failpoints] [--no-serve-sync] "
+          "[--no-storage-access] [path ...]\n");
       return 0;
     } else {
       roots.push_back(arg);
