@@ -1,0 +1,125 @@
+// Micro-benchmark for ParallelExec's dispatch decision.
+//
+// Before the adaptive-threshold change, every step re-derived the inline/
+// pooled decision from scratch: dereference the pool pointer, load
+// workers(), compare against the constant threshold — per step, even on a
+// zero-worker pool that can never dispatch. ParallelExec now folds the
+// whole decision into one cached `threshold_` member at construction
+// (zero workers => pram::kNeverParallel), so the hot path is a single
+// integer compare.
+//
+// This bench drives millions of tiny steps (the worst case for per-step
+// overhead: small nprocs, trivial bodies) through
+//
+//   hoisted   — ParallelExec as it ships, and
+//   re-check  — a faithful replica of the old step() that re-reads
+//               pool.workers() and re-evaluates the zero-worker escape
+//               on every call (the replica lives in this file; the
+//               production class no longer contains that code),
+//
+// and reports steps/second plus the checksum proving both did the same
+// work. The checksum and step counts are model quantities under the bench
+// gate; the wall columns and "vs_" ratios are machine noise.
+//
+//   --n N    virtual processors per step (default 64: inline regime)
+//   --csv / --json[=FILE]   as in every bench (see bench_common.h)
+#include <cstdint>
+#include <vector>
+
+#include "bench_common.h"
+#include "pram/executor.h"
+#include "pram/thread_pool.h"
+#include "support/format.h"
+
+namespace {
+
+using namespace llmp;
+
+/// Replica of the pre-hoist dispatch: the old ParallelExec::step re-read
+/// pool.workers() and compared the constant threshold on every call.
+class RecheckingExec {
+ public:
+  RecheckingExec(std::size_t processors, pram::ThreadPool& pool)
+      : p_(processors), pool_(&pool) {}
+
+  template <class F>
+  void step(std::size_t nprocs, F&& body) {
+    stats_.depth += 1;
+    stats_.time_p += pram::ceil_div(nprocs, p_);
+    stats_.work += nprocs;
+    if (pool_->workers() == 0 ||
+        nprocs < pram::ParallelExec::kDefaultParallelThreshold) {
+      pram::DirectMem m;
+      for (std::size_t v = 0; v < nprocs; ++v) body(v, m);
+      return;
+    }
+    pool_->parallel_for(nprocs, [&body](std::size_t v) {
+      pram::DirectMem m;
+      body(v, m);
+    });
+  }
+
+  const pram::Stats& stats() const { return stats_; }
+
+ private:
+  std::size_t p_;
+  pram::ThreadPool* pool_;
+  pram::Stats stats_;
+};
+
+template <class Exec>
+std::uint64_t drive(Exec& exec, std::vector<std::uint64_t>& a,
+                    std::uint64_t steps) {
+  const std::size_t n = a.size();
+  for (std::uint64_t s = 0; s < steps; ++s) {
+    exec.step(n, [&](std::size_t v, auto&& m) {
+      m.wr(a, v, m.rd(a, v) + v + 1);
+    });
+  }
+  std::uint64_t checksum = 0;
+  for (std::uint64_t x : a) checksum ^= x;
+  return checksum;
+}
+
+int run(int argc, char** argv) {
+  bench::BenchArgs args = bench::parse_bench_args(argc, argv);
+  const std::size_t n = args.n_or(64);
+  const std::uint64_t steps = (std::uint64_t{1} << 22) / (n >= 64 ? n / 64 : 1);
+
+  std::cout << "bench_dispatch: per-step dispatch overhead, " << steps
+            << " steps of n=" << n << " trivial bodies\n\n";
+
+  fmt::Table t({"dispatch", "steps", "n", "checksum", "total ms",
+                "ns_per_step", "vs_recheck"});
+  double recheck_ms = 0;
+  for (int variant = 0; variant < 2; ++variant) {
+    pram::ThreadPool pool(0);  // the hoist's best case: nothing to dispatch
+    std::vector<std::uint64_t> a(n, 0);
+    std::uint64_t checksum = 0;
+    double ms = 0;
+    const char* name = variant == 0 ? "re-check" : "hoisted";
+    if (variant == 0) {
+      RecheckingExec exec(64, pool);
+      ms = bench::wall_ms([&] { checksum = drive(exec, a, steps); });
+      recheck_ms = ms;
+      LLMP_CHECK(exec.stats().depth == steps);
+    } else {
+      pram::ParallelExec exec(64, pool);
+      LLMP_CHECK(exec.parallel_threshold() == pram::kNeverParallel);
+      ms = bench::wall_ms([&] { checksum = drive(exec, a, steps); });
+      LLMP_CHECK(exec.stats().depth == steps);
+    }
+    const double ratio = variant == 0 ? 1.0 : (ms > 0 ? recheck_ms / ms : 0);
+    t.add_row({name, fmt::num(steps), fmt::num(n), fmt::num(checksum),
+               fmt::num(ms, 3),
+               fmt::num(steps > 0 ? ms * 1e6 / static_cast<double>(steps) : 0,
+                        2),
+               fmt::num(ratio, 3)});
+  }
+  t.print();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return run(argc, argv); }

@@ -20,9 +20,15 @@
 //     measurement window must read exactly 0 (this binary instruments
 //     global operator new; see support/alloc_counter.h).
 //
-//   ./bench_serve_throughput [--n 10000] [--csv]
+//   ./bench_serve_throughput [--n 10000] [--csv] [--compare-baseline]
+//
+// --compare-baseline appends a fused-vs-legacy section: the same CPU-bound
+// request mix served with the thread backend's fused sweeps switched off
+// (the pre-raw-speed-pass dispatch) and on, and the req/s ratio between
+// them. Results are bit-identical either way; only throughput moves.
 #include <chrono>
 #include <cstdlib>
+#include <cstring>
 #include <future>
 #include <iostream>
 #include <new>
@@ -31,6 +37,7 @@
 
 #include "bench_common.h"
 #include "llmp.h"
+#include "pram/tune.h"
 #include "support/alloc_counter.h"
 
 // Instrument the allocator so ServiceStats::steady_allocs is live.
@@ -114,6 +121,15 @@ RunResult drive(const std::vector<list::LinkedList>& lists,
 }  // namespace
 
 int main(int argc, char** argv) {
+  bool compare_baseline = false;
+  int out_argc = 1;
+  for (int in = 1; in < argc; ++in) {
+    if (std::strcmp(argv[in], "--compare-baseline") == 0)
+      compare_baseline = true;
+    else
+      argv[out_argc++] = argv[in];
+  }
+  argc = out_argc;
   bench::BenchArgs args = bench::parse_bench_args(argc, argv);
   const std::size_t n = args.n_or(10000);
   const unsigned cores = std::thread::hardware_concurrency();
@@ -174,6 +190,28 @@ int main(int argc, char** argv) {
   t3.add_row({fmt::num(200), fmt::num(ss.arena_takes), fmt::num(ss.arena_hits),
               fmt::num(ss.steady_allocs)});
   t3.print();
+
+  // ---- Section 4 (opt-in): fused sweeps vs legacy dispatch. ----------------
+  if (compare_baseline) {
+    std::cout << "\n[4] --compare-baseline: fused sweeps vs legacy "
+                 "per-element dispatch (CPU-bound, 4 workers)\n";
+    const pram::SweepTuning saved = pram::tuning();
+    pram::tuning().fused = false;
+    const RunResult legacy =
+        drive(lists, 4, /*requests=*/160, std::chrono::microseconds(0));
+    pram::tuning() = saved;
+    pram::tuning().fused = true;
+    const RunResult fused =
+        drive(lists, 4, /*requests=*/160, std::chrono::microseconds(0));
+    pram::tuning() = saved;
+    fmt::Table t4({"sweep mode", "req/s", "p50 us", "p99 us", "vs_legacy"});
+    t4.add_row({"legacy", fmt::num(static_cast<std::uint64_t>(legacy.rps)),
+                fmt::num(legacy.p50_us), fmt::num(legacy.p99_us), "1.00"});
+    t4.add_row({"fused", fmt::num(static_cast<std::uint64_t>(fused.rps)),
+                fmt::num(fused.p50_us), fmt::num(fused.p99_us),
+                fmt::num(legacy.rps > 0 ? fused.rps / legacy.rps : 0, 2)});
+    t4.print();
+  }
 
   const bool pass = speedup >= 4.0 && ss.steady_allocs == 0;
   std::cout << "\n" << (pass ? "PASS" : "FAIL")

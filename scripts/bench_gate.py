@@ -12,10 +12,18 @@ EXACTLY against bench/baselines/BENCH_<name>.json. Wall-clock columns
 
 Usage:
   scripts/bench_gate.py [--build-dir build] [--update] [name ...]
+  scripts/bench_gate.py --speedup bench/baselines/PERF_<...>.json
 
 With --update the current output replaces the baseline (commit the diff
 alongside the change that explains it). Names default to every GATE
 entry. Exit status: 0 clean, 1 drift or missing baseline.
+
+--speedup switches to the wall-clock acceptance check for the fused
+thread backend: it reads a committed bench_thread_backend JSON capture
+(taken at n >= 1M) and requires vs_legacy >= --min-ratio on at least
+--min-count workloads. Wall ratios are machine noise for the *drift*
+gate, but for the capture that documents the raw-speed pass they are the
+whole point — this mode is how CI keeps that evidence honest.
 """
 
 import argparse
@@ -30,13 +38,19 @@ import tempfile
 # committed bench/baselines/BENCH_<name>.json (seed with --update).
 GATE = {
     "bench_blocked_ranking": ["--n", "32768"],
+    "bench_dispatch": [],
     "bench_lemma1_sets": [],
+    "bench_thread_backend": ["--n", "65536", "--workers", "2"],
     "bench_walkdown": ["--n", "4096"],
 }
 
 # Counter keys that carry machine-dependent time, not model quantities.
+# calibrated_threshold / threshold_measured come from the adaptive
+# crossover measurement (per-host), prefetch_distance from the
+# environment, ns_per_step from the dispatch micro-bench's wall clock.
 VOLATILE_KEYS = {"real_time", "cpu_time", "iterations", "repetitions",
-                 "repetition_index", "threads"}
+                 "repetition_index", "threads", "calibrated_threshold",
+                 "threshold_measured", "prefetch_distance", "ns_per_step"}
 
 
 def is_volatile(key):
@@ -93,15 +107,51 @@ def compare(name, baseline, current):
     return drift
 
 
+def check_speedup(path, min_ratio, min_count):
+    """Enforce the fused-vs-legacy acceptance on a saved capture."""
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    ratios = {}
+    for b in doc.get("benchmarks", []):
+        name = b.get("name", "")
+        if name.startswith("algo/") and "vs_legacy" in b:
+            ratios[name[len("algo/"):]] = b["vs_legacy"]
+    if not ratios:
+        sys.exit(f"bench_gate: {path} has no algo/... rows with vs_legacy "
+                 f"(capture it with bench_thread_backend --json=...)")
+    winners = sorted(w for w, r in ratios.items() if r >= min_ratio)
+    for workload in sorted(ratios):
+        mark = "PASS" if ratios[workload] >= min_ratio else "  --"
+        print(f"bench_gate: speedup {mark} {workload} "
+              f"vs_legacy={ratios[workload]:.3f}")
+    if len(winners) < min_count:
+        sys.exit(f"bench_gate: speedup FAIL: {len(winners)} workload(s) "
+                 f">= {min_ratio}x (need {min_count}): "
+                 f"{', '.join(winners) or 'none'}")
+    print(f"bench_gate: speedup OK: {', '.join(winners)} >= {min_ratio}x")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--build-dir", default="build")
     ap.add_argument("--baseline-dir", default="bench/baselines")
     ap.add_argument("--update", action="store_true",
                     help="write current output as the new baselines")
+    ap.add_argument("--speedup", metavar="JSON",
+                    help="check vs_legacy ratios in a saved "
+                         "bench_thread_backend capture instead of diffing "
+                         "baselines")
+    ap.add_argument("--min-ratio", type=float, default=1.5,
+                    help="required fused-vs-legacy ratio (default 1.5)")
+    ap.add_argument("--min-count", type=int, default=2,
+                    help="workloads that must clear it (default 2)")
     ap.add_argument("names", nargs="*", default=[],
                     help="subset of GATE entries (default: all)")
     opts = ap.parse_args()
+
+    if opts.speedup:
+        check_speedup(opts.speedup, opts.min_ratio, opts.min_count)
+        return
 
     names = opts.names or sorted(GATE)
     unknown = [n for n in names if n not in GATE]

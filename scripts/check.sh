@@ -2,16 +2,22 @@
 # Full local CI sweep:
 #
 #   1. plain Release build + the tier-1 ctest suite,
+#   1b. the fused-backend differential suite rerun with SIMD dispatch
+#      forced off (LLMP_SIMD=off): the portable scalar kernels must be
+#      bit-identical to the PRAM referee too, not just the AVX2 path the
+#      host happens to pick,
 #   2. llmp_lint over the tree and llmp_prove over the registry,
 #   2b. the bench perf gate: deterministic counters (cache loads/spills,
 #      mailbox traffic, set counts) diffed exactly against the committed
-#      baselines in bench/baselines/ (scripts/bench_gate.py),
+#      baselines in bench/baselines/ (scripts/bench_gate.py), plus the
+#      raw-speed acceptance: the committed bench_thread_backend capture
+#      must show fused >= 1.5x legacy on >= 2 workloads at n >= 1M,
 #   3. llmp_mc — the bounded model checker's full gate: every serve
 #      scenario clean over every bounded interleaving, and the three
 #      seeded queue mutations each caught (the checker's self-test),
 #   4. the tier-1 suite again under ASan+UBSan (-DLLMP_SANITIZE=...),
 #   5. the threading tests (thread_pool_test, machine_test, serve_test,
-#      chaos_test) under TSan — the chaos storm exercises fault
+#      chaos_test, fused_backend_test) under TSan — the chaos storm exercises fault
 #      injection, worker restarts, retries and the watchdog with the
 #      race detector watching.
 #
@@ -29,12 +35,17 @@ cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
 (cd build && ctest --output-on-failure -j "$JOBS")
 
+echo "== [1b/5] fused-backend differential suite, SIMD forced off =="
+LLMP_SIMD=off ./build/tests/fused_backend_test
+
 echo "== [2/5] llmp_lint + llmp_prove =="
 ./build/tools/llmp_lint/llmp_lint src bench examples tools
 ./build/tools/llmp_prove
 
 echo "== [2b/5] bench perf gate (deterministic counters vs baselines) =="
 python3 scripts/bench_gate.py --build-dir build
+python3 scripts/bench_gate.py \
+  --speedup bench/baselines/PERF_thread_backend_n2097152.json
 
 echo "== [3/5] llmp_mc model-check gate (incl. seeded-mutation self-test) =="
 ./build/tools/llmp_mc
@@ -50,6 +61,8 @@ cmake -B build-asan -S . \
   -DLLMP_SANITIZE=address,undefined >/dev/null
 cmake --build build-asan -j "$JOBS"
 (cd build-asan && ctest --output-on-failure -j "$JOBS")
+# The scalar crunch kernels under the sanitizers too, not just AVX2.
+LLMP_SIMD=off ./build-asan/tests/fused_backend_test
 
 echo "== [4b/5] blocked-engine out-of-core smoke under ASan (8x cache) =="
 # 2^17 nodes / 4096-node blocks = 32 blocks; the sweep's smallest cache
@@ -63,8 +76,9 @@ cmake -B build-tsan -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DLLMP_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS" \
-  --target thread_pool_test machine_test serve_test chaos_test
+  --target thread_pool_test machine_test serve_test chaos_test \
+  fused_backend_test
 (cd build-tsan && ctest --output-on-failure -j "$JOBS" \
-  -R "ThreadPool|Machine|Serve|BoundedQueue|Chaos")
+  -R "ThreadPool|Machine|Serve|BoundedQueue|Chaos|FusedBackend")
 
 echo "check.sh: all green"

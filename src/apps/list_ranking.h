@@ -35,6 +35,7 @@
 #include "list/linked_list.h"
 #include "pram/arena.h"
 #include "pram/prefix.h"
+#include "pram/sweep.h"
 
 namespace llmp::apps {
 
@@ -52,13 +53,85 @@ RankingResult wyllie_ranking(Exec& exec, const list::LinkedList& list) {
   const pram::Stats start = exec.stats();
   const auto& next_arr = list.next_array();
 
+  // rank is moved into the result, so it (and its swap partner below)
+  // stays a plain vector rather than an arena lease.
+  std::vector<std::uint64_t> rank(n);
+  if constexpr (pram::has_sweep_v<Exec>) {
+    if (pram::tuning().fused) {
+      // The fused rounds jump through interleaved {successor, rank} pairs:
+      // the random access at jn[v] then costs ONE cache line instead of
+      // two (separate nxt/rank arrays), and ranks travel as uint32 — they
+      // are list distances < n, and index_t caps n below 2^32 — halving
+      // the streamed traffic. The final round widens straight into the
+      // public uint64 ranks, so results are bit-identical to the legacy
+      // per-element rounds.
+      struct JumpPair {
+        index_t s;
+        std::uint32_t r;
+      };
+      const std::size_t dist =
+          static_cast<std::size_t>(pram::tuning().prefetch.distance);
+      auto pairs_h = pram::scratch<JumpPair>(exec, n);
+      auto pairs2_h = pram::scratch<JumpPair>(exec, n);
+      JumpPair* cur = (*pairs_h).data();
+      JumpPair* nxt_buf = (*pairs2_h).data();
+      {
+        const index_t* na = next_arr.data();
+        JumpPair* out = cur;
+        exec.sweep(n, 1, [=](std::size_t lo, std::size_t hi) {
+          for (std::size_t v = lo; v < hi; ++v) {
+            const index_t s = na[v];
+            out[v] = {s, s == knil ? 0u : 1u};
+          }
+        });
+      }
+      std::uint64_t* rk64 = rank.data();
+      for (std::size_t span = 1; span < n; span <<= 1) {
+        const bool last = (span << 1) >= n;
+        const JumpPair* jn = cur;
+        if (!last) {
+          JumpPair* out = nxt_buf;
+          exec.sweep(n, 1, [=](std::size_t lo, std::size_t hi) {
+            for (std::size_t v = lo; v < hi; ++v) {
+              if (dist != 0 && v + dist < hi) {
+                const index_t pf = jn[v + dist].s;
+                if (pf != knil) pram::prefetch_ro(jn + pf);
+              }
+              const JumpPair p = jn[v];
+              out[v] = p.s == knil ? p
+                                   : JumpPair{jn[p.s].s, p.r + jn[p.s].r};
+            }
+          });
+          std::swap(cur, nxt_buf);
+        } else {
+          // Last doubling: only the ranks are ever read again, so write
+          // them wide and skip the dead successor column.
+          exec.sweep(n, 1, [=](std::size_t lo, std::size_t hi) {
+            for (std::size_t v = lo; v < hi; ++v) {
+              if (dist != 0 && v + dist < hi) {
+                const index_t pf = jn[v + dist].s;
+                if (pf != knil) pram::prefetch_ro(jn + pf);
+              }
+              const JumpPair p = jn[v];
+              rk64[v] = p.s == knil
+                            ? p.r
+                            : std::uint64_t{p.r} + jn[p.s].r;
+            }
+          });
+        }
+        ++r.rounds;
+      }
+      if (n == 1) rank[0] = cur[0].r;  // no doubling round ran
+      r.rank = std::move(rank);
+      r.cost = exec.stats() - start;
+      return r;
+    }
+  }
   auto nxt_h = pram::scratch<index_t>(exec, n);
   auto nxt2_h = pram::scratch<index_t>(exec, n);
   std::vector<index_t>& nxt = *nxt_h;
   std::vector<index_t>& nxt2 = *nxt2_h;
-  // rank is moved into the result, so it (and its swap partner) stays a
-  // plain vector rather than an arena lease.
-  std::vector<std::uint64_t> rank(n), rank2(n);
+  std::vector<std::uint64_t> rank2(n);
   exec.step(n, [&](std::size_t v, auto&& m) {
     const index_t s = m.rd(next_arr, v);
     m.wr(nxt, v, s);

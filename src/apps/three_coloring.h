@@ -41,7 +41,8 @@ ColoringResult three_coloring(Exec& exec, const list::LinkedList& list,
   auto labels_h = pram::scratch<label_t>(exec, n);
   std::vector<label_t>& labels = *labels_h;
   core::init_address_labels(exec, n, labels);
-  r.reduce_rounds = core::reduce_to_constant(exec, list, labels, rule);
+  r.reduce_rounds = core::reduce_to_constant(exec, list, labels, rule,
+                                             /*labels_are_addresses=*/true);
 
   auto pred_h = pram::scratch<index_t>(exec, n);
   std::vector<index_t>& pred = *pred_h;

@@ -25,6 +25,7 @@
 #include "list/linked_list.h"
 #include "pram/arena.h"
 #include "pram/stats.h"
+#include "pram/sweep.h"
 #include "support/check.h"
 #include "support/types.h"
 
@@ -34,6 +35,76 @@ struct CutStats {
   std::size_t cuts = 0;     ///< pointers deleted in step 3
   std::size_t max_run = 0;  ///< longest sublist walked in step 4
 };
+
+namespace detail {
+/// Fused step-3 kernel: mark strict-local-minimum cut pointers over
+/// [lo, hi), prefetching the three neighbour-cell chases ahead. The label
+/// type is templated: constant-alphabet labels fit a byte, and the fused
+/// caller narrows them first so the neighbour chases touch an n-byte
+/// array instead of the 8n-byte input.
+template <class LabelT>
+inline void cut_mark_span(const index_t* nx, const index_t* pr,
+                          const LabelT* pl, std::uint8_t* cut_flags,
+                          std::size_t lo, std::size_t hi) {
+  const std::size_t dist =
+      static_cast<std::size_t>(pram::tuning().prefetch.distance);
+  for (std::size_t v = lo; v < hi; ++v) {
+    if (dist != 0 && v + dist < hi) {
+      const index_t pf_n = nx[v + dist];
+      const index_t pf_p = pr[v + dist];
+      if (pf_n != knil) {
+        pram::prefetch_ro(pl + pf_n);
+        pram::prefetch_ro(nx + pf_n);
+      }
+      if (pf_p != knil) pram::prefetch_ro(pl + pf_p);
+    }
+    const index_t nv = nx[v];
+    if (nv == knil) continue;  // no pointer e_v
+    const index_t pv = pr[v];
+    if (pv == knil) continue;  // boundary: never cut
+    if (nx[nv] == knil) continue;
+    const LabelT here = pl[v];
+    if (pl[pv] > here && here < pl[nv]) cut_flags[v] = 1;
+  }
+}
+
+/// Fused step-4 kernel: every run head in [lo, hi) walks its run taking
+/// alternate pointers. Walks may leave the chunk — they only *read* cells
+/// no walker writes this step, and the written cells (in_matching,
+/// run_len) are disjoint per run, so chunked execution stays exact.
+template <class RunT>
+inline void cut_walk_span(const index_t* nx, const index_t* pr,
+                          const std::uint8_t* cut_flags,
+                          std::uint8_t* matched, RunT* run_len,
+                          std::size_t lo, std::size_t hi,
+                          std::size_t max_run) {
+  const std::size_t dist =
+      static_cast<std::size_t>(pram::tuning().prefetch.distance);
+  for (std::size_t v = lo; v < hi; ++v) {
+    if (dist != 0 && v + dist < hi) {
+      const index_t pf_p = pr[v + dist];
+      if (pf_p != knil) pram::prefetch_ro(cut_flags + pf_p);
+    }
+    const index_t pv = pr[v];
+    if (nx[v] == knil) continue;
+    if (pv != knil && !cut_flags[pv]) continue;
+    std::size_t len = 0;
+    bool take = true;
+    index_t u = static_cast<index_t>(v);
+    for (;;) {
+      ++len;
+      LLMP_CHECK_MSG(len <= max_run, "run exceeds 2·alphabet − 1");
+      if (take) matched[u] = 1;
+      take = !take;
+      const index_t u2 = nx[u];
+      if (nx[u2] == knil) break;
+      if (cut_flags[u2]) break;  // run ends
+      u = u2;
+    }
+    run_len[v] = static_cast<RunT>(len);
+  }
+}
+}  // namespace detail
 
 /// Execute steps 3–4. `alphabet` is an upper bound on plabel values + 1
 /// (6 for the fixed-point labels; 3 for Match4's WalkDown output).
@@ -55,6 +126,47 @@ CutStats cut_and_walk(Exec& exec, const list::LinkedList& list,
   // (its own pointer's and both neighbours') — CREW.
   auto cut_h = pram::scratch<std::uint8_t>(exec, n);
   std::vector<std::uint8_t>& cut = *cut_h;
+  CutStats stats;
+  if constexpr (pram::has_sweep_v<Exec>) {
+    if (pram::tuning().fused) {
+      const index_t* nx = next.data();
+      const index_t* pr = pred.data();
+      std::uint8_t* cf = cut.data();
+      std::uint8_t* matched = in_matching.data();
+      // Runs are bounded by 2·alphabet − 1, so the audit column fits
+      // uint32 comfortably for any alphabet the narrow check below admits
+      // and for the wide fallback alike.
+      auto run32_h = pram::scratch<std::uint32_t>(exec, n);
+      std::vector<std::uint32_t>& run32 = *run32_h;
+      std::uint32_t* rl = run32.data();
+      if (alphabet <= 256) {
+        auto pl8_h = pram::scratch<std::uint8_t>(exec, n);
+        std::uint8_t* pl8 = (*pl8_h).data();
+        const label_t* wide = plabel.data();
+        for (std::size_t v = 0; v < n; ++v)
+          pl8[v] = static_cast<std::uint8_t>(wide[v]);
+        exec.sweep(n, 1, [=](std::size_t lo, std::size_t hi) {
+          detail::cut_mark_span(nx, pr, pl8, cf, lo, hi);
+        });
+      } else {
+        const label_t* pl = plabel.data();
+        exec.sweep(n, 1, [=](std::size_t lo, std::size_t hi) {
+          detail::cut_mark_span(nx, pr, pl, cf, lo, hi);
+        });
+      }
+      exec.sweep(n, max_run, [=](std::size_t lo, std::size_t hi) {
+        detail::cut_walk_span(nx, pr, cf, matched, rl, lo, hi, max_run);
+      });
+      for (index_t v = 0; v < n; ++v) {
+        stats.max_run =
+            std::max(stats.max_run, static_cast<std::size_t>(run32[v]));
+        stats.cuts += cut[v];
+      }
+      return stats;
+    }
+  }
+  auto run_len_h = pram::scratch<std::size_t>(exec, n);  // max_run audit
+  std::vector<std::size_t>& run_len = *run_len_h;
   exec.step(n, [&](std::size_t v, auto&& m) {
     const index_t nv = m.rd(next, v);
     if (nv == knil) return;                       // no pointer e_v
@@ -71,9 +183,6 @@ CutStats cut_and_walk(Exec& exec, const list::LinkedList& list,
   // Step 4: each sublist head walks its run, taking alternate pointers.
   // A head is a node whose pointer exists and whose predecessor pointer is
   // absent or cut. Every run's first pointer is taken.
-  CutStats stats;
-  auto run_len_h = pram::scratch<std::size_t>(exec, n);  // max_run audit
-  std::vector<std::size_t>& run_len = *run_len_h;
   exec.step(n, max_run, [&](std::size_t v, auto&& m) {
     const index_t pv = m.rd(pred, v);
     if (m.rd(next, v) == knil) return;

@@ -15,12 +15,14 @@
 // iterated matching partition function, so adjacent values differ too.
 #pragma once
 
+#include <algorithm>
 #include <vector>
 
 #include "core/lookup_table.h"
 #include "core/partition_fn.h"
 #include "list/linked_list.h"
 #include "pram/arena.h"
+#include "pram/sweep.h"
 #include "support/itlog.h"
 
 namespace llmp::core {
@@ -45,6 +47,34 @@ inline int rounds_to_constant(std::size_t n) {
   return rounds;
 }
 
+namespace detail {
+/// Fused concatenation-jump kernel over [lo, hi): gather the successor
+/// labels and successor-successor pointers (prefetched `dist` ahead), then
+/// concatenate whole blocks through the SIMD shift-or kernel.
+inline void gather_span(const index_t* jn, const label_t* lbl,
+                        label_t* lbl_out, index_t* jn_out, std::size_t lo,
+                        std::size_t hi, int shift) {
+  constexpr std::size_t kBlock = 256;
+  const std::size_t dist =
+      static_cast<std::size_t>(pram::tuning().prefetch.distance);
+  label_t bbuf[kBlock];
+  for (std::size_t base = lo; base < hi; base += kBlock) {
+    const std::size_t len = std::min(kBlock, hi - base);
+    for (std::size_t i = 0; i < len; ++i) {
+      if (dist != 0 && i + dist < len) {
+        const index_t pf = jn[base + i + dist];
+        pram::prefetch_ro(lbl + pf);
+        pram::prefetch_ro(jn + pf);
+      }
+      const index_t s = jn[base + i];
+      bbuf[i] = lbl[s];
+      jn_out[base + i] = jn[s];
+    }
+    pram::simd::concat_pairs(lbl + base, bbuf, lbl_out + base, len, shift);
+  }
+}
+}  // namespace detail
+
 /// Run `jump_rounds` concatenation rounds over b-bit labels (bound 2^b).
 /// labels[v] becomes the b·2^jump_rounds-bit key described above.
 template <class Exec>
@@ -61,13 +91,41 @@ void gather_labels(Exec& exec, const list::LinkedList& list,
   auto nxt2_h = pram::scratch<index_t>(exec, n);
   std::vector<index_t>& nxt = *nxt_h;
   std::vector<index_t>& nxt2 = *nxt2_h;
+
+  auto lbl2_h = pram::scratch<label_t>(exec, n);
+  std::vector<label_t>& lbl2 = *lbl2_h;
+
+  if constexpr (pram::has_sweep_v<Exec>) {
+    if (pram::tuning().fused) {
+      {
+        const index_t* na = next_arr.data();
+        index_t* jn = nxt.data();
+        exec.sweep(n, 1, [=](std::size_t lo, std::size_t hi) {
+          for (std::size_t v = lo; v < hi; ++v) {
+            const index_t s = na[v];
+            jn[v] = s == knil ? head : s;
+          }
+        });
+      }
+      for (int t = 0; t < jump_rounds; ++t) {
+        const int shift = component_bits << t;
+        const index_t* jn = nxt.data();
+        index_t* jn_out = nxt2.data();
+        const label_t* lbl = labels.data();
+        label_t* lbl_out = lbl2.data();
+        exec.sweep(n, 1, [=](std::size_t lo, std::size_t hi) {
+          detail::gather_span(jn, lbl, lbl_out, jn_out, lo, hi, shift);
+        });
+        labels.swap(lbl2);
+        nxt.swap(nxt2);
+      }
+      return;
+    }
+  }
   exec.step(n, [&](std::size_t v, auto&& m) {
     const index_t s = m.rd(next_arr, v);
     m.wr(nxt, v, s == knil ? head : s);
   });
-
-  auto lbl2_h = pram::scratch<label_t>(exec, n);
-  std::vector<label_t>& lbl2 = *lbl2_h;
   for (int t = 0; t < jump_rounds; ++t) {
     const int shift = component_bits << t;  // current label width in bits
     exec.step(n, [&](std::size_t v, auto&& m) {
@@ -86,7 +144,24 @@ void gather_labels(Exec& exec, const list::LinkedList& list,
 template <class Exec>
 void lookup_labels(Exec& exec, const MatchingLookupTable& table,
                    std::vector<label_t>& labels) {
-  exec.step(labels.size(), [&](std::size_t v, auto&& m) {
+  const std::size_t n = labels.size();
+  if constexpr (pram::has_sweep_v<Exec>) {
+    if (pram::tuning().fused) {
+      label_t* lb = labels.data();
+      const std::uint8_t* cells = table.raw();
+      const std::size_t dist =
+          static_cast<std::size_t>(pram::tuning().prefetch.distance);
+      exec.sweep(n, 1, [=](std::size_t lo, std::size_t hi) {
+        for (std::size_t v = lo; v < hi; ++v) {
+          if (dist != 0 && v + dist < hi)
+            pram::prefetch_ro(cells + lb[v + dist]);
+          lb[v] = cells[lb[v]];
+        }
+      });
+      return;
+    }
+  }
+  exec.step(n, [&](std::size_t v, auto&& m) {
     m.wr(labels, v, table.value(m.rd(labels, v)));
   });
 }

@@ -11,6 +11,7 @@
 // (Match3 and Match4 call steps 3–4 verbatim via cut.h).
 #pragma once
 
+#include <chrono>
 #include <string>
 
 #include "core/cut.h"
@@ -37,11 +38,16 @@ void match1_into(Exec& exec, const list::LinkedList& list,
   const std::size_t n = list.size();
   const pram::Stats start = exec.stats();
   pram::Stats mark = start;
+  auto wall_mark = std::chrono::steady_clock::now();
   auto phase = [&](const std::string& name) {
     const pram::Stats delta = exec.stats() - mark;
-    r.phases.push_back({name, delta});
-    pram::note_phase(exec, name, delta);
+    const auto now = std::chrono::steady_clock::now();
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(now - wall_mark).count();
+    r.phases.push_back({name, delta, wall_ms});
+    pram::note_phase(exec, name, delta, wall_ms);
     mark = exec.stats();
+    wall_mark = now;
   };
 
   auto pred_h = pram::scratch<index_t>(exec, n);
@@ -54,7 +60,8 @@ void match1_into(Exec& exec, const list::LinkedList& list,
   init_address_labels(exec, n, labels);
   r.relabel_rounds =
       opt.erew ? reduce_to_constant_erew(exec, list, pred, labels, opt.rule)
-               : reduce_to_constant(exec, list, labels, opt.rule);
+               : reduce_to_constant(exec, list, labels, opt.rule,
+                                    /*labels_are_addresses=*/true);
   r.partition_sets = distinct_labels(exec, labels);
   phase("reduce");
 

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <algorithm>
+#include <chrono>
 #include <string>
 
 #include "core/match_result.h"
@@ -88,11 +89,16 @@ void match2_into(Exec& exec, const list::LinkedList& list,
   const std::size_t n = list.size();
   const pram::Stats start = exec.stats();
   pram::Stats mark = start;
+  auto wall_mark = std::chrono::steady_clock::now();
   auto phase = [&](const std::string& name) {
     const pram::Stats delta = exec.stats() - mark;
-    r.phases.push_back({name, delta});
-    pram::note_phase(exec, name, delta);
+    const auto now = std::chrono::steady_clock::now();
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(now - wall_mark).count();
+    r.phases.push_back({name, delta, wall_ms});
+    pram::note_phase(exec, name, delta, wall_ms);
     mark = exec.stats();
+    wall_mark = now;
   };
 
   const Match2Plan plan = plan_match2(n, opt, exec.processors());
@@ -109,7 +115,8 @@ void match2_into(Exec& exec, const list::LinkedList& list,
       relabel_rounds_erew(exec, list, pred, labels, opt.partition_rounds,
                           opt.rule);
     } else {
-      relabel_rounds(exec, list, labels, opt.partition_rounds, opt.rule);
+      relabel_rounds(exec, list, labels, opt.partition_rounds, opt.rule,
+                     /*labels_are_addresses=*/true);
     }
   }
   r.relabel_rounds = opt.partition_rounds;

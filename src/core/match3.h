@@ -16,6 +16,7 @@
 // paper counts it separately; E11 measures it).
 #pragma once
 
+#include <chrono>
 #include <memory>
 #include <string>
 
@@ -105,11 +106,16 @@ void match3_into(Exec& exec, const list::LinkedList& list,
   const std::size_t n = list.size();
   const pram::Stats start = exec.stats();
   pram::Stats mark = start;
+  auto wall_mark = std::chrono::steady_clock::now();
   auto phase = [&](const std::string& name) {
     const pram::Stats delta = exec.stats() - mark;
-    r.phases.push_back({name, delta});
-    pram::note_phase(exec, name, delta);
+    const auto now = std::chrono::steady_clock::now();
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(now - wall_mark).count();
+    r.phases.push_back({name, delta, wall_ms});
+    pram::note_phase(exec, name, delta, wall_ms);
     mark = exec.stats();
+    wall_mark = now;
   };
 
   const Match3Plan plan = plan_match3(n, opt);
@@ -120,7 +126,9 @@ void match3_into(Exec& exec, const list::LinkedList& list,
   auto labels_h = pram::scratch<label_t>(exec, n);
   std::vector<label_t>& labels = *labels_h;
   init_address_labels(exec, n, labels);
-  if (n > 1) relabel_rounds(exec, list, labels, plan.crunch_rounds, opt.rule);
+  if (n > 1)
+    relabel_rounds(exec, list, labels, plan.crunch_rounds, opt.rule,
+                   /*labels_are_addresses=*/true);
   phase("crunch");
 
   // Steps 3–4: concatenate and probe (table construction is

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <algorithm>
+#include <chrono>
 #include <string>
 
 #include "core/cut.h"
@@ -94,11 +95,16 @@ void match4_into(Exec& exec, const list::LinkedList& list,
   const std::size_t n = list.size();
   const pram::Stats start = exec.stats();
   pram::Stats mark = start;
+  auto wall_mark = std::chrono::steady_clock::now();
   auto phase = [&](const std::string& name) {
     const pram::Stats delta = exec.stats() - mark;
-    r.phases.push_back({name, delta});
-    pram::note_phase(exec, name, delta);
+    const auto now = std::chrono::steady_clock::now();
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(now - wall_mark).count();
+    r.phases.push_back({name, delta, wall_ms});
+    pram::note_phase(exec, name, delta, wall_ms);
     mark = exec.stats();
+    wall_mark = now;
   };
 
   Match4Options eff = opt;
@@ -116,7 +122,8 @@ void match4_into(Exec& exec, const list::LinkedList& list,
   label_t bound = static_cast<label_t>(std::max<std::size_t>(n, 1));
   if (n > 1) {
     if (plan.uses_table) {
-      relabel_rounds(exec, list, labels, plan.crunch_rounds, opt.rule);
+      relabel_rounds(exec, list, labels, plan.crunch_rounds, opt.rule,
+                     /*labels_are_addresses=*/true);
       const MatchingLookupTable& table = cached_lookup_table(
           plan.component_bits, 1 << plan.gather_rounds, opt.rule,
           plan.collapse_width);
@@ -132,7 +139,8 @@ void match4_into(Exec& exec, const list::LinkedList& list,
         relabel_rounds_erew(exec, list, pred, labels, opt.i_parameter,
                             opt.rule);
       else
-        relabel_rounds(exec, list, labels, opt.i_parameter, opt.rule);
+        relabel_rounds(exec, list, labels, opt.i_parameter, opt.rule,
+                       /*labels_are_addresses=*/true);
       r.relabel_rounds = opt.i_parameter;
       bound = std::max<label_t>(plan.set_bound, 2);
     }

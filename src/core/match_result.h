@@ -6,6 +6,7 @@
 
 #include "core/cut.h"
 #include "pram/stats.h"
+#include "pram/sweep.h"
 #include "support/types.h"
 
 namespace llmp::core {
@@ -48,6 +49,28 @@ void parallel_predecessors_into(Exec& exec, const list::LinkedList& list,
   const std::size_t n = list.size();
   const auto& next = list.next_array();
   LLMP_CHECK(pred.size() == n);
+  if constexpr (pram::has_sweep_v<Exec>) {
+    if (pram::tuning().fused) {
+      const index_t* nx = next.data();
+      index_t* pr = pred.data();
+      exec.sweep(n, 1, [pr](std::size_t lo, std::size_t hi) {
+        for (std::size_t v = lo; v < hi; ++v) pr[v] = knil;
+      });
+      const std::size_t dist =
+          static_cast<std::size_t>(pram::tuning().prefetch.distance);
+      exec.sweep(n, 1, [=](std::size_t lo, std::size_t hi) {
+        for (std::size_t v = lo; v < hi; ++v) {
+          if (dist != 0 && v + dist < hi) {
+            const index_t pf = nx[v + dist];
+            if (pf != knil) pram::prefetch_rw(pr + pf);
+          }
+          const index_t s = nx[v];
+          if (s != knil) pr[s] = static_cast<index_t>(v);
+        }
+      });
+      return;
+    }
+  }
   exec.step(n, [&](std::size_t v, auto&& m) { m.wr(pred, v, knil); });
   exec.step(n, [&](std::size_t v, auto&& m) {
     const index_t s = m.rd(next, v);

@@ -25,11 +25,14 @@
 #pragma once
 
 #include <algorithm>
+#include <cstdint>
+#include <type_traits>
 #include <vector>
 
 #include "core/fanout.h"
 #include "list/linked_list.h"
 #include "pram/arena.h"
+#include "pram/sweep.h"
 #include "support/bits.h"
 #include "support/check.h"
 #include "support/types.h"
@@ -58,6 +61,141 @@ label_t partition_bound_after(label_t input_bound);
 /// The fixed-point alphabet size: labels no longer shrink once < 6.
 inline constexpr label_t kFixedPointBound = 6;
 
+namespace detail {
+/// Fused relabel kernel over [lo, hi): gather the successor labels into a
+/// small contiguous buffer (prefetching the pointer chase `dist` elements
+/// ahead), then crunch whole blocks through the SIMD partition function.
+/// Bit-identical to the per-element step body it replaces. The label type
+/// is templated so multi-round callers can keep intermediate labels in
+/// uint8 (one application of f lands below 2·64 = 128 whatever the input,
+/// since k <= 63), shrinking the random-gather working set 8x.
+template <class SrcT, class DstT>
+inline void relabel_span_t(const index_t* nx, const SrcT* src, DstT* dst,
+                           std::size_t lo, std::size_t hi, index_t head,
+                           BitRule rule) {
+  constexpr std::size_t kBlock = 256;
+  const std::size_t dist =
+      static_cast<std::size_t>(pram::tuning().prefetch.distance);
+  const bool msb = rule == BitRule::kMostSignificant;
+  SrcT bbuf[kBlock];
+  for (std::size_t base = lo; base < hi; base += kBlock) {
+    const std::size_t len = std::min(kBlock, hi - base);
+    for (std::size_t i = 0; i < len; ++i) {
+      if (dist != 0 && i + dist < len) {
+        const index_t pf = nx[base + i + dist];
+        pram::prefetch_ro(src + (pf == knil ? head : pf));
+      }
+      const index_t raw = nx[base + i];
+      bbuf[i] = src[raw == knil ? head : raw];
+    }
+    if constexpr (std::is_same_v<SrcT, label_t>) {
+      if constexpr (std::is_same_v<DstT, label_t>) {
+        pram::simd::crunch_pairs(src + base, bbuf, dst + base, len, msb);
+      } else {
+        label_t wide[kBlock];
+        pram::simd::crunch_pairs(src + base, bbuf, wide, len, msb);
+        for (std::size_t i = 0; i < len; ++i)
+          dst[base + i] = static_cast<DstT>(wide[i]);
+      }
+    } else {
+      if constexpr (std::is_same_v<DstT, std::uint8_t>) {
+        pram::simd::crunch_bytes(src + base, bbuf, dst + base, len, msb);
+      } else {
+        std::uint8_t narrow[kBlock];
+        pram::simd::crunch_bytes(src + base, bbuf, narrow, len, msb);
+        for (std::size_t i = 0; i < len; ++i)
+          dst[base + i] = static_cast<DstT>(narrow[i]);
+      }
+    }
+  }
+}
+
+inline void relabel_span(const index_t* nx, const label_t* src, label_t* dst,
+                         std::size_t lo, std::size_t hi, index_t head,
+                         BitRule rule) {
+  relabel_span_t(nx, src, dst, lo, hi, head, rule);
+}
+
+/// Round-1 kernel for labels that ARE the node addresses (the state right
+/// after init_address_labels): in[v] = v and in[suc(v)] = suc(v), so both
+/// crunch operands come straight from the loop counter and the streamed
+/// next array — the round needs no random access at all.
+template <class DstT>
+inline void relabel_addresses_span(const index_t* nx, DstT* dst,
+                                   std::size_t lo, std::size_t hi,
+                                   index_t head, BitRule rule) {
+  constexpr std::size_t kBlock = 256;
+  const bool msb = rule == BitRule::kMostSignificant;
+  label_t abuf[kBlock];
+  label_t bbuf[kBlock];
+  for (std::size_t base = lo; base < hi; base += kBlock) {
+    const std::size_t len = std::min(kBlock, hi - base);
+    for (std::size_t i = 0; i < len; ++i) {
+      abuf[i] = static_cast<label_t>(base + i);
+      const index_t raw = nx[base + i];
+      bbuf[i] = static_cast<label_t>(raw == knil ? head : raw);
+    }
+    if constexpr (std::is_same_v<DstT, label_t>) {
+      pram::simd::crunch_pairs(abuf, bbuf, dst + base, len, msb);
+    } else {
+      label_t wide[kBlock];
+      pram::simd::crunch_pairs(abuf, bbuf, wide, len, msb);
+      for (std::size_t i = 0; i < len; ++i)
+        dst[base + i] = static_cast<DstT>(wide[i]);
+    }
+  }
+}
+
+/// Fused driver for `rounds` >= 2 consecutive relabel steps. The first
+/// round crunches the caller's 64-bit labels into a uint8 shadow, the
+/// middle rounds ping-pong uint8 -> uint8 (the random gather then touches
+/// an n-byte array instead of an 8n-byte one — at sizes beyond cache this
+/// is where the relabel wall time goes), and the last round widens back
+/// into `labels`. Values are bit-identical to iterating relabel(): every
+/// post-first-round label fits uint8 because f(a,b) = 2k + a_k <= 127.
+/// Charges exactly one sweep (= one legacy step) per round.
+template <class Exec>
+void narrow_relabel_rounds(Exec& exec, const list::LinkedList& list,
+                           std::vector<label_t>& labels, int rounds,
+                           BitRule rule, bool labels_are_addresses) {
+  LLMP_DCHECK(rounds >= 2);
+  const std::size_t n = list.size();
+  const index_t* nx = list.next_array().data();
+  const index_t head = list.head();
+  auto shadow_h = pram::scratch<std::uint8_t>(exec, n);
+  auto shadow2_h = pram::scratch<std::uint8_t>(exec, n);
+  std::uint8_t* cur = (*shadow_h).data();
+  std::uint8_t* nxt_buf = (*shadow2_h).data();
+  if (labels_are_addresses) {
+    std::uint8_t* dst = cur;
+    exec.sweep(n, 1, [=](std::size_t lo, std::size_t hi) {
+      relabel_addresses_span(nx, dst, lo, hi, head, rule);
+    });
+  } else {
+    const label_t* src = labels.data();
+    std::uint8_t* dst = cur;
+    exec.sweep(n, 1, [=](std::size_t lo, std::size_t hi) {
+      relabel_span_t(nx, src, dst, lo, hi, head, rule);
+    });
+  }
+  for (int r = 1; r + 1 < rounds; ++r) {
+    const std::uint8_t* src = cur;
+    std::uint8_t* dst = nxt_buf;
+    exec.sweep(n, 1, [=](std::size_t lo, std::size_t hi) {
+      relabel_span_t(nx, src, dst, lo, hi, head, rule);
+    });
+    std::swap(cur, nxt_buf);
+  }
+  {
+    const std::uint8_t* src = cur;
+    label_t* dst = labels.data();
+    exec.sweep(n, 1, [=](std::size_t lo, std::size_t hi) {
+      relabel_span_t(nx, src, dst, lo, hi, head, rule);
+    });
+  }
+}
+}  // namespace detail
+
 /// One synchronous relabel step over the whole (circularly closed) list:
 /// out[v] = f(in[v], in[suc(v)]). One PRAM step, n processors, EREW-illegal
 /// only in that each cell is read by its own and its predecessor's
@@ -71,6 +209,17 @@ void relabel(Exec& exec, const list::LinkedList& list,
   const std::size_t n = list.size();
   const auto& next = list.next_array();
   const index_t head = list.head();
+  if constexpr (pram::has_sweep_v<Exec>) {
+    if (pram::tuning().fused) {
+      const index_t* nx = next.data();
+      const label_t* src = in.data();
+      label_t* dst = out.data();
+      exec.sweep(n, 1, [=](std::size_t lo, std::size_t hi) {
+        detail::relabel_span(nx, src, dst, lo, hi, head, rule);
+      });
+      return;
+    }
+  }
   exec.step(n, [&](std::size_t v, auto&& m) {
     const index_t raw = m.rd(next, v);
     const index_t s = raw == knil ? head : raw;
@@ -101,6 +250,15 @@ template <class Exec>
 void init_address_labels(Exec& exec, std::size_t n,
                          std::vector<label_t>& labels) {
   labels.assign(n, 0);
+  if constexpr (pram::has_sweep_v<Exec>) {
+    if (pram::tuning().fused) {
+      label_t* dst = labels.data();
+      exec.sweep(n, 1, [dst](std::size_t lo, std::size_t hi) {
+        for (std::size_t v = lo; v < hi; ++v) dst[v] = static_cast<label_t>(v);
+      });
+      return;
+    }
+  }
   exec.step(n, [&](std::size_t v, auto&& m) {
     m.wr(labels, v, static_cast<label_t>(v));
   });
@@ -109,9 +267,32 @@ void init_address_labels(Exec& exec, std::size_t n,
 /// Iterate `rounds` relabel steps (computing f^(rounds+1)); labels must
 /// start pairwise-distinct-adjacent (addresses qualify). Uses an internal
 /// scratch buffer; `labels` holds the result.
+/// `labels_are_addresses` asserts the caller just ran init_address_labels
+/// and has not touched `labels` since — the fused first round then skips
+/// its gather entirely (the operands are the loop counter and the streamed
+/// next array). Results are identical either way.
 template <class Exec>
 void relabel_rounds(Exec& exec, const list::LinkedList& list,
-                    std::vector<label_t>& labels, int rounds, BitRule rule) {
+                    std::vector<label_t>& labels, int rounds, BitRule rule,
+                    bool labels_are_addresses = false) {
+  if constexpr (pram::has_sweep_v<Exec>) {
+    if (pram::tuning().fused) {
+      if (rounds >= 2) {
+        detail::narrow_relabel_rounds(exec, list, labels, rounds, rule,
+                                      labels_are_addresses);
+        return;
+      }
+      if (rounds == 1 && labels_are_addresses) {
+        const index_t* nx = list.next_array().data();
+        const index_t head = list.head();
+        label_t* dst = labels.data();
+        exec.sweep(list.size(), 1, [=](std::size_t lo, std::size_t hi) {
+          detail::relabel_addresses_span(nx, dst, lo, hi, head, rule);
+        });
+        return;
+      }
+    }
+  }
   auto tmp_h = pram::scratch<label_t>(exec, labels.size());
   std::vector<label_t>& tmp = *tmp_h;
   for (int r = 0; r < rounds; ++r) {
@@ -125,19 +306,18 @@ void relabel_rounds(Exec& exec, const list::LinkedList& list,
 /// against itlog::G in the Lemma 2 tests. Single-node lists need no work.
 template <class Exec>
 int reduce_to_constant(Exec& exec, const list::LinkedList& list,
-                       std::vector<label_t>& labels, BitRule rule) {
+                       std::vector<label_t>& labels, BitRule rule,
+                       bool labels_are_addresses = false) {
   if (list.size() <= 1) return 0;
-  label_t bound = static_cast<label_t>(list.size());
-  int rounds = 0;
-  auto tmp_h = pram::scratch<label_t>(exec, labels.size());
-  std::vector<label_t>& tmp = *tmp_h;
-  while (bound > kFixedPointBound) {
-    relabel(exec, list, labels, tmp, rule);
-    labels.swap(tmp);
-    bound = partition_bound_after(bound);
-    ++rounds;
-  }
-  return rounds;
+  // The round count is a pure function of n (the bound sequence), so it
+  // can be planned upfront and the whole run handed to the narrowed
+  // multi-round driver.
+  int planned = 0;
+  for (label_t bound = static_cast<label_t>(list.size());
+       bound > kFixedPointBound; bound = partition_bound_after(bound))
+    ++planned;
+  relabel_rounds(exec, list, labels, planned, rule, labels_are_addresses);
+  return planned;
 }
 
 /// EREW counterpart of relabel_rounds (needs the predecessor array).

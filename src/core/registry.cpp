@@ -65,7 +65,8 @@ void walkdown_schedule(Exec& exec, const list::LinkedList& list, bool erew) {
     reduce_to_constant_erew(exec, list, pred, labels,
                             BitRule::kMostSignificant);
   else
-    reduce_to_constant(exec, list, labels, BitRule::kMostSignificant);
+    reduce_to_constant(exec, list, labels, BitRule::kMostSignificant,
+                       /*labels_are_addresses=*/true);
   auto keys_h = pram::scratch<index_t>(exec, n);
   std::vector<index_t>& keys = *keys_h;
   exec.step(n, [&](std::size_t v, auto&& m) {

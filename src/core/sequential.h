@@ -7,6 +7,7 @@
 
 #include "core/match_result.h"
 #include "list/linked_list.h"
+#include "pram/prefetch.h"
 
 namespace llmp::core {
 
@@ -18,8 +19,14 @@ inline void sequential_matching_into(const list::LinkedList& list,
   r.in_matching.assign(n, 0);
   bool prev_taken = false;
   std::uint64_t ops = 0;
+  // The walk is a dependent pointer chase, so the best software prefetch
+  // can do is a one-deep pipeline: while handling v, pull the successor's
+  // next-cell into cache ahead of the dependent load.
+  const index_t* nx = list.next_array().data();
   for (index_t v = list.head(); v != knil; v = list.next(v)) {
     ++ops;
+    const index_t s = nx[v];
+    if (s != knil) pram::prefetch_ro(nx + s);
     if (!list.has_pointer(v)) break;
     if (!prev_taken) {
       r.in_matching[v] = 1;

@@ -43,6 +43,7 @@
 #include "list/linked_list.h"
 #include "pram/arena.h"
 #include "pram/stats.h"
+#include "pram/sweep.h"
 #include "support/check.h"
 #include "support/types.h"
 
@@ -135,6 +136,35 @@ void walkdown1(Exec& exec, const list::LinkedList& list, const Layout2D& lay,
                const std::vector<index_t>& pred,
                std::vector<std::uint8_t>& color) {
   const auto& next = list.next_array();
+  if constexpr (pram::has_sweep_v<Exec>) {
+    if (pram::tuning().fused) {
+      const index_t* nx = next.data();
+      const index_t* pr = pred.data();
+      const index_t* cell = lay.cell_node.vec().data();
+      const index_t* rowv = lay.node_row.vec().data();
+      std::uint8_t* col = color.data();
+      const std::size_t rows = lay.rows;
+      const std::size_t dist =
+          static_cast<std::size_t>(pram::tuning().prefetch.distance);
+      for (std::size_t t = 0; t < rows; ++t) {
+        exec.sweep(lay.cols, 1, [=](std::size_t lo, std::size_t hi) {
+          for (std::size_t j = lo; j < hi; ++j) {
+            if (dist != 0 && j + dist < hi)
+              pram::prefetch_ro(cell + (j + dist) * rows + t);
+            const index_t v = cell[j * rows + t];
+            if (v == knil) continue;  // padding cell
+            const index_t s = nx[v];
+            if (s == knil) continue;  // tail: no pointer
+            if (rowv[v] == rowv[s]) continue;  // intra-row
+            const index_t pv = pr[v];
+            const std::uint8_t before = pv == knil ? kNoColor : col[pv];
+            col[v] = smallest_free_color(before, col[s]);
+          }
+        });
+      }
+      return;
+    }
+  }
   for (std::size_t t = 0; t < lay.rows; ++t) {
     exec.step(lay.cols, [&](std::size_t j, auto&& m) {
       const index_t v = m.rd(lay.cell_node, j * lay.rows + t);
@@ -180,6 +210,59 @@ WalkDown2Trace walkdown2(Exec& exec, const list::LinkedList& list,
   auto index_h = pram::scratch<index_t>(exec, lay.cols);
   std::vector<index_t>& count = *count_h;
   std::vector<index_t>& index = *index_h;
+
+  if constexpr (pram::has_sweep_v<Exec>) {
+    if (pram::tuning().fused) {
+      const index_t* nx = next.data();
+      const index_t* pr = pred.data();
+      const index_t* cell = lay.cell_node.vec().data();
+      const index_t* rowv = lay.node_row.vec().data();
+      const index_t* keyv = lay.node_key.vec().data();
+      std::uint8_t* col = color.data();
+      index_t* cnt_a = count.data();
+      index_t* idx_a = index.data();
+      index_t* done = trace.handled_at.vec().data();
+      const std::size_t rows = lay.rows;
+      const std::size_t dist =
+          static_cast<std::size_t>(pram::tuning().prefetch.distance);
+      exec.sweep(lay.cols, 1, [=](std::size_t lo, std::size_t hi) {
+        for (std::size_t j = lo; j < hi; ++j) {
+          cnt_a[j] = 0;
+          idx_a[j] = 0;
+        }
+      });
+      for (std::size_t k = 0; k < total_steps; ++k) {
+        exec.sweep(lay.cols, 1, [=](std::size_t lo, std::size_t hi) {
+          for (std::size_t j = lo; j < hi; ++j) {
+            const index_t idx = idx_a[j];
+            if (idx >= rows) continue;  // column fully walked
+            if (dist != 0 && j + dist < hi && idx_a[j + dist] < rows)
+              pram::prefetch_ro(cell + (j + dist) * rows + idx_a[j + dist]);
+            const index_t v = cell[j * rows + idx];
+            if (v == knil) {  // padding: walk straight past
+              idx_a[j] = static_cast<index_t>(idx + 1);
+              continue;
+            }
+            const index_t cnt = cnt_a[j];
+            if (keyv[v] != cnt) {  // idle in this row, advance the count
+              cnt_a[j] = static_cast<index_t>(cnt + 1);
+              continue;
+            }
+            // "Mark the cell": handle the pointer if it is intra-row.
+            done[v] = static_cast<index_t>(k);
+            const index_t s = nx[v];
+            if (s != knil && rowv[v] == rowv[s]) {
+              const index_t pv = pr[v];
+              const std::uint8_t before = pv == knil ? kNoColor : col[pv];
+              col[v] = smallest_free_color(before, col[s]);
+            }
+            idx_a[j] = static_cast<index_t>(idx + 1);
+          }
+        });
+      }
+      return trace;
+    }
+  }
   exec.step(lay.cols, [&](std::size_t j, auto&& m) {
     m.wr(count, j, index_t{0});
     m.wr(index, j, index_t{0});

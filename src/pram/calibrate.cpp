@@ -1,0 +1,100 @@
+// Crossover measurement for the adaptive parallel threshold. See
+// calibrate.h for the contract.
+
+#include "pram/calibrate.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "pram/thread_pool.h"
+
+namespace llmp::pram {
+
+namespace {
+
+using clock_type = std::chrono::steady_clock;
+
+/// The probe kernel: a linear uint64 sweep, the cheapest body a real step
+/// runs. If the pool cannot beat inline on this, it cannot beat it on
+/// anything at that size.
+void touch_range(const std::uint64_t* src, std::uint64_t* dst,
+                 std::size_t lo, std::size_t hi) {
+  for (std::size_t i = lo; i < hi; ++i) dst[i] = src[i] + 1;
+}
+
+double best_of(int trials, std::size_t reps, const std::function<void()>& fn) {
+  double best = 1e300;
+  for (int t = 0; t < trials; ++t) {
+    const auto t0 = clock_type::now();
+    for (std::size_t r = 0; r < reps; ++r) fn();
+    const auto t1 = clock_type::now();
+    best = std::min(
+        best, std::chrono::duration<double, std::nano>(t1 - t0).count() /
+                  static_cast<double>(reps));
+  }
+  return best;
+}
+
+Calibration measure(ThreadPool& pool) {
+  Calibration cal;
+  constexpr std::size_t kMaxProbe = std::size_t{1} << 19;
+  std::vector<std::uint64_t> src(kMaxProbe, 1), dst(kMaxProbe, 0);
+  const std::uint64_t* s = src.data();
+  std::uint64_t* d = dst.data();
+
+  // Geometric size ladder; the first size where the pooled sweep wins
+  // outright becomes the threshold. Work per sample is capped so the
+  // whole calibration stays a few milliseconds (paid once per process).
+  for (std::size_t n = 512; n <= kMaxProbe; n <<= 1) {
+    const std::size_t reps = std::max<std::size_t>(1, (1u << 20) / n);
+    const double inline_ns =
+        best_of(3, reps, [&] { touch_range(s, d, 0, n); });
+    const double pooled_ns = best_of(3, reps, [&] {
+      pool.parallel_for_slices(
+          n, [&](std::size_t lo, std::size_t hi) { touch_range(s, d, lo, hi); });
+    });
+    if (pooled_ns < inline_ns * 0.95) {
+      cal.threshold = n;
+      cal.measured = true;
+      return cal;
+    }
+  }
+  // The pool never won — a loaded or single-core host. Run everything
+  // inline; the phase metrics still expose the decision.
+  cal.threshold = kNeverParallel;
+  cal.measured = true;
+  return cal;
+}
+
+}  // namespace
+
+Calibration calibrate_parallel_threshold(ThreadPool& pool) {
+  if (const char* e = std::getenv("LLMP_PARALLEL_THRESHOLD")) {
+    Calibration cal;
+    cal.threshold = static_cast<std::size_t>(std::strtoull(e, nullptr, 10));
+    cal.measured = false;
+    return cal;
+  }
+  if (pool.workers() == 0) {
+    Calibration cal;
+    cal.threshold = kNeverParallel;
+    cal.measured = false;
+    return cal;
+  }
+  static std::mutex mu;
+  static std::map<std::size_t, Calibration> cache;
+  std::lock_guard<std::mutex> lk(mu);
+  auto it = cache.find(pool.workers());
+  if (it != cache.end()) return it->second;
+  const Calibration cal = measure(pool);
+  cache.emplace(pool.workers(), cal);
+  return cal;
+}
+
+}  // namespace llmp::pram

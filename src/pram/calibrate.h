@@ -1,0 +1,44 @@
+// Adaptive inline-vs-pooled crossover for ParallelExec.
+//
+// The old constant kParallelThreshold = 2048 guessed where waking the
+// thread pool starts paying for itself. The guess is wrong in both
+// directions depending on the host: on a box with many idle cores the
+// pool wins far earlier; on a loaded or single-core host it may *never*
+// win, and every pooled step is pure overhead. This module measures the
+// crossover once per process (per pool size) by timing the same trivial
+// memory sweep inline and through the pool at geometrically growing sizes,
+// and ParallelExec's default constructor adopts the measured threshold.
+//
+// Overrides, in precedence order:
+//   1. LLMP_PARALLEL_THRESHOLD=<n>  pins the threshold (0 = always pool);
+//   2. the explicit ParallelExec(p, pool, threshold) constructor;
+//   3. the measurement below (cached per process, keyed by worker count).
+//
+// A pool with zero workers always calibrates to kNeverParallel: the
+// inline/pooled decision is thereby hoisted to construction time and the
+// per-step `workers() == 0` re-check disappears from the hot path
+// (bench_dispatch measures the saving).
+#pragma once
+
+#include <cstddef>
+
+namespace llmp::pram {
+
+class ThreadPool;
+
+/// Threshold value meaning "never dispatch to the pool".
+inline constexpr std::size_t kNeverParallel = static_cast<std::size_t>(-1);
+
+struct Calibration {
+  /// Steps with nprocs below this run inline on the caller.
+  std::size_t threshold = 2048;
+  /// True when the value came from a wall-clock measurement (false: env
+  /// override or the zero-worker shortcut).
+  bool measured = false;
+};
+
+/// The crossover for `pool`, measured on first call and cached per process
+/// (keyed by pool.workers()). Thread-safe.
+Calibration calibrate_parallel_threshold(ThreadPool& pool);
+
+}  // namespace llmp::pram

@@ -23,6 +23,7 @@
 // e.g. Machine::violations()); it borrows it for the context's lifetime.
 #pragma once
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <string>
@@ -53,6 +54,17 @@ class Context {
   void step(std::size_t nprocs, F&& body) {
     exec_->step(nprocs, std::forward<F>(body));
   }
+  /// Fused range sweep — forwarded only when the backend has one, so a
+  /// Context over the verifying backends (Machine, SymbolicExec) stays
+  /// sweep-free and algorithms keep their legacy per-element paths there
+  /// (pram/sweep.h).
+  template <class F>
+    requires requires(Exec& e, std::size_t n, std::uint64_t u, F&& f) {
+      e.sweep(n, u, static_cast<F&&>(f));
+    }
+  void sweep(std::size_t nprocs, std::uint64_t unit_cost, F&& range_body) {
+    exec_->sweep(nprocs, unit_cost, std::forward<F>(range_body));
+  }
   std::size_t processors() const { return exec_->processors(); }
   Stats& stats() { return exec_->stats(); }
   const Stats& stats() const { return exec_->stats(); }
@@ -70,9 +82,13 @@ class Context {
     block_cache_budget_ = bytes;
   }
 
-  /// Append one phase-labeled cost span to the metrics sink.
-  void note_phase(const std::string& name, const Stats& delta) {
-    phases_.push_back({name, delta});
+  /// Append one phase-labeled cost span to the metrics sink. `wall_ms` is
+  /// the measured wall-clock time of the span (0 when untimed) — the model
+  /// cost in `delta` is deterministic, the wall time is machine noise; the
+  /// bench gate compares only the former.
+  void note_phase(const std::string& name, const Stats& delta,
+                  double wall_ms = 0.0) {
+    phases_.push_back({name, delta, wall_ms});
   }
   const PhaseBreakdown& phases() const { return phases_; }
   /// Drop recorded phases, keeping capacity (call between warm runs).
@@ -83,15 +99,24 @@ class Context {
   class PhaseSpan {
    public:
     PhaseSpan(Context& ctx, std::string name)
-        : ctx_(&ctx), name_(std::move(name)), start_(ctx.stats()) {}
+        : ctx_(&ctx),
+          name_(std::move(name)),
+          start_(ctx.stats()),
+          wall_start_(std::chrono::steady_clock::now()) {}
     PhaseSpan(const PhaseSpan&) = delete;
     PhaseSpan& operator=(const PhaseSpan&) = delete;
-    ~PhaseSpan() { ctx_->note_phase(name_, ctx_->stats() - start_); }
+    ~PhaseSpan() {
+      const double wall_ms = std::chrono::duration<double, std::milli>(
+                                 std::chrono::steady_clock::now() - wall_start_)
+                                 .count();
+      ctx_->note_phase(name_, ctx_->stats() - start_, wall_ms);
+    }
 
    private:
     Context* ctx_;
     std::string name_;
     Stats start_;
+    std::chrono::steady_clock::time_point wall_start_;
   };
   PhaseSpan phase_span(std::string name) {
     return PhaseSpan(*this, std::move(name));
@@ -113,9 +138,10 @@ inline constexpr bool is_context_v<Context<E>> = true;
 /// a no-op on bare executors, so instrumented algorithm templates cost
 /// nothing outside a Context.
 template <class Exec>
-void note_phase(Exec& exec, const std::string& name, const Stats& delta) {
-  if constexpr (requires { exec.note_phase(name, delta); }) {
-    exec.note_phase(name, delta);
+void note_phase(Exec& exec, const std::string& name, const Stats& delta,
+                double wall_ms = 0.0) {
+  if constexpr (requires { exec.note_phase(name, delta, wall_ms); }) {
+    exec.note_phase(name, delta, wall_ms);
   }
 }
 

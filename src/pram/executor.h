@@ -24,6 +24,13 @@
 // ceil(n/p)·u to time_p, n·u to work, and 1 to depth, where p is the
 // processor budget given at construction — a model parameter, independent
 // of how many host threads actually execute the body.
+//
+// Beside step, the fast executors offer the *fused sweep* (sweep.h):
+// sweep(n, u, body) is one accounted step whose body receives a contiguous
+// index range [lo, hi) — inline below the parallel threshold, one chunk
+// per pool thread above it — so hot kernels run raw-array loops with no
+// per-element dispatch. sweep accounts exactly like step, so fused and
+// legacy runs have bit-identical cost surfaces.
 #pragma once
 
 #include <cstddef>
@@ -32,6 +39,7 @@
 #include <utility>
 #include <vector>
 
+#include "pram/calibrate.h"
 #include "pram/stats.h"
 #include "pram/thread_pool.h"
 #include "support/check.h"
@@ -87,6 +95,13 @@ class SeqExec {
     step(nprocs, 1, std::forward<F>(body));
   }
 
+  /// Fused sweep: one accounted step, body(0, nprocs) on the caller.
+  template <class F>
+  void sweep(std::size_t nprocs, std::uint64_t unit_cost, F&& range_body) {
+    account(nprocs, unit_cost);
+    if (nprocs != 0) range_body(std::size_t{0}, nprocs);
+  }
+
   std::size_t processors() const { return p_; }
   Stats& stats() { return stats_; }
   const Stats& stats() const { return stats_; }
@@ -108,22 +123,32 @@ class SeqExec {
 /// model is independent of the pool size.
 class ParallelExec {
  public:
-  /// Steps smaller than this run inline on the caller: below it, waking
-  /// the pool costs more than the loop. Public so tests can pin behavior
-  /// exactly at the boundary (thread_pool_test.cpp).
-  static constexpr std::size_t kParallelThreshold = 2048;
+  /// Historical default crossover, kept as the documented fallback and for
+  /// tests that pin the inline/pooled seam at an exact boundary. The
+  /// default constructor no longer uses it: the threshold is *measured*
+  /// (pram/calibrate.h) — per host, per pool size — and LLMP_PARALLEL_
+  /// THRESHOLD or the explicit constructor below can override it.
+  static constexpr std::size_t kDefaultParallelThreshold = 2048;
 
+  /// Adaptive threshold: micro-calibrated at construction (cached per
+  /// process), env-overridable. A zero-worker pool calibrates to
+  /// kNeverParallel, which hoists the old per-step `workers() == 0`
+  /// re-check out of the hot path entirely.
   ParallelExec(std::size_t processors, ThreadPool& pool)
-      : p_(processors), pool_(&pool) {
-    LLMP_CHECK(processors >= 1);
-  }
+      : ParallelExec(processors, pool,
+                     calibrate_parallel_threshold(pool)) {}
+
+  /// Explicit threshold: steps/sweeps with nprocs below it run inline on
+  /// the caller. The zero-worker hoist still applies.
+  ParallelExec(std::size_t processors, ThreadPool& pool,
+               std::size_t threshold)
+      : ParallelExec(processors, pool,
+                     Calibration{threshold, /*measured=*/false}) {}
 
   template <class F>
   void step(std::size_t nprocs, std::uint64_t unit_cost, F&& body) {
-    stats_.depth += 1;
-    stats_.time_p += ceil_div(nprocs, p_) * unit_cost;
-    stats_.work += static_cast<std::uint64_t>(nprocs) * unit_cost;
-    if (nprocs < kParallelThreshold || pool_->workers() == 0) {
+    account(nprocs, unit_cost);
+    if (nprocs < threshold_) {
       DirectMem m;
       for (std::size_t v = 0; v < nprocs; ++v) body(v, m);
       return;
@@ -141,13 +166,49 @@ class ParallelExec {
     step(nprocs, 1, std::forward<F>(body));
   }
 
+  /// Fused sweep: one accounted step; the body gets contiguous [lo, hi)
+  /// ranges — the whole range inline below the threshold, one chunk per
+  /// pool thread above it.
+  template <class F>
+  void sweep(std::size_t nprocs, std::uint64_t unit_cost, F&& range_body) {
+    account(nprocs, unit_cost);
+    if (nprocs == 0) return;
+    if (nprocs < threshold_) {
+      range_body(std::size_t{0}, nprocs);
+      return;
+    }
+    pool_->parallel_for_slices(nprocs, range_body);
+  }
+
   std::size_t processors() const { return p_; }
   Stats& stats() { return stats_; }
   const Stats& stats() const { return stats_; }
 
+  /// The effective inline/pooled crossover (kNeverParallel = always
+  /// inline, e.g. zero workers or a host where the pool never won).
+  std::size_t parallel_threshold() const { return threshold_; }
+  /// How the threshold was chosen (measured vs. pinned).
+  const Calibration& calibration() const { return calibration_; }
+
  private:
+  ParallelExec(std::size_t processors, ThreadPool& pool, Calibration cal)
+      : p_(processors),
+        pool_(&pool),
+        calibration_(cal),
+        threshold_(pool.workers() == 0 ? kNeverParallel : cal.threshold) {
+    LLMP_CHECK(processors >= 1);
+  }
+
+  void account(std::size_t nprocs, std::uint64_t unit_cost) {
+    stats_.depth += 1;
+    stats_.time_p += ceil_div(nprocs, p_) * unit_cost;
+    stats_.work += static_cast<std::uint64_t>(nprocs) * unit_cost;
+  }
+
   std::size_t p_;
   ThreadPool* pool_;
+  Calibration calibration_;
+  std::size_t threshold_;
   Stats stats_;
 };
 

@@ -47,9 +47,14 @@ struct Stats {
 
 /// Named per-phase cost deltas, e.g. {"partition", ...}, {"sort", ...}.
 /// Match2's experiment (E5) exists to show one phase dominating.
+/// `wall_ms` is the measured wall-clock time of the span when the caller
+/// timed it (0 otherwise) — machine noise beside the deterministic model
+/// cost, reported by the benches' --compare-baseline mode and ignored by
+/// the bench gate.
 struct Phase {
   std::string name;
   Stats cost;
+  double wall_ms = 0.0;
 };
 
 using PhaseBreakdown = std::vector<Phase>;

@@ -1,0 +1,45 @@
+// The fused-sweep capability trait.
+//
+// Fast executors (SeqExec, ParallelExec, and a Context over either) offer,
+// beside the per-element `step`, a *sweep*: the same accounted PRAM step,
+// but the body receives a contiguous index range [lo, hi) instead of one
+// index — so algorithm kernels can run tight raw-array loops (prefetched,
+// SIMD-batched) with zero per-element abstraction. The verifying backends
+// (pram::Machine, SymbolicExec) deliberately do NOT provide sweep: they
+// keep running the legacy per-element step bodies with tracked memory, and
+// stay the referee that the fused paths are checked against
+// (tests/fused_backend_test.cpp).
+//
+// Algorithms branch once per pass:
+//
+//   if constexpr (pram::has_sweep_v<Exec>) {
+//     if (pram::tuning().fused) { exec.sweep(n, cost, fused kernel); ... }
+//   }
+//   ... legacy per-element step ...
+//
+// sweep(n, u, ·) accounts exactly like step(n, u, ·) — same depth, time_p
+// and work — so taking either branch yields bit-identical cost surfaces.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "pram/prefetch.h"
+#include "pram/simd.h"
+#include "pram/tune.h"
+
+namespace llmp::pram {
+
+/// Callable probe used to test for the sweep member (a named type rather
+/// than a lambda so the trait works in any unevaluated context).
+struct SweepProbe {
+  void operator()(std::size_t, std::size_t) const {}
+};
+
+/// True when Exec offers the fused range-sweep primitive.
+template <class Exec>
+inline constexpr bool has_sweep_v = requires(Exec& e) {
+  e.sweep(std::size_t{0}, std::uint64_t{0}, SweepProbe{});
+};
+
+}  // namespace llmp::pram

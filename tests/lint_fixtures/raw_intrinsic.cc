@@ -1,0 +1,13 @@
+// BAD: code outside src/pram/ calls a hardware intrinsic directly,
+// bypassing the runtime-dispatched prefetch/SIMD policies (and their
+// portable scalar fallbacks) behind pram/prefetch.h and pram/simd.h.
+// Expected: raw-intrinsic on the `__builtin_prefetch` line.
+#include <cstddef>
+
+namespace llmp::fixture {
+
+inline void warm(const unsigned* p, std::size_t i) {
+  __builtin_prefetch(p + i);
+}
+
+}  // namespace llmp::fixture

@@ -58,6 +58,7 @@ constexpr Expected kBadFixtures[] = {
     {"failpoint_bad_name.cc", "failpoint-name", 7},
     {"serve_raw_sync.cc", "serve-raw-sync", 10},
     {"storage_access.cc", "storage-access", 15},
+    {"raw_intrinsic.cc", "raw-intrinsic", 10},
 };
 
 TEST(LintFixtures, EachBadFixtureTriggersExactlyItsRule) {
@@ -110,6 +111,27 @@ TEST(LintSuppression, AllowCommentSilencesTheRule) {
       "  return a[i];  // lint:allow(unchecked-index)\n"
       "}\n";
   EXPECT_TRUE(lint_source("src/x.h", "#pragma once\n" + allowed).empty());
+}
+
+TEST(LintScope, PramLayerOwnsRawIntrinsics) {
+  // A raw prefetch intrinsic is flagged everywhere except src/pram/,
+  // which is where the policy wrappers themselves live.
+  const std::string text =
+      "#pragma once\n"
+      "inline void warm(const void* p) { __builtin_prefetch(p); }\n";
+  ASSERT_EQ(lint_source("src/core/x.h", text).size(), 1u);
+  EXPECT_EQ(lint_source("src/core/x.h", text)[0].rule, "raw-intrinsic");
+  EXPECT_TRUE(lint_source("src/pram/x.h", text).empty());
+
+  // The vendor headers and the _mm* vector intrinsics are covered too,
+  // including in bench/ code (the rule is not src/-scoped: a bench fast
+  // path that forks from the referee'd kernels is just as dishonest).
+  const std::string simd =
+      "#include <immintrin.h>\n"
+      "inline __m256i z() { return _mm256_setzero_si256(); }\n";
+  const std::vector<Finding> fs = lint_source("bench/x.cpp", simd);
+  ASSERT_EQ(fs.size(), 3u);  // include + __m256i + _mm256_setzero_si256
+  for (const Finding& f : fs) EXPECT_EQ(f.rule, "raw-intrinsic");
 }
 
 TEST(LintScope, ServeLayerIsExemptFromStepRulesOnly) {

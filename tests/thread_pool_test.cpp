@@ -1,5 +1,5 @@
 // Tests for the SPMD thread pool and the sense-reversing barrier, plus
-// ParallelExec's inline/pooled dispatch seam at kParallelThreshold.
+// ParallelExec's inline/pooled dispatch seam at its parallel threshold.
 #include "pram/thread_pool.h"
 
 #include <gtest/gtest.h>
@@ -78,15 +78,16 @@ TEST(ThreadPool, ManySmallJobsReuseWorkers) {
 }
 
 TEST(ParallelExec, ThresholdBoundaryMatchesSeqExecExactly) {
-  // ParallelExec runs steps with nprocs < kParallelThreshold inline and
-  // dispatches larger ones to the pool. Pin the seam: one below, at, and
-  // one above the threshold must all produce the same memory contents and
-  // the same Stats as SeqExec.
-  const std::size_t t = ParallelExec::kParallelThreshold;
+  // ParallelExec runs steps with nprocs below its threshold inline and
+  // dispatches larger ones to the pool. Pin the seam with an explicit
+  // threshold (calibration would move it per machine): one below, at, and
+  // one above must all produce the same memory contents and the same
+  // Stats as SeqExec.
+  const std::size_t t = ParallelExec::kDefaultParallelThreshold;
   for (std::size_t n : {t - 1, t, t + 1}) {
     SeqExec seq(64);
     ThreadPool pool(3);
-    ParallelExec par(64, pool);
+    ParallelExec par(64, pool, t);
     std::vector<std::uint64_t> a_seq(n, 1), b_seq(n, 0);
     std::vector<std::uint64_t> a_par(n, 1), b_par(n, 0);
     auto run = [n](auto& exec, std::vector<std::uint64_t>& a,
@@ -108,6 +109,77 @@ TEST(ParallelExec, ThresholdBoundaryMatchesSeqExecExactly) {
     EXPECT_EQ(seq.stats().reads, par.stats().reads) << "n=" << n;
     EXPECT_EQ(seq.stats().writes, par.stats().writes) << "n=" << n;
   }
+}
+
+TEST(ThreadPool, ParallelForSlicesCoversRangeExactlyOnce) {
+  for (std::size_t workers : {0u, 1u, 3u}) {
+    ThreadPool pool(workers);
+    const std::size_t n = 9973;  // prime: uneven chunking
+    std::vector<std::atomic<int>> hits(n);
+    pool.parallel_for_slices(n, [&](std::size_t lo, std::size_t hi) {
+      ASSERT_LE(lo, hi);
+      for (std::size_t i = lo; i < hi; ++i)
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t i = 0; i < n; ++i)
+      ASSERT_EQ(hits[i].load(), 1) << "workers=" << workers << " i=" << i;
+  }
+}
+
+TEST(ParallelExec, SweepAccountsExactlyLikeStep) {
+  // sweep(n, u, range_body) must charge the cost surface byte-identically
+  // to step(n, u, body) — that is what keeps fused algorithms bit-equal to
+  // the referee. Run one of each shape on both executors and compare.
+  const std::size_t t = ParallelExec::kDefaultParallelThreshold;
+  for (std::size_t n : {t - 1, t, t + 1}) {
+    ThreadPool pool(3);
+    ParallelExec stepper(64, pool, t);
+    ParallelExec sweeper(64, pool, t);
+    std::vector<std::uint64_t> a(n, 0), b(n, 0);
+    stepper.step(n, [&](std::size_t v, auto&& m) { m.wr(a, v, v); });
+    stepper.step(n, 7, [&](std::size_t v, auto&& m) { m.wr(a, v, 2 * v); });
+    std::uint64_t* bp = b.data();
+    sweeper.sweep(n, 1, [bp](std::size_t lo, std::size_t hi) {
+      for (std::size_t v = lo; v < hi; ++v) bp[v] = v;
+    });
+    sweeper.sweep(n, 7, [bp](std::size_t lo, std::size_t hi) {
+      for (std::size_t v = lo; v < hi; ++v) bp[v] = 2 * v;
+    });
+    EXPECT_EQ(a, b) << "n=" << n;
+    EXPECT_EQ(stepper.stats().depth, sweeper.stats().depth);
+    EXPECT_EQ(stepper.stats().time_p, sweeper.stats().time_p);
+    EXPECT_EQ(stepper.stats().work, sweeper.stats().work);
+  }
+}
+
+TEST(ParallelExec, ZeroWorkerPoolHoistsDispatchDecision) {
+  // With no workers the pooled path can never win, so construction pins
+  // the threshold at kNeverParallel once — per-step re-checks of
+  // pool.workers() are gone (bench_dispatch measures the saving).
+  ThreadPool pool(0);
+  ParallelExec exec(64, pool);
+  EXPECT_EQ(exec.parallel_threshold(), kNeverParallel);
+  const std::size_t n = 100000;
+  std::vector<std::uint64_t> a(n, 0);
+  exec.step(n, [&](std::size_t v, auto&& m) { m.wr(a, v, v + 1); });
+  for (std::size_t v = 0; v < n; ++v) ASSERT_EQ(a[v], v + 1);
+}
+
+TEST(ParallelExec, ExplicitThresholdOverridesCalibration) {
+  ThreadPool pool(2);
+  ParallelExec exec(64, pool, 123);
+  EXPECT_EQ(exec.parallel_threshold(), 123u);
+  EXPECT_FALSE(exec.calibration().measured);
+}
+
+TEST(ParallelExec, DefaultConstructionCalibratesOncePerPool) {
+  // Default construction measures (or reads LLMP_PARALLEL_THRESHOLD) and
+  // caches per worker count: two executors over equal-sized pools must
+  // agree, and the result is a usable threshold (possibly kNeverParallel).
+  ThreadPool pool_a(2), pool_b(2);
+  ParallelExec a(64, pool_a), b(64, pool_b);
+  EXPECT_EQ(a.parallel_threshold(), b.parallel_threshold());
+  EXPECT_GE(a.parallel_threshold(), 1u);
 }
 
 TEST(Barrier, SynchronizesPhases) {

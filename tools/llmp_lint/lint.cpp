@@ -530,6 +530,56 @@ void check_storage_rules(const std::string& path,
 }
 
 // ---------------------------------------------------------------------------
+// raw-intrinsic: prefetch/SIMD are policies owned by src/pram/.
+// ---------------------------------------------------------------------------
+
+bool starts_with(const std::string& s, const char* prefix) {
+  return s.compare(0, std::string::traits_type::length(prefix), prefix) == 0;
+}
+
+/// Identifiers that reach hardware intrinsics directly. `_mm_malloc` and
+/// friends all share the `_mm` prefixes, which is intended: aligned
+/// allocation for vector code is part of the same policy surface.
+bool is_intrinsic_name(const std::string& t) {
+  return t == "__builtin_prefetch" || starts_with(t, "_mm_") ||
+         starts_with(t, "_mm256_") || starts_with(t, "_mm512_") ||
+         starts_with(t, "__m128") || starts_with(t, "__m256") ||
+         starts_with(t, "__m512");
+}
+
+/// Vendor intrinsic headers: immintrin.h, emmintrin.h, x86intrin.h, ...
+/// plus arm_neon.h for completeness.
+bool is_intrinsic_header(const std::string& target) {
+  const std::string suffix = "intrin.h";
+  return target == "arm_neon.h" ||
+         (target.size() >= suffix.size() &&
+          target.compare(target.size() - suffix.size(), suffix.size(),
+                         suffix) == 0);
+}
+
+void check_intrinsic_rules(const std::string& path, const std::string& text,
+                           const std::vector<Token>& toks,
+                           std::vector<Finding>& findings) {
+  for (const IncludeInfo& inc : scan_directives(text).includes) {
+    if (!is_intrinsic_header(inc.target)) continue;
+    findings.push_back(
+        {path, inc.line, "raw-intrinsic",
+         "intrinsic header <" + inc.target +
+             "> outside src/pram/; prefetch and SIMD are runtime-dispatched "
+             "policies — use pram/prefetch.h / pram/simd.h"});
+  }
+  for (const Token& t : toks) {
+    if (!t.ident() || !is_intrinsic_name(t.text)) continue;
+    findings.push_back(
+        {path, t.line, "raw-intrinsic",
+         "raw intrinsic '" + t.text +
+             "' outside src/pram/; call the pram::prefetch_ro / pram::simd "
+             "wrappers so the scalar fallback and runtime dispatch stay in "
+             "force"});
+  }
+}
+
+// ---------------------------------------------------------------------------
 // serve-raw-sync: serve code must go through the sync-policy vocabulary.
 // ---------------------------------------------------------------------------
 
@@ -591,6 +641,15 @@ bool owns_storage(const std::string& path) {
          path.find("/src/engine/") != std::string::npos;
 }
 
+// src/pram/ is the single sanctioned home of raw prefetch/SIMD
+// intrinsics: prefetch.h and simd.h wrap them behind runtime-dispatched
+// policies with portable scalar fallbacks. Everywhere else a fast path
+// must be spelled through those wrappers.
+bool under_pram(const std::string& path) {
+  return path.find("src/pram/") == 0 ||
+         path.find("/src/pram/") != std::string::npos;
+}
+
 // serve/sync_policy.h is the single sanctioned home of the raw std::
 // primitives: it wraps them into the policy vocabulary everything else
 // in src/serve/ must use.
@@ -619,7 +678,8 @@ const std::vector<std::string>& all_rule_ids() {
   static const std::vector<std::string> ids = {
       "step-raw-index",  "step-ref-capture", "step-read-after-write",
       "header-pragma-once", "include-order", "unchecked-index",
-      "failpoint-name", "serve-raw-sync", "storage-access"};
+      "failpoint-name", "serve-raw-sync", "storage-access",
+      "raw-intrinsic"};
   return ids;
 }
 
@@ -636,6 +696,8 @@ std::vector<Finding> lint_source(const std::string& path,
   if (opt.check_failpoints) check_failpoint_rules(path, lx.tokens, findings);
   if (opt.check_storage && under_src(path) && !owns_storage(path))
     check_storage_rules(path, lx.tokens, findings);
+  if (opt.check_intrinsics && !under_pram(path))
+    check_intrinsic_rules(path, text, lx.tokens, findings);
   if (opt.check_serve_sync && under_serve(path) &&
       !is_sync_policy_header(path))
     check_serve_sync_rules(path, lx.tokens, findings);

@@ -45,6 +45,17 @@
 //                         differently named local. Passing the array
 //                         whole (`m.rd(next, v)`) is fine — only the
 //                         subscript is load-bearing.
+//   raw-intrinsic         A file outside src/pram/ names a hardware
+//                         intrinsic directly: `__builtin_prefetch`, an
+//                         `_mm*` / `_mm256*` / `_mm512*` vector intrinsic,
+//                         an `__m128`/`__m256`/`__m512` vector type, or an
+//                         `*intrin.h` include. Prefetch and SIMD are
+//                         runtime-dispatched policies behind
+//                         pram/prefetch.h and pram/simd.h so every call
+//                         site keeps its portable scalar fallback and the
+//                         forced-scalar differential suite stays honest;
+//                         a raw intrinsic at a call site silently forks
+//                         the fast path from the referee'd one.
 //   failpoint-name        An LLMP_FAILPOINT / LLMP_FAILPOINT_STATUS site
 //                         whose name literal is not `file.scope.event`
 //                         (exactly three lowercase [a-z0-9_] segments), or
@@ -90,6 +101,7 @@ struct Options {
   bool check_failpoints = true;  // failpoint-name (uniqueness needs lint_tree)
   bool check_serve_sync = true;  // serve-raw-sync (applied under src/serve/)
   bool check_storage = true;  // storage-access (src/ minus list/ + engine/)
+  bool check_intrinsics = true;  // raw-intrinsic (everywhere but src/pram/)
 };
 
 /// Every rule id the linter can emit, in a stable order.

@@ -2,7 +2,7 @@
 //
 //   llmp_lint [--list-rules] [--no-steps] [--no-headers] [--no-guards]
 //             [--no-failpoints] [--no-serve-sync] [--no-storage-access]
-//             [path ...]
+//             [--no-intrinsics] [path ...]
 //
 // Paths may be files or directories (recursed for .h/.cpp/.cc); with no
 // paths the tool lints src/, bench/, and examples/ relative to the current
@@ -35,11 +35,13 @@ int main(int argc, char** argv) {
       opt.check_serve_sync = false;
     } else if (arg == "--no-storage-access") {
       opt.check_storage = false;
+    } else if (arg == "--no-intrinsics") {
+      opt.check_intrinsics = false;
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: llmp_lint [--list-rules] [--no-steps] [--no-headers] "
           "[--no-guards] [--no-failpoints] [--no-serve-sync] "
-          "[--no-storage-access] [path ...]\n");
+          "[--no-storage-access] [--no-intrinsics] [path ...]\n");
       return 0;
     } else {
       roots.push_back(arg);
