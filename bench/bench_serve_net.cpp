@@ -1,0 +1,286 @@
+// bench_serve_net — multi-connection load generator for the network
+// front-end (src/net): a real Server on an ephemeral loopback port, C
+// client threads each pipelining batches over its own connection and its
+// own tenant id.
+//
+//  1. Load: every connection's ledger — requests sent, ok, errors, lost
+//     (no response before the connection died), duplicate and unknown
+//     request ids. The correctness claim of the wire protocol is that
+//     under full pipelining the reconciliation columns are EXACTLY
+//     requests == ok and 0 everywhere else; the perf gate pins them.
+//     Wall-clock throughput and latency percentiles ride in *_ms columns
+//     (machine noise, ignored by the gate).
+//
+//  2. Fairness (--fairness, skipped under the gate): tenant A unlimited
+//     next to tenant B squeezed through a tiny token bucket. B must see
+//     kResourceExhausted on the over-quota remainder while A's
+//     throughput stays within 10% of its solo run — admission control
+//     must shed B's load without taxing A.
+//
+//   ./bench_serve_net [--requests R] [--conns C] [--n N] [--alg A]
+//                     [--batch B] [--fairness] [--csv] [--json[=FILE]]
+//
+// Acceptance sweep (docs/NET.md): --requests 100000 --conns 4.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "llmp.h"
+#include "net/client.h"
+#include "net/server.h"
+
+namespace {
+
+using namespace llmp;
+
+struct ConnLedger {
+  std::uint32_t tenant = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t resource_exhausted = 0;  ///< subset of errors
+  std::uint64_t lost = 0;                ///< no response (connection died)
+  std::uint64_t duplicates = 0;
+  std::uint64_t unknown_ids = 0;
+  std::uint64_t p50_us = 0;
+  std::uint64_t p99_us = 0;
+  double wall_ms = 0;
+};
+
+/// Drive `requests` pipelined requests over one fresh connection. With
+/// `backoff`, the client honours kResourceExhausted the way a well-behaved
+/// tenant does: a fully-rejected batch doubles a sleep (1 ms up to 32 ms)
+/// before the next attempt. Without it an over-quota tenant is a rejection
+/// *storm* — admission still sheds the load before any worker runs, but on
+/// a one-core host the error frames themselves tax the shared IO thread,
+/// which is protocol-processing physics, not a quota property.
+ConnLedger drive_conn(std::uint16_t port, std::uint32_t tenant,
+                      std::uint64_t requests, std::uint64_t batch,
+                      const std::string& alg, std::size_t n,
+                      std::size_t lists, bool backoff = false) {
+  ConnLedger led;
+  led.tenant = tenant;
+  net::ClientOptions copt;
+  copt.port = port;
+  copt.tenant = tenant;
+  net::Client client(copt);
+  if (Status s = client.connect(); !s.ok()) {
+    led.lost = requests;
+    return led;
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  std::uint64_t sent = 0;
+  std::uint64_t backoff_ms = 1;
+  while (sent < requests) {
+    const std::uint64_t take = std::min(batch, requests - sent);
+    std::vector<RequestBuilder> reqs;
+    reqs.reserve(take);
+    for (std::uint64_t k = 0; k < take; ++k)
+      reqs.push_back(RequestBuilder().algorithm(alg).generated(
+          n, 9000 + (sent + k) % lists));
+    const auto results = client.submit_batch(reqs);
+    std::uint64_t batch_ok = 0;
+    for (const auto& r : results) {
+      if (r.ok()) {
+        led.ok++;
+        batch_ok++;
+      } else if (r.status().code() == StatusCode::kUnavailable) {
+        led.lost++;  // the connection died under this request
+      } else {
+        led.errors++;
+        if (r.status().code() == StatusCode::kResourceExhausted)
+          led.resource_exhausted++;
+      }
+    }
+    sent += take;
+    if (!client.connected()) break;
+    if (backoff) {
+      if (batch_ok == 0 && led.resource_exhausted > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+        backoff_ms = std::min<std::uint64_t>(backoff_ms * 2, 32);
+      } else {
+        backoff_ms = 1;
+      }
+    }
+  }
+  led.wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  led.requests = sent;
+  led.lost += requests - sent;  // never even submitted
+  const net::ClientStats cs = client.stats();
+  led.duplicates = cs.duplicates;
+  led.unknown_ids = cs.unknown_ids;
+  led.p50_us = cs.p50_latency_us;
+  led.p99_us = cs.p99_latency_us;
+  return led;
+}
+
+/// One load run: a fresh Service + Server, `conns` concurrent client
+/// threads (tenant i+1 each), per-connection ledgers back.
+std::vector<ConnLedger> run_load(std::size_t conns, std::uint64_t requests,
+                                 std::uint64_t batch, const std::string& alg,
+                                 std::size_t n, std::size_t lists,
+                                 const net::AdmissionOptions& admission,
+                                 std::vector<std::uint32_t> tenants = {},
+                                 std::vector<bool> backoff = {}) {
+  serve::ServiceOptions sopt;
+  sopt.workers = 2;
+  sopt.queue_capacity = 1024;
+  serve::Service svc(sopt);
+  net::ServerOptions nopt;
+  nopt.admission = admission;
+  net::Server server(svc, nopt);
+  LLMP_CHECK_MSG(server.start().ok(), "server start failed");
+
+  const std::uint64_t per_conn = requests / conns;
+  std::vector<ConnLedger> ledgers(conns);
+  std::vector<std::thread> threads;
+  threads.reserve(conns);
+  for (std::size_t c = 0; c < conns; ++c) {
+    const std::uint32_t tenant =
+        c < tenants.size() ? tenants[c] : static_cast<std::uint32_t>(c + 1);
+    const bool back = c < backoff.size() && backoff[c];
+    threads.emplace_back([&, c, tenant, back] {
+      ledgers[c] = drive_conn(server.port(), tenant, per_conn, batch, alg, n,
+                              lists, back);
+    });
+  }
+  for (auto& t : threads) t.join();
+  server.stop();
+  svc.shutdown();
+  return ledgers;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t requests = 2048;
+  std::size_t conns = 4;
+  std::uint64_t batch = 64;
+  std::string alg = "sequential";
+  bool fairness = false;
+  int out_argc = 1;
+  for (int in = 1; in < argc; ++in) {
+    auto value = [&](const char* name) -> const char* {
+      const std::size_t len = std::strlen(name);
+      if (std::strncmp(argv[in], name, len) != 0) return nullptr;
+      if (argv[in][len] == '=') return argv[in] + len + 1;
+      if (argv[in][len] == '\0' && in + 1 < argc) return argv[++in];
+      return nullptr;
+    };
+    if (std::strcmp(argv[in], "--fairness") == 0)
+      fairness = true;
+    else if (const char* v = value("--requests"))
+      requests = std::strtoull(v, nullptr, 10);
+    else if (const char* v = value("--conns"))
+      conns = static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+    else if (const char* v = value("--batch"))
+      batch = std::strtoull(v, nullptr, 10);
+    else if (const char* v = value("--alg"))
+      alg = v;
+    else
+      argv[out_argc++] = argv[in];
+  }
+  argc = out_argc;
+  bench::BenchArgs args = bench::parse_bench_args(argc, argv);
+  const std::size_t n = args.n_or(1024);
+  const std::size_t lists = 8;
+  conns = conns == 0 ? 1 : conns;
+  batch = batch == 0 ? 1 : batch;
+
+  std::cout << "bench_serve_net: " << conns << " connection(s) x "
+            << requests / conns << " pipelined '" << alg << "' requests (n="
+            << n << ", batch " << batch << ") over loopback\n\n";
+
+  // ---- Section 1: load + reconciliation ledger. ----------------------------
+  std::cout << "[1] Load — every response reconciled by request id\n";
+  const auto ledgers =
+      run_load(conns, requests, batch, alg, n, lists, {});
+  fmt::Table t1({"conn", "tenant", "requests", "ok", "errors", "lost", "dup",
+                 "unknown", "wall ms", "p50 ms", "p99 ms"});
+  std::uint64_t tot_req = 0, tot_ok = 0, tot_err = 0, tot_lost = 0,
+                tot_dup = 0, tot_unknown = 0, worst_p99 = 0;
+  double wall_ms = 0;
+  for (std::size_t c = 0; c < ledgers.size(); ++c) {
+    const ConnLedger& l = ledgers[c];
+    t1.add_row({fmt::num(c), fmt::num(l.tenant), fmt::num(l.requests),
+                fmt::num(l.ok), fmt::num(l.errors), fmt::num(l.lost),
+                fmt::num(l.duplicates), fmt::num(l.unknown_ids),
+                fmt::num(l.wall_ms, 1),
+                fmt::num(static_cast<double>(l.p50_us) / 1000.0, 3),
+                fmt::num(static_cast<double>(l.p99_us) / 1000.0, 3)});
+    tot_req += l.requests;
+    tot_ok += l.ok;
+    tot_err += l.errors;
+    tot_lost += l.lost;
+    tot_dup += l.duplicates;
+    tot_unknown += l.unknown_ids;
+    worst_p99 = std::max(worst_p99, l.p99_us);
+    wall_ms = std::max(wall_ms, l.wall_ms);
+  }
+  t1.print();
+  const double rps = wall_ms > 0
+                         ? static_cast<double>(tot_req) / (wall_ms / 1000.0)
+                         : 0;
+  std::cout << "total: " << tot_req << " requests, " << tot_ok << " ok, "
+            << fmt::num(rps, 0) << " req/s, worst-connection p99 "
+            << fmt::num(static_cast<double>(worst_p99) / 1000.0, 3)
+            << " ms\n";
+  const bool load_pass =
+      tot_lost == 0 && tot_dup == 0 && tot_unknown == 0 && tot_ok == tot_req;
+
+  // ---- Section 2 (opt-in): per-tenant fairness under quota. ----------------
+  bool fair_pass = true;
+  if (fairness) {
+    std::cout << "\n[2] --fairness: tenant A unlimited vs tenant B through a"
+                 " tiny token bucket\n";
+    // Solo baseline: tenant A alone on the server.
+    const auto solo =
+        run_load(1, requests / 2, batch, alg, n, lists, {}, {1});
+    const double solo_rps =
+        solo[0].wall_ms > 0 ? static_cast<double>(solo[0].ok) /
+                                  (solo[0].wall_ms / 1000.0)
+                            : 0;
+    // Paired: A unlimited, B over-quota (a bucket of 50 it drains at
+    // once), B backing off on rejection like a well-behaved client.
+    net::AdmissionOptions adm;
+    adm.quotas[2].tokens_per_sec = 10;
+    adm.quotas[2].burst = 50;
+    const auto pair = run_load(2, requests, batch, alg, n, lists, adm, {1, 2},
+                               {false, true});
+    const ConnLedger& a = pair[0];
+    const ConnLedger& b = pair[1];
+    const double a_rps =
+        a.wall_ms > 0 ? static_cast<double>(a.ok) / (a.wall_ms / 1000.0) : 0;
+    fmt::Table t2({"tenant", "requests", "ok", "rejected quota", "wall ms"});
+    t2.add_row({"A (solo)", fmt::num(solo[0].requests), fmt::num(solo[0].ok),
+                "-", fmt::num(solo[0].wall_ms, 1)});
+    t2.add_row({"A (paired)", fmt::num(a.requests), fmt::num(a.ok), "-",
+                fmt::num(a.wall_ms, 1)});
+    t2.add_row({"B (quota 10/s)", fmt::num(b.requests), fmt::num(b.ok),
+                fmt::num(b.resource_exhausted), fmt::num(b.wall_ms, 1)});
+    t2.print();
+    const double ratio = solo_rps > 0 ? a_rps / solo_rps : 0;
+    const bool b_shed = b.resource_exhausted > 0 && b.ok < b.requests;
+    fair_pass = b_shed && ratio >= 0.9;
+    std::cout << "A paired/solo throughput ratio: " << fmt::num(ratio, 2)
+              << " (target >= 0.90); B rejected kResourceExhausted: "
+              << b.resource_exhausted << "\n";
+  }
+
+  const bool pass = load_pass && fair_pass;
+  std::cout << "\n" << (pass ? "PASS" : "FAIL")
+            << ": zero lost/duplicated responses"
+            << (fairness ? " and in-quota throughput within 10% of solo"
+                         : "")
+            << "\n";
+  return pass ? 0 : 1;
+}

@@ -40,6 +40,12 @@ GATE = {
     "bench_blocked_ranking": ["--n", "32768"],
     "bench_dispatch": [],
     "bench_lemma1_sets": [],
+    # Loopback load generator: the reconciliation ledger (requests / ok /
+    # lost / dup / unknown per connection) is exact under full pipelining;
+    # only the *_ms columns are machine noise. --fairness stays off here
+    # (its throughput-ratio check is a wall-clock claim, not a counter).
+    "bench_serve_net": ["--requests", "2048", "--conns", "4", "--n", "1024",
+                        "--alg", "sequential"],
     "bench_thread_backend": ["--n", "65536", "--workers", "2"],
     "bench_walkdown": ["--n", "4096"],
 }

@@ -12,14 +12,24 @@
 #      baselines in bench/baselines/ (scripts/bench_gate.py), plus the
 #      raw-speed acceptance: the committed bench_thread_backend capture
 #      must show fused >= 1.5x legacy on >= 2 workloads at n >= 1M,
+#   2c. the network loopback smoke: llmp_serve --net.listen driven by
+#      llmp_serve --net.connect over a real socket, then the
+#      bench_serve_net load generator — zero lost/duplicated responses
+#      under full pipelining. (--fairness is a wall-clock ratio and
+#      stays out of CI like every other timing claim; quota enforcement
+#      is pinned deterministically by net_server_test. The full
+#      acceptance sweep is documented in docs/NET.md.)
 #   3. llmp_mc — the bounded model checker's full gate: every serve
 #      scenario clean over every bounded interleaving, and the three
 #      seeded queue mutations each caught (the checker's self-test),
-#   4. the tier-1 suite again under ASan+UBSan (-DLLMP_SANITIZE=...),
+#   4. the tier-1 suite again under ASan+UBSan (-DLLMP_SANITIZE=...) —
+#      including the malformed-frame fuzz decode suite in
+#      net_server_test, which is the suite's home turf,
 #   5. the threading tests (thread_pool_test, machine_test, serve_test,
-#      chaos_test, fused_backend_test) under TSan — the chaos storm exercises fault
-#      injection, worker restarts, retries and the watchdog with the
-#      race detector watching.
+#      chaos_test, fused_backend_test, net_server_test) under TSan — the
+#      chaos storm exercises fault injection, worker restarts, retries
+#      and the watchdog, and the net tests the IO-thread/worker
+#      completion handoff, with the race detector watching.
 #
 # Usage: scripts/check.sh [--fast]   (--fast skips the sanitizer builds)
 set -euo pipefail
@@ -46,6 +56,26 @@ echo "== [2b/5] bench perf gate (deterministic counters vs baselines) =="
 python3 scripts/bench_gate.py --build-dir build
 python3 scripts/bench_gate.py \
   --speedup bench/baselines/PERF_thread_backend_n2097152.json
+
+echo "== [2c/5] network loopback smoke (wire protocol over a real socket) =="
+./build/tools/llmp_serve --net.listen 0 --serve.workers 2 \
+  >/tmp/llmp_serve_net.$$ 2>&1 &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+  PORT="$(sed -n 's/^llmp_serve: listening on \([0-9]*\).*/\1/p' \
+    /tmp/llmp_serve_net.$$ 2>/dev/null || true)"
+  [[ -n "${PORT:-}" ]] && break
+  sleep 0.1
+done
+[[ -n "${PORT:-}" ]] || { echo "check.sh: server never printed its port"; \
+  kill "$SERVE_PID" 2>/dev/null || true; exit 1; }
+./build/tools/llmp_serve --net.connect "127.0.0.1:${PORT}" \
+  --net.conns 2 --serve.requests 512 --serve.n 2048 --serve.alg sequential
+kill -INT "$SERVE_PID"
+wait "$SERVE_PID"
+rm -f /tmp/llmp_serve_net.$$
+./build/bench/bench_serve_net --requests 4096 --conns 4 --n 1024 \
+  --batch 64 --alg sequential
 
 echo "== [3/5] llmp_mc model-check gate (incl. seeded-mutation self-test) =="
 ./build/tools/llmp_mc
@@ -77,8 +107,8 @@ cmake -B build-tsan -S . \
   -DLLMP_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS" \
   --target thread_pool_test machine_test serve_test chaos_test \
-  fused_backend_test
+  fused_backend_test net_server_test
 (cd build-tsan && ctest --output-on-failure -j "$JOBS" \
-  -R "ThreadPool|Machine|Serve|BoundedQueue|Chaos|FusedBackend")
+  -R "ThreadPool|Machine|Serve|BoundedQueue|Chaos|FusedBackend|Net")
 
 echo "check.sh: all green"

@@ -22,7 +22,10 @@
 // the serve layer, the CLI and the examples are written against.
 #pragma once
 
+#include <chrono>
 #include <cstddef>
+#include <cstdint>
+#include <string>
 #include <string_view>
 #include <utility>
 
@@ -71,6 +74,111 @@ class Context {
  private:
   pram::SeqExec exec_;
   pram::Context<pram::SeqExec> ctx_;
+};
+
+/// Fluent, transport-neutral construction of serve requests — the one
+/// spelling of "what a request is" shared by in-process callers
+/// (serve::Service::submit), the llmp_serve CLI, and the network client
+/// (net/client.h), so the wire schema and the public API cannot drift.
+///
+///   auto req = llmp::RequestBuilder()
+///                  .algorithm("match4")
+///                  .list(my_list)                    // in-process / inline
+///                  .deadline_after(std::chrono::milliseconds(50))
+///                  .tenant(7)
+///                  .build();
+///   auto fut = svc.submit(std::move(req));
+///
+/// The list can be named two ways:
+///   * list(l)          — a borrowed in-memory list. build() uses it
+///                        directly; the net client ships its successor
+///                        array inline in the request frame.
+///   * generated(n, s)  — "the random list with these parameters". The
+///                        net client sends just (n, seed) and the server
+///                        materialises (and caches) the list; build() has
+///                        no storage to point at, so the in-process
+///                        Request comes back listless and Service::submit
+///                        rejects it kInvalidArgument — generated specs
+///                        are a wire-only affordance.
+class RequestBuilder {
+ public:
+  RequestBuilder& algorithm(std::string name) {
+    algorithm_ = std::move(name);
+    return *this;
+  }
+  RequestBuilder& list(const list::LinkedList& l) {
+    list_ = &l;
+    generated_ = false;
+    return *this;
+  }
+  /// Server-side generated list::generators::random_list(n, seed).
+  RequestBuilder& generated(std::size_t n, std::uint64_t seed) {
+    list_ = nullptr;
+    generated_ = true;
+    generated_n_ = n;
+    generated_seed_ = seed;
+    return *this;
+  }
+  RequestBuilder& deadline(std::chrono::steady_clock::time_point t) {
+    deadline_ = t;
+    return *this;
+  }
+  /// Relative form; resolved against now() at build/encode time.
+  RequestBuilder& deadline_after(std::chrono::milliseconds d) {
+    deadline_ = d.count() > 0 ? std::chrono::steady_clock::now() + d
+                              : std::chrono::steady_clock::time_point::max();
+    return *this;
+  }
+  RequestBuilder& memory_budget_bytes(std::size_t bytes) {
+    memory_budget_bytes_ = bytes;
+    return *this;
+  }
+  RequestBuilder& tenant(std::uint32_t id) {
+    tenant_ = id;
+    return *this;
+  }
+  RequestBuilder& cancel(serve::CancelToken token) {
+    cancel_ = std::move(token);
+    return *this;
+  }
+
+  /// The in-process serve::Request. Requires list(); a generated() spec
+  /// (or no list at all) builds a listless Request that Service::submit
+  /// refuses kInvalidArgument — never aborts.
+  serve::Request build() const {
+    serve::Request req;
+    req.list = list_;
+    req.algorithm = algorithm_;
+    req.deadline = deadline_;
+    req.cancel = cancel_;
+    req.memory_budget_bytes = memory_budget_bytes_;
+    req.tenant = tenant_;
+    return req;
+  }
+
+  // Field access for transports (net/client.h encodes from these).
+  const std::string& algorithm_name() const { return algorithm_; }
+  const list::LinkedList* list_ptr() const { return list_; }
+  bool is_generated() const { return generated_; }
+  std::size_t generated_n() const { return generated_n_; }
+  std::uint64_t generated_seed() const { return generated_seed_; }
+  std::chrono::steady_clock::time_point deadline_point() const {
+    return deadline_;
+  }
+  std::size_t budget_bytes() const { return memory_budget_bytes_; }
+  std::uint32_t tenant_id() const { return tenant_; }
+
+ private:
+  std::string algorithm_ = "match4";
+  const list::LinkedList* list_ = nullptr;
+  bool generated_ = false;
+  std::size_t generated_n_ = 0;
+  std::uint64_t generated_seed_ = 0;
+  std::chrono::steady_clock::time_point deadline_ =
+      std::chrono::steady_clock::time_point::max();
+  serve::CancelToken cancel_;
+  std::size_t memory_budget_bytes_ = 0;
+  std::uint32_t tenant_ = 0;
 };
 
 /// Run the registry algorithm `name` ("match4", "match2-erew",

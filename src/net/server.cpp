@@ -1,0 +1,645 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <deque>
+#include <fcntl.h>
+#include <future>
+#include <map>
+#include <mutex>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <thread>
+#include <unistd.h>
+#include <utility>
+
+#include "core/match_result.h"
+#include "list/generators.h"
+#include "list/linked_list.h"
+#include "support/failpoint.h"
+
+namespace llmp::net {
+
+namespace {
+
+namespace failpoint = support::failpoint;
+
+/// Evaluate a socket-operation failpoint; throw rules are folded into the
+/// returned Status so every injection takes the same disconnect path and
+/// the chaos suite can reconcile counters deterministically.
+Status guarded_failpoint(const char* name) {
+  try {
+    return LLMP_FAILPOINT_STATUS(name);
+  } catch (const failpoint::InjectedFault& e) {
+    return Status(e.code(), e.what());
+  }
+}
+
+Status set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0)
+    return Status::unavailable(std::string("fcntl(O_NONBLOCK): ") +
+                               std::strerror(errno));
+  return {};
+}
+
+}  // namespace
+
+struct Server::Impl {
+  // ---- wiring ------------------------------------------------------------
+
+  /// The bridge from worker threads back to the IO thread. on_ready hooks
+  /// hold it by shared_ptr, so a late completion after stop() posts into a
+  /// closed (wake_fd == -1) bus instead of freed memory.
+  struct CompletionBus {
+    std::mutex mu;
+    std::vector<std::uint64_t> ready;
+    int wake_fd = -1;
+
+    void post(std::uint64_t token) {
+      std::lock_guard<std::mutex> lock(mu);
+      ready.push_back(token);
+      if (wake_fd >= 0) {
+        const std::uint8_t byte = 1;
+        // A full pipe is fine: the IO loop also drains on its poll tick.
+        [[maybe_unused]] const ssize_t n = ::write(wake_fd, &byte, 1);
+      }
+    }
+    std::vector<std::uint64_t> drain() {
+      std::lock_guard<std::mutex> lock(mu);
+      return std::exchange(ready, {});
+    }
+    void close() {
+      std::lock_guard<std::mutex> lock(mu);
+      wake_fd = -1;
+    }
+  };
+
+  /// One connection slot; slots are reused, generations disambiguate a
+  /// completion aimed at a connection that died meanwhile.
+  struct Conn {
+    int fd = -1;
+    std::uint64_t gen = 0;
+    std::vector<std::uint8_t> in;   ///< unparsed received bytes
+    std::vector<std::uint8_t> out;  ///< encoded frames awaiting write
+    std::size_t out_at = 0;
+    bool close_after_flush = false;
+  };
+
+  /// A submitted request the IO thread still owes a response frame (or a
+  /// silent drop, when its connection died). Owns the list reference for
+  /// exactly as long as the serve layer may touch it.
+  struct Pending {
+    std::size_t slot = 0;
+    std::uint64_t gen = 0;
+    std::uint64_t request_id = 0;
+    std::uint32_t tenant = 0;
+    std::shared_ptr<const list::LinkedList> list;
+    std::future<Result<core::MatchResult>> fut;
+  };
+
+  Impl(serve::Service& s, ServerOptions o)
+      : svc(s), opts(std::move(o)), admission(opts.admission) {}
+
+  // ---- lifecycle ---------------------------------------------------------
+
+  Status start() {
+    listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd < 0)
+      return Status::unavailable(std::string("socket: ") +
+                                 std::strerror(errno));
+    const int one = 1;
+    ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(opts.port);
+    if (::inet_pton(AF_INET, opts.host.c_str(), &addr.sin_addr) != 1)
+      return fail_start(Status::invalid_argument("bad listen host " +
+                                                 opts.host));
+    if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) < 0)
+      return fail_start(Status::unavailable(
+          "bind " + opts.host + ":" + std::to_string(opts.port) + ": " +
+          std::strerror(errno)));
+    if (::listen(listen_fd, 128) < 0)
+      return fail_start(Status::unavailable(std::string("listen: ") +
+                                            std::strerror(errno)));
+    socklen_t len = sizeof(addr);
+    if (::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr), &len) <
+        0)
+      return fail_start(Status::unavailable(std::string("getsockname: ") +
+                                            std::strerror(errno)));
+    bound_port = ntohs(addr.sin_port);
+    if (Status s = set_nonblocking(listen_fd); !s.ok())
+      return fail_start(std::move(s));
+
+    int pipe_fds[2];
+    if (::pipe(pipe_fds) < 0)
+      return fail_start(Status::unavailable(std::string("pipe: ") +
+                                            std::strerror(errno)));
+    wake_rd = pipe_fds[0];
+    {
+      std::lock_guard<std::mutex> lock(bus->mu);
+      bus->wake_fd = pipe_fds[1];
+    }
+    if (Status s = set_nonblocking(wake_rd); !s.ok())
+      return fail_start(std::move(s));
+    if (Status s = set_nonblocking(pipe_fds[1]); !s.ok())
+      return fail_start(std::move(s));
+
+    running.store(true);
+    io = std::thread([this] { io_loop(); });
+    return {};
+  }
+
+  Status fail_start(Status s) {
+    close_fds();
+    return s;
+  }
+
+  void stop() {
+    if (io.joinable()) {
+      running.store(false);
+      bus->post(0);  // token 0 is never issued; this is just a wake-up
+      io.join();
+    }
+    // The IO thread is gone; drain every outstanding request so the lists
+    // pending entries own stay alive until the serve layer is done with
+    // them, and the admission ledger balances.
+    for (auto& [token, p] : pending) {
+      if (p.fut.valid()) p.fut.wait();
+      admission.complete(p.tenant);
+    }
+    pending.clear();
+    bus->close();  // late on_ready posts become harmless no-ops
+    close_fds();
+  }
+
+  void close_fds() {
+    for (Conn& c : conns)
+      if (c.fd >= 0) {
+        ::close(c.fd);
+        c.fd = -1;
+      }
+    int wake_wr = -1;
+    {
+      std::lock_guard<std::mutex> lock(bus->mu);
+      wake_wr = std::exchange(bus->wake_fd, -1);
+    }
+    for (int* fd : {&listen_fd, &wake_rd, &wake_wr})
+      if (*fd >= 0) {
+        ::close(*fd);
+        *fd = -1;
+      }
+  }
+
+  // ---- IO loop -----------------------------------------------------------
+
+  void io_loop() {
+    std::vector<pollfd> fds;
+    std::vector<std::size_t> slot_of;  // fds index → conns slot
+    while (running.load()) {
+      fds.clear();
+      slot_of.clear();
+      fds.push_back({listen_fd, POLLIN, 0});
+      fds.push_back({wake_rd, POLLIN, 0});
+      for (std::size_t i = 0; i < conns.size(); ++i) {
+        if (conns[i].fd < 0) continue;
+        short events = POLLIN;
+        if (conns[i].out_at < conns[i].out.size()) events |= POLLOUT;
+        fds.push_back({conns[i].fd, events, 0});
+        slot_of.push_back(i);
+      }
+      // Finite timeout: progress even if a wake byte was lost to a full
+      // pipe, and a timely running-flag check on shutdown.
+      const int rc = ::poll(fds.data(), fds.size(), 50);
+      if (rc < 0 && errno != EINTR) break;
+
+      if (fds[1].revents & POLLIN) drain_wake_pipe();
+      drain_completions();
+      if (fds[0].revents & POLLIN) accept_connections();
+      for (std::size_t k = 2; k < fds.size(); ++k) {
+        const std::size_t slot = slot_of[k - 2];
+        Conn& c = conns[slot];
+        if (c.fd != fds[k].fd) continue;  // replaced mid-iteration
+        if (fds[k].revents & (POLLERR | POLLHUP | POLLNVAL)) {
+          close_conn(slot);
+          continue;
+        }
+        if (fds[k].revents & POLLIN) handle_readable(slot);
+        if (c.fd >= 0 && (fds[k].revents & POLLOUT)) handle_writable(slot);
+      }
+    }
+  }
+
+  void drain_wake_pipe() {
+    std::uint8_t buf[256];
+    while (::read(wake_rd, buf, sizeof(buf)) > 0) {
+    }
+  }
+
+  void accept_connections() {
+    while (true) {
+      const int fd = ::accept(listen_fd, nullptr, nullptr);
+      if (fd < 0) return;  // EAGAIN / transient
+      if (Status s = guarded_failpoint("net.conn.accept"); !s.ok()) {
+        accept_faults.fetch_add(1, std::memory_order_relaxed);
+        ::close(fd);
+        continue;
+      }
+      std::size_t live = 0;
+      for (const Conn& c : conns) live += c.fd >= 0 ? 1 : 0;
+      if (live >= opts.max_connections) {
+        ::close(fd);
+        disconnects.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      if (Status s = set_nonblocking(fd); !s.ok()) {
+        ::close(fd);
+        continue;
+      }
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      std::size_t slot = conns.size();
+      for (std::size_t i = 0; i < conns.size(); ++i)
+        if (conns[i].fd < 0) {
+          slot = i;
+          break;
+        }
+      if (slot == conns.size()) conns.emplace_back();
+      Conn& c = conns[slot];
+      c.fd = fd;
+      c.gen++;
+      c.in.clear();
+      c.out.clear();
+      c.out_at = 0;
+      c.close_after_flush = false;
+      accepted.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  void close_conn(std::size_t slot) {
+    Conn& c = conns[slot];
+    if (c.fd < 0) return;
+    ::close(c.fd);
+    c.fd = -1;
+    c.gen++;  // orphan any pending completions aimed at this slot
+    c.in.clear();
+    c.out.clear();
+    c.out_at = 0;
+    disconnects.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // ---- reading + framing -------------------------------------------------
+
+  void handle_readable(std::size_t slot) {
+    Conn& c = conns[slot];
+    if (Status s = guarded_failpoint("net.conn.read"); !s.ok()) {
+      read_faults.fetch_add(1, std::memory_order_relaxed);
+      close_conn(slot);
+      return;
+    }
+    std::uint8_t buf[64 * 1024];
+    while (true) {
+      const ssize_t n = ::read(c.fd, buf, sizeof(buf));
+      if (n > 0) {
+        c.in.insert(c.in.end(), buf, buf + n);
+        bytes_in.fetch_add(static_cast<std::uint64_t>(n),
+                           std::memory_order_relaxed);
+        continue;
+      }
+      if (n == 0) {  // orderly EOF from the peer
+        close_conn(slot);
+        return;
+      }
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      close_conn(slot);
+      return;
+    }
+    parse_frames(slot);
+  }
+
+  void parse_frames(std::size_t slot) {
+    Conn& c = conns[slot];
+    std::size_t at = 0;
+    while (c.fd >= 0 && !c.close_after_flush &&
+           c.in.size() - at >= kFrameHeaderBytes) {
+      FrameHeader h;
+      Status s = decode_header(c.in.data() + at, kFrameHeaderBytes, &h);
+      if (s.ok() && h.payload_bytes > opts.max_frame_bytes)
+        s = Status::invalid_argument(
+            "payload length " + std::to_string(h.payload_bytes) +
+            " exceeds this server's limit");
+      if (!s.ok()) {
+        // Header-level corruption: the stream cannot be resynchronised.
+        // Mark close-after-flush BEFORE sending so the flush inside
+        // send_error closes the socket once the error frame drains.
+        protocol_errors.fetch_add(1, std::memory_order_relaxed);
+        c.close_after_flush = true;
+        send_error(slot, h.tenant, h.request_id,
+                   {StatusCode::kInvalidArgument, s.message()});
+        break;
+      }
+      if (c.in.size() - at < kFrameHeaderBytes + h.payload_bytes)
+        break;  // frame not fully buffered yet
+      handle_frame(slot, h, c.in.data() + at + kFrameHeaderBytes,
+                   h.payload_bytes);
+      at += kFrameHeaderBytes + h.payload_bytes;
+    }
+    if (at > 0 && c.fd >= 0)
+      c.in.erase(c.in.begin(),
+                 c.in.begin() + static_cast<std::ptrdiff_t>(at));
+  }
+
+  void handle_frame(std::size_t slot, const FrameHeader& h,
+                    const std::uint8_t* payload, std::size_t size) {
+    frames_in.fetch_add(1, std::memory_order_relaxed);
+    switch (h.type) {
+      case FrameType::kRequest:
+        handle_request(slot, h, payload, size);
+        return;
+      case FrameType::kStatsRequest: {
+        if (Status s = decode_stats_request(payload, size); !s.ok()) {
+          protocol_errors.fetch_add(1, std::memory_order_relaxed);
+          send_error(slot, h.tenant, h.request_id,
+                     {StatusCode::kInvalidArgument, s.message()});
+          return;
+        }
+        send_stats(slot, h);
+        return;
+      }
+      default:
+        // kResponse / kError / kStats are server→client only; a client
+        // sending one is out of protocol — answer and hang up. (Set the
+        // flag before sending: the flush inside send_error is what closes
+        // the connection once the error frame drains.)
+        protocol_errors.fetch_add(1, std::memory_order_relaxed);
+        conns[slot].close_after_flush = true;
+        send_error(slot, h.tenant, h.request_id,
+                   {StatusCode::kInvalidArgument,
+                    "frame type not valid from a client"});
+        return;
+    }
+  }
+
+  void handle_request(std::size_t slot, const FrameHeader& h,
+                      const std::uint8_t* payload, std::size_t size) {
+    RequestFrame f;
+    if (Status s = decode_request(payload, size, &f); !s.ok()) {
+      // Payload-level: the stream is still framed; cost one error frame.
+      protocol_errors.fetch_add(1, std::memory_order_relaxed);
+      send_error(slot, h.tenant, h.request_id,
+                 {StatusCode::kInvalidArgument, s.message()});
+      return;
+    }
+    if (f.n > opts.max_list_nodes || f.n >= knil) {
+      send_error(slot, h.tenant, h.request_id,
+                 {StatusCode::kInvalidArgument,
+                  "list size " + std::to_string(f.n) +
+                      " exceeds the server limit"});
+      return;
+    }
+    if (Status s = admission.admit(h.tenant); !s.ok()) {
+      send_error(slot, h.tenant, h.request_id, {s.code(), s.message()});
+      return;
+    }
+    // Admitted from here on: every exit must reach complete(), either via
+    // the pending entry's completion or explicitly on early rejection.
+    std::shared_ptr<const list::LinkedList> list;
+    if (f.list_spec == ListSpec::kGenerated) {
+      list = generated_list(f.n, f.seed);
+    } else {
+      Result<list::LinkedList> made = list::LinkedList::make(
+          std::move(f.links));
+      if (!made.ok()) {
+        admission.complete(h.tenant);
+        send_error(slot, h.tenant, h.request_id,
+                   {made.status().code(), made.status().message()});
+        return;
+      }
+      list = std::make_shared<const list::LinkedList>(
+          std::move(made.value()));
+    }
+
+    const std::uint64_t token = next_token++;
+    Pending p;
+    p.slot = slot;
+    p.gen = conns[slot].gen;
+    p.request_id = h.request_id;
+    p.tenant = h.tenant;
+    p.list = list;
+    auto [it, inserted] = pending.emplace(token, std::move(p));
+    LLMP_CHECK(inserted);
+
+    serve::Request req;
+    req.list = list.get();
+    req.algorithm = f.algorithm;
+    if (f.deadline_ms != 0)
+      req.deadline = std::chrono::steady_clock::now() +
+                     std::chrono::milliseconds(f.deadline_ms);
+    req.memory_budget_bytes = f.memory_budget_bytes;
+    req.tenant = h.tenant;
+    req.on_ready = [bus = bus, token] { bus->post(token); };
+    // A submit-time reject runs on_ready synchronously on this thread;
+    // the token just waits in the bus until drain_completions().
+    it->second.fut = svc.submit(std::move(req));
+  }
+
+  std::shared_ptr<const list::LinkedList> generated_list(std::uint64_t n,
+                                                         std::uint64_t seed) {
+    const auto key = std::make_pair(n, seed);
+    if (auto it = list_cache.find(key); it != list_cache.end())
+      return it->second;
+    auto list = std::make_shared<const list::LinkedList>(
+        list::generators::random_list(static_cast<std::size_t>(n), seed));
+    while (list_cache.size() >= opts.list_cache_entries &&
+           !cache_order.empty()) {
+      list_cache.erase(cache_order.front());
+      cache_order.pop_front();
+    }
+    list_cache.emplace(key, list);
+    cache_order.push_back(key);
+    return list;
+  }
+
+  // ---- completions → responses -------------------------------------------
+
+  void drain_completions() {
+    for (const std::uint64_t token : bus->drain()) {
+      auto it = pending.find(token);
+      if (it == pending.end()) continue;  // token 0 wake-ups land here
+      Pending p = std::move(it->second);
+      pending.erase(it);
+      admission.complete(p.tenant);
+      // on_ready fires strictly after the future becomes ready, so this
+      // get() never blocks the IO thread.
+      Result<core::MatchResult> r = p.fut.get();
+      Conn& c = conns.size() > p.slot ? conns[p.slot] : dead_conn;
+      if (&c == &dead_conn || c.fd < 0 || c.gen != p.gen)
+        continue;  // the connection died while the request ran
+      if (r.ok()) {
+        const core::MatchResult& m = r.value();
+        ResponseFrame resp;
+        resp.edges = m.edges;
+        resp.relabel_rounds = static_cast<std::uint32_t>(m.relabel_rounds);
+        resp.gather_rounds = static_cast<std::uint32_t>(m.gather_rounds);
+        resp.partition_sets = m.partition_sets;
+        resp.cost_depth = m.cost.depth;
+        resp.cost_time_p = m.cost.time_p;
+        resp.cost_work = m.cost.work;
+        encode_response(resp, p.tenant, p.request_id, c.out);
+        frames_out.fetch_add(1, std::memory_order_relaxed);
+        flush(p.slot);
+      } else {
+        send_error(p.slot, p.tenant, p.request_id,
+                   {r.status().code(), r.status().message()});
+      }
+    }
+  }
+
+  // ---- writing -----------------------------------------------------------
+
+  void send_error(std::size_t slot, std::uint32_t tenant,
+                  std::uint64_t request_id, ErrorFrame f) {
+    Conn& c = conns[slot];
+    if (c.fd < 0) return;
+    encode_error(f, tenant, request_id, c.out);
+    frames_out.fetch_add(1, std::memory_order_relaxed);
+    flush(slot);
+  }
+
+  void send_stats(std::size_t slot, const FrameHeader& h) {
+    const serve::ServiceStats ss = svc.stats();
+    StatsFrame f;
+    f.submitted = ss.submitted;
+    f.completed = ss.completed;
+    f.ok = ss.ok;
+    f.rejected = ss.rejected;
+    f.expired = ss.expired;
+    f.failed = ss.failed;
+    f.retries = ss.retries;
+    f.restarts = ss.restarts;
+    f.p50_latency_us = ss.p50_latency_us;
+    f.p99_latency_us = ss.p99_latency_us;
+    for (const TenantStats& t : admission.stats()) {
+      StatsFrame::Tenant out;
+      out.tenant = t.tenant;
+      out.admitted = t.admitted;
+      out.rejected_quota = t.rejected_quota;
+      out.rejected_in_flight = t.rejected_in_flight;
+      out.completed = t.completed;
+      out.in_flight = t.in_flight;
+      f.tenants.push_back(out);
+    }
+    Conn& c = conns[slot];
+    encode_stats(f, h.tenant, h.request_id, c.out);
+    frames_out.fetch_add(1, std::memory_order_relaxed);
+    flush(slot);
+  }
+
+  /// Write as much of the connection's out buffer as the socket accepts;
+  /// the poll loop finishes the rest via POLLOUT.
+  void flush(std::size_t slot) { handle_writable(slot); }
+
+  void handle_writable(std::size_t slot) {
+    Conn& c = conns[slot];
+    if (c.fd < 0) return;
+    if (c.out_at < c.out.size()) {
+      if (Status s = guarded_failpoint("net.conn.write"); !s.ok()) {
+        write_faults.fetch_add(1, std::memory_order_relaxed);
+        close_conn(slot);
+        return;
+      }
+    }
+    while (c.out_at < c.out.size()) {
+      const ssize_t n =
+          ::write(c.fd, c.out.data() + c.out_at, c.out.size() - c.out_at);
+      if (n > 0) {
+        c.out_at += static_cast<std::size_t>(n);
+        bytes_out.fetch_add(static_cast<std::uint64_t>(n),
+                            std::memory_order_relaxed);
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+      close_conn(slot);
+      return;
+    }
+    c.out.clear();
+    c.out_at = 0;
+    if (c.close_after_flush) close_conn(slot);
+  }
+
+  // ---- state -------------------------------------------------------------
+
+  serve::Service& svc;
+  ServerOptions opts;
+  AdmissionController admission;
+
+  int listen_fd = -1;
+  int wake_rd = -1;
+  std::uint16_t bound_port = 0;
+  std::atomic<bool> running{false};
+  std::thread io;
+  std::shared_ptr<CompletionBus> bus = std::make_shared<CompletionBus>();
+
+  std::vector<Conn> conns;
+  Conn dead_conn;  ///< sentinel for out-of-range pending slots
+  std::map<std::uint64_t, Pending> pending;  ///< IO thread + post-join stop()
+  std::uint64_t next_token = 1;  ///< 0 is the reserved wake-only token
+
+  std::map<std::pair<std::uint64_t, std::uint64_t>,
+           std::shared_ptr<const list::LinkedList>>
+      list_cache;
+  std::deque<std::pair<std::uint64_t, std::uint64_t>> cache_order;
+
+  // Counters: relaxed atomics — independent monotonic tallies read by
+  // stats() from other threads, same discipline as ServiceStats.
+  std::atomic<std::uint64_t> accepted{0};
+  std::atomic<std::uint64_t> disconnects{0};
+  std::atomic<std::uint64_t> protocol_errors{0};
+  std::atomic<std::uint64_t> frames_in{0};
+  std::atomic<std::uint64_t> frames_out{0};
+  std::atomic<std::uint64_t> bytes_in{0};
+  std::atomic<std::uint64_t> bytes_out{0};
+  std::atomic<std::uint64_t> accept_faults{0};
+  std::atomic<std::uint64_t> read_faults{0};
+  std::atomic<std::uint64_t> write_faults{0};
+};
+
+Server::Server(serve::Service& service, ServerOptions options)
+    : impl_(std::make_unique<Impl>(service, std::move(options))) {}
+
+Server::~Server() { stop(); }
+
+Status Server::start() { return impl_->start(); }
+
+void Server::stop() { impl_->stop(); }
+
+std::uint16_t Server::port() const { return impl_->bound_port; }
+
+ServerStats Server::stats() const {
+  ServerStats out;
+  out.accepted = impl_->accepted.load(std::memory_order_relaxed);
+  out.disconnects = impl_->disconnects.load(std::memory_order_relaxed);
+  out.protocol_errors =
+      impl_->protocol_errors.load(std::memory_order_relaxed);
+  out.frames_in = impl_->frames_in.load(std::memory_order_relaxed);
+  out.frames_out = impl_->frames_out.load(std::memory_order_relaxed);
+  out.bytes_in = impl_->bytes_in.load(std::memory_order_relaxed);
+  out.bytes_out = impl_->bytes_out.load(std::memory_order_relaxed);
+  out.accept_faults = impl_->accept_faults.load(std::memory_order_relaxed);
+  out.read_faults = impl_->read_faults.load(std::memory_order_relaxed);
+  out.write_faults = impl_->write_faults.load(std::memory_order_relaxed);
+  out.tenants = impl_->admission.stats();
+  return out;
+}
+
+}  // namespace llmp::net

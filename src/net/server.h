@@ -1,0 +1,108 @@
+// llmp::net::Server — the TCP front door of the serve layer.
+//
+// One IO thread owns every socket: it accepts connections, reassembles
+// wire-protocol frames from per-connection read buffers (net/wire.h),
+// passes each request through multi-tenant admission control
+// (net/admission.h), and submits admitted work to an existing
+// serve::Service. Workers never touch a socket — when a request's future
+// becomes ready, the serve layer's on_ready hook posts a completion token
+// to the IO thread (through a wake pipe), which encodes the response or
+// error frame and writes it back on the owning connection. Responses to
+// one connection can therefore interleave out of submission order; clients
+// reconcile by request_id (net/client.h does).
+//
+// Error containment mirrors the wire spec: payload-level decode errors
+// and admission rejections cost one error frame and keep the connection;
+// header-level corruption (bad magic/version, oversized length) gets a
+// final error frame and a disconnect, because the byte stream cannot be
+// resynchronised. A connection that dies with requests in flight leaks
+// nothing: the pending entries drain when their futures complete and the
+// responses are simply dropped.
+//
+// Fault injection: the failpoints `net.conn.accept`, `net.conn.read` and
+// `net.conn.write` gate the three socket operations; an injected fault
+// closes the affected connection and increments the matching fault
+// counter, which the chaos suite reconciles against failpoint::counts().
+//
+//   serve::Service svc({.workers = 2});
+//   net::Server server(svc, {.port = 0});          // 0 = ephemeral
+//   if (Status s = server.start(); !s.ok()) die(s);
+//   connect_clients_to(server.port());
+//   server.stop();                                  // drains in-flight work
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/admission.h"
+#include "net/wire.h"
+#include "serve/service.h"
+#include "support/status.h"
+
+namespace llmp::net {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  /// TCP port to listen on; 0 binds an ephemeral port (read it back with
+  /// port() after start()).
+  std::uint16_t port = 0;
+  std::size_t max_connections = 64;
+  /// Per-frame payload bound for THIS server (≤ the protocol's hard
+  /// kMaxPayloadBytes); a header advertising more is a protocol error.
+  std::uint32_t max_frame_bytes = kMaxPayloadBytes;
+  /// Largest list a request may name, generated or inline.
+  std::uint64_t max_list_nodes = 1ull << 26;
+  /// Generated lists are cached by (n, seed) so a load of identical
+  /// requests materialises each list once; FIFO-evicted beyond this.
+  std::size_t list_cache_entries = 16;
+  AdmissionOptions admission;
+};
+
+/// Monotonic front-door counters (tenant admission ledger included).
+struct ServerStats {
+  std::uint64_t accepted = 0;         ///< connections accepted
+  std::uint64_t disconnects = 0;      ///< connections closed, any cause
+  std::uint64_t protocol_errors = 0;  ///< malformed headers or payloads
+  std::uint64_t frames_in = 0;
+  std::uint64_t frames_out = 0;
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+  std::uint64_t accept_faults = 0;  ///< net.conn.accept injections
+  std::uint64_t read_faults = 0;    ///< net.conn.read injections
+  std::uint64_t write_faults = 0;   ///< net.conn.write injections
+  std::vector<TenantStats> tenants;
+};
+
+class Server {
+ public:
+  /// The Service is borrowed and must outlive the Server; admission and
+  /// framing wrap it without changing its in-process behaviour.
+  explicit Server(serve::Service& service, ServerOptions options = {});
+  ~Server();  ///< calls stop()
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind + listen + spawn the IO thread. kUnavailable with the errno
+  /// diagnostic when the address cannot be bound.
+  Status start();
+
+  /// Stop accepting, close every connection, and block until all requests
+  /// this server submitted have completed (their lists stay alive until
+  /// then). Idempotent; the destructor calls it.
+  void stop();
+
+  /// The bound port (resolves 0 → the kernel-assigned ephemeral port).
+  /// Valid after a successful start().
+  std::uint16_t port() const;
+
+  ServerStats stats() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace llmp::net

@@ -99,17 +99,24 @@ std::shared_ptr<Service::Worker> Service::spawn_worker_locked(
 }
 
 std::future<Result<core::MatchResult>> Service::submit(Request req) {
+  // Refusal at submit: the returned future is ready before submit returns,
+  // and the transport completion hook (if any) fires on this thread — the
+  // on_ready contract is "exactly once per submit, after readiness",
+  // whichever path fulfilled the promise.
+  auto reject = [this, &req](Status s) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    std::future<Result<core::MatchResult>> f = ready_error(std::move(s));
+    if (req.on_ready) req.on_ready();
+    return f;
+  };
+
   // Acquire pairs with shutdown()'s acq_rel exchange: a submitter that
   // observes the flag also observes the closed queue behind it. (The
   // check is advisory — queue_.closed() is the authoritative gate.)
-  if (shut_down_.load(std::memory_order_acquire) || queue_.closed()) {
-    rejected_.fetch_add(1, std::memory_order_relaxed);
-    return ready_error(Status::unavailable("service is shut down"));
-  }
-  if (req.list == nullptr) {
-    rejected_.fetch_add(1, std::memory_order_relaxed);
-    return ready_error(Status::invalid_argument("request has no list"));
-  }
+  if (shut_down_.load(std::memory_order_acquire) || queue_.closed())
+    return reject(Status::unavailable("service is shut down"));
+  if (req.list == nullptr)
+    return reject(Status::invalid_argument("request has no list"));
 
   // Resolve + validate now so a bad request fails fast and never occupies
   // queue capacity or a worker.
@@ -118,20 +125,14 @@ std::future<Result<core::MatchResult>> Service::submit(Request req) {
     resolved = *req.options;
   } else {
     Result<core::MatchOptions> r = core::resolve_algorithm(req.algorithm);
-    if (!r.ok()) {
-      rejected_.fetch_add(1, std::memory_order_relaxed);
-      return ready_error(r.status());
-    }
+    if (!r.ok()) return reject(r.status());
     resolved = r.value();
   }
-  if (Status s = core::validate_options(resolved); !s.ok()) {
-    rejected_.fetch_add(1, std::memory_order_relaxed);
-    return ready_error(std::move(s));
-  }
+  if (Status s = core::validate_options(resolved); !s.ok())
+    return reject(std::move(s));
   if (req.memory_budget_bytes > 0 &&
       resolved.algorithm != core::Algorithm::kSequential) {
-    rejected_.fetch_add(1, std::memory_order_relaxed);
-    return ready_error(Status::invalid_argument(
+    return reject(Status::invalid_argument(
         "memory_budget_bytes requires the sequential algorithm (the block "
         "engine's native path)"));
   }
@@ -144,27 +145,35 @@ std::future<Result<core::MatchResult>> Service::submit(Request req) {
   job.enqueued = std::chrono::steady_clock::now();
   std::future<Result<core::MatchResult>> fut = job.promise.get_future();
 
+  // Same refusal contract once the request lives in the Job. The hook is
+  // copied out first: the blocking push() consumes the Job even when it
+  // fails (and an injected push fault unwinds through the moved-from
+  // state), but the refusal still owes the transport its completion call.
+  // The abandoned promise's future was never handed out; the ready_error
+  // future is the one the caller sees.
+  const std::function<void()> on_ready = job.req.on_ready;
+  auto reject_job = [this, &on_ready](Status s) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    std::future<Result<core::MatchResult>> f = ready_error(std::move(s));
+    if (on_ready) on_ready();
+    return f;
+  };
   bool accepted = false;
   try {
     if (options_.overflow == OverflowPolicy::kReject) {
       accepted = queue_.try_push(job);
-      if (!accepted && !queue_.closed()) {
-        rejected_.fetch_add(1, std::memory_order_relaxed);
-        return ready_error(
-            Status::resource_exhausted("request queue is full"));
-      }
+      if (!accepted && !queue_.closed())
+        return reject_job(Status::resource_exhausted("request queue is full"));
     } else {
       accepted = queue_.push(std::move(job));
     }
   } catch (const support::failpoint::InjectedFault& f) {
     // serve.queue.push fires before the item is enqueued, so the request
     // was never accepted; fail it on the submitter, retryably.
-    rejected_.fetch_add(1, std::memory_order_relaxed);
-    return ready_error(status_of(f));
+    return reject_job(status_of(f));
   }
   if (!accepted) {  // queue closed while we waited / tried
-    rejected_.fetch_add(1, std::memory_order_relaxed);
-    return ready_error(Status::unavailable("service is shut down"));
+    return reject_job(Status::unavailable("service is shut down"));
   }
   submitted_.fetch_add(1, std::memory_order_relaxed);
   return fut;
@@ -232,6 +241,8 @@ void Service::finish(Job& job, Result<core::MatchResult> result) {
         failed_.fetch_add(1, std::memory_order_relaxed);
     }
   job.promise.set_value(std::move(result));
+  // Transport completion hook, after readiness (see Request::on_ready).
+  if (job.req.on_ready) job.req.on_ready();
 }
 
 void Service::finish_or_retry(Job&& job, Status s) {

@@ -175,6 +175,19 @@ struct Request {
   /// Only `sequential` supports a budget (the engine's native
   /// algorithm); other algorithms are rejected kInvalidArgument.
   std::size_t memory_budget_bytes = 0;
+  /// Tenant this request is accounted to. The Service itself treats every
+  /// tenant alike (quotas are the net front-end's job — net/admission.h,
+  /// layered *before* submit), but the id rides the request so transports,
+  /// admission control and stats all speak about the same tenant without a
+  /// side channel. 0 is the anonymous/default tenant.
+  std::uint32_t tenant = 0;
+  /// Completion hook for transports: invoked exactly once per submit(),
+  /// after this request's future becomes ready — on the submitter thread
+  /// for requests refused at submit (the future is ready before submit
+  /// returns), otherwise on whichever worker/supervisor thread fulfilled
+  /// the promise. Must be cheap and must not call back into the Service;
+  /// the net server uses it to post "response ready" onto its IO thread.
+  std::function<void()> on_ready;
 };
 
 /// One consistent snapshot of service counters (values are monotonically

@@ -15,6 +15,7 @@
 //   if (r.ok()) use(r.value()); else log(r.status().to_string());
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <utility>
 #include <variant>
@@ -23,31 +24,65 @@
 
 namespace llmp {
 
-enum class StatusCode {
-  kOk = 0,
-  kInvalidArgument,     ///< malformed options or input structure
-  kNotFound,            ///< unknown algorithm / registry name
-  kDeadlineExceeded,    ///< the request's deadline passed before it ran
-  kCancelled,           ///< the request's cancel token fired
-  kResourceExhausted,   ///< bounded queue full under the reject policy
-  kUnavailable,         ///< service shut down / no longer accepting work
-  kFailedVerification,  ///< result audit (core::verify) rejected the output
-  kInternal,            ///< broken internal invariant surfaced at the API
+/// The status vocabulary, one row per code: enumerator, stable wire code,
+/// display name. This table is the single source of truth — the enum, the
+/// display names, and the binary protocol's error-code field (net/wire.h)
+/// are all generated from it, so a code added here automatically round-
+/// trips over the wire (tests/net_wire_test.cpp pins that). Wire codes are
+/// a compatibility surface: never renumber a shipped row, only append.
+#define LLMP_STATUS_CODE_TABLE(X)                                            \
+  X(kOk, 0, "OK")                 /* success */                              \
+  X(kInvalidArgument, 1, "INVALID_ARGUMENT")   /* malformed options/input */ \
+  X(kNotFound, 2, "NOT_FOUND")                 /* unknown algorithm name */  \
+  X(kDeadlineExceeded, 3, "DEADLINE_EXCEEDED") /* deadline passed */         \
+  X(kCancelled, 4, "CANCELLED")                /* cancel token fired */      \
+  X(kResourceExhausted, 5, "RESOURCE_EXHAUSTED") /* queue full / quota */    \
+  X(kUnavailable, 6, "UNAVAILABLE")            /* shut down / faulted */     \
+  X(kFailedVerification, 7, "FAILED_VERIFICATION") /* audit rejected */      \
+  X(kInternal, 8, "INTERNAL")                  /* invariant surfaced */
+
+enum class StatusCode : std::uint16_t {
+#define LLMP_STATUS_ROW(name, wire, str) name = (wire),
+  LLMP_STATUS_CODE_TABLE(LLMP_STATUS_ROW)
+#undef LLMP_STATUS_ROW
+};
+
+/// Every code, in wire order — for tests that must cover the vocabulary
+/// exhaustively (the wire round-trip suite iterates this).
+inline constexpr StatusCode kAllStatusCodes[] = {
+#define LLMP_STATUS_ROW(name, wire, str) StatusCode::name,
+    LLMP_STATUS_CODE_TABLE(LLMP_STATUS_ROW)
+#undef LLMP_STATUS_ROW
 };
 
 inline const char* to_string(StatusCode code) {
   switch (code) {
-    case StatusCode::kOk: return "OK";
-    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
-    case StatusCode::kNotFound: return "NOT_FOUND";
-    case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
-    case StatusCode::kCancelled: return "CANCELLED";
-    case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
-    case StatusCode::kUnavailable: return "UNAVAILABLE";
-    case StatusCode::kFailedVerification: return "FAILED_VERIFICATION";
-    case StatusCode::kInternal: return "INTERNAL";
+#define LLMP_STATUS_ROW(name, wire, str) \
+  case StatusCode::name:                 \
+    return str;
+    LLMP_STATUS_CODE_TABLE(LLMP_STATUS_ROW)
+#undef LLMP_STATUS_ROW
   }
   return "?";
+}
+
+/// The code's on-the-wire representation (net/wire.h error frames).
+inline std::uint16_t wire_code(StatusCode code) {
+  return static_cast<std::uint16_t>(code);
+}
+
+/// Inverse of wire_code(): false for values no enumerator carries (a
+/// decoder must treat those as a protocol error, not trust the cast).
+inline bool status_code_from_wire(std::uint16_t wire, StatusCode* out) {
+  switch (wire) {
+#define LLMP_STATUS_ROW(name, w, str) \
+  case (w):                           \
+    *out = StatusCode::name;          \
+    return true;
+    LLMP_STATUS_CODE_TABLE(LLMP_STATUS_ROW)
+#undef LLMP_STATUS_ROW
+  }
+  return false;
 }
 
 class Status {

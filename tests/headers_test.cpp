@@ -36,6 +36,11 @@
 #include "list/linked_list.h"
 #include "list/storage.h"
 #include "llmp.h"
+#include "net/admission.h"
+#include "net/cli.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "net/wire.h"
 #include "pram/barrier.h"
 #include "pram/context.h"
 #include "pram/executor.h"
@@ -58,6 +63,7 @@
 #include "apps/euler_tour.h"
 #include "engine/blocked_match.h"
 #include "llmp.h"
+#include "net/wire.h"
 #include "serve/service.h"
 #include "support/status.h"
 #include "core/maximal_matching.h"

@@ -1,0 +1,499 @@
+// End-to-end suite for the network front door: a real Service behind a
+// real Server on an ephemeral loopback port, driven by net::Client and —
+// for the malformed-byte cases — by a raw socket that speaks deliberately
+// broken protocol. Every test asserts from counters (server stats, client
+// stats, admission ledger), so lost/duplicated responses cannot hide.
+#include <arpa/inet.h>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <netinet/in.h>
+#include <optional>
+#include <sys/socket.h>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "llmp.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "net/wire.h"
+#include "support/failpoint.h"
+
+namespace llmp::net {
+namespace {
+
+namespace failpoint = support::failpoint;
+
+/// A raw loopback connection for speaking broken bytes at the server.
+class RawConn {
+ public:
+  explicit RawConn(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    connected_ =
+        ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0;
+    timeval tv{};
+    tv.tv_sec = 5;
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
+  ~RawConn() { close(); }
+  bool connected() const { return connected_; }
+  void close() {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+  bool send_bytes(const std::vector<std::uint8_t>& bytes) {
+    std::size_t at = 0;
+    while (at < bytes.size()) {
+      const ssize_t n = ::send(fd_, bytes.data() + at, bytes.size() - at,
+                               MSG_NOSIGNAL);
+      if (n <= 0) return false;
+      at += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+  /// Read until EOF or timeout; returns bytes received.
+  std::vector<std::uint8_t> read_to_eof() {
+    std::vector<std::uint8_t> out;
+    std::uint8_t buf[4096];
+    while (true) {
+      const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+      if (n <= 0) break;
+      out.insert(out.end(), buf, buf + n);
+    }
+    return out;
+  }
+  /// Non-blocking read of whatever is available right now.
+  std::vector<std::uint8_t> read_some() {
+    std::vector<std::uint8_t> out;
+    std::uint8_t buf[4096];
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), MSG_DONTWAIT);
+    if (n > 0) out.insert(out.end(), buf, buf + n);
+    return out;
+  }
+
+ private:
+  int fd_ = -1;
+  bool connected_ = false;
+};
+
+serve::ServiceOptions service_opts(std::size_t workers = 2,
+                                   std::size_t queue = 64) {
+  serve::ServiceOptions o;
+  o.workers = workers;
+  o.queue_capacity = queue;
+  return o;
+}
+
+ClientOptions client_opts(std::uint16_t port,
+                          std::uint64_t recv_timeout_ms = 30'000) {
+  ClientOptions o;
+  o.port = port;
+  o.recv_timeout_ms = recv_timeout_ms;
+  return o;
+}
+
+/// Service + Server + connected Client, the common fixture kit.
+struct Stack {
+  explicit Stack(serve::ServiceOptions sopt = service_opts(),
+                 ServerOptions nopt = {})
+      : svc(sopt), server(svc, nopt) {
+    const Status s = server.start();
+    EXPECT_TRUE(s.ok()) << s.to_string();
+    client.emplace(client_opts(server.port()));
+    const Status c = client->connect();
+    EXPECT_TRUE(c.ok()) << c.to_string();
+  }
+  serve::Service svc;
+  Server server;
+  std::optional<Client> client;
+};
+
+/// Spin until the predicate holds (or ~5 s pass); returns its last value.
+template <class Fn>
+bool eventually(Fn&& fn) {
+  for (int i = 0; i < 500; ++i) {
+    if (fn()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return fn();
+}
+
+TEST(NetServer, GeneratedRequestRoundTrip) {
+  Stack s;
+  auto r = s.client->submit(
+      RequestBuilder().algorithm("sequential").generated(512, 42));
+  ASSERT_TRUE(r.ok()) << r.status().to_string();
+  EXPECT_GT(r->edges, 0u);
+  EXPECT_TRUE(r->in_matching.empty());  // summaries only, by design
+}
+
+TEST(NetServer, InlineListMatchesInProcessResult) {
+  const auto list = list::generators::random_list(300, 9);
+  llmp::Context ctx;
+  const auto local = llmp::run(ctx, "sequential", list);
+  ASSERT_TRUE(local.ok());
+
+  Stack s;
+  auto r =
+      s.client->submit(RequestBuilder().algorithm("sequential").list(list));
+  ASSERT_TRUE(r.ok()) << r.status().to_string();
+  // Same algorithm, same list, shipped over the wire: same matching size.
+  EXPECT_EQ(r->edges, local->edges);
+}
+
+TEST(NetServer, PipelinedBatchReconcilesEveryRequest) {
+  Stack s;
+  constexpr std::size_t kBatch = 100;
+  std::vector<RequestBuilder> batch;
+  for (std::size_t i = 0; i < kBatch; ++i)
+    batch.push_back(RequestBuilder()
+                        .algorithm("sequential")
+                        .generated(256, 1000 + (i % 4)));
+  const auto results = s.client->submit_batch(batch);
+  ASSERT_EQ(results.size(), kBatch);
+  for (std::size_t i = 0; i < kBatch; ++i)
+    EXPECT_TRUE(results[i].ok()) << i << ": " << results[i].status().to_string();
+  const ClientStats cs = s.client->stats();
+  EXPECT_EQ(cs.requests, kBatch);
+  EXPECT_EQ(cs.responses, kBatch);
+  EXPECT_EQ(cs.ok, kBatch);
+  EXPECT_EQ(cs.duplicates, 0u);   // no response delivered twice
+  EXPECT_EQ(cs.unknown_ids, 0u);  // none invented
+}
+
+TEST(NetServer, ServeErrorsCrossTheWireWithTheirCode) {
+  Stack s;
+  // Unknown algorithm: rejected by the registry at submit.
+  auto r = s.client->submit(
+      RequestBuilder().algorithm("no-such-algorithm").generated(64, 1));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+
+  // A builder naming no list fails client-side, before any bytes move.
+  auto r2 = s.client->submit(RequestBuilder().algorithm("sequential"));
+  ASSERT_FALSE(r2.ok());
+  EXPECT_EQ(r2.status().code(), StatusCode::kInvalidArgument);
+
+  // A structurally broken inline list (a cycle) is refused by the
+  // server's LinkedList::make, not a crash.
+  std::vector<std::uint8_t> wire;
+  RequestFrame f;
+  f.algorithm = "sequential";
+  f.list_spec = ListSpec::kInline;
+  f.n = 2;
+  f.links = {1, 0};  // cycle, no tail
+  encode_request(f, 0, 77, wire);
+  RawConn raw(s.server.port());
+  ASSERT_TRUE(raw.connected());
+  ASSERT_TRUE(raw.send_bytes(wire));
+  std::vector<std::uint8_t> reply;
+  ASSERT_TRUE(eventually([&] {
+    const auto chunk = raw.read_some();
+    reply.insert(reply.end(), chunk.begin(), chunk.end());
+    return reply.size() >= kFrameHeaderBytes;
+  }));
+  FrameHeader h;
+  ASSERT_TRUE(decode_header(reply.data(), kFrameHeaderBytes, &h).ok());
+  EXPECT_EQ(h.type, FrameType::kError);
+  EXPECT_EQ(h.request_id, 77u);
+}
+
+TEST(NetServer, StatsFrameReportsServiceAndTenants) {
+  Stack s;
+  std::vector<RequestBuilder> batch;
+  for (int i = 0; i < 10; ++i)
+    batch.push_back(
+        RequestBuilder().algorithm("sequential").generated(128, 5).tenant(3));
+  for (const auto& r : s.client->submit_batch(batch)) ASSERT_TRUE(r.ok());
+
+  auto stats = s.client->server_stats();
+  ASSERT_TRUE(stats.ok()) << stats.status().to_string();
+  EXPECT_GE(stats->submitted, 10u);
+  EXPECT_GE(stats->ok, 10u);
+  ASSERT_EQ(stats->tenants.size(), 1u);
+  EXPECT_EQ(stats->tenants[0].tenant, 3u);
+  EXPECT_EQ(stats->tenants[0].admitted, 10u);
+  EXPECT_EQ(stats->tenants[0].completed, 10u);
+  EXPECT_EQ(stats->tenants[0].in_flight, 0u);
+}
+
+TEST(NetServer, RateQuotaRejectsOverBudgetDeterministically) {
+  ServerOptions nopt;
+  nopt.admission.default_quota.tokens_per_sec = 0.001;  // ~never refills
+  nopt.admission.default_quota.burst = 2;
+  Stack s(service_opts(1), nopt);
+
+  std::vector<RequestBuilder> batch;
+  for (int i = 0; i < 3; ++i)
+    batch.push_back(
+        RequestBuilder().algorithm("sequential").generated(64, 1).tenant(5));
+  const auto results = s.client->submit_batch(batch);
+  EXPECT_TRUE(results[0].ok()) << results[0].status().to_string();
+  EXPECT_TRUE(results[1].ok()) << results[1].status().to_string();
+  ASSERT_FALSE(results[2].ok());
+  EXPECT_EQ(results[2].status().code(), StatusCode::kResourceExhausted);
+
+  const ServerStats st = s.server.stats();
+  ASSERT_EQ(st.tenants.size(), 1u);
+  EXPECT_EQ(st.tenants[0].admitted, 2u);
+  EXPECT_EQ(st.tenants[0].rejected_quota, 1u);
+}
+
+TEST(NetServer, InFlightCapRejectsWhileWorkerBusy) {
+  // Hold the single worker on its first request so the second one is
+  // provably still in flight when the third frame arrives.
+  std::mutex mu;
+  std::condition_variable cv;
+  bool hold = true;
+  serve::ServiceOptions sopt;
+  sopt.workers = 1;
+  sopt.queue_capacity = 8;
+  sopt.on_dequeue = [&](std::size_t) {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return !hold; });
+  };
+  ServerOptions nopt;
+  nopt.admission.default_quota.max_in_flight = 1;
+  Stack s(sopt, nopt);
+
+  std::thread releaser([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    std::lock_guard<std::mutex> lock(mu);
+    hold = false;
+    cv.notify_all();
+  });
+  std::vector<RequestBuilder> batch;
+  for (int i = 0; i < 2; ++i)
+    batch.push_back(
+        RequestBuilder().algorithm("sequential").generated(64, 2).tenant(8));
+  const auto results = s.client->submit_batch(batch);
+  releaser.join();
+  EXPECT_TRUE(results[0].ok()) << results[0].status().to_string();
+  ASSERT_FALSE(results[1].ok());
+  EXPECT_EQ(results[1].status().code(), StatusCode::kResourceExhausted);
+  const ServerStats st = s.server.stats();
+  ASSERT_EQ(st.tenants.size(), 1u);
+  EXPECT_EQ(st.tenants[0].rejected_in_flight, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Malformed bytes against a LIVE server (the decode-level cases live in
+// net_wire_test.cpp): the server answers with an error frame or drops the
+// connection, never crashes, and keeps serving others. CI runs this
+// binary under ASan.
+// ---------------------------------------------------------------------------
+
+TEST(NetServer, GarbageMagicGetsErrorFrameAndDisconnect) {
+  Stack s;
+  RawConn raw(s.server.port());
+  ASSERT_TRUE(raw.connected());
+  std::vector<std::uint8_t> junk(64, 0x5A);
+  ASSERT_TRUE(raw.send_bytes(junk));
+  const auto reply = raw.read_to_eof();  // server closes after the error
+  ASSERT_GE(reply.size(), kFrameHeaderBytes);
+  FrameHeader h;
+  ASSERT_TRUE(decode_header(reply.data(), kFrameHeaderBytes, &h).ok());
+  EXPECT_EQ(h.type, FrameType::kError);
+  EXPECT_TRUE(eventually([&] { return s.server.stats().protocol_errors >= 1; }));
+  // The server is still alive for everyone else.
+  auto r = s.client->submit(
+      RequestBuilder().algorithm("sequential").generated(64, 1));
+  EXPECT_TRUE(r.ok()) << r.status().to_string();
+}
+
+TEST(NetServer, OversizedLengthIsRefusedNotAllocated) {
+  Stack s;
+  RawConn raw(s.server.port());
+  ASSERT_TRUE(raw.connected());
+  FrameHeader h;
+  h.type = FrameType::kRequest;
+  h.payload_bytes = 0;  // encode, then forge the length field
+  std::vector<std::uint8_t> bytes;
+  encode_header(h, bytes);
+  const std::uint32_t huge = 0xFFFFFFFF;
+  for (int i = 0; i < 4; ++i)
+    bytes[20 + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(huge >> (8 * i));
+  ASSERT_TRUE(raw.send_bytes(bytes));
+  const auto reply = raw.read_to_eof();
+  ASSERT_GE(reply.size(), kFrameHeaderBytes);
+  FrameHeader rh;
+  ASSERT_TRUE(decode_header(reply.data(), kFrameHeaderBytes, &rh).ok());
+  EXPECT_EQ(rh.type, FrameType::kError);
+}
+
+TEST(NetServer, MidFrameDisconnectLeaksNothing) {
+  Stack s;
+  const ServerStats before = s.server.stats();
+  {
+    RawConn raw(s.server.port());
+    ASSERT_TRUE(raw.connected());
+    // A valid header promising 1000 payload bytes, then only 10, then gone.
+    FrameHeader h;
+    h.type = FrameType::kRequest;
+    h.payload_bytes = 1000;
+    std::vector<std::uint8_t> bytes;
+    encode_header(h, bytes);
+    bytes.resize(bytes.size() + 10, 0xCC);
+    ASSERT_TRUE(raw.send_bytes(bytes));
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }  // disconnect mid-frame
+  EXPECT_TRUE(eventually([&] {
+    return s.server.stats().disconnects >= before.disconnects + 1;
+  }));
+  // No half-frame state poisons the next connection.
+  Client fresh(client_opts(s.server.port()));
+  ASSERT_TRUE(fresh.connect().ok());
+  auto r = fresh.submit(
+      RequestBuilder().algorithm("sequential").generated(64, 1));
+  EXPECT_TRUE(r.ok()) << r.status().to_string();
+}
+
+TEST(NetServer, TruncatedHeaderThenDisconnectIsHarmless) {
+  Stack s;
+  {
+    RawConn raw(s.server.port());
+    ASSERT_TRUE(raw.connected());
+    std::vector<std::uint8_t> half(kFrameHeaderBytes / 2, 0);
+    // A correct magic prefix, cut mid-header.
+    half[0] = 0x6C;
+    half[1] = 0x6C;
+    half[2] = 0x6D;
+    half[3] = 0x70;
+    ASSERT_TRUE(raw.send_bytes(half));
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  auto r = s.client->submit(
+      RequestBuilder().algorithm("sequential").generated(64, 1));
+  EXPECT_TRUE(r.ok()) << r.status().to_string();
+}
+
+TEST(NetServer, ClientOnlyFrameTypesAreRejected) {
+  Stack s;
+  RawConn raw(s.server.port());
+  ASSERT_TRUE(raw.connected());
+  std::vector<std::uint8_t> bytes;
+  encode_response(ResponseFrame{}, 0, 1, bytes);  // server→client type
+  ASSERT_TRUE(raw.send_bytes(bytes));
+  const auto reply = raw.read_to_eof();
+  ASSERT_GE(reply.size(), kFrameHeaderBytes);
+  FrameHeader h;
+  ASSERT_TRUE(decode_header(reply.data(), kFrameHeaderBytes, &h).ok());
+  EXPECT_EQ(h.type, FrameType::kError);
+}
+
+// ---------------------------------------------------------------------------
+// Chaos: injected socket faults reconcile exactly against the server's
+// fault counters and the admission ledger (nothing admitted stays
+// in-flight once the dust settles).
+// ---------------------------------------------------------------------------
+
+class NetChaos : public ::testing::Test {
+ protected:
+  void TearDown() override { failpoint::disarm_all(); }
+};
+
+TEST_F(NetChaos, AcceptFaultIsCountedAndConnectionRefused) {
+  Stack s;
+  // A full round trip first: Client::connect() returns at the TCP
+  // handshake, so without this the server-side accept() of the fixture's
+  // own connection could land after arm() and eat the fault.
+  auto warm = s.client->submit(
+      RequestBuilder().algorithm("sequential").generated(64, 1));
+  ASSERT_TRUE(warm.ok());
+  failpoint::arm("net.conn.accept",
+                 {failpoint::Action::kStatus, 1.0, 1,
+                  std::chrono::milliseconds(0), StatusCode::kUnavailable});
+  // The TCP connect succeeds (the fault hits after accept), but the
+  // server closes immediately; the first request gets no answer.
+  Client victim(client_opts(s.server.port(), 2000));
+  ASSERT_TRUE(victim.connect().ok());
+  auto r = victim.submit(
+      RequestBuilder().algorithm("sequential").generated(64, 1));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnavailable);
+
+  const auto counts = failpoint::counts("net.conn.accept");
+  EXPECT_TRUE(eventually([&] {
+    return s.server.stats().accept_faults == counts.faults();
+  }));
+  EXPECT_EQ(counts.faults(), 1u);
+  // A later connection (failpoint exhausted, n=1) sails through.
+  Client fresh(client_opts(s.server.port()));
+  ASSERT_TRUE(fresh.connect().ok());
+  auto r2 = fresh.submit(
+      RequestBuilder().algorithm("sequential").generated(64, 1));
+  EXPECT_TRUE(r2.ok()) << r2.status().to_string();
+}
+
+TEST_F(NetChaos, ReadFaultDisconnectsAndReconciles) {
+  Stack s;
+  // Let the Stack client's handshake traffic settle first, then arm.
+  auto warm = s.client->submit(
+      RequestBuilder().algorithm("sequential").generated(64, 1).tenant(2));
+  ASSERT_TRUE(warm.ok());
+  const ServerStats before = s.server.stats();
+  failpoint::arm("net.conn.read",
+                 {failpoint::Action::kStatus, 1.0, 1,
+                  std::chrono::milliseconds(0), StatusCode::kUnavailable});
+  auto r = s.client->submit(
+      RequestBuilder().algorithm("sequential").generated(64, 1).tenant(2));
+  ASSERT_FALSE(r.ok());  // the connection died under the request
+
+  const auto counts = failpoint::counts("net.conn.read");
+  EXPECT_EQ(counts.faults(), 1u);
+  EXPECT_TRUE(eventually([&] {
+    const ServerStats st = s.server.stats();
+    return st.read_faults == counts.faults() &&
+           st.disconnects >= before.disconnects + 1;
+  }));
+  // Ledger balance: everything admitted has completed; nothing leaks.
+  EXPECT_TRUE(eventually([&] {
+    for (const TenantStats& t : s.server.stats().tenants)
+      if (t.in_flight != 0 || t.admitted != t.completed) return false;
+    return true;
+  }));
+}
+
+TEST_F(NetChaos, WriteFaultDropsTheResponseNotTheServer) {
+  Stack s;
+  auto warm = s.client->submit(
+      RequestBuilder().algorithm("sequential").generated(64, 1).tenant(6));
+  ASSERT_TRUE(warm.ok());
+  failpoint::arm("net.conn.write",
+                 {failpoint::Action::kThrow, 1.0, 1,
+                  std::chrono::milliseconds(0), StatusCode::kUnavailable});
+  auto r = s.client->submit(
+      RequestBuilder().algorithm("sequential").generated(64, 1).tenant(6));
+  ASSERT_FALSE(r.ok());  // response write was killed
+
+  const auto counts = failpoint::counts("net.conn.write");
+  EXPECT_EQ(counts.faults(), 1u);
+  EXPECT_TRUE(eventually([&] {
+    return s.server.stats().write_faults == counts.faults();
+  }));
+  // The admission ledger still balances after the dropped response.
+  EXPECT_TRUE(eventually([&] {
+    for (const TenantStats& t : s.server.stats().tenants)
+      if (t.in_flight != 0 || t.admitted != t.completed) return false;
+    return true;
+  }));
+  // And the server keeps serving fresh connections.
+  Client fresh(client_opts(s.server.port()));
+  ASSERT_TRUE(fresh.connect().ok());
+  auto r2 = fresh.submit(
+      RequestBuilder().algorithm("sequential").generated(64, 1));
+  EXPECT_TRUE(r2.ok()) << r2.status().to_string();
+}
+
+}  // namespace
+}  // namespace llmp::net

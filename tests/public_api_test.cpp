@@ -3,6 +3,7 @@
 // core::verify::*_status), and the llmp.h facade. The contract under
 // test: user-input errors come back as a Status — never an abort — while
 // internal invariants keep throwing llmp::check_error.
+#include <chrono>
 #include <utility>
 #include <vector>
 
@@ -209,6 +210,75 @@ TEST(Facade, ErrorsComeBackAsStatus) {
             StatusCode::kNotFound);
   EXPECT_EQ(llmp::run(ctx, "match3", lst, {.erew = true}).status().code(),
             StatusCode::kInvalidArgument);
+}
+
+// ---- RequestBuilder: the one request spelling shared by transports. --------
+
+TEST(RequestBuilder, BuildsTheInProcessRequest) {
+  const auto lst = list::generators::random_list(64, 3);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(5);
+  const serve::Request req = llmp::RequestBuilder()
+                                 .algorithm("match2")
+                                 .list(lst)
+                                 .deadline(deadline)
+                                 .memory_budget_bytes(1 << 20)
+                                 .tenant(9)
+                                 .build();
+  EXPECT_EQ(req.list, &lst);
+  EXPECT_EQ(req.algorithm, "match2");
+  EXPECT_EQ(req.deadline, deadline);
+  EXPECT_EQ(req.memory_budget_bytes, 1u << 20);
+  EXPECT_EQ(req.tenant, 9u);
+}
+
+TEST(RequestBuilder, TransportGettersMirrorTheSpec) {
+  const auto lst = list::generators::random_list(32, 1);
+  llmp::RequestBuilder b;
+  b.algorithm("sequential").list(lst);
+  EXPECT_FALSE(b.is_generated());
+  EXPECT_EQ(b.list_ptr(), &lst);
+  // generated() replaces the inline list — the two specs are exclusive.
+  b.generated(1024, 77);
+  EXPECT_TRUE(b.is_generated());
+  EXPECT_EQ(b.list_ptr(), nullptr);
+  EXPECT_EQ(b.generated_n(), 1024u);
+  EXPECT_EQ(b.generated_seed(), 77u);
+  // …and list() switches back.
+  b.list(lst);
+  EXPECT_FALSE(b.is_generated());
+  EXPECT_EQ(b.list_ptr(), &lst);
+}
+
+TEST(RequestBuilder, SubmittedRequestRunsEndToEnd) {
+  const auto lst = list::generators::random_list(400, 6);
+  serve::Service svc({.workers = 1, .queue_capacity = 8});
+  auto fut = svc.submit(
+      llmp::RequestBuilder().algorithm("sequential").list(lst).build());
+  const auto r = fut.get();
+  ASSERT_TRUE(r.ok()) << r.status().to_string();
+  EXPECT_GT(r->edges, 0u);
+}
+
+TEST(RequestBuilder, GeneratedSpecIsWireOnlyAndRejectedInProcess) {
+  serve::Service svc({.workers = 1, .queue_capacity = 8});
+  // generated() has no storage for an in-process Request to point at, so
+  // submit refuses it (the net client is the transport that honours it).
+  auto fut = svc.submit(
+      llmp::RequestBuilder().algorithm("sequential").generated(64, 1).build());
+  const auto r = fut.get();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RequestBuilder, ExpiredDeadlineAfterMapsToNoDeadline) {
+  // deadline_after with a non-positive interval means "no deadline", not
+  // "already expired" — the relative form can't express the past.
+  llmp::RequestBuilder b;
+  b.deadline_after(std::chrono::milliseconds(0));
+  EXPECT_EQ(b.deadline_point(), std::chrono::steady_clock::time_point::max());
+  b.deadline_after(std::chrono::milliseconds(-5));
+  EXPECT_EQ(b.deadline_point(), std::chrono::steady_clock::time_point::max());
 }
 
 }  // namespace

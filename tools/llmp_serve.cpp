@@ -1,29 +1,45 @@
-// llmp_serve — load generator / demo driver for serve::Service.
+// llmp_serve — load generator, network server and network client for the
+// serve layer, in one binary. Three modes, chosen by the --net.* flags
+// (src/net/cli.h owns the flag grammar; every pre-namespace flag remains
+// a valid alias):
 //
-// Spins up a Service, fires a stream of matching requests at it from the
-// main thread, and prints the ServiceStats snapshot: throughput, latency
-// percentiles, per-outcome counts, arena pool effectiveness and the
-// steady-state allocation counter (this binary instruments global
-// operator new, so that counter is live — it must read 0 after warmup).
+//   (default)            classic in-process loop: spin up a Service, fire
+//                        the request stream at it from this thread, print
+//                        the ServiceStats snapshot. This binary
+//                        instruments global operator new, so the
+//                        steady-state allocation counter is live — it
+//                        must read 0 after warmup.
+//   --net.listen PORT    serve the wire protocol (docs/NET.md) on PORT
+//                        until SIGINT/SIGTERM; per-tenant quotas from
+//                        --net.quota-rps / --net.max-in-flight.
+//   --net.connect H:P    same request stream, sent to a remote llmp_serve
+//                        over --net.conns pipelined connections.
 //
-//   llmp_serve --requests 2000 --n 10000 --workers 8 --queue 256
-//   llmp_serve --alg match2 --verify --deadline-ms 50 --policy reject
-//   llmp_serve --csv            # one machine-readable line instead
+//   llmp_serve --serve.requests 2000 --serve.n 10000 --serve.workers 8
+//   llmp_serve --serve.alg match2 --serve.verify --serve.policy reject
+//   llmp_serve --net.listen 7070 --net.quota-rps 500 &
+//   llmp_serve --net.connect 127.0.0.1:7070 --net.conns 4 --csv
 //
-// Resilience knobs (docs/RESILIENCE.md): --failpoints arms fault
-// injection for the run, --retries/--wedge-ms/--degrade turn on the
-// self-healing machinery so injected faults are absorbed instead of
-// surfacing to the client.
-//   llmp_serve --failpoints 'serve.worker.run=throw:p=0.01' --retries 3
+// Resilience knobs (docs/RESILIENCE.md): --fault.failpoints arms fault
+// injection for the run, --fault.retries / --fault.wedge-ms /
+// --fault.degrade turn on the self-healing machinery so injected faults
+// are absorbed instead of surfacing to the client.
+//   llmp_serve --fault.failpoints 'serve.worker.run=throw:p=0.01'
+//              --fault.retries 3  (one command line)
+#include <algorithm>
 #include <chrono>
+#include <csignal>
 #include <cstdlib>
 #include <iostream>
-#include <map>
 #include <new>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "llmp.h"
+#include "net/cli.h"
+#include "net/client.h"
+#include "net/server.h"
 #include "support/alloc_counter.h"
 #include "support/failpoint.h"
 #include "support/format.h"
@@ -49,102 +65,163 @@ namespace {
 
 using namespace llmp;
 
-struct Args {
-  std::map<std::string, std::string> kv;
-  bool flag(const std::string& name) const { return kv.count("--" + name); }
-  std::string str(const std::string& name, const std::string& dflt) const {
-    auto it = kv.find("--" + name);
-    return it == kv.end() ? dflt : it->second;
-  }
-  std::uint64_t num(const std::string& name, std::uint64_t dflt) const {
-    auto it = kv.find("--" + name);
-    return it == kv.end() ? dflt
-                          : std::strtoull(it->second.c_str(), nullptr, 10);
-  }
-};
+volatile std::sig_atomic_t g_stop = 0;
+void on_signal(int) { g_stop = 1; }
 
-void usage() {
-  std::cout
-      << "usage: llmp_serve [options]\n"
-         "  --requests R   total requests to submit (default 2000)\n"
-         "  --n N          nodes per list (default 10000)\n"
-         "  --lists L      distinct lists cycled through (default 8)\n"
-         "  --workers W    service workers (default 4)\n"
-         "  --queue Q      queue capacity (default 256)\n"
-         "  --policy P     block|reject when the queue is full\n"
-         "  --alg A        registry algorithm name (default match4)\n"
-         "  --deadline-ms D  per-request deadline (default none)\n"
-         "  --verify       audit every result with core::verify\n"
-         "  --warmup K     warmup requests before stats reset (default "
-         "8x workers + 8)\n"
-         "  --failpoints S arm failpoints from spec S after warmup\n"
-         "  --retries R    retry attempts per request (default 1 = none)\n"
-         "  --wedge-ms T   watchdog replaces workers busy longer than T\n"
-         "  --degrade      enable graceful degradation to sequential\n"
-         "  --csv          one machine-readable summary line\n";
+net::AdmissionOptions admission_from(const net::ServeCliOptions& opt) {
+  net::AdmissionOptions adm;
+  adm.default_quota.tokens_per_sec = opt.quota_rps;
+  adm.default_quota.burst = opt.quota_burst;
+  adm.default_quota.max_in_flight = opt.max_in_flight;
+  return adm;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  Args a;
-  for (int i = 1; i < argc; ++i) {
-    std::string token = argv[i];
-    if (token == "--help" || token == "-h") {
-      usage();
-      return 0;
-    }
-    if (token.rfind("--", 0) != 0) continue;
-    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0)
-      a.kv[token] = argv[++i];
-    else
-      a.kv[token] = "1";
+int arm_failpoints(const std::string& spec) {
+  if (spec.empty()) return 0;
+  const Status s = support::failpoint::arm_from_string(spec);
+  if (!s.ok()) {
+    std::cerr << "llmp_serve: bad --fault.failpoints spec: " << s.message()
+              << "\n";
+    return 2;
   }
+  return 0;
+}
 
-  const std::uint64_t requests = a.num("requests", 2000);
-  const std::size_t n = a.num("n", 10000);
-  const std::size_t nlists = std::max<std::uint64_t>(a.num("lists", 8), 1);
-  const std::string alg = a.str("alg", "match4");
-  const std::uint64_t deadline_ms = a.num("deadline-ms", 0);
+/// --net.listen: Service + Server until a signal arrives.
+int run_listen(const net::ServeCliOptions& opt) {
+  serve::Service svc(opt.service);
+  net::ServerOptions sopt;
+  sopt.port = opt.listen_port;
+  sopt.admission = admission_from(opt);
+  net::Server server(svc, sopt);
+  if (Status s = server.start(); !s.ok()) {
+    std::cerr << "llmp_serve: " << s.to_string() << "\n";
+    return 2;
+  }
+  if (int rc = arm_failpoints(opt.failpoints); rc != 0) return rc;
+  std::cout << "llmp_serve: listening on " << server.port() << " ("
+            << opt.service.workers << " workers, queue "
+            << opt.service.queue_capacity << ")" << std::endl;
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+  while (g_stop == 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  const net::ServerStats st = server.stats();
+  server.stop();
+  svc.shutdown();
+  std::cout << "llmp_serve: shut down; connections " << st.accepted
+            << ", frames in/out " << st.frames_in << "/" << st.frames_out
+            << ", protocol errors " << st.protocol_errors << "\n";
+  return 0;
+}
 
-  serve::ServiceOptions sopt;
-  sopt.workers = std::max<std::uint64_t>(a.num("workers", 4), 1);
-  sopt.queue_capacity = std::max<std::uint64_t>(a.num("queue", 256), 1);
-  sopt.overflow = a.str("policy", "block") == "reject"
-                      ? serve::OverflowPolicy::kReject
-                      : serve::OverflowPolicy::kBlock;
-  sopt.verify = a.flag("verify");
-  sopt.retry.max_attempts =
-      static_cast<int>(std::max<std::uint64_t>(a.num("retries", 1), 1));
-  sopt.wedge_threshold = std::chrono::milliseconds(a.num("wedge-ms", 0));
-  if (sopt.wedge_threshold.count() > 0)
-    sopt.supervisor_period =
-        std::max(sopt.wedge_threshold / 4, std::chrono::milliseconds(1));
-  sopt.degrade.enabled = a.flag("degrade");
+/// --net.connect: the workload loop, over the wire.
+int run_connect(const net::ServeCliOptions& opt) {
+  const std::size_t conns = opt.conns;
+  const std::uint64_t requests = opt.requests;
+  std::vector<std::uint64_t> ok(conns, 0), errors(conns, 0);
+  std::vector<net::ClientStats> cstats(conns);
+  std::vector<int> failures(conns, 0);
 
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  for (std::size_t c = 0; c < conns; ++c) {
+    threads.emplace_back([&, c] {
+      net::Client client({.host = opt.connect_host,
+                          .port = opt.connect_port,
+                          .tenant = opt.tenant});
+      if (Status s = client.connect(); !s.ok()) {
+        std::cerr << "llmp_serve: " << s.to_string() << "\n";
+        failures[c] = 1;
+        return;
+      }
+      const std::uint64_t mine =
+          requests / conns + (c < requests % conns ? 1 : 0);
+      constexpr std::uint64_t kBatch = 64;
+      std::uint64_t sent = 0;
+      while (sent < mine) {
+        const std::uint64_t count = std::min(kBatch, mine - sent);
+        std::vector<RequestBuilder> batch;
+        batch.reserve(count);
+        for (std::uint64_t k = 0; k < count; ++k) {
+          RequestBuilder b;
+          b.algorithm(opt.alg)
+              .generated(opt.n, 1000 + (sent + k) % opt.lists)
+              .tenant(opt.tenant);
+          if (opt.deadline_ms != 0)
+            b.deadline_after(std::chrono::milliseconds(opt.deadline_ms));
+          batch.push_back(std::move(b));
+        }
+        for (const auto& r : client.submit_batch(batch))
+          (r.ok() ? ok[c] : errors[c])++;
+        sent += count;
+        if (!client.connected()) {
+          failures[c] = 1;
+          break;
+        }
+      }
+      cstats[c] = client.stats();
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  std::uint64_t total_ok = 0, total_err = 0, p99 = 0, bytes = 0;
+  bool failed = false;
+  for (std::size_t c = 0; c < conns; ++c) {
+    total_ok += ok[c];
+    total_err += errors[c];
+    p99 = std::max(p99, cstats[c].p99_latency_us);
+    bytes += cstats[c].bytes_in + cstats[c].bytes_out;
+    failed = failed || failures[c] != 0;
+  }
+  const double rps =
+      secs > 0 ? static_cast<double>(total_ok + total_err) / secs : 0;
+  if (opt.csv) {
+    std::cout << "mode,conns,requests,ok,errors,seconds,rps,p99_us,bytes\n"
+              << "connect," << conns << ',' << requests << ',' << total_ok
+              << ',' << total_err << ',' << secs << ',' << rps << ',' << p99
+              << ',' << bytes << "\n";
+  } else {
+    fmt::Table t({"metric", "value"});
+    t.add_row({"connections", fmt::num(conns)});
+    t.add_row({"ok", fmt::num(total_ok)});
+    t.add_row({"errors", fmt::num(total_err)});
+    t.add_row({"throughput (req/s)", fmt::num(static_cast<std::uint64_t>(rps))});
+    t.add_row({"p99 latency (us)", fmt::num(p99)});
+    t.add_row({"wire bytes", fmt::num(bytes)});
+    t.print();
+  }
+  return !failed && total_ok == requests ? 0 : 1;
+}
+
+/// Default mode: the classic in-process loop.
+int run_in_process(const net::ServeCliOptions& opt) {
   // A small pool of pre-generated lists, cycled — request generation must
   // not dominate the measurement.
   std::vector<list::LinkedList> lists;
-  lists.reserve(nlists);
-  for (std::size_t i = 0; i < nlists; ++i)
-    lists.push_back(list::generators::random_list(n, /*seed=*/1000 + i));
+  lists.reserve(opt.lists);
+  for (std::size_t i = 0; i < opt.lists; ++i)
+    lists.push_back(list::generators::random_list(opt.n, /*seed=*/1000 + i));
 
-  serve::Service svc(sopt);
+  serve::Service svc(opt.service);
   auto make_request = [&](std::uint64_t k) {
-    serve::Request req;
-    req.list = &lists[k % nlists];
-    req.algorithm = alg;
-    if (deadline_ms != 0)
-      req.deadline = std::chrono::steady_clock::now() +
-                     std::chrono::milliseconds(deadline_ms);
-    return req;
+    RequestBuilder b;
+    b.algorithm(opt.alg).list(lists[k % opt.lists]).tenant(opt.tenant);
+    if (opt.deadline_ms != 0)
+      b.deadline_after(std::chrono::milliseconds(opt.deadline_ms));
+    return b.build();
   };
 
   // Warmup fills every worker's arena pool, then the steady-state window
   // starts from a clean slate (reset_stats rebases the alloc baseline).
   // Default generously: requests are not balanced across workers, so a
   // few times the worker count is needed before every arena is warm.
-  const std::uint64_t warmup = a.num("warmup", 8 * sopt.workers + 8);
+  const std::uint64_t warmup = opt.warmup != net::kAutoWarmup
+                                   ? opt.warmup
+                                   : 8 * opt.service.workers + 8;
   {
     std::vector<std::future<Result<core::MatchResult>>> futs;
     for (std::uint64_t k = 0; k < warmup; ++k)
@@ -155,20 +232,12 @@ int main(int argc, char** argv) {
 
   // Arm failpoints only after warmup: the warm arena pool is part of the
   // steady state the fault run is supposed to stress.
-  const std::string failpoints = a.str("failpoints", "");
-  if (!failpoints.empty()) {
-    const Status s = support::failpoint::arm_from_string(failpoints);
-    if (!s.ok()) {
-      std::cerr << "llmp_serve: bad --failpoints spec: " << s.message()
-                << "\n";
-      return 2;
-    }
-  }
+  if (int rc = arm_failpoints(opt.failpoints); rc != 0) return rc;
 
   const auto t0 = std::chrono::steady_clock::now();
   std::vector<std::future<Result<core::MatchResult>>> futs;
-  futs.reserve(requests);
-  for (std::uint64_t k = 0; k < requests; ++k)
+  futs.reserve(opt.requests);
+  for (std::uint64_t k = 0; k < opt.requests; ++k)
     futs.push_back(svc.submit(make_request(k)));
   std::uint64_t got_ok = 0;
   for (auto& f : futs) got_ok += f.get().ok() ? 1 : 0;
@@ -178,29 +247,32 @@ int main(int argc, char** argv) {
 
   const serve::ServiceStats st = svc.stats();
   svc.shutdown();
-  const double rps = secs > 0 ? static_cast<double>(requests) / secs : 0;
+  const double rps =
+      secs > 0 ? static_cast<double>(opt.requests) / secs : 0;
 
-  if (a.flag("csv")) {
+  if (opt.csv) {
     std::cout << "alg,n,workers,queue,requests,ok,rejected,expired,failed,"
                  "retries,restarts,quarantined,degraded,watchdog_fires,"
                  "seconds,rps,p50_us,p99_us,steady_allocs,arena_takes,"
                  "arena_hits\n"
-              << alg << ',' << n << ',' << sopt.workers << ','
-              << sopt.queue_capacity << ',' << requests << ',' << got_ok << ','
-              << st.rejected << ',' << st.expired << ',' << st.failed << ','
-              << st.retries << ',' << st.restarts << ',' << st.quarantined
-              << ',' << st.degraded << ',' << st.watchdog_fires << ','
-              << secs << ',' << rps << ',' << st.p50_latency_us << ','
-              << st.p99_latency_us << ',' << st.steady_allocs << ','
-              << st.arena_takes << ',' << st.arena_hits << "\n";
+              << opt.alg << ',' << opt.n << ',' << opt.service.workers << ','
+              << opt.service.queue_capacity << ',' << opt.requests << ','
+              << got_ok << ',' << st.rejected << ',' << st.expired << ','
+              << st.failed << ',' << st.retries << ',' << st.restarts << ','
+              << st.quarantined << ',' << st.degraded << ','
+              << st.watchdog_fires << ',' << secs << ',' << rps << ','
+              << st.p50_latency_us << ',' << st.p99_latency_us << ','
+              << st.steady_allocs << ',' << st.arena_takes << ','
+              << st.arena_hits << "\n";
     return 0;
   }
 
-  std::cout << "llmp_serve: " << requests << " x " << alg << " on n=" << n
-            << " lists, " << sopt.workers << " workers, queue "
-            << sopt.queue_capacity << " ("
-            << (sopt.overflow == serve::OverflowPolicy::kReject ? "reject"
-                                                                : "block")
+  std::cout << "llmp_serve: " << opt.requests << " x " << opt.alg
+            << " on n=" << opt.n << " lists, " << opt.service.workers
+            << " workers, queue " << opt.service.queue_capacity << " ("
+            << (opt.service.overflow == serve::OverflowPolicy::kReject
+                    ? "reject"
+                    : "block")
             << ")\n\n";
   fmt::Table t({"metric", "value"});
   t.add_row({"throughput (req/s)", fmt::num(static_cast<std::uint64_t>(rps))});
@@ -225,5 +297,24 @@ int main(int argc, char** argv) {
   if (st.steady_allocs != 0)
     std::cout << "\nWARNING: steady-state allocations nonzero — arena pool "
                  "not covering the algorithm path\n";
-  return got_ok == requests ? 0 : 1;
+  return got_ok == opt.requests ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  net::ServeCliOptions opt;
+  bool help = false;
+  if (Status s = net::parse_serve_cli(argc, argv, &opt, &help); !s.ok()) {
+    std::cerr << "llmp_serve: " << s.message() << "\n\n"
+              << net::serve_cli_usage();
+    return 2;
+  }
+  if (help) {
+    std::cout << net::serve_cli_usage();
+    return 0;
+  }
+  if (opt.listen) return run_listen(opt);
+  if (!opt.connect_host.empty()) return run_connect(opt);
+  return run_in_process(opt);
 }
