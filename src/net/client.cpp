@@ -157,8 +157,7 @@ Status Client::encode_builder(const RequestBuilder& req,
   }
   const std::uint32_t tenant =
       req.tenant_id() != 0 ? req.tenant_id() : options_.tenant;
-  encode_request(f, tenant, request_id, out);
-  return {};
+  return encode_request(f, tenant, request_id, out);
 }
 
 void Client::record_latency(std::uint64_t us) {
@@ -280,7 +279,13 @@ Result<StatsFrame> Client::server_stats() {
   while (true) {
     FrameHeader h;
     std::vector<std::uint8_t> payload;
-    if (Status s = read_frame(&h, &payload); !s.ok()) return s;
+    if (Status s = read_frame(&h, &payload); !s.ok()) {
+      // A failed frame read (timeout mid-header, server gone) leaves the
+      // stream desynchronised; drop the connection so a later
+      // submit_batch cannot misparse — same handling as submit_batch.
+      close();
+      return s;
+    }
     if (h.request_id != id) {
       stats_.unknown_ids++;
       continue;

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cerrno>
 #include <chrono>
+#include <condition_variable>
 #include <cstring>
 #include <deque>
 #include <fcntl.h>
@@ -91,6 +92,42 @@ struct Server::Impl {
     bool close_after_flush = false;
   };
 
+  /// Encoded-but-unflushed response bytes — the flow-control quantity.
+  static std::size_t backlog(const Conn& c) { return c.out.size() - c.out_at; }
+
+  /// The hand-off to/from the list-generator thread. The IO thread
+  /// enqueues (token, n, seed); the generator materialises the list and
+  /// posts the token back through the completion bus. Request metadata
+  /// never crosses this queue — it waits in `generating` (IO thread only).
+  struct GenQueue {
+    struct Job {
+      std::uint64_t token = 0;
+      std::uint64_t n = 0;
+      std::uint64_t seed = 0;
+    };
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<Job> todo;
+    std::vector<std::pair<std::uint64_t,
+                          std::shared_ptr<const list::LinkedList>>>
+        done;
+    bool stopping = false;
+  };
+
+  /// An admitted kGenerated request waiting for its list to be built.
+  struct Generating {
+    std::size_t slot = 0;
+    std::uint64_t gen = 0;
+    std::uint64_t request_id = 0;
+    std::uint32_t tenant = 0;
+    std::string algorithm;
+    std::chrono::steady_clock::time_point deadline =
+        std::chrono::steady_clock::time_point::max();
+    std::uint64_t memory_budget_bytes = 0;
+    std::uint64_t n = 0;
+    std::uint64_t seed = 0;
+  };
+
   /// A submitted request the IO thread still owes a response frame (or a
   /// silent drop, when its connection died). Owns the list reference for
   /// exactly as long as the serve layer may touch it.
@@ -155,6 +192,7 @@ struct Server::Impl {
 
     running.store(true);
     io = std::thread([this] { io_loop(); });
+    gen_thread = std::thread([this] { gen_loop(); });
     return {};
   }
 
@@ -169,9 +207,22 @@ struct Server::Impl {
       bus->post(0);  // token 0 is never issued; this is just a wake-up
       io.join();
     }
-    // The IO thread is gone; drain every outstanding request so the lists
-    // pending entries own stay alive until the serve layer is done with
-    // them, and the admission ledger balances.
+    if (gen_thread.joinable()) {
+      {
+        std::lock_guard<std::mutex> lock(genq.mu);
+        genq.stopping = true;
+      }
+      genq.cv.notify_all();
+      gen_thread.join();
+    }
+    // The IO thread is gone, so generated-list requests still waiting for
+    // their list will never be submitted; balance their admissions.
+    for (auto& [token, g] : generating) admission.complete(g.tenant);
+    generating.clear();
+    gen_waiters.clear();
+    // Drain every outstanding request so the lists pending entries own
+    // stay alive until the serve layer is done with them, and the
+    // admission ledger balances.
     for (auto& [token, p] : pending) {
       if (p.fut.valid()) p.fut.wait();
       admission.complete(p.tenant);
@@ -211,7 +262,13 @@ struct Server::Impl {
       fds.push_back({wake_rd, POLLIN, 0});
       for (std::size_t i = 0; i < conns.size(); ++i) {
         if (conns[i].fd < 0) continue;
-        short events = POLLIN;
+        // Flow control: a connection sitting on a full response backlog
+        // is not read from (its kernel receive buffer, and eventually the
+        // peer's send path, absorb the pushback). POLLERR/POLLHUP are
+        // always reported, so a dead peer is still reaped.
+        short events = 0;
+        if (backlog(conns[i]) < opts.max_conn_backlog_bytes)
+          events |= POLLIN;
         if (conns[i].out_at < conns[i].out.size()) events |= POLLOUT;
         fds.push_back({conns[i].fd, events, 0});
         slot_of.push_back(i);
@@ -234,6 +291,10 @@ struct Server::Impl {
         }
         if (fds[k].revents & POLLIN) handle_readable(slot);
         if (c.fd >= 0 && (fds[k].revents & POLLOUT)) handle_writable(slot);
+        // Parse after both: new bytes from the read, and input that was
+        // stalled by the backlog window and is runnable again now that
+        // the write drained it.
+        if (c.fd >= 0 && !c.in.empty()) parse_frames(slot);
       }
     }
   }
@@ -266,6 +327,9 @@ struct Server::Impl {
       }
       const int one = 1;
       ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      if (opts.sndbuf_bytes > 0)
+        ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &opts.sndbuf_bytes,
+                     sizeof(opts.sndbuf_bytes));
       std::size_t slot = conns.size();
       for (std::size_t i = 0; i < conns.size(); ++i)
         if (conns[i].fd < 0) {
@@ -323,13 +387,18 @@ struct Server::Impl {
       close_conn(slot);
       return;
     }
-    parse_frames(slot);
+    // Parsing happens back in io_loop, after writes have had their turn.
   }
 
   void parse_frames(std::size_t slot) {
     Conn& c = conns[slot];
     std::size_t at = 0;
+    // The backlog check makes every frame kind — stats requests included,
+    // which bypass admission — answerable only while the peer is keeping
+    // up; a connection that never reads stalls here with its input
+    // buffered, not answered.
     while (c.fd >= 0 && !c.close_after_flush &&
+           backlog(c) < opts.max_conn_backlog_bytes &&
            c.in.size() - at >= kFrameHeaderBytes) {
       FrameHeader h;
       Status s = decode_header(c.in.data() + at, kFrameHeaderBytes, &h);
@@ -412,9 +481,45 @@ struct Server::Impl {
     }
     // Admitted from here on: every exit must reach complete(), either via
     // the pending entry's completion or explicitly on early rejection.
+    const auto deadline =
+        f.deadline_ms != 0
+            ? std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(f.deadline_ms)
+            : std::chrono::steady_clock::time_point::max();
     std::shared_ptr<const list::LinkedList> list;
     if (f.list_spec == ListSpec::kGenerated) {
-      list = generated_list(f.n, f.seed);
+      list = cached_list(f.n, f.seed);
+      if (!list) {
+        // Cold generated list: materialise it on the generator thread so
+        // one large random_list() never stalls the IO loop for every
+        // other connection. The request stays admitted (it is real
+        // in-flight work) and resumes in drain_completions.
+        const std::uint64_t token = next_token++;
+        Generating g;
+        g.slot = slot;
+        g.gen = conns[slot].gen;
+        g.request_id = h.request_id;
+        g.tenant = h.tenant;
+        g.algorithm = std::move(f.algorithm);
+        g.deadline = deadline;
+        g.memory_budget_bytes = f.memory_budget_bytes;
+        g.n = f.n;
+        g.seed = f.seed;
+        auto [it, inserted] = generating.emplace(token, std::move(g));
+        LLMP_CHECK(inserted);
+        // Coalesce: a pipelined burst naming the same (n, seed) rides the
+        // one generation already in flight instead of re-materialising.
+        auto& waiters = gen_waiters[std::make_pair(f.n, f.seed)];
+        waiters.push_back(token);
+        if (waiters.size() == 1) {
+          {
+            std::lock_guard<std::mutex> lock(genq.mu);
+            genq.todo.push_back({token, f.n, f.seed});
+          }
+          genq.cv.notify_one();
+        }
+        return;
+      }
     } else {
       Result<list::LinkedList> made = list::LinkedList::make(
           std::move(f.links));
@@ -427,51 +532,133 @@ struct Server::Impl {
       list = std::make_shared<const list::LinkedList>(
           std::move(made.value()));
     }
+    submit_admitted(slot, h.tenant, h.request_id, f.algorithm, deadline,
+                    f.memory_budget_bytes, std::move(list));
+  }
 
+  /// Hand one admitted request (its list in hand) to the serve layer,
+  /// parking a pending entry that owes the connection a response frame.
+  void submit_admitted(std::size_t slot, std::uint32_t tenant,
+                       std::uint64_t request_id, const std::string& algorithm,
+                       std::chrono::steady_clock::time_point deadline,
+                       std::uint64_t memory_budget_bytes,
+                       std::shared_ptr<const list::LinkedList> list) {
     const std::uint64_t token = next_token++;
     Pending p;
     p.slot = slot;
     p.gen = conns[slot].gen;
-    p.request_id = h.request_id;
-    p.tenant = h.tenant;
+    p.request_id = request_id;
+    p.tenant = tenant;
     p.list = list;
     auto [it, inserted] = pending.emplace(token, std::move(p));
     LLMP_CHECK(inserted);
 
     serve::Request req;
     req.list = list.get();
-    req.algorithm = f.algorithm;
-    if (f.deadline_ms != 0)
-      req.deadline = std::chrono::steady_clock::now() +
-                     std::chrono::milliseconds(f.deadline_ms);
-    req.memory_budget_bytes = f.memory_budget_bytes;
-    req.tenant = h.tenant;
+    req.algorithm = algorithm;
+    req.deadline = deadline;
+    req.memory_budget_bytes = memory_budget_bytes;
+    req.tenant = tenant;
     req.on_ready = [bus = bus, token] { bus->post(token); };
     // A submit-time reject runs on_ready synchronously on this thread;
     // the token just waits in the bus until drain_completions().
     it->second.fut = svc.submit(std::move(req));
   }
 
-  std::shared_ptr<const list::LinkedList> generated_list(std::uint64_t n,
-                                                         std::uint64_t seed) {
+  // ---- the generated-list cache + generator thread ------------------------
+
+  std::shared_ptr<const list::LinkedList> cached_list(std::uint64_t n,
+                                                      std::uint64_t seed) {
+    auto it = list_cache.find(std::make_pair(n, seed));
+    return it != list_cache.end() ? it->second : nullptr;
+  }
+
+  void cache_insert(std::uint64_t n, std::uint64_t seed,
+                    const std::shared_ptr<const list::LinkedList>& list) {
     const auto key = std::make_pair(n, seed);
-    if (auto it = list_cache.find(key); it != list_cache.end())
-      return it->second;
-    auto list = std::make_shared<const list::LinkedList>(
-        list::generators::random_list(static_cast<std::size_t>(n), seed));
-    while (list_cache.size() >= opts.list_cache_entries &&
+    if (list_cache.find(key) != list_cache.end()) return;
+    const std::size_t bytes = list->size() * sizeof(index_t);
+    if (bytes > opts.list_cache_bytes) return;  // never worth pinning
+    while (cache_bytes + bytes > opts.list_cache_bytes &&
            !cache_order.empty()) {
-      list_cache.erase(cache_order.front());
+      auto evict = list_cache.find(cache_order.front());
+      if (evict != list_cache.end()) {
+        cache_bytes -= evict->second->size() * sizeof(index_t);
+        list_cache.erase(evict);
+      }
       cache_order.pop_front();
     }
     list_cache.emplace(key, list);
     cache_order.push_back(key);
-    return list;
+    cache_bytes += bytes;
+  }
+
+  void gen_loop() {
+    while (true) {
+      GenQueue::Job job;
+      {
+        std::unique_lock<std::mutex> lock(genq.mu);
+        genq.cv.wait(lock,
+                     [&] { return genq.stopping || !genq.todo.empty(); });
+        if (genq.stopping) return;
+        job = genq.todo.front();
+        genq.todo.pop_front();
+      }
+      auto list = std::make_shared<const list::LinkedList>(
+          list::generators::random_list(static_cast<std::size_t>(job.n),
+                                        job.seed));
+      {
+        std::lock_guard<std::mutex> lock(genq.mu);
+        genq.done.emplace_back(job.token, std::move(list));
+      }
+      bus->post(job.token);
+    }
   }
 
   // ---- completions → responses -------------------------------------------
 
+  void drain_generated() {
+    std::vector<std::pair<std::uint64_t,
+                          std::shared_ptr<const list::LinkedList>>>
+        done;
+    {
+      std::lock_guard<std::mutex> lock(genq.mu);
+      done.swap(genq.done);
+    }
+    for (auto& [job_token, list] : done) {
+      auto key_it = generating.find(job_token);
+      if (key_it == generating.end()) continue;
+      const auto key =
+          std::make_pair(key_it->second.n, key_it->second.seed);
+      cache_insert(key.first, key.second, list);
+      // Every request that coalesced onto this generation resumes now.
+      std::vector<std::uint64_t> waiters;
+      if (auto w = gen_waiters.find(key); w != gen_waiters.end()) {
+        waiters = std::move(w->second);
+        gen_waiters.erase(w);
+      }
+      for (const std::uint64_t token : waiters) {
+        auto it = generating.find(token);
+        if (it == generating.end()) continue;
+        Generating g = std::move(it->second);
+        generating.erase(it);
+        Conn& c = conns.size() > g.slot ? conns[g.slot] : dead_conn;
+        if (&c == &dead_conn || c.fd < 0 || c.gen != g.gen) {
+          // The connection died while the list was being built; the work
+          // is cached, but the admission slot must be returned.
+          admission.complete(g.tenant);
+          continue;
+        }
+        submit_admitted(g.slot, g.tenant, g.request_id, g.algorithm,
+                        g.deadline, g.memory_budget_bytes, list);
+      }
+    }
+  }
+
   void drain_completions() {
+    // Generated lists first: each one immediately becomes a serve-layer
+    // submission, whose own completion arrives through the same bus.
+    drain_generated();
     for (const std::uint64_t token : bus->drain()) {
       auto it = pending.find(token);
       if (it == pending.end()) continue;  // token 0 wake-ups land here
@@ -559,8 +746,11 @@ struct Server::Impl {
       }
     }
     while (c.out_at < c.out.size()) {
-      const ssize_t n =
-          ::write(c.fd, c.out.data() + c.out_at, c.out.size() - c.out_at);
+      // MSG_NOSIGNAL: a peer that closed or reset while we flush must
+      // surface as EPIPE (→ close_conn below), not as a process-killing
+      // SIGPIPE — any remote client could crash the server otherwise.
+      const ssize_t n = ::send(c.fd, c.out.data() + c.out_at,
+                               c.out.size() - c.out_at, MSG_NOSIGNAL);
       if (n > 0) {
         c.out_at += static_cast<std::size_t>(n);
         bytes_out.fetch_add(static_cast<std::uint64_t>(n),
@@ -595,10 +785,22 @@ struct Server::Impl {
   std::map<std::uint64_t, Pending> pending;  ///< IO thread + post-join stop()
   std::uint64_t next_token = 1;  ///< 0 is the reserved wake-only token
 
+  std::thread gen_thread;
+  GenQueue genq;
+  /// Admitted requests awaiting their generated list; IO thread (and
+  /// post-join stop()) only.
+  std::map<std::uint64_t, Generating> generating;
+  /// (n, seed) → tokens riding one in-flight generation; the first token
+  /// in each vector is the one the generator will post back.
+  std::map<std::pair<std::uint64_t, std::uint64_t>,
+           std::vector<std::uint64_t>>
+      gen_waiters;
+
   std::map<std::pair<std::uint64_t, std::uint64_t>,
            std::shared_ptr<const list::LinkedList>>
       list_cache;
   std::deque<std::pair<std::uint64_t, std::uint64_t>> cache_order;
+  std::size_t cache_bytes = 0;  ///< successor-array bytes the cache pins
 
   // Counters: relaxed atomics — independent monotonic tallies read by
   // stats() from other threads, same discipline as ServiceStats.

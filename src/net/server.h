@@ -9,7 +9,17 @@
 // to the IO thread (through a wake pipe), which encodes the response or
 // error frame and writes it back on the owning connection. Responses to
 // one connection can therefore interleave out of submission order; clients
-// reconcile by request_id (net/client.h does).
+// reconcile by request_id (net/client.h does). Cold kGenerated lists are
+// materialised on a dedicated generator thread (the request stays
+// admitted meanwhile), so one large random_list() never stalls the IO
+// loop for every other connection.
+//
+// Per-connection memory is bounded by a flow-control window
+// (max_conn_backlog_bytes): once a connection's unflushed response bytes
+// exceed it, the server stops reading — and therefore stops parsing and
+// answering — on that connection until the peer drains its responses.
+// Writes use send(MSG_NOSIGNAL), so a peer that resets mid-response
+// costs a disconnect, never a process-killing SIGPIPE.
 //
 // Error containment mirrors the wire spec: payload-level decode errors
 // and admission rejections cost one error frame and keep the connection;
@@ -55,9 +65,20 @@ struct ServerOptions {
   std::uint32_t max_frame_bytes = kMaxPayloadBytes;
   /// Largest list a request may name, generated or inline.
   std::uint64_t max_list_nodes = 1ull << 26;
+  /// Per-connection flow-control window: once a connection holds this
+  /// many encoded-but-unflushed response bytes, the server stops reading
+  /// (and so stops parsing) from it until the backlog drains. A client
+  /// that pipelines requests but never reads responses therefore stalls
+  /// itself instead of growing server memory without bound.
+  std::size_t max_conn_backlog_bytes = 4u << 20;
   /// Generated lists are cached by (n, seed) so a load of identical
-  /// requests materialises each list once; FIFO-evicted beyond this.
-  std::size_t list_cache_entries = 16;
+  /// requests materialises each list once; FIFO-evicted once the cached
+  /// successor arrays together exceed this many bytes.
+  std::size_t list_cache_bytes = 256u << 20;
+  /// When nonzero, shrink each accepted socket's kernel send buffer
+  /// (SO_SNDBUF) to this. Tests use it to exercise the backlog window
+  /// deterministically; production leaves the kernel default.
+  int sndbuf_bytes = 0;
   AdmissionOptions admission;
 };
 

@@ -308,6 +308,11 @@ void encode_frame(FrameType type, std::uint32_t tenant,
   payload_fn(w);
   const std::uint64_t len = out.size() - payload_at;
   LLMP_CHECK(out.size() >= header_at + kFrameHeaderBytes);
+  // Every encoder either bounds its payload by construction (responses,
+  // errors, stats) or validates before calling here (requests); a frame
+  // above the protocol bound would wrap the u32 length field and
+  // desynchronise the stream, so it is a programming error, not data.
+  LLMP_CHECK(len <= kMaxPayloadBytes);
   // Patch payload_bytes (offset 20 in the header).
   for (int i = 0; i < 4; ++i)
     out[header_at + 20 + static_cast<std::size_t>(i)] =
@@ -316,9 +321,27 @@ void encode_frame(FrameType type, std::uint32_t tenant,
 
 }  // namespace detail
 
-inline void encode_request(const RequestFrame& f, std::uint32_t tenant,
-                           std::uint64_t request_id,
-                           std::vector<std::uint8_t>& out) {
+/// Encode a request frame, or refuse one whose payload cannot legally
+/// cross the wire: an inline list near 2^26 nodes already fills
+/// kMaxPayloadBytes, and anything ≥ 4 GiB would wrap the u32 length
+/// field and silently desynchronise the stream. Failing locally is the
+/// only safe surface for that.
+inline Status encode_request(const RequestFrame& f, std::uint32_t tenant,
+                             std::uint64_t request_id,
+                             std::vector<std::uint8_t>& out) {
+  const std::uint64_t alg_bytes =
+      f.algorithm.size() > 0xFFFF ? 0xFFFF : f.algorithm.size();
+  const std::uint64_t payload =
+      2 + alg_bytes + 4 + 8 + 1 + 8 +
+      (f.list_spec == ListSpec::kGenerated
+           ? 8
+           : static_cast<std::uint64_t>(f.links.size()) * sizeof(index_t));
+  if (payload > kMaxPayloadBytes)
+    return Status::invalid_argument(
+        "request payload of " + std::to_string(payload) +
+        " bytes exceeds the protocol bound of " +
+        std::to_string(kMaxPayloadBytes) +
+        "; an inline list this large cannot cross the wire");
   detail::encode_frame(
       FrameType::kRequest, tenant, request_id, out, [&](WireWriter& w) {
         w.str16(f.algorithm);
@@ -332,6 +355,7 @@ inline void encode_request(const RequestFrame& f, std::uint32_t tenant,
           for (const index_t link : f.links) w.u32(link);
         }
       });
+  return {};
 }
 
 inline void encode_response(const ResponseFrame& f, std::uint32_t tenant,

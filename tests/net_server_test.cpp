@@ -30,8 +30,13 @@ namespace failpoint = support::failpoint;
 /// A raw loopback connection for speaking broken bytes at the server.
 class RawConn {
  public:
-  explicit RawConn(std::uint16_t port) {
+  /// rcvbuf_bytes > 0 shrinks SO_RCVBUF before connecting, so backpressure
+  /// tests can fill the kernel's buffering deterministically.
+  explicit RawConn(std::uint16_t port, int rcvbuf_bytes = 0) {
     fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (rcvbuf_bytes > 0)
+      ::setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &rcvbuf_bytes,
+                   sizeof(rcvbuf_bytes));
     sockaddr_in addr{};
     addr.sin_family = AF_INET;
     addr.sin_port = htons(port);
@@ -75,8 +80,11 @@ class RawConn {
   std::vector<std::uint8_t> read_some() {
     std::vector<std::uint8_t> out;
     std::uint8_t buf[4096];
-    const ssize_t n = ::recv(fd_, buf, sizeof(buf), MSG_DONTWAIT);
-    if (n > 0) out.insert(out.end(), buf, buf + n);
+    while (true) {
+      const ssize_t n = ::recv(fd_, buf, sizeof(buf), MSG_DONTWAIT);
+      if (n <= 0) break;
+      out.insert(out.end(), buf, buf + n);
+    }
     return out;
   }
 
@@ -191,7 +199,7 @@ TEST(NetServer, ServeErrorsCrossTheWireWithTheirCode) {
   f.list_spec = ListSpec::kInline;
   f.n = 2;
   f.links = {1, 0};  // cycle, no tail
-  encode_request(f, 0, 77, wire);
+  ASSERT_TRUE(encode_request(f, 0, 77, wire).ok());
   RawConn raw(s.server.port());
   ASSERT_TRUE(raw.connected());
   ASSERT_TRUE(raw.send_bytes(wire));
@@ -389,6 +397,91 @@ TEST(NetServer, ClientOnlyFrameTypesAreRejected) {
   FrameHeader h;
   ASSERT_TRUE(decode_header(reply.data(), kFrameHeaderBytes, &h).ok());
   EXPECT_EQ(h.type, FrameType::kError);
+}
+
+// A connection that pipelines frames but never reads responses must not
+// grow server memory without bound — stats requests included, which
+// bypass admission. The server stops answering once the per-connection
+// flow-control window fills, and resumes when the peer drains it.
+TEST(NetServer, ResponseBacklogIsBoundedWhenThePeerStopsReading) {
+  ServerOptions nopt;
+  nopt.max_conn_backlog_bytes = 4096;  // tiny flow-control window
+  nopt.sndbuf_bytes = 4096;            // and tiny kernel buffering
+  Stack s(service_opts(), nopt);
+  RawConn raw(s.server.port(), /*rcvbuf_bytes=*/4096);
+  ASSERT_TRUE(raw.connected());
+  constexpr std::uint64_t kFlood = 2000;
+  std::vector<std::uint8_t> wire;
+  for (std::uint64_t i = 0; i < kFlood; ++i)
+    encode_stats_request(0, i + 1, wire);
+  ASSERT_TRUE(raw.send_bytes(wire));
+  // Without reading a byte back, only as many responses exist as the
+  // window plus kernel buffering absorb — not ~kFlood of them.
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  EXPECT_LT(s.server.stats().frames_out, kFlood / 2);
+  // The stalled connection costs nobody else anything.
+  auto r = s.client->submit(
+      RequestBuilder().algorithm("sequential").generated(64, 1));
+  EXPECT_TRUE(r.ok()) << r.status().to_string();
+  // Reading reopens the window; every response eventually arrives.
+  std::vector<std::uint8_t> got;
+  EXPECT_TRUE(eventually([&] {
+    const auto chunk = raw.read_some();
+    got.insert(got.end(), chunk.begin(), chunk.end());
+    std::size_t frames = 0, at = 0;
+    while (got.size() - at >= kFrameHeaderBytes) {
+      FrameHeader h;
+      if (!decode_header(got.data() + at, kFrameHeaderBytes, &h).ok())
+        return false;
+      if (got.size() - at < kFrameHeaderBytes + h.payload_bytes) break;
+      at += kFrameHeaderBytes + h.payload_bytes;
+      frames++;
+    }
+    return frames == kFlood;
+  }));
+}
+
+// A failed stats read leaves the byte stream desynchronised; the client
+// must drop the connection (as submit_batch does) instead of letting the
+// next call misparse leftover bytes as fresh frames.
+TEST(NetClient, StatsReadFailureClosesTheConnection) {
+  // A hand-rolled server that answers the stats request with half a
+  // frame header and hangs up.
+  const int lfd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(lfd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = 0;
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(::bind(lfd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  ASSERT_EQ(::listen(lfd, 1), 0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(lfd, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+
+  std::thread fake([&] {
+    const int cfd = ::accept(lfd, nullptr, nullptr);
+    if (cfd < 0) return;
+    std::uint8_t buf[64];
+    (void)::recv(cfd, buf, sizeof(buf), 0);  // the stats request
+    std::vector<std::uint8_t> full;
+    encode_stats(StatsFrame{}, 0, 1, full);
+    (void)::send(cfd, full.data(), kFrameHeaderBytes / 2, MSG_NOSIGNAL);
+    ::close(cfd);
+  });
+
+  Client client(client_opts(ntohs(addr.sin_port), /*recv_timeout_ms=*/500));
+  ASSERT_TRUE(client.connect().ok());
+  auto stats = client.server_stats();
+  ASSERT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status().code(), StatusCode::kUnavailable);
+  // The desynchronised stream was dropped: the client reports
+  // not-connected until connect() is called again.
+  auto again = client.server_stats();
+  ASSERT_FALSE(again.ok());
+  EXPECT_NE(again.status().message().find("not connected"),
+            std::string::npos);
+  fake.join();
+  ::close(lfd);
 }
 
 // ---------------------------------------------------------------------------

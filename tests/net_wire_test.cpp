@@ -20,7 +20,8 @@ std::vector<std::uint8_t> encode_one(const RequestFrame& f,
                                      std::uint32_t tenant = 7,
                                      std::uint64_t id = 99) {
   std::vector<std::uint8_t> out;
-  encode_request(f, tenant, id, out);
+  const Status s = encode_request(f, tenant, id, out);
+  EXPECT_TRUE(s.ok()) << s.to_string();
   return out;
 }
 
@@ -96,6 +97,23 @@ TEST(NetWire, RequestInlineRoundTrip) {
   EXPECT_EQ(d.list_spec, ListSpec::kInline);
   EXPECT_EQ(d.n, f.n);
   EXPECT_EQ(d.links, f.links);  // bit-exact successor array
+}
+
+TEST(NetWire, OversizedInlineListIsRefusedLocallyNotEncoded) {
+  // An inline list whose successor array exceeds kMaxPayloadBytes must
+  // fail at the encoder with a Status — emitting it would produce a frame
+  // every server rejects, and one past 4 GiB would wrap the u32 length
+  // field and silently desynchronise the stream.
+  RequestFrame f;
+  f.algorithm = "sequential";
+  f.list_spec = ListSpec::kInline;
+  f.links.assign(kMaxPayloadBytes / sizeof(index_t) + 1, 0);
+  f.n = f.links.size();
+  std::vector<std::uint8_t> out;
+  const Status s = encode_request(f, 0, 1, out);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(out.empty());  // nothing was written to the stream
 }
 
 TEST(NetWire, ResponseRoundTrip) {
