@@ -1,0 +1,122 @@
+// Self-stabilizing repair (src/stabilize): moves-to-convergence versus
+// corruption rate, in the Cohen et al. currency (a move = one match
+// register write that changed a value). The claims under measurement:
+//
+//  * moves scale linearly with the damage and are bounded by ~3n even
+//    when every register is garbage (the table pins moves/n),
+//  * the iteration count is O(1) — sanitize/marry/augment converges in
+//    <= 3 acting sweeps from any state, independent of n and rate,
+//  * the repaired matching is auditor-clean and maximal every time.
+//
+// Every counter here is deterministic (SeqExec + seeded injector), so
+// the whole table sits under scripts/bench_gate.py; only the
+// google-benchmark wall-clock section is machine-dependent.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "core/sequential.h"
+#include "core/verify.h"
+#include "stabilize/audit.h"
+#include "stabilize/inject.h"
+#include "stabilize/repair.h"
+
+namespace {
+
+using namespace llmp;
+
+struct Measured {
+  stabilize::RepairStats stats;
+  std::size_t damaged = 0;  ///< registers actually edited by the injector
+  std::size_t edges = 0;    ///< matching size after repair
+  bool clean = false;       ///< auditor-clean and maximal afterwards
+};
+
+/// Start from a correct maximal matching, scramble `count` registers,
+/// repair, and audit the result.
+Measured run_repair(const list::LinkedList& lst, std::size_t count,
+                    std::uint64_t seed, std::size_t p) {
+  pram::SeqExec exec(p);
+  const std::vector<index_t>& links = lst.next_array();
+  std::vector<index_t> m;
+  stabilize::bits_to_registers(links,
+                               core::sequential_matching(lst).in_matching, m);
+  Measured out;
+  out.damaged = stabilize::scramble_match_pointers(links, m, seed, count);
+  out.stats = stabilize::repair_match_registers(exec, links, m);
+  std::vector<std::uint8_t> marks;
+  stabilize::registers_to_bits(exec, links, m, marks);
+  out.clean = stabilize::audit_match_pointers(links, m).clean() &&
+              stabilize::audit_matching(links, marks).clean();
+  out.edges = core::verify::matching_size(marks);
+  return out;
+}
+
+void run_tables(const bench::BenchArgs& args) {
+  std::cout << "Self-stabilizing repair — moves to convergence "
+               "(link-register model, Delta = 2)\n";
+  const std::size_t n = args.n_or(std::size_t{1} << 20);
+  const std::size_t p = args.p_or(1024);
+
+  std::cout << "\n(a) corruption-rate sweep (random list, n = "
+            << bench::pow2(n) << ")\n";
+  {
+    fmt::Table t({"corrupt rate", "damaged regs", "moves", "moves/n",
+                  "iterations", "rounds", "edges", "clean+maximal"});
+    const double rates[] = {0.001, 0.01, 0.05, 0.25, 1.0};
+    const auto lst = list::generators::random_list(n, 42);
+    for (const double rate : rates) {
+      const auto count =
+          static_cast<std::size_t>(static_cast<double>(n) * rate);
+      const Measured r = run_repair(lst, count < 1 ? 1 : count, 7, p);
+      t.add_row({fmt::num(rate, 3), fmt::num(r.damaged),
+                 fmt::num(r.stats.moves),
+                 fmt::num(static_cast<double>(r.stats.moves) /
+                              static_cast<double>(n),
+                          3),
+                 fmt::num(r.stats.iterations), fmt::num(r.stats.rounds),
+                 fmt::num(r.edges), r.clean ? "yes" : "NO"});
+    }
+    t.print();
+  }
+
+  std::cout << "\n(b) size sweep at full corruption (every register "
+               "scrambled): moves/n must stay\n    below the 4n + 8 pin "
+               "and iterations must stay O(1)\n";
+  {
+    fmt::Table t({"n", "moves", "moves/n", "iterations", "edges",
+                  "clean+maximal"});
+    for (std::size_t size = 1 << 10; size <= n; size <<= 2) {
+      const auto lst = list::generators::random_list(size, 17);
+      const Measured r = run_repair(lst, size, 9, p);
+      t.add_row({fmt::num(size), fmt::num(r.stats.moves),
+                 fmt::num(static_cast<double>(r.stats.moves) /
+                              static_cast<double>(size),
+                          3),
+                 fmt::num(r.stats.iterations), fmt::num(r.edges),
+                 r.clean ? "yes" : "NO"});
+    }
+    t.print();
+  }
+}
+
+void BM_RepairFullScramble(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto lst = list::generators::random_list(n, 6);
+  for (auto _ : state) {
+    const Measured r = run_repair(lst, n, 11, 1024);
+    benchmark::DoNotOptimize(r.stats.moves);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_RepairFullScramble)->Arg(1 << 16)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const llmp::bench::BenchArgs args = llmp::bench::parse_bench_args(argc, argv);
+  run_tables(args);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

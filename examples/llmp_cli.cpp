@@ -27,6 +27,7 @@
 #include "core/sequential.h"
 #include "engine/blocked_match.h"
 #include "llmp.h"
+#include "support/failpoint.h"
 #include "support/format.h"
 
 namespace {
@@ -144,8 +145,52 @@ int cmd_match_blocked(const Args& a, const list::LinkedList& lst) {
   return ok ? 0 : 1;
 }
 
+/// `match --audit off|audit|repair`: submit through a one-shot
+/// serve::Service with the per-request audit override
+/// (RequestBuilder::audit → serve::Request::audit). `--corrupt P` arms
+/// the stabilize.corrupt.match failpoint first, so the healing path is
+/// observable from a shell:
+///   llmp_cli match --audit repair --corrupt 1 --n 65536
+int cmd_match_served(const Args& a, const list::LinkedList& lst) {
+  serve::AuditPolicy policy = serve::AuditPolicy::kOff;
+  const std::string mode = a.str("audit", "off");
+  if (!serve::audit_policy_from_string(mode, &policy)) {
+    std::cerr << "--audit: expected off|audit|repair, got '" << mode << "'\n";
+    return 2;
+  }
+  const std::string corrupt = a.str("corrupt", "");
+  if (!corrupt.empty()) {
+    const Status s = support::failpoint::arm_from_string(
+        "stabilize.corrupt.match=status(data_loss):p=" + corrupt);
+    if (!s.ok()) {
+      std::cerr << "--corrupt: " << s.message() << "\n";
+      return 2;
+    }
+  }
+  serve::ServiceOptions sopt;
+  sopt.workers = 1;
+  serve::Service svc(sopt);
+  const std::string alg = a.str("alg", "match4");
+  auto fut = svc.submit(
+      RequestBuilder().algorithm(alg).list(lst).audit(policy).build());
+  const Result<core::MatchResult> r = fut.get();
+  const serve::ServiceStats st = svc.stats();
+  svc.shutdown();
+  support::failpoint::disarm_all();
+  emit(a, "match_served",
+       {{"algorithm", alg},
+        {"n", std::to_string(lst.size())},
+        {"audit", serve::to_string(policy)},
+        {"status", r.ok() ? "OK" : r.status().to_string()},
+        {"edges", std::to_string(r.ok() ? r->edges : 0)},
+        {"audits_failed", std::to_string(st.audits_failed)},
+        {"repairs", std::to_string(st.repairs)}});
+  return r.ok() ? 0 : 1;
+}
+
 int cmd_match(const Args& a) {
   const auto lst = make_list(a);
+  if (a.kv.count("--audit")) return cmd_match_served(a, lst);
   if (a.num("budget-bytes", 0) > 0 || a.kv.count("--cache-blocks") ||
       a.kv.count("--block-nodes"))
     return cmd_match_blocked(a, lst);
@@ -242,6 +287,8 @@ void usage() {
       "name> --i I --table --erew\n"
       "          --budget-bytes B [--block-nodes N --cache-blocks C]  run "
       "out of core through the block engine\n"
+      "          --audit off|audit|repair [--corrupt P]  submit through a "
+      "serve::Service with integrity auditing\n"
       "  rank:   --alg contraction|wyllie\n"
       "  list:   print the algorithm registry (names, models, bounds)\n";
 }

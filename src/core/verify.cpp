@@ -1,5 +1,8 @@
 #include "core/verify.h"
 
+#include <algorithm>
+
+#include "stabilize/audit.h"
 #include "support/check.h"
 
 namespace llmp::core::verify {
@@ -88,24 +91,44 @@ std::size_t matching_size(const std::vector<std::uint8_t>& in_matching) {
   return count;
 }
 
-Status matching_status(const list::LinkedList& list,
-                       const std::vector<std::uint8_t>& in_matching) {
+namespace {
+
+/// The Status forms run the structured auditor (stabilize/audit.h) and
+/// split its one scan by kind: validity findings belong to
+/// matching_status, maximality findings to maximal_status. The message
+/// then names the first divergent node and the failure shape instead of
+/// the oracle's free-form diagnostic.
+Status audit_subset(const list::LinkedList& list,
+                    const std::vector<std::uint8_t>& in_matching,
+                    bool maximality) {
   try {
-    check_matching(list, in_matching);
+    stabilize::CorruptionReport report =
+        stabilize::audit_matching(list.next_array(), in_matching);
+    auto is_maximality = [](const stabilize::Finding& f) {
+      return f.kind == stabilize::Corruption::kNotMaximal;
+    };
+    report.findings.erase(
+        std::remove_if(report.findings.begin(), report.findings.end(),
+                       [&](const stabilize::Finding& f) {
+                         return is_maximality(f) != maximality;
+                       }),
+        report.findings.end());
+    return report.to_status(StatusCode::kFailedVerification);
   } catch (const check_error& e) {
     return Status::failed_verification(e.what());
   }
-  return {};
+}
+
+}  // namespace
+
+Status matching_status(const list::LinkedList& list,
+                       const std::vector<std::uint8_t>& in_matching) {
+  return audit_subset(list, in_matching, /*maximality=*/false);
 }
 
 Status maximal_status(const list::LinkedList& list,
                       const std::vector<std::uint8_t>& in_matching) {
-  try {
-    check_maximal(list, in_matching);
-  } catch (const check_error& e) {
-    return Status::failed_verification(e.what());
-  }
-  return {};
+  return audit_subset(list, in_matching, /*maximality=*/true);
 }
 
 }  // namespace llmp::core::verify

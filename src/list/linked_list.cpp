@@ -1,56 +1,39 @@
 #include "list/linked_list.h"
 
-#include <sstream>
 #include <utility>
+
+#include "stabilize/audit.h"
 
 namespace llmp::list {
 
 Status LinkedList::structure(const std::vector<index_t>& next, index_t* head,
                              index_t* tail) {
+  // The integrity auditor is the one structure predicate in the tree;
+  // its report names the first divergent node and what is wrong with it
+  // (stabilize/audit.h) instead of a bare "invalid list".
+  const stabilize::CorruptionReport report = stabilize::audit_structure(next);
+  if (!report.clean()) {
+    return Status::invalid_argument("invalid successor array — " +
+                                    report.summary());
+  }
+  // Clean: exactly one tail (the knil successor) and one head (the one
+  // node with no predecessor).
   const std::size_t n = next.size();
-  auto fail = [](const auto&... parts) {
-    std::ostringstream os;
-    (os << ... << parts);
-    return Status::invalid_argument(os.str());
-  };
-  if (n < 1) return fail("a linked list needs at least one node");
-  // Find the tail and check in-degrees: every node except the head has
-  // exactly one incoming pointer.
   std::vector<std::uint8_t> indeg(n, 0);
   index_t the_tail = knil;
   for (index_t v = 0; v < n; ++v) {
     LLMP_DCHECK(v < next.size());
     const index_t s = next[v];
     if (s == knil) {
-      if (the_tail != knil) return fail("more than one tail");
       the_tail = v;
     } else {
-      if (s >= n) return fail("successor out of range");
-      if (indeg[s] != 0)
-        return fail("node ", s, " has two predecessors");
       indeg[s] = 1;
     }
   }
-  if (the_tail == knil) return fail("no tail (links contain a cycle)");
   index_t the_head = knil;
   for (index_t v = 0; v < n; ++v) {
-    if (indeg[v] == 0) {
-      if (the_head != knil)
-        return fail("more than one head (disjoint chains)");
-      the_head = v;
-    }
+    if (indeg[v] == 0) the_head = v;
   }
-  if (the_head == knil) return fail("no head");
-  // Head + unique tail + in-degree <= 1 everywhere rules out everything
-  // except one chain plus disjoint cycles; walking from the head and
-  // counting proves there are no cycles.
-  std::size_t seen = 0;
-  for (index_t v = the_head; v != knil; v = next[v]) {
-    ++seen;
-    if (seen > n) return fail("links contain a cycle");
-  }
-  if (seen != n)
-    return fail("links do not cover all nodes (cycle present)");
   if (head != nullptr) *head = the_head;
   if (tail != nullptr) *tail = the_tail;
   return {};

@@ -25,6 +25,7 @@
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -141,6 +142,12 @@ class RequestBuilder {
     cancel_ = std::move(token);
     return *this;
   }
+  /// Per-request integrity auditing override (serve::AuditPolicy); unset
+  /// means the Service's configured default applies.
+  RequestBuilder& audit(serve::AuditPolicy policy) {
+    audit_ = policy;
+    return *this;
+  }
 
   /// The in-process serve::Request. Requires list(); a generated() spec
   /// (or no list at all) builds a listless Request that Service::submit
@@ -152,6 +159,7 @@ class RequestBuilder {
     req.deadline = deadline_;
     req.cancel = cancel_;
     req.memory_budget_bytes = memory_budget_bytes_;
+    req.audit = audit_;
     req.tenant = tenant_;
     return req;
   }
@@ -166,6 +174,7 @@ class RequestBuilder {
     return deadline_;
   }
   std::size_t budget_bytes() const { return memory_budget_bytes_; }
+  std::optional<serve::AuditPolicy> audit_policy() const { return audit_; }
   std::uint32_t tenant_id() const { return tenant_; }
 
  private:
@@ -178,6 +187,7 @@ class RequestBuilder {
       std::chrono::steady_clock::time_point::max();
   serve::CancelToken cancel_;
   std::size_t memory_budget_bytes_ = 0;
+  std::optional<serve::AuditPolicy> audit_;
   std::uint32_t tenant_ = 0;
 };
 

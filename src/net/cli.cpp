@@ -45,7 +45,8 @@ bool known(const std::string& flag) {
       "--serve.requests",   "--serve.n",         "--serve.lists",
       "--serve.workers",    "--serve.queue",     "--serve.policy",
       "--serve.alg",        "--serve.deadline-ms", "--serve.verify",
-      "--serve.warmup",     "--fault.failpoints", "--fault.retries",
+      "--serve.warmup",     "--serve.audit",     "--fault.failpoints",
+      "--fault.retries",
       "--fault.wedge-ms",   "--fault.degrade",   "--net.listen",
       "--net.connect",      "--net.tenant",      "--net.quota-rps",
       "--net.quota-burst",  "--net.max-in-flight", "--net.conns",
@@ -116,6 +117,9 @@ std::string serve_cli_usage() {
       "                         [alias: --verify]\n"
       "  --serve.warmup K       warmup requests before stats reset\n"
       "                         (default 8 x workers + 8) [alias: --warmup]\n"
+      "  --serve.audit M        integrity auditing: off|audit|repair\n"
+      "                         (default off; audit fails corrupt results\n"
+      "                         with DATA_LOSS, repair heals them in place)\n"
       "\n"
       "Fault injection / resilience (--fault.*):\n"
       "  --fault.failpoints S   arm failpoints from spec S after warmup\n"
@@ -212,6 +216,12 @@ Status parse_serve_cli(int argc, const char* const* argv,
           "--serve.policy: expected block|reject, got '" + it->second + "'");
   }
   out->service.verify = kv.count("--serve.verify") != 0;
+  if (auto it = kv.find("--serve.audit"); it != kv.end()) {
+    if (!serve::audit_policy_from_string(it->second, &out->service.audit))
+      return Status::invalid_argument(
+          "--serve.audit: expected off|audit|repair, got '" + it->second +
+          "'");
+  }
 
   if (auto it = kv.find("--fault.failpoints"); it != kv.end())
     out->failpoints = it->second;

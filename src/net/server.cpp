@@ -713,6 +713,8 @@ struct Server::Impl {
     f.failed = ss.failed;
     f.retries = ss.retries;
     f.restarts = ss.restarts;
+    f.audits_failed = ss.audits_failed;
+    f.repairs = ss.repairs;
     f.p50_latency_us = ss.p50_latency_us;
     f.p99_latency_us = ss.p99_latency_us;
     for (const TenantStats& t : admission.stats()) {

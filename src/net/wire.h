@@ -118,6 +118,8 @@ struct StatsFrame {
   std::uint64_t failed = 0;
   std::uint64_t retries = 0;
   std::uint64_t restarts = 0;
+  std::uint64_t audits_failed = 0;
+  std::uint64_t repairs = 0;
   std::uint64_t p50_latency_us = 0;
   std::uint64_t p99_latency_us = 0;
 
@@ -403,6 +405,8 @@ inline void encode_stats(const StatsFrame& f, std::uint32_t tenant,
         w.u64(f.failed);
         w.u64(f.retries);
         w.u64(f.restarts);
+        w.u64(f.audits_failed);
+        w.u64(f.repairs);
         w.u64(f.p50_latency_us);
         w.u64(f.p99_latency_us);
         w.u32(static_cast<std::uint32_t>(f.tenants.size()));
@@ -509,6 +513,9 @@ inline Status decode_stats(const std::uint8_t* payload, std::size_t size,
   if (Status s = r.u64(&out->failed, "stats failed"); !s.ok()) return s;
   if (Status s = r.u64(&out->retries, "stats retries"); !s.ok()) return s;
   if (Status s = r.u64(&out->restarts, "stats restarts"); !s.ok()) return s;
+  if (Status s = r.u64(&out->audits_failed, "stats audits failed"); !s.ok())
+    return s;
+  if (Status s = r.u64(&out->repairs, "stats repairs"); !s.ok()) return s;
   if (Status s = r.u64(&out->p50_latency_us, "stats p50"); !s.ok()) return s;
   if (Status s = r.u64(&out->p99_latency_us, "stats p99"); !s.ok()) return s;
   std::uint32_t tenants = 0;

@@ -8,6 +8,9 @@
 #include "engine/blocked_match.h"
 #include "pram/context.h"
 #include "pram/executor.h"
+#include "stabilize/audit.h"
+#include "stabilize/inject.h"
+#include "stabilize/repair.h"
 #include "support/alloc_counter.h"
 #include "support/failpoint.h"
 
@@ -383,6 +386,39 @@ bool Service::process_job(WorkerContext& wc, std::size_t index, Job& job) {
         s = core::run_matching_into(wc.ctx, *job.req.list, job.resolved,
                                     wc.scratch);
       }
+      if (s.ok()) {
+        // Data healing. Corruption strikes the worker-owned result (the
+        // shared list is const): the stabilize.corrupt.match failpoint
+        // damages the matching deterministically from the request id,
+        // and the effective audit policy decides what happens next —
+        // nothing (kOff: the corrupt payload is served, exactly like an
+        // unnoticed bit flip today), kDataLoss, or in-place repair.
+        stabilize::maybe_break_matching(job.req.list->next_array(),
+                                        wc.scratch.in_matching, job.id);
+        const AuditPolicy policy = job.req.audit.value_or(options_.audit);
+        if (policy != AuditPolicy::kOff) {
+          stabilize::CorruptionReport report = stabilize::audit_matching(
+              job.req.list->next_array(), wc.scratch.in_matching);
+          if (!report.clean()) {
+            audits_failed_.fetch_add(1, std::memory_order_relaxed);
+            if (policy == AuditPolicy::kRepair) {
+              stabilize::repair_matching(wc.ctx, job.req.list->next_array(),
+                                         wc.scratch.in_matching);
+              report = stabilize::audit_matching(job.req.list->next_array(),
+                                                 wc.scratch.in_matching);
+              if (report.clean()) {
+                repairs_.fetch_add(1, std::memory_order_relaxed);
+                wc.scratch.edges =
+                    core::verify::matching_size(wc.scratch.in_matching);
+              } else {
+                s = report.to_status();  // kDataLoss — repair couldn't heal
+              }
+            } else {
+              s = report.to_status();  // kDataLoss
+            }
+          }
+        }
+      }
       if (s.ok() && options_.verify) {
         s = core::verify::matching_status(*job.req.list, wc.scratch.in_matching);
         if (s.ok())
@@ -568,6 +604,8 @@ ServiceStats Service::stats() const {
   s.quarantined = quarantined_.load(std::memory_order_relaxed);
   s.degraded = degraded_.load(std::memory_order_relaxed);
   s.watchdog_fires = watchdog_fires_.load(std::memory_order_relaxed);
+  s.audits_failed = audits_failed_.load(std::memory_order_relaxed);
+  s.repairs = repairs_.load(std::memory_order_relaxed);
   s.queue_depth = queue_.size();
   {
     std::lock_guard<Sync::mutex> lock(workers_mu_);
@@ -617,6 +655,8 @@ void Service::reset_stats() {
   quarantined_.store(0, std::memory_order_relaxed);
   degraded_.store(0, std::memory_order_relaxed);
   watchdog_fires_.store(0, std::memory_order_relaxed);
+  audits_failed_.store(0, std::memory_order_relaxed);
+  repairs_.store(0, std::memory_order_relaxed);
   arena_takes_.store(0, std::memory_order_relaxed);
   arena_hits_.store(0, std::memory_order_relaxed);
   alloc_baseline_.store(support::scoped_allocs(), std::memory_order_relaxed);

@@ -73,6 +73,7 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/match_result.h"
@@ -92,6 +93,34 @@ enum class OverflowPolicy {
   kBlock,   ///< block the submitter until a slot frees (backpressure)
   kReject,  ///< fail the request with kResourceExhausted (load shedding)
 };
+
+/// Data-healing policy: what a worker does about result corruption
+/// (bit flips, injected damage — anything the integrity auditor of
+/// stabilize/audit.h can detect in the produced matching).
+enum class AuditPolicy {
+  kOff,     ///< trust the result (today's behavior)
+  kAudit,   ///< audit; corruption fails the request with kDataLoss
+  kRepair,  ///< audit; corruption triggers in-place self-stabilizing
+            ///< repair (stabilize/repair.h), kDataLoss only if that
+            ///< cannot restore a clean maximal matching
+};
+
+inline const char* to_string(AuditPolicy p) {
+  switch (p) {
+    case AuditPolicy::kOff: return "off";
+    case AuditPolicy::kAudit: return "audit";
+    case AuditPolicy::kRepair: return "repair";
+  }
+  return "?";
+}
+
+inline bool audit_policy_from_string(std::string_view text, AuditPolicy* out) {
+  if (text == "off") *out = AuditPolicy::kOff;
+  else if (text == "audit") *out = AuditPolicy::kAudit;
+  else if (text == "repair") *out = AuditPolicy::kRepair;
+  else return false;
+  return true;
+}
 
 /// Bounded retries for requests failing with a retryable() Status.
 struct RetryPolicy {
@@ -128,6 +157,10 @@ struct ServiceOptions {
   /// Audit every result with core::verify (matching + maximal); failures
   /// surface as kFailedVerification on that request's future.
   bool verify = false;
+  /// Service-wide data-healing default; Request::audit overrides it per
+  /// request. Runs *before* `verify`, so a repaired result still has to
+  /// pass the classical oracles when both are on.
+  AuditPolicy audit = AuditPolicy::kOff;
   RetryPolicy retry;
   DegradePolicy degrade;
   /// Watchdog: a worker busy on one request for longer than this is
@@ -175,6 +208,8 @@ struct Request {
   /// Only `sequential` supports a budget (the engine's native
   /// algorithm); other algorithms are rejected kInvalidArgument.
   std::size_t memory_budget_bytes = 0;
+  /// Per-request data-healing override; unset uses ServiceOptions::audit.
+  std::optional<AuditPolicy> audit;
   /// Tenant this request is accounted to. The Service itself treats every
   /// tenant alike (quotas are the net front-end's job — net/admission.h,
   /// layered *before* submit), but the id rides the request so transports,
@@ -207,6 +242,12 @@ struct ServiceStats {
   std::uint64_t quarantined = 0;    ///< requests failed after max_attempts
   std::uint64_t degraded = 0;       ///< requests served via `sequential`
   std::uint64_t watchdog_fires = 0; ///< wedged workers retired + replaced
+  // Data-healing counters (AuditPolicy; stabilize/audit.h). Every audit
+  // that found corruption is counted in audits_failed; under kRepair the
+  // successfully healed subset lands in repairs too, the rest (plus all
+  // kAudit detections) fail their request kDataLoss.
+  std::uint64_t audits_failed = 0;  ///< result audits that found corruption
+  std::uint64_t repairs = 0;        ///< corrupted results healed in place
   std::size_t queue_depth = 0;
   std::size_t workers = 0;          ///< live (non-retired) workers
   /// End-to-end latency (submit → future ready) percentiles, from a
@@ -346,6 +387,8 @@ class Service {
   Sync::atomic<std::uint64_t> quarantined_{0};
   Sync::atomic<std::uint64_t> degraded_{0};
   Sync::atomic<std::uint64_t> watchdog_fires_{0};
+  Sync::atomic<std::uint64_t> audits_failed_{0};
+  Sync::atomic<std::uint64_t> repairs_{0};
   Sync::atomic<std::uint64_t> arena_takes_{0};
   Sync::atomic<std::uint64_t> arena_hits_{0};
   Sync::atomic<std::uint64_t> alloc_baseline_{0};

@@ -1,0 +1,162 @@
+#include "stabilize/inject.h"
+
+#include "support/check.h"
+#include "support/failpoint.h"
+
+namespace llmp::stabilize {
+namespace {
+
+/// splitmix64 — the same deterministic stream shape the failpoint
+/// framework uses, so damage replays exactly from (seed, call order).
+struct Rng {
+  std::uint64_t x;
+  explicit Rng(std::uint64_t seed) : x(seed) {}
+  std::uint64_t next() {
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+  std::uint64_t below(std::uint64_t bound) { return next() % bound; }
+};
+
+}  // namespace
+
+std::size_t flip_links(std::vector<index_t>& links, std::uint64_t seed,
+                       std::size_t count) {
+  const std::size_t n = links.size();
+  if (n == 0 || count == 0) return 0;
+  LLMP_CHECK(n < static_cast<std::size_t>(knil));
+  // One more bit than the index width, so a flip can leave [0, n).
+  unsigned width = 1;
+  while ((std::size_t{1} << width) < n) ++width;
+  Rng rng(seed);
+  std::size_t edits = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto v = static_cast<index_t>(rng.below(n));
+    const index_t mask = index_t{1} << rng.below(width + 1);
+    links[v] ^= mask;
+    ++edits;
+  }
+  return edits;
+}
+
+std::size_t truncate_links(std::vector<index_t>& links, std::uint64_t seed,
+                           std::size_t count) {
+  const std::size_t n = links.size();
+  if (n == 0 || count == 0) return 0;
+  LLMP_CHECK(n < static_cast<std::size_t>(knil));
+  std::vector<index_t> tails_of_pointers;
+  tails_of_pointers.reserve(n);
+  for (index_t v = 0; v < n; ++v) {
+    if (links[v] != knil) tails_of_pointers.push_back(v);
+  }
+  Rng rng(seed);
+  std::size_t edits = 0;
+  while (edits < count && !tails_of_pointers.empty()) {
+    const std::size_t i = rng.below(tails_of_pointers.size());
+    links[tails_of_pointers[i]] = knil;
+    tails_of_pointers[i] = tails_of_pointers.back();
+    tails_of_pointers.pop_back();
+    ++edits;
+  }
+  return edits;
+}
+
+std::size_t break_matching(const std::vector<index_t>& links,
+                           std::vector<std::uint8_t>& marks,
+                           std::uint64_t seed, std::size_t count) {
+  const std::size_t n = links.size();
+  LLMP_CHECK(marks.size() == n);
+  if (count == 0) return 0;
+  std::vector<index_t> chosen;
+  chosen.reserve(n);
+  for (index_t v = 0; v < n; ++v) {
+    if (marks[v] != 0) chosen.push_back(v);
+  }
+  if (chosen.empty()) return 0;
+  Rng rng(seed);
+  std::size_t edits = 0;
+  if (count == 1 && (rng.next() & 1) != 0) {
+    // Break symmetry upward: also mark the chosen pointer's head. Lands
+    // as kOverlappingMatch (or kMarkOnTail when the head is the tail).
+    const index_t v = chosen[rng.below(chosen.size())];
+    const index_t s = links[v];
+    if (s == knil || s >= n) {
+      marks[v] = 0;  // already-broken input: degrade to a clear
+      return 1;
+    }
+    marks[s] = 1;
+    return 1;
+  }
+  // Clears of distinct chosen bits: each leaves its pointer with both
+  // endpoints free (kNotMaximal), and removals cannot cancel.
+  while (edits < count && !chosen.empty()) {
+    const std::size_t i = rng.below(chosen.size());
+    marks[chosen[i]] = 0;
+    chosen[i] = chosen.back();
+    chosen.pop_back();
+    ++edits;
+  }
+  return edits;
+}
+
+std::size_t scramble_match_pointers(const std::vector<index_t>& links,
+                                    std::vector<index_t>& m,
+                                    std::uint64_t seed, std::size_t count) {
+  const std::size_t n = links.size();
+  LLMP_CHECK(m.size() == n);
+  if (n == 0 || count == 0) return 0;
+  Rng rng(seed);
+  std::size_t edits = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto v = static_cast<index_t>(rng.below(n));
+    switch (rng.below(4)) {
+      case 0:  // dropped register
+        m[v] = knil;
+        break;
+      case 1:  // wild value, possibly far out of range
+        m[v] = static_cast<index_t>(rng.below(n + 8));
+        break;
+      case 2:  // one-sided proposal at the successor
+        m[v] = links[v];
+        break;
+      default:  // arbitrary node, usually non-adjacent
+        m[v] = static_cast<index_t>(rng.below(n));
+        break;
+    }
+    ++edits;
+  }
+  return edits;
+}
+
+std::size_t maybe_flip_links(std::vector<index_t>& links, std::uint64_t seed) {
+  if (links.empty()) return 0;
+  if (LLMP_FAILPOINT_STATUS("stabilize.corrupt.succ").ok()) return 0;
+  return flip_links(links, seed, 1);
+}
+
+std::size_t maybe_truncate_links(std::vector<index_t>& links,
+                                 std::uint64_t seed) {
+  // A detectable cut needs a real pointer; a singleton has none.
+  bool has_pointer = false;
+  for (index_t s : links) has_pointer |= (s != knil);
+  if (!has_pointer) return 0;
+  if (LLMP_FAILPOINT_STATUS("stabilize.corrupt.chain").ok()) return 0;
+  return truncate_links(links, seed, 1);
+}
+
+std::size_t maybe_break_matching(const std::vector<index_t>& links,
+                                 std::vector<std::uint8_t>& marks,
+                                 std::uint64_t seed) {
+  // Applicability first, failpoint second: a counted fire must always
+  // correspond to real damage, or chaos reconciliation drifts.
+  bool any_chosen = false;
+  for (std::uint8_t b : marks) any_chosen |= (b != 0);
+  if (!any_chosen || marks.size() != links.size()) return 0;
+  if (LLMP_FAILPOINT_STATUS("stabilize.corrupt.match").ok()) return 0;
+  return break_matching(links, marks, seed, 1);
+}
+
+}  // namespace llmp::stabilize

@@ -1,0 +1,82 @@
+// Corruption injector — deterministic, *named* damage for chaos tests.
+//
+// Two layers:
+//
+//   * damage primitives (flip_links, truncate_links, break_matching,
+//     scramble_match_pointers) — always apply, seeded splitmix64 streams,
+//     so a test can replay the exact same damage from the same seed;
+//   * failpoint-gated wrappers (maybe_*) — evaluate a stabilize.corrupt.*
+//     failpoint and damage only when it fires, so a chaos storm arms
+//     "stabilize.corrupt.match=status(data_loss):p=0.02" and reconciles
+//     the point's fire count exactly against the serve layer's
+//     repairs/audits_failed counters.
+//
+// Detection guarantees (what makes exact reconciliation possible):
+//
+//   * flip_links / truncate_links with count == 1 always leave the links
+//     detectably corrupt (out-of-range, shared successor, extra
+//     tail/head, or an unreachable cycle) — a single edit cannot reach
+//     another valid chain;
+//   * break_matching on a valid maximal matching always leaves the marks
+//     detectably corrupt (kNotMaximal, kOverlappingMatch or kMarkOnTail)
+//     for any count >= 1: beyond the first edit it only *clears* distinct
+//     chosen bits, and removals can never cancel into a maximal state;
+//   * scramble_match_pointers promises nothing — it is the repair
+//     engine's adversary, exercising its full input space.
+//
+// The maybe_* wrappers check that damage is actually applicable *before*
+// evaluating their failpoint, so every counted fire corresponds to real
+// injected damage.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "support/types.h"
+
+namespace llmp::stabilize {
+
+/// XOR a random nonzero bit pattern into `count` random successors.
+/// Returns the number of nodes edited (== min(count, n) for n >= 1).
+std::size_t flip_links(std::vector<index_t>& links, std::uint64_t seed,
+                       std::size_t count);
+
+/// Cut the chain: set `count` distinct random non-tail successors to
+/// knil. Returns the number of cuts applied (capped by available
+/// pointers).
+std::size_t truncate_links(std::vector<index_t>& links, std::uint64_t seed,
+                           std::size_t count);
+
+/// Break a valid maximal matching detectably (see header comment).
+/// Returns the number of bits edited; 0 iff the matching has no chosen
+/// pointer (nothing corruptible).
+std::size_t break_matching(const std::vector<index_t>& links,
+                           std::vector<std::uint8_t>& marks,
+                           std::uint64_t seed, std::size_t count);
+
+/// Arbitrary match-pointer damage: clears, out-of-range values,
+/// one-sided proposals, non-adjacent targets. Returns entries edited.
+std::size_t scramble_match_pointers(const std::vector<index_t>& links,
+                                    std::vector<index_t>& m,
+                                    std::uint64_t seed, std::size_t count);
+
+/// Failpoint `stabilize.corrupt.succ`: when it fires, one flip_links
+/// edit. Returns the damage count (0 when disarmed / not fired / the
+/// list is too small to damage detectably).
+std::size_t maybe_flip_links(std::vector<index_t>& links, std::uint64_t seed);
+
+/// Failpoint `stabilize.corrupt.chain`: when it fires, one
+/// truncate_links cut.
+std::size_t maybe_truncate_links(std::vector<index_t>& links,
+                                 std::uint64_t seed);
+
+/// Failpoint `stabilize.corrupt.match`: when it fires, one break_matching
+/// edit. The no-chosen-pointer check happens before the failpoint is
+/// evaluated, so counts("stabilize.corrupt.match").statuses equals the
+/// number of requests actually damaged.
+std::size_t maybe_break_matching(const std::vector<index_t>& links,
+                                 std::vector<std::uint8_t>& marks,
+                                 std::uint64_t seed);
+
+}  // namespace llmp::stabilize

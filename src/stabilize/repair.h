@@ -1,0 +1,262 @@
+// Self-stabilizing maximal-matching repair for the linked-list case.
+//
+// Model: Cohen, Manoussakis, Pilard, Sohier, "A self-stabilizing
+// algorithm for maximal matching in link-register model" (PAPERS.md)
+// repairs a maximal matching from *arbitrary* register contents in
+// O(nΔ³) moves: each node owns a match register pointing at the
+// neighbor it believes it is matched with, inspects only its own and
+// its neighbors' registers, and the algorithm converges no matter what
+// garbage the registers start with. A linked list is the Δ = 2
+// instance of that model: node v's neighbors are its predecessor and
+// successor, and m[v] ∈ {knil, pred(v), succ(v)} once sane.
+//
+// This adaptation runs under the synchronous daemon (every node moves
+// in lock-step rounds — exactly what pram's step primitive provides)
+// and replaces the general algorithm's Δ³ proposal handshake with the
+// path structure: because a free run of nodes is a path, its start is
+// locally detectable (free, with no free predecessor), and the run can
+// greedily marry alternate pointers in one sweep. Each iteration is
+// three phases:
+//
+//   sanitize  clear registers that are out of range, non-adjacent, or
+//             point at a node engaged elsewhere (one-sided pointers at
+//             a *free* node survive: they are proposals);
+//   marry     a free node accepts a neighbor that proposes to it
+//             (lowest id wins when both neighbors propose; the loser's
+//             register is garbage the next sanitize clears);
+//   augment   the start of every free run pairs alternate pointers
+//             down the run.
+//
+// Married pairs (m[v] = u ∧ m[u] = v, adjacent) are invariant under all
+// three phases, so progress is monotone; every corrupted register is
+// cleared or completed within one iteration and freed losers re-pair in
+// the next, giving convergence in <= 3 acting iterations and <= ~3n
+// moves from any state (tests/stabilize_test.cpp pins moves <= 4n + 8
+// and exact determinism from the injector seed). A move is one register
+// write that changes its value — the Cohen et al. complexity measure —
+// counted per node per round and reported in RepairStats; the cost of
+// the sweep lands in the metrics sink under phase "repair".
+//
+// Precondition: `links` itself is a valid chain (audit_structure clean).
+// Structural damage is unrecoverable by matching repair — the original
+// successors are simply gone — which is why the serve layer audits
+// structure to kDataLoss but repairs only matchings.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "pram/arena.h"
+#include "pram/context.h"
+#include "support/check.h"
+#include "support/types.h"
+
+namespace llmp::stabilize {
+
+/// Convergence accounting, in the paper's currency.
+struct RepairStats {
+  std::uint64_t moves = 0;       ///< register writes that changed a value
+  std::uint64_t rounds = 0;      ///< synchronous steps executed
+  std::uint64_t iterations = 0;  ///< sanitize/marry/augment sweeps (incl.
+                                 ///< the final all-quiet one)
+};
+
+/// Tail-side matching bitmap -> match registers: marks[v] == 1 claims
+/// pointer <v, links[v]>, so m[v] = links[v] and m[links[v]] = v.
+/// Host-sequential on purpose: the bitmap may be corrupt (overlapping
+/// claims), and ascending order makes the conflicting writes land
+/// deterministically — sanitize clears whatever is left asymmetric.
+inline void bits_to_registers(const std::vector<index_t>& links,
+                              const std::vector<std::uint8_t>& marks,
+                              std::vector<index_t>& m) {
+  const std::size_t n = links.size();
+  LLMP_CHECK(marks.size() == n);
+  m.assign(n, knil);
+  for (index_t v = 0; v < n; ++v) {
+    if (marks[v] == 0) continue;
+    const index_t s = links[v];
+    if (s == knil || s >= n) continue;  // mark beyond the tail: dropped
+    m[v] = s;
+    m[s] = v;
+  }
+}
+
+/// Match registers -> tail-side bitmap: only symmetric adjacent pairs
+/// survive (exactly what repair leaves behind).
+template <class Exec>
+void registers_to_bits(Exec& exec, const std::vector<index_t>& links,
+                       const std::vector<index_t>& m,
+                       std::vector<std::uint8_t>& marks) {
+  const std::size_t n = links.size();
+  LLMP_CHECK(m.size() == n);
+  marks.assign(n, 0);
+  exec.step(n, [&](std::size_t v, auto&& mem) {
+    const index_t s = mem.rd(links, v);
+    if (s == knil || s >= n) return;
+    const bool married = mem.rd(m, v) == s &&
+                         mem.rd(m, static_cast<std::size_t>(s)) ==
+                             static_cast<index_t>(v);
+    if (married) mem.wr(marks, v, std::uint8_t{1});
+  });
+}
+
+/// The repair loop over match registers (see header comment). `links`
+/// must be a valid chain; `m` may hold anything. On return, m encodes a
+/// maximal matching (audit_match_pointers clean, registers_to_bits ->
+/// audit_matching clean).
+template <class Exec>
+RepairStats repair_match_registers(Exec& exec,
+                                   const std::vector<index_t>& links,
+                                   std::vector<index_t>& m) {
+  RepairStats stats;
+  const std::size_t n = links.size();
+  LLMP_CHECK(m.size() == n);
+  if (n == 0) return stats;
+  const pram::Stats cost_start = exec.stats();
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  auto prv_h = pram::scratch<index_t>(exec, n);
+  std::vector<index_t>& prv = *prv_h;
+  exec.step(n, [&](std::size_t v, auto&& mem) { mem.wr(prv, v, knil); });
+  exec.step(n, [&](std::size_t v, auto&& mem) {
+    const index_t s = mem.rd(links, v);
+    if (s != knil) {
+      mem.wr(prv, static_cast<std::size_t>(s), static_cast<index_t>(v));
+    }
+  });
+
+  auto nxt_h = pram::scratch<index_t>(exec, n);
+  std::vector<index_t>& nxt = *nxt_h;
+  auto fre_h = pram::scratch<std::uint8_t>(exec, n);
+  std::vector<std::uint8_t>& fre = *fre_h;
+  auto moved_h = pram::scratch<std::uint8_t>(exec, n);
+  std::vector<std::uint8_t>& moved = *moved_h;
+
+  auto drain_moves = [&]() {
+    std::uint64_t sum = 0;
+    for (std::size_t v = 0; v < n; ++v) sum += moved[v];
+    stats.moves += sum;
+    return sum;
+  };
+
+  // Iterate to a fixed point; the bound is a loud invariant, not a
+  // tuning knob — see the convergence argument in the header comment.
+  for (;;) {
+    ++stats.iterations;
+    LLMP_CHECK_MSG(stats.iterations <= 8,
+                   "stabilize repair failed to converge");
+    std::uint64_t iteration_moves = 0;
+
+    // Phase 1 — sanitize (synchronous: read m, write nxt, swap).
+    exec.step(n, [&](std::size_t v, auto&& mem) {
+      const index_t r = mem.rd(m, v);
+      index_t keep = r;
+      if (r != knil) {
+        if (r >= n || r == static_cast<index_t>(v)) {
+          keep = knil;
+        } else {
+          const bool adjacent =
+              mem.rd(links, v) == r ||
+              mem.rd(links, static_cast<std::size_t>(r)) ==
+                  static_cast<index_t>(v);
+          if (!adjacent) {
+            keep = knil;
+          } else {
+            const index_t back = mem.rd(m, static_cast<std::size_t>(r));
+            if (back != static_cast<index_t>(v) && back != knil) keep = knil;
+          }
+        }
+      }
+      mem.wr(nxt, v, keep);
+      mem.wr(moved, v, static_cast<std::uint8_t>(keep != r));
+    });
+    ++stats.rounds;
+    m.swap(nxt);
+    iteration_moves += drain_moves();
+
+    // Phase 2 — marry: free nodes accept proposals (lowest id first).
+    exec.step(n, [&](std::size_t v, auto&& mem) {
+      const index_t r = mem.rd(m, v);
+      index_t take = r;
+      if (r == knil) {
+        const index_t s = mem.rd(links, v);
+        const index_t p = mem.rd(prv, v);
+        const bool from_s =
+            s != knil && mem.rd(m, static_cast<std::size_t>(s)) ==
+                             static_cast<index_t>(v);
+        const bool from_p =
+            p != knil && mem.rd(m, static_cast<std::size_t>(p)) ==
+                             static_cast<index_t>(v);
+        if (from_s && from_p) {
+          take = s < p ? s : p;
+        } else if (from_s) {
+          take = s;
+        } else if (from_p) {
+          take = p;
+        }
+      }
+      mem.wr(nxt, v, take);
+      mem.wr(moved, v, static_cast<std::uint8_t>(take != r));
+    });
+    ++stats.rounds;
+    m.swap(nxt);
+    iteration_moves += drain_moves();
+
+    // Phase 3 — augment. 3a: snapshot who is free.
+    exec.step(n, [&](std::size_t v, auto&& mem) {
+      mem.wr(fre, v, static_cast<std::uint8_t>(mem.rd(m, v) == knil));
+      mem.wr(moved, v, std::uint8_t{0});
+    });
+    ++stats.rounds;
+
+    // 3b: each free-run start pairs alternate pointers down its run.
+    // Runs are disjoint, so the non-owner writes are exclusive; the body
+    // reads only the `fre` snapshot, never m.
+    exec.step(n, [&](std::size_t v, auto&& mem) {
+      if (!mem.rd(fre, v)) return;
+      const index_t p = mem.rd(prv, v);
+      if (p != knil && mem.rd(fre, static_cast<std::size_t>(p))) return;
+      index_t u = static_cast<index_t>(v);
+      for (;;) {
+        const index_t w = mem.rd(links, static_cast<std::size_t>(u));
+        if (w == knil || !mem.rd(fre, static_cast<std::size_t>(w))) break;
+        mem.wr(m, static_cast<std::size_t>(u), w);
+        mem.wr(m, static_cast<std::size_t>(w), u);
+        mem.wr(moved, static_cast<std::size_t>(u), std::uint8_t{1});
+        mem.wr(moved, static_cast<std::size_t>(w), std::uint8_t{1});
+        const index_t after = mem.rd(links, static_cast<std::size_t>(w));
+        if (after == knil) break;
+        u = after;
+        if (!mem.rd(fre, static_cast<std::size_t>(u))) break;
+      }
+    });
+    ++stats.rounds;
+    iteration_moves += drain_moves();
+
+    if (iteration_moves == 0) break;
+  }
+
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - wall_start)
+          .count();
+  pram::note_phase(exec, "repair", exec.stats() - cost_start, wall_ms);
+  return stats;
+}
+
+/// Bitmap form, the serve layer's entry point: convert, repair, convert
+/// back. `links` must be a valid chain; `marks` may hold anything.
+template <class Exec>
+RepairStats repair_matching(Exec& exec, const std::vector<index_t>& links,
+                            std::vector<std::uint8_t>& marks) {
+  auto m_h = pram::scratch<index_t>(exec, links.size());
+  std::vector<index_t>& m = *m_h;
+  bits_to_registers(links, marks, m);
+  const RepairStats stats = repair_match_registers(exec, links, m);
+  registers_to_bits(exec, links, m, marks);
+  return stats;
+}
+
+}  // namespace llmp::stabilize

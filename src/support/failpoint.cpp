@@ -132,6 +132,7 @@ Status parse_rule(std::string_view text, Rule& out) {
         {"unavailable", StatusCode::kUnavailable},
         {"failed_verification", StatusCode::kFailedVerification},
         {"internal", StatusCode::kInternal},
+        {"data_loss", StatusCode::kDataLoss},
     };
     bool found = false;
     for (const auto& [n, c] : kCodes) {

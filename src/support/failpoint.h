@@ -100,7 +100,7 @@ Counts counts(std::string_view name);
 ///             (':p=' float)? (':n=' fires)?
 ///   code   := unavailable | internal | resource_exhausted |
 ///             deadline_exceeded | cancelled | invalid_argument |
-///             not_found | failed_verification
+///             not_found | failed_verification | data_loss
 /// e.g. "serve.worker.run=throw:p=0.01|sleep(50):p=0.005;pram.arena.take=off".
 Status arm_from_string(std::string_view spec);
 

@@ -39,7 +39,8 @@ namespace llmp {
   X(kResourceExhausted, 5, "RESOURCE_EXHAUSTED") /* queue full / quota */    \
   X(kUnavailable, 6, "UNAVAILABLE")            /* shut down / faulted */     \
   X(kFailedVerification, 7, "FAILED_VERIFICATION") /* audit rejected */      \
-  X(kInternal, 8, "INTERNAL")                  /* invariant surfaced */
+  X(kInternal, 8, "INTERNAL")                  /* invariant surfaced */       \
+  X(kDataLoss, 9, "DATA_LOSS")                 /* corruption detected */
 
 enum class StatusCode : std::uint16_t {
 #define LLMP_STATUS_ROW(name, wire, str) name = (wire),
@@ -99,9 +100,9 @@ class Status {
   /// transient conditions (an overloaded queue, a restarting worker, a
   /// missed deadline, a crashed attempt) are retryable; deterministic
   /// rejections of the request itself (bad input, unknown name, an
-  /// explicit cancel, a wrong result) are not. serve::Service's
-  /// RetryPolicy and callers branch on this instead of string-matching
-  /// messages.
+  /// explicit cancel, a wrong result, corrupted data that retrying
+  /// cannot restore) are not. serve::Service's RetryPolicy and callers
+  /// branch on this instead of string-matching messages.
   bool retryable() const {
     switch (code_) {
       case StatusCode::kDeadlineExceeded:
@@ -149,6 +150,9 @@ class Status {
   }
   static Status internal(std::string m) {
     return {StatusCode::kInternal, std::move(m)};
+  }
+  static Status data_loss(std::string m) {
+    return {StatusCode::kDataLoss, std::move(m)};
   }
 
   bool operator==(const Status& o) const {

@@ -327,6 +327,86 @@ TEST_F(Chaos, ServeRetriesBlockedRequestsThroughIoFaults) {
   EXPECT_GT(st.ok, 0u);
 }
 
+// Corruption storm: ~2% of results are damaged in the worker by the
+// stabilize.corrupt.match failpoint, and the audit policy decides their
+// fate — requests running under kRepair are healed in place and come
+// back OK, requests overriding to kAudit fail with kDataLoss. The books
+// must balance exactly: every fired injection is an audit failure, and
+// every audit failure is either a repair or a kDataLoss future.
+TEST_F(Chaos, CorruptionStormReconcilesRepairsAndDataLoss) {
+  std::vector<list::LinkedList> lists;
+  for (std::uint64_t s = 0; s < 3; ++s)
+    lists.push_back(list::generators::random_list(kListSize, s));
+
+  ServiceOptions opt;
+  opt.workers = 4;
+  opt.queue_capacity = 128;
+  opt.audit = serve::AuditPolicy::kRepair;  // the service default…
+  Service svc(opt);
+
+  ASSERT_TRUE(
+      fp::arm_from_string("stabilize.corrupt.match=status(data_loss):p=0.02")
+          .ok());
+  static const char* kAlgs[] = {"match1", "match2", "match3", "match4",
+                                "sequential"};
+  constexpr int kStorm = 10000;
+  constexpr int kThreads = 4;
+  std::atomic<std::uint64_t> ok{0}, data_loss{0}, other{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      std::vector<std::future<Result<MatchResult>>> futs;
+      futs.reserve(kStorm / kThreads);
+      for (int k = 0; k < kStorm / kThreads; ++k) {
+        const int j = t * (kStorm / kThreads) + k;
+        Request req;
+        req.list = &lists[static_cast<std::size_t>(j) % lists.size()];
+        req.algorithm = kAlgs[j % 5];
+        // …every third request opts out of healing: detect-only.
+        if (j % 3 == 0) req.audit = serve::AuditPolicy::kAudit;
+        futs.push_back(svc.submit(std::move(req)));
+      }
+      for (auto& f : futs) {
+        const Result<MatchResult> r = f.get();
+        if (r.ok())
+          ok.fetch_add(1, std::memory_order_relaxed);
+        else if (r.status().code() == StatusCode::kDataLoss)
+          data_loss.fetch_add(1, std::memory_order_relaxed);
+        else
+          other.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+
+  const ServiceStats st = svc.stats();
+  const fp::Counts corrupt = fp::counts("stabilize.corrupt.match");
+  fp::disarm_all();
+
+  // Every future completed, nothing surfaced an unexpected code.
+  EXPECT_EQ(st.completed, static_cast<std::uint64_t>(kStorm));
+  EXPECT_EQ(other.load(), 0u);
+  EXPECT_EQ(ok.load() + data_loss.load(),
+            static_cast<std::uint64_t>(kStorm));
+
+  // Exact reconciliation. Every fire damaged a real result (the
+  // injector checks applicability before evaluating the failpoint), so:
+  //   injected == audits_failed == repairs + kDataLoss futures.
+  const std::uint64_t injected = corrupt.statuses;
+  EXPECT_GT(injected, static_cast<std::uint64_t>(kStorm) / 100)
+      << "corruption storm injected under 1% — not a real storm";
+  EXPECT_EQ(st.audits_failed, injected);
+  EXPECT_EQ(st.repairs + data_loss.load(), injected);
+  EXPECT_GT(st.repairs, 0u);
+  EXPECT_GT(data_loss.load(), 0u);
+
+  // kDataLoss is deliberately non-retryable: corrupted payloads fail
+  // their future immediately (no retry amplification to skew the books).
+  EXPECT_EQ(st.retries, 0u);
+  EXPECT_EQ(st.failed, data_loss.load());
+  EXPECT_EQ(st.ok, ok.load());
+}
+
 TEST_F(Chaos, DisarmedFailpointsPreserveZeroSteadyStateAllocations) {
   // The resilience hooks ship in the hot paths (queue, arena take, plan
   // and table builds); disabled they must not change the serve layer's

@@ -13,9 +13,13 @@
 #include "apps/list_ranking.h"
 #include "apps/three_coloring.h"
 #include "core/maximal_matching.h"
+#include "core/sequential.h"
 #include "core/verify.h"
 #include "list/generators.h"
 #include "pram/executor.h"
+#include "stabilize/audit.h"
+#include "stabilize/inject.h"
+#include "stabilize/repair.h"
 #include "support/rng.h"
 
 namespace llmp {
@@ -103,6 +107,57 @@ TEST_P(FuzzSweep, ApplicationsAgainstOracles) {
     const auto oracle = apps::sequential_ranking(lst);
     ASSERT_EQ(apps::wyllie_ranking(e3, lst).rank, oracle) << n;
     ASSERT_EQ(apps::contraction_ranking(e4, lst).rank, oracle) << n;
+  }
+}
+
+// Corruption round-trip: damage a correct result with the injector, the
+// auditor must notice; repair it, the auditor must come back clean AND
+// the result must be a genuinely maximal matching per the throwing
+// oracles and the sequential baseline's invariants. Randomized shapes,
+// sizes and damage counts — the structured tests in stabilize_test.cpp
+// pin the exact bounds, this sweeps the input space.
+TEST_P(FuzzSweep, CorruptionRoundTrip) {
+  rng::Xoshiro256 gen(GetParam() * 0xD6E8FEB86659FD93ULL + 11);
+  pram::SeqExec exec(256);
+  for (int round = 0; round < 12; ++round) {
+    const std::size_t n = 2 + gen.below(3000);
+    const auto lst = random_shape(gen, n);
+    const std::vector<index_t>& links = lst.next_array();
+
+    // Matching damage: detect, repair, re-audit clean + maximal.
+    auto marks = core::sequential_matching(lst).in_matching;
+    const std::uint64_t seed = gen.next();
+    if (stabilize::break_matching(links, marks, seed, 1 + gen.below(6)) >
+        0) {
+      ASSERT_FALSE(stabilize::audit_matching(links, marks).clean())
+          << "n=" << n << " seed=" << seed;
+      stabilize::repair_matching(exec, links, marks);
+      const auto report = stabilize::audit_matching(links, marks);
+      ASSERT_TRUE(report.clean())
+          << report.summary() << " n=" << n << " seed=" << seed;
+      ASSERT_NO_THROW(core::verify::check_matching(lst, marks)) << n;
+      ASSERT_NO_THROW(core::verify::check_maximal(lst, marks)) << n;
+      // Same size class as the sequential baseline: both are maximal
+      // matchings on a path, so within a factor two of each other.
+      const std::size_t repaired = core::verify::matching_size(marks);
+      const std::size_t oracle =
+          core::sequential_matching(lst).edges;
+      ASSERT_LE(oracle, 2 * repaired + 1) << n;
+      ASSERT_LE(repaired, oracle * 2 + 1) << n;
+    }
+
+    // Structural damage: a single edit is always detected, and the
+    // report agrees with LinkedList::validate's verdict.
+    auto damaged = links;
+    if (gen.coin()) {
+      ASSERT_EQ(stabilize::flip_links(damaged, seed, 1), 1u);
+    } else {
+      ASSERT_EQ(stabilize::truncate_links(damaged, seed, 1), 1u);
+    }
+    const auto sreport = stabilize::audit_structure(damaged);
+    ASSERT_FALSE(sreport.clean()) << "n=" << n << " seed=" << seed;
+    ASSERT_TRUE(sreport.structural());
+    ASSERT_FALSE(list::LinkedList::validate(damaged).ok());
   }
 }
 

@@ -42,6 +42,7 @@ TEST(NetCli, DefaultsMatchTheDocumentedOnes) {
   EXPECT_EQ(opt.warmup, kAutoWarmup);
   EXPECT_EQ(opt.service.workers, 4u);
   EXPECT_EQ(opt.service.queue_capacity, 256u);
+  EXPECT_EQ(opt.service.audit, serve::AuditPolicy::kOff);
   EXPECT_FALSE(opt.listen);
   EXPECT_TRUE(opt.connect_host.empty());
   EXPECT_EQ(opt.conns, 1u);
@@ -53,8 +54,9 @@ TEST(NetCli, NamespacedFlagsParse) {
       {"--serve.requests", "500", "--serve.n", "1024", "--serve.lists", "3",
        "--serve.workers", "2", "--serve.queue", "32", "--serve.policy",
        "reject", "--serve.alg", "sequential", "--serve.deadline-ms", "250",
-       "--serve.verify", "--serve.warmup", "7", "--fault.retries", "3",
-       "--fault.wedge-ms", "40", "--fault.degrade", "--csv"});
+       "--serve.verify", "--serve.warmup", "7", "--serve.audit", "repair",
+       "--fault.retries", "3", "--fault.wedge-ms", "40", "--fault.degrade",
+       "--csv"});
   EXPECT_EQ(opt.requests, 500u);
   EXPECT_EQ(opt.n, 1024u);
   EXPECT_EQ(opt.lists, 3u);
@@ -65,6 +67,7 @@ TEST(NetCli, NamespacedFlagsParse) {
   EXPECT_EQ(opt.deadline_ms, 250u);
   EXPECT_TRUE(opt.service.verify);
   EXPECT_EQ(opt.warmup, 7u);
+  EXPECT_EQ(opt.service.audit, serve::AuditPolicy::kRepair);
   EXPECT_EQ(opt.service.retry.max_attempts, 3);
   EXPECT_EQ(opt.service.wedge_threshold.count(), 40);
   EXPECT_EQ(opt.service.supervisor_period.count(), 10);  // wedge / 4
@@ -131,6 +134,10 @@ TEST(NetCli, ErrorsNameTheOffendingFlag) {
   EXPECT_NE(s.message().find("--serve.requests"), std::string::npos);
   // Bad policy.
   EXPECT_FALSE(parse_err({"--serve.policy", "drop"}).ok());
+  // Bad audit mode.
+  s = parse_err({"--serve.audit", "heal"});
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("off|audit|repair"), std::string::npos);
   // Bad host:port shapes.
   EXPECT_FALSE(parse_err({"--net.connect", "no-port"}).ok());
   EXPECT_FALSE(parse_err({"--net.connect", ":9000"}).ok());
@@ -158,7 +165,8 @@ TEST(NetCli, UsageTextCoversEveryFlagAndAlias) {
        {"--serve.requests", "--serve.n", "--serve.lists", "--serve.workers",
         "--serve.queue", "--serve.policy", "--serve.alg",
         "--serve.deadline-ms", "--serve.verify", "--serve.warmup",
-        "--fault.failpoints", "--fault.retries", "--fault.wedge-ms",
+        "--serve.audit", "--fault.failpoints", "--fault.retries",
+        "--fault.wedge-ms",
         "--fault.degrade", "--net.listen", "--net.connect", "--net.conns",
         "--net.tenant", "--net.quota-rps", "--net.quota-burst",
         "--net.max-in-flight", "--csv"})

@@ -206,6 +206,8 @@ TEST(NetWire, StatsRoundTripWithTenants) {
   f.failed = 2;
   f.retries = 7;
   f.restarts = 1;
+  f.audits_failed = 6;
+  f.repairs = 4;
   f.p50_latency_us = 128;
   f.p99_latency_us = 4096;
   f.tenants.push_back({1, 50, 2, 1, 47, 3});
@@ -221,6 +223,8 @@ TEST(NetWire, StatsRoundTripWithTenants) {
           .ok());
   EXPECT_EQ(d.submitted, f.submitted);
   EXPECT_EQ(d.ok, f.ok);
+  EXPECT_EQ(d.audits_failed, 6u);
+  EXPECT_EQ(d.repairs, 4u);
   EXPECT_EQ(d.p99_latency_us, f.p99_latency_us);
   ASSERT_EQ(d.tenants.size(), 2u);
   EXPECT_EQ(d.tenants[0].tenant, 1u);
@@ -373,8 +377,8 @@ TEST(NetWireFuzz, StatsTenantCountMismatch) {
   std::vector<std::uint8_t> bytes;
   encode_stats(f, 0, 0, bytes);
   // Bump the tenant count without appending an entry: count lives right
-  // after the ten u64 service counters (offset 80 in the payload).
-  bytes[kFrameHeaderBytes + 80] = 2;
+  // after the twelve u64 service counters (offset 96 in the payload).
+  bytes[kFrameHeaderBytes + 96] = 2;
   StatsFrame d;
   EXPECT_FALSE(decode_stats(bytes.data() + kFrameHeaderBytes,
                             bytes.size() - kFrameHeaderBytes, &d)

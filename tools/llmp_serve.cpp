@@ -253,14 +253,15 @@ int run_in_process(const net::ServeCliOptions& opt) {
   if (opt.csv) {
     std::cout << "alg,n,workers,queue,requests,ok,rejected,expired,failed,"
                  "retries,restarts,quarantined,degraded,watchdog_fires,"
-                 "seconds,rps,p50_us,p99_us,steady_allocs,arena_takes,"
-                 "arena_hits\n"
+                 "audits_failed,repairs,seconds,rps,p50_us,p99_us,"
+                 "steady_allocs,arena_takes,arena_hits\n"
               << opt.alg << ',' << opt.n << ',' << opt.service.workers << ','
               << opt.service.queue_capacity << ',' << opt.requests << ','
               << got_ok << ',' << st.rejected << ',' << st.expired << ','
               << st.failed << ',' << st.retries << ',' << st.restarts << ','
               << st.quarantined << ',' << st.degraded << ','
-              << st.watchdog_fires << ',' << secs << ',' << rps << ','
+              << st.watchdog_fires << ',' << st.audits_failed << ','
+              << st.repairs << ',' << secs << ',' << rps << ','
               << st.p50_latency_us << ',' << st.p99_latency_us << ','
               << st.steady_allocs << ',' << st.arena_takes << ','
               << st.arena_hits << "\n";
@@ -288,6 +289,8 @@ int run_in_process(const net::ServeCliOptions& opt) {
   t.add_row({"quarantined", fmt::num(st.quarantined)});
   t.add_row({"degraded runs", fmt::num(st.degraded)});
   t.add_row({"watchdog fires", fmt::num(st.watchdog_fires)});
+  t.add_row({"audits failed", fmt::num(st.audits_failed)});
+  t.add_row({"repairs", fmt::num(st.repairs)});
   t.add_row({"p50 latency (us)", fmt::num(st.p50_latency_us)});
   t.add_row({"p99 latency (us)", fmt::num(st.p99_latency_us)});
   t.add_row({"steady-state allocs", fmt::num(st.steady_allocs)});
